@@ -1,0 +1,30 @@
+//! # lpat-analysis — program analyses over the representation
+//!
+//! The analyses the compiler framework builds on (paper §3.3, §4.1.1):
+//!
+//! * [`domtree`] — dominator trees and dominance frontiers (SSA
+//!   construction, verifier support);
+//! * [`loops`] — natural-loop detection (runtime hot-region profiling);
+//! * [`callgraph`] — call-graph construction including function pointers;
+//! * [`dsa`] — Data Structure Analysis: flow-insensitive, field-sensitive,
+//!   unification-based points-to analysis with *speculative type checking*,
+//!   the engine behind the paper's Table 1 typed-access statistics;
+//! * [`modref`] — interprocedural Mod/Ref built on DSA and the call graph;
+//! * [`summary`] — compile-time interprocedural summaries that travel with
+//!   the bytecode so link-time passes can skip recomputation (§3.3).
+
+#![warn(missing_docs)]
+
+pub mod callgraph;
+pub mod domtree;
+pub mod dsa;
+pub mod loops;
+pub mod modref;
+pub mod summary;
+
+pub use callgraph::CallGraph;
+pub use domtree::DomTree;
+pub use dsa::{AccessStats, Dsa, DsaOptions};
+pub use loops::LoopInfo;
+pub use modref::ModRef;
+pub use summary::{compute_summaries, FuncSummary, ModuleSummaries};

@@ -1,0 +1,221 @@
+//! Mod/Ref analysis (paper §3.3).
+//!
+//! Computes, for every function, the set of DSA nodes it may modify and may
+//! read — directly or through any callee. Clients (e.g. redundancy
+//! elimination across calls) can then ask whether a call may clobber the
+//! object a given pointer refers to.
+
+use std::collections::HashSet;
+
+use lpat_core::{FuncId, Inst, Module, Value};
+
+use crate::callgraph::CallGraph;
+use crate::dsa::{Dsa, NodeId};
+
+/// Mod/Ref summary of one function.
+#[derive(Clone, Debug, Default)]
+pub struct ModRefSet {
+    /// Nodes possibly written.
+    pub modifies: HashSet<NodeId>,
+    /// Nodes possibly read.
+    pub reads: HashSet<NodeId>,
+    /// Whether the function (transitively) calls unanalyzable external
+    /// code, which may touch anything reachable from it.
+    pub calls_external: bool,
+}
+
+/// Module-wide Mod/Ref results.
+pub struct ModRef {
+    sets: Vec<ModRefSet>,
+}
+
+impl ModRef {
+    /// Compute Mod/Ref for every function, propagating over the call graph
+    /// to a fixpoint (cycles in the call graph are handled by iteration).
+    pub fn compute(m: &Module, cg: &CallGraph, dsa: &Dsa) -> ModRef {
+        let n = m.num_funcs();
+        let mut sets = vec![ModRefSet::default(); n];
+        // Local effects.
+        for (fid, f) in m.funcs() {
+            let set = &mut sets[fid.index()];
+            for iid in f.inst_ids_in_order() {
+                match f.inst(iid) {
+                    Inst::Store { ptr, .. } => {
+                        if let Some(node) = dsa.node_of(m, fid, *ptr) {
+                            set.modifies.insert(node);
+                        }
+                    }
+                    Inst::Load { ptr } => {
+                        if let Some(node) = dsa.node_of(m, fid, *ptr) {
+                            set.reads.insert(node);
+                        }
+                    }
+                    Inst::Call { callee, .. } | Inst::Invoke { callee, .. } => {
+                        let ext = match callee {
+                            Value::Const(c) => match m.consts.get(*c) {
+                                lpat_core::Const::FuncAddr(t) => m.func(*t).is_declaration(),
+                                _ => true,
+                            },
+                            _ => false, // indirect: resolved via call graph edges
+                        };
+                        if ext {
+                            set.calls_external = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Transitive closure over the call graph.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fid in m.func_ids() {
+                let callees: Vec<FuncId> = cg.callees(fid).to_vec();
+                for c in callees {
+                    if c == fid {
+                        continue;
+                    }
+                    let (mods, reads, ext): (Vec<NodeId>, Vec<NodeId>, bool) = {
+                        let cs = &sets[c.index()];
+                        (
+                            cs.modifies.iter().copied().collect(),
+                            cs.reads.iter().copied().collect(),
+                            cs.calls_external,
+                        )
+                    };
+                    let set = &mut sets[fid.index()];
+                    for x in mods {
+                        changed |= set.modifies.insert(x);
+                    }
+                    for x in reads {
+                        changed |= set.reads.insert(x);
+                    }
+                    if ext && !set.calls_external {
+                        set.calls_external = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        ModRef { sets }
+    }
+
+    /// The summary of `f`.
+    pub fn summary(&self, f: FuncId) -> &ModRefSet {
+        &self.sets[f.index()]
+    }
+
+    /// May a call to `callee` modify the object node `n`?
+    pub fn call_may_mod(&self, dsa: &Dsa, callee: FuncId, n: NodeId) -> bool {
+        let s = &self.sets[callee.index()];
+        if s.calls_external && dsa.node_flags(n).external {
+            return true;
+        }
+        // Compare through union-find representatives.
+        s.modifies.iter().any(|&m| m == n)
+    }
+
+    /// May a call to `callee` read the object node `n`?
+    pub fn call_may_ref(&self, dsa: &Dsa, callee: FuncId, n: NodeId) -> bool {
+        let s = &self.sets[callee.index()];
+        if s.calls_external && dsa.node_flags(n).external {
+            return true;
+        }
+        s.reads.iter().any(|&m| m == n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsa::DsaOptions;
+    use lpat_asm::parse_module;
+
+    fn setup(src: &str) -> (Module, CallGraph, Dsa) {
+        let m = parse_module("t", src).unwrap();
+        m.verify().unwrap();
+        let cg = CallGraph::build(&m);
+        let dsa = Dsa::analyze(&m, &cg, &DsaOptions::default());
+        (m, cg, dsa)
+    }
+
+    #[test]
+    fn pure_function_modifies_nothing() {
+        let (m, cg, dsa) = setup(
+            "
+@g = global int 0
+define int @pure(int %x) {
+e:
+  %y = add int %x, 1
+  ret int %y
+}
+define int @writer() {
+e:
+  store int 1, int* @g
+  ret int 0
+}",
+        );
+        let mr = ModRef::compute(&m, &cg, &dsa);
+        let pure = m.func_by_name("pure").unwrap();
+        let writer = m.func_by_name("writer").unwrap();
+        assert!(mr.summary(pure).modifies.is_empty());
+        assert!(!mr.summary(writer).modifies.is_empty());
+        let g = dsa.node_of_global(m.global_by_name("g").unwrap());
+        assert!(mr.call_may_mod(&dsa, writer, g));
+        assert!(!mr.call_may_mod(&dsa, pure, g));
+    }
+
+    #[test]
+    fn effects_propagate_through_callers() {
+        let (m, cg, dsa) = setup(
+            "
+@g = global int 0
+define void @leaf() {
+e:
+  store int 1, int* @g
+  ret void
+}
+define void @mid() {
+e:
+  call void @leaf()
+  ret void
+}
+define void @top() {
+e:
+  call void @mid()
+  ret void
+}",
+        );
+        let mr = ModRef::compute(&m, &cg, &dsa);
+        let top = m.func_by_name("top").unwrap();
+        let g = dsa.node_of_global(m.global_by_name("g").unwrap());
+        assert!(mr.call_may_mod(&dsa, top, g));
+        assert!(!mr.call_may_ref(&dsa, top, g));
+    }
+
+    #[test]
+    fn recursive_functions_converge() {
+        let (m, cg, dsa) = setup(
+            "
+@g = global int 0
+define void @a(int %n) {
+e:
+  %c = setgt int %n, 0
+  br bool %c, label %rec, label %done
+rec:
+  %v = load int* @g
+  %n2 = sub int %n, 1
+  call void @a(int %n2)
+  br label %done
+done:
+  ret void
+}",
+        );
+        let mr = ModRef::compute(&m, &cg, &dsa);
+        let a = m.func_by_name("a").unwrap();
+        let g = dsa.node_of_global(m.global_by_name("g").unwrap());
+        assert!(mr.call_may_ref(&dsa, a, g));
+        assert!(!mr.call_may_mod(&dsa, a, g));
+    }
+}

@@ -1,0 +1,313 @@
+//! Tokenizer for the textual form of the representation.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Bare word: keywords, type names, opcodes (`define`, `int`, `add`).
+    Word(String),
+    /// `%name`: local value, block label reference, or named type.
+    Local(String),
+    /// `@name`: global or function symbol.
+    Global(String),
+    /// Integer literal text (sign included); parsed at use-site so that
+    /// `u64`-range literals survive.
+    Num(String),
+    /// Hex literal `0xABCD...`; payload plus number of hex digits (8 for
+    /// `float` bits, 16 for `double` bits).
+    Hex(u64, usize),
+    /// A string literal from the `c"..."` sugar, already unescaped.
+    Str(Vec<u8>),
+    /// Single punctuation character: `=,(){}[]*:`.
+    Punct(char),
+    /// `...`
+    Ellipsis,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Word(w) => write!(f, "{w}"),
+            Tok::Local(n) => write!(f, "%{n}"),
+            Tok::Global(n) => write!(f, "@{n}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Hex(v, w) => write!(f, "0x{v:0w$X}", w = w),
+            Tok::Str(_) => write!(f, "c\"...\""),
+            Tok::Punct(c) => write!(f, "{c}"),
+            Tok::Ellipsis => write!(f, "..."),
+        }
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A tokenization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '$'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    // '.' continues identifiers (`llvm.memcpy`-style names) but cannot
+    // start one, so `...` lexes as the ellipsis token.
+    is_ident_start(c) || c.is_ascii_digit() || c == '.'
+}
+
+/// Tokenize `src`. Comments run from `;` to end of line.
+///
+/// # Errors
+///
+/// Returns the first lexical error encountered.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line: u32 = 1;
+    let err = |line: u32, m: &str| LexError {
+        line,
+        message: m.to_string(),
+    };
+    while let Some(&(_, c)) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                for (_, c) in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '%' | '@' => {
+                let sigil = c;
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_cont(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(err(line, &format!("empty name after '{sigil}'")));
+                }
+                out.push(Spanned {
+                    tok: if sigil == '%' {
+                        Tok::Local(name)
+                    } else {
+                        Tok::Global(name)
+                    },
+                    line,
+                });
+            }
+            '0'..='9' | '-' => {
+                let mut text = String::new();
+                let neg = c == '-';
+                text.push(c);
+                chars.next();
+                // Hex?
+                if !neg {
+                    if let Some(&(_, 'x')) = chars.peek() {
+                        if text == "0" {
+                            chars.next();
+                            let mut hex = String::new();
+                            while let Some(&(_, c)) = chars.peek() {
+                                if c.is_ascii_hexdigit() {
+                                    hex.push(c);
+                                    chars.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                            let v = u64::from_str_radix(&hex, 16)
+                                .map_err(|_| err(line, "bad hex literal"))?;
+                            out.push(Spanned {
+                                tok: Tok::Hex(v, hex.len()),
+                                line,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if text == "-" {
+                    return Err(err(line, "stray '-'"));
+                }
+                out.push(Spanned {
+                    tok: Tok::Num(text),
+                    line,
+                });
+            }
+            'c' => {
+                // Either c"..." string sugar or an identifier starting with c.
+                let mut clone = chars.clone();
+                clone.next();
+                if let Some(&(_, '"')) = clone.peek() {
+                    chars.next(); // c
+                    chars.next(); // "
+                    let mut bytes = Vec::new();
+                    loop {
+                        match chars.next() {
+                            Some((_, '"')) => break,
+                            Some((_, '\\')) => {
+                                let mut h = String::new();
+                                for _ in 0..2 {
+                                    match chars.next() {
+                                        Some((_, c)) if c.is_ascii_hexdigit() => h.push(c),
+                                        _ => return Err(err(line, "bad escape in string")),
+                                    }
+                                }
+                                bytes.push(u8::from_str_radix(&h, 16).unwrap());
+                            }
+                            Some((_, '\n')) | None => {
+                                return Err(err(line, "unterminated string"))
+                            }
+                            Some((_, c)) => {
+                                let mut buf = [0u8; 4];
+                                bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            }
+                        }
+                    }
+                    out.push(Spanned {
+                        tok: Tok::Str(bytes),
+                        line,
+                    });
+                } else {
+                    lex_word(&mut chars, &mut out, line);
+                }
+            }
+            c if is_ident_start(c) => {
+                lex_word(&mut chars, &mut out, line);
+            }
+            '.' => {
+                chars.next();
+                for _ in 0..2 {
+                    match chars.next() {
+                        Some((_, '.')) => {}
+                        _ => return Err(err(line, "expected '...'")),
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ellipsis,
+                    line,
+                });
+            }
+            '=' | ',' | '(' | ')' | '{' | '}' | '[' | ']' | '*' | ':' => {
+                chars.next();
+                out.push(Spanned {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => return Err(err(line, &format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_word(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    out: &mut Vec<Spanned>,
+    line: u32,
+) {
+    let mut w = String::new();
+    while let Some(&(_, c)) = chars.peek() {
+        if is_ident_cont(c) {
+            w.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Word(w),
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_instruction_line() {
+        let toks = lex("%t0 = add int %a0, -1 ; comment\n").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Local("t0".into()),
+                Tok::Punct('='),
+                Tok::Word("add".into()),
+                Tok::Word("int".into()),
+                Tok::Local("a0".into()),
+                Tok::Punct(','),
+                Tok::Num("-1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_string() {
+        let toks = lex("0x3F800000 c\"hi\\00\"").unwrap();
+        assert_eq!(toks[0].tok, Tok::Hex(0x3F800000, 8));
+        assert_eq!(toks[1].tok, Tok::Str(vec![b'h', b'i', 0]));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn lexes_ellipsis_and_varargs_sig() {
+        let toks = lex("declare int @printf(sbyte*, ...)").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::Ellipsis));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("#!").is_err());
+        assert!(lex("c\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! # lpat-asm — the textual form
+//!
+//! Parser for the assembly syntax of the `lpat` representation (the printer
+//! lives in `lpat-core`). Together they realize the paper's requirement
+//! (§2.5) that the representation be a *first-class language* with
+//! equivalent textual and in-memory forms, convertible without information
+//! loss: it makes debugging transformations simpler and test cases easy to
+//! write.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! @G = global int 42
+//! define int @main() {
+//! entry:
+//!   %x = load int* @G
+//!   %y = add int %x, 1
+//!   ret int %y
+//! }"#;
+//! let m = lpat_asm::parse_module("demo", src).unwrap();
+//! m.verify().unwrap();
+//! // Round trip: print, re-parse, print — canonical after one trip.
+//! let printed = m.display();
+//! let m2 = lpat_asm::parse_module("demo", &printed).unwrap();
+//! assert_eq!(printed, m2.display());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse_module, ParseError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpat_core::{Inst, Value};
+
+    fn roundtrip(src: &str) -> String {
+        let m = parse_module("t", src).unwrap_or_else(|e| panic!("parse: {e}\n{src}"));
+        if let Err(errs) = m.verify() {
+            panic!("verify: {errs:?}\n{}", m.display());
+        }
+        let p1 = m.display();
+        let m2 = parse_module("t", &p1).unwrap_or_else(|e| panic!("reparse: {e}\n{p1}"));
+        let p2 = m2.display();
+        assert_eq!(p1, p2, "round trip not stable");
+        p1
+    }
+
+    #[test]
+    fn parses_simple_function() {
+        let out = roundtrip(
+            "
+define int @id(int %x) {
+bb0:
+  ret int %x
+}",
+        );
+        assert!(out.contains("define int @id(int %a0)"));
+    }
+
+    #[test]
+    fn parses_control_flow_and_phi() {
+        roundtrip(
+            "
+define int @max(int %a, int %b) {
+entry:
+  %c = setgt int %a, %b
+  br bool %c, label %t, label %f
+t:
+  br label %join
+f:
+  br label %join
+join:
+  %m = phi int [ %a, %t ], [ %b, %f ]
+  ret int %m
+}",
+        );
+    }
+
+    #[test]
+    fn parses_memory_and_gep() {
+        let out = roundtrip(
+            "
+%pair = type { int, [4 x float] }
+define float @get(%pair* %p, long %i) {
+bb0:
+  %q = getelementptr %pair* %p, long 0, ubyte 1, long %i
+  %v = load float* %q
+  ret float %v
+}",
+        );
+        assert!(out.contains("%pair = type { int, [4 x float] }"));
+        assert!(out.contains("getelementptr %pair* %a0, long 0, ubyte 1, long %a1"));
+    }
+
+    #[test]
+    fn parses_recursive_type() {
+        roundtrip(
+            "
+%list = type { int, %list* }
+define int @head(%list* %l) {
+bb0:
+  %p = getelementptr %list* %l, long 0, ubyte 0
+  %v = load int* %p
+  ret int %v
+}",
+        );
+    }
+
+    #[test]
+    fn parses_globals_functions_and_calls() {
+        let out = roundtrip(
+            "
+@counter = internal global int 0
+@msg = constant [3 x sbyte] [ sbyte 104, sbyte 105, sbyte 0 ]
+declare int @puts(sbyte*)
+define void @tick() {
+bb0:
+  %v = load int* @counter
+  %v2 = add int %v, 1
+  store int %v2, int* @counter
+  ret void
+}
+define void @main() {
+bb0:
+  call void @tick()
+  %p = getelementptr [3 x sbyte]* @msg, long 0, long 0
+  %r = call int @puts(sbyte* %p)
+  ret void
+}",
+        );
+        assert!(out.contains("@counter = internal global int 0"));
+        assert!(out.contains("call void @tick()"));
+    }
+
+    #[test]
+    fn parses_invoke_unwind() {
+        let out = roundtrip(
+            "
+declare void @might_throw()
+define int @try_it() {
+entry:
+  invoke void @might_throw() to label %ok unwind label %handler
+ok:
+  ret int 0
+handler:
+  ret int 1
+}",
+        );
+        assert!(out.contains("invoke void @might_throw() to label %bb1 unwind label %bb2"));
+    }
+
+    #[test]
+    fn parses_switch_malloc_cast() {
+        roundtrip(
+            "
+define sbyte* @f(int %x) {
+entry:
+  switch int %x, label %d [ int 1, label %one int 2, label %two ]
+one:
+  %m = malloc sbyte, uint 16
+  ret sbyte* %m
+two:
+  %n = malloc int
+  %c = cast int* %n to sbyte*
+  ret sbyte* %c
+d:
+  ret sbyte* null
+}",
+        );
+    }
+
+    #[test]
+    fn parses_varargs_and_vaarg() {
+        roundtrip(
+            "
+define int @sum(int %n, ...) {
+entry:
+  %v = vaarg int
+  ret int %v
+}",
+        );
+    }
+
+    #[test]
+    fn parses_string_sugar() {
+        let m = parse_module("t", "@s = constant [3 x sbyte] c\"hi\\00\"").unwrap();
+        let g = m.global_by_name("s").unwrap();
+        let init = m.global(g).init.unwrap();
+        match m.consts.get(init) {
+            lpat_core::Const::Array { elems, .. } => assert_eq!(elems.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_function_reference() {
+        let m = parse_module(
+            "t",
+            "
+define void @a() {
+bb0:
+  call void @b()
+  ret void
+}
+define void @b() {
+bb0:
+  ret void
+}",
+        )
+        .unwrap();
+        let a = m.func_by_name("a").unwrap();
+        let f = m.func(a);
+        match f.inst(lpat_core::InstId::from_index(0)) {
+            Inst::Call {
+                callee: Value::Const(c),
+                ..
+            } => {
+                assert!(matches!(m.consts.get(*c), lpat_core::Const::FuncAddr(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_pointer_in_global() {
+        roundtrip(
+            "
+declare int @impl(int)
+@vtable = constant [1 x int (int)*] [ int (int)* @impl ]
+define int @dispatch(int %x) {
+bb0:
+  %slot = getelementptr [1 x int (int)*]* @vtable, long 0, long 0
+  %fp = load int (int)** %slot
+  %r = call int %fp(int %x)
+  ret int %r
+}",
+        );
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let e = parse_module("t", "\n\ndefine bogus @f() {\nbb0:\n ret void\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse_module("t", "define void @f() {\nbb0:\n  frobnicate int 1\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_unknown_value() {
+        let e = parse_module("t", "define int @f() {\nbb0:\n  ret int %nope\n}").unwrap_err();
+        assert!(e.message.contains("nope"));
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let e = parse_module(
+            "t",
+            "define void @f() {\nbb0:\n  ret void\nbb0:\n  ret void\n}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn float_constants_roundtrip_bits() {
+        let out = roundtrip(
+            "
+define double @f() {
+bb0:
+  %x = add double 0x3FF8000000000000, 0x4000000000000000
+  ret double %x
+}",
+        );
+        assert!(out.contains("0x3FF8000000000000"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the experiment-critical code paths:
+//! the three Table 2 IPO passes, SSA construction, DSA, and the
+//! bytecode/codegen size paths (Figure 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lpat_analysis::{CallGraph, Dsa, DsaOptions};
+use lpat_core::Module;
+use lpat_transform::ipo::{run_dae, run_dge};
+use lpat_transform::pm::Pass;
+
+fn linked_module(scale: u32) -> Module {
+    let w = &lpat_workloads::suite(scale)[2]; // 176.gcc-like
+    let mut m = lpat_bench::prepare(w.name, &w.source);
+    lpat_transform::ipo::Internalize::default().run(&mut m);
+    m
+}
+
+fn bench_ipo(c: &mut Criterion) {
+    let m = linked_module(40);
+    let mut g = c.benchmark_group("table2-ipo");
+    g.bench_function("dge", |b| {
+        b.iter_with_setup(|| m.clone(), |mut m| run_dge(&mut m))
+    });
+    g.bench_function("dae", |b| {
+        b.iter_with_setup(|| m.clone(), |mut m| run_dae(&mut m))
+    });
+    g.bench_function("inline", |b| {
+        b.iter_with_setup(
+            || m.clone(),
+            |mut m| lpat_transform::inline::Inline::default().run(&mut m),
+        )
+    });
+    g.finish();
+}
+
+fn bench_mem2reg(c: &mut Criterion) {
+    let w = &lpat_workloads::suite(40)[0];
+    let m = lpat_minic::compile(w.name, &w.source).unwrap();
+    c.bench_function("mem2reg", |b| {
+        b.iter_with_setup(
+            || m.clone(),
+            |mut m| lpat_transform::mem2reg::Mem2Reg::default().run(&mut m),
+        )
+    });
+}
+
+fn bench_dsa(c: &mut Criterion) {
+    let m = linked_module(20);
+    let cg = CallGraph::build(&m);
+    c.bench_function("dsa", |b| {
+        b.iter(|| Dsa::analyze(&m, &cg, &DsaOptions::default()).access_stats())
+    });
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let m = linked_module(20);
+    let mut g = c.benchmark_group("fig5-sizes");
+    g.bench_function("bytecode-write", |b| b.iter(|| lpat_bytecode::write_module(&m).len()));
+    g.bench_function("cisc32", |b| {
+        b.iter(|| lpat_codegen::compile_module(&m, &lpat_codegen::Cisc32).total)
+    });
+    g.bench_function("risc32", |b| {
+        b.iter(|| lpat_codegen::compile_module(&m, &lpat_codegen::Risc32).total)
+    });
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let w = &lpat_workloads::suite(0)[0];
+    let m = lpat_bench::prepare(w.name, &w.source);
+    let mut g = c.benchmark_group("execution-engines");
+    g.bench_function("interp-gzip", |b| {
+        b.iter(|| {
+            let mut vm = lpat_vm::Vm::new(&m, lpat_vm::VmOptions::default()).unwrap();
+            vm.run_main().unwrap()
+        })
+    });
+    g.bench_function("jit-gzip", |b| {
+        b.iter(|| {
+            let mut vm = lpat_vm::Vm::new(&m, lpat_vm::VmOptions::default()).unwrap();
+            vm.run_main_jit().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ipo, bench_mem2reg, bench_dsa, bench_sizes, bench_interp
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerates **Table 2**: interprocedural optimization timings (seconds)
+//! for DGE, DAE, and inlining at link time, against the time a full
+//! front-end compile of the same program takes (the paper's GCC -O3
+//! reference column).
+//!
+//! Each pass runs on a fresh copy of the linked, internalized module, as
+//! the paper timed the passes individually. The final columns report the
+//! §4.1.4-style elimination counts.
+//!
+//! ```text
+//! cargo run -p lpat-bench --release --bin table2 [-- --scale N]
+//! ```
+
+use std::time::Instant;
+
+use lpat_core::Module;
+use lpat_transform::ipo::{run_dae, run_dge};
+use lpat_transform::pm::Pass;
+
+fn internalized(m: &Module) -> Module {
+    let mut c = m.clone();
+    lpat_transform::ipo::Internalize::default().run(&mut c);
+    c
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60u32);
+
+    println!("Table 2: Interprocedural optimization timings (seconds), scale={scale}\n");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>11}   {}",
+        "Benchmark", "DGE", "DAE", "inline", "full-compile", "eliminated (fns/globals/args/rets/inlined)"
+    );
+    let suite = lpat_workloads::suite(scale);
+    let mut sums = [0.0f64; 4];
+    for w in &suite {
+        // Linked module: compile + per-module pipeline (what the linker
+        // would have combined).
+        let m = lpat_bench::prepare(w.name, &w.source);
+
+        // DGE.
+        let mut c = internalized(&m);
+        let t0 = Instant::now();
+        let (fns, globals) = run_dge(&mut c);
+        let dge = t0.elapsed().as_secs_f64();
+
+        // DAE.
+        let mut c = internalized(&m);
+        let t0 = Instant::now();
+        let (args_rm, rets_rm) = run_dae(&mut c);
+        let dae = t0.elapsed().as_secs_f64();
+
+        // Inline.
+        let mut c = internalized(&m);
+        let mut inliner = lpat_transform::inline::Inline::default();
+        let t0 = Instant::now();
+        inliner.run(&mut c);
+        let inline_t = t0.elapsed().as_secs_f64();
+        let inline_stats = inliner.stats();
+
+        // Full compile (front-end + per-module -O pipeline + native
+        // codegen), the reference column.
+        let t0 = Instant::now();
+        let mut full = lpat_minic::compile(w.name, &w.source).expect("compiles");
+        lpat_transform::function_pipeline().run(&mut full);
+        let _bin = lpat_codegen::compile_module(&full, &lpat_codegen::Cisc32);
+        let gcc = t0.elapsed().as_secs_f64();
+
+        sums[0] += dge;
+        sums[1] += dae;
+        sums[2] += inline_t;
+        sums[3] += gcc;
+        println!(
+            "{:<14} {:>9.4} {:>9.4} {:>9.4} {:>11.4}   {}/{} globals, {}/{} args/rets, {}",
+            w.name, dge, dae, inline_t, gcc, fns, globals, args_rm, rets_rm, inline_stats
+        );
+    }
+    let n = suite.len() as f64;
+    println!(
+        "{:<14} {:>9.4} {:>9.4} {:>9.4} {:>11.4}",
+        "average",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n
+    );
+    let ipo_avg = (sums[0] + sums[1] + sums[2]) / (3.0 * n);
+    println!(
+        "\nIPO passes average {:.1}x faster than the full compile (paper: 'substantially less').",
+        (sums[3] / n) / ipo_avg.max(1e-9)
+    );
+}

@@ -1,0 +1,151 @@
+//! # lpat-bench — the experiment harness
+//!
+//! Shared helpers for the binaries that regenerate the paper's evaluation
+//! artifacts:
+//!
+//! * `table1` — typed load/store percentages per benchmark (Table 1);
+//! * `table2` — link-time IPO timings vs. a full compile (Table 2);
+//! * `fig5` — executable sizes: bytecode vs. cisc32 vs. risc32 (Figure 5).
+//!
+//! Run with `cargo run -p lpat-bench --release --bin <name>`.
+
+#![warn(missing_docs)]
+
+use lpat_core::Module;
+
+/// Compile one workload and run the per-module (compile-time) pipeline,
+/// producing the module as it would exist at link time.
+pub fn prepare(name: &str, source: &str) -> Module {
+    let mut m = lpat_minic::compile(name, source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    m.verify().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+    lpat_transform::function_pipeline().run(&mut m);
+    m.verify().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+    m
+}
+
+/// A simple LZ77 compressor (4 KB window, greedy longest match, byte-wise
+/// literals) used for the paper's §4.1.3 aside: general-purpose
+/// compression roughly halves bytecode files. Format: a control byte
+/// holding 8 flags (1 = match), then per item either a literal byte or a
+/// 2-byte `(offset:12, len-3:4)` match reference.
+pub fn lz_compress(data: &[u8]) -> Vec<u8> {
+    const WINDOW: usize = 4095;
+    const MIN: usize = 3;
+    const MAX: usize = 18;
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut i = 0;
+    let mut flags_at = usize::MAX;
+    let mut flag_bit = 8;
+    while i < data.len() {
+        if flag_bit == 8 {
+            flags_at = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        // Greedy search for the longest match in the window.
+        let start = i.saturating_sub(WINDOW);
+        let mut best_len = 0;
+        let mut best_off = 0;
+        let limit = (data.len() - i).min(MAX);
+        if limit >= MIN {
+            let mut j = start;
+            while j < i {
+                let mut l = 0;
+                while l < limit && data[j + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - j;
+                    if l == limit {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if best_len >= MIN {
+            out[flags_at] |= 1 << flag_bit;
+            let token = ((best_off as u16) << 4) | ((best_len - MIN) as u16);
+            out.extend_from_slice(&token.to_le_bytes());
+            i += best_len;
+        } else {
+            out.push(data[i]);
+            i += 1;
+        }
+        flag_bit += 1;
+    }
+    out
+}
+
+/// Decompress [`lz_compress`] output (used by tests to prove losslessness).
+pub fn lz_decompress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let flags = data[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= data.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                let token = u16::from_le_bytes([data[i], data[i + 1]]);
+                i += 2;
+                let off = (token >> 4) as usize;
+                let len = (token & 0xF) as usize + 3;
+                let from = out.len() - off;
+                for k in 0..len {
+                    let b = out[from + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(data[i]);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Format a byte count as fractional KB, Figure-5 style.
+pub fn kb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lz_roundtrip() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            b"hello".to_vec(),
+            b"abcabcabcabcabcabc".to_vec(),
+            (0..255u8).cycle().take(5000).collect(),
+            vec![7; 10_000],
+        ];
+        for c in cases {
+            let z = lz_compress(&c);
+            assert_eq!(lz_decompress(&z), c);
+        }
+    }
+
+    #[test]
+    fn lz_compresses_bytecode_substantially() {
+        let (_, m) = &lpat_workloads::compile_suite(10)[0];
+        let bytes = lpat_bytecode::write_module(m);
+        let z = lz_compress(&bytes);
+        let ratio = z.len() as f64 / bytes.len() as f64;
+        assert!(ratio < 0.75, "compression ratio {ratio}");
+        assert_eq!(lz_decompress(&z), bytes);
+    }
+
+    #[test]
+    fn prepare_produces_ssa_modules() {
+        let w = &lpat_workloads::suite(0)[0];
+        let m = prepare(w.name, &w.source);
+        assert!(!m.display().contains("alloca"));
+    }
+}

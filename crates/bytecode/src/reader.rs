@@ -1,0 +1,735 @@
+//! Bytecode reader: reconstructs a [`Module`] from the binary form.
+//!
+//! Most instruction result types are not stored — they are re-inferred from
+//! operand types, exactly as the in-memory builder infers them. Because a
+//! definition may appear later in block-layout order than a use (layout
+//! order is not dominance order), inference runs as a memoized depth-first
+//! resolution over the instruction operand graph.
+
+
+use lpat_core::{
+    BlockId, Const, ConstId, FuncId, GlobalId, Inst, InstId, IntKind, Linkage, Module, Type,
+    TypeId, Value,
+};
+
+use crate::format::{unpack_head, unzigzag, DecodeError, Op, Reader, MAGIC, VERSION};
+
+/// Deserialize a module from `buf`.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input. The result is not
+/// verified; run [`Module::verify`] for semantic checks.
+pub fn read_module(name: &str, buf: &[u8]) -> Result<Module, DecodeError> {
+    read_module_counting(name, buf).map(|(m, _)| m)
+}
+
+/// Like [`read_module`], additionally returning how many bytes the module
+/// payload consumed (trailing sections, e.g. attached summaries, follow).
+///
+/// # Errors
+///
+/// Same as [`read_module`].
+pub fn read_module_counting(name: &str, buf: &[u8]) -> Result<(Module, usize), DecodeError> {
+    let mut r = Reader::new(buf);
+    if r.bytes(4)? != MAGIC {
+        return Err(DecodeError("bad magic".into()));
+    }
+    if r.u32()? != VERSION {
+        return Err(DecodeError("unsupported version".into()));
+    }
+    let mut m = Module::new(name);
+    read_types(&mut m, &mut r)?;
+    let bodies = read_func_sigs(&mut m, &mut r)?;
+    let inits = read_global_heads(&mut m, &mut r)?;
+    read_consts(&mut m, &mut r)?;
+    for g in inits {
+        let c = r.vusize()?;
+        if c >= m.consts.len() {
+            return Err(DecodeError("initializer constant out of range".into()));
+        }
+        m.global_mut(g).init = Some(ConstId::from_index(c));
+    }
+    for f in bodies {
+        read_body(&mut m, f, &mut r)?;
+    }
+    Ok((m, r.pos()))
+}
+
+const N_PRIMS: usize = 12;
+
+fn tyid(m: &Module, idx: usize) -> Result<TypeId, DecodeError> {
+    m.types
+        .iter()
+        .nth(idx)
+        .map(|(id, _)| id)
+        .ok_or_else(|| DecodeError(format!("type index {idx} out of range")))
+}
+
+/// Resolve a type index that must already exist (cheap path: indices are
+/// dense, so bounds-check then construct).
+fn ty_at(m: &Module, idx: usize) -> Result<TypeId, DecodeError> {
+    if idx >= m.types.len() {
+        return Err(DecodeError(format!("type index {idx} out of range")));
+    }
+    tyid(m, idx)
+}
+
+fn read_types(m: &mut Module, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+    let n = r.vusize()?;
+    // Named struct bodies may reference later ids; defer them.
+    let mut deferred: Vec<(TypeId, Vec<usize>)> = Vec::new();
+    for i in 0..n {
+        let expected_id = N_PRIMS + i;
+        let tag = r.byte()?;
+        let made = match tag {
+            0 => {
+                let p = r.vusize()?;
+                let p = ty_at(m, p)?;
+                m.types.ptr(p)
+            }
+            1 => {
+                let e = r.vusize()?;
+                let len = r.varint()?;
+                let e = ty_at(m, e)?;
+                m.types.array(e, len)
+            }
+            2 => {
+                let k = r.vusize()?;
+                let mut fields = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let f = r.vusize()?;
+                    fields.push(ty_at(m, f)?);
+                }
+                m.types.struct_lit(fields)
+            }
+            3 => {
+                let name = r.string()?;
+                let k = r.vusize()?;
+                let mut fields = Vec::with_capacity(k);
+                for _ in 0..k {
+                    fields.push(r.vusize()?);
+                }
+                let id = m.types.named_struct(&name);
+                deferred.push((id, fields));
+                id
+            }
+            4 => {
+                let ret = r.vusize()?;
+                let k = r.vusize()?;
+                let mut params = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let p = r.vusize()?;
+                    params.push(ty_at(m, p)?);
+                }
+                let varargs = r.byte()? != 0;
+                let ret = ty_at(m, ret)?;
+                m.types.func(ret, params, varargs)
+            }
+            5 => {
+                let name = r.string()?;
+                m.types.named_struct(&name)
+            }
+            t => return Err(DecodeError(format!("bad type tag {t}"))),
+        };
+        if made.index() != expected_id {
+            return Err(DecodeError(format!(
+                "type table misalignment: entry {i} interned as {} (duplicate or reordered table)",
+                made.index()
+            )));
+        }
+    }
+    for (id, fields) in deferred {
+        let mut fs = Vec::with_capacity(fields.len());
+        for f in fields {
+            fs.push(ty_at(m, f)?);
+        }
+        m.types.set_struct_body(id, fs);
+    }
+    Ok(())
+}
+
+fn read_func_sigs(m: &mut Module, r: &mut Reader<'_>) -> Result<Vec<FuncId>, DecodeError> {
+    let n = r.vusize()?;
+    let mut bodies = Vec::new();
+    for _ in 0..n {
+        let name = r.string()?;
+        let t = r.vusize()?;
+        let t = ty_at(m, t)?;
+        let flags = r.byte()?;
+        let (ret, params, varargs) = match m.types.ty(t).clone() {
+            Type::Func {
+                ret,
+                params,
+                varargs,
+            } => (ret, params, varargs),
+            _ => return Err(DecodeError(format!("function @{name} has non-function type"))),
+        };
+        let linkage = if flags & 1 != 0 {
+            Linkage::Internal
+        } else {
+            Linkage::External
+        };
+        let id = m.add_function(&name, &params, ret, varargs, linkage);
+        if flags & 2 != 0 {
+            bodies.push(id);
+        }
+    }
+    Ok(bodies)
+}
+
+fn read_global_heads(m: &mut Module, r: &mut Reader<'_>) -> Result<Vec<GlobalId>, DecodeError> {
+    let n = r.vusize()?;
+    let mut inits = Vec::new();
+    for _ in 0..n {
+        let name = r.string()?;
+        let t = r.vusize()?;
+        let t = ty_at(m, t)?;
+        let flags = r.byte()?;
+        let linkage = if flags & 2 != 0 {
+            Linkage::Internal
+        } else {
+            Linkage::External
+        };
+        let id = m.add_global(&name, t, None, flags & 1 != 0, linkage);
+        if flags & 4 != 0 {
+            inits.push(id);
+        }
+    }
+    Ok(inits)
+}
+
+fn read_consts(m: &mut Module, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+    let n = r.vusize()?;
+    for i in 0..n {
+        let tag = r.byte()?;
+        let c = match tag {
+            0 => Const::Bool(r.byte()? != 0),
+            1 => {
+                let kind = r.byte()?;
+                let kind = *IntKind::ALL
+                    .get(kind as usize)
+                    .ok_or_else(|| DecodeError("bad int kind".into()))?;
+                Const::Int {
+                    kind,
+                    value: kind.canonicalize(unzigzag(r.varint()?)),
+                }
+            }
+            2 => {
+                let b = r.bytes(4)?;
+                Const::F32(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            }
+            3 => {
+                let b = r.bytes(8)?;
+                Const::F64(u64::from_le_bytes([
+                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+                ]))
+            }
+            4 => Const::Null(ty_at(m, r.vusize()?)?),
+            5 => Const::Undef(ty_at(m, r.vusize()?)?),
+            6 => Const::Zero(ty_at(m, r.vusize()?)?),
+            7 => {
+                let ty = ty_at(m, r.vusize()?)?;
+                let k = r.vusize()?;
+                let mut elems = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let e = r.vusize()?;
+                    if e >= i {
+                        return Err(DecodeError("forward constant reference".into()));
+                    }
+                    elems.push(ConstId::from_index(e));
+                }
+                Const::Array { ty, elems }
+            }
+            8 => {
+                let ty = ty_at(m, r.vusize()?)?;
+                let k = r.vusize()?;
+                let mut fields = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let e = r.vusize()?;
+                    if e >= i {
+                        return Err(DecodeError("forward constant reference".into()));
+                    }
+                    fields.push(ConstId::from_index(e));
+                }
+                Const::Struct { ty, fields }
+            }
+            9 => {
+                let g = r.vusize()?;
+                if g >= m.num_globals() {
+                    return Err(DecodeError("global index out of range".into()));
+                }
+                Const::GlobalAddr(GlobalId::from_index(g))
+            }
+            10 => {
+                let f = r.vusize()?;
+                if f >= m.num_funcs() {
+                    return Err(DecodeError("function index out of range".into()));
+                }
+                Const::FuncAddr(FuncId::from_index(f))
+            }
+            t => return Err(DecodeError(format!("bad constant tag {t}"))),
+        };
+        let id = m.consts.intern(c);
+        if id.index() != i {
+            return Err(DecodeError(
+                "constant table misalignment (duplicate entry)".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Decode a tagged valnum relative to instruction index `cur`.
+fn decode_value(m: &Module, cur: usize, n_insts: usize, v: u64) -> Result<Value, DecodeError> {
+    match v & 3 {
+        0 => {
+            let rel = unzigzag(v >> 2);
+            let def = cur as i64 - rel;
+            if def < 0 || def as usize >= n_insts {
+                return Err(DecodeError(format!("instruction reference {def} out of range")));
+            }
+            Ok(Value::Inst(InstId::from_index(def as usize)))
+        }
+        1 => Ok(Value::Arg((v >> 2) as u32)),
+        2 => {
+            let c = (v >> 2) as usize;
+            if c >= m.consts.len() {
+                return Err(DecodeError("constant reference out of range".into()));
+            }
+            Ok(Value::Const(ConstId::from_index(c)))
+        }
+        t => Err(DecodeError(format!("bad value tag {t}"))),
+    }
+}
+
+fn read_body(m: &mut Module, fid: FuncId, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+    let n_blocks = r.vusize()?;
+    // First read the raw block structure so the total instruction count is
+    // known before decoding operands (relative references need it).
+    let mut block_lens = Vec::with_capacity(n_blocks);
+    let _raw: Vec<(Op, u8, u32, u32)> = Vec::new();
+    // We must interleave: instruction extended data follows each head word,
+    // so decode in one pass but defer range checks on forward refs by using
+    // a provisional (large) count and re-checking after.
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut declared: Vec<Option<TypeId>> = Vec::new();
+    for _ in 0..n_blocks {
+        let len = r.vusize()?;
+        block_lens.push(len);
+        for _ in 0..len {
+            let cur = insts.len();
+            let (inst, dec) = read_inst(m, r, cur)?;
+            insts.push(inst);
+            declared.push(dec);
+        }
+    }
+    let n_insts = insts.len();
+    // Validate instruction and block references now that totals are known.
+    for (i, inst) in insts.iter().enumerate() {
+        let mut bad = None;
+        inst.for_each_operand(|v| {
+            if let Value::Inst(d) = v {
+                if d.index() >= n_insts {
+                    bad = Some(d.index());
+                }
+            }
+        });
+        if let Some(b) = bad {
+            return Err(DecodeError(format!(
+                "instruction {i} references out-of-range %t{b}"
+            )));
+        }
+        for s in inst.successors() {
+            if s.index() >= n_blocks {
+                return Err(DecodeError(format!("branch to missing block {}", s.index())));
+            }
+        }
+    }
+    resolve_types(m, fid, &insts, &mut declared)?;
+    // Materialize.
+    let f = m.func_mut(fid);
+    let mut it = insts.into_iter().zip(declared);
+    for &len in &block_lens {
+        let b = f.add_block();
+        for _ in 0..len {
+            let (inst, ty) = it.next().expect("counted above");
+            f.append_inst(b, inst, ty.expect("resolved"));
+        }
+    }
+    Ok(())
+}
+
+/// Decode one instruction; returns it plus its declared type when the
+/// encoding stores one (`phi`, `cast`, allocations, `vaarg`).
+fn read_inst(
+    m: &mut Module,
+    r: &mut Reader<'_>,
+    cur: usize,
+) -> Result<(Inst, Option<TypeId>), DecodeError> {
+    let (opb, fmt, a, b) = unpack_head(r.u32()?);
+    let op = Op::from_u8(opb).ok_or_else(|| DecodeError(format!("bad opcode {opb}")))?;
+    // Operand fetch: inline from fields when fmt == 0, else trailing
+    // varints in field order.
+    let big = usize::MAX; // placeholder: forward refs checked later
+    let _ = big;
+    let mut inline = [a as u64, b as u64];
+    let mut idx = 0usize;
+    let mut operand = |r: &mut Reader<'_>| -> Result<u64, DecodeError> {
+        if fmt == 0 {
+            let v = inline[idx];
+            idx += 1;
+            debug_assert!(idx <= 2);
+            Ok(v)
+        } else {
+            let _ = &mut inline;
+            r.varint()
+        }
+    };
+    // `decode_value` can't range-check forward refs yet, so pass a large
+    // provisional instruction count; `read_body` re-validates.
+    let val = |m: &Module, v: u64| decode_value(m, cur, usize::MAX / 2, v);
+    let ty_field = |m: &Module, v: u64| ty_at(m, v as usize);
+    Ok(match op {
+        Op::RetVoid => (Inst::Ret(None), None),
+        Op::RetVal => {
+            let v = operand(r)?;
+            (Inst::Ret(Some(val(m, v)?)), None)
+        }
+        Op::Br => {
+            let t = operand(r)?;
+            (Inst::Br(BlockId::from_index(t as usize)), None)
+        }
+        Op::CondBr => {
+            let cond = operand(r)?;
+            let cond = val(m, cond)?;
+            let t = r.vusize()?;
+            let e = r.vusize()?;
+            (
+                Inst::CondBr {
+                    cond,
+                    then_bb: BlockId::from_index(t),
+                    else_bb: BlockId::from_index(e),
+                },
+                None,
+            )
+        }
+        Op::Switch => {
+            let v = r.varint()?;
+            let v = val(m, v)?;
+            let default = BlockId::from_index(r.vusize()?);
+            let k = r.vusize()?;
+            let mut cases = Vec::with_capacity(k);
+            for _ in 0..k {
+                let c = r.vusize()?;
+                if c >= m.consts.len() {
+                    return Err(DecodeError("switch case constant out of range".into()));
+                }
+                let b = BlockId::from_index(r.vusize()?);
+                cases.push((ConstId::from_index(c), b));
+            }
+            (
+                Inst::Switch {
+                    val: v,
+                    default,
+                    cases,
+                },
+                None,
+            )
+        }
+        Op::Invoke => {
+            let callee = r.varint()?;
+            let callee = val(m, callee)?;
+            let k = r.vusize()?;
+            let mut args = Vec::with_capacity(k);
+            for _ in 0..k {
+                let a = r.varint()?;
+                args.push(val(m, a)?);
+            }
+            let normal = BlockId::from_index(r.vusize()?);
+            let unwind = BlockId::from_index(r.vusize()?);
+            (
+                Inst::Invoke {
+                    callee,
+                    args,
+                    normal,
+                    unwind,
+                },
+                None,
+            )
+        }
+        Op::Unwind => (Inst::Unwind, None),
+        Op::Unreachable => (Inst::Unreachable, None),
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Shl
+        | Op::Shr => {
+            let l = operand(r)?;
+            let rr = operand(r)?;
+            (
+                Inst::Bin {
+                    op: op.to_bin().unwrap(),
+                    lhs: val(m, l)?,
+                    rhs: val(m, rr)?,
+                },
+                None,
+            )
+        }
+        Op::SetEq | Op::SetNe | Op::SetLt | Op::SetGt | Op::SetLe | Op::SetGe => {
+            let l = operand(r)?;
+            let rr = operand(r)?;
+            (
+                Inst::Cmp {
+                    pred: op.to_pred().unwrap(),
+                    lhs: val(m, l)?,
+                    rhs: val(m, rr)?,
+                },
+                Some(m.types.bool_()),
+            )
+        }
+        Op::Malloc | Op::Alloca => {
+            let t = operand(r)?;
+            let elem_ty = ty_field(m, t)?;
+            let pty = m.types.ptr(elem_ty);
+            let inst = if op == Op::Malloc {
+                Inst::Malloc {
+                    elem_ty,
+                    count: None,
+                }
+            } else {
+                Inst::Alloca {
+                    elem_ty,
+                    count: None,
+                }
+            };
+            (inst, Some(pty))
+        }
+        Op::MallocN | Op::AllocaN => {
+            let t = operand(r)?;
+            let c = operand(r)?;
+            let elem_ty = ty_field(m, t)?;
+            let count = Some(val(m, c)?);
+            let pty = m.types.ptr(elem_ty);
+            let inst = if op == Op::MallocN {
+                Inst::Malloc { elem_ty, count }
+            } else {
+                Inst::Alloca { elem_ty, count }
+            };
+            (inst, Some(pty))
+        }
+        Op::Free => {
+            let p = operand(r)?;
+            (Inst::Free(val(m, p)?), None)
+        }
+        Op::Load => {
+            let p = operand(r)?;
+            (Inst::Load { ptr: val(m, p)? }, None)
+        }
+        Op::Store => {
+            let v = operand(r)?;
+            let p = operand(r)?;
+            (
+                Inst::Store {
+                    val: val(m, v)?,
+                    ptr: val(m, p)?,
+                },
+                None,
+            )
+        }
+        Op::Gep => {
+            let p = operand(r)?;
+            let ptr = val(m, p)?;
+            let k = r.vusize()?;
+            let mut indices = Vec::with_capacity(k);
+            for _ in 0..k {
+                let i = r.varint()?;
+                indices.push(val(m, i)?);
+            }
+            (Inst::Gep { ptr, indices }, None)
+        }
+        Op::Phi => {
+            let t = operand(r)?;
+            let ty = ty_field(m, t)?;
+            let k = r.vusize()?;
+            let mut incoming = Vec::with_capacity(k);
+            for _ in 0..k {
+                let v = r.varint()?;
+                let v = val(m, v)?;
+                let b = BlockId::from_index(r.vusize()?);
+                incoming.push((v, b));
+            }
+            (Inst::Phi { incoming }, Some(ty))
+        }
+        Op::Call => {
+            let c = operand(r)?;
+            let callee = val(m, c)?;
+            let k = r.vusize()?;
+            let mut args = Vec::with_capacity(k);
+            for _ in 0..k {
+                let a = r.varint()?;
+                args.push(val(m, a)?);
+            }
+            (Inst::Call { callee, args }, None)
+        }
+        Op::Cast => {
+            let v = operand(r)?;
+            let t = operand(r)?;
+            let to = ty_field(m, t)?;
+            (
+                Inst::Cast {
+                    val: val(m, v)?,
+                    to,
+                },
+                Some(to),
+            )
+        }
+        Op::VaArg => {
+            let t = operand(r)?;
+            let ty = ty_field(m, t)?;
+            (Inst::VaArg { ty }, Some(ty))
+        }
+    })
+}
+
+/// Infer the result types not stored in the encoding, resolving operand
+/// dependencies depth-first with an explicit stack (layout order is not
+/// dominance order, so a plain forward scan does not suffice).
+fn resolve_types(
+    m: &mut Module,
+    fid: FuncId,
+    insts: &[Inst],
+    declared: &mut [Option<TypeId>],
+) -> Result<(), DecodeError> {
+    let params: Vec<TypeId> = m.func(fid).params().to_vec();
+    let n = insts.len();
+    let mut visiting = vec![false; n];
+    for start in 0..n {
+        if declared[start].is_some() {
+            continue;
+        }
+        let mut stack = vec![start];
+        while let Some(&i) = stack.last() {
+            if declared[i].is_some() {
+                stack.pop();
+                continue;
+            }
+            // Find unresolved operand dependencies.
+            let mut pending = None;
+            let mut cycle = None;
+            deps_of(&insts[i], |d| {
+                if pending.is_none() && declared[d.index()].is_none() {
+                    if visiting[d.index()] {
+                        cycle = Some(d.index());
+                    } else {
+                        pending = Some(d.index());
+                    }
+                }
+            });
+            if let Some(c) = cycle {
+                return Err(DecodeError(format!(
+                    "type dependency cycle through instruction {c}"
+                )));
+            }
+            if let Some(p) = pending {
+                visiting[i] = true;
+                stack.push(p);
+                continue;
+            }
+            let ty = compute_type(m, &params, insts, declared, i)?;
+            declared[i] = Some(ty);
+            visiting[i] = false;
+            stack.pop();
+        }
+    }
+    Ok(())
+}
+
+/// Instruction-result dependencies needed to compute `inst`'s type.
+fn deps_of(inst: &Inst, mut f: impl FnMut(InstId)) {
+    let mut dep = |v: &Value| {
+        if let Value::Inst(d) = v {
+            f(*d)
+        }
+    };
+    match inst {
+        Inst::Bin { lhs, .. } => dep(lhs),
+        Inst::Load { ptr } | Inst::Gep { ptr, .. } => dep(ptr),
+        Inst::Call { callee, .. } | Inst::Invoke { callee, .. } => dep(callee),
+        _ => {}
+    }
+}
+
+fn compute_type(
+    m: &mut Module,
+    params: &[TypeId],
+    insts: &[Inst],
+    declared: &[Option<TypeId>],
+    i: usize,
+) -> Result<TypeId, DecodeError> {
+    let vt = |m: &Module, v: &Value| -> Result<TypeId, DecodeError> {
+        Ok(match v {
+            Value::Inst(d) => declared[d.index()].expect("dependency resolved first"),
+            Value::Arg(n) => *params
+                .get(*n as usize)
+                .ok_or_else(|| DecodeError("argument index out of range".into()))?,
+            Value::Const(c) => m.const_type(*c),
+        })
+    };
+    Ok(match &insts[i] {
+        Inst::Bin { lhs, .. } => vt(m, lhs)?,
+        Inst::Load { ptr } => {
+            let p = vt(m, ptr)?;
+            m.types
+                .pointee(p)
+                .ok_or_else(|| DecodeError("load through non-pointer".into()))?
+        }
+        Inst::Gep { ptr, indices } => {
+            let base = vt(m, ptr)?;
+            let mut cur = m
+                .types
+                .pointee(base)
+                .ok_or_else(|| DecodeError("gep base is not a pointer".into()))?;
+            for (k, idx) in indices.iter().enumerate() {
+                if k == 0 {
+                    continue;
+                }
+                match m.types.ty(cur).clone() {
+                    Type::Struct { fields, .. } => {
+                        let c = match idx {
+                            Value::Const(c) => *c,
+                            _ => return Err(DecodeError("struct index not constant".into())),
+                        };
+                        let (_, v) = m
+                            .consts
+                            .as_int(c)
+                            .ok_or_else(|| DecodeError("struct index not integer".into()))?;
+                        cur = *fields
+                            .get(v as usize)
+                            .ok_or_else(|| DecodeError("struct index out of range".into()))?;
+                    }
+                    Type::Array { elem, .. } => cur = elem,
+                    _ => return Err(DecodeError("gep into non-aggregate".into())),
+                }
+            }
+            m.types.ptr(cur)
+        }
+        Inst::Call { callee, .. } | Inst::Invoke { callee, .. } => {
+            let ct = vt(m, callee)?;
+            let fnty = m
+                .types
+                .pointee(ct)
+                .ok_or_else(|| DecodeError("call through non-pointer".into()))?;
+            m.types
+                .func_ret(fnty)
+                .ok_or_else(|| DecodeError("call through non-function".into()))?
+        }
+        // Everything else is void or had a declared type.
+        _ => m.types.void(),
+    })
+}

@@ -1,0 +1,151 @@
+//! The `cisc32` target: an x86-shaped 32-bit CISC encoding model.
+//!
+//! Variable-width instructions (1–10 bytes), two-address ALU ops that can
+//! fold one memory operand, 8-bit short forms for small immediates and
+//! displacements, stack-based argument passing, and short/near jump forms.
+//! Eight architectural registers, six allocatable.
+
+use lpat_core::BinOp;
+
+use crate::lower::RegBudget;
+use crate::mir::{MInst, MKind, Src};
+use crate::target::Target;
+
+/// The x86-shaped target.
+#[derive(Default)]
+pub struct Cisc32;
+
+fn imm_size(v: i64) -> usize {
+    if (-128..=127).contains(&v) {
+        1
+    } else {
+        4
+    }
+}
+
+/// Size of using `s` as the folded operand of an ALU/mov op (0 when it is
+/// a register; ModRM is counted in the base).
+fn operand_extra(s: &Src) -> usize {
+    match s {
+        Src::Loc(crate::mir::Loc::Reg(_)) => 0,
+        Src::Loc(crate::mir::Loc::Slot(off)) => {
+            if *off < 128 {
+                1 // disp8
+            } else {
+                4 // disp32
+            }
+        }
+        Src::Imm(v) => imm_size(*v),
+    }
+}
+
+/// Reload cost for memory operands beyond the one the instruction folds.
+fn extra_mem_reloads(srcs: &[Src], foldable: usize) -> usize {
+    let mems = srcs.iter().filter(|s| s.is_mem()).count();
+    mems.saturating_sub(foldable) * 3 // mov r, [bp+disp8]
+}
+
+impl Target for Cisc32 {
+    fn name(&self) -> &'static str {
+        "cisc32 (x86-like)"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "x86"
+    }
+
+    fn reg_budget(&self) -> RegBudget {
+        RegBudget { gprs: 6 }
+    }
+
+    fn size_inst(&self, i: &MInst, next: Option<&MInst>) -> (usize, bool) {
+        let dst_mem_extra = match i.dst {
+            Some(crate::mir::Loc::Slot(_)) => 3, // store of the result
+            _ => 0,
+        };
+        match &i.kind {
+            MKind::Mov => {
+                if i.srcs.is_empty() {
+                    return (0, false); // void return-value move
+                }
+                (2 + operand_extra(&i.srcs[0]) + dst_mem_extra, false)
+            }
+            MKind::Bin(op) => {
+                let base = match op {
+                    BinOp::Mul => 3,                  // imul r, r/m
+                    BinOp::Div | BinOp::Rem => 5,     // cdq + idiv + fixups
+                    BinOp::Shl | BinOp::Shr => 3,     // shift r/m, imm/cl
+                    _ => 2,                           // ALU r, r/m
+                };
+                let extra: usize = i.srcs.iter().map(operand_extra).sum::<usize>()
+                    + extra_mem_reloads(&i.srcs, 1);
+                (base + extra.min(10) + dst_mem_extra, false)
+            }
+            MKind::Cmp(_) => {
+                // Fuse cmp+jcc when the next instruction consumes the flag.
+                let cmp = 2
+                    + i.srcs.iter().map(operand_extra).sum::<usize>().min(5)
+                    + extra_mem_reloads(&i.srcs, 1);
+                if let Some(MInst {
+                    kind: MKind::CondJump(_),
+                    srcs,
+                    ..
+                }) = next
+                {
+                    if srcs.first() == i.dst.map(|d| Src::Loc(d)).as_ref() {
+                        return (cmp + 2, true); // cmp + jcc rel8
+                    }
+                }
+                (cmp + 3 + dst_mem_extra, false) // cmp + setcc r
+            }
+            MKind::Cast => (3 + operand_extra(&i.srcs[0]) + dst_mem_extra, false),
+            MKind::Load(sz) => {
+                let wide = if *sz == 8 { 1 } else { 0 };
+                (2 + 1 + wide + extra_mem_reloads(&i.srcs, 0) + dst_mem_extra, false)
+            }
+            MKind::Store(sz) => {
+                let wide = if *sz == 8 { 1 } else { 0 };
+                let imm = i.srcs.first().and_then(Src::imm).map(imm_size).unwrap_or(0);
+                (
+                    2 + 1 + wide + imm + extra_mem_reloads(&i.srcs[1..], 0),
+                    false,
+                )
+            }
+            MKind::Lea { scale, disp } => {
+                let sib = if *scale > 1 { 1 } else { 0 };
+                (2 + sib + imm_size(*disp) + extra_mem_reloads(&i.srcs, 0) + dst_mem_extra, false)
+            }
+            MKind::Jump(_) => (2, false),      // jmp rel8 (relaxed to rel32 rarely)
+            MKind::CondJump(_) => (2 + 2, false), // test r,r + jcc rel8
+            MKind::JumpTable(_) => (12, false),   // cmp + ja + jmp [tbl+r*4]
+            MKind::Call { nargs } => {
+                // push per argument + call rel32 + stack cleanup.
+                let pushes: usize = i
+                    .srcs
+                    .iter()
+                    .map(|s| match s {
+                        Src::Loc(crate::mir::Loc::Reg(_)) => 1,
+                        Src::Loc(crate::mir::Loc::Slot(_)) => 3,
+                        Src::Imm(v) => 1 + imm_size(*v),
+                    })
+                    .sum::<usize>()
+                    .max(*nargs); // calls lowered without explicit srcs
+                (pushes + 5 + if *nargs > 0 { 3 } else { 0 } + dst_mem_extra, false)
+            }
+            MKind::Ret => (1, false),
+            MKind::Prologue { frame } => {
+                let sub = if *frame == 0 {
+                    0
+                } else {
+                    3 + imm_size(*frame as i64)
+                };
+                (3 + sub, false) // push bp; mov bp, sp; [sub sp, n]
+            }
+            MKind::Epilogue => (1, false), // leave
+        }
+    }
+
+    fn jump_table_data(&self, cases: usize) -> usize {
+        4 * cases
+    }
+}

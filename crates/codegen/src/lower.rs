@@ -1,0 +1,473 @@
+//! IR → machine-IR lowering with linear-scan register allocation.
+
+use std::collections::HashMap;
+
+use lpat_core::{BinOp, Const, FuncId, Function, Inst, InstId, Module, Type, Value};
+
+use crate::mir::{Loc, MFunc, MInst, MKind, PReg, Src};
+
+/// Register budget of a target.
+#[derive(Copy, Clone, Debug)]
+pub struct RegBudget {
+    /// Allocatable general-purpose registers.
+    pub gprs: u8,
+}
+
+/// Lower one function.
+pub fn lower_function(m: &Module, fid: FuncId, budget: RegBudget) -> MFunc {
+    let f = m.func(fid);
+    if f.is_declaration() {
+        return MFunc {
+            name: f.name.clone(),
+            ..MFunc::default()
+        };
+    }
+    let (locs, spill_slots) = allocate(m, f, budget);
+    let mut static_alloca = 0u32;
+
+    // Pre-scan static allocas so they become frame offsets.
+    let mut alloca_offsets: HashMap<InstId, u32> = HashMap::new();
+    for iid in f.inst_ids_in_order() {
+        if let Inst::Alloca {
+            elem_ty,
+            count: None,
+        } = f.inst(iid)
+        {
+            alloca_offsets.insert(iid, static_alloca);
+            static_alloca += m.types.size_of(*elem_ty).max(1) as u32;
+            static_alloca = (static_alloca + 7) & !7;
+        }
+    }
+    let frame_size = spill_slots * 8 + static_alloca;
+
+    let src_of = |v: Value| -> Src {
+        match v {
+            Value::Inst(i) => Src::Loc(locs[&ValKey::Inst(i)]),
+            Value::Arg(n) => Src::Loc(locs[&ValKey::Arg(n)]),
+            Value::Const(c) => match m.consts.get(c) {
+                Const::Bool(b) => Src::Imm(*b as i64),
+                Const::Int { value, .. } => Src::Imm(*value),
+                Const::Null(_) => Src::Imm(0),
+                Const::Undef(_) | Const::Zero(_) => Src::Imm(0),
+                // Floats live in a constant pool: modeled as a memory read.
+                Const::F32(_) | Const::F64(_) => Src::Loc(Loc::Slot(u32::MAX)),
+                // Symbol addresses are link-time immediates.
+                Const::GlobalAddr(_) | Const::FuncAddr(_) => Src::Imm(0x0040_0000),
+                Const::Array { .. } | Const::Struct { .. } => Src::Imm(0),
+            },
+        }
+    };
+    let dst_of = |i: InstId| -> Option<Loc> { locs.get(&ValKey::Inst(i)).copied() };
+
+    let mut blocks: Vec<Vec<MInst>> = Vec::with_capacity(f.num_blocks());
+    for b in f.block_ids() {
+        let mut out: Vec<MInst> = Vec::new();
+        if b == f.entry() {
+            out.push(MInst::new(
+                MKind::Prologue { frame: frame_size },
+                None,
+                vec![],
+            ));
+        }
+        let insts = f.block_insts(b);
+        for (pos, &iid) in insts.iter().enumerate() {
+            let is_last = pos + 1 == insts.len();
+            let inst = f.inst(iid).clone();
+            // φ-copies belong at the *end* of predecessors; before emitting
+            // a terminator, emit copies for every successor φ.
+            if is_last && inst.is_terminator() {
+                for s in inst.successors() {
+                    for &pid in f.block_insts(s) {
+                        if let Inst::Phi { incoming } = f.inst(pid) {
+                            if let Some((v, _)) = incoming.iter().find(|(_, pb)| *pb == b) {
+                                out.push(MInst::new(
+                                    MKind::Mov,
+                                    dst_of(pid),
+                                    vec![src_of(*v)],
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            match inst {
+                Inst::Phi { .. } => {} // handled at predecessor ends
+                Inst::Bin { op, lhs, rhs } => out.push(MInst::new(
+                    MKind::Bin(op),
+                    dst_of(iid),
+                    vec![src_of(lhs), src_of(rhs)],
+                )),
+                Inst::Cmp { pred, lhs, rhs } => out.push(MInst::new(
+                    MKind::Cmp(pred),
+                    dst_of(iid),
+                    vec![src_of(lhs), src_of(rhs)],
+                )),
+                Inst::Cast { val, .. } => out.push(MInst::new(
+                    MKind::Cast,
+                    dst_of(iid),
+                    vec![src_of(val)],
+                )),
+                Inst::Load { ptr } => {
+                    let size = first_class_size(m, f.inst_ty(iid));
+                    out.push(MInst::new(
+                        MKind::Load(size),
+                        dst_of(iid),
+                        vec![src_of(ptr)],
+                    ));
+                }
+                Inst::Store { val, ptr } => {
+                    let size = first_class_size(m, m.value_type(f, val));
+                    out.push(MInst::new(
+                        MKind::Store(size),
+                        None,
+                        vec![src_of(val), src_of(ptr)],
+                    ));
+                }
+                Inst::Gep { ptr, indices } => {
+                    lower_gep(m, f, iid, ptr, &indices, &src_of, dst_of(iid), &mut out);
+                }
+                Inst::Alloca { count: None, .. } => {
+                    // Static alloca: address = frame base + offset.
+                    out.push(MInst::new(
+                        MKind::Lea {
+                            scale: 0,
+                            disp: alloca_offsets[&iid] as i64,
+                        },
+                        dst_of(iid),
+                        vec![Src::Imm(0)],
+                    ));
+                }
+                Inst::Alloca { count: Some(c), .. } => {
+                    // Dynamic stack adjustment.
+                    out.push(MInst::new(
+                        MKind::Bin(BinOp::Sub),
+                        dst_of(iid),
+                        vec![Src::Imm(0), src_of(c)],
+                    ));
+                }
+                Inst::Malloc { count, .. } => {
+                    let nargs = 1 + count.is_some() as usize;
+                    out.push(MInst::new(MKind::Call { nargs }, dst_of(iid), vec![]));
+                }
+                Inst::Free(p) => {
+                    out.push(MInst::new(MKind::Call { nargs: 1 }, None, vec![src_of(p)]));
+                }
+                Inst::VaArg { .. } => {
+                    out.push(MInst::new(MKind::Load(4), dst_of(iid), vec![Src::Imm(0)]));
+                }
+                Inst::Call { args, .. } => {
+                    let srcs: Vec<Src> = args.iter().map(|&a| src_of(a)).collect();
+                    out.push(MInst::new(
+                        MKind::Call { nargs: args.len() },
+                        dst_of(iid),
+                        srcs,
+                    ));
+                }
+                Inst::Invoke {
+                    args, normal, ..
+                } => {
+                    // Call followed by a jump to the normal destination;
+                    // the unwind edge costs a landing-pad table entry,
+                    // modeled in the data section, not code.
+                    let srcs: Vec<Src> = args.iter().map(|&a| src_of(a)).collect();
+                    out.push(MInst::new(
+                        MKind::Call { nargs: args.len() },
+                        dst_of(iid),
+                        srcs,
+                    ));
+                    if normal.index() != b.index() + 1 {
+                        out.push(MInst::new(MKind::Jump(normal.index()), None, vec![]));
+                    }
+                }
+                Inst::Br(t) => {
+                    if t.index() != b.index() + 1 {
+                        out.push(MInst::new(MKind::Jump(t.index()), None, vec![]));
+                    }
+                }
+                Inst::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    out.push(MInst::new(
+                        MKind::CondJump(then_bb.index()),
+                        None,
+                        vec![src_of(cond)],
+                    ));
+                    if else_bb.index() != b.index() + 1 {
+                        out.push(MInst::new(MKind::Jump(else_bb.index()), None, vec![]));
+                    }
+                }
+                Inst::Switch { val, cases, default } => {
+                    out.push(MInst::new(
+                        MKind::JumpTable(cases.len()),
+                        None,
+                        vec![src_of(val)],
+                    ));
+                    let _ = default;
+                }
+                Inst::Ret(v) => {
+                    let srcs = v.map(|v| vec![src_of(v)]).unwrap_or_default();
+                    out.push(MInst::new(MKind::Mov, None, srcs.clone()));
+                    out.push(MInst::new(MKind::Epilogue, None, vec![]));
+                    out.push(MInst::new(MKind::Ret, None, vec![]));
+                }
+                Inst::Unwind | Inst::Unreachable => {
+                    out.push(MInst::new(MKind::Call { nargs: 0 }, None, vec![]));
+                }
+            }
+        }
+        blocks.push(out);
+    }
+    MFunc {
+        blocks,
+        frame_size,
+        name: f.name.clone(),
+    }
+}
+
+fn first_class_size(m: &Module, ty: lpat_core::TypeId) -> u8 {
+    match m.types.ty(ty) {
+        Type::Bool => 1,
+        Type::Int(k) => k.bytes() as u8,
+        Type::F32 => 4,
+        Type::F64 => 8,
+        Type::Ptr(_) => 4,
+        _ => 4,
+    }
+}
+
+/// Lower a GEP into lea/mul-add chains.
+fn lower_gep(
+    m: &Module,
+    f: &Function,
+    iid: InstId,
+    ptr: Value,
+    indices: &[Value],
+    src_of: &dyn Fn(Value) -> Src,
+    dst: Option<Loc>,
+    out: &mut Vec<MInst>,
+) {
+    let tys = &m.types;
+    let mut cur = tys
+        .pointee(m.value_type(f, ptr))
+        .expect("verified gep base");
+    let mut disp: i64 = 0;
+    let mut parts: Vec<(Src, u32)> = Vec::new(); // (index, scale)
+    for (k, &idx) in indices.iter().enumerate() {
+        let scale_ty = if k == 0 { cur } else { cur };
+        if k > 0 {
+            match tys.ty(cur).clone() {
+                Type::Struct { fields, .. } => {
+                    let fi = match idx {
+                        Value::Const(c) => m.consts.as_int(c).map(|(_, v)| v).unwrap_or(0) as usize,
+                        _ => 0,
+                    };
+                    disp += tys.field_offset(cur, fi.min(fields.len() - 1)) as i64;
+                    cur = fields[fi.min(fields.len() - 1)];
+                    continue;
+                }
+                Type::Array { elem, .. } => {
+                    cur = elem;
+                }
+                _ => {}
+            }
+        }
+        let scale = tys.size_of(if k == 0 { scale_ty } else { cur }) as u32;
+        match idx {
+            Value::Const(c) => {
+                let v = m.consts.as_int(c).map(|(_, v)| v).unwrap_or(0);
+                disp += v * scale as i64;
+            }
+            other => parts.push((src_of(other), scale)),
+        }
+    }
+    let base = src_of(ptr);
+    match parts.len() {
+        0 => out.push(MInst::new(MKind::Lea { scale: 0, disp }, dst, vec![base])),
+        _ => {
+            // base + idx0*s0 (lea), further parts as mul+add pairs.
+            let (i0, s0) = parts[0];
+            out.push(MInst::new(
+                MKind::Lea { scale: s0, disp },
+                dst,
+                vec![base, i0],
+            ));
+            // Each further variable index: product into the destination
+            // (as scratch), then accumulate it onto the address.
+            let acc = Src::Loc(dst.unwrap_or(Loc::Slot(0)));
+            for &(ix, sx) in &parts[1..] {
+                out.push(MInst::new(
+                    MKind::Bin(BinOp::Mul),
+                    dst,
+                    vec![ix, Src::Imm(sx as i64)],
+                ));
+                out.push(MInst::new(MKind::Bin(BinOp::Add), dst, vec![acc, ix]));
+            }
+        }
+    }
+    let _ = iid;
+}
+
+// ----------------------------------------------------------------------
+// Linear-scan register allocation
+// ----------------------------------------------------------------------
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum ValKey {
+    Inst(InstId),
+    Arg(u32),
+}
+
+/// Compute locations for every SSA value; returns the map and the number
+/// of spill slots used.
+fn allocate(m: &Module, f: &Function, budget: RegBudget) -> (HashMap<ValKey, Loc>, u32) {
+    let _ = m;
+    // Linear indices.
+    let mut index: HashMap<InstId, usize> = HashMap::new();
+    for (i, iid) in f.inst_ids_in_order().enumerate() {
+        index.insert(iid, i + 1); // 0 reserved for args
+    }
+    // Intervals.
+    let mut start: HashMap<ValKey, usize> = HashMap::new();
+    let mut end: HashMap<ValKey, usize> = HashMap::new();
+    for a in 0..f.num_params() as u32 {
+        start.insert(ValKey::Arg(a), 0);
+        end.insert(ValKey::Arg(a), 0);
+    }
+    for iid in f.inst_ids_in_order() {
+        let i = index[&iid];
+        start.insert(ValKey::Inst(iid), i);
+        end.insert(ValKey::Inst(iid), i);
+    }
+    // Uses extend intervals; φ-uses extend to the predecessor's terminator.
+    let term_index: HashMap<lpat_core::BlockId, usize> = f
+        .block_ids()
+        .filter_map(|b| f.terminator(b).map(|t| (b, index[&t])))
+        .collect();
+    for b in f.block_ids() {
+        for &iid in f.block_insts(b) {
+            let at = index[&iid];
+            match f.inst(iid) {
+                Inst::Phi { incoming } => {
+                    for (v, pb) in incoming {
+                        let key = match v {
+                            Value::Inst(d) => ValKey::Inst(*d),
+                            Value::Arg(n) => ValKey::Arg(*n),
+                            _ => continue,
+                        };
+                        let upto = term_index.get(pb).copied().unwrap_or(at);
+                        let e = end.entry(key).or_insert(0);
+                        *e = (*e).max(upto);
+                    }
+                }
+                other => other.for_each_operand(|v| {
+                    let key = match v {
+                        Value::Inst(d) => ValKey::Inst(d),
+                        Value::Arg(n) => ValKey::Arg(n),
+                        _ => return,
+                    };
+                    let e = end.entry(key).or_insert(0);
+                    *e = (*e).max(at);
+                }),
+            }
+        }
+    }
+    // Any value whose range crosses a loop back edge is conservatively
+    // extended to the last back-edge source: values live around a loop
+    // must not share registers with loop-local ones. This errs towards
+    // more spills, which is safe for the size model.
+    let mut back_edge_max: usize = 0;
+    for b in f.block_ids() {
+        if f.successors(b).into_iter().any(|s| s.index() <= b.index()) {
+            back_edge_max = back_edge_max.max(term_index.get(&b).copied().unwrap_or(0));
+        }
+    }
+    let keys: Vec<ValKey> = start.keys().copied().collect();
+    for k in keys {
+        let s = start[&k];
+        let e = end[&k];
+        if e > s && s < back_edge_max && e >= s {
+            // Live across a region containing back edges: extend.
+            if e < back_edge_max && crosses_back_edge(f, &index, k, s, e) {
+                end.insert(k, back_edge_max);
+            }
+        }
+    }
+
+    // Sort by start; linear scan.
+    let mut vals: Vec<ValKey> = start.keys().copied().collect();
+    vals.sort_by_key(|k| (start[&k], end[&k]));
+    let mut active: Vec<(ValKey, usize, PReg)> = Vec::new(); // (val, end, reg)
+    let mut free: Vec<PReg> = (0..budget.gprs).rev().map(PReg).collect();
+    let mut locs: HashMap<ValKey, Loc> = HashMap::new();
+    let mut spill_slots = 0u32;
+    for k in vals {
+        let s = start[&k];
+        let e = end[&k];
+        if e <= s && !matches!(k, ValKey::Arg(_)) {
+            // Dead value: give it a register transiently if available,
+            // else a slot; it costs nothing either way.
+            if let Some(r) = free.last() {
+                locs.insert(k, Loc::Reg(*r));
+            } else {
+                locs.insert(k, Loc::Slot(spill_slots * 8));
+                spill_slots += 1;
+            }
+            continue;
+        }
+        // Expire.
+        active.retain(|&(_, ae, r)| {
+            if ae < s {
+                free.push(r);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(r) = free.pop() {
+            active.push((k, e, r));
+            locs.insert(k, Loc::Reg(r));
+        } else {
+            // Spill the interval with the furthest end.
+            let (pos, &(vk, ve, vr)) = active
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &(_, ae, _))| ae)
+                .expect("active non-empty when out of registers");
+            if ve > e {
+                locs.insert(vk, Loc::Slot(spill_slots * 8));
+                spill_slots += 1;
+                active[pos] = (k, e, vr);
+                locs.insert(k, Loc::Reg(vr));
+            } else {
+                locs.insert(k, Loc::Slot(spill_slots * 8));
+                spill_slots += 1;
+            }
+        }
+    }
+    (locs, spill_slots)
+}
+
+/// Does the value's live range span a loop back edge?
+fn crosses_back_edge(
+    f: &Function,
+    index: &HashMap<InstId, usize>,
+    _k: ValKey,
+    s: usize,
+    e: usize,
+) -> bool {
+    for b in f.block_ids() {
+        for succ in f.successors(b) {
+            if succ.index() <= b.index() {
+                if let Some(t) = f.terminator(b) {
+                    let ti = index[&t];
+                    if s <= ti && ti <= e {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,131 @@
+//! Machine IR: the target-independent, post-register-allocation form both
+//! backends encode from.
+//!
+//! Lowering is deliberately simple (one machine op per IR instruction plus
+//! φ-copies, GEP address chains, and spill traffic): the backends exist to
+//! model *encoded code size* for the paper's Figure 5 experiment, with the
+//! size-relevant ISA differences expressed in each target's encoder —
+//! variable-width encodings and folded memory operands on the CISC side,
+//! fixed 32-bit words, immediate-range splitting, and branch delay slots on
+//! the RISC side.
+
+use lpat_core::{BinOp, CmpPred};
+
+/// A physical register assigned by the allocator.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PReg(pub u8);
+
+/// Where a value lives after allocation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Loc {
+    /// In a register.
+    Reg(PReg),
+    /// In a stack slot (byte offset in the frame).
+    Slot(u32),
+}
+
+/// A machine operand.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum Src {
+    /// A located value.
+    Loc(Loc),
+    /// An immediate integer (also used for addresses of globals and
+    /// functions; floats are stored as constant-pool loads, modeled as
+    /// `Slot` reads).
+    Imm(i64),
+}
+
+impl Src {
+    /// Whether the operand resides in memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Src::Loc(Loc::Slot(_)))
+    }
+    /// Whether the operand is an immediate.
+    pub fn imm(&self) -> Option<i64> {
+        match self {
+            Src::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Machine operation kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MKind {
+    /// Register/memory/immediate move (φ-copies, spills, materialization).
+    Mov,
+    /// Two-operand ALU op (dst = src0 ⊕ src1).
+    Bin(BinOp),
+    /// Compare + set-boolean.
+    Cmp(CmpPred),
+    /// Value conversion.
+    Cast,
+    /// Memory load of `size` bytes (address = src0 + imm displacement).
+    Load(u8),
+    /// Memory store of `size` bytes.
+    Store(u8),
+    /// Address computation: dst = src0 + src1*scale + disp.
+    Lea {
+        /// Index scale.
+        scale: u32,
+        /// Constant displacement.
+        disp: i64,
+    },
+    /// Unconditional branch to block index.
+    Jump(usize),
+    /// Conditional branch to block index (fall through otherwise).
+    CondJump(usize),
+    /// Multiway jump (table of block indices).
+    JumpTable(usize),
+    /// Call with `nargs` arguments.
+    Call {
+        /// Number of argument moves/pushes.
+        nargs: usize,
+    },
+    /// Function return.
+    Ret,
+    /// Frame prologue (allocates `frame` bytes).
+    Prologue {
+        /// Frame size in bytes.
+        frame: u32,
+    },
+    /// Frame epilogue.
+    Epilogue,
+}
+
+/// One machine instruction.
+#[derive(Clone, Debug)]
+pub struct MInst {
+    /// Operation.
+    pub kind: MKind,
+    /// Destination, if any.
+    pub dst: Option<Loc>,
+    /// Sources.
+    pub srcs: Vec<Src>,
+}
+
+impl MInst {
+    /// Construct.
+    pub fn new(kind: MKind, dst: Option<Loc>, srcs: Vec<Src>) -> MInst {
+        MInst { kind, dst, srcs }
+    }
+}
+
+/// A lowered function: machine instructions grouped by (IR) basic block,
+/// plus frame info.
+#[derive(Clone, Debug, Default)]
+pub struct MFunc {
+    /// Machine code per block, in layout order.
+    pub blocks: Vec<Vec<MInst>>,
+    /// Spill-area size in bytes.
+    pub frame_size: u32,
+    /// Name (for listings).
+    pub name: String,
+}
+
+impl MFunc {
+    /// Total machine instruction count.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+}

@@ -1,0 +1,138 @@
+//! The `risc32` target: a SPARC-shaped 32-bit RISC encoding model.
+//!
+//! Every instruction is a fixed 4-byte word; memory is reached only through
+//! loads and stores; immediates are limited to a signed 13-bit field (wider
+//! constants take a `sethi`+`or` pair); branches and calls have delay slots
+//! (modeled as filled when the block has material to hoist, a `nop`
+//! otherwise). Thirty-two architectural registers, twenty allocatable.
+
+use lpat_core::BinOp;
+
+use crate::lower::RegBudget;
+use crate::mir::{Loc, MInst, MKind, Src};
+use crate::target::Target;
+
+/// The SPARC-shaped target.
+#[derive(Default)]
+pub struct Risc32;
+
+const W: usize = 4;
+
+fn fits_simm13(v: i64) -> bool {
+    (-4096..=4095).contains(&v)
+}
+
+/// Cost of getting `s` into a register: loads for memory residents,
+/// `sethi/or` pairs for wide immediates, nothing for registers or small
+/// immediates (which ride in the instruction's immediate field).
+fn matriculate(s: &Src) -> usize {
+    match s {
+        Src::Loc(Loc::Reg(_)) => 0,
+        Src::Loc(Loc::Slot(_)) => W, // ld [fp+off], r
+        Src::Imm(v) => {
+            if fits_simm13(*v) {
+                0
+            } else {
+                2 * W // sethi %hi(v), r ; or r, %lo(v), r
+            }
+        }
+    }
+}
+
+fn dst_spill(d: Option<Loc>) -> usize {
+    match d {
+        Some(Loc::Slot(_)) => W, // st r, [fp+off]
+        _ => 0,
+    }
+}
+
+impl Target for Risc32 {
+    fn name(&self) -> &'static str {
+        "risc32 (SPARC-like)"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "sparc"
+    }
+
+    fn reg_budget(&self) -> RegBudget {
+        RegBudget { gprs: 20 }
+    }
+
+    fn size_inst(&self, i: &MInst, next: Option<&MInst>) -> (usize, bool) {
+        let ops: usize = i.srcs.iter().map(matriculate).sum();
+        let spill = dst_spill(i.dst);
+        match &i.kind {
+            MKind::Mov => {
+                if i.srcs.is_empty() {
+                    return (0, false);
+                }
+                (W + ops + spill, false)
+            }
+            MKind::Bin(op) => {
+                let base = match op {
+                    BinOp::Div | BinOp::Rem => 3 * W, // wr %y + sdiv + fixup
+                    _ => W,
+                };
+                (base + ops + spill, false)
+            }
+            MKind::Cmp(_) => {
+                // subcc + (fused branch | set pattern).
+                if let Some(MInst {
+                    kind: MKind::CondJump(_),
+                    srcs,
+                    ..
+                }) = next
+                {
+                    if srcs.first() == i.dst.map(Src::Loc).as_ref() {
+                        // subcc ; b<cond> ; delay nop (often unfillable at
+                        // a block end).
+                        return (W + ops + 2 * W, true);
+                    }
+                }
+                // subcc ; b,a ; mov 0/1 — the classic 3-word set idiom.
+                (3 * W + ops + spill, false)
+            }
+            MKind::Cast => (2 * W + ops + spill, false), // many casts round-trip memory
+            MKind::Load(sz) => {
+                let wide = if *sz == 8 { W } else { 0 }; // ldd or ld pair
+                (W + wide + ops + spill, false)
+            }
+            MKind::Store(sz) => {
+                let wide = if *sz == 8 { W } else { 0 };
+                (W + wide + ops, false)
+            }
+            MKind::Lea { disp, .. } => {
+                // add (+ mul by scale folded as shifts: one extra word when
+                // scaling), + wide-displacement materialization.
+                let scale_extra = if matches!(i.kind, MKind::Lea { scale, .. } if scale > 1) {
+                    W
+                } else {
+                    0
+                };
+                let disp_extra = if fits_simm13(*disp) { 0 } else { 2 * W };
+                (W + scale_extra + disp_extra + ops + spill, false)
+            }
+            MKind::Jump(_) => (2 * W, false),     // b + delay (nop at block end)
+            MKind::CondJump(_) => (3 * W, false), // tst + b + delay
+            MKind::JumpTable(_) => (4 * W, false),
+            MKind::Call { nargs } => {
+                // First six args move into %o registers; the rest spill.
+                let moves = (*nargs).max(i.srcs.len());
+                let stack_args = moves.saturating_sub(6);
+                let mat: usize = i.srcs.iter().map(matriculate).sum();
+                (moves * W + stack_args * W + mat + W /*call*/ + spill, false)
+            }
+            MKind::Ret => (2 * W, false), // ret + restore
+            MKind::Prologue { frame } => {
+                let big = if fits_simm13(-(*frame as i64)) { 0 } else { 2 * W };
+                (W + big, false) // save %sp, -frame, %sp
+            }
+            MKind::Epilogue => (0, false), // folded into ret/restore
+        }
+    }
+
+    fn jump_table_data(&self, cases: usize) -> usize {
+        4 * cases
+    }
+}

@@ -1,0 +1,307 @@
+//! Constant folding over the instruction set.
+//!
+//! Folding is exact with respect to the VM semantics: integer arithmetic
+//! wraps in the operand's kind, division by zero is never folded (it traps
+//! at run time), and casts follow the `cast` instruction's conversion rules.
+
+use crate::constant::{Const, ConstPool};
+use crate::inst::{BinOp, CmpPred};
+use crate::types::{IntKind, Type, TypeCtx, TypeId};
+
+/// Fold a binary operation over two constants.
+///
+/// Returns `None` when the operation cannot be folded (mismatched kinds,
+/// division by zero, non-scalar operands).
+pub fn fold_bin(pool: &mut ConstPool, op: BinOp, lhs: &Const, rhs: &Const) -> Option<Const> {
+    match (lhs, rhs) {
+        (
+            Const::Int { kind: ka, value: a },
+            Const::Int { kind: kb, value: b },
+        ) if ka == kb => fold_int_bin(op, *ka, *a, *b),
+        (Const::F32(a), Const::F32(b)) => {
+            let (a, b) = (f32::from_bits(*a), f32::from_bits(*b));
+            let r = fold_float_bin(op, a as f64, b as f64)?;
+            Some(Const::F32((r as f32).to_bits()))
+        }
+        (Const::F64(a), Const::F64(b)) => {
+            let (a, b) = (f64::from_bits(*a), f64::from_bits(*b));
+            let r = fold_float_bin(op, a, b)?;
+            Some(Const::F64(r.to_bits()))
+        }
+        (Const::Bool(a), Const::Bool(b)) => Some(Const::Bool(match op {
+            BinOp::And => *a && *b,
+            BinOp::Or => *a || *b,
+            BinOp::Xor => *a != *b,
+            _ => return None,
+        })),
+        _ => {
+            let _ = pool;
+            None
+        }
+    }
+}
+
+fn fold_int_bin(op: BinOp, kind: IntKind, a: i64, b: i64) -> Option<Const> {
+    let signed = kind.is_signed();
+    let value = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            if signed {
+                a.wrapping_div(b)
+            } else {
+                ((a as u64).wrapping_div(b as u64)) as i64
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            if signed {
+                a.wrapping_rem(b)
+            } else {
+                ((a as u64).wrapping_rem(b as u64)) as i64
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            let sh = (b as u64 % kind.bits() as u64) as u32;
+            a.wrapping_shl(sh)
+        }
+        BinOp::Shr => {
+            let sh = (b as u64 % kind.bits() as u64) as u32;
+            if signed {
+                a.wrapping_shr(sh)
+            } else {
+                (((a as u64) & mask(kind)).wrapping_shr(sh)) as i64
+            }
+        }
+    };
+    Some(Const::Int {
+        kind,
+        value: kind.canonicalize(value),
+    })
+}
+
+fn mask(kind: IntKind) -> u64 {
+    match kind.bits() {
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+fn fold_float_bin(op: BinOp, a: f64, b: f64) -> Option<f64> {
+    Some(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Rem => a % b,
+        _ => return None,
+    })
+}
+
+/// Fold a comparison over two constants, producing a boolean.
+pub fn fold_cmp(pred: CmpPred, lhs: &Const, rhs: &Const) -> Option<bool> {
+    use std::cmp::Ordering;
+    let ord = match (lhs, rhs) {
+        (
+            Const::Int { kind: ka, value: a },
+            Const::Int { kind: kb, value: b },
+        ) if ka == kb => {
+            if ka.is_signed() {
+                a.cmp(b)
+            } else {
+                (*a as u64).cmp(&(*b as u64))
+            }
+        }
+        (Const::Bool(a), Const::Bool(b)) => a.cmp(b),
+        (Const::F32(a), Const::F32(b)) => f32::from_bits(*a)
+            .partial_cmp(&f32::from_bits(*b))?,
+        (Const::F64(a), Const::F64(b)) => f64::from_bits(*a)
+            .partial_cmp(&f64::from_bits(*b))?,
+        (Const::Null(_), Const::Null(_)) => Ordering::Equal,
+        // A global's address is never null.
+        (Const::GlobalAddr(_) | Const::FuncAddr(_), Const::Null(_)) => Ordering::Greater,
+        (Const::Null(_), Const::GlobalAddr(_) | Const::FuncAddr(_)) => Ordering::Less,
+        (Const::GlobalAddr(a), Const::GlobalAddr(b)) if a == b => Ordering::Equal,
+        (Const::FuncAddr(a), Const::FuncAddr(b)) if a == b => Ordering::Equal,
+        _ => return None,
+    };
+    Some(match pred {
+        CmpPred::Eq => ord == Ordering::Equal,
+        CmpPred::Ne => ord != Ordering::Equal,
+        CmpPred::Lt => ord == Ordering::Less,
+        CmpPred::Gt => ord == Ordering::Greater,
+        CmpPred::Le => ord != Ordering::Greater,
+        CmpPred::Ge => ord != Ordering::Less,
+    })
+}
+
+/// Fold a `cast` of a constant to type `to`.
+///
+/// Conversion semantics: int→int re-canonicalizes (truncate / extend with
+/// the *source* signedness); int↔float converts numerically; anything→bool
+/// compares against zero; bool→int is 0/1; null→int is 0.
+pub fn fold_cast(tc: &TypeCtx, c: &Const, to: TypeId) -> Option<Const> {
+    let to_ty = tc.ty(to).clone();
+    match (c, &to_ty) {
+        // Identity-ish pointer casts.
+        (Const::Null(_), Type::Ptr(_)) => Some(Const::Null(to)),
+        (Const::Undef(_), _) => Some(Const::Undef(to)),
+        (Const::GlobalAddr(_) | Const::FuncAddr(_), Type::Ptr(_)) => Some(c.clone()),
+        (Const::Null(_), Type::Int(k)) => Some(Const::Int { kind: *k, value: 0 }),
+        (Const::Null(_), Type::Bool) => Some(Const::Bool(false)),
+        (Const::Int { value, .. }, Type::Bool) => Some(Const::Bool(*value != 0)),
+        (Const::Int { kind, value }, Type::Int(k2)) => {
+            // Extension uses the *source* signedness: the canonical payload
+            // already is the sign/zero-extended 64-bit image.
+            let _ = kind;
+            Some(Const::Int {
+                kind: *k2,
+                value: k2.canonicalize(*value),
+            })
+        }
+        (Const::Int { kind, value }, Type::F32) => {
+            let v = if kind.is_signed() {
+                *value as f64
+            } else {
+                (*value as u64) as f64
+            };
+            Some(Const::F32((v as f32).to_bits()))
+        }
+        (Const::Int { kind, value }, Type::F64) => {
+            let v = if kind.is_signed() {
+                *value as f64
+            } else {
+                (*value as u64) as f64
+            };
+            Some(Const::F64(v.to_bits()))
+        }
+        (Const::Bool(b), Type::Int(k)) => Some(Const::Int {
+            kind: *k,
+            value: *b as i64,
+        }),
+        (Const::Bool(b), Type::Bool) => Some(Const::Bool(*b)),
+        (Const::F32(bits), t) => fold_float_cast(f32::from_bits(*bits) as f64, t, to),
+        (Const::F64(bits), t) => fold_float_cast(f64::from_bits(*bits), t, to),
+        _ => None,
+    }
+}
+
+fn fold_float_cast(v: f64, to_ty: &Type, to: TypeId) -> Option<Const> {
+    match to_ty {
+        Type::F32 => Some(Const::F32((v as f32).to_bits())),
+        Type::F64 => Some(Const::F64(v.to_bits())),
+        Type::Bool => Some(Const::Bool(v != 0.0)),
+        Type::Int(k) => {
+            let value = if k.is_signed() {
+                let clamped = v.clamp(i64::MIN as f64, i64::MAX as f64);
+                clamped as i64
+            } else {
+                let clamped = v.clamp(0.0, u64::MAX as f64);
+                clamped as u64 as i64
+            };
+            Some(Const::Int {
+                kind: *k,
+                value: k.canonicalize(value),
+            })
+        }
+        _ => {
+            let _ = to;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ic(kind: IntKind, v: i64) -> Const {
+        Const::Int {
+            kind,
+            value: kind.canonicalize(v),
+        }
+    }
+
+    #[test]
+    fn int_arith_wraps() {
+        let mut p = ConstPool::new();
+        let r = fold_bin(&mut p, BinOp::Add, &ic(IntKind::U8, 200), &ic(IntKind::U8, 100));
+        assert_eq!(r, Some(ic(IntKind::U8, 44)));
+        let r = fold_bin(&mut p, BinOp::Mul, &ic(IntKind::S8, 64), &ic(IntKind::S8, 2));
+        assert_eq!(r, Some(ic(IntKind::S8, -128)));
+    }
+
+    #[test]
+    fn signedness_of_div_and_shr() {
+        let mut p = ConstPool::new();
+        let r = fold_bin(&mut p, BinOp::Div, &ic(IntKind::S32, -7), &ic(IntKind::S32, 2));
+        assert_eq!(r, Some(ic(IntKind::S32, -3)));
+        let r = fold_bin(&mut p, BinOp::Div, &ic(IntKind::U32, -7), &ic(IntKind::U32, 2));
+        assert_eq!(r, Some(ic(IntKind::U32, 0x7FFF_FFFC)));
+        let r = fold_bin(&mut p, BinOp::Shr, &ic(IntKind::S32, -8), &ic(IntKind::S32, 1));
+        assert_eq!(r, Some(ic(IntKind::S32, -4)));
+        let r = fold_bin(&mut p, BinOp::Shr, &ic(IntKind::U32, -8), &ic(IntKind::U32, 1));
+        assert_eq!(r, Some(ic(IntKind::U32, 0x7FFF_FFFC)));
+    }
+
+    #[test]
+    fn div_by_zero_not_folded() {
+        let mut p = ConstPool::new();
+        assert_eq!(
+            fold_bin(&mut p, BinOp::Div, &ic(IntKind::S32, 1), &ic(IntKind::S32, 0)),
+            None
+        );
+        assert_eq!(
+            fold_bin(&mut p, BinOp::Rem, &ic(IntKind::U8, 1), &ic(IntKind::U8, 0)),
+            None
+        );
+    }
+
+    #[test]
+    fn unsigned_compare() {
+        assert_eq!(
+            fold_cmp(CmpPred::Lt, &ic(IntKind::U8, 200), &ic(IntKind::U8, 100)),
+            Some(false)
+        );
+        assert_eq!(
+            fold_cmp(CmpPred::Lt, &ic(IntKind::S8, 200), &ic(IntKind::S8, 100)),
+            Some(true) // 200 canonicalizes to -56
+        );
+    }
+
+    #[test]
+    fn float_and_nan() {
+        let a = Const::F64(1.5f64.to_bits());
+        let b = Const::F64(2.5f64.to_bits());
+        assert_eq!(fold_cmp(CmpPred::Lt, &a, &b), Some(true));
+        let nan = Const::F64(f64::NAN.to_bits());
+        assert_eq!(fold_cmp(CmpPred::Lt, &a, &nan), None); // unordered: stay conservative
+    }
+
+    #[test]
+    fn casts() {
+        let tc = TypeCtx::new();
+        let c = fold_cast(&tc, &ic(IntKind::S32, -1), tc.u8()).unwrap();
+        assert_eq!(c, ic(IntKind::U8, 255));
+        let c = fold_cast(&tc, &ic(IntKind::S32, -2), tc.f64()).unwrap();
+        assert_eq!(c, Const::F64((-2.0f64).to_bits()));
+        let c = fold_cast(&tc, &Const::F64(3.9f64.to_bits()), tc.i32()).unwrap();
+        assert_eq!(c, ic(IntKind::S32, 3));
+        let c = fold_cast(&tc, &ic(IntKind::S32, 5), tc.bool_()).unwrap();
+        assert_eq!(c, Const::Bool(true));
+        // unsigned extension uses source signedness via canonical payload
+        let c = fold_cast(&tc, &ic(IntKind::U8, 200), tc.i32()).unwrap();
+        assert_eq!(c, ic(IntKind::S32, 200));
+        let c = fold_cast(&tc, &ic(IntKind::S8, -1), tc.u32()).unwrap();
+        assert_eq!(c, ic(IntKind::U32, -1)); // 0xFFFFFFFF
+    }
+}

@@ -1,0 +1,640 @@
+//! Modules: translation units of the representation.
+//!
+//! A module owns the type context, the constant pool, global variables, and
+//! functions. Global variable and function definitions define a *symbol
+//! providing the address* of the object, not the object itself (paper §2.3):
+//! the value of `@G` in operand position is a pointer constant.
+
+use std::collections::HashMap;
+
+use crate::constant::{Const, ConstId, ConstPool, FuncId, GlobalId};
+use crate::function::{Function, Linkage};
+use crate::inst::{Inst, Value};
+use crate::types::{Type, TypeCtx, TypeId};
+
+/// A global variable definition or declaration.
+#[derive(Clone, Debug)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Type of the value stored in the global (not the pointer).
+    pub value_ty: TypeId,
+    /// Pointer-to-`value_ty`, pre-interned (the type of `@name`).
+    pub addr_ty: TypeId,
+    /// Initializer; `None` makes this an external declaration.
+    pub init: Option<ConstId>,
+    /// Whether the memory is immutable (`constant` vs `global`).
+    pub is_const: bool,
+    /// Linkage.
+    pub linkage: Linkage,
+}
+
+impl Global {
+    /// Whether this is a declaration (no initializer).
+    pub fn is_declaration(&self) -> bool {
+        self.init.is_none()
+    }
+}
+
+/// A translation unit: types, constants, globals, and functions.
+///
+/// # Examples
+///
+/// ```
+/// use lpat_core::{Module, Linkage, inst::Value};
+///
+/// let mut m = Module::new("demo");
+/// let i32t = m.types.i32();
+/// let f = m.add_function("double_it", &[i32t], i32t, false, Linkage::External);
+/// let mut b = m.builder(f);
+/// let entry = b.block();
+/// let two = b.iconst32(2);
+/// let x = b.mul(Value::Arg(0), two);
+/// b.ret(Some(x));
+/// assert!(m.verify().is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Module identifier (usually the source file name).
+    pub name: String,
+    /// The type context.
+    pub types: TypeCtx,
+    /// The constant pool.
+    pub consts: ConstPool,
+    globals: Vec<Global>,
+    funcs: Vec<Function>,
+    global_names: HashMap<String, GlobalId>,
+    func_names: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: &str) -> Module {
+        Module {
+            name: name.to_string(),
+            types: TypeCtx::new(),
+            consts: ConstPool::new(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+            global_names: HashMap::new(),
+            func_names: HashMap::new(),
+        }
+    }
+
+    // ---- globals ---------------------------------------------------------
+
+    /// Add a global variable. `init == None` declares an external global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken by another global.
+    pub fn add_global(
+        &mut self,
+        name: &str,
+        value_ty: TypeId,
+        init: Option<ConstId>,
+        is_const: bool,
+        linkage: Linkage,
+    ) -> GlobalId {
+        assert!(
+            !self.global_names.contains_key(name),
+            "duplicate global {name}"
+        );
+        let addr_ty = self.types.ptr(value_ty);
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.to_string(),
+            value_ty,
+            addr_ty,
+            init,
+            is_const,
+            linkage,
+        });
+        self.global_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.global_names.get(name).copied()
+    }
+
+    /// The global record for `id`.
+    #[inline]
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Mutable global record.
+    #[inline]
+    pub fn global_mut(&mut self, id: GlobalId) -> &mut Global {
+        &mut self.globals[id.0 as usize]
+    }
+
+    /// Iterate over `(GlobalId, &Global)`.
+    pub fn globals(&self) -> impl Iterator<Item = (GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GlobalId(i as u32), g))
+    }
+
+    /// Number of globals.
+    pub fn num_globals(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Remove globals not satisfying `keep`, remapping all references.
+    ///
+    /// Returns the number of globals removed. Used by dead-global
+    /// elimination.
+    pub fn retain_globals(&mut self, keep: impl Fn(GlobalId) -> bool) -> usize {
+        let mut remap: Vec<Option<GlobalId>> = Vec::with_capacity(self.globals.len());
+        let mut kept = Vec::new();
+        for (i, g) in self.globals.drain(..).enumerate() {
+            if keep(GlobalId(i as u32)) {
+                remap.push(Some(GlobalId(kept.len() as u32)));
+                kept.push(g);
+            } else {
+                remap.push(None);
+            }
+        }
+        let removed = remap.iter().filter(|r| r.is_none()).count();
+        self.globals = kept;
+        self.global_names = self
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.name.clone(), GlobalId(i as u32)))
+            .collect();
+        if removed > 0 {
+            self.remap_const_refs(&remap, &(0..self.funcs.len()).map(|i| Some(FuncId(i as u32))).collect::<Vec<_>>());
+        }
+        removed
+    }
+
+    /// Remove functions not satisfying `keep`, remapping all references.
+    ///
+    /// Returns the number removed.
+    pub fn retain_functions(&mut self, keep: impl Fn(FuncId) -> bool) -> usize {
+        let mut remap: Vec<Option<FuncId>> = Vec::with_capacity(self.funcs.len());
+        let mut kept = Vec::new();
+        for (i, f) in self.funcs.drain(..).enumerate() {
+            if keep(FuncId(i as u32)) {
+                remap.push(Some(FuncId(kept.len() as u32)));
+                kept.push(f);
+            } else {
+                remap.push(None);
+            }
+        }
+        let removed = remap.iter().filter(|r| r.is_none()).count();
+        self.funcs = kept;
+        self.func_names = self
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+            .collect();
+        if removed > 0 {
+            let gremap: Vec<Option<GlobalId>> =
+                (0..self.globals.len()).map(|i| Some(GlobalId(i as u32))).collect();
+            self.remap_const_refs(&gremap, &remap);
+        }
+        removed
+    }
+
+    /// Rewrite `GlobalAddr`/`FuncAddr` constants through the given remaps.
+    ///
+    /// Constants referencing removed symbols are replaced by `Undef` of
+    /// their address type — the caller guarantees no live code still uses
+    /// them.
+    fn remap_const_refs(&mut self, gmap: &[Option<GlobalId>], fmap: &[Option<FuncId>]) {
+        // The pool interns by structure, so rewrite by rebuilding: walk all
+        // constants, compute replacements, then patch instruction operands
+        // and initializers via a ConstId -> ConstId map.
+        let mut cmap: HashMap<ConstId, ConstId> = HashMap::new();
+        let ids: Vec<ConstId> = self.consts.iter().map(|(i, _)| i).collect();
+        for id in ids {
+            let replacement = match self.consts.get(id).clone() {
+                Const::GlobalAddr(g) => match gmap.get(g.index()).copied().flatten() {
+                    Some(ng) if ng != g => Some(self.consts.global_addr(ng)),
+                    Some(_) => None,
+                    None => {
+                        let ty = self.types.ptr(self.types.i8());
+                        Some(self.consts.undef(ty))
+                    }
+                },
+                Const::FuncAddr(f) => match fmap.get(f.index()).copied().flatten() {
+                    Some(nf) if nf != f => Some(self.consts.func_addr(nf)),
+                    Some(_) => None,
+                    None => {
+                        let ty = self.types.ptr(self.types.i8());
+                        Some(self.consts.undef(ty))
+                    }
+                },
+                _ => None,
+            };
+            if let Some(r) = replacement {
+                cmap.insert(id, r);
+            }
+        }
+        // Aggregates containing remapped ids must be rewritten too.
+        let ids: Vec<ConstId> = self.consts.iter().map(|(i, _)| i).collect();
+        for id in ids {
+            match self.consts.get(id).clone() {
+                Const::Array { ty, elems } => {
+                    if elems.iter().any(|e| cmap.contains_key(e)) {
+                        let new: Vec<ConstId> =
+                            elems.iter().map(|e| *cmap.get(e).unwrap_or(e)).collect();
+                        let nid = self.consts.array(ty, new);
+                        cmap.insert(id, nid);
+                    }
+                }
+                Const::Struct { ty, fields } => {
+                    if fields.iter().any(|e| cmap.contains_key(e)) {
+                        let new: Vec<ConstId> =
+                            fields.iter().map(|e| *cmap.get(e).unwrap_or(e)).collect();
+                        let nid = self.consts.struct_(ty, new);
+                        cmap.insert(id, nid);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if cmap.is_empty() {
+            return;
+        }
+        for f in &mut self.funcs {
+            let n = f.num_inst_slots();
+            for i in 0..n {
+                let iid = crate::inst::InstId(i as u32);
+                f.inst_mut(iid).map_operands(|v| match v {
+                    Value::Const(c) => Value::Const(*cmap.get(&c).unwrap_or(&c)),
+                    other => other,
+                });
+                // Switch case constants can also be remapped (they are
+                // scalar ints, so in practice never are).
+            }
+        }
+        for g in &mut self.globals {
+            if let Some(init) = g.init {
+                if let Some(&n) = cmap.get(&init) {
+                    g.init = Some(n);
+                }
+            }
+        }
+    }
+
+    // ---- functions --------------------------------------------------------
+
+    /// Add a function with the given signature. The function starts as a
+    /// declaration; add blocks (e.g. via [`Module::builder`]) to define it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_function(
+        &mut self,
+        name: &str,
+        params: &[TypeId],
+        ret: TypeId,
+        varargs: bool,
+        linkage: Linkage,
+    ) -> FuncId {
+        assert!(
+            !self.func_names.contains_key(name),
+            "duplicate function {name}"
+        );
+        let ty = self.types.func(ret, params.to_vec(), varargs);
+        let addr_ty = self.types.ptr(ty);
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(Function::new(
+            name.to_string(),
+            ty,
+            addr_ty,
+            params.to_vec(),
+            ret,
+            varargs,
+            linkage,
+        ));
+        self.func_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.func_names.get(name).copied()
+    }
+
+    /// The function record for `id`.
+    #[inline]
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Mutable function record.
+    #[inline]
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.0 as usize]
+    }
+
+    /// Iterate over `(FuncId, &Function)`.
+    pub fn funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// All function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.funcs.len() as u32).map(FuncId)
+    }
+
+    /// Number of functions.
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Rename a function, keeping the name index consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new name is taken.
+    pub fn rename_function(&mut self, id: FuncId, new_name: &str) {
+        assert!(!self.func_names.contains_key(new_name));
+        let old = std::mem::replace(&mut self.funcs[id.0 as usize].name, new_name.to_string());
+        self.func_names.remove(&old);
+        self.func_names.insert(new_name.to_string(), id);
+    }
+
+    // ---- typing -----------------------------------------------------------
+
+    /// The type of constant `c`, including global/function addresses.
+    pub fn const_type(&self, c: ConstId) -> TypeId {
+        match self.consts.get(c) {
+            Const::GlobalAddr(g) => self.global(*g).addr_ty,
+            Const::FuncAddr(f) => self.func(*f).addr_type(),
+            _ => self.consts.type_of(&self.types, c),
+        }
+    }
+
+    /// The type of `v` as an operand inside function `f`.
+    pub fn value_type(&self, f: &Function, v: Value) -> TypeId {
+        match v {
+            Value::Inst(i) => f.inst_ty(i),
+            Value::Arg(n) => f.params()[n as usize],
+            Value::Const(c) => self.const_type(c),
+        }
+    }
+
+    /// Resolve the element type a `getelementptr` lands on, without
+    /// interning the final pointer type (so `&self` suffices).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the index list does not match the pointee's
+    /// structure.
+    pub fn gep_pointee(
+        &self,
+        f: &Function,
+        base_ptr_ty: TypeId,
+        indices: &[Value],
+    ) -> Result<TypeId, String> {
+        let mut cur = self
+            .types
+            .pointee(base_ptr_ty)
+            .ok_or_else(|| "getelementptr base is not a pointer".to_string())?;
+        let mut it = indices.iter();
+        // First index steps over the pointer itself; any integer type.
+        match it.next() {
+            None => return Ok(cur),
+            Some(&idx) => {
+                let t = self.value_type(f, idx);
+                if !self.types.is_int(t) {
+                    return Err("first getelementptr index must be an integer".into());
+                }
+            }
+        }
+        for &idx in it {
+            match self.types.ty(cur).clone() {
+                Type::Struct { fields, .. } => {
+                    let c = match idx {
+                        Value::Const(c) => c,
+                        _ => return Err("struct index must be a constant".into()),
+                    };
+                    let (_, v) = self
+                        .consts
+                        .as_int(c)
+                        .ok_or_else(|| "struct index must be an integer constant".to_string())?;
+                    let fidx = v as usize;
+                    if fidx >= fields.len() {
+                        return Err(format!(
+                            "struct index {fidx} out of range ({} fields)",
+                            fields.len()
+                        ));
+                    }
+                    cur = fields[fidx];
+                }
+                Type::Array { elem, .. } => {
+                    let t = self.value_type(f, idx);
+                    if !self.types.is_int(t) {
+                        return Err("array index must be an integer".into());
+                    }
+                    cur = elem;
+                }
+                _ => {
+                    return Err(format!(
+                        "cannot index into non-aggregate type {}",
+                        self.types.display(cur)
+                    ))
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Infer the result type of `inst` were it inserted into `f`.
+    ///
+    /// Used by the builder (authoritatively) and the verifier (as a
+    /// cross-check). `Phi` and `VaArg` cannot be inferred from operands and
+    /// return an error; their type is declared at creation.
+    pub fn infer_inst_type(&mut self, f: &Function, inst: &Inst) -> Result<TypeId, String> {
+        Ok(match inst {
+            Inst::Ret(_)
+            | Inst::Br(_)
+            | Inst::CondBr { .. }
+            | Inst::Switch { .. }
+            | Inst::Unwind
+            | Inst::Unreachable
+            | Inst::Free(_)
+            | Inst::Store { .. } => self.types.void(),
+            Inst::Bin { lhs, .. } => self.value_type(f, *lhs),
+            Inst::Cmp { .. } => self.types.bool_(),
+            Inst::Malloc { elem_ty, .. } | Inst::Alloca { elem_ty, .. } => {
+                self.types.ptr(*elem_ty)
+            }
+            Inst::Load { ptr } => {
+                let pt = self.value_type(f, *ptr);
+                self.types
+                    .pointee(pt)
+                    .ok_or_else(|| "load from non-pointer".to_string())?
+            }
+            Inst::Gep { ptr, indices } => {
+                let base = self.value_type(f, *ptr);
+                let elem = self.gep_pointee(f, base, indices)?;
+                self.types.ptr(elem)
+            }
+            Inst::Call { callee, .. } | Inst::Invoke { callee, .. } => {
+                let ct = self.value_type(f, *callee);
+                let fnty = self
+                    .types
+                    .pointee(ct)
+                    .ok_or_else(|| "call through non-pointer".to_string())?;
+                self.types
+                    .func_ret(fnty)
+                    .ok_or_else(|| "call through pointer to non-function".to_string())?
+            }
+            Inst::Cast { to, .. } => *to,
+            Inst::Phi { .. } => return Err("phi type must be declared".into()),
+            Inst::VaArg { ty } => *ty,
+        })
+    }
+
+    /// Count linked instructions across all functions (a cheap size
+    /// metric used in reports).
+    pub fn total_insts(&self) -> usize {
+        self.funcs.iter().map(|f| f.num_insts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+
+    #[test]
+    fn globals_and_functions_by_name() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let init = m.consts.i32(7);
+        let g = m.add_global("G", i32t, Some(init), false, Linkage::External);
+        let f = m.add_function("f", &[i32t], i32t, false, Linkage::Internal);
+        assert_eq!(m.global_by_name("G"), Some(g));
+        assert_eq!(m.func_by_name("f"), Some(f));
+        assert_eq!(m.global(g).value_ty, i32t);
+        assert_eq!(m.types.pointee(m.global(g).addr_ty), Some(i32t));
+        assert_eq!(m.func(f).ret_type(), i32t);
+    }
+
+    #[test]
+    fn value_types() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fid = m.add_function("f", &[i32t], i32t, false, Linkage::External);
+        let c = m.consts.f64(1.0);
+        let g = m.add_global("G", i32t, None, false, Linkage::External);
+        let ga = m.consts.global_addr(g);
+        let fa = m.consts.func_addr(fid);
+        let f = m.func(fid);
+        assert_eq!(m.value_type(f, Value::Arg(0)), i32t);
+        assert_eq!(m.value_type(f, Value::Const(c)), m.types.f64());
+        assert_eq!(m.types.pointee(m.const_type(ga)), Some(i32t));
+        assert!(m.types.is_ptr(m.const_type(fa)));
+    }
+
+    #[test]
+    fn infer_types() {
+        let mut m = Module::new("m");
+        let i32t = m.types.i32();
+        let fid = m.add_function("f", &[i32t], i32t, false, Linkage::External);
+        let f = m.func(fid).clone();
+        let t = m
+            .infer_inst_type(
+                &f,
+                &Inst::Bin {
+                    op: BinOp::Add,
+                    lhs: Value::Arg(0),
+                    rhs: Value::Arg(0),
+                },
+            )
+            .unwrap();
+        assert_eq!(t, i32t);
+        let t = m
+            .infer_inst_type(
+                &f,
+                &Inst::Alloca {
+                    elem_ty: i32t,
+                    count: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(m.types.pointee(t), Some(i32t));
+    }
+
+    #[test]
+    fn gep_resolution() {
+        let mut m = Module::new("m");
+        // %xty = { int, [4 x float] }
+        let arr = m.types.array(m.types.f32(), 4);
+        let xty = m.types.struct_lit(vec![m.types.i32(), arr]);
+        let pxty = m.types.ptr(xty);
+        let fid = m.add_function("f", &[pxty, m.types.i64()], m.types.void(), false, Linkage::External);
+        let zero = m.consts.i64(0);
+        let one = m.consts.u8(1);
+        let f = m.func(fid).clone();
+        // X[0].field1[i] : float
+        let elem = m
+            .gep_pointee(
+                &f,
+                pxty,
+                &[
+                    Value::Const(zero),
+                    Value::Const(one),
+                    Value::Arg(1),
+                ],
+            )
+            .unwrap();
+        assert_eq!(elem, m.types.f32());
+        // struct index must be constant
+        assert!(m
+            .gep_pointee(&f, pxty, &[Value::Const(zero), Value::Arg(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn retain_functions_remaps_addresses() {
+        let mut m = Module::new("m");
+        let v = m.types.void();
+        let a = m.add_function("a", &[], v, false, Linkage::Internal);
+        let b = m.add_function("b", &[], v, false, Linkage::External);
+        let c = m.add_function("c", &[], v, false, Linkage::External);
+        let fb = m.consts.func_addr(b);
+        // c calls b by address; after removing a, the operand must still
+        // denote b under its new id.
+        let blk = m.func_mut(c).add_block();
+        m.func_mut(c).append_inst(
+            blk,
+            Inst::Call {
+                callee: Value::Const(fb),
+                args: vec![],
+            },
+            v,
+        );
+        m.func_mut(c)
+            .append_inst(blk, Inst::Ret(None), v);
+        let removed = m.retain_functions(|f| f != a);
+        assert_eq!(removed, 1);
+        assert_eq!(m.num_funcs(), 2);
+        let nb = m.func_by_name("b").unwrap();
+        let nc = m.func_by_name("c").unwrap();
+        let call = m.func(nc).inst(crate::inst::InstId(0)).clone();
+        match call {
+            Inst::Call { callee: Value::Const(cc), .. } => match m.consts.get(cc) {
+                Const::FuncAddr(f) => assert_eq!(*f, nb),
+                other => panic!("expected FuncAddr, got {other:?}"),
+            },
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+}

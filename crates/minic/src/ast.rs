@@ -1,0 +1,237 @@
+//! Abstract syntax of miniC.
+//!
+//! miniC is the front-end substrate standing in for the paper's C/C++
+//! front-ends: a small C-like language with structs, pointers, arrays,
+//! function pointers, allocation sugar (`new`/`delete`), and structured
+//! exception handling (`try`/`catch`/`throw`) that lowers to the
+//! `invoke`/`unwind` model exactly as §2.4 describes.
+
+/// Source-level types.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CType {
+    /// `void`.
+    Void,
+    /// `bool`.
+    Bool,
+    /// `char` — signed 8-bit.
+    Char,
+    /// `int` — signed 32-bit.
+    Int,
+    /// `uint` — unsigned 32-bit.
+    Uint,
+    /// `long` — signed 64-bit.
+    Long,
+    /// `ulong` — unsigned 64-bit.
+    Ulong,
+    /// `float` — 32-bit.
+    Float,
+    /// `double` — 64-bit.
+    Double,
+    /// `T*`.
+    Ptr(Box<CType>),
+    /// `T[N]` (only in declarators).
+    Array(Box<CType>, u64),
+    /// `struct Name`.
+    Struct(String),
+    /// `fn<ret(params)>` — pointer to function.
+    FnPtr {
+        /// Return type.
+        ret: Box<CType>,
+        /// Parameter types.
+        params: Vec<CType>,
+    },
+}
+
+impl CType {
+    /// Is this any integer type?
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            CType::Char | CType::Int | CType::Uint | CType::Long | CType::Ulong
+        )
+    }
+    /// Is this a floating type?
+    pub fn is_float(&self) -> bool {
+        matches!(self, CType::Float | CType::Double)
+    }
+    /// Is this a pointer (including function pointers)?
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, CType::Ptr(_) | CType::FnPtr { .. })
+    }
+}
+
+/// Binary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// Expressions, annotated with their source line for diagnostics.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// Node.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression nodes.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// Integer literal (type `int`, or `long` with an `L` suffix).
+    IntLit(i64, bool),
+    /// Floating literal (`double`, or `float` with `f` suffix).
+    FloatLit(f64, bool),
+    /// `true` / `false`.
+    BoolLit(bool),
+    /// Character literal (type `char`).
+    CharLit(u8),
+    /// String literal: a global `[N x sbyte]`, decaying to `char*`.
+    StrLit(Vec<u8>),
+    /// `null`.
+    Null,
+    /// Identifier: local, global, or function name.
+    Ident(String),
+    /// Binary operation.
+    Bin(BinOpKind, Box<Expr>, Box<Expr>),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not `!e`.
+    Not(Box<Expr>),
+    /// Dereference `*e`.
+    Deref(Box<Expr>),
+    /// Address-of `&e` (lvalues only).
+    Addr(Box<Expr>),
+    /// Explicit cast `(T)e`.
+    Cast(CType, Box<Expr>),
+    /// `sizeof(T)` — type `uint`.
+    SizeOf(CType),
+    /// Call `f(args)`.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Index `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member `s.f` (struct lvalue).
+    Member(Box<Expr>, String),
+    /// Arrow `p->f`.
+    Arrow(Box<Expr>, String),
+    /// Assignment `lhs = rhs` (an expression; yields rhs).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Ternary `c ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `new T` / `new T[n]`.
+    New(CType, Option<Box<Expr>>),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration with optional initializer.
+    Decl(CType, String, Option<Expr>),
+    /// `if`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while`.
+    While(Expr, Vec<Stmt>),
+    /// `for(init; cond; step) body`.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Vec<Stmt>),
+    /// `return e?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Nested block.
+    Block(Vec<Stmt>),
+    /// `try { } catch { }`.
+    TryCatch(Vec<Stmt>, Vec<Stmt>),
+    /// `throw;`
+    Throw,
+    /// `delete e;`
+    Delete(Expr),
+}
+
+/// A struct definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Name.
+    pub name: String,
+    /// Fields in order.
+    pub fields: Vec<(CType, String)>,
+}
+
+/// A function definition or `extern` declaration.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters.
+    pub params: Vec<(CType, String)>,
+    /// Body (`None` for `extern`).
+    pub body: Option<Vec<Stmt>>,
+    /// Marked `static` (internal linkage).
+    pub is_static: bool,
+}
+
+/// A global variable.
+#[derive(Clone, Debug)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: CType,
+    /// Initializer (constant expression), `None` for `extern`.
+    pub init: Option<Expr>,
+    /// Is an `extern` declaration.
+    pub is_extern: bool,
+    /// Marked `static`.
+    pub is_static: bool,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Globals.
+    pub globals: Vec<GlobalDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+}

@@ -1,0 +1,299 @@
+//! Virtual-method call resolution (paper §4.1.1).
+//!
+//! C++ virtual tables map onto the representation as *constant* global
+//! arrays of typed function pointers; the paper notes that with this
+//! representation "virtual method call resolution can be performed by the
+//! optimizer as effectively as by a typical source compiler". This pass
+//! does exactly that: an indirect call through a value loaded from a
+//! constant global at a constant index is rewritten into a direct call,
+//! which then unlocks inlining and the other IPO passes.
+//!
+//! The pattern recognized (possibly through pointer casts):
+//!
+//! ```text
+//! %slot = getelementptr [N x ty*]* @vtable, long 0, long K   ; K constant
+//! %fp   = load ty** %slot
+//! call %fp(...)
+//! ```
+//!
+//! where `@vtable` is a `constant` global whose initializer supplies slot
+//! `K`.
+
+use lpat_core::{Const, ConstId, FuncId, Inst, InstId, Module, Value};
+
+use crate::pm::Pass;
+
+/// The devirtualization pass.
+#[derive(Default)]
+pub struct Devirtualize {
+    resolved: usize,
+}
+
+impl Pass for Devirtualize {
+    fn name(&self) -> &'static str {
+        "devirtualize"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let n = run_devirtualize(m);
+        self.resolved += n;
+        n > 0
+    }
+    fn stats(&self) -> String {
+        format!("resolved {} indirect calls", self.resolved)
+    }
+}
+
+/// Resolve indirect calls through constant tables; returns how many call
+/// sites were devirtualized.
+pub fn run_devirtualize(m: &mut Module) -> usize {
+    let mut resolved = 0;
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        let f = m.func(fid);
+        if f.is_declaration() {
+            continue;
+        }
+        let mut patches: Vec<(InstId, FuncId)> = Vec::new();
+        for iid in f.inst_ids_in_order() {
+            let callee = match f.inst(iid) {
+                Inst::Call { callee, .. } | Inst::Invoke { callee, .. } => *callee,
+                _ => continue,
+            };
+            let Value::Inst(src) = callee else { continue };
+            if let Some(target) = resolve_loaded_fn(m, fid, src) {
+                // The target's signature must match the call's function
+                // type for the rewrite to be well-typed.
+                let ct = m.value_type(f, callee);
+                if m.types.pointee(ct) == Some(m.func(target).fn_type()) {
+                    patches.push((iid, target));
+                }
+            }
+        }
+        if patches.is_empty() {
+            continue;
+        }
+        resolved += patches.len();
+        for (iid, target) in patches {
+            let addr = m.consts.func_addr(target);
+            let fm = m.func_mut(fid);
+            match fm.inst_mut(iid) {
+                Inst::Call { callee, .. } | Inst::Invoke { callee, .. } => {
+                    *callee = Value::Const(addr);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    resolved
+}
+
+/// Trace `v` back through casts to a load from a constant-global GEP with
+/// constant indices, and evaluate the initializer at that position.
+fn resolve_loaded_fn(m: &Module, fid: FuncId, v: InstId) -> Option<FuncId> {
+    let f = m.func(fid);
+    let mut cur = v;
+    loop {
+        match f.inst(cur) {
+            Inst::Cast {
+                val: Value::Inst(i),
+                ..
+            } => cur = *i,
+            Inst::Load { ptr } => return resolve_slot(m, fid, *ptr),
+            _ => return None,
+        }
+    }
+}
+
+/// Resolve a pointer operand to `(constant global, element path)` and read
+/// the function address out of the initializer.
+fn resolve_slot(m: &Module, fid: FuncId, ptr: Value) -> Option<FuncId> {
+    let f = m.func(fid);
+    let (base, indices): (ConstId, Vec<i64>) = match ptr {
+        // Direct load of a constant global holding one function pointer.
+        Value::Const(c) => match m.consts.get(c) {
+            Const::GlobalAddr(g) => {
+                let gl = m.global(*g);
+                if !gl.is_const {
+                    return None;
+                }
+                return const_elem(m, gl.init?, &[]);
+            }
+            _ => return None,
+        },
+        Value::Inst(i) => match f.inst(i) {
+            Inst::Gep { ptr, indices } => {
+                let g = match ptr {
+                    Value::Const(c) => match m.consts.get(*c) {
+                        Const::GlobalAddr(g) => *g,
+                        _ => return None,
+                    },
+                    _ => return None,
+                };
+                let gl = m.global(g);
+                if !gl.is_const {
+                    return None;
+                }
+                let mut path = Vec::with_capacity(indices.len());
+                for idx in indices {
+                    match idx {
+                        Value::Const(c) => path.push(m.consts.as_int(*c)?.1),
+                        _ => return None, // dynamic index: not resolvable
+                    }
+                }
+                if path.first() != Some(&0) {
+                    return None; // stepping off the global itself
+                }
+                (gl.init?, path[1..].to_vec())
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    const_elem(m, base, &indices)
+}
+
+/// Walk a constant initializer along an index path to a function address.
+fn const_elem(m: &Module, c: ConstId, path: &[i64]) -> Option<FuncId> {
+    let mut cur = c;
+    for &i in path {
+        cur = match m.consts.get(cur) {
+            Const::Array { elems, .. } => *elems.get(i as usize)?,
+            Const::Struct { fields, .. } => *fields.get(i as usize)?,
+            _ => return None,
+        };
+    }
+    match m.consts.get(cur) {
+        Const::FuncAddr(f) => Some(*f),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpat_asm::parse_module;
+
+    #[test]
+    fn resolves_vtable_dispatch() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @meth_a(int %x) {
+e:
+  %r = add int %x, 1
+  ret int %r
+}
+define internal int @meth_b(int %x) {
+e:
+  %r = mul int %x, 2
+  ret int %r
+}
+@vt = constant [2 x int (int)*] [ int (int)* @meth_a, int (int)* @meth_b ]
+define int @dispatch(int %x) {
+e:
+  %slot = getelementptr [2 x int (int)*]* @vt, long 0, long 1
+  %fp = load int (int)** %slot
+  %r = call int %fp(int %x)
+  ret int %r
+}",
+        )
+        .unwrap();
+        m.verify().unwrap();
+        let n = run_devirtualize(&mut m);
+        assert_eq!(n, 1);
+        m.verify().unwrap();
+        assert!(
+            m.display().contains("call int @meth_b"),
+            "{}",
+            m.display()
+        );
+        // And now inlining can finish the job.
+        let mut inliner = crate::inline::Inline::default();
+        inliner.run(&mut m);
+        assert!(
+            !m.display().contains("call int @meth_b"),
+            "{}",
+            m.display()
+        );
+    }
+
+    #[test]
+    fn dynamic_index_not_resolved() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @meth(int %x) {
+e:
+  ret int %x
+}
+@vt = constant [1 x int (int)*] [ int (int)* @meth ]
+define int @dispatch(int %x, long %i) {
+e:
+  %slot = getelementptr [1 x int (int)*]* @vt, long 0, long %i
+  %fp = load int (int)** %slot
+  %r = call int %fp(int %x)
+  ret int %r
+}",
+        )
+        .unwrap();
+        assert_eq!(run_devirtualize(&mut m), 0);
+    }
+
+    #[test]
+    fn mutable_table_not_resolved() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @meth(int %x) {
+e:
+  ret int %x
+}
+@vt = global [1 x int (int)*] [ int (int)* @meth ]
+define int @dispatch(int %x) {
+e:
+  %slot = getelementptr [1 x int (int)*]* @vt, long 0, long 0
+  %fp = load int (int)** %slot
+  %r = call int %fp(int %x)
+  ret int %r
+}",
+        )
+        .unwrap();
+        assert_eq!(
+            run_devirtualize(&mut m),
+            0,
+            "writable tables may be repatched at run time"
+        );
+    }
+
+    #[test]
+    fn struct_vtable_with_cast() {
+        // C++-style: vtable is a struct of pointers; the call site casts.
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @area(int %x) {
+e:
+  %r = mul int %x, %x
+  ret int %r
+}
+define internal int @peri(int %x) {
+e:
+  %r = mul int %x, 4
+  ret int %r
+}
+%vtbl = type { int (int)*, int (int)* }
+@shape_vt = constant %vtbl { int (int)* @area, int (int)* @peri }
+define int @call_area(int %x) {
+e:
+  %slot = getelementptr %vtbl* @shape_vt, long 0, ubyte 0
+  %fp = load int (int)** %slot
+  %r = call int %fp(int %x)
+  ret int %r
+}",
+        )
+        .unwrap();
+        m.verify().unwrap();
+        assert_eq!(run_devirtualize(&mut m), 1);
+        assert!(m.display().contains("call int @area"), "{}", m.display());
+        m.verify().unwrap();
+    }
+}

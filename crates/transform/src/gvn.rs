@@ -1,0 +1,301 @@
+//! Redundancy elimination: dominator-scoped value numbering of pure
+//! expressions plus block-local load CSE and store-to-load forwarding.
+//!
+//! SSA form makes this a hash-and-dominate sweep — the "fast,
+//! flow-insensitive algorithms achieve many of the benefits of
+//! flow-sensitive ones" point of paper §2.1.
+
+use std::collections::HashMap;
+
+use lpat_analysis::DomTree;
+use lpat_core::{BinOp, BlockId, CmpPred, FuncId, Inst, InstId, Module, TypeId, Value};
+
+use crate::pm::Pass;
+
+/// The value-numbering pass.
+#[derive(Default)]
+pub struct Gvn {
+    eliminated: usize,
+}
+
+impl Pass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in m.func_ids().collect::<Vec<_>>() {
+            let n = gvn_function(m, fid);
+            self.eliminated += n;
+            changed |= n > 0;
+        }
+        changed
+    }
+    fn stats(&self) -> String {
+        format!("eliminated {} redundant instructions", self.eliminated)
+    }
+}
+
+#[derive(Hash, PartialEq, Eq, Clone)]
+enum Key {
+    Bin(BinOp, Value, Value),
+    Cmp(CmpPred, Value, Value),
+    Cast(Value, TypeId),
+    Gep(Value, Vec<Value>),
+}
+
+/// Run value numbering on one function; returns eliminated count.
+pub fn gvn_function(m: &mut Module, fid: FuncId) -> usize {
+    if m.func(fid).is_declaration() {
+        return 0;
+    }
+    let dt = DomTree::compute(m.func(fid));
+    let mut exprs: HashMap<Key, (InstId, BlockId)> = HashMap::new();
+    let mut repl: HashMap<InstId, Value> = HashMap::new();
+    let resolve = |repl: &HashMap<InstId, Value>, mut v: Value| -> Value {
+        while let Value::Inst(i) = v {
+            match repl.get(&i) {
+                Some(&n) => v = n,
+                None => break,
+            }
+        }
+        v
+    };
+    let rpo: Vec<BlockId> = dt.rpo().to_vec();
+    for &b in &rpo {
+        // Block-local memory state: last store value per pointer, and
+        // loaded values per pointer. Any store or unknown call clobbers.
+        let mut avail_loads: HashMap<Value, Value> = HashMap::new();
+        for &iid in m.func(fid).block_insts(b).to_vec().iter() {
+            let inst = m.func(fid).inst(iid).clone();
+            let key = match &inst {
+                Inst::Bin { op, lhs, rhs } => {
+                    let (mut l, mut r) = (resolve(&repl, *lhs), resolve(&repl, *rhs));
+                    if op.is_commutative() && r < l {
+                        std::mem::swap(&mut l, &mut r);
+                    }
+                    Some(Key::Bin(*op, l, r))
+                }
+                Inst::Cmp { pred, lhs, rhs } => {
+                    let (mut p, mut l, mut r) = (*pred, resolve(&repl, *lhs), resolve(&repl, *rhs));
+                    if r < l {
+                        std::mem::swap(&mut l, &mut r);
+                        p = p.swapped();
+                    }
+                    Some(Key::Cmp(p, l, r))
+                }
+                Inst::Cast { val, to } => Some(Key::Cast(resolve(&repl, *val), *to)),
+                Inst::Gep { ptr, indices } => Some(Key::Gep(
+                    resolve(&repl, *ptr),
+                    indices.iter().map(|&i| resolve(&repl, i)).collect(),
+                )),
+                Inst::Load { ptr } => {
+                    let p = resolve(&repl, *ptr);
+                    if let Some(&v) = avail_loads.get(&p) {
+                        repl.insert(iid, v);
+                    } else {
+                        avail_loads.insert(p, Value::Inst(iid));
+                    }
+                    None
+                }
+                Inst::Store { val, ptr } => {
+                    // A store invalidates every remembered load (it may
+                    // alias), then makes its own value available.
+                    avail_loads.clear();
+                    avail_loads.insert(resolve(&repl, *ptr), resolve(&repl, *val));
+                    None
+                }
+                Inst::Call { .. } | Inst::Invoke { .. } | Inst::Free(_) | Inst::VaArg { .. } => {
+                    avail_loads.clear();
+                    None
+                }
+                _ => None,
+            };
+            if let Some(key) = key {
+                match exprs.get(&key) {
+                    Some(&(def, db)) if dt.dominates(db, b) && def != iid => {
+                        repl.insert(iid, Value::Inst(def));
+                    }
+                    _ => {
+                        exprs.insert(key, (iid, b));
+                    }
+                }
+            }
+        }
+    }
+    if repl.is_empty() {
+        return 0;
+    }
+    let count = repl.len();
+    let fm = m.func_mut(fid);
+    let n = fm.num_inst_slots();
+    for i in 0..n {
+        let iid = InstId::from_index(i);
+        fm.inst_mut(iid).map_operands(|mut v| {
+            while let Value::Inst(d) = v {
+                match repl.get(&d) {
+                    Some(&x) => v = x,
+                    None => break,
+                }
+            }
+            v
+        });
+    }
+    let inst_blocks = fm.inst_blocks();
+    for (&iid, _) in &repl {
+        if let Some(b) = inst_blocks[iid.index()] {
+            fm.remove_inst(b, iid);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpat_asm::parse_module;
+
+    fn opt(src: &str) -> (Module, usize) {
+        let mut m = parse_module("t", src).unwrap();
+        m.verify().unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        let n = gvn_function(&mut m, fid);
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+        (m, n)
+    }
+
+    #[test]
+    fn eliminates_common_subexpressions() {
+        let (m, n) = opt(
+            "
+define int @f(int %a, int %b) {
+e:
+  %x = add int %a, %b
+  %y = add int %a, %b
+  %z = add int %x, %y
+  ret int %z
+}",
+        );
+        assert_eq!(n, 1);
+        // %z becomes x + x.
+        assert!(m.display().contains("add int %t0, %t0"), "{}", m.display());
+    }
+
+    #[test]
+    fn commutative_canonicalization() {
+        let (_, n) = opt(
+            "
+define int @f(int %a, int %b) {
+e:
+  %x = add int %a, %b
+  %y = add int %b, %a
+  %z = add int %x, %y
+  ret int %z
+}",
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn dominating_expr_reused_across_blocks() {
+        let (_, n) = opt(
+            "
+define int @f(int %a, bool %c) {
+e:
+  %x = mul int %a, %a
+  br bool %c, label %l, label %r
+l:
+  %y = mul int %a, %a
+  ret int %y
+r:
+  ret int %x
+}",
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn sibling_blocks_not_merged() {
+        // Defs in sibling branches don't dominate each other.
+        let (_, n) = opt(
+            "
+define int @f(int %a, bool %c) {
+e:
+  br bool %c, label %l, label %r
+l:
+  %x = mul int %a, %a
+  ret int %x
+r:
+  %y = mul int %a, %a
+  ret int %y
+}",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let (m, n) = opt(
+            "
+define int @f(int* %p, int %v) {
+e:
+  store int %v, int* %p
+  %x = load int* %p
+  ret int %x
+}",
+        );
+        assert_eq!(n, 1);
+        assert!(m.display().contains("ret int %a1"), "{}", m.display());
+    }
+
+    #[test]
+    fn call_clobbers_loads() {
+        let (_, n) = opt(
+            "
+declare void @ext()
+define int @f(int* %p) {
+e:
+  %x = load int* %p
+  call void @ext()
+  %y = load int* %p
+  %z = add int %x, %y
+  ret int %z
+}",
+        );
+        assert_eq!(n, 0, "call may write *p");
+    }
+
+    #[test]
+    fn repeated_loads_cse_within_block() {
+        let (_, n) = opt(
+            "
+define int @f(int* %p) {
+e:
+  %x = load int* %p
+  %y = load int* %p
+  %z = add int %x, %y
+  ret int %z
+}",
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn gep_cse() {
+        let (_, n) = opt(
+            "
+%s = type { int, int }
+define int @f(%s* %p) {
+e:
+  %a = getelementptr %s* %p, long 0, ubyte 1
+  %b = getelementptr %s* %p, long 0, ubyte 1
+  %x = load int* %a
+  %y = load int* %b
+  %z = add int %x, %y
+  ret int %z
+}",
+        );
+        assert_eq!(n, 2, "gep + the second load");
+    }
+}

@@ -1,0 +1,539 @@
+//! Function integration (inlining) — one of the three link-time IPO passes
+//! timed in the paper's Table 2.
+//!
+//! Works bottom-up over the call graph. Besides the usual size-based
+//! policy, two exception-handling interactions from paper §2.4 are
+//! implemented:
+//!
+//! * inlining a callee that `unwind`s into an **invoke** site turns the
+//!   stack-unwinding operation into a **direct branch** to the invoke's
+//!   unwind destination ("this often occurs due to inlining");
+//! * inlining at ordinary call sites leaves `unwind` instructions intact,
+//!   which is semantics-preserving: the unwind continues into the caller's
+//!   dynamic context exactly as it would have at run time.
+
+use std::collections::HashMap;
+
+use lpat_analysis::CallGraph;
+use lpat_core::{BlockId, Const, FuncId, Function, Inst, InstId, Module, Value};
+
+use crate::pm::Pass;
+
+/// The inlining pass.
+pub struct Inline {
+    /// Callees at most this many instructions are always eligible.
+    pub threshold: usize,
+    /// Callers are not grown beyond this many instructions.
+    pub caller_cap: usize,
+    inlined: usize,
+    deleted: usize,
+}
+
+impl Default for Inline {
+    fn default() -> Self {
+        Inline {
+            threshold: 40,
+            caller_cap: 10_000,
+            inlined: 0,
+            deleted: 0,
+        }
+    }
+}
+
+impl Pass for Inline {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let cg = CallGraph::build(m);
+        let roots: Vec<FuncId> = m.func_ids().collect();
+        let order = cg.post_order(&roots);
+        let mut any = false;
+        for f in order {
+            loop {
+                let did = inline_one_call(m, f, &cg, self.threshold, self.caller_cap);
+                if !did {
+                    break;
+                }
+                self.inlined += 1;
+                any = true;
+            }
+        }
+        // Delete internal functions that no longer have any references
+        // ("... deleting 438 which are no longer referenced" — §4.1.4).
+        let cg = CallGraph::build(m);
+        let mut dead = Vec::new();
+        for (fid, f) in m.funcs() {
+            if matches!(f.linkage, lpat_core::Linkage::Internal)
+                && !f.is_declaration()
+                && cg.direct_call_sites(fid) == 0
+                && !cg.is_address_taken(fid)
+            {
+                dead.push(fid);
+            }
+        }
+        if !dead.is_empty() {
+            self.deleted += dead.len();
+            m.retain_functions(|f| !dead.contains(&f));
+            any = true;
+        }
+        any
+    }
+    fn stats(&self) -> String {
+        format!(
+            "inlined {} call sites, deleted {} functions",
+            self.inlined, self.deleted
+        )
+    }
+}
+
+/// Find and inline one eligible call site in `caller`. Returns whether a
+/// site was inlined.
+fn inline_one_call(
+    m: &mut Module,
+    caller: FuncId,
+    cg: &CallGraph,
+    threshold: usize,
+    caller_cap: usize,
+) -> bool {
+    let f = m.func(caller);
+    if f.is_declaration() || f.num_insts() >= caller_cap {
+        return false;
+    }
+    let mut site: Option<(BlockId, InstId, FuncId)> = None;
+    'outer: for b in f.block_ids() {
+        for &iid in f.block_insts(b) {
+            let callee_val = match f.inst(iid) {
+                Inst::Call { callee, .. } | Inst::Invoke { callee, .. } => *callee,
+                _ => continue,
+            };
+            let callee = match callee_val {
+                Value::Const(c) => match m.consts.get(c) {
+                    Const::FuncAddr(t) => *t,
+                    _ => continue,
+                },
+                _ => continue,
+            };
+            if callee == caller {
+                continue; // no self-inlining
+            }
+            let target = m.func(callee);
+            if target.is_declaration() || target.is_varargs() {
+                continue;
+            }
+            let size = target.num_insts();
+            let single_site = matches!(target.linkage, lpat_core::Linkage::Internal)
+                && cg.direct_call_sites(callee) == 1
+                && !cg.is_address_taken(callee);
+            if !(size <= threshold || (single_site && size <= threshold * 16)) {
+                continue;
+            }
+            // Invoke sites: only callees free of calls/invokes (so the
+            // only exceptional exit is a literal `unwind`, which becomes a
+            // branch), and the result must be unused or the normal dest
+            // single-predecessor (for the φ insertion to be well-formed).
+            if let Inst::Invoke { normal, .. } = f.inst(iid) {
+                let has_calls = target
+                    .inst_ids_in_order()
+                    .any(|i| matches!(target.inst(i), Inst::Call { .. } | Inst::Invoke { .. }));
+                if has_calls {
+                    continue;
+                }
+                let result_used = f.use_counts()[iid.index()] > 0;
+                if result_used && f.predecessors()[normal.index()].len() != 1 {
+                    continue;
+                }
+            }
+            site = Some((b, iid, callee));
+            break 'outer;
+        }
+    }
+    let Some((b, iid, callee)) = site else {
+        return false;
+    };
+    inline_site(m, caller, b, iid, callee);
+    true
+}
+
+/// Splice `callee`'s body into `caller` at call/invoke `site` in block `b`.
+pub fn inline_site(m: &mut Module, caller: FuncId, b: BlockId, site: InstId, callee_id: FuncId) {
+    let callee: Function = m.func(callee_id).clone();
+    let (args, invoke_dests) = match m.func(caller).inst(site) {
+        Inst::Call { args, .. } => (args.clone(), None),
+        Inst::Invoke {
+            args,
+            normal,
+            unwind,
+            ..
+        } => (args.clone(), Some((*normal, *unwind))),
+        other => panic!("inline_site on non-call {other:?}"),
+    };
+    let ret_ty = m.func(caller).inst_ty(site);
+    let is_void = ret_ty == m.types.void();
+
+    // 1. Instruction & block id maps for the copied body.
+    let base_inst = m.func(caller).num_inst_slots();
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    for (k, old) in callee.inst_ids_in_order().enumerate() {
+        inst_map.insert(old, InstId::from_index(base_inst + k));
+    }
+    // 2. Continuation: where control goes after an inlined `ret`.
+    //    Call sites split the block; invoke sites branch to `normal`.
+    let (cont, split_moved): (BlockId, Vec<InstId>) = match invoke_dests {
+        Some((normal, _)) => (normal, Vec::new()),
+        None => {
+            let fm = m.func_mut(caller);
+            let cont = fm.add_block();
+            let insts = fm.block_insts(b).to_vec();
+            let pos = insts.iter().position(|&i| i == site).expect("site in b");
+            let before = insts[..pos].to_vec();
+            let after = insts[pos + 1..].to_vec();
+            fm.set_block_insts(b, before);
+            fm.set_block_insts(cont, after.clone());
+            (cont, after)
+        }
+    };
+    let _ = split_moved;
+    // Copied callee blocks start after everything created so far
+    // (including the continuation split above).
+    let base_block = m.func(caller).num_blocks();
+    let block_map = |old: BlockId| BlockId::from_index(base_block + old.index());
+
+    // φs in the successors of the moved terminator must re-point from `b`
+    // to `cont` (call case only: the terminator moved there).
+    if invoke_dests.is_none() {
+        let succs: Vec<BlockId> = m.func(caller).successors(cont);
+        let fm = m.func_mut(caller);
+        for s in succs {
+            for &pid in fm.block_insts(s).to_vec().iter() {
+                if let Inst::Phi { incoming } = fm.inst_mut(pid) {
+                    for (_, pb) in incoming {
+                        if *pb == b {
+                            *pb = cont;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Copy blocks & instructions.
+    let mut ret_edges: Vec<(Option<Value>, BlockId)> = Vec::new();
+    let mut unwind_edges: Vec<BlockId> = Vec::new();
+    {
+        let remap_val = |v: Value| -> Value {
+            match v {
+                Value::Arg(i) => args[i as usize],
+                Value::Inst(d) => Value::Inst(inst_map[&d]),
+                c => c,
+            }
+        };
+        for ob in callee.block_ids() {
+            let fm = m.func_mut(caller);
+            let nb = fm.add_block();
+            debug_assert_eq!(nb, block_map(ob));
+        }
+        for ob in callee.block_ids() {
+            let nb = block_map(ob);
+            for &oi in callee.block_insts(ob) {
+                let mut inst = callee.inst(oi).clone();
+                let ty = callee.inst_ty(oi);
+                let new_inst = match &mut inst {
+                    Inst::Ret(v) => {
+                        ret_edges.push((v.map(remap_val), nb));
+                        Inst::Br(cont)
+                    }
+                    Inst::Unwind if invoke_dests.is_some() => {
+                        // The paper's unwind→branch conversion: the unwind
+                        // target is now in the same function.
+                        let (_, uw) = invoke_dests.unwrap();
+                        unwind_edges.push(nb);
+                        Inst::Br(uw)
+                    }
+                    other => {
+                        other.map_operands(remap_val);
+                        other.map_successors(block_map);
+                        other.clone()
+                    }
+                };
+                let fm = m.func_mut(caller);
+                let made = fm.new_inst(new_inst, ty);
+                debug_assert_eq!(Some(&made), inst_map.get(&oi));
+                let mut insts = fm.block_insts(nb).to_vec();
+                insts.push(made);
+                fm.set_block_insts(nb, insts);
+            }
+        }
+    }
+
+    // 4. Patch destination φs.
+    match invoke_dests {
+        None => {
+            // `cont`'s only preds are the ret blocks (it is freshly split,
+            // so it has no φs of its own yet). Build the result value.
+            let result: Option<Value> = if is_void {
+                None
+            } else if ret_edges.len() == 1 {
+                ret_edges[0].0
+            } else if ret_edges.is_empty() {
+                Some(Value::Const(m.consts.undef(ret_ty)))
+            } else {
+                let fm = m.func_mut(caller);
+                let phi = fm.new_inst(
+                    Inst::Phi {
+                        incoming: ret_edges
+                            .iter()
+                            .map(|(v, bb)| (v.expect("typed ret"), *bb))
+                            .collect(),
+                    },
+                    ret_ty,
+                );
+                fm.insert_inst(cont, 0, phi);
+                Some(Value::Inst(phi))
+            };
+            if let Some(r) = result {
+                m.func_mut(caller).replace_all_uses(Value::Inst(site), r);
+            }
+        }
+        Some((normal, unwind)) => {
+            // Every φ entry `(v, b)` in `normal` becomes one entry per ret
+            // block; in `unwind`, one per unwind block.
+            let fix = |m: &mut Module, dest: BlockId, new_preds: &[BlockId]| {
+                let fm = m.func_mut(caller);
+                for &pid in fm.block_insts(dest).to_vec().iter() {
+                    if let Inst::Phi { incoming } = fm.inst_mut(pid) {
+                        let mut out = Vec::with_capacity(incoming.len());
+                        for (v, pb) in incoming.iter() {
+                            if *pb == b {
+                                for &np in new_preds {
+                                    out.push((*v, np));
+                                }
+                            } else {
+                                out.push((*v, *pb));
+                            }
+                        }
+                        *incoming = out;
+                    }
+                }
+            };
+            let ret_blocks: Vec<BlockId> = ret_edges.iter().map(|(_, bb)| *bb).collect();
+            fix(m, normal, &ret_blocks);
+            fix(m, unwind, &unwind_edges);
+            // Result value (policy guarantees single-pred normal dest when
+            // used).
+            if !is_void {
+                let result = if ret_edges.len() == 1 {
+                    ret_edges[0].0.expect("typed ret")
+                } else if ret_edges.is_empty() {
+                    Value::Const(m.consts.undef(ret_ty))
+                } else {
+                    let fm = m.func_mut(caller);
+                    let phi = fm.new_inst(
+                        Inst::Phi {
+                            incoming: ret_edges
+                                .iter()
+                                .map(|(v, bb)| (v.expect("typed ret"), *bb))
+                                .collect(),
+                        },
+                        ret_ty,
+                    );
+                    fm.insert_inst(normal, 0, phi);
+                    Value::Inst(phi)
+                };
+                m.func_mut(caller)
+                    .replace_all_uses(Value::Inst(site), result);
+            }
+        }
+    }
+
+    // 5. Replace the call site with a branch into the inlined entry.
+    let entry_new = block_map(callee.entry());
+    let void = m.types.void();
+    let fm = m.func_mut(caller);
+    fm.remove_inst(b, site);
+    let br = fm.new_inst(Inst::Br(entry_new), void);
+    let mut insts = fm.block_insts(b).to_vec();
+    insts.push(br);
+    fm.set_block_insts(b, insts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pm::Pass;
+    use lpat_asm::parse_module;
+
+    fn run_inline(src: &str) -> (Module, Inline) {
+        let mut m = parse_module("t", src).unwrap();
+        m.verify().unwrap();
+        let mut p = Inline::default();
+        p.run(&mut m);
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+        (m, p)
+    }
+
+    #[test]
+    fn inlines_small_leaf() {
+        let (m, p) = run_inline(
+            "
+define internal int @sq(int %x) {
+e:
+  %r = mul int %x, %x
+  ret int %r
+}
+define int @main(int %a) {
+e:
+  %v = call int @sq(int %a)
+  %w = add int %v, 1
+  ret int %w
+}",
+        );
+        assert_eq!(p.inlined, 1);
+        assert_eq!(p.deleted, 1, "sq no longer referenced");
+        let text = m.display();
+        assert!(!text.contains("call"), "{text}");
+        assert!(text.contains("mul int %a0, %a0"), "{text}");
+    }
+
+    #[test]
+    fn inlines_multi_return_with_phi() {
+        let (m, _) = run_inline(
+            "
+define internal int @pick(bool %c) {
+e:
+  br bool %c, label %l, label %r
+l:
+  ret int 1
+r:
+  ret int 2
+}
+define int @main(bool %c) {
+e:
+  %v = call int @pick(bool %c)
+  ret int %v
+}",
+        );
+        let text = m.display();
+        assert!(text.contains("phi int"), "{text}");
+        assert!(!text.contains("call"), "{text}");
+    }
+
+    #[test]
+    fn unwind_becomes_branch_at_invoke_site() {
+        let (m, p) = run_inline(
+            "
+define internal void @thrower(bool %c) {
+e:
+  br bool %c, label %t, label %ok
+t:
+  unwind
+ok:
+  ret void
+}
+define int @main(bool %c) {
+e:
+  invoke void @thrower(bool %c) to label %fine unwind label %handler
+fine:
+  ret int 0
+handler:
+  ret int 1
+}",
+        );
+        assert_eq!(p.inlined, 1);
+        let text = m.display();
+        assert!(!text.contains("invoke"), "{text}");
+        assert!(!text.contains("unwind"), "unwind must become a branch: {text}");
+    }
+
+    #[test]
+    fn does_not_inline_recursive() {
+        let (m, p) = run_inline(
+            "
+define int @fact(int %n) {
+e:
+  %c = setle int %n, 1
+  br bool %c, label %base, label %rec
+base:
+  ret int 1
+rec:
+  %n1 = sub int %n, 1
+  %r = call int @fact(int %n1)
+  %v = mul int %n, %r
+  ret int %v
+}",
+        );
+        assert_eq!(p.inlined, 0);
+        assert!(m.display().contains("call int @fact"));
+    }
+
+    #[test]
+    fn keeps_unwind_at_plain_call_site() {
+        // Inlining a thrower at a *call* site keeps the unwind: it will
+        // continue into the caller's dynamic context at run time.
+        let (m, _) = run_inline(
+            "
+define internal void @thrower() {
+e:
+  unwind
+}
+define void @main() {
+e:
+  call void @thrower()
+  ret void
+}",
+        );
+        let text = m.display();
+        assert!(!text.contains("call"), "{text}");
+        assert!(text.contains("unwind"), "{text}");
+    }
+
+    #[test]
+    fn single_site_large_internal_inlined() {
+        let mut body = String::new();
+        for i in 0..60 {
+            body.push_str(&format!("  %v{i} = add int %x, {i}\n"));
+        }
+        let src = format!(
+            "
+define internal int @big(int %x) {{
+e:
+{body}  ret int %v59
+}}
+define int @main(int %a) {{
+e:
+  %v = call int @big(int %a)
+  ret int %v
+}}"
+        );
+        let (m, p) = run_inline(&src);
+        assert_eq!(p.inlined, 1, "{}", m.display());
+    }
+
+    #[test]
+    fn args_in_loop_preserved() {
+        // Inline inside a loop: φs around the continuation must stay
+        // consistent.
+        let (m, _) = run_inline(
+            "
+define internal int @inc(int %x) {
+e:
+  %r = add int %x, 1
+  ret int %r
+}
+define int @main(int %n) {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %h ]
+  %i2 = call int @inc(int %i)
+  %c = setlt int %i2, %n
+  br bool %c, label %h, label %x
+x:
+  ret int %i2
+}",
+        );
+        let text = m.display();
+        assert!(!text.contains("call"), "{text}");
+    }
+}

@@ -1,0 +1,685 @@
+//! Link-time interprocedural optimizations (paper §3.3, Table 2):
+//! internalization, aggressive dead-global & dead-function elimination
+//! (DGE), dead-argument & dead-return-value elimination (DAE), and
+//! interprocedural constant propagation (IPCP).
+
+use std::collections::{HashMap, HashSet};
+
+use lpat_analysis::CallGraph;
+use lpat_core::{Const, ConstId, FuncId, GlobalId, Inst, InstId, Linkage, Module, Value};
+
+use crate::pm::Pass;
+
+// ----------------------------------------------------------------------
+// Internalize
+// ----------------------------------------------------------------------
+
+/// After whole-program linking, only the entry point needs external
+/// linkage; everything else becomes internal, unlocking the aggressive IPO
+/// passes.
+pub struct Internalize {
+    /// Symbols to keep external (default: `main`).
+    pub keep: Vec<String>,
+    count: usize,
+}
+
+impl Default for Internalize {
+    fn default() -> Self {
+        Internalize {
+            keep: vec!["main".to_string()],
+            count: 0,
+        }
+    }
+}
+
+impl Pass for Internalize {
+    fn name(&self) -> &'static str {
+        "internalize"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in m.func_ids().collect::<Vec<_>>() {
+            let f = m.func_mut(fid);
+            if !f.is_declaration()
+                && matches!(f.linkage, Linkage::External)
+                && !self.keep.contains(&f.name)
+            {
+                f.linkage = Linkage::Internal;
+                self.count += 1;
+                changed = true;
+            }
+        }
+        for gid in 0..m.num_globals() {
+            let g = m.global_mut(GlobalId::from_index(gid));
+            if !g.is_declaration()
+                && matches!(g.linkage, Linkage::External)
+                && !self.keep.contains(&g.name)
+            {
+                g.linkage = Linkage::Internal;
+                self.count += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+    fn stats(&self) -> String {
+        format!("internalized {} symbols", self.count)
+    }
+}
+
+// ----------------------------------------------------------------------
+// DGE — aggressive dead global (variable & function) elimination
+// ----------------------------------------------------------------------
+
+/// Aggressive dead-global elimination: assumes objects are dead until
+/// proven reachable from an external root, so dead cycles are deleted too
+/// (paper footnote 9).
+#[derive(Default)]
+pub struct Dge {
+    /// Functions eliminated.
+    pub funcs_removed: usize,
+    /// Global variables eliminated.
+    pub globals_removed: usize,
+}
+
+impl Pass for Dge {
+    fn name(&self) -> &'static str {
+        "dge"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let (f, g) = run_dge(m);
+        self.funcs_removed += f;
+        self.globals_removed += g;
+        f + g > 0
+    }
+    fn stats(&self) -> String {
+        format!(
+            "eliminated {} functions and {} global variables",
+            self.funcs_removed, self.globals_removed
+        )
+    }
+}
+
+/// Run DGE once; returns `(functions removed, globals removed)`.
+pub fn run_dge(m: &mut Module) -> (usize, usize) {
+    // Roots: external-linkage definitions and all declarations (their
+    // addresses may be referenced by unseen code).
+    let mut live_f: HashSet<FuncId> = HashSet::new();
+    let mut live_g: HashSet<GlobalId> = HashSet::new();
+    let mut work_f: Vec<FuncId> = Vec::new();
+    let mut work_g: Vec<GlobalId> = Vec::new();
+    for (fid, f) in m.funcs() {
+        if matches!(f.linkage, Linkage::External) {
+            live_f.insert(fid);
+            work_f.push(fid);
+        }
+    }
+    for (gid, g) in m.globals() {
+        if matches!(g.linkage, Linkage::External) {
+            live_g.insert(gid);
+            work_g.push(gid);
+        }
+    }
+    // Trace.
+    loop {
+        if let Some(fid) = work_f.pop() {
+            let f = m.func(fid);
+            for iid in f.inst_ids_in_order() {
+                f.inst(iid).for_each_operand(|v| {
+                    if let Value::Const(c) = v {
+                        mark_const(m, c, &mut live_f, &mut live_g, &mut work_f, &mut work_g);
+                    }
+                });
+            }
+            continue;
+        }
+        if let Some(gid) = work_g.pop() {
+            if let Some(init) = m.global(gid).init {
+                mark_const(m, init, &mut live_f, &mut live_g, &mut work_f, &mut work_g);
+            }
+            continue;
+        }
+        break;
+    }
+    let fr = m.retain_functions(|f| live_f.contains(&f));
+    let gr = m.retain_globals(|g| live_g.contains(&g));
+    (fr, gr)
+}
+
+fn mark_const(
+    m: &Module,
+    c: ConstId,
+    live_f: &mut HashSet<FuncId>,
+    live_g: &mut HashSet<GlobalId>,
+    work_f: &mut Vec<FuncId>,
+    work_g: &mut Vec<GlobalId>,
+) {
+    match m.consts.get(c) {
+        Const::FuncAddr(f) => {
+            if live_f.insert(*f) {
+                work_f.push(*f);
+            }
+        }
+        Const::GlobalAddr(g) => {
+            if live_g.insert(*g) {
+                work_g.push(*g);
+            }
+        }
+        Const::Array { elems, .. } => {
+            for e in elems {
+                mark_const(m, *e, live_f, live_g, work_f, work_g);
+            }
+        }
+        Const::Struct { fields, .. } => {
+            for e in fields {
+                mark_const(m, *e, live_f, live_g, work_f, work_g);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ----------------------------------------------------------------------
+// DAE — dead argument & return value elimination
+// ----------------------------------------------------------------------
+
+/// Aggressive dead-argument and dead-return-value elimination for internal
+/// functions whose address is never taken.
+#[derive(Default)]
+pub struct Dae {
+    /// Arguments removed.
+    pub args_removed: usize,
+    /// Return values removed (function return type changed to void).
+    pub rets_removed: usize,
+}
+
+impl Pass for Dae {
+    fn name(&self) -> &'static str {
+        "dae"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let (a, r) = run_dae(m);
+        self.args_removed += a;
+        self.rets_removed += r;
+        a + r > 0
+    }
+    fn stats(&self) -> String {
+        format!(
+            "eliminated {} arguments and {} return values",
+            self.args_removed, self.rets_removed
+        )
+    }
+}
+
+/// Run DAE; returns `(arguments removed, return values removed)`.
+///
+/// One analysis sweep gathers every candidate (dead-argument masks from
+/// each body, return-value liveness from one pass over all call sites);
+/// the rewrites then proceed by *name*, since each rewrite renumbers
+/// function ids.
+pub fn run_dae(m: &mut Module) -> (usize, usize) {
+    let cg = CallGraph::build(m);
+    let mut args_removed = 0;
+    let mut rets_removed = 0;
+    // One pass over all call sites: which functions' results are ever
+    // used? (keyed by id now, carried by name across rewrites).
+    let mut ret_used: HashSet<FuncId> = HashSet::new();
+    for (_, cf) in m.funcs() {
+        let uses = cf.use_counts();
+        for uid in cf.inst_ids_in_order() {
+            if let Inst::Call { callee, .. } | Inst::Invoke { callee, .. } = cf.inst(uid) {
+                if uses[uid.index()] > 0 {
+                    if let Value::Const(c) = callee {
+                        if let Const::FuncAddr(t) = m.consts.get(*c) {
+                            ret_used.insert(*t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Candidates, by name (ids shift as rewrites delete old functions).
+    let mut plan: Vec<(String, Vec<bool>, bool)> = Vec::new();
+    for (fid, f) in m.funcs() {
+        if f.is_declaration()
+            || !matches!(f.linkage, Linkage::Internal)
+            || cg.is_address_taken(fid)
+            || f.is_varargs()
+        {
+            continue;
+        }
+        let mut used = vec![false; f.num_params()];
+        for iid in f.inst_ids_in_order() {
+            f.inst(iid).for_each_operand(|v| {
+                if let Value::Arg(i) = v {
+                    used[i as usize] = true;
+                }
+            });
+        }
+        let drop_ret = f.ret_type() != m.types.void() && !ret_used.contains(&fid);
+        if used.iter().all(|&u| u) && !drop_ret {
+            continue;
+        }
+        args_removed += used.iter().filter(|&&u| !u).count();
+        if drop_ret {
+            rets_removed += 1;
+        }
+        plan.push((f.name.clone(), used, drop_ret));
+    }
+    // Rewrites only *append* replacement functions, so ids stay stable
+    // until the single batched deletion at the end.
+    let mut retired: HashSet<FuncId> = HashSet::new();
+    for (name, used, drop_ret) in plan {
+        let fid = m.func_by_name(&name).expect("candidate still present");
+        rewrite_signature(m, fid, &used, drop_ret);
+        retired.insert(fid);
+    }
+    if !retired.is_empty() {
+        m.retain_functions(|f| !retired.contains(&f));
+    }
+    (args_removed, rets_removed)
+}
+
+fn is_addr_of(m: &Module, v: Value, f: FuncId) -> bool {
+    matches!(v, Value::Const(c) if matches!(m.consts.get(c), Const::FuncAddr(t) if *t == f))
+}
+
+/// Rebuild `fid`'s signature keeping only `used` arguments and optionally
+/// dropping the return value, then rewrite the body and all call sites.
+fn rewrite_signature(m: &mut Module, fid: FuncId, used: &[bool], drop_ret: bool) {
+    // Map old arg index -> new.
+    let mut map: Vec<Option<u32>> = Vec::with_capacity(used.len());
+    let mut next = 0u32;
+    for &u in used {
+        if u {
+            map.push(Some(next));
+            next += 1;
+        } else {
+            map.push(None);
+        }
+    }
+    let old = m.func(fid).clone();
+    let new_params: Vec<lpat_core::TypeId> = old
+        .params()
+        .iter()
+        .zip(used)
+        .filter(|(_, &u)| u)
+        .map(|(&t, _)| t)
+        .collect();
+    let ret = if drop_ret {
+        m.types.void()
+    } else {
+        old.ret_type()
+    };
+    // Temporarily rename, create the replacement, then swap bodies.
+    let name = old.name.clone();
+    let tmp = format!("{name}$dae");
+    m.rename_function(fid, &tmp);
+    let new_fid = m.add_function(&name, &new_params, ret, false, old.linkage);
+    // Copy the body, remapping arg references and (possibly sparse) old
+    // instruction ids to the new dense layout.
+    {
+        let src = m.func(fid).clone();
+        let void = m.types.void();
+        let mut imap: HashMap<InstId, InstId> = HashMap::new();
+        for (k, oi) in src.inst_ids_in_order().enumerate() {
+            imap.insert(oi, InstId::from_index(k));
+        }
+        let fm = m.func_mut(new_fid);
+        for _ in 0..src.num_blocks() {
+            fm.add_block();
+        }
+        for bidx in src.block_ids() {
+            for &oi in src.block_insts(bidx) {
+                let mut inst = src.inst(oi).clone();
+                let mut ty = src.inst_ty(oi);
+                inst.map_operands(|v| match v {
+                    Value::Arg(i) => Value::Arg(map[i as usize].expect("used arg")),
+                    Value::Inst(d) => Value::Inst(imap[&d]),
+                    other => other,
+                });
+                if drop_ret {
+                    if let Inst::Ret(_) = inst {
+                        inst = Inst::Ret(None);
+                        ty = void;
+                    }
+                }
+                let made = fm.new_inst(inst, ty);
+                debug_assert_eq!(Some(&made), imap.get(&oi));
+                let mut insts = fm.block_insts(bidx).to_vec();
+                insts.push(made);
+                fm.set_block_insts(bidx, insts);
+            }
+        }
+    }
+    // Rewrite every call site.
+    let new_addr = m.consts.func_addr(new_fid);
+    let void = m.types.void();
+    for cid in m.func_ids().collect::<Vec<_>>() {
+        let cf = m.func(cid);
+        let mut patches: Vec<(InstId, Inst)> = Vec::new();
+        for uid in cf.inst_ids_in_order() {
+            let inst = cf.inst(uid);
+            let (callee, args, dests) = match inst {
+                Inst::Call { callee, args } => (*callee, args.clone(), None),
+                Inst::Invoke {
+                    callee,
+                    args,
+                    normal,
+                    unwind,
+                } => (*callee, args.clone(), Some((*normal, *unwind))),
+                _ => continue,
+            };
+            if !is_addr_of(m, callee, fid) {
+                continue;
+            }
+            let new_args: Vec<Value> = args
+                .iter()
+                .zip(used)
+                .filter(|(_, &u)| u)
+                .map(|(&a, _)| a)
+                .collect();
+            let new_inst = match dests {
+                None => Inst::Call {
+                    callee: Value::Const(new_addr),
+                    args: new_args,
+                },
+                Some((normal, unwind)) => Inst::Invoke {
+                    callee: Value::Const(new_addr),
+                    args: new_args,
+                    normal,
+                    unwind,
+                },
+            };
+            patches.push((uid, new_inst));
+        }
+        let cfm = m.func_mut(cid);
+        for (uid, inst) in patches {
+            *cfm.inst_mut(uid) = inst;
+            if drop_ret {
+                cfm.set_inst_ty(uid, void);
+            }
+        }
+    }
+    // The old function is now unreferenced; the caller batch-deletes it.
+}
+
+// ----------------------------------------------------------------------
+// IPCP — interprocedural constant propagation
+// ----------------------------------------------------------------------
+
+/// Propagate constants into internal functions when every call site passes
+/// the same constant for a parameter.
+#[derive(Default)]
+pub struct Ipcp {
+    propagated: usize,
+}
+
+impl Pass for Ipcp {
+    fn name(&self) -> &'static str {
+        "ipcp"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let n = run_ipcp(m);
+        self.propagated += n;
+        n > 0
+    }
+    fn stats(&self) -> String {
+        format!("propagated {} constant arguments", self.propagated)
+    }
+}
+
+/// Run IPCP once; returns number of parameters replaced by constants.
+pub fn run_ipcp(m: &mut Module) -> usize {
+    let cg = CallGraph::build(m);
+    let mut count = 0;
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        let f = m.func(fid);
+        if f.is_declaration()
+            || !matches!(f.linkage, Linkage::Internal)
+            || cg.is_address_taken(fid)
+        {
+            continue;
+        }
+        // Gather, for each parameter, the set of constants passed.
+        let nparams = f.num_params();
+        let mut arg_consts: Vec<Option<ConstId>> = vec![None; nparams];
+        let mut arg_bad = vec![false; nparams];
+        let mut any_site = false;
+        for (_, cf) in m.funcs() {
+            for uid in cf.inst_ids_in_order() {
+                let (callee, args) = match cf.inst(uid) {
+                    Inst::Call { callee, args } => (*callee, args),
+                    Inst::Invoke { callee, args, .. } => (*callee, args),
+                    _ => continue,
+                };
+                if !is_addr_of(m, callee, fid) {
+                    continue;
+                }
+                any_site = true;
+                for (i, &a) in args.iter().enumerate().take(nparams) {
+                    match a {
+                        Value::Const(c) => match arg_consts[i] {
+                            None => arg_consts[i] = Some(c),
+                            Some(prev) if prev == c => {}
+                            Some(_) => arg_bad[i] = true,
+                        },
+                        _ => arg_bad[i] = true,
+                    }
+                }
+            }
+        }
+        if !any_site {
+            continue;
+        }
+        for i in 0..nparams {
+            if arg_bad[i] {
+                continue;
+            }
+            if let Some(c) = arg_consts[i] {
+                // Don't propagate undef or aggregates.
+                if matches!(
+                    m.consts.get(c),
+                    Const::Undef(_) | Const::Array { .. } | Const::Struct { .. }
+                ) {
+                    continue;
+                }
+                m.func_mut(fid)
+                    .replace_all_uses(Value::Arg(i as u32), Value::Const(c));
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpat_asm::parse_module;
+
+    #[test]
+    fn internalize_keeps_main() {
+        let mut m = parse_module(
+            "t",
+            "
+@data = global int 1
+define void @helper() {
+e:
+  ret void
+}
+define int @main() {
+e:
+  ret int 0
+}",
+        )
+        .unwrap();
+        let mut p = Internalize::default();
+        assert!(p.run(&mut m));
+        assert!(matches!(
+            m.func(m.func_by_name("helper").unwrap()).linkage,
+            Linkage::Internal
+        ));
+        assert!(matches!(
+            m.func(m.func_by_name("main").unwrap()).linkage,
+            Linkage::External
+        ));
+        assert!(matches!(
+            m.global(m.global_by_name("data").unwrap()).linkage,
+            Linkage::Internal
+        ));
+    }
+
+    #[test]
+    fn dge_removes_dead_cycle() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal void @a() {
+e:
+  call void @b()
+  ret void
+}
+define internal void @b() {
+e:
+  call void @a()
+  ret void
+}
+@dead_g = internal global int 7
+define int @main() {
+e:
+  ret int 0
+}",
+        )
+        .unwrap();
+        let (f, g) = run_dge(&mut m);
+        assert_eq!(f, 2, "mutually-recursive dead functions deleted");
+        assert_eq!(g, 1);
+        assert_eq!(m.num_funcs(), 1);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn dge_keeps_vtable_referenced() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @impl(int %x) {
+e:
+  ret int %x
+}
+@vt = constant [1 x int (int)*] [ int (int)* @impl ]
+define int @main() {
+e:
+  ret int 0
+}",
+        )
+        .unwrap();
+        let (f, _) = run_dge(&mut m);
+        assert_eq!(f, 0, "vtable keeps impl alive");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn dae_removes_unused_arg_and_ret() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @f(int %used, int %unused) {
+e:
+  %r = add int %used, 1
+  ret int %r
+}
+define void @main() {
+e:
+  %x = call int @f(int 1, int 2)
+  ret void
+}",
+        )
+        .unwrap();
+        let (a, r) = run_dae(&mut m);
+        assert_eq!(a, 1);
+        assert_eq!(r, 1);
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+        let text = m.display();
+        assert!(text.contains("define internal void @f(int %a0)"), "{text}");
+        assert!(text.contains("call void @f(int 1)"), "{text}");
+    }
+
+    #[test]
+    fn dae_keeps_used_returns() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @f(int %x) {
+e:
+  ret int %x
+}
+define int @main() {
+e:
+  %v = call int @f(int 3)
+  ret int %v
+}",
+        )
+        .unwrap();
+        let (a, r) = run_dae(&mut m);
+        assert_eq!((a, r), (0, 0));
+    }
+
+    #[test]
+    fn ipcp_propagates_common_constant() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @f(int %x, int %y) {
+e:
+  %r = add int %x, %y
+  ret int %r
+}
+define int @main(int %v) {
+e:
+  %a = call int @f(int 5, int %v)
+  %b = call int @f(int 5, int 9)
+  %c = add int %a, %b
+  ret int %c
+}",
+        )
+        .unwrap();
+        let n = run_ipcp(&mut m);
+        assert_eq!(n, 1, "only %x is constant at all sites");
+        m.verify().unwrap();
+        assert!(m.display().contains("add int 5, %a1"), "{}", m.display());
+    }
+
+    #[test]
+    fn dae_rewrites_invoke_sites() {
+        let mut m = parse_module(
+            "t",
+            "
+define internal int @f(int %unused) {
+e:
+  ret int 0
+}
+define void @main() {
+e:
+  invoke void @wrap() to label %ok unwind label %h
+ok:
+  ret void
+h:
+  ret void
+}
+define internal void @wrap() {
+e:
+  %x = call int @f(int 9)
+  ret void
+}",
+        )
+        .unwrap();
+        let (a, r) = run_dae(&mut m);
+        assert!(a >= 1);
+        assert!(r >= 1);
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+    }
+}

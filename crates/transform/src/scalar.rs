@@ -1,0 +1,411 @@
+//! Scalar simplifications: constant folding, algebraic identities, and
+//! dead-instruction elimination.
+//!
+//! `InstSimplify` is the workhorse run repeatedly between the structural
+//! passes; `Dce` removes unused side-effect-free instructions.
+
+use std::collections::HashMap;
+
+use lpat_core::fold::{fold_bin, fold_cast, fold_cmp};
+use lpat_core::{BinOp, Const, FuncId, Inst, InstId, Module, Value};
+
+use crate::pm::Pass;
+
+/// Constant folding plus algebraic identity simplification.
+#[derive(Default)]
+pub struct InstSimplify {
+    simplified: usize,
+}
+
+impl Pass for InstSimplify {
+    fn name(&self) -> &'static str {
+        "instsimplify"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in m.func_ids().collect::<Vec<_>>() {
+            while simplify_function(m, fid) {
+                self.simplified += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+    fn stats(&self) -> String {
+        format!("{} simplification rounds", self.simplified)
+    }
+}
+
+/// One simplification sweep over a function; returns whether anything
+/// changed (callers iterate to a fixpoint).
+pub fn simplify_function(m: &mut Module, fid: FuncId) -> bool {
+    if m.func(fid).is_declaration() {
+        return false;
+    }
+    let mut repl: HashMap<InstId, Value> = HashMap::new();
+    let f = m.func(fid).clone();
+    for iid in f.inst_ids_in_order() {
+        if let Some(v) = simplify_inst(m, fid, iid) {
+            repl.insert(iid, v);
+        }
+    }
+    if repl.is_empty() {
+        return false;
+    }
+    let fm = m.func_mut(fid);
+    let n = fm.num_inst_slots();
+    for i in 0..n {
+        let iid = InstId::from_index(i);
+        fm.inst_mut(iid).map_operands(|mut v| {
+            while let Value::Inst(d) = v {
+                match repl.get(&d) {
+                    Some(&x) => v = x,
+                    None => break,
+                }
+            }
+            v
+        });
+    }
+    // The replaced instructions are now dead; drop them.
+    let inst_blocks = fm.inst_blocks();
+    for (&iid, _) in &repl {
+        if let Some(b) = inst_blocks[iid.index()] {
+            fm.remove_inst(b, iid);
+        }
+    }
+    true
+}
+
+/// Try to simplify one instruction to an existing value.
+fn simplify_inst(m: &mut Module, fid: FuncId, iid: InstId) -> Option<Value> {
+    let inst = m.func(fid).inst(iid).clone();
+    fn as_const(m: &Module, v: Value) -> Option<Const> {
+        match v {
+            Value::Const(c) => Some(m.consts.get(c).clone()),
+            _ => None,
+        }
+    }
+    fn int_val(m: &Module, v: Value) -> Option<i64> {
+        match as_const(m, v)? {
+            Const::Int { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+    fn vty(m: &Module, fid: FuncId, v: Value) -> lpat_core::TypeId {
+        m.value_type(m.func(fid), v)
+    }
+    match inst {
+        Inst::Bin { op, lhs, rhs } => {
+            // Constant folding.
+            if let (Some(a), Some(b)) = (as_const(m, lhs), as_const(m, rhs)) {
+                if let Some(c) = fold_bin(&mut m.consts, op, &a, &b) {
+                    let id = m.consts.intern(c);
+                    return Some(Value::Const(id));
+                }
+            }
+            let ty = vty(m, fid, lhs);
+            let is_int = m.types.is_int(ty);
+            // Identities (integer only: float identities are unsound under
+            // NaN/-0.0).
+            if is_int {
+                match op {
+                    BinOp::Add | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr => {
+                        if int_val(m, rhs) == Some(0) {
+                            return Some(lhs);
+                        }
+                        if matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor)
+                            && int_val(m, lhs) == Some(0)
+                        {
+                            return Some(rhs);
+                        }
+                    }
+                    BinOp::Sub => {
+                        if int_val(m, rhs) == Some(0) {
+                            return Some(lhs);
+                        }
+                        if lhs == rhs {
+                            let k = m.types.int_kind(ty)?;
+                            return Some(Value::Const(m.consts.int(k, 0)));
+                        }
+                    }
+                    BinOp::Mul => {
+                        if int_val(m, rhs) == Some(1) {
+                            return Some(lhs);
+                        }
+                        if int_val(m, lhs) == Some(1) {
+                            return Some(rhs);
+                        }
+                        if int_val(m, rhs) == Some(0) || int_val(m, lhs) == Some(0) {
+                            let k = m.types.int_kind(ty)?;
+                            return Some(Value::Const(m.consts.int(k, 0)));
+                        }
+                    }
+                    BinOp::Div => {
+                        if int_val(m, rhs) == Some(1) {
+                            return Some(lhs);
+                        }
+                    }
+                    BinOp::And => {
+                        if lhs == rhs {
+                            return Some(lhs);
+                        }
+                        if int_val(m, rhs) == Some(0) {
+                            return Some(rhs);
+                        }
+                    }
+                    _ => {}
+                }
+                if op == BinOp::Or && lhs == rhs {
+                    return Some(lhs);
+                }
+                if op == BinOp::Xor && lhs == rhs {
+                    let k = m.types.int_kind(ty)?;
+                    return Some(Value::Const(m.consts.int(k, 0)));
+                }
+            }
+            None
+        }
+        Inst::Cmp { pred, lhs, rhs } => {
+            if let (Some(a), Some(b)) = (as_const(m, lhs), as_const(m, rhs)) {
+                if let Some(r) = fold_cmp(pred, &a, &b) {
+                    return Some(Value::Const(m.consts.bool_(r)));
+                }
+            }
+            if lhs == rhs && m.types.is_int(vty(m, fid, lhs)) {
+                use lpat_core::CmpPred::*;
+                let r = matches!(pred, Eq | Le | Ge);
+                return Some(Value::Const(m.consts.bool_(r)));
+            }
+            None
+        }
+        Inst::Cast { val, to } => {
+            // Identity cast.
+            if vty(m, fid, val) == to {
+                return Some(val);
+            }
+            if let Some(c) = as_const(m, val) {
+                if let Some(folded) = fold_cast(&m.types, &c, to) {
+                    let id = m.consts.intern(folded);
+                    return Some(Value::Const(id));
+                }
+            }
+            // cast (cast x to A) to B where both casts are pointer casts:
+            // collapse to a single cast.
+            if let Value::Inst(src) = val {
+                if let Inst::Cast { val: inner, .. } = m.func(fid).inst(src).clone() {
+                    let it = vty(m, fid, inner);
+                    if m.types.is_ptr(it) && m.types.is_ptr(to) && it == to {
+                        return Some(inner);
+                    }
+                }
+            }
+            None
+        }
+        Inst::Phi { incoming } => {
+            // φ with all-equal incoming values (ignoring self-references).
+            let me = Value::Inst(iid);
+            let mut uniq: Option<Value> = None;
+            for (v, _) in &incoming {
+                if *v == me {
+                    continue;
+                }
+                match uniq {
+                    None => uniq = Some(*v),
+                    Some(u) if u == *v => {}
+                    Some(_) => return None,
+                }
+            }
+            uniq
+        }
+        Inst::Gep { ptr, indices } => {
+            // gep p, 0 (and any all-zero constant index list) = p.
+            let all_zero = indices.iter().all(|&i| int_val(m, i) == Some(0));
+            if all_zero && vty(m, fid, Value::Inst(iid)) == vty(m, fid, ptr) {
+                return Some(ptr);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Dead-code elimination: unlink side-effect-free instructions whose
+/// results are unused, iterating to a fixpoint.
+#[derive(Default)]
+pub struct Dce {
+    removed: usize,
+}
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in m.func_ids().collect::<Vec<_>>() {
+            let n = dce_function(m, fid);
+            self.removed += n;
+            changed |= n > 0;
+        }
+        changed
+    }
+    fn stats(&self) -> String {
+        format!("removed {} dead instructions", self.removed)
+    }
+}
+
+/// Remove dead instructions from one function; returns how many.
+pub fn dce_function(m: &mut Module, fid: FuncId) -> usize {
+    if m.func(fid).is_declaration() {
+        return 0;
+    }
+    let mut removed = 0;
+    loop {
+        let f = m.func(fid);
+        let uses = f.use_counts();
+        let mut dead = Vec::new();
+        for b in f.block_ids() {
+            for &iid in f.block_insts(b) {
+                if uses[iid.index()] == 0 && !f.inst(iid).has_side_effects() {
+                    dead.push((b, iid));
+                }
+            }
+        }
+        if dead.is_empty() {
+            break;
+        }
+        removed += dead.len();
+        let fm = m.func_mut(fid);
+        for (b, iid) in dead {
+            fm.remove_inst(b, iid);
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpat_asm::parse_module;
+
+    fn opt(src: &str) -> Module {
+        let mut m = parse_module("t", src).unwrap();
+        m.verify().unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        while simplify_function(&mut m, fid) {}
+        dce_function(&mut m, fid);
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+        m
+    }
+
+    #[test]
+    fn folds_constant_chain() {
+        let m = opt(
+            "
+define int @f() {
+e:
+  %a = add int 2, 3
+  %b = mul int %a, 4
+  %c = sub int %b, 20
+  ret int %c
+}",
+        );
+        assert!(m.display().contains("ret int 0"), "{}", m.display());
+        assert_eq!(m.func(m.func_by_name("f").unwrap()).num_insts(), 1);
+    }
+
+    #[test]
+    fn applies_identities() {
+        let m = opt(
+            "
+define int @f(int %x) {
+e:
+  %a = add int %x, 0
+  %b = mul int %a, 1
+  %c = xor int %b, %b
+  %d = or int %b, %c
+  ret int %d
+}",
+        );
+        assert!(m.display().contains("ret int %a0"), "{}", m.display());
+    }
+
+    #[test]
+    fn folds_comparisons_and_casts() {
+        let m = opt(
+            "
+define bool @f(int %x) {
+e:
+  %c = setlt int 3, 5
+  %i = cast bool %c to int
+  %d = seteq int %i, 1
+  ret bool %d
+}",
+        );
+        assert!(m.display().contains("ret bool true"), "{}", m.display());
+    }
+
+    #[test]
+    fn does_not_fold_div_by_zero() {
+        let m = opt(
+            "
+define int @f() {
+e:
+  %a = div int 1, 0
+  ret int %a
+}",
+        );
+        assert!(m.display().contains("div int 1, 0"), "{}", m.display());
+    }
+
+    #[test]
+    fn phi_with_single_value_simplifies() {
+        let m = opt(
+            "
+define int @f(bool %c, int %x) {
+e:
+  br bool %c, label %l, label %r
+l:
+  br label %j
+r:
+  br label %j
+j:
+  %p = phi int [ %x, %l ], [ %x, %r ]
+  ret int %p
+}",
+        );
+        assert!(m.display().contains("ret int %a1"), "{}", m.display());
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let m = opt(
+            "
+declare int @ext()
+define void @f() {
+e:
+  %unused = call int @ext()
+  %dead = add int 1, 2
+  ret void
+}",
+        );
+        let text = m.display();
+        assert!(text.contains("call int @ext()"), "{text}");
+        assert!(!text.contains("add"), "{text}");
+    }
+
+    #[test]
+    fn float_identities_not_applied() {
+        // x + 0.0 is not x for -0.0; the pass must leave it.
+        let m = opt(
+            "
+define double @f(double %x) {
+e:
+  %a = add double %x, 0x0000000000000000
+  ret double %a
+}",
+        );
+        assert!(m.display().contains("add double"), "{}", m.display());
+    }
+}

@@ -1,0 +1,322 @@
+//! CFG simplification: constant-fold terminators, delete unreachable
+//! blocks, and merge straight-line block chains.
+
+use lpat_core::{Const, FuncId, Inst, Module, Value};
+
+use crate::pm::Pass;
+use crate::util::remove_unreachable_blocks;
+
+/// The CFG simplification pass.
+#[derive(Default)]
+pub struct SimplifyCfg {
+    folded: usize,
+    merged: usize,
+    removed: usize,
+}
+
+impl Pass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplifycfg"
+    }
+    fn run(&mut self, m: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in m.func_ids().collect::<Vec<_>>() {
+            loop {
+                let mut round = false;
+                let (f1, f2, f3) = simplify_cfg_function(m, fid);
+                self.folded += f1;
+                self.removed += f2;
+                self.merged += f3;
+                round |= f1 + f2 + f3 > 0;
+                changed |= round;
+                if !round {
+                    break;
+                }
+            }
+        }
+        changed
+    }
+    fn stats(&self) -> String {
+        format!(
+            "folded {} branches, removed {} blocks, merged {} chains",
+            self.folded, self.removed, self.merged
+        )
+    }
+}
+
+/// One round of CFG simplification; returns
+/// `(branches folded, blocks removed, chains merged)`.
+pub fn simplify_cfg_function(m: &mut Module, fid: FuncId) -> (usize, usize, usize) {
+    if m.func(fid).is_declaration() {
+        return (0, 0, 0);
+    }
+    let mut folded = 0;
+
+    // 1. Constant-fold conditional branches and switches.
+    {
+        let f = m.func(fid);
+        let mut patches: Vec<(lpat_core::InstId, Inst)> = Vec::new();
+        for b in f.block_ids() {
+            let Some(t) = f.terminator(b) else { continue };
+            match f.inst(t) {
+                Inst::CondBr {
+                    cond: Value::Const(c),
+                    then_bb,
+                    else_bb,
+                } => {
+                    if let Const::Bool(v) = m.consts.get(*c) {
+                        let target = if *v { *then_bb } else { *else_bb };
+                        let dropped = if *v { *else_bb } else { *then_bb };
+                        patches.push((t, Inst::Br(target)));
+                        // φ fix happens when the edge disappears; record by
+                        // rewriting below.
+                        let _ = dropped;
+                    }
+                }
+                Inst::CondBr {
+                    then_bb, else_bb, ..
+                } if then_bb == else_bb => {
+                    patches.push((t, Inst::Br(*then_bb)));
+                }
+                Inst::Switch {
+                    val: Value::Const(c),
+                    default,
+                    cases,
+                } => {
+                    let target = cases
+                        .iter()
+                        .find(|(cc, _)| cc == c)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                    patches.push((t, Inst::Br(target)));
+                }
+                _ => {}
+            }
+        }
+        if !patches.is_empty() {
+            folded = patches.len();
+            // Removing an edge b -> dropped requires dropping b's entry
+            // from dropped's φs. Compute old edges per patch.
+            let f = m.func(fid);
+            let mut phi_fixes: Vec<(lpat_core::BlockId, lpat_core::BlockId)> = Vec::new();
+            for (t, new_term) in &patches {
+                let old_succs = f.inst(*t).successors();
+                let new_succs = new_term.successors();
+                let block = f
+                    .block_ids()
+                    .find(|&b| f.terminator(b) == Some(*t))
+                    .expect("terminator has a block");
+                // One φ entry must go per lost edge *occurrence* (duplicate
+                // edges count separately).
+                let mut targets: Vec<lpat_core::BlockId> = old_succs.clone();
+                for s in new_succs {
+                    if let Some(pos) = targets.iter().position(|&x| x == s) {
+                        targets.remove(pos);
+                    }
+                }
+                for s in targets {
+                    phi_fixes.push((s, block));
+                }
+            }
+            let fm = m.func_mut(fid);
+            for (t, new_term) in patches {
+                *fm.inst_mut(t) = new_term;
+            }
+            for (s, pred) in phi_fixes {
+                for &iid in fm.block_insts(s).to_vec().iter() {
+                    if let Inst::Phi { incoming } = fm.inst_mut(iid) {
+                        if let Some(pos) = incoming.iter().position(|(_, b)| *b == pred) {
+                            incoming.remove(pos);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Remove unreachable blocks.
+    let before = m.func(fid).num_blocks();
+    remove_unreachable_blocks(m, fid);
+    let removed = before - m.func(fid).num_blocks();
+
+    // 3. Merge a block into its unique successor when that successor has a
+    //    unique predecessor (splice the chain).
+    let mut merged = 0;
+    loop {
+        let f = m.func(fid);
+        let preds = f.predecessors();
+        let mut candidate = None;
+        for b in f.block_ids() {
+            let Some(t) = f.terminator(b) else { continue };
+            if let Inst::Br(s) = f.inst(t) {
+                let s = *s;
+                if s != b && preds[s.index()].len() == 1 && s != f.entry() {
+                    candidate = Some((b, t, s));
+                    break;
+                }
+            }
+        }
+        let Some((b, t, s)) = candidate else { break };
+        merged += 1;
+        // φs in s have exactly one incoming (from b): replace by value.
+        let f = m.func(fid);
+        let s_insts = f.block_insts(s).to_vec();
+        let mut replacements: Vec<(lpat_core::InstId, Value)> = Vec::new();
+        let mut keep: Vec<lpat_core::InstId> = Vec::new();
+        for iid in s_insts {
+            match f.inst(iid) {
+                Inst::Phi { incoming } => {
+                    assert_eq!(incoming.len(), 1, "single-pred block phi arity");
+                    replacements.push((iid, incoming[0].0));
+                }
+                _ => keep.push(iid),
+            }
+        }
+        let fm = m.func_mut(fid);
+        for (iid, v) in &replacements {
+            fm.replace_all_uses(Value::Inst(*iid), *v);
+        }
+        // Splice: b's insts minus terminator + s's kept insts.
+        let mut b_insts = fm.block_insts(b).to_vec();
+        b_insts.retain(|&i| i != t);
+        b_insts.extend(keep);
+        fm.set_block_insts(b, b_insts);
+        fm.set_block_insts(s, Vec::new());
+        // Successors of the old s now have pred b instead of s.
+        let n = fm.num_inst_slots();
+        for i in 0..n {
+            let iid = lpat_core::InstId::from_index(i);
+            if let Inst::Phi { incoming } = fm.inst_mut(iid) {
+                for (_, pb) in incoming {
+                    if *pb == s {
+                        *pb = b;
+                    }
+                }
+            }
+        }
+        // Drop the now-empty s.
+        let keep_mask: Vec<bool> = (0..fm.num_blocks()).map(|i| i != s.index()).collect();
+        fm.retain_blocks(&keep_mask);
+    }
+
+    (folded, removed, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpat_asm::parse_module;
+
+    fn opt(src: &str) -> Module {
+        let mut m = parse_module("t", src).unwrap();
+        m.verify().unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        loop {
+            let (a, b, c) = simplify_cfg_function(&mut m, fid);
+            if a + b + c == 0 {
+                break;
+            }
+        }
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+        m
+    }
+
+    #[test]
+    fn folds_constant_branch_and_removes_dead_arm() {
+        let m = opt(
+            "
+define int @f() {
+e:
+  br bool true, label %l, label %r
+l:
+  br label %j
+r:
+  br label %j
+j:
+  %p = phi int [ 1, %l ], [ 2, %r ]
+  ret int %p
+}",
+        );
+        let fid = m.func_by_name("f").unwrap();
+        assert_eq!(m.func(fid).num_blocks(), 1);
+        assert!(m.display().contains("ret int 1"), "{}", m.display());
+    }
+
+    #[test]
+    fn folds_constant_switch() {
+        let m = opt(
+            "
+define int @f() {
+e:
+  switch int 2, label %d [ int 1, label %a int 2, label %b ]
+a:
+  ret int 10
+b:
+  ret int 20
+d:
+  ret int 30
+}",
+        );
+        assert!(m.display().contains("ret int 20"), "{}", m.display());
+        let fid = m.func_by_name("f").unwrap();
+        assert_eq!(m.func(fid).num_blocks(), 1);
+    }
+
+    #[test]
+    fn merges_chains() {
+        let m = opt(
+            "
+define int @f(int %x) {
+e:
+  %a = add int %x, 1
+  br label %m1
+m1:
+  %b = add int %a, 2
+  br label %m2
+m2:
+  %c = add int %b, 3
+  ret int %c
+}",
+        );
+        let fid = m.func_by_name("f").unwrap();
+        assert_eq!(m.func(fid).num_blocks(), 1);
+        assert_eq!(m.func(fid).num_insts(), 4);
+    }
+
+    #[test]
+    fn keeps_loops_intact() {
+        let src = "
+define int @f(int %n) {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %h ]
+  %i2 = add int %i, 1
+  %c = setlt int %i2, %n
+  br bool %c, label %h, label %x
+x:
+  ret int %i2
+}";
+        let m = opt(src);
+        let fid = m.func_by_name("f").unwrap();
+        assert!(m.func(fid).num_blocks() >= 2);
+        assert!(m.display().contains("phi"));
+    }
+
+    #[test]
+    fn same_target_condbr_becomes_br() {
+        let m = opt(
+            "
+define int @f(bool %c) {
+e:
+  br bool %c, label %j, label %j
+j:
+  ret int 7
+}",
+        );
+        let text = m.display();
+        assert!(!text.contains("br bool"), "{text}");
+        assert!(text.contains("ret int 7"), "{text}");
+    }
+}

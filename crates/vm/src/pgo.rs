@@ -1,0 +1,153 @@
+//! Offline reoptimization with end-user profile information (paper §3.6).
+//!
+//! Because the representation is preserved alongside the native code, an
+//! idle-time optimizer can rerun interprocedural transformations with the
+//! profiles gathered from the user's actual runs. This module implements
+//! two such profile-guided transformations:
+//!
+//! * **hot call-site inlining** — call sites whose execution count clears a
+//!   threshold are integrated regardless of the static inliner's size
+//!   policy;
+//! * **profile-guided code layout** — blocks are reordered so the hottest
+//!   successor of each block is its fall-through, improving the locality of
+//!   the native code a backend would emit.
+
+use lpat_core::{BlockId, Const, FuncId, Inst, Module, Value};
+use lpat_transform::inline::inline_site;
+
+use crate::profile::ProfileData;
+
+/// Thresholds for the reoptimizer.
+#[derive(Clone, Debug)]
+pub struct PgoOptions {
+    /// Minimum call-site count for profile-guided inlining.
+    pub hot_call_threshold: u64,
+    /// Ceiling on callee size for hot inlining (instructions).
+    pub max_callee_size: usize,
+    /// Ceiling on caller growth (instructions).
+    pub caller_cap: usize,
+}
+
+impl Default for PgoOptions {
+    fn default() -> Self {
+        PgoOptions {
+            hot_call_threshold: 64,
+            max_callee_size: 2000,
+            caller_cap: 50_000,
+        }
+    }
+}
+
+/// What the reoptimizer did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PgoReport {
+    /// Hot call sites inlined.
+    pub inlined: usize,
+    /// Functions whose block layout changed.
+    pub relaid: usize,
+}
+
+/// Apply profile-guided reoptimization to `m` using `profile`.
+pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> PgoReport {
+    let mut report = PgoReport::default();
+    report.inlined = inline_hot_sites(m, profile, opts);
+    report.relaid = layout_by_profile(m, profile);
+    report
+}
+
+/// Inline call sites hotter than the threshold. Returns sites inlined.
+pub fn inline_hot_sites(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> usize {
+    let mut inlined = 0;
+    for (caller, site, _count) in profile.hot_callsites(opts.hot_call_threshold) {
+        if caller.index() >= m.num_funcs() {
+            continue;
+        }
+        let f = m.func(caller);
+        if f.is_declaration() || f.num_insts() >= opts.caller_cap {
+            continue;
+        }
+        // The site must still exist (earlier inlining may have rewritten
+        // the caller) and be a direct call to a small-enough definition.
+        let inst_blocks = f.inst_blocks();
+        let b = match inst_blocks.get(site.index()).copied().flatten() {
+            Some(b) => b,
+            None => continue,
+        };
+        let callee = match f.inst(site) {
+            Inst::Call {
+                callee: Value::Const(c),
+                ..
+            } => match m.consts.get(*c) {
+                Const::FuncAddr(t) => *t,
+                _ => continue,
+            },
+            _ => continue, // invoke sites are left to the static inliner
+        };
+        if callee == caller {
+            continue;
+        }
+        let target = m.func(callee);
+        if target.is_declaration()
+            || target.is_varargs()
+            || target.num_insts() > opts.max_callee_size
+        {
+            continue;
+        }
+        inline_site(m, caller, b, site, callee);
+        inlined += 1;
+    }
+    inlined
+}
+
+/// Reorder every profiled function's blocks so hot successors fall
+/// through. Returns the number of functions re-laid.
+pub fn layout_by_profile(m: &mut Module, profile: &ProfileData) -> usize {
+    let mut relaid = 0;
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        if m.func(fid).is_declaration() {
+            continue;
+        }
+        let order = hot_layout_order(m, fid, profile);
+        let identity: Vec<BlockId> = m.func(fid).block_ids().collect();
+        if order != identity {
+            m.func_mut(fid).permute_blocks(&order);
+            relaid += 1;
+        }
+    }
+    relaid
+}
+
+/// Compute a block order: greedy chains following the hottest outgoing
+/// edge, seeded from the entry, then remaining blocks by hotness.
+fn hot_layout_order(m: &Module, fid: FuncId, profile: &ProfileData) -> Vec<BlockId> {
+    let f = m.func(fid);
+    let n = f.num_blocks();
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut seeds: Vec<BlockId> = f.block_ids().collect();
+    // Hottest seeds first, but the entry block must lead.
+    seeds.sort_by_key(|&b| {
+        (
+            b != f.entry(),
+            std::cmp::Reverse(profile.block_count(fid, b)),
+        )
+    });
+    for seed in seeds {
+        let mut cur = seed;
+        while !placed[cur.index()] {
+            placed[cur.index()] = true;
+            order.push(cur);
+            // Follow the hottest not-yet-placed successor.
+            let next = f
+                .successors(cur)
+                .into_iter()
+                .filter(|s| !placed[s.index()])
+                .max_by_key(|&s| profile.edge_count(fid, cur, s));
+            match next {
+                Some(s) => cur = s,
+                None => break,
+            }
+        }
+    }
+    order
+}

@@ -1,0 +1,147 @@
+//! Runtime path profiling (paper §3.5).
+//!
+//! The engine's lightweight instrumentation counts block entries, CFG edge
+//! traversals, and call activity — the data the paper's runtime optimizer
+//! uses to identify frequently executed loop regions and then the hot
+//! *paths* (traces) within them. [`ProfileData::hot_loops`] and
+//! [`form_trace`] reproduce that region-then-trace strategy.
+
+use std::collections::HashMap;
+
+use lpat_analysis::{DomTree, LoopInfo};
+use lpat_core::{BlockId, FuncId, InstId, Module};
+
+/// Execution counts collected by the engine.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileData {
+    /// Times each block was entered.
+    pub block_counts: HashMap<(FuncId, BlockId), u64>,
+    /// Times each CFG edge was taken.
+    pub edge_counts: HashMap<(FuncId, BlockId, BlockId), u64>,
+    /// Times each function was called.
+    pub call_counts: HashMap<FuncId, u64>,
+    /// Times each call site executed (caller, site instruction).
+    pub callsite_counts: HashMap<(FuncId, InstId), u64>,
+}
+
+impl ProfileData {
+    pub(crate) fn record_block(&mut self, f: FuncId, b: BlockId) {
+        *self.block_counts.entry((f, b)).or_insert(0) += 1;
+    }
+    pub(crate) fn record_edge(&mut self, f: FuncId, from: BlockId, to: BlockId) {
+        *self.edge_counts.entry((f, from, to)).or_insert(0) += 1;
+    }
+    pub(crate) fn record_call(&mut self, f: FuncId) {
+        *self.call_counts.entry(f).or_insert(0) += 1;
+    }
+    pub(crate) fn record_callsite(&mut self, caller: FuncId, site: InstId) {
+        *self.callsite_counts.entry((caller, site)).or_insert(0) += 1;
+    }
+
+    /// Count for one block.
+    pub fn block_count(&self, f: FuncId, b: BlockId) -> u64 {
+        self.block_counts.get(&(f, b)).copied().unwrap_or(0)
+    }
+
+    /// Count for one edge.
+    pub fn edge_count(&self, f: FuncId, from: BlockId, to: BlockId) -> u64 {
+        self.edge_counts.get(&(f, from, to)).copied().unwrap_or(0)
+    }
+
+    /// Hot loop regions: natural loops whose header count is at least
+    /// `threshold`, hottest first. This models the offline
+    /// instrumentation's "frequently executed loop region" detection.
+    pub fn hot_loops(&self, m: &Module, threshold: u64) -> Vec<HotLoop> {
+        let mut out = Vec::new();
+        for (fid, f) in m.funcs() {
+            if f.is_declaration() {
+                continue;
+            }
+            let dt = DomTree::compute(f);
+            let li = LoopInfo::compute(f, &dt);
+            for l in &li.loops {
+                let count = self.block_count(fid, l.header);
+                if count >= threshold {
+                    out.push(HotLoop {
+                        func: fid,
+                        header: l.header,
+                        body: l.body.clone(),
+                        header_count: count,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|h| std::cmp::Reverse(h.header_count));
+        out
+    }
+
+    /// Hot call sites (count ≥ threshold), hottest first.
+    pub fn hot_callsites(&self, threshold: u64) -> Vec<(FuncId, InstId, u64)> {
+        let mut v: Vec<(FuncId, InstId, u64)> = self
+            .callsite_counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&(f, i), &c)| (f, i, c))
+            .collect();
+        v.sort_by_key(|&(_, _, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
+/// A frequently executed loop region.
+#[derive(Clone, Debug)]
+pub struct HotLoop {
+    /// Enclosing function.
+    pub func: FuncId,
+    /// Loop header.
+    pub header: BlockId,
+    /// Loop body blocks.
+    pub body: Vec<BlockId>,
+    /// Times the header executed.
+    pub header_count: u64,
+}
+
+/// Form the hot trace through a loop: starting at the header, repeatedly
+/// follow the most frequently taken successor edge that stays in the loop
+/// body, stopping when the trace would revisit a block.
+///
+/// Returns the block sequence, plus the fraction of the loop's block
+/// executions the trace covers (a proxy for trace-cache hit rate).
+pub fn form_trace(
+    m: &Module,
+    profile: &ProfileData,
+    hot: &HotLoop,
+) -> (Vec<BlockId>, f64) {
+    let f = m.func(hot.func);
+    let mut trace = vec![hot.header];
+    let mut cur = hot.header;
+    loop {
+        let succs = f.successors(cur);
+        let next = succs
+            .iter()
+            .filter(|s| hot.body.contains(s))
+            .max_by_key(|&&s| profile.edge_count(hot.func, cur, s));
+        match next {
+            Some(&n) if !trace.contains(&n) => {
+                trace.push(n);
+                cur = n;
+            }
+            _ => break,
+        }
+    }
+    let total: u64 = hot
+        .body
+        .iter()
+        .map(|&b| profile.block_count(hot.func, b))
+        .sum();
+    let covered: u64 = trace
+        .iter()
+        .map(|&b| profile.block_count(hot.func, b))
+        .sum();
+    let coverage = if total == 0 {
+        0.0
+    } else {
+        covered as f64 / total as f64
+    };
+    (trace, coverage)
+}

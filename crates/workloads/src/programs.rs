@@ -1,0 +1,756 @@
+//! The fifteen SPEC-CPU2000-shaped miniC programs.
+//!
+//! Each program reproduces the *type-discipline idioms* the paper
+//! attributes to the corresponding SPEC C benchmark (§4.1.1): disciplined
+//! array/struct code where the paper reports high typed-access
+//! percentages; custom pool allocators (197.parser, 254.gap, 255.vortex),
+//! struct-type punning (176.gcc, 253.perlbmk), and analysis-defeating
+//! generic buffers (177.mesa, 188.ammp) where it reports low ones.
+//!
+//! Programs scale: `scale` appends that many *memory-free* arithmetic
+//! worker functions (plus calls), growing code size for the Table 2 /
+//! Figure 5 measurements without disturbing the typed-access ratio.
+
+/// Shared external declarations every program starts with.
+const PRELUDE: &str = "
+extern void print_int(int v);
+extern int read_int();
+";
+
+/// Append `scale` pure-arithmetic worker functions and a driver that calls
+/// them; they contain no loads or stores, so Table 1 ratios are unaffected.
+fn scaled(base: &str, scale: u32) -> String {
+    let mut out = String::with_capacity(base.len() + scale as usize * 256);
+    out.push_str(PRELUDE);
+    out.push_str(base);
+    for i in 0..scale {
+        // Every third worker takes a dead parameter (DAE fodder); results
+        // of every fourth call go unused (dead-return-value fodder).
+        let extra = if i % 3 == 0 { ", int unused" } else { "" };
+        out.push_str(&format!(
+            "
+static int cfg{i} = {i};
+static long tuning{i} = 7L;
+static int work{i}(int a, int b{extra}) {{
+    int x = a * {mul} + b;
+    int y = (x << 3) ^ (b >> 1);
+    int z = y % 8191 + a / (b + 7 + {i});
+    if (z > 100000) z = z - a * 3;
+    return z ^ (x + y);
+}}",
+            mul = i % 13 + 2,
+        ));
+    }
+    if scale > 0 {
+        out.push_str("\nint run_workers(int seed) {\n    int acc = seed;\n");
+        for i in 0..scale {
+            let extra = if i % 3 == 0 { ", 0" } else { "" };
+            if i % 4 == 0 {
+                out.push_str(&format!("    work{i}(acc, seed + {i}{extra});\n"));
+            } else {
+                out.push_str(&format!("    acc = acc + work{i}(acc, seed + {i}{extra});\n"));
+            }
+        }
+        out.push_str("    return acc;\n}\n");
+    }
+    out
+}
+
+/// 164.gzip — disciplined byte/int array compression kernel (paper: high
+/// typed %).
+pub fn gzip(scale: u32) -> String {
+    scaled(
+        r#"
+char window[4096];
+int freq[256];
+int encode(char* data, int n) {
+    int bits = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int c = (int)data[i];
+        if (c < 0) c = c + 256;
+        freq[c] = freq[c] + 1;
+        int run = 0;
+        while (i + 1 < n && data[i + 1] == data[i] && run < 255) {
+            run = run + 1;
+            i = i + 1;
+        }
+        bits = bits + (run > 0 ? 16 : 9);
+    }
+    return bits;
+}
+int main() {
+    for (int i = 0; i < 4096; i = i + 1) {
+        window[i] = (char)((i * 17 + i / 7) % 251);
+    }
+    int bits = encode(&window[0], 4096);
+    print_int(bits);
+    return bits % 256;
+}
+"#,
+        scale,
+    )
+}
+
+/// 175.vpr — place & route style structs + float cost arrays (high typed %).
+pub fn vpr(scale: u32) -> String {
+    scaled(
+        r#"
+struct block { int x; int y; double cost; };
+struct block blocks[128];
+double wire_cost(struct block* a, struct block* b) {
+    int dx = a->x - b->x;
+    int dy = a->y - b->y;
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    return (double)(dx + dy) * 1.5 + a->cost + b->cost;
+}
+int main() {
+    for (int i = 0; i < 128; i = i + 1) {
+        blocks[i].x = i % 16;
+        blocks[i].y = i / 16;
+        blocks[i].cost = (double)i * 0.25;
+    }
+    double total = 0.0;
+    for (int i = 0; i + 1 < 128; i = i + 1) {
+        total = total + wire_cost(&blocks[i], &blocks[i + 1]);
+    }
+    int t = (int)total;
+    print_int(t);
+    return t % 97;
+}
+"#,
+        scale,
+    )
+}
+
+/// 176.gcc — the same object used under two different struct types
+/// (paper: type punning drops typed % to ~54).
+pub fn gcc(scale: u32) -> String {
+    scaled(
+        r#"
+struct rtx_int { int code; int value; int extra; };
+struct rtx_pair { int code; struct rtx_int* left; struct rtx_int* right; };
+char* obstack;
+int obstack_used;
+char* obstack_alloc(int size) {
+    char* p = obstack + obstack_used;
+    obstack_used = obstack_used + ((size + 7) / 8) * 8;
+    return p;
+}
+struct rtx_int* make_int(int v) {
+    struct rtx_int* r = (struct rtx_int*)obstack_alloc(sizeof(struct rtx_int));
+    r->code = 1;
+    r->value = v;
+    return r;
+}
+struct rtx_pair* make_pair(struct rtx_int* l, struct rtx_int* r) {
+    struct rtx_pair* p = (struct rtx_pair*)obstack_alloc(sizeof(struct rtx_pair));
+    p->code = 2;
+    p->left = l;
+    p->right = r;
+    return p;
+}
+int eval(struct rtx_pair* p) {
+    if (p->code == 2) {
+        return p->left->value + p->right->value;
+    }
+    struct rtx_int* as_int = (struct rtx_int*)p;
+    return as_int->value;
+}
+int regs[64];
+int alloc_reg(int want) {
+    for (int i = 0; i < 64; i = i + 1) {
+        if (regs[i] == 0) {
+            regs[i] = want;
+            return i;
+        }
+    }
+    return -1;
+}
+int main() {
+    obstack = new char[65536];
+    obstack_used = 0;
+    int sum = 0;
+    for (int i = 0; i < 50; i = i + 1) {
+        struct rtx_pair* p = make_pair(make_int(i), make_int(i * 2));
+        sum = sum + eval(p);
+        sum = sum + alloc_reg(i + 1);
+    }
+    print_int(sum);
+    return sum % 211;
+}
+"#,
+        scale,
+    )
+}
+
+/// 177.mesa — generic vertex buffers passed through untyped helpers
+/// (paper: analysis imprecision, ~47 typed %).
+pub fn mesa(scale: u32) -> String {
+    scaled(
+        r#"
+struct vertex { double x; double y; double z; };
+char* make_buffer(int bytes) {
+    char* b = new char[bytes];
+    for (int i = 0; i < bytes; i = i + 1) b[i] = (char)0;
+    return b;
+}
+double transform(struct vertex* v, double s) {
+    v->x = v->x * s + 1.0;
+    v->y = v->y * s - 1.0;
+    v->z = v->z * s;
+    return v->x + v->y + v->z;
+}
+int pixels[256];
+int rasterize(int n) {
+    int lit = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        pixels[i % 256] = pixels[i % 256] + i;
+        if (pixels[i % 256] % 3 == 0) lit = lit + 1;
+    }
+    return lit;
+}
+int main() {
+    char* vb = make_buffer(sizeof(struct vertex) * 32);
+    struct vertex* verts = (struct vertex*)vb;
+    double acc = 0.0;
+    for (int i = 0; i < 32; i = i + 1) {
+        verts[i].x = (double)i;
+        verts[i].y = (double)(i * 2);
+        verts[i].z = 0.5;
+        acc = acc + transform(&verts[i], 1.25);
+    }
+    int r = rasterize(200) + (int)acc;
+    print_int(r);
+    return r % 131;
+}
+"#,
+        scale,
+    )
+}
+
+/// 179.art — neural-net float arrays, fully disciplined (paper: ~99–100%).
+pub fn art(scale: u32) -> String {
+    scaled(
+        r#"
+double f1[64];
+double weights[64];
+double train(double rate) {
+    double err = 0.0;
+    for (int i = 0; i < 64; i = i + 1) {
+        double o = f1[i] * weights[i];
+        double d = 1.0 - o;
+        weights[i] = weights[i] + rate * d;
+        err = err + (d < 0.0 ? -d : d);
+    }
+    return err;
+}
+int main() {
+    for (int i = 0; i < 64; i = i + 1) {
+        f1[i] = 0.5 + (double)i * 0.01;
+        weights[i] = 0.1;
+    }
+    double err = 0.0;
+    for (int epoch = 0; epoch < 20; epoch = epoch + 1) {
+        err = train(0.05);
+    }
+    int r = (int)(err * 100.0);
+    print_int(r);
+    return r % 50;
+}
+"#,
+        scale,
+    )
+}
+
+/// 181.mcf — network-simplex linked structs, disciplined (paper: ~95%).
+pub fn mcf(scale: u32) -> String {
+    scaled(
+        r#"
+struct arc { int cost; int flow; struct nodeT* head; struct arc* next; };
+struct nodeT { int potential; int depth; struct arc* first; };
+struct nodeT nodes[64];
+struct arc arcs[256];
+int n_arcs;
+void add_arc(int from, int to, int cost) {
+    struct arc* a = &arcs[n_arcs];
+    n_arcs = n_arcs + 1;
+    a->cost = cost;
+    a->flow = 0;
+    a->head = &nodes[to];
+    a->next = nodes[from].first;
+    nodes[from].first = a;
+}
+int price_out(struct nodeT* n) {
+    int changed = 0;
+    struct arc* a = n->first;
+    while (a != null) {
+        int red = a->cost + n->potential - a->head->potential;
+        if (red < 0) {
+            a->flow = a->flow + 1;
+            a->head->potential = a->head->potential + red;
+            changed = changed + 1;
+        }
+        a = a->next;
+    }
+    return changed;
+}
+int main() {
+    for (int i = 0; i < 64; i = i + 1) {
+        nodes[i].potential = i * 3 % 17;
+        nodes[i].first = null;
+    }
+    n_arcs = 0;
+    for (int i = 0; i < 200; i = i + 1) {
+        add_arc(i % 64, (i * 7 + 1) % 64, i % 11 - 5);
+    }
+    int total = 0;
+    for (int round = 0; round < 10; round = round + 1) {
+        for (int i = 0; i < 64; i = i + 1) total = total + price_out(&nodes[i]);
+    }
+    print_int(total);
+    return total % 77;
+}
+"#,
+        scale,
+    )
+}
+
+/// 183.equake — double matrices, disciplined (paper: ~100%).
+pub fn equake(scale: u32) -> String {
+    scaled(
+        r#"
+double K[32][32];
+double disp[32];
+double vel[32];
+void smvp() {
+    for (int i = 0; i < 32; i = i + 1) {
+        double sum = 0.0;
+        for (int j = 0; j < 32; j = j + 1) {
+            sum = sum + K[i][j] * disp[j];
+        }
+        vel[i] = vel[i] + sum * 0.01;
+    }
+}
+int main() {
+    for (int i = 0; i < 32; i = i + 1) {
+        disp[i] = (double)i * 0.1;
+        vel[i] = 0.0;
+        for (int j = 0; j < 32; j = j + 1) {
+            K[i][j] = (i == j) ? 2.0 : ((i - j == 1 || j - i == 1) ? -1.0 : 0.0);
+        }
+    }
+    for (int step = 0; step < 15; step = step + 1) smvp();
+    double e = 0.0;
+    for (int i = 0; i < 32; i = i + 1) e = e + vel[i] * vel[i];
+    int r = (int)(e * 10.0);
+    print_int(r);
+    return r % 63;
+}
+"#,
+        scale,
+    )
+}
+
+/// 186.crafty — 64-bit bitboards and tables, disciplined (paper: ~97%).
+pub fn crafty(scale: u32) -> String {
+    scaled(
+        r#"
+long attacks[64];
+int history[256];
+int popcount(long b) {
+    int n = 0;
+    while (b != 0L) {
+        n = n + 1;
+        b = b & (b - 1L);
+    }
+    return n;
+}
+int evaluate(long own, long enemy) {
+    int score = 0;
+    for (int sq = 0; sq < 64; sq = sq + 1) {
+        long mask = 1L << sq;
+        if ((own & mask) != 0L) score = score + popcount(attacks[sq] & enemy);
+        history[(sq * 3) % 256] = history[(sq * 3) % 256] + 1;
+    }
+    return score;
+}
+int main() {
+    for (int i = 0; i < 64; i = i + 1) {
+        attacks[i] = (255L << (i % 56)) ^ (long)i;
+    }
+    int total = 0;
+    long own = 65535L;
+    long enemy = own << 48;
+    for (int game = 0; game < 20; game = game + 1) {
+        total = total + evaluate(own, enemy);
+        own = own ^ (own << 1);
+    }
+    print_int(total);
+    return total % 119;
+}
+"#,
+        scale,
+    )
+}
+
+/// 188.ammp — molecular dynamics with a recycled-atom free list treated as
+/// raw bytes (paper: imprecision, ~23%).
+pub fn ammp(scale: u32) -> String {
+    scaled(
+        r#"
+struct atom { double x; double fx; struct atom* next; };
+char* arena;
+int arena_used;
+char* freelist;
+char* raw_alloc(int size) {
+    if (freelist != null) {
+        char* p = freelist;
+        freelist = *(char**)freelist;
+        return p;
+    }
+    char* p = arena + arena_used;
+    arena_used = arena_used + ((size + 7) / 8) * 8;
+    return p;
+}
+void raw_free(char* p) {
+    *(char**)p = freelist;
+    freelist = p;
+}
+struct atom* new_atom(double x) {
+    struct atom* a = (struct atom*)raw_alloc(sizeof(struct atom));
+    a->x = x;
+    a->fx = 0.0;
+    a->next = null;
+    return a;
+}
+int main() {
+    arena = new char[32768];
+    arena_used = 0;
+    freelist = null;
+    struct atom* list = null;
+    for (int i = 0; i < 100; i = i + 1) {
+        struct atom* a = new_atom((double)i * 0.5);
+        a->next = list;
+        list = a;
+    }
+    double f = 0.0;
+    struct atom* p = list;
+    while (p != null) {
+        if (p->next != null) {
+            double d = p->x - p->next->x;
+            p->fx = p->fx + 1.0 / (d * d + 0.1);
+            f = f + p->fx;
+        }
+        struct atom* dead = p;
+        p = p->next;
+        if (((int)dead->x) % 3 == 0) raw_free((char*)dead);
+    }
+    int r = (int)f;
+    print_int(r);
+    return r % 45;
+}
+"#,
+        scale,
+    )
+}
+
+/// 197.parser — the classic custom pool ("xalloc") allocator (paper: ~16%).
+pub fn parser(scale: u32) -> String {
+    scaled(
+        r#"
+struct word { char* text; int length; struct word* link; };
+struct conn { struct word* left; struct word* right; int cost; };
+char* xalloc_pool;
+int xalloc_top;
+char* xalloc(int size) {
+    char* p = xalloc_pool + xalloc_top;
+    xalloc_top = xalloc_top + ((size + 7) / 8) * 8;
+    return p;
+}
+struct word* make_word(char* text, int len) {
+    struct word* w = (struct word*)xalloc(sizeof(struct word));
+    w->text = text;
+    w->length = len;
+    w->link = null;
+    return w;
+}
+struct conn* connect_words(struct word* l, struct word* r) {
+    struct conn* c = (struct conn*)xalloc(sizeof(struct conn));
+    c->left = l;
+    c->right = r;
+    c->cost = l->length + r->length;
+    return c;
+}
+int main() {
+    xalloc_pool = new char[65536];
+    xalloc_top = 0;
+    char* dict = new char[512];
+    for (int i = 0; i < 512; i = i + 1) dict[i] = (char)(97 + i % 26);
+    struct word* prev = make_word(dict, 3);
+    int total = 0;
+    for (int i = 1; i < 80; i = i + 1) {
+        struct word* w = make_word(dict + i * 4, i % 9 + 1);
+        struct conn* c = connect_words(prev, w);
+        total = total + c->cost;
+        w->link = prev;
+        prev = w;
+    }
+    print_int(total);
+    return total % 101;
+}
+"#,
+        scale,
+    )
+}
+
+/// 253.perlbmk — tagged scalar values reinterpreted across variants
+/// (paper: ~40%).
+pub fn perlbmk(scale: u32) -> String {
+    scaled(
+        r#"
+struct sv_int { int tag; int value; };
+struct sv_str { int tag; char* text; };
+char* sv_arena;
+int sv_used;
+char* sv_alloc(int size) {
+    char* p = sv_arena + sv_used;
+    sv_used = sv_used + ((size + 7) / 8) * 8;
+    return p;
+}
+struct sv_int* new_int_sv(int v) {
+    struct sv_int* s = (struct sv_int*)sv_alloc(sizeof(struct sv_int));
+    s->tag = 1;
+    s->value = v;
+    return s;
+}
+struct sv_str* upgrade_to_str(struct sv_int* s, char* text) {
+    struct sv_str* t = (struct sv_str*)s;
+    t->tag = 2;
+    t->text = text;
+    return t;
+}
+int hash[97];
+int lookup(int key) {
+    int h = key % 97;
+    if (h < 0) h = h + 97;
+    hash[h] = hash[h] + 1;
+    return hash[h];
+}
+int main() {
+    sv_arena = new char[32768];
+    sv_used = 0;
+    char* text = new char[64];
+    text[0] = 'p';
+    int sum = 0;
+    for (int i = 0; i < 60; i = i + 1) {
+        struct sv_int* s = new_int_sv(i * 3);
+        sum = sum + s->value + lookup(i * 7);
+        if (i % 4 == 0) {
+            struct sv_str* t = upgrade_to_str(s, text);
+            sum = sum + (t->tag == 2 ? 1 : 0);
+        }
+    }
+    print_int(sum);
+    return sum % 89;
+}
+"#,
+        scale,
+    )
+}
+
+/// 254.gap — "bag" allocator handing out chunks from a master arena with
+/// handle indirection (paper: ~22%).
+pub fn gap(scale: u32) -> String {
+    scaled(
+        r#"
+char* masterpool;
+int master_used;
+char** handles;
+int n_handles;
+int new_bag(int size) {
+    char* block = masterpool + master_used;
+    master_used = master_used + ((size + 7) / 8) * 8;
+    handles[n_handles] = block;
+    n_handles = n_handles + 1;
+    return n_handles - 1;
+}
+int* bag_ints(int handle) {
+    return (int*)handles[handle];
+}
+void bag_fill(int h, int seed) {
+    int* b = bag_ints(h);
+    b[0] = seed;
+    b[1] = seed * 3;
+    b[2] = b[0] ^ b[1];
+    b[3] = b[2] - seed;
+    long* wide = (long*)handles[h];
+    wide[2] = (long)b[3] * 5L;
+}
+int bag_total(int h) {
+    int* b = bag_ints(h);
+    int t = b[0] + b[1] + b[2] + b[3];
+    long* wide = (long*)handles[h];
+    t = t + (int)wide[2];
+    return t;
+}
+int main() {
+    masterpool = new char[65536];
+    master_used = 0;
+    handles = new char*[256];
+    n_handles = 0;
+    int total = 0;
+    for (int i = 0; i < 40; i = i + 1) {
+        int h = new_bag(32 + (i % 4) * 8);
+        bag_fill(h, i);
+        total = total + bag_total(h);
+    }
+    for (int i = 0; i < n_handles; i = i + 1) {
+        int* ints = bag_ints(i);
+        total = total + ints[0];
+    }
+    print_int(total);
+    return total % 67;
+}
+"#,
+        scale,
+    )
+}
+
+/// 255.vortex — chunked object database with its own memory manager
+/// (paper: ~35%).
+pub fn vortex(scale: u32) -> String {
+    scaled(
+        r#"
+struct dbobj { int id; int kind; struct dbobj* owner; };
+struct chunk { char* base; int used; struct chunk* next; };
+struct chunk* chunks;
+char* chunk_alloc(int size) {
+    if (chunks == null || chunks->used + size > 4096) {
+        struct chunk* c = new struct chunk;
+        c->base = new char[4096];
+        c->used = 0;
+        c->next = chunks;
+        chunks = c;
+    }
+    char* p = chunks->base + chunks->used;
+    chunks->used = chunks->used + ((size + 7) / 8) * 8;
+    return p;
+}
+struct dbobj* new_obj(int id, int kind, struct dbobj* owner) {
+    struct dbobj* o = (struct dbobj*)chunk_alloc(sizeof(struct dbobj));
+    o->id = id;
+    o->kind = kind;
+    o->owner = owner;
+    return o;
+}
+int index_kind[16];
+int main() {
+    chunks = null;
+    struct dbobj* root = new_obj(0, 0, null);
+    struct dbobj* cur = root;
+    int total = 0;
+    for (int i = 1; i < 120; i = i + 1) {
+        cur = new_obj(i, i % 16, cur);
+        index_kind[cur->kind] = index_kind[cur->kind] + 1;
+        total = total + cur->id - cur->owner->id;
+    }
+    for (int k = 0; k < 16; k = k + 1) total = total + index_kind[k];
+    print_int(total);
+    return total % 57;
+}
+"#,
+        scale,
+    )
+}
+
+/// 256.bzip2 — block-sorting over byte/int arrays, disciplined (paper:
+/// ~99%).
+pub fn bzip2(scale: u32) -> String {
+    scaled(
+        r#"
+char block[2048];
+int ptr[2048];
+int counts[256];
+void sort_block(int n) {
+    for (int i = 0; i < 256; i = i + 1) counts[i] = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int c = (int)block[i];
+        if (c < 0) c = c + 256;
+        counts[c] = counts[c] + 1;
+    }
+    int run = 0;
+    for (int i = 0; i < 256; i = i + 1) {
+        int t = counts[i];
+        counts[i] = run;
+        run = run + t;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        int c = (int)block[i];
+        if (c < 0) c = c + 256;
+        ptr[counts[c]] = i;
+        counts[c] = counts[c] + 1;
+    }
+}
+int main() {
+    for (int i = 0; i < 2048; i = i + 1) block[i] = (char)((i * 31 + 7) % 253);
+    sort_block(2048);
+    int checksum = 0;
+    for (int i = 0; i < 2048; i = i + 1) checksum = (checksum + ptr[i] * i) % 65521;
+    print_int(checksum);
+    return checksum % 37;
+}
+"#,
+        scale,
+    )
+}
+
+/// 300.twolf — placement structs with modest sharing (paper: ~90%).
+pub fn twolf(scale: u32) -> String {
+    scaled(
+        r#"
+struct cell { int x; int y; int width; struct net* first; };
+struct net { struct cell* owner; int weight; struct net* next; };
+struct cell cells[96];
+struct net nets[192];
+int n_nets;
+void attach(int c, int weight) {
+    struct net* n = &nets[n_nets];
+    n_nets = n_nets + 1;
+    n->owner = &cells[c];
+    n->weight = weight;
+    n->next = cells[c].first;
+    cells[c].first = n;
+}
+int wirelength() {
+    int total = 0;
+    for (int i = 0; i < 96; i = i + 1) {
+        struct net* n = cells[i].first;
+        while (n != null) {
+            total = total + n->weight * (cells[i].x + cells[i].y);
+            n = n->next;
+        }
+    }
+    return total;
+}
+int main() {
+    for (int i = 0; i < 96; i = i + 1) {
+        cells[i].x = i % 12;
+        cells[i].y = i / 12;
+        cells[i].width = 2 + i % 5;
+        cells[i].first = null;
+    }
+    n_nets = 0;
+    for (int i = 0; i < 180; i = i + 1) attach(i % 96, i % 7 + 1);
+    int before = wirelength();
+    for (int i = 0; i < 96; i = i + 1) {
+        if (cells[i].x > 6) cells[i].x = cells[i].x - 1;
+    }
+    int after = wirelength();
+    print_int(before - after);
+    return (before - after) % 43;
+}
+"#,
+        scale,
+    )
+}

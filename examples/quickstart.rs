@@ -1,0 +1,89 @@
+//! Quickstart: build a function in the IR, inspect all three equivalent
+//! forms, verify, optimize, and execute it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lpat::core::{inst::CmpPred, inst::Value, Linkage, Module};
+use lpat::vm::{Vm, VmOptions};
+
+fn main() {
+    // int pow_acc(int base, int n): returns base^n by repeated
+    // multiplication — built directly with the in-memory builder API.
+    let mut m = Module::new("quickstart");
+    let i32t = m.types.i32();
+    let f = m.add_function("pow_acc", &[i32t, i32t], i32t, false, Linkage::External);
+    let mut b = m.builder(f);
+    let entry = b.block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+
+    let one = b.iconst32(1);
+    let zero = b.iconst32(0);
+    b.br(header);
+
+    b.switch_to(header);
+    let i = b.phi(i32t, vec![(zero, entry)]);
+    let acc = b.phi(i32t, vec![(one, entry)]);
+    let cond = b.cmp(CmpPred::Lt, i, Value::Arg(1));
+    b.cond_br(cond, body, exit);
+
+    b.switch_to(body);
+    let acc2 = b.mul(acc, Value::Arg(0));
+    let i2 = b.add(i, one);
+    b.br(header);
+
+    // Close the loop-carried φs.
+    let (i_id, acc_id) = match (i, acc) {
+        (Value::Inst(a), Value::Inst(b)) => (a, b),
+        _ => unreachable!(),
+    };
+    if let lpat::core::Inst::Phi { incoming } = m.func_mut(f).inst_mut(i_id) {
+        incoming.push((i2, body));
+    }
+    if let lpat::core::Inst::Phi { incoming } = m.func_mut(f).inst_mut(acc_id) {
+        incoming.push((acc2, body));
+    }
+    let mut b = m.builder(f);
+    b.switch_to(exit);
+    b.ret(Some(acc));
+
+    // A main that calls it.
+    let main_f = m.add_function("main", &[], i32t, false, Linkage::External);
+    let mut b = m.builder(main_f);
+    b.block();
+    let base = b.iconst32(3);
+    let n = b.iconst32(4);
+    let r = b.call(f, vec![base, n]);
+    b.ret(Some(r));
+
+    m.verify().expect("well-formed IR");
+
+    println!("== textual form ==\n{}", m.display());
+
+    let bytes = lpat::bytecode::write_module(&m);
+    println!("== binary form == {} bytes", bytes.len());
+    let re = lpat::bytecode::read_module("quickstart", &bytes).unwrap();
+    assert_eq!(m.display(), re.display());
+    println!("binary round-trip reproduces the textual form exactly\n");
+
+    let reparsed = lpat::asm::parse_module("quickstart", &m.display()).unwrap();
+    assert_eq!(m.display(), reparsed.display());
+    println!("textual round-trip is stable\n");
+
+    let mut vm = Vm::new(&m, VmOptions::default()).unwrap();
+    let result = vm.run_main().unwrap();
+    println!("pow_acc(3, 4) = {result}");
+    assert_eq!(result, 81);
+
+    // Run the optimizer and show it still computes the same thing.
+    lpat::transform::function_pipeline().run(&mut m);
+    lpat::transform::link_time_pipeline().run(&mut m);
+    m.verify().unwrap();
+    println!("\n== after optimization ==\n{}", m.display());
+    let mut vm = Vm::new(&m, VmOptions::default()).unwrap();
+    assert_eq!(vm.run_main().unwrap(), 81);
+    println!("still 81 after inlining and constant propagation");
+}

@@ -1,0 +1,229 @@
+//! `lpatc` — the command-line driver for the lpat framework.
+//!
+//! ```text
+//! lpatc compile <in.mc> [-o out.bc] [--emit text|bc] [-O]   miniC -> IR
+//! lpatc opt     <in>    [-o out]    [--emit text|bc] [--link-pipeline]
+//! lpatc link    <in...> -o out      [--emit text|bc] [-O]
+//! lpatc dis     <in.bc>                                     bytecode -> text
+//! lpatc run     <in>    [--profile] [--fuel N] [--input a,b,c]
+//! lpatc analyze <in>                                        DSA + call graph report
+//! lpatc size    <in>                                        code-size report
+//! ```
+//!
+//! Inputs are auto-detected: files beginning with the `LPAT` magic load as
+//! bytecode, files ending in `.mc` compile as miniC, anything else parses
+//! as the textual form.
+
+use std::process::ExitCode;
+
+use lpat::core::Module;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("lpatc: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    match cmd {
+        "compile" | "opt" | "link" | "dis" => {
+            let inputs: Vec<&String> = rest
+                .iter()
+                .take_while(|a| !a.starts_with('-'))
+                .collect();
+            if inputs.is_empty() {
+                return Err(format!("{cmd}: no input files"));
+            }
+            let mut m = if cmd == "link" {
+                let mods: Result<Vec<Module>, String> =
+                    inputs.iter().map(|p| load(p)).collect();
+                lpat::linker::link(mods?, "a.out").map_err(|e| e.to_string())?
+            } else {
+                load(inputs[0])?
+            };
+            if cmd == "dis" {
+                print!("{}", m.display());
+                return Ok(ExitCode::SUCCESS);
+            }
+            if has_flag(rest, "-O") || cmd == "opt" {
+                lpat::transform::function_pipeline().run(&mut m);
+            }
+            if has_flag(rest, "--link-pipeline") || (cmd == "link" && has_flag(rest, "-O")) {
+                lpat::transform::link_time_pipeline().run(&mut m);
+            }
+            m.verify()
+                .map_err(|e| format!("verifier: {}", e[0]))?;
+            emit(&m, rest)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "run" => {
+            let input = rest
+                .iter()
+                .find(|a| !a.starts_with('-'))
+                .ok_or("run: no input file")?;
+            let m = load(input)?;
+            let mut opts = lpat::vm::VmOptions::default();
+            opts.profile = has_flag(rest, "--profile");
+            if let Some(f) = flag_value(rest, "--fuel") {
+                opts.fuel = Some(f.parse().map_err(|_| "bad --fuel value")?);
+            }
+            if let Some(vals) = flag_value(rest, "--input") {
+                for v in vals.split(',') {
+                    opts.input
+                        .push_back(v.trim().parse().map_err(|_| "bad --input value")?);
+                }
+            }
+            let profiling = opts.profile;
+            let use_jit = has_flag(rest, "--jit");
+            let mut vm = lpat::vm::Vm::new(&m, opts).map_err(|e| e.to_string())?;
+            let result = if use_jit {
+                vm.run_main_jit()
+            } else {
+                vm.run_main()
+            };
+            print!("{}", vm.output);
+            if profiling {
+                report_profile(&m, &vm);
+            }
+            match result {
+                Ok(code) => {
+                    eprintln!("[exit {code}; {} instructions]", vm.insts_executed);
+                    Ok(ExitCode::from((code & 0xFF) as u8))
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
+        "analyze" => {
+            let input = rest.first().ok_or("analyze: no input file")?;
+            let m = load(input)?;
+            let cg = lpat::analysis::CallGraph::build(&m);
+            let dsa =
+                lpat::analysis::Dsa::analyze(&m, &cg, &lpat::analysis::DsaOptions::default());
+            println!("module {}: {} functions, {} globals, {} instructions", m.name, m.num_funcs(), m.num_globals(), m.total_insts());
+            println!("\nper-function typed memory accesses (DSA):");
+            for (fid, f) in m.funcs() {
+                if f.is_declaration() {
+                    continue;
+                }
+                let s = dsa.access_stats_for(fid);
+                println!(
+                    "  @{:<24} {:>4} typed {:>4} untyped  ({:>5.1}%)  callees: {}",
+                    f.name,
+                    s.typed,
+                    s.untyped,
+                    s.percent(),
+                    cg.callees(fid).len()
+                );
+            }
+            let total = dsa.access_stats();
+            println!(
+                "\ntotal: {} typed / {} untyped ({:.1}%)",
+                total.typed,
+                total.untyped,
+                total.percent()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "size" => {
+            let input = rest.first().ok_or("size: no input file")?;
+            let m = load(input)?;
+            let bc = lpat::bytecode::write_module(&m);
+            let cisc = lpat::codegen::compile_module(&m, &lpat::codegen::Cisc32);
+            let risc = lpat::codegen::compile_module(&m, &lpat::codegen::Risc32);
+            println!("{:<12} {:>10}", "form", "bytes");
+            println!("{:<12} {:>10}", "bytecode", bc.len());
+            println!("{:<12} {:>10}   (code {} data {})", "cisc32", cisc.total, cisc.code_size, cisc.data_size);
+            println!("{:<12} {:>10}   (code {} data {})", "risc32", risc.total, risc.code_size, risc.data_size);
+            Ok(ExitCode::SUCCESS)
+        }
+        "help" | "--help" | "-h" => {
+            eprintln!(
+                "usage: lpatc <compile|opt|link|dis|run|analyze|size> <inputs> [flags]\n\
+                 flags: -o FILE, --emit text|bc, -O, --link-pipeline,\n\
+                 \x20      --profile, --jit, --fuel N, --input a,b,c"
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command '{other}' (try 'lpatc help')")),
+    }
+}
+
+fn has_flag(args: &[String], f: &str) -> bool {
+    args.iter().any(|a| a == f)
+}
+
+fn flag_value<'a>(args: &'a [String], f: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == f)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Load a module from any of the three on-disk shapes.
+fn load(path: &str) -> Result<Module, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("module");
+    if bytes.starts_with(b"LPAT") {
+        return lpat::bytecode::read_module(name, &bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let text = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+    let m = if path.ends_with(".mc") || path.ends_with(".c") {
+        lpat::minic::compile(name, &text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        lpat::asm::parse_module(name, &text).map_err(|e| format!("{path}: {e}"))?
+    };
+    m.verify()
+        .map_err(|e| format!("{path}: verifier: {}", e[0]))?;
+    Ok(m)
+}
+
+/// Write the module per `-o` / `--emit` (default: text to stdout).
+fn emit(m: &Module, args: &[String]) -> Result<(), String> {
+    let emit_kind = flag_value(args, "--emit").unwrap_or("text");
+    let out = flag_value(args, "-o");
+    match (emit_kind, out) {
+        ("text", None) => {
+            print!("{}", m.display());
+            Ok(())
+        }
+        ("text", Some(p)) => std::fs::write(p, m.display()).map_err(|e| e.to_string()),
+        ("bc", Some(p)) => {
+            std::fs::write(p, lpat::bytecode::write_module(m)).map_err(|e| e.to_string())
+        }
+        ("bc", None) => Err("--emit bc requires -o FILE".into()),
+        (other, _) => Err(format!("unknown --emit kind '{other}'")),
+    }
+}
+
+fn report_profile(m: &Module, vm: &lpat::vm::Vm<'_>) {
+    eprintln!("\n[profile]");
+    let hot = vm.profile.hot_loops(m, 100);
+    for h in hot.iter().take(8) {
+        let (trace, cov) = lpat::vm::form_trace(m, &vm.profile, h);
+        eprintln!(
+            "  hot loop @{} bb{} x{}  trace {:?} ({:.0}% coverage)",
+            m.func(h.func).name,
+            h.header.index(),
+            h.header_count,
+            trace.iter().map(|b| b.index()).collect::<Vec<_>>(),
+            cov * 100.0
+        );
+    }
+    for (caller, site, n) in vm.profile.hot_callsites(100).iter().take(8) {
+        eprintln!(
+            "  hot call site @{} %t{} x{n}",
+            m.func(*caller).name,
+            site.index()
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) over randomly generated programs:
+//!
+//! * the three equivalent forms round-trip losslessly;
+//! * the verifier accepts everything the generator builds;
+//! * the scalar optimizers preserve the VM-observable result;
+//! * constant folding agrees with the interpreter's arithmetic.
+
+use proptest::prelude::*;
+
+use lpat::core::{inst::Value, BinOp, CmpPred, IntKind, Linkage, Module};
+use lpat::vm::{ExecError, Vm, VmOptions, VmValue};
+
+/// A recipe for one instruction in a generated straight-line function.
+#[derive(Clone, Debug)]
+enum OpSpec {
+    Bin(BinOp, usize, usize),
+    Cmp(CmpPred, usize, usize),
+    Const(i32),
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (
+            prop::sample::select(&BinOp::ALL[..]),
+            any::<usize>(),
+            any::<usize>()
+        )
+            .prop_map(|(op, a, b)| OpSpec::Bin(op, a, b)),
+        (
+            prop::sample::select(&CmpPred::ALL[..]),
+            any::<usize>(),
+            any::<usize>()
+        )
+            .prop_map(|(p, a, b)| OpSpec::Cmp(p, a, b)),
+        any::<i32>().prop_map(OpSpec::Const),
+    ]
+}
+
+/// Build `int f(int, int)` from the recipe, plus a `main` that calls it
+/// with the given constants. All values are `int`; comparisons are cast
+/// back to `int` so every op feeds the same pool.
+fn build(ops: &[OpSpec], a0: i32, a1: i32) -> Module {
+    let mut m = Module::new("gen");
+    let i32t = m.types.i32();
+    let f = m.add_function("f", &[i32t, i32t], i32t, false, Linkage::Internal);
+    let mut b = m.builder(f);
+    b.block();
+    let mut pool: Vec<Value> = vec![Value::Arg(0), Value::Arg(1)];
+    for op in ops {
+        let pick = |i: usize| pool[i % pool.len()];
+        let v = match op {
+            OpSpec::Bin(op, x, y) => {
+                // Division by an arbitrary value may trap; both sides of
+                // the comparison run the same program, so that is fine —
+                // but shifts of full range are already exercised; keep all.
+                b.bin(*op, pick(*x), pick(*y))
+            }
+            OpSpec::Cmp(p, x, y) => {
+                let c = b.cmp(*p, pick(*x), pick(*y));
+                b.cast(c, i32t)
+            }
+            OpSpec::Const(k) => b.iconst32(*k),
+        };
+        pool.push(v);
+    }
+    let last = *pool.last().unwrap();
+    b.ret(Some(last));
+    let main = m.add_function("main", &[], i32t, false, Linkage::External);
+    let mut b = m.builder(main);
+    b.block();
+    let c0 = b.iconst32(a0);
+    let c1 = b.iconst32(a1);
+    let r = b.call(f, vec![c0, c1]);
+    b.ret(Some(r));
+    m
+}
+
+/// Run main; traps map to a distinguishable sentinel so optimized and
+/// unoptimized programs can be compared even when they trap.
+fn observe(m: &Module) -> Result<i64, &'static str> {
+    let mut opts = VmOptions::default();
+    opts.fuel = Some(1_000_000);
+    let mut vm = Vm::new(m, opts).unwrap();
+    match vm.run_main() {
+        Ok(v) => Ok(v),
+        Err(ExecError::Trap { kind, .. }) => Err(match kind {
+            lpat::vm::TrapKind::DivByZero => "div0",
+            _ => "trap",
+        }),
+        Err(_) => Err("exit"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_ir_verifies_and_round_trips(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        a0 in any::<i32>(),
+        a1 in any::<i32>(),
+    ) {
+        let m = build(&ops, a0, a1);
+        prop_assert!(m.verify().is_ok());
+        // Text round trip.
+        let text = m.display();
+        let re = lpat::asm::parse_module("gen", &text).unwrap();
+        prop_assert_eq!(&text, &re.display());
+        // Binary round trip.
+        let bytes = lpat::bytecode::write_module(&m);
+        let rb = lpat::bytecode::read_module("gen", &bytes).unwrap();
+        prop_assert_eq!(&text, &rb.display());
+    }
+
+    #[test]
+    fn optimizers_preserve_observable_behavior(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        a0 in any::<i32>(),
+        a1 in any::<i32>(),
+    ) {
+        let m = build(&ops, a0, a1);
+        let before = observe(&m);
+        let mut o = m.clone();
+        lpat::transform::function_pipeline().run(&mut o);
+        prop_assert!(o.verify().is_ok(), "{:?}", o.verify());
+        // Division/remainder by zero is *undefined behavior* in the IR
+        // (as in C and in LLVM itself); the VM traps as a sanitizer
+        // courtesy. Optimizers may therefore delete an unused trapping
+        // division — so when the baseline execution hits UB, any outcome
+        // is acceptable for the optimized program.
+        if before != Err("div0") {
+            prop_assert_eq!(&before, &observe(&o), "function pipeline");
+        }
+        lpat::transform::link_time_pipeline().run(&mut o);
+        prop_assert!(o.verify().is_ok());
+        if before != Err("div0") {
+            prop_assert_eq!(&before, &observe(&o), "link-time pipeline");
+        }
+    }
+
+    #[test]
+    fn constant_folding_matches_interpreter(
+        op in prop::sample::select(&BinOp::ALL[..]),
+        kind in prop::sample::select(&IntKind::ALL[..]),
+        x in any::<i64>(),
+        y in any::<i64>(),
+    ) {
+        use lpat::core::fold::fold_bin;
+        use lpat::core::Const;
+        let a = Const::Int { kind, value: kind.canonicalize(x) };
+        let b = Const::Int { kind, value: kind.canonicalize(y) };
+        let mut pool = lpat::core::ConstPool::new();
+        let folded = fold_bin(&mut pool, op, &a, &b);
+        // Interpreter result via a one-instruction program.
+        let mut m = Module::new("t");
+        let ty = m.types.int(kind);
+        let f = m.add_function("f", &[ty, ty], ty, false, Linkage::External);
+        let mut bl = m.builder(f);
+        bl.block();
+        let r = bl.bin(op, Value::Arg(0), Value::Arg(1));
+        bl.ret(Some(r));
+        let mut vm = Vm::new(&m, VmOptions::default()).unwrap();
+        let exec = vm.run_function(
+            f,
+            vec![VmValue::int(kind, x), VmValue::int(kind, y)],
+        );
+        match (folded, exec) {
+            (Some(Const::Int { value, .. }), Ok(Some(v))) => {
+                prop_assert_eq!(Some(value), v.as_i64(), "{:?} {} {:?}", a, op.name(), b);
+            }
+            (None, Err(_)) => {} // div/rem by zero: not folded, traps
+            (fold, run) => prop_assert!(false, "fold {fold:?} vs run {run:?}"),
+        }
+    }
+
+    #[test]
+    fn type_display_parses_back(
+        depth in 0u8..4,
+        widths in prop::collection::vec(0usize..4, 1..4),
+        seed in any::<u32>(),
+    ) {
+        // Random nested types built from the four derived constructors.
+        let mut m = Module::new("t");
+        let mut ty = match seed % 5 {
+            0 => m.types.i8(),
+            1 => m.types.i32(),
+            2 => m.types.u64(),
+            3 => m.types.f64(),
+            _ => m.types.bool_(),
+        };
+        for (i, w) in widths.iter().enumerate().take(depth as usize) {
+            ty = match (seed as usize + i) % 3 {
+                0 => m.types.ptr(ty),
+                1 => m.types.array(ty, *w as u64 + 1),
+                _ => {
+                    let fields = vec![ty; w + 1];
+                    m.types.struct_lit(fields)
+                }
+            };
+        }
+        let pty = m.types.ptr(ty);
+        // Round-trip through a function signature.
+        m.add_function("f", &[pty], m.types.void(), false, Linkage::External);
+        let text = m.display();
+        let re = lpat::asm::parse_module("t", &text).unwrap();
+        prop_assert_eq!(text, re.display());
+    }
+}
