@@ -21,7 +21,9 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use lpat_core::{Const, ConstId, FuncId, Function, GlobalId, Inst, InstId, Module, Type, TypeId, Value};
+use lpat_core::{
+    Const, ConstId, FuncId, Function, GlobalId, Inst, InstId, Module, Type, TypeId, Value,
+};
 
 use crate::callgraph::CallGraph;
 
@@ -119,8 +121,15 @@ pub struct DsaOptions {
 impl Default for DsaOptions {
     fn default() -> Self {
         let benign = [
-            "puts", "printf", "print_int", "print_str", "print_double", "read_int", "putchar",
-            "exit", "abort",
+            "puts",
+            "printf",
+            "print_int",
+            "print_str",
+            "print_double",
+            "read_int",
+            "putchar",
+            "exit",
+            "abort",
         ];
         DsaOptions {
             benign_externals: benign.iter().map(|s| s.to_string()).collect(),
@@ -691,9 +700,9 @@ impl<'a> Builder<'a> {
                     cur = fields[fi];
                 }
                 Type::Array { elem, .. } => {
-                    match self.const_int(*idx) {
-                        Some(v) => delta += (v as u64).wrapping_mul(tys.size_of(elem)),
-                        None => {} // fold
+                    // Non-constant index: fold (offset unknown within the array).
+                    if let Some(v) = self.const_int(*idx) {
+                        delta += (v as u64).wrapping_mul(tys.size_of(elem));
                     }
                     cur = elem;
                 }
@@ -725,8 +734,7 @@ impl<'a> Builder<'a> {
 
     fn constrain_func(&mut self, fid: FuncId) {
         let f = self.m.func(fid).clone();
-        let tys_is_ptr =
-            |b: &Builder<'_>, t: TypeId| -> bool { b.m.types.is_ptr(t) };
+        let tys_is_ptr = |b: &Builder<'_>, t: TypeId| -> bool { b.m.types.is_ptr(t) };
         for iid in f.inst_ids_in_order().collect::<Vec<_>>() {
             let inst = f.inst(iid).clone();
             let res = Value::Inst(iid);
@@ -770,13 +778,11 @@ impl<'a> Builder<'a> {
                     let b = self.node_of(fid, res);
                     self.union(a, b);
                 }
-                Inst::Phi { incoming } => {
-                    if tys_is_ptr(self, f.inst_ty(iid)) {
-                        let r = self.node_of(fid, res);
-                        for (v, _) in incoming {
-                            let n = self.node_of(fid, v);
-                            self.union(r, n);
-                        }
+                Inst::Phi { incoming } if tys_is_ptr(self, f.inst_ty(iid)) => {
+                    let r = self.node_of(fid, res);
+                    for (v, _) in incoming {
+                        let n = self.node_of(fid, v);
+                        self.union(r, n);
                     }
                 }
                 Inst::Load { ptr } => {
@@ -804,12 +810,10 @@ impl<'a> Builder<'a> {
                 Inst::Call { callee, args } | Inst::Invoke { callee, args, .. } => {
                     self.constrain_call(fid, &f, iid, callee, &args);
                 }
-                Inst::Ret(Some(v)) => {
-                    if tys_is_ptr(self, self.m.value_type(&f, v)) {
-                        let n = self.node_of(fid, v);
-                        if let Some(rn) = self.ret_nodes[fid.index()] {
-                            self.union(n, rn);
-                        }
+                Inst::Ret(Some(v)) if tys_is_ptr(self, self.m.value_type(&f, v)) => {
+                    let n = self.node_of(fid, v);
+                    if let Some(rn) = self.ret_nodes[fid.index()] {
+                        self.union(n, rn);
                     }
                 }
                 Inst::Free(_) => {}
@@ -1030,8 +1034,7 @@ mod tests {
 
     #[test]
     fn disciplined_code_is_fully_typed() {
-        let (_, dsa) = run(
-            "
+        let (_, dsa) = run("
 %pt = type { int, double }
 define double @f(int %n) {
 e:
@@ -1042,8 +1045,7 @@ e:
   store double 0x3FF0000000000000, double* %pd
   %v = load double* %pd
   ret double %v
-}",
-        );
+}");
         let s = dsa.access_stats();
         assert_eq!(s.untyped, 0);
         assert_eq!(s.typed, 3);
@@ -1054,8 +1056,7 @@ e:
     fn custom_allocator_collapses() {
         // A pool allocator carving ints out of a byte array: the node's
         // declared type is sbyte, so int accesses are untyped.
-        let (_, dsa) = run(
-            "
+        let (_, dsa) = run("
 define int @f(int %n) {
 e:
   %pool = malloc sbyte, uint 4096
@@ -1063,8 +1064,7 @@ e:
   store int %n, int* %p
   %v = load int* %p
   ret int %v
-}",
-        );
+}");
         let s = dsa.access_stats();
         assert_eq!(s.typed, 0);
         assert_eq!(s.untyped, 2);
@@ -1074,8 +1074,7 @@ e:
     fn type_punning_two_structs_collapses() {
         // Same object viewed as two different struct types (the 176.gcc
         // pattern): phi merges the two views, types disagree, collapse.
-        let (_, dsa) = run(
-            "
+        let (_, dsa) = run("
 %a = type { int, int }
 %b = type { float, int }
 define int @f(bool %c) {
@@ -1093,16 +1092,14 @@ j:
   %p = phi int* [ %xp, %l ], [ %yp, %r ]
   %v = load int* %p
   ret int %v
-}",
-        );
+}");
         let s = dsa.access_stats();
         assert_eq!(s.typed, 0, "merged disagreeing types must collapse");
     }
 
     #[test]
     fn same_type_merge_stays_typed() {
-        let (_, dsa) = run(
-            "
+        let (_, dsa) = run("
 define int @f(bool %c) {
 e:
   br bool %c, label %l, label %r
@@ -1116,16 +1113,14 @@ j:
   %p = phi int* [ %x, %l ], [ %y, %r ]
   %v = load int* %p
   ret int %v
-}",
-        );
+}");
         assert_eq!(dsa.access_stats().typed, 1);
         assert_eq!(dsa.access_stats().untyped, 0);
     }
 
     #[test]
     fn array_of_structs_with_variable_index_stays_typed() {
-        let (_, dsa) = run(
-            "
+        let (_, dsa) = run("
 %s = type { int, float }
 define float @f(long %i) {
 e:
@@ -1133,15 +1128,13 @@ e:
   %p = getelementptr [16 x %s]* %a, long 0, long %i, ubyte 1
   %v = load float* %p
   ret float %v
-}",
-        );
+}");
         assert_eq!(dsa.access_stats().typed, 1);
     }
 
     #[test]
     fn interprocedural_flow_keeps_types() {
-        let (_, dsa) = run(
-            "
+        let (_, dsa) = run("
 define void @init(int* %p) {
 e:
   store int 1, int* %p
@@ -1153,16 +1146,14 @@ e:
   call void @init(int* %x)
   %v = load int* %x
   ret int %v
-}",
-        );
+}");
         assert_eq!(dsa.access_stats().typed, 2);
         assert_eq!(dsa.access_stats().untyped, 0);
     }
 
     #[test]
     fn nonbenign_external_collapses() {
-        let (m, dsa) = run(
-            "
+        let (m, dsa) = run("
 declare void @mystery(int*)
 define int @main() {
 e:
@@ -1170,16 +1161,14 @@ e:
   call void @mystery(int* %x)
   %v = load int* %x
   ret int %v
-}",
-        );
+}");
         let main = m.func_by_name("main").unwrap();
         assert_eq!(dsa.access_stats_for(main).untyped, 1);
     }
 
     #[test]
     fn benign_external_keeps_types() {
-        let (_, dsa) = run(
-            "
+        let (_, dsa) = run("
 declare int @puts(sbyte*)
 define int @main() {
 e:
@@ -1187,23 +1176,20 @@ e:
   store sbyte 0, sbyte* %s
   %r = call int @puts(sbyte* %s)
   ret int %r
-}",
-        );
+}");
         assert_eq!(dsa.access_stats().typed, 1);
     }
 
     #[test]
     fn global_accesses_are_typed() {
-        let (m, dsa) = run(
-            "
+        let (m, dsa) = run("
 @g = global int 5
 define int @f() {
 e:
   %v = load int* @g
   store int 6, int* @g
   ret int %v
-}",
-        );
+}");
         assert_eq!(dsa.access_stats().typed, 2);
         let g = m.global_by_name("g").unwrap();
         let n = dsa.node_of_global(g);
@@ -1214,8 +1200,7 @@ e:
 
     #[test]
     fn may_alias_distinguishes_allocations() {
-        let (m, dsa) = run(
-            "
+        let (m, dsa) = run("
 define void @f() {
 e:
   %a = malloc int
@@ -1223,8 +1208,7 @@ e:
   store int 1, int* %a
   store int 2, int* %b
   ret void
-}",
-        );
+}");
         let f = m.func_by_name("f").unwrap();
         let a = Value::Inst(lpat_core::InstId::from_index(0));
         let b = Value::Inst(lpat_core::InstId::from_index(1));
@@ -1238,8 +1222,7 @@ e:
         // loading back at the same type keeps the node typed, because the
         // *declared allocation type* is checked, not the cast chain
         // (paper footnote 8).
-        let (_, dsa) = run(
-            "
+        let (_, dsa) = run("
 %s = type { int, int* }
 define int @f() {
 e:
@@ -1249,8 +1232,7 @@ e:
   %p = getelementptr %s* %back, long 0, ubyte 0
   %v = load int* %p
   ret int %v
-}",
-        );
+}");
         assert_eq!(dsa.access_stats().typed, 1);
         assert_eq!(dsa.access_stats().untyped, 0);
     }

@@ -11,7 +11,10 @@
 //!   the engine behind the paper's Table 1 typed-access statistics;
 //! * [`modref`] — interprocedural Mod/Ref built on DSA and the call graph;
 //! * [`summary`] — compile-time interprocedural summaries that travel with
-//!   the bytecode so link-time passes can skip recomputation (§3.3).
+//!   the bytecode so link-time passes can skip recomputation (§3.3);
+//! * [`manager`] — the analysis cache the pass framework requests analyses
+//!   through, with modification-counter staleness checks and
+//!   `PreservedAnalyses`-driven invalidation.
 
 #![warn(missing_docs)]
 
@@ -19,6 +22,7 @@ pub mod callgraph;
 pub mod domtree;
 pub mod dsa;
 pub mod loops;
+pub mod manager;
 pub mod modref;
 pub mod summary;
 
@@ -26,5 +30,6 @@ pub use callgraph::CallGraph;
 pub use domtree::DomTree;
 pub use dsa::{AccessStats, Dsa, DsaOptions};
 pub use loops::LoopInfo;
+pub use manager::{AnalysisManager, CacheStats, FuncAnalyses, PreservedAnalyses};
 pub use modref::ModRef;
 pub use summary::{compute_summaries, FuncSummary, ModuleSummaries};

@@ -369,7 +369,11 @@ e:
 
     #[test]
     fn merge_prefers_definitions() {
-        let a = parse_module("a", "declare void @f()\ndefine void @g() {\ne:\n  call void @f()\n  ret void\n}").unwrap();
+        let a = parse_module(
+            "a",
+            "declare void @f()\ndefine void @g() {\ne:\n  call void @f()\n  ret void\n}",
+        )
+        .unwrap();
         let b = parse_module("b", "define void @f() {\ne:\n  ret void\n}").unwrap();
         let merged = ModuleSummaries::merge(vec![compute_summaries(&a), compute_summaries(&b)]);
         let f = merged.funcs.iter().find(|s| s.name == "f").unwrap();

@@ -196,9 +196,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                                 }
                                 bytes.push(u8::from_str_radix(&h, 16).unwrap());
                             }
-                            Some((_, '\n')) | None => {
-                                return Err(err(line, "unterminated string"))
-                            }
+                            Some((_, '\n')) | None => return Err(err(line, "unterminated string")),
                             Some((_, c)) => {
                                 let mut buf = [0u8; 4];
                                 bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());

@@ -37,6 +37,10 @@ impl std::error::Error for ParseError {}
 
 type PResult<T> = Result<T, ParseError>;
 
+/// A parsed function signature: (name, param types, param names, return
+/// type, varargs).
+type Signature = (String, Vec<TypeId>, Vec<String>, TypeId, bool);
+
 /// Parse a whole module from its textual form.
 ///
 /// # Errors
@@ -286,10 +290,7 @@ impl Parser {
 
     /// `int @name(int %a, sbyte* %b, ...)` — returns
     /// (name, param types, param names, ret, varargs).
-    fn parse_signature(
-        &mut self,
-        c: &mut Cur<'_>,
-    ) -> PResult<(String, Vec<TypeId>, Vec<String>, TypeId, bool)> {
+    fn parse_signature(&mut self, c: &mut Cur<'_>) -> PResult<Signature> {
         let ret = self.parse_type(c)?;
         let name = match c.next() {
             Some(Tok::Global(n)) => n.clone(),
@@ -473,7 +474,10 @@ impl Parser {
             }
             if let (Some(Tok::Local(n)), Some(Tok::Punct('='))) = (toks.first(), toks.get(1)) {
                 if locals
-                    .insert(n.clone(), Value::Inst(InstId::from_index(inst_counter as usize)))
+                    .insert(
+                        n.clone(),
+                        Value::Inst(InstId::from_index(inst_counter as usize)),
+                    )
                     .is_some()
                 {
                     return Err(ParseError {
@@ -655,14 +659,10 @@ impl Parser {
             "load" => {
                 let ty = self.parse_type(c)?;
                 let ptr = self.parse_value(c, ty, locals)?;
-                let pointee = self
-                    .module
-                    .types
-                    .pointee(ty)
-                    .ok_or_else(|| ParseError {
-                        line: c.line,
-                        message: "load type must be a pointer".into(),
-                    })?;
+                let pointee = self.module.types.pointee(ty).ok_or_else(|| ParseError {
+                    line: c.line,
+                    message: "load type must be a pointer".into(),
+                })?;
                 Ok((Inst::Load { ptr }, pointee))
             }
             "store" => {
@@ -762,7 +762,11 @@ impl Parser {
         Ok(cur)
     }
 
-    fn parse_label_ref(&self, c: &mut Cur<'_>, blocks: &HashMap<String, BlockId>) -> PResult<BlockId> {
+    fn parse_label_ref(
+        &self,
+        c: &mut Cur<'_>,
+        blocks: &HashMap<String, BlockId>,
+    ) -> PResult<BlockId> {
         match c.next() {
             Some(Tok::Local(n)) => blocks.get(n).copied().ok_or_else(|| ParseError {
                 line: c.line,

@@ -8,7 +8,6 @@
 //! ```
 
 use lpat_bench::{kb, lz_compress};
-use lpat_core;
 use lpat_codegen::{compile_module, Cisc32, Risc32};
 
 fn main() {

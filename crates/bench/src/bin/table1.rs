@@ -21,9 +21,7 @@ fn main() {
         .unwrap_or(0u32);
 
     println!("Table 1: Loads and Stores which are provably typed");
-    println!(
-        "(scale={scale}, field-sensitive={field_sensitive}, mem2reg={mem2reg})\n"
-    );
+    println!("(scale={scale}, field-sensitive={field_sensitive}, mem2reg={mem2reg})\n");
     println!(
         "{:<14} {:>8} {:>9} {:>9}   {:>9}",
         "Benchmark", "Typed", "Untyped", "Typed %", "paper %"

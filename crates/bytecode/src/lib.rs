@@ -64,8 +64,7 @@ pub fn read_module_and_summaries(
     let (m, consumed) = reader::read_module_counting(name, buf)?;
     let rest = &buf[consumed..];
     if rest.len() >= 4 && &rest[..4] == SUMM_MAGIC {
-        let sums = lpat_analysis::ModuleSummaries::from_bytes(&rest[4..])
-            .map_err(DecodeError)?;
+        let sums = lpat_analysis::ModuleSummaries::from_bytes(&rest[4..]).map_err(DecodeError)?;
         Ok((m, Some(sums)))
     } else {
         Ok((m, None))
@@ -250,7 +249,12 @@ bb0:
                 compact_heads: false,
             },
         );
-        assert!(wide.len() > compact.len(), "{} > {}", wide.len(), compact.len());
+        assert!(
+            wide.len() > compact.len(),
+            "{} > {}",
+            wide.len(),
+            compact.len()
+        );
         let m2 = read_module("t", &wide).unwrap();
         assert_eq!(m.display(), m2.display(), "wide form decodes identically");
     }

@@ -6,7 +6,6 @@
 //! order is not dominance order), inference runs as a memoized depth-first
 //! resolution over the instruction operand graph.
 
-
 use lpat_core::{
     BlockId, Const, ConstId, FuncId, GlobalId, Inst, InstId, IntKind, Linkage, Module, Type,
     TypeId, Value,
@@ -163,7 +162,11 @@ fn read_func_sigs(m: &mut Module, r: &mut Reader<'_>) -> Result<Vec<FuncId>, Dec
                 params,
                 varargs,
             } => (ret, params, varargs),
-            _ => return Err(DecodeError(format!("function @{name} has non-function type"))),
+            _ => {
+                return Err(DecodeError(format!(
+                    "function @{name} has non-function type"
+                )))
+            }
         };
         let linkage = if flags & 1 != 0 {
             Linkage::Internal
@@ -287,7 +290,9 @@ fn decode_value(m: &Module, cur: usize, n_insts: usize, v: u64) -> Result<Value,
             let rel = unzigzag(v >> 2);
             let def = cur as i64 - rel;
             if def < 0 || def as usize >= n_insts {
-                return Err(DecodeError(format!("instruction reference {def} out of range")));
+                return Err(DecodeError(format!(
+                    "instruction reference {def} out of range"
+                )));
             }
             Ok(Value::Inst(InstId::from_index(def as usize)))
         }
@@ -342,7 +347,10 @@ fn read_body(m: &mut Module, fid: FuncId, r: &mut Reader<'_>) -> Result<(), Deco
         }
         for s in inst.successors() {
             if s.index() >= n_blocks {
-                return Err(DecodeError(format!("branch to missing block {}", s.index())));
+                return Err(DecodeError(format!(
+                    "branch to missing block {}",
+                    s.index()
+                )));
             }
         }
     }

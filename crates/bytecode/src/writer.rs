@@ -4,9 +4,7 @@ use std::collections::HashMap;
 
 use lpat_core::{Const, Function, Inst, InstId, Module, Type, Value};
 
-use crate::format::{
-    pack_head, write_string, write_varint, zigzag, Op, FIELD_MAX, MAGIC, VERSION,
-};
+use crate::format::{pack_head, write_string, write_varint, zigzag, Op, FIELD_MAX, MAGIC, VERSION};
 
 /// Encoding options.
 #[derive(Copy, Clone, Debug)]
@@ -199,11 +197,7 @@ fn write_global_heads(m: &Module, out: &mut Vec<u8>) {
     }
 }
 
-fn write_consts(
-    m: &Module,
-    cmap: &HashMap<lpat_core::ConstId, usize>,
-    out: &mut Vec<u8>,
-) {
+fn write_consts(m: &Module, cmap: &HashMap<lpat_core::ConstId, usize>, out: &mut Vec<u8>) {
     write_varint(out, cmap.len() as u64);
     for (id, c) in m.consts.iter() {
         if !cmap.contains_key(&id) {
@@ -267,11 +261,7 @@ fn write_consts(
     }
 }
 
-fn write_global_inits(
-    m: &Module,
-    cmap: &HashMap<lpat_core::ConstId, usize>,
-    out: &mut Vec<u8>,
-) {
+fn write_global_inits(m: &Module, cmap: &HashMap<lpat_core::ConstId, usize>, out: &mut Vec<u8>) {
     for (_, g) in m.globals() {
         if let Some(init) = g.init {
             write_varint(out, cmap[&init] as u64);
@@ -336,20 +326,19 @@ fn write_inst(
 ) {
     let vn = |v: Value| valnum(idmap, cmap, cur, v);
     // Emit head word + optional extended operands + fixed trailing lists.
-    let head =
-        |out: &mut Vec<u8>, op: Op, inline: &[u64]| {
-            debug_assert!(inline.len() <= 2);
-            if opts.compact_heads && fits(inline) {
-                let a = inline.first().copied().unwrap_or(0) as u32;
-                let b = inline.get(1).copied().unwrap_or(0) as u32;
-                out.extend_from_slice(&pack_head(op, 0, a, b).to_le_bytes());
-            } else {
-                out.extend_from_slice(&pack_head(op, 1, 0, 0).to_le_bytes());
-                for &v in inline {
-                    write_varint(out, v);
-                }
+    let head = |out: &mut Vec<u8>, op: Op, inline: &[u64]| {
+        debug_assert!(inline.len() <= 2);
+        if opts.compact_heads && fits(inline) {
+            let a = inline.first().copied().unwrap_or(0) as u32;
+            let b = inline.get(1).copied().unwrap_or(0) as u32;
+            out.extend_from_slice(&pack_head(op, 0, a, b).to_le_bytes());
+        } else {
+            out.extend_from_slice(&pack_head(op, 1, 0, 0).to_le_bytes());
+            for &v in inline {
+                write_varint(out, v);
             }
-        };
+        }
+    };
     match f.inst(iid) {
         Inst::Ret(None) => head(out, Op::RetVoid, &[]),
         Inst::Ret(Some(v)) => head(out, Op::RetVal, &[vn(*v)]),

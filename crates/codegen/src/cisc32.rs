@@ -72,13 +72,13 @@ impl Target for Cisc32 {
             }
             MKind::Bin(op) => {
                 let base = match op {
-                    BinOp::Mul => 3,                  // imul r, r/m
-                    BinOp::Div | BinOp::Rem => 5,     // cdq + idiv + fixups
-                    BinOp::Shl | BinOp::Shr => 3,     // shift r/m, imm/cl
-                    _ => 2,                           // ALU r, r/m
+                    BinOp::Mul => 3,              // imul r, r/m
+                    BinOp::Div | BinOp::Rem => 5, // cdq + idiv + fixups
+                    BinOp::Shl | BinOp::Shr => 3, // shift r/m, imm/cl
+                    _ => 2,                       // ALU r, r/m
                 };
-                let extra: usize = i.srcs.iter().map(operand_extra).sum::<usize>()
-                    + extra_mem_reloads(&i.srcs, 1);
+                let extra: usize =
+                    i.srcs.iter().map(operand_extra).sum::<usize>() + extra_mem_reloads(&i.srcs, 1);
                 (base + extra.min(10) + dst_mem_extra, false)
             }
             MKind::Cmp(_) => {
@@ -92,7 +92,7 @@ impl Target for Cisc32 {
                     ..
                 }) = next
                 {
-                    if srcs.first() == i.dst.map(|d| Src::Loc(d)).as_ref() {
+                    if srcs.first() == i.dst.map(Src::Loc).as_ref() {
                         return (cmp + 2, true); // cmp + jcc rel8
                     }
                 }
@@ -101,7 +101,10 @@ impl Target for Cisc32 {
             MKind::Cast => (3 + operand_extra(&i.srcs[0]) + dst_mem_extra, false),
             MKind::Load(sz) => {
                 let wide = if *sz == 8 { 1 } else { 0 };
-                (2 + 1 + wide + extra_mem_reloads(&i.srcs, 0) + dst_mem_extra, false)
+                (
+                    2 + 1 + wide + extra_mem_reloads(&i.srcs, 0) + dst_mem_extra,
+                    false,
+                )
             }
             MKind::Store(sz) => {
                 let wide = if *sz == 8 { 1 } else { 0 };
@@ -113,11 +116,14 @@ impl Target for Cisc32 {
             }
             MKind::Lea { scale, disp } => {
                 let sib = if *scale > 1 { 1 } else { 0 };
-                (2 + sib + imm_size(*disp) + extra_mem_reloads(&i.srcs, 0) + dst_mem_extra, false)
+                (
+                    2 + sib + imm_size(*disp) + extra_mem_reloads(&i.srcs, 0) + dst_mem_extra,
+                    false,
+                )
             }
-            MKind::Jump(_) => (2, false),      // jmp rel8 (relaxed to rel32 rarely)
+            MKind::Jump(_) => (2, false), // jmp rel8 (relaxed to rel32 rarely)
             MKind::CondJump(_) => (2 + 2, false), // test r,r + jcc rel8
-            MKind::JumpTable(_) => (12, false),   // cmp + ja + jmp [tbl+r*4]
+            MKind::JumpTable(_) => (12, false), // cmp + ja + jmp [tbl+r*4]
             MKind::Call { nargs } => {
                 // push per argument + call rel32 + stack cleanup.
                 let pushes: usize = i
@@ -130,7 +136,10 @@ impl Target for Cisc32 {
                     })
                     .sum::<usize>()
                     .max(*nargs); // calls lowered without explicit srcs
-                (pushes + 5 + if *nargs > 0 { 3 } else { 0 } + dst_mem_extra, false)
+                (
+                    pushes + 5 + if *nargs > 0 { 3 } else { 0 } + dst_mem_extra,
+                    false,
+                )
             }
             MKind::Ret => (1, false),
             MKind::Prologue { frame } => {

@@ -80,11 +80,7 @@ pub fn lower_function(m: &Module, fid: FuncId, budget: RegBudget) -> MFunc {
                     for &pid in f.block_insts(s) {
                         if let Inst::Phi { incoming } = f.inst(pid) {
                             if let Some((v, _)) = incoming.iter().find(|(_, pb)| *pb == b) {
-                                out.push(MInst::new(
-                                    MKind::Mov,
-                                    dst_of(pid),
-                                    vec![src_of(*v)],
-                                ));
+                                out.push(MInst::new(MKind::Mov, dst_of(pid), vec![src_of(*v)]));
                             }
                         }
                     }
@@ -102,11 +98,9 @@ pub fn lower_function(m: &Module, fid: FuncId, budget: RegBudget) -> MFunc {
                     dst_of(iid),
                     vec![src_of(lhs), src_of(rhs)],
                 )),
-                Inst::Cast { val, .. } => out.push(MInst::new(
-                    MKind::Cast,
-                    dst_of(iid),
-                    vec![src_of(val)],
-                )),
+                Inst::Cast { val, .. } => {
+                    out.push(MInst::new(MKind::Cast, dst_of(iid), vec![src_of(val)]))
+                }
                 Inst::Load { ptr } => {
                     let size = first_class_size(m, f.inst_ty(iid));
                     out.push(MInst::new(
@@ -124,7 +118,7 @@ pub fn lower_function(m: &Module, fid: FuncId, budget: RegBudget) -> MFunc {
                     ));
                 }
                 Inst::Gep { ptr, indices } => {
-                    lower_gep(m, f, iid, ptr, &indices, &src_of, dst_of(iid), &mut out);
+                    lower_gep(m, f, ptr, &indices, &src_of, dst_of(iid), &mut out);
                 }
                 Inst::Alloca { count: None, .. } => {
                     // Static alloca: address = frame base + offset.
@@ -163,9 +157,7 @@ pub fn lower_function(m: &Module, fid: FuncId, budget: RegBudget) -> MFunc {
                         srcs,
                     ));
                 }
-                Inst::Invoke {
-                    args, normal, ..
-                } => {
+                Inst::Invoke { args, normal, .. } => {
                     // Call followed by a jump to the normal destination;
                     // the unwind edge costs a landing-pad table entry,
                     // modeled in the data section, not code.
@@ -198,7 +190,11 @@ pub fn lower_function(m: &Module, fid: FuncId, budget: RegBudget) -> MFunc {
                         out.push(MInst::new(MKind::Jump(else_bb.index()), None, vec![]));
                     }
                 }
-                Inst::Switch { val, cases, default } => {
+                Inst::Switch {
+                    val,
+                    cases,
+                    default,
+                } => {
                     out.push(MInst::new(
                         MKind::JumpTable(cases.len()),
                         None,
@@ -241,7 +237,6 @@ fn first_class_size(m: &Module, ty: lpat_core::TypeId) -> u8 {
 fn lower_gep(
     m: &Module,
     f: &Function,
-    iid: InstId,
     ptr: Value,
     indices: &[Value],
     src_of: &dyn Fn(Value) -> Src,
@@ -255,7 +250,6 @@ fn lower_gep(
     let mut disp: i64 = 0;
     let mut parts: Vec<(Src, u32)> = Vec::new(); // (index, scale)
     for (k, &idx) in indices.iter().enumerate() {
-        let scale_ty = if k == 0 { cur } else { cur };
         if k > 0 {
             match tys.ty(cur).clone() {
                 Type::Struct { fields, .. } => {
@@ -273,7 +267,7 @@ fn lower_gep(
                 _ => {}
             }
         }
-        let scale = tys.size_of(if k == 0 { scale_ty } else { cur }) as u32;
+        let scale = tys.size_of(cur) as u32;
         match idx {
             Value::Const(c) => {
                 let v = m.consts.as_int(c).map(|(_, v)| v).unwrap_or(0);
@@ -306,7 +300,6 @@ fn lower_gep(
             }
         }
     }
-    let _ = iid;
 }
 
 // ----------------------------------------------------------------------
@@ -397,7 +390,7 @@ fn allocate(m: &Module, f: &Function, budget: RegBudget) -> (HashMap<ValKey, Loc
 
     // Sort by start; linear scan.
     let mut vals: Vec<ValKey> = start.keys().copied().collect();
-    vals.sort_by_key(|k| (start[&k], end[&k]));
+    vals.sort_by_key(|k| (start[k], end[k]));
     let mut active: Vec<(ValKey, usize, PReg)> = Vec::new(); // (val, end, reg)
     let mut free: Vec<PReg> = (0..budget.gprs).rev().map(PReg).collect();
     let mut locs: HashMap<ValKey, Loc> = HashMap::new();

@@ -113,7 +113,7 @@ impl Target for Risc32 {
                 let disp_extra = if fits_simm13(*disp) { 0 } else { 2 * W };
                 (W + scale_extra + disp_extra + ops + spill, false)
             }
-            MKind::Jump(_) => (2 * W, false),     // b + delay (nop at block end)
+            MKind::Jump(_) => (2 * W, false), // b + delay (nop at block end)
             MKind::CondJump(_) => (3 * W, false), // tst + b + delay
             MKind::JumpTable(_) => (4 * W, false),
             MKind::Call { nargs } => {
@@ -125,7 +125,11 @@ impl Target for Risc32 {
             }
             MKind::Ret => (2 * W, false), // ret + restore
             MKind::Prologue { frame } => {
-                let big = if fits_simm13(-(*frame as i64)) { 0 } else { 2 * W };
+                let big = if fits_simm13(-(*frame as i64)) {
+                    0
+                } else {
+                    2 * W
+                };
                 (W + big, false) // save %sp, -frame, %sp
             }
             MKind::Epilogue => (0, false), // folded into ret/restore

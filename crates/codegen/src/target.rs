@@ -101,7 +101,7 @@ pub fn compile_module(m: &Module, target: &dyn Target) -> Binary {
         }
     }
     data_size += table_data + invokes * 8; // landing-pad table entries
-    // Symbols: externally visible definitions and all declarations.
+                                           // Symbols: externally visible definitions and all declarations.
     let n_syms = m
         .funcs()
         .filter(|(_, f)| matches!(f.linkage, lpat_core::Linkage::External))

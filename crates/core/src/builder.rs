@@ -421,11 +421,7 @@ impl Module {
     }
 
     /// `infer_inst_type` against a [`FuncSigView`].
-    pub fn infer_inst_type_view(
-        &mut self,
-        f: &FuncSigView,
-        inst: &Inst,
-    ) -> Result<TypeId, String> {
+    pub fn infer_inst_type_view(&mut self, f: &FuncSigView, inst: &Inst) -> Result<TypeId, String> {
         use crate::types::Type;
         Ok(match inst {
             Inst::Ret(_)
@@ -438,9 +434,7 @@ impl Module {
             | Inst::Store { .. } => self.types.void(),
             Inst::Bin { lhs, .. } => self.value_type_view(f, *lhs),
             Inst::Cmp { .. } => self.types.bool_(),
-            Inst::Malloc { elem_ty, .. } | Inst::Alloca { elem_ty, .. } => {
-                self.types.ptr(*elem_ty)
-            }
+            Inst::Malloc { elem_ty, .. } | Inst::Alloca { elem_ty, .. } => self.types.ptr(*elem_ty),
             Inst::Load { ptr } => {
                 let pt = self.value_type_view(f, *ptr);
                 self.types

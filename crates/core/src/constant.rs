@@ -158,6 +158,17 @@ impl ConstPool {
         &self.consts[id.0 as usize]
     }
 
+    /// Drop every constant with index `>= len`, restoring the pool to an
+    /// earlier snapshot. Used by the parallel function-pass executor to
+    /// reset a worker's pool overlay between functions.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.consts.len() {
+            return;
+        }
+        self.intern.retain(|_, id| (id.0 as usize) < len);
+        self.consts.truncate(len);
+    }
+
     /// Iterate over `(ConstId, &Const)` in creation order.
     pub fn iter(&self) -> impl Iterator<Item = (ConstId, &Const)> {
         self.consts

@@ -14,10 +14,9 @@ use crate::types::{IntKind, Type, TypeCtx, TypeId};
 /// division by zero, non-scalar operands).
 pub fn fold_bin(pool: &mut ConstPool, op: BinOp, lhs: &Const, rhs: &Const) -> Option<Const> {
     match (lhs, rhs) {
-        (
-            Const::Int { kind: ka, value: a },
-            Const::Int { kind: kb, value: b },
-        ) if ka == kb => fold_int_bin(op, *ka, *a, *b),
+        (Const::Int { kind: ka, value: a }, Const::Int { kind: kb, value: b }) if ka == kb => {
+            fold_int_bin(op, *ka, *a, *b)
+        }
         (Const::F32(a), Const::F32(b)) => {
             let (a, b) = (f32::from_bits(*a), f32::from_bits(*b));
             let r = fold_float_bin(op, a as f64, b as f64)?;
@@ -111,10 +110,7 @@ fn fold_float_bin(op: BinOp, a: f64, b: f64) -> Option<f64> {
 pub fn fold_cmp(pred: CmpPred, lhs: &Const, rhs: &Const) -> Option<bool> {
     use std::cmp::Ordering;
     let ord = match (lhs, rhs) {
-        (
-            Const::Int { kind: ka, value: a },
-            Const::Int { kind: kb, value: b },
-        ) if ka == kb => {
+        (Const::Int { kind: ka, value: a }, Const::Int { kind: kb, value: b }) if ka == kb => {
             if ka.is_signed() {
                 a.cmp(b)
             } else {
@@ -122,10 +118,8 @@ pub fn fold_cmp(pred: CmpPred, lhs: &Const, rhs: &Const) -> Option<bool> {
             }
         }
         (Const::Bool(a), Const::Bool(b)) => a.cmp(b),
-        (Const::F32(a), Const::F32(b)) => f32::from_bits(*a)
-            .partial_cmp(&f32::from_bits(*b))?,
-        (Const::F64(a), Const::F64(b)) => f64::from_bits(*a)
-            .partial_cmp(&f64::from_bits(*b))?,
+        (Const::F32(a), Const::F32(b)) => f32::from_bits(*a).partial_cmp(&f32::from_bits(*b))?,
+        (Const::F64(a), Const::F64(b)) => f64::from_bits(*a).partial_cmp(&f64::from_bits(*b))?,
         (Const::Null(_), Const::Null(_)) => Ordering::Equal,
         // A global's address is never null.
         (Const::GlobalAddr(_) | Const::FuncAddr(_), Const::Null(_)) => Ordering::Greater,
@@ -234,22 +228,52 @@ mod tests {
     #[test]
     fn int_arith_wraps() {
         let mut p = ConstPool::new();
-        let r = fold_bin(&mut p, BinOp::Add, &ic(IntKind::U8, 200), &ic(IntKind::U8, 100));
+        let r = fold_bin(
+            &mut p,
+            BinOp::Add,
+            &ic(IntKind::U8, 200),
+            &ic(IntKind::U8, 100),
+        );
         assert_eq!(r, Some(ic(IntKind::U8, 44)));
-        let r = fold_bin(&mut p, BinOp::Mul, &ic(IntKind::S8, 64), &ic(IntKind::S8, 2));
+        let r = fold_bin(
+            &mut p,
+            BinOp::Mul,
+            &ic(IntKind::S8, 64),
+            &ic(IntKind::S8, 2),
+        );
         assert_eq!(r, Some(ic(IntKind::S8, -128)));
     }
 
     #[test]
     fn signedness_of_div_and_shr() {
         let mut p = ConstPool::new();
-        let r = fold_bin(&mut p, BinOp::Div, &ic(IntKind::S32, -7), &ic(IntKind::S32, 2));
+        let r = fold_bin(
+            &mut p,
+            BinOp::Div,
+            &ic(IntKind::S32, -7),
+            &ic(IntKind::S32, 2),
+        );
         assert_eq!(r, Some(ic(IntKind::S32, -3)));
-        let r = fold_bin(&mut p, BinOp::Div, &ic(IntKind::U32, -7), &ic(IntKind::U32, 2));
+        let r = fold_bin(
+            &mut p,
+            BinOp::Div,
+            &ic(IntKind::U32, -7),
+            &ic(IntKind::U32, 2),
+        );
         assert_eq!(r, Some(ic(IntKind::U32, 0x7FFF_FFFC)));
-        let r = fold_bin(&mut p, BinOp::Shr, &ic(IntKind::S32, -8), &ic(IntKind::S32, 1));
+        let r = fold_bin(
+            &mut p,
+            BinOp::Shr,
+            &ic(IntKind::S32, -8),
+            &ic(IntKind::S32, 1),
+        );
         assert_eq!(r, Some(ic(IntKind::S32, -4)));
-        let r = fold_bin(&mut p, BinOp::Shr, &ic(IntKind::U32, -8), &ic(IntKind::U32, 1));
+        let r = fold_bin(
+            &mut p,
+            BinOp::Shr,
+            &ic(IntKind::U32, -8),
+            &ic(IntKind::U32, 1),
+        );
         assert_eq!(r, Some(ic(IntKind::U32, 0x7FFF_FFFC)));
     }
 
@@ -257,7 +281,12 @@ mod tests {
     fn div_by_zero_not_folded() {
         let mut p = ConstPool::new();
         assert_eq!(
-            fold_bin(&mut p, BinOp::Div, &ic(IntKind::S32, 1), &ic(IntKind::S32, 0)),
+            fold_bin(
+                &mut p,
+                BinOp::Div,
+                &ic(IntKind::S32, 1),
+                &ic(IntKind::S32, 0)
+            ),
             None
         );
         assert_eq!(

@@ -7,6 +7,7 @@
 //! instruction ids. This id-based layout is the idiomatic Rust analogue of
 //! LLVM's intrusive pointer-linked lists.
 
+use crate::constant::ConstId;
 use crate::inst::{BlockId, Inst, InstId, Value};
 use crate::types::TypeId;
 
@@ -63,6 +64,10 @@ pub struct Function {
     varargs: bool,
     blocks: Vec<Block>,
     insts: Vec<InstData>,
+    /// Modification counter: bumped by every mutating method, so analysis
+    /// caches can detect staleness with one integer compare (see
+    /// `lpat-analysis`'s `AnalysisManager`).
+    version: u64,
 }
 
 impl Function {
@@ -85,7 +90,23 @@ impl Function {
             varargs,
             blocks: Vec::new(),
             insts: Vec::new(),
+            version: 0,
         }
+    }
+
+    /// The current modification counter.
+    ///
+    /// Every method that can change the body (blocks, instructions, uses)
+    /// increments this; a cached analysis stamped with an older value is
+    /// stale. The counter never decreases and is not serialized.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    #[inline]
+    fn bump(&mut self) {
+        self.version += 1;
     }
 
     /// The function type id.
@@ -145,6 +166,7 @@ impl Function {
     /// Append a new, empty basic block. The first block created is the
     /// entry.
     pub fn add_block(&mut self) -> BlockId {
+        self.bump();
         let id = BlockId(self.blocks.len() as u32);
         self.blocks.push(Block::default());
         id
@@ -170,6 +192,7 @@ impl Function {
     /// Replace the instruction list of block `b` (used by transforms that
     /// rebuild block contents).
     pub fn set_block_insts(&mut self, b: BlockId, insts: Vec<InstId>) {
+        self.bump();
         self.blocks[b.0 as usize].insts = insts;
     }
 
@@ -182,6 +205,7 @@ impl Function {
     /// Mutable access to instruction `i`.
     #[inline]
     pub fn inst_mut(&mut self, i: InstId) -> &mut Inst {
+        self.bump();
         &mut self.insts[i.0 as usize].inst
     }
 
@@ -195,6 +219,7 @@ impl Function {
     /// Overwrite the cached result type (used when a transform retypes an
     /// instruction, e.g. replacing a call with a cast).
     pub fn set_inst_ty(&mut self, i: InstId, ty: TypeId) {
+        self.bump();
         self.insts[i.0 as usize].ty = ty;
     }
 
@@ -208,6 +233,7 @@ impl Function {
     /// Create a new instruction in the arena without linking it into a
     /// block. Most callers want [`Function::append_inst`].
     pub fn new_inst(&mut self, inst: Inst, ty: TypeId) -> InstId {
+        self.bump();
         let id = InstId(self.insts.len() as u32);
         self.insts.push(InstData { inst, ty });
         id
@@ -226,12 +252,14 @@ impl Function {
     ///
     /// Panics if `pos >` the block's current length.
     pub fn insert_inst(&mut self, b: BlockId, pos: usize, id: InstId) {
+        self.bump();
         self.blocks[b.0 as usize].insts.insert(pos, id);
     }
 
     /// Unlink instruction `id` from block `b` (the arena slot survives but
     /// becomes unreachable from the CFG).
     pub fn remove_inst(&mut self, b: BlockId, id: InstId) {
+        self.bump();
         self.blocks[b.0 as usize].insts.retain(|&x| x != id);
     }
 
@@ -287,9 +315,9 @@ impl Function {
 
     /// Replace every use of `from` with `to` across the whole function.
     pub fn replace_all_uses(&mut self, from: Value, to: Value) {
+        self.bump();
         for data in &mut self.insts {
-            data.inst
-                .map_operands(|v| if v == from { to } else { v });
+            data.inst.map_operands(|v| if v == from { to } else { v });
         }
     }
 
@@ -310,6 +338,7 @@ impl Function {
     /// declaration (used by dead-global elimination when only the address of
     /// a dead function is needed transiently).
     pub fn clear_body(&mut self) {
+        self.bump();
         self.blocks.clear();
         self.insts.clear();
     }
@@ -323,6 +352,7 @@ impl Function {
     /// Panics if `order` is not a permutation or does not start with the
     /// entry block.
     pub fn permute_blocks(&mut self, order: &[BlockId]) {
+        self.bump();
         assert_eq!(order.len(), self.blocks.len());
         assert_eq!(order.first(), Some(&BlockId(0)), "entry must stay first");
         let mut remap = vec![None; order.len()];
@@ -344,9 +374,8 @@ impl Function {
                     }
                 }
             } else {
-                data.inst.map_successors(|b| {
-                    remap.get(b.0 as usize).copied().flatten().unwrap_or(b)
-                });
+                data.inst
+                    .map_successors(|b| remap.get(b.0 as usize).copied().flatten().unwrap_or(b));
             }
         }
     }
@@ -361,6 +390,7 @@ impl Function {
     ///
     /// Panics if the entry block is removed or `keep.len()` mismatches.
     pub fn retain_blocks(&mut self, keep: &[bool]) -> Vec<Option<BlockId>> {
+        self.bump();
         assert_eq!(keep.len(), self.blocks.len());
         assert!(keep[0], "cannot remove the entry block");
         let mut remap: Vec<Option<BlockId>> = Vec::with_capacity(keep.len());
@@ -385,15 +415,68 @@ impl Function {
         // instructions are unreachable from the CFG).
         for data in &mut self.insts {
             if let Inst::Phi { incoming } = &mut data.inst {
-                incoming.retain(|(_, b)| {
-                    remap.get(b.0 as usize).map_or(true, |r| r.is_some())
-                });
+                incoming.retain(|(_, b)| remap.get(b.0 as usize).is_none_or(|r| r.is_some()));
             }
-            data.inst.map_successors(|b| {
-                remap.get(b.0 as usize).copied().flatten().unwrap_or(b)
-            });
+            data.inst
+                .map_successors(|b| remap.get(b.0 as usize).copied().flatten().unwrap_or(b));
         }
         remap
+    }
+
+    /// Renumber every type and constant reference in the body whose id is
+    /// `>=` the given base, through the corresponding map (`map[i]` is the
+    /// new id of old id `base + i`). Ids below the base are untouched.
+    ///
+    /// This is the merge step of the parallel function-pass executor:
+    /// workers intern new types/constants into a private overlay on top of
+    /// a pool snapshot, and after the overlay entries are re-interned into
+    /// the master pools the body is rewritten to the master ids. The
+    /// rewrite is id-for-id (it cannot change the printed IR or the CFG),
+    /// so it deliberately does **not** bump the modification counter —
+    /// analyses cached against the pre-merge body stay valid.
+    pub fn remap_pool_ids(
+        &mut self,
+        ty_base: usize,
+        ty_map: &[TypeId],
+        c_base: usize,
+        c_map: &[ConstId],
+    ) {
+        let mt = |t: TypeId| {
+            if t.index() >= ty_base {
+                ty_map[t.index() - ty_base]
+            } else {
+                t
+            }
+        };
+        let mc = |c: ConstId| {
+            if c.index() >= c_base {
+                c_map[c.index() - c_base]
+            } else {
+                c
+            }
+        };
+        for data in &mut self.insts {
+            data.ty = mt(data.ty);
+            match &mut data.inst {
+                Inst::Cast { to, .. } => *to = mt(*to),
+                Inst::Alloca { elem_ty, .. } | Inst::Malloc { elem_ty, .. } => {
+                    *elem_ty = mt(*elem_ty)
+                }
+                Inst::VaArg { ty } => *ty = mt(*ty),
+                // `Switch` case labels are constants outside the operand
+                // list, so `map_operands` below does not see them.
+                Inst::Switch { cases, .. } => {
+                    for (c, _) in cases {
+                        *c = mc(*c);
+                    }
+                }
+                _ => {}
+            }
+            data.inst.map_operands(|v| match v {
+                Value::Const(c) => Value::Const(mc(c)),
+                other => other,
+            });
+        }
     }
 }
 
@@ -471,7 +554,13 @@ mod block_surgery_tests {
         let mut m = Module::new("t");
         let i32t = m.types.i32();
         let bt = m.types.bool_();
-        let f = m.add_function("f", &[bt, i32t], i32t, false, crate::function::Linkage::External);
+        let f = m.add_function(
+            "f",
+            &[bt, i32t],
+            i32t,
+            false,
+            crate::function::Linkage::External,
+        );
         let mut b = m.builder(f);
         let e = b.block();
         let l = b.new_block();
@@ -504,7 +593,8 @@ mod block_surgery_tests {
             .map(|&i| crate::inst::BlockId::from_index(i))
             .collect();
         m.func_mut(f).permute_blocks(&order);
-        m.verify().unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
         // Round-trip to the identity permutation restores the text.
         m.func_mut(f).permute_blocks(&order);
         m.verify().unwrap();
@@ -531,18 +621,29 @@ mod block_surgery_tests {
         let entry_term = fm.terminator(crate::inst::BlockId::from_index(0)).unwrap();
         *fm.inst_mut(entry_term) = Inst::Br(crate::inst::BlockId::from_index(1));
         fm.retain_blocks(&[true, true, false, true]);
-        m.verify().unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
         let text = m.display();
         assert!(!text.contains("mul"), "{text}");
         assert_eq!(text.matches("phi").count(), 1);
-        assert_eq!(text.matches("[").count(), 1, "one incoming edge left: {text}");
+        assert_eq!(
+            text.matches("[").count(),
+            1,
+            "one incoming edge left: {text}"
+        );
     }
 
     #[test]
     fn use_counts_and_rau_interact() {
         let mut m = Module::new("t");
         let i32t = m.types.i32();
-        let f = m.add_function("f", &[i32t], i32t, false, crate::function::Linkage::External);
+        let f = m.add_function(
+            "f",
+            &[i32t],
+            i32t,
+            false,
+            crate::function::Linkage::External,
+        );
         let mut b = m.builder(f);
         b.block();
         let one = b.iconst32(1);

@@ -641,10 +641,7 @@ mod tests {
         assert!(Inst::Ret(None).is_terminator());
         assert!(Inst::Unwind.is_terminator());
         assert!(Inst::Br(BlockId(0)).is_terminator());
-        assert!(!Inst::Load {
-            ptr: Value::Arg(0)
-        }
-        .is_terminator());
+        assert!(!Inst::Load { ptr: Value::Arg(0) }.is_terminator());
     }
 
     #[test]

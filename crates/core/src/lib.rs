@@ -67,6 +67,6 @@ pub use builder::FuncBuilder;
 pub use constant::{Const, ConstId, ConstPool, FuncId, GlobalId};
 pub use function::{Function, InstData, Linkage};
 pub use inst::{BinOp, BlockId, CmpPred, Inst, InstId, Value};
-pub use module::{Global, Module};
+pub use module::{AddrTypeTable, Global, Module};
 pub use types::{IntKind, Type, TypeCtx, TypeId};
 pub use verify::{Dominators, VerifyError};

@@ -29,6 +29,44 @@ pub struct Global {
     pub linkage: Linkage,
 }
 
+/// Pre-resolved address types of a module's functions and globals, indexed
+/// by raw id (see [`Module::addr_type_table`]).
+#[derive(Clone, Debug)]
+pub struct AddrTypeTable {
+    /// `func_addr_tys[f.index()]` is the type of `FuncAddr(f)`.
+    pub func_addr_tys: Vec<TypeId>,
+    /// `global_addr_tys[g.index()]` is the type of `GlobalAddr(g)`.
+    pub global_addr_tys: Vec<TypeId>,
+}
+
+impl AddrTypeTable {
+    /// The type of constant `c`, like [`Module::const_type`] but against
+    /// the snapshot instead of the module.
+    pub fn const_type(&self, types: &TypeCtx, consts: &ConstPool, c: ConstId) -> TypeId {
+        match consts.get(c) {
+            Const::GlobalAddr(g) => self.global_addr_tys[g.index()],
+            Const::FuncAddr(f) => self.func_addr_tys[f.index()],
+            _ => consts.type_of(types, c),
+        }
+    }
+
+    /// The type of operand `v` inside `f`, like [`Module::value_type`] but
+    /// against the snapshot.
+    pub fn value_type(
+        &self,
+        types: &TypeCtx,
+        consts: &ConstPool,
+        f: &Function,
+        v: Value,
+    ) -> TypeId {
+        match v {
+            Value::Inst(i) => f.inst_ty(i),
+            Value::Arg(n) => f.params()[n as usize],
+            Value::Const(c) => self.const_type(types, consts, c),
+        }
+    }
+}
+
 impl Global {
     /// Whether this is a declaration (no initializer).
     pub fn is_declaration(&self) -> bool {
@@ -168,7 +206,12 @@ impl Module {
             .map(|(i, g)| (g.name.clone(), GlobalId(i as u32)))
             .collect();
         if removed > 0 {
-            self.remap_const_refs(&remap, &(0..self.funcs.len()).map(|i| Some(FuncId(i as u32))).collect::<Vec<_>>());
+            self.remap_const_refs(
+                &remap,
+                &(0..self.funcs.len())
+                    .map(|i| Some(FuncId(i as u32)))
+                    .collect::<Vec<_>>(),
+            );
         }
         removed
     }
@@ -196,8 +239,9 @@ impl Module {
             .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
             .collect();
         if removed > 0 {
-            let gremap: Vec<Option<GlobalId>> =
-                (0..self.globals.len()).map(|i| Some(GlobalId(i as u32))).collect();
+            let gremap: Vec<Option<GlobalId>> = (0..self.globals.len())
+                .map(|i| Some(GlobalId(i as u32)))
+                .collect();
             self.remap_const_refs(&gremap, &remap);
         }
         removed
@@ -242,21 +286,17 @@ impl Module {
         let ids: Vec<ConstId> = self.consts.iter().map(|(i, _)| i).collect();
         for id in ids {
             match self.consts.get(id).clone() {
-                Const::Array { ty, elems } => {
-                    if elems.iter().any(|e| cmap.contains_key(e)) {
-                        let new: Vec<ConstId> =
-                            elems.iter().map(|e| *cmap.get(e).unwrap_or(e)).collect();
-                        let nid = self.consts.array(ty, new);
-                        cmap.insert(id, nid);
-                    }
+                Const::Array { ty, elems } if elems.iter().any(|e| cmap.contains_key(e)) => {
+                    let new: Vec<ConstId> =
+                        elems.iter().map(|e| *cmap.get(e).unwrap_or(e)).collect();
+                    let nid = self.consts.array(ty, new);
+                    cmap.insert(id, nid);
                 }
-                Const::Struct { ty, fields } => {
-                    if fields.iter().any(|e| cmap.contains_key(e)) {
-                        let new: Vec<ConstId> =
-                            fields.iter().map(|e| *cmap.get(e).unwrap_or(e)).collect();
-                        let nid = self.consts.struct_(ty, new);
-                        cmap.insert(id, nid);
-                    }
+                Const::Struct { ty, fields } if fields.iter().any(|e| cmap.contains_key(e)) => {
+                    let new: Vec<ConstId> =
+                        fields.iter().map(|e| *cmap.get(e).unwrap_or(e)).collect();
+                    let nid = self.consts.struct_(ty, new);
+                    cmap.insert(id, nid);
                 }
                 _ => {}
             }
@@ -388,6 +428,28 @@ impl Module {
         }
     }
 
+    /// Snapshot the address types of every function and global.
+    ///
+    /// This is the only cross-function state the intra-procedural passes
+    /// read (through [`Module::value_type`] on `GlobalAddr`/`FuncAddr`
+    /// constants). Signatures are immutable while function passes run, so
+    /// one snapshot stays valid for a whole function-pass stage, letting
+    /// each function be optimized against just (types, consts, body).
+    pub fn addr_type_table(&self) -> AddrTypeTable {
+        AddrTypeTable {
+            func_addr_tys: self.funcs.iter().map(|f| f.addr_type()).collect(),
+            global_addr_tys: self.globals.iter().map(|g| g.addr_ty).collect(),
+        }
+    }
+
+    /// Split the module into disjoint mutable borrows of the type context,
+    /// the constant pool, and the function table — the shape the parallel
+    /// function-pass executor needs (each worker gets its own pool clones
+    /// plus exclusive access to a subset of the functions).
+    pub fn split_mut(&mut self) -> (&mut TypeCtx, &mut ConstPool, &mut [Function]) {
+        (&mut self.types, &mut self.consts, &mut self.funcs)
+    }
+
     /// Resolve the element type a `getelementptr` lands on, without
     /// interning the final pointer type (so `&self` suffices).
     ///
@@ -471,9 +533,7 @@ impl Module {
             | Inst::Store { .. } => self.types.void(),
             Inst::Bin { lhs, .. } => self.value_type(f, *lhs),
             Inst::Cmp { .. } => self.types.bool_(),
-            Inst::Malloc { elem_ty, .. } | Inst::Alloca { elem_ty, .. } => {
-                self.types.ptr(*elem_ty)
-            }
+            Inst::Malloc { elem_ty, .. } | Inst::Alloca { elem_ty, .. } => self.types.ptr(*elem_ty),
             Inst::Load { ptr } => {
                 let pt = self.value_type(f, *ptr);
                 self.types
@@ -579,7 +639,13 @@ mod tests {
         let arr = m.types.array(m.types.f32(), 4);
         let xty = m.types.struct_lit(vec![m.types.i32(), arr]);
         let pxty = m.types.ptr(xty);
-        let fid = m.add_function("f", &[pxty, m.types.i64()], m.types.void(), false, Linkage::External);
+        let fid = m.add_function(
+            "f",
+            &[pxty, m.types.i64()],
+            m.types.void(),
+            false,
+            Linkage::External,
+        );
         let zero = m.consts.i64(0);
         let one = m.consts.u8(1);
         let f = m.func(fid).clone();
@@ -588,11 +654,7 @@ mod tests {
             .gep_pointee(
                 &f,
                 pxty,
-                &[
-                    Value::Const(zero),
-                    Value::Const(one),
-                    Value::Arg(1),
-                ],
+                &[Value::Const(zero), Value::Const(one), Value::Arg(1)],
             )
             .unwrap();
         assert_eq!(elem, m.types.f32());
@@ -621,8 +683,7 @@ mod tests {
             },
             v,
         );
-        m.func_mut(c)
-            .append_inst(blk, Inst::Ret(None), v);
+        m.func_mut(c).append_inst(blk, Inst::Ret(None), v);
         let removed = m.retain_functions(|f| f != a);
         assert_eq!(removed, 1);
         assert_eq!(m.num_funcs(), 2);
@@ -630,7 +691,10 @@ mod tests {
         let nc = m.func_by_name("c").unwrap();
         let call = m.func(nc).inst(crate::inst::InstId(0)).clone();
         match call {
-            Inst::Call { callee: Value::Const(cc), .. } => match m.consts.get(cc) {
+            Inst::Call {
+                callee: Value::Const(cc),
+                ..
+            } => match m.consts.get(cc) {
                 Const::FuncAddr(f) => assert_eq!(*f, nb),
                 other => panic!("expected FuncAddr, got {other:?}"),
             },

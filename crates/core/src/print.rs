@@ -407,7 +407,9 @@ mod tests {
         m.add_global("A", at, Some(arr), true, Linkage::Internal);
         let text = m.display();
         assert!(
-            text.contains("@A = internal constant [2 x float] [ float 0x3F800000, float 0x40000000 ]"),
+            text.contains(
+                "@A = internal constant [2 x float] [ float 0x3F800000, float 0x40000000 ]"
+            ),
             "{text}"
         );
     }

@@ -32,6 +32,11 @@ impl TypeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+    /// Rebuild from a raw index (for deserializers and pool merging).
+    #[inline]
+    pub fn from_index(i: usize) -> TypeId {
+        TypeId(i as u32)
+    }
 }
 
 impl fmt::Debug for TypeId {
@@ -98,7 +103,10 @@ impl IntKind {
     /// Whether the kind is signed.
     #[inline]
     pub fn is_signed(self) -> bool {
-        matches!(self, IntKind::S8 | IntKind::S16 | IntKind::S32 | IntKind::S64)
+        matches!(
+            self,
+            IntKind::S8 | IntKind::S16 | IntKind::S32 | IntKind::S64
+        )
     }
 
     /// The assembly name of this kind (`sbyte`, `uint`, ...).
@@ -273,6 +281,38 @@ impl TypeCtx {
     /// Number of distinct types interned so far.
     pub fn len(&self) -> usize {
         self.types.len()
+    }
+
+    /// Intern an arbitrary structural type built elsewhere (pool merging).
+    ///
+    /// # Panics
+    ///
+    /// Panics on named/opaque struct types: those are nominal, not
+    /// structural — create them with [`TypeCtx::named_struct`] and
+    /// [`TypeCtx::set_struct_body`] instead.
+    pub fn intern_type(&mut self, t: Type) -> TypeId {
+        assert!(
+            !matches!(t, Type::Opaque(_) | Type::Struct { name: Some(_), .. }),
+            "intern_type is for structural types; use named_struct for nominal ones"
+        );
+        self.intern(t)
+    }
+
+    /// Drop every type with index `>= len`, restoring the context to an
+    /// earlier snapshot. Used by the parallel function-pass executor to
+    /// reset a worker's pool overlay between functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` would remove the pre-interned primitives.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len > (F64T.0 as usize), "cannot drop primitive types");
+        if len >= self.types.len() {
+            return;
+        }
+        self.intern.retain(|_, id| (id.0 as usize) < len);
+        self.named.retain(|_, id| (id.0 as usize) < len);
+        self.types.truncate(len);
     }
 
     /// Whether the context is empty (never true: primitives are pre-interned).

@@ -247,14 +247,24 @@ impl Module {
                 // Successor sanity.
                 for s in inst.successors() {
                     if s.index() >= f.num_blocks() {
-                        Self::err(errs, f, Some(iid), format!("branch to missing bb{}", s.index()));
+                        Self::err(
+                            errs,
+                            f,
+                            Some(iid),
+                            format!("branch to missing bb{}", s.index()),
+                        );
                     }
                 }
                 // SSA dominance for operands.
                 let mut check_use = |v: Value, use_block: BlockId, use_pos: usize| {
                     if let Value::Inst(d) = v {
                         if d.index() >= f.num_inst_slots() {
-                            Self::err(errs, f, Some(iid), format!("use of missing %t{}", d.index()));
+                            Self::err(
+                                errs,
+                                f,
+                                Some(iid),
+                                format!("use of missing %t{}", d.index()),
+                            );
                             return;
                         }
                         let db = match inst_blocks[d.index()] {
@@ -437,15 +447,13 @@ impl Module {
                 }
                 None => fail("store through non-pointer".into()),
             },
-            Inst::Gep { ptr, indices } => {
-                match self.gep_pointee(f, vt(*ptr), indices) {
-                    Ok(elem) => match self.types.pointee(f.inst_ty(iid)) {
-                        Some(p) if p == elem => {}
-                        _ => fail("getelementptr result type mismatch".into()),
-                    },
-                    Err(e) => fail(format!("getelementptr: {e}")),
-                }
-            }
+            Inst::Gep { ptr, indices } => match self.gep_pointee(f, vt(*ptr), indices) {
+                Ok(elem) => match self.types.pointee(f.inst_ty(iid)) {
+                    Some(p) if p == elem => {}
+                    _ => fail("getelementptr result type mismatch".into()),
+                },
+                Err(e) => fail(format!("getelementptr: {e}")),
+            },
             Inst::Phi { incoming } => {
                 let ty = f.inst_ty(iid);
                 if !self.types.is_first_class(ty) {
@@ -569,7 +577,8 @@ mod tests {
         fb.append_inst(b, Inst::Ret(Some(Value::Inst(add))), void);
         let errs = m.verify().unwrap_err();
         assert!(
-            errs.iter().any(|e| e.message.contains("operand types differ")),
+            errs.iter()
+                .any(|e| e.message.contains("operand types differ")),
             "{errs:?}"
         );
     }
@@ -605,7 +614,8 @@ mod tests {
         let _ = b0;
         let errs = m.verify().unwrap_err();
         assert!(
-            errs.iter().any(|e| e.message.contains("do not match predecessors")),
+            errs.iter()
+                .any(|e| e.message.contains("do not match predecessors")),
             "{errs:?}"
         );
     }

@@ -112,8 +112,8 @@ fn add_module(dst: &mut Module, src: &Module) -> Result<(), LinkError> {
                     )));
                 }
                 match (ex.is_declaration(), g.is_declaration()) {
-                    (_, true) => existing,       // src is a declaration: bind
-                    (true, false) => existing,   // definition fills declaration
+                    (_, true) => existing,     // src is a declaration: bind
+                    (true, false) => existing, // definition fills declaration
                     (false, false) => {
                         return Err(LinkError(format!(
                             "duplicate definition of global @{}",
@@ -388,9 +388,11 @@ impl<'a> Copier<'a> {
         let mut out = Vec::with_capacity(mapped.len());
         for v in mapped {
             out.push(match v {
-                Value::Inst(i) => Value::Inst(*imap.get(&i).ok_or_else(|| {
-                    LinkError("operand references unlinked instruction".into())
-                })?),
+                Value::Inst(i) => {
+                    Value::Inst(*imap.get(&i).ok_or_else(|| {
+                        LinkError("operand references unlinked instruction".into())
+                    })?)
+                }
                 Value::Arg(n) => Value::Arg(n),
                 Value::Const(c) => match self.translate_const(dst, c) {
                     Ok(dc) => Value::Const(dc),
@@ -522,16 +524,16 @@ mod tests {
     #[test]
     fn signature_mismatch_is_error() {
         let a = p("a", "declare int @f(int)");
-        let b = p("b", "define float @f(int %x) {\ne:\n  %v = cast int %x to float\n  ret float %v\n}");
+        let b = p(
+            "b",
+            "define float @f(int %x) {\ne:\n  %v = cast int %x to float\n  ret float %v\n}",
+        );
         assert!(link(vec![a, b], "prog").is_err());
     }
 
     #[test]
     fn compact_drops_dead_types_and_consts() {
-        let mut m = p(
-            "a",
-            "define int @main() {\ne:\n  ret int 1\n}",
-        );
+        let mut m = p("a", "define int @main() {\ne:\n  ret int 1\n}");
         // Pollute the tables with unreferenced entries.
         let junk = m.types.struct_lit(vec![]);
         let junk2 = m.types.array(junk, 8);
@@ -592,8 +594,6 @@ e:
         let linked = link(vec![a, b, c], "prog").unwrap();
         linked.verify().unwrap();
         assert_eq!(linked.num_funcs(), 3);
-        assert!(linked
-            .funcs()
-            .all(|(_, f)| !f.is_declaration()));
+        assert!(linked.funcs().all(|(_, f)| !f.is_declaration()));
     }
 }

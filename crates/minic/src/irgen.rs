@@ -12,8 +12,8 @@
 use std::collections::HashMap;
 
 use lpat_core::{
-    BinOp, BlockId, CmpPred, ConstId, FuncBuilder, FuncId, GlobalId, Inst, Linkage, Module,
-    TypeId, Value,
+    BinOp, BlockId, CmpPred, ConstId, FuncBuilder, FuncId, GlobalId, Inst, Linkage, Module, TypeId,
+    Value,
 };
 
 use crate::ast::*;
@@ -243,7 +243,13 @@ impl Cx {
             .collect();
         let aty = m.types.array(m.types.i8(), bytes.len() as u64);
         let init = m.consts.array(aty, elems);
-        let g = m.add_global(&format!(".str{n}"), aty, Some(init), true, Linkage::Internal);
+        let g = m.add_global(
+            &format!(".str{n}"),
+            aty,
+            Some(init),
+            true,
+            Linkage::Internal,
+        );
         self.strings.insert(s.to_vec(), g);
         g
     }
@@ -555,10 +561,10 @@ impl<'a, 'm> FuncGen<'a, 'm> {
     /// Evaluate to a truth value (`bool`).
     fn truthy(&mut self, e: &Expr) -> GResult<Value> {
         let (v, t) = self.rvalue(e)?;
-        self.to_bool(v, &t, e.line)
+        self.coerce_bool(v, &t, e.line)
     }
 
-    fn to_bool(&mut self, v: Value, t: &CType, line: u32) -> GResult<Value> {
+    fn coerce_bool(&mut self, v: Value, t: &CType, line: u32) -> GResult<Value> {
         Ok(match t {
             CType::Bool => v,
             t if t.is_integer() => {
@@ -621,8 +627,11 @@ impl<'a, 'm> FuncGen<'a, 'm> {
                 // lvalue (evaluating twice would duplicate side effects of
                 // nested index expressions); value-shaped bases (calls,
                 // casts, arithmetic) evaluate as rvalues.
-                if let ExprKind::Ident(_) | ExprKind::Member(..) | ExprKind::Arrow(..)
-                | ExprKind::Index(..) | ExprKind::Deref(_) = &a.kind
+                if let ExprKind::Ident(_)
+                | ExprKind::Member(..)
+                | ExprKind::Arrow(..)
+                | ExprKind::Index(..)
+                | ExprKind::Deref(_) = &a.kind
                 {
                     let (addr, at) = self.lvalue(a)?;
                     return match at {
@@ -733,7 +742,9 @@ impl<'a, 'm> FuncGen<'a, 'm> {
                 let (addr, t) = self.lvalue(e)?;
                 self.load_decayed(addr, t, e.line)
             }
-            ExprKind::Member(..) | ExprKind::Arrow(..) | ExprKind::Index(..)
+            ExprKind::Member(..)
+            | ExprKind::Arrow(..)
+            | ExprKind::Index(..)
             | ExprKind::Deref(_) => {
                 let (addr, t) = self.lvalue(e)?;
                 self.load_decayed(addr, t, e.line)
@@ -915,7 +926,13 @@ impl<'a, 'm> FuncGen<'a, 'm> {
         )
     }
 
-    fn gen_binop(&mut self, k: BinOpKind, lhs: &Expr, rhs: &Expr, line: u32) -> GResult<(Value, CType)> {
+    fn gen_binop(
+        &mut self,
+        k: BinOpKind,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> GResult<(Value, CType)> {
         // Short-circuit forms first.
         if matches!(k, BinOpKind::LAnd | BinOpKind::LOr) {
             let a = self.truthy(lhs)?;
@@ -988,8 +1005,10 @@ impl<'a, 'm> FuncGen<'a, 'm> {
             BinOpKind::Shr => BinOp::Shr,
             _ => unreachable!("handled above"),
         };
-        if matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
-            && !common.is_integer()
+        if matches!(
+            op,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        ) && !common.is_integer()
         {
             return self.err(line, "bitwise operation on non-integer");
         }
@@ -999,9 +1018,7 @@ impl<'a, 'm> FuncGen<'a, 'm> {
     fn gen_call(&mut self, callee: &Expr, args: &[Expr], line: u32) -> GResult<(Value, CType)> {
         // Direct call to a known function?
         let direct = match &callee.kind {
-            ExprKind::Ident(n)
-                if self.lookup(n).is_none() && !self.cx.globals.contains_key(n) =>
-            {
+            ExprKind::Ident(n) if self.lookup(n).is_none() && !self.cx.globals.contains_key(n) => {
                 self.cx.funcs.get(n).copied().map(|f| (f, n.clone()))
             }
             _ => None,

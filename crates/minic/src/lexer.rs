@@ -121,7 +121,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                let is_float = i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit());
+                let is_float =
+                    i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit());
                 if is_float {
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
@@ -222,7 +223,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 let p = PUNCTS.iter().find(|p| rest.starts_with(**p));
                 match p {
                     Some(p) => {
-                        out.push(Spanned { tok: Tok::P(p), line });
+                        out.push(Spanned {
+                            tok: Tok::P(p),
+                            line,
+                        });
                         i += p.len();
                     }
                     None => return Err(err(line, &format!("unexpected character {c:?}"))),

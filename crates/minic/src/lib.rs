@@ -78,8 +78,10 @@ mod tests {
         let m = compile("t", src).unwrap_or_else(|e| panic!("compile: {e}"));
         m.verify()
             .unwrap_or_else(|e| panic!("verify: {e:?}\n{}", m.display()));
-        let mut opts = VmOptions::default();
-        opts.input = input.iter().copied().collect();
+        let opts = VmOptions {
+            input: input.iter().copied().collect(),
+            ..VmOptions::default()
+        };
         let mut vm = Vm::new(&m, opts).unwrap();
         let r = vm
             .run_main()
@@ -89,7 +91,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_locals() {
-        assert_eq!(run("int main() { int x = 6; int y = 7; return x * y; }"), 42);
+        assert_eq!(
+            run("int main() { int x = 6; int y = 7; return x * y; }"),
+            42
+        );
     }
 
     #[test]
@@ -375,8 +380,11 @@ mod negative_tests {
 
     #[test]
     fn arity_mismatch() {
-        let e = compile("t", "int f(int a) { return a; }\nint main() { return f(1, 2); }")
-            .unwrap_err();
+        let e = compile(
+            "t",
+            "int f(int a) { return a; }\nint main() { return f(1, 2); }",
+        )
+        .unwrap_err();
         assert!(e.message.contains("argument"), "{e}");
     }
 
@@ -398,11 +406,7 @@ mod negative_tests {
 
     #[test]
     fn implicit_pointer_conversion_rejected() {
-        let e = compile(
-            "t",
-            "int main() { int x = 0; char* p = &x; return 0; }",
-        )
-        .unwrap_err();
+        let e = compile("t", "int main() { int x = 0; char* p = &x; return 0; }").unwrap_err();
         assert!(e.message.contains("cast"), "{e}");
     }
 

@@ -205,7 +205,10 @@ impl Parser {
             if !is_static
                 && matches!(self.peek(), Some(Tok::Ident(s)) if s == "struct")
                 && matches!(self.peek2(), Some(Tok::Ident(_)))
-                && matches!(self.toks.get(self.pos + 2).map(|s| &s.tok), Some(Tok::P("{")))
+                && matches!(
+                    self.toks.get(self.pos + 2).map(|s| &s.tok),
+                    Some(Tok::P("{"))
+                )
             {
                 prog.structs.push(self.struct_def()?);
                 continue;
@@ -626,10 +629,7 @@ extern int puts(char* s);
         assert!(p.globals[2].is_static);
         assert_eq!(p.funcs.len(), 1);
         assert!(p.funcs[0].body.is_none());
-        assert_eq!(
-            p.globals[1].ty,
-            CType::Array(Box::new(CType::Int), 64)
-        );
+        assert_eq!(p.globals[1].ty, CType::Array(Box::new(CType::Int), 64));
     }
 
     #[test]

@@ -6,31 +6,36 @@
 //! e.g. a dead loop-carried φ chain — in one pass, and also deletes dead
 //! loads and allocations.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lpat_analysis::PreservedAnalyses;
 use lpat_core::{FuncId, Inst, InstId, Module, Value};
 
-use crate::pm::Pass;
+use crate::fpm::{FuncUnit, FunctionPass};
+use crate::pm::PassEffect;
 
 /// The aggressive DCE pass.
 #[derive(Default)]
 pub struct Adce {
-    removed: usize,
+    removed: AtomicUsize,
 }
 
-impl Pass for Adce {
+impl FunctionPass for Adce {
     fn name(&self) -> &'static str {
         "adce"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in m.func_ids().collect::<Vec<_>>() {
-            let n = adce_function(m, fid);
-            self.removed += n;
-            changed |= n > 0;
-        }
-        changed
+    fn run_on(&self, u: &mut FuncUnit<'_>) -> PassEffect {
+        let n = adce_unit(u);
+        self.removed.fetch_add(n, Ordering::Relaxed);
+        // Only instructions with no observable effect are deleted; blocks
+        // and calls survive.
+        PassEffect::from_change(n > 0, PreservedAnalyses::all())
     }
     fn stats(&self) -> String {
-        format!("removed {} dead instructions", self.removed)
+        format!(
+            "removed {} dead instructions",
+            self.removed.load(Ordering::Relaxed)
+        )
     }
 }
 
@@ -49,7 +54,12 @@ fn is_root(inst: &Inst) -> bool {
 
 /// Run aggressive DCE on one function; returns removed count.
 pub fn adce_function(m: &mut Module, fid: FuncId) -> usize {
-    let f = m.func(fid);
+    crate::fpm::with_unit(m, fid, adce_unit)
+}
+
+/// Aggressive DCE against a [`FuncUnit`]; returns removed count.
+pub fn adce_unit(u: &mut FuncUnit<'_>) -> usize {
+    let f = &*u.func;
     if f.is_declaration() {
         return 0;
     }
@@ -81,7 +91,7 @@ pub fn adce_function(m: &mut Module, fid: FuncId) -> usize {
         }
     }
     let removed = dead.len();
-    let fm = m.func_mut(fid);
+    let fm = &mut *u.func;
     for (b, iid) in dead {
         fm.remove_inst(b, iid);
     }
@@ -107,8 +117,7 @@ mod tests {
     fn removes_cyclic_dead_phis() {
         // A dead induction chain: the φ and its increment feed only each
         // other; the loop itself stays (its branch is a root).
-        let (m, n) = opt(
-            "
+        let (m, n) = opt("
 define int @f(int %n) {
 e:
   br label %h
@@ -121,8 +130,7 @@ h:
   br bool %c, label %h, label %x
 x:
   ret int %i2
-}",
-        );
+}");
         assert_eq!(n, 2);
         let text = m.display();
         assert!(!text.contains(", 7"), "dead add survived: {text}");
@@ -131,32 +139,28 @@ x:
 
     #[test]
     fn removes_dead_loads_and_allocs() {
-        let (m, n) = opt(
-            "
+        let (m, n) = opt("
 define void @f(int* %p) {
 e:
   %x = load int* %p
   %a = malloc int
   %s = alloca int
   ret void
-}",
-        );
+}");
         assert_eq!(n, 3);
         assert_eq!(m.func(m.func_by_name("f").unwrap()).num_insts(), 1);
     }
 
     #[test]
     fn keeps_observable_effects() {
-        let (m, n) = opt(
-            "
+        let (m, n) = opt("
 declare void @ext(int)
 define void @f() {
 e:
   %x = add int 1, 2
   call void @ext(int %x)
   ret void
-}",
-        );
+}");
         assert_eq!(n, 0);
         assert!(m.display().contains("call void @ext"));
     }

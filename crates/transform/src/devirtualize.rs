@@ -19,9 +19,10 @@
 //! where `@vtable` is a `constant` global whose initializer supplies slot
 //! `K`.
 
+use lpat_analysis::PreservedAnalyses;
 use lpat_core::{Const, ConstId, FuncId, Inst, InstId, Module, Value};
 
-use crate::pm::Pass;
+use crate::pm::{ModulePass, PassContext, PassEffect};
 
 /// The devirtualization pass.
 #[derive(Default)]
@@ -29,14 +30,22 @@ pub struct Devirtualize {
     resolved: usize,
 }
 
-impl Pass for Devirtualize {
+impl ModulePass for Devirtualize {
     fn name(&self) -> &'static str {
         "devirtualize"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
+    fn run(&mut self, m: &mut Module, _cx: &mut PassContext) -> PassEffect {
         let n = run_devirtualize(m);
         self.resolved += n;
-        n > 0
+        // Callee operands flip from indirect to direct: the CFG is intact
+        // but the call graph gains edges.
+        PassEffect::from_change(
+            n > 0,
+            PreservedAnalyses {
+                cfg: true,
+                call_graph: false,
+            },
+        )
     }
     fn stats(&self) -> String {
         format!("resolved {} indirect calls", self.resolved)
@@ -201,19 +210,11 @@ e:
         let n = run_devirtualize(&mut m);
         assert_eq!(n, 1);
         m.verify().unwrap();
-        assert!(
-            m.display().contains("call int @meth_b"),
-            "{}",
-            m.display()
-        );
+        assert!(m.display().contains("call int @meth_b"), "{}", m.display());
         // And now inlining can finish the job.
         let mut inliner = crate::inline::Inline::default();
-        inliner.run(&mut m);
-        assert!(
-            !m.display().contains("call int @meth_b"),
-            "{}",
-            m.display()
-        );
+        inliner.run(&mut m, &mut PassContext::default());
+        assert!(!m.display().contains("call int @meth_b"), "{}", m.display());
     }
 
     #[test]

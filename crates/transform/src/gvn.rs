@@ -6,33 +6,35 @@
 //! flow-sensitive ones" point of paper §2.1.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use lpat_analysis::DomTree;
+use lpat_analysis::PreservedAnalyses;
 use lpat_core::{BinOp, BlockId, CmpPred, FuncId, Inst, InstId, Module, TypeId, Value};
 
-use crate::pm::Pass;
+use crate::fpm::{FuncUnit, FunctionPass};
+use crate::pm::PassEffect;
 
 /// The value-numbering pass.
 #[derive(Default)]
 pub struct Gvn {
-    eliminated: usize,
+    eliminated: AtomicUsize,
 }
 
-impl Pass for Gvn {
+impl FunctionPass for Gvn {
     fn name(&self) -> &'static str {
         "gvn"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in m.func_ids().collect::<Vec<_>>() {
-            let n = gvn_function(m, fid);
-            self.eliminated += n;
-            changed |= n > 0;
-        }
-        changed
+    fn run_on(&self, u: &mut FuncUnit<'_>) -> PassEffect {
+        let n = gvn_unit(u);
+        self.eliminated.fetch_add(n, Ordering::Relaxed);
+        // CFG untouched; only pure, non-call instructions are removed.
+        PassEffect::from_change(n > 0, PreservedAnalyses::all())
     }
     fn stats(&self) -> String {
-        format!("eliminated {} redundant instructions", self.eliminated)
+        format!(
+            "eliminated {} redundant instructions",
+            self.eliminated.load(Ordering::Relaxed)
+        )
     }
 }
 
@@ -46,10 +48,15 @@ enum Key {
 
 /// Run value numbering on one function; returns eliminated count.
 pub fn gvn_function(m: &mut Module, fid: FuncId) -> usize {
-    if m.func(fid).is_declaration() {
+    crate::fpm::with_unit(m, fid, gvn_unit)
+}
+
+/// Value numbering against a [`FuncUnit`]; returns eliminated count.
+pub fn gvn_unit(u: &mut FuncUnit<'_>) -> usize {
+    if u.func.is_declaration() {
         return 0;
     }
-    let dt = DomTree::compute(m.func(fid));
+    let dt = u.analyses.domtree(u.func);
     let mut exprs: HashMap<Key, (InstId, BlockId)> = HashMap::new();
     let mut repl: HashMap<InstId, Value> = HashMap::new();
     let resolve = |repl: &HashMap<InstId, Value>, mut v: Value| -> Value {
@@ -66,8 +73,8 @@ pub fn gvn_function(m: &mut Module, fid: FuncId) -> usize {
         // Block-local memory state: last store value per pointer, and
         // loaded values per pointer. Any store or unknown call clobbers.
         let mut avail_loads: HashMap<Value, Value> = HashMap::new();
-        for &iid in m.func(fid).block_insts(b).to_vec().iter() {
-            let inst = m.func(fid).inst(iid).clone();
+        for &iid in u.func.block_insts(b).to_vec().iter() {
+            let inst = u.func.inst(iid).clone();
             let key = match &inst {
                 Inst::Bin { op, lhs, rhs } => {
                     let (mut l, mut r) = (resolve(&repl, *lhs), resolve(&repl, *rhs));
@@ -127,7 +134,7 @@ pub fn gvn_function(m: &mut Module, fid: FuncId) -> usize {
         return 0;
     }
     let count = repl.len();
-    let fm = m.func_mut(fid);
+    let fm = &mut *u.func;
     let n = fm.num_inst_slots();
     for i in 0..n {
         let iid = InstId::from_index(i);
@@ -142,7 +149,7 @@ pub fn gvn_function(m: &mut Module, fid: FuncId) -> usize {
         });
     }
     let inst_blocks = fm.inst_blocks();
-    for (&iid, _) in &repl {
+    for &iid in repl.keys() {
         if let Some(b) = inst_blocks[iid.index()] {
             fm.remove_inst(b, iid);
         }
@@ -167,16 +174,14 @@ mod tests {
 
     #[test]
     fn eliminates_common_subexpressions() {
-        let (m, n) = opt(
-            "
+        let (m, n) = opt("
 define int @f(int %a, int %b) {
 e:
   %x = add int %a, %b
   %y = add int %a, %b
   %z = add int %x, %y
   ret int %z
-}",
-        );
+}");
         assert_eq!(n, 1);
         // %z becomes x + x.
         assert!(m.display().contains("add int %t0, %t0"), "{}", m.display());
@@ -184,23 +189,20 @@ e:
 
     #[test]
     fn commutative_canonicalization() {
-        let (_, n) = opt(
-            "
+        let (_, n) = opt("
 define int @f(int %a, int %b) {
 e:
   %x = add int %a, %b
   %y = add int %b, %a
   %z = add int %x, %y
   ret int %z
-}",
-        );
+}");
         assert_eq!(n, 1);
     }
 
     #[test]
     fn dominating_expr_reused_across_blocks() {
-        let (_, n) = opt(
-            "
+        let (_, n) = opt("
 define int @f(int %a, bool %c) {
 e:
   %x = mul int %a, %a
@@ -210,16 +212,14 @@ l:
   ret int %y
 r:
   ret int %x
-}",
-        );
+}");
         assert_eq!(n, 1);
     }
 
     #[test]
     fn sibling_blocks_not_merged() {
         // Defs in sibling branches don't dominate each other.
-        let (_, n) = opt(
-            "
+        let (_, n) = opt("
 define int @f(int %a, bool %c) {
 e:
   br bool %c, label %l, label %r
@@ -229,30 +229,26 @@ l:
 r:
   %y = mul int %a, %a
   ret int %y
-}",
-        );
+}");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn store_to_load_forwarding() {
-        let (m, n) = opt(
-            "
+        let (m, n) = opt("
 define int @f(int* %p, int %v) {
 e:
   store int %v, int* %p
   %x = load int* %p
   ret int %x
-}",
-        );
+}");
         assert_eq!(n, 1);
         assert!(m.display().contains("ret int %a1"), "{}", m.display());
     }
 
     #[test]
     fn call_clobbers_loads() {
-        let (_, n) = opt(
-            "
+        let (_, n) = opt("
 declare void @ext()
 define int @f(int* %p) {
 e:
@@ -261,30 +257,26 @@ e:
   %y = load int* %p
   %z = add int %x, %y
   ret int %z
-}",
-        );
+}");
         assert_eq!(n, 0, "call may write *p");
     }
 
     #[test]
     fn repeated_loads_cse_within_block() {
-        let (_, n) = opt(
-            "
+        let (_, n) = opt("
 define int @f(int* %p) {
 e:
   %x = load int* %p
   %y = load int* %p
   %z = add int %x, %y
   ret int %z
-}",
-        );
+}");
         assert_eq!(n, 1);
     }
 
     #[test]
     fn gep_cse() {
-        let (_, n) = opt(
-            "
+        let (_, n) = opt("
 %s = type { int, int }
 define int @f(%s* %p) {
 e:
@@ -294,8 +286,7 @@ e:
   %y = load int* %b
   %z = add int %x, %y
   ret int %z
-}",
-        );
+}");
         assert_eq!(n, 2, "gep + the second load");
     }
 }

@@ -14,10 +14,10 @@
 
 use std::collections::HashMap;
 
-use lpat_analysis::CallGraph;
+use lpat_analysis::{CallGraph, PreservedAnalyses};
 use lpat_core::{BlockId, Const, FuncId, Function, Inst, InstId, Module, Value};
 
-use crate::pm::Pass;
+use crate::pm::{ModulePass, PassContext, PassEffect};
 
 /// The inlining pass.
 pub struct Inline {
@@ -40,12 +40,12 @@ impl Default for Inline {
     }
 }
 
-impl Pass for Inline {
+impl ModulePass for Inline {
     fn name(&self) -> &'static str {
         "inline"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let cg = CallGraph::build(m);
+    fn run(&mut self, m: &mut Module, cx: &mut PassContext) -> PassEffect {
+        let cg = cx.am.call_graph(m).clone();
         let roots: Vec<FuncId> = m.func_ids().collect();
         let order = cg.post_order(&roots);
         let mut any = false;
@@ -61,7 +61,11 @@ impl Pass for Inline {
         }
         // Delete internal functions that no longer have any references
         // ("... deleting 438 which are no longer referenced" — §4.1.4).
-        let cg = CallGraph::build(m);
+        // Inlining rewrote call sites, so the cached graph is stale now.
+        if any {
+            cx.am.invalidate_call_graph();
+        }
+        let cg = cx.am.call_graph(m).clone();
         let mut dead = Vec::new();
         for (fid, f) in m.funcs() {
             if matches!(f.linkage, lpat_core::Linkage::Internal)
@@ -77,7 +81,8 @@ impl Pass for Inline {
             m.retain_functions(|f| !dead.contains(&f));
             any = true;
         }
-        any
+        // Splicing callee bodies rewrites CFGs, and deletions renumber ids.
+        PassEffect::from_change(any, PreservedAnalyses::none())
     }
     fn stats(&self) -> String {
         format!(
@@ -360,14 +365,13 @@ pub fn inline_site(m: &mut Module, caller: FuncId, b: BlockId, site: InstId, cal
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pm::Pass;
     use lpat_asm::parse_module;
 
     fn run_inline(src: &str) -> (Module, Inline) {
         let mut m = parse_module("t", src).unwrap();
         m.verify().unwrap();
         let mut p = Inline::default();
-        p.run(&mut m);
+        p.run(&mut m, &mut PassContext::default());
         m.verify()
             .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
         (m, p)
@@ -443,7 +447,10 @@ handler:
         assert_eq!(p.inlined, 1);
         let text = m.display();
         assert!(!text.contains("invoke"), "{text}");
-        assert!(!text.contains("unwind"), "unwind must become a branch: {text}");
+        assert!(
+            !text.contains("unwind"),
+            "unwind must become a branch: {text}"
+        );
     }
 
     #[test]

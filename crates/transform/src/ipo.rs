@@ -5,10 +5,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use lpat_analysis::CallGraph;
+use lpat_analysis::{CallGraph, PreservedAnalyses};
 use lpat_core::{Const, ConstId, FuncId, GlobalId, Inst, InstId, Linkage, Module, Value};
 
-use crate::pm::Pass;
+use crate::pm::{ModulePass, PassContext, PassEffect};
 
 // ----------------------------------------------------------------------
 // Internalize
@@ -32,11 +32,11 @@ impl Default for Internalize {
     }
 }
 
-impl Pass for Internalize {
+impl ModulePass for Internalize {
     fn name(&self) -> &'static str {
         "internalize"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
+    fn run(&mut self, m: &mut Module, _cx: &mut PassContext) -> PassEffect {
         let mut changed = false;
         for fid in m.func_ids().collect::<Vec<_>>() {
             let f = m.func_mut(fid);
@@ -60,7 +60,8 @@ impl Pass for Internalize {
                 changed = true;
             }
         }
-        changed
+        // Only linkage flags change; bodies, CFGs and call edges are intact.
+        PassEffect::from_change(changed, PreservedAnalyses::all())
     }
     fn stats(&self) -> String {
         format!("internalized {} symbols", self.count)
@@ -82,15 +83,16 @@ pub struct Dge {
     pub globals_removed: usize,
 }
 
-impl Pass for Dge {
+impl ModulePass for Dge {
     fn name(&self) -> &'static str {
         "dge"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
+    fn run(&mut self, m: &mut Module, _cx: &mut PassContext) -> PassEffect {
         let (f, g) = run_dge(m);
         self.funcs_removed += f;
         self.globals_removed += g;
-        f + g > 0
+        // Deleting functions renumbers ids: every cached analysis is stale.
+        PassEffect::from_change(f + g > 0, PreservedAnalyses::none())
     }
     fn stats(&self) -> String {
         format!(
@@ -155,15 +157,11 @@ fn mark_const(
     work_g: &mut Vec<GlobalId>,
 ) {
     match m.consts.get(c) {
-        Const::FuncAddr(f) => {
-            if live_f.insert(*f) {
-                work_f.push(*f);
-            }
+        Const::FuncAddr(f) if live_f.insert(*f) => {
+            work_f.push(*f);
         }
-        Const::GlobalAddr(g) => {
-            if live_g.insert(*g) {
-                work_g.push(*g);
-            }
+        Const::GlobalAddr(g) if live_g.insert(*g) => {
+            work_g.push(*g);
         }
         Const::Array { elems, .. } => {
             for e in elems {
@@ -193,15 +191,18 @@ pub struct Dae {
     pub rets_removed: usize,
 }
 
-impl Pass for Dae {
+impl ModulePass for Dae {
     fn name(&self) -> &'static str {
         "dae"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let (a, r) = run_dae(m);
+    fn run(&mut self, m: &mut Module, cx: &mut PassContext) -> PassEffect {
+        let cg = cx.am.call_graph(m).clone();
+        let (a, r) = run_dae_with(m, &cg);
         self.args_removed += a;
         self.rets_removed += r;
-        a + r > 0
+        // Signature rewrites clone bodies into fresh functions and delete
+        // the originals.
+        PassEffect::from_change(a + r > 0, PreservedAnalyses::none())
     }
     fn stats(&self) -> String {
         format!(
@@ -219,6 +220,11 @@ impl Pass for Dae {
 /// function ids.
 pub fn run_dae(m: &mut Module) -> (usize, usize) {
     let cg = CallGraph::build(m);
+    run_dae_with(m, &cg)
+}
+
+/// [`run_dae`] against a caller-provided (typically cached) call graph.
+pub fn run_dae_with(m: &mut Module, cg: &CallGraph) -> (usize, usize) {
     let mut args_removed = 0;
     let mut rets_removed = 0;
     // One pass over all call sites: which functions' results are ever
@@ -415,14 +421,23 @@ pub struct Ipcp {
     propagated: usize,
 }
 
-impl Pass for Ipcp {
+impl ModulePass for Ipcp {
     fn name(&self) -> &'static str {
         "ipcp"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let n = run_ipcp(m);
+    fn run(&mut self, m: &mut Module, cx: &mut PassContext) -> PassEffect {
+        let cg = cx.am.call_graph(m).clone();
+        let n = run_ipcp_with(m, &cg);
         self.propagated += n;
-        n > 0
+        // Operand substitution only — but a propagated function address can
+        // turn an indirect call direct, so don't keep the call graph.
+        PassEffect::from_change(
+            n > 0,
+            PreservedAnalyses {
+                cfg: true,
+                call_graph: false,
+            },
+        )
     }
     fn stats(&self) -> String {
         format!("propagated {} constant arguments", self.propagated)
@@ -432,12 +447,15 @@ impl Pass for Ipcp {
 /// Run IPCP once; returns number of parameters replaced by constants.
 pub fn run_ipcp(m: &mut Module) -> usize {
     let cg = CallGraph::build(m);
+    run_ipcp_with(m, &cg)
+}
+
+/// [`run_ipcp`] against a caller-provided (typically cached) call graph.
+pub fn run_ipcp_with(m: &mut Module, cg: &CallGraph) -> usize {
     let mut count = 0;
     for fid in m.func_ids().collect::<Vec<_>>() {
         let f = m.func(fid);
-        if f.is_declaration()
-            || !matches!(f.linkage, Linkage::Internal)
-            || cg.is_address_taken(fid)
+        if f.is_declaration() || !matches!(f.linkage, Linkage::Internal) || cg.is_address_taken(fid)
         {
             continue;
         }
@@ -515,7 +533,7 @@ e:
         )
         .unwrap();
         let mut p = Internalize::default();
-        assert!(p.run(&mut m));
+        assert!(p.run(&mut m, &mut PassContext::default()).changed);
         assert!(matches!(
             m.func(m.func_by_name("helper").unwrap()).linkage,
             Linkage::Internal

@@ -26,6 +26,7 @@
 
 pub mod adce;
 pub mod devirtualize;
+pub mod fpm;
 pub mod gvn;
 pub mod inline;
 pub mod ipo;
@@ -39,5 +40,9 @@ pub mod simplifycfg;
 pub mod sroa;
 pub mod util;
 
+pub use fpm::{FuncUnit, FunctionPass, FunctionPassAdapter};
 pub use pipelines::{function_pipeline, link_time_pipeline};
-pub use pm::{Pass, PassManager, PassTiming};
+pub use pm::{
+    default_jobs, FuncTiming, ModulePass, PassContext, PassDetails, PassEffect, PassExecution,
+    PassManager, PipelineReport,
+};

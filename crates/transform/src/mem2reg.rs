@@ -7,47 +7,69 @@
 //! every use is a direct load or store through it.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use lpat_analysis::DomTree;
+use lpat_analysis::PreservedAnalyses;
 use lpat_core::{BlockId, FuncId, Inst, InstId, Module, Value};
 
-use crate::pm::Pass;
+use crate::fpm::{FuncUnit, FunctionPass};
+use crate::pm::PassEffect;
 use crate::util::remove_unreachable_blocks;
 
 /// The stack-promotion (SSA construction) pass.
 #[derive(Default)]
 pub struct Mem2Reg {
-    promoted: usize,
-    phis: usize,
+    promoted: AtomicUsize,
+    phis: AtomicUsize,
 }
 
-impl Pass for Mem2Reg {
+impl FunctionPass for Mem2Reg {
     fn name(&self) -> &'static str {
         "mem2reg"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in m.func_ids().collect::<Vec<_>>() {
-            if m.func(fid).is_declaration() {
-                continue;
-            }
-            remove_unreachable_blocks(m, fid);
-            let (p, ph) = promote_function(m, fid);
-            self.promoted += p;
-            self.phis += ph;
-            changed |= p > 0;
+    fn run_on(&self, u: &mut FuncUnit<'_>) -> PassEffect {
+        if u.func.is_declaration() {
+            return PassEffect::unchanged();
         }
-        changed
+        let removed = remove_unreachable_blocks(u.func);
+        // Declare the dominator-tree dependency up front, after the
+        // unreachable blocks are gone: the tree is computed (and cached)
+        // for the final CFG even when nothing promotes, so downstream
+        // passes that keep the CFG intact reuse it instead of recomputing.
+        let _ = u.analyses.domtree(u.func);
+        let (p, ph) = promote_unit(u);
+        self.promoted.fetch_add(p, Ordering::Relaxed);
+        self.phis.fetch_add(ph, Ordering::Relaxed);
+        // The cached tree post-dates every CFG edit this pass makes
+        // (promotion adds no blocks or edges), so CFG-derived analyses are
+        // preserved; removed blocks may have contained calls, though.
+        PassEffect::from_change(
+            removed || p > 0,
+            PreservedAnalyses {
+                cfg: true,
+                call_graph: !removed,
+            },
+        )
     }
     fn stats(&self) -> String {
-        format!("promoted {} allocas, inserted {} phis", self.promoted, self.phis)
+        format!(
+            "promoted {} allocas, inserted {} phis",
+            self.promoted.load(Ordering::Relaxed),
+            self.phis.load(Ordering::Relaxed)
+        )
     }
 }
 
 /// Promote all eligible allocas of one function. Returns
 /// `(promoted allocas, φ-nodes inserted)`.
 pub fn promote_function(m: &mut Module, fid: FuncId) -> (usize, usize) {
-    let f = m.func(fid);
+    crate::fpm::with_unit(m, fid, promote_unit)
+}
+
+/// Stack promotion against a [`FuncUnit`]; returns
+/// `(promoted allocas, φ-nodes inserted)`.
+pub fn promote_unit(u: &mut FuncUnit<'_>) -> (usize, usize) {
+    let f = &*u.func;
     // 1. Find promotable allocas.
     let mut candidates: Vec<InstId> = Vec::new();
     for iid in f.inst_ids_in_order() {
@@ -56,7 +78,7 @@ pub fn promote_function(m: &mut Module, fid: FuncId) -> (usize, usize) {
             count: None,
         } = f.inst(iid)
         {
-            if m.types.is_first_class(*elem_ty) {
+            if u.types.is_first_class(*elem_ty) {
                 candidates.push(iid);
             }
         }
@@ -92,7 +114,7 @@ pub fn promote_function(m: &mut Module, fid: FuncId) -> (usize, usize) {
     }
     let n_allocas = promotable.len();
     let elem_tys: Vec<lpat_core::TypeId> = {
-        let mut v = vec![m.types.void(); n_allocas];
+        let mut v = vec![u.types.void(); n_allocas];
         for (&a, &i) in &promotable {
             if let Inst::Alloca { elem_ty, .. } = f.inst(a) {
                 v[i] = *elem_ty;
@@ -102,16 +124,18 @@ pub fn promote_function(m: &mut Module, fid: FuncId) -> (usize, usize) {
     };
 
     // 2. φ placement on the iterated dominance frontier of the def blocks.
-    let dt = DomTree::compute(f);
+    let dt = u.analyses.domtree(f);
     let inst_blocks = f.inst_blocks();
     let mut def_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); n_allocas];
     for b in f.block_ids() {
         for &iid in f.block_insts(b) {
-            if let Inst::Store { ptr, .. } = f.inst(iid) {
-                if let Value::Inst(p) = ptr {
-                    if let Some(&idx) = promotable.get(p) {
-                        def_blocks[idx].push(b);
-                    }
+            if let Inst::Store {
+                ptr: Value::Inst(p),
+                ..
+            } = f.inst(iid)
+            {
+                if let Some(&idx) = promotable.get(p) {
+                    def_blocks[idx].push(b);
                 }
             }
         }
@@ -121,7 +145,7 @@ pub fn promote_function(m: &mut Module, fid: FuncId) -> (usize, usize) {
     let mut phi_at: HashMap<(BlockId, usize), InstId> = HashMap::new();
     let mut phi_count = 0usize;
     {
-        let f = m.func_mut(fid);
+        let f = &mut *u.func;
         for idx in 0..n_allocas {
             for b in dt.iterated_frontier(&def_blocks[idx]) {
                 phi_at.entry((b, idx)).or_insert_with(|| {
@@ -146,9 +170,9 @@ pub fn promote_function(m: &mut Module, fid: FuncId) -> (usize, usize) {
     // 3. Renaming along the dominator tree.
     let undef: Vec<Value> = elem_tys
         .iter()
-        .map(|&t| Value::Const(m.consts.undef(t)))
+        .map(|&t| Value::Const(u.consts.undef(t)))
         .collect();
-    let f = m.func(fid);
+    let f = &*u.func;
     let phi_idx: HashMap<InstId, usize> = phi_at.iter().map(|(&(_, i), &p)| (p, i)).collect();
     let mut repl: HashMap<InstId, Value> = HashMap::new();
     let mut dead: Vec<InstId> = Vec::new();
@@ -173,35 +197,34 @@ pub fn promote_function(m: &mut Module, fid: FuncId) -> (usize, usize) {
                         cur[idx] = Value::Inst(iid);
                     }
                 }
-                Inst::Load { ptr } => {
-                    if let Value::Inst(p) = ptr {
-                        if let Some(&idx) = promotable.get(p) {
-                            repl.insert(iid, cur[idx]);
-                            dead.push(iid);
-                        }
-                    }
-                }
-                Inst::Store { val, ptr } => {
-                    if let Value::Inst(p) = ptr {
-                        if let Some(&idx) = promotable.get(p) {
-                            cur[idx] = resolve(&repl, *val);
-                            dead.push(iid);
-                        }
-                    }
-                }
-                Inst::Alloca { .. } => {
-                    if promotable.contains_key(&iid) {
+                Inst::Load {
+                    ptr: Value::Inst(p),
+                } => {
+                    if let Some(&idx) = promotable.get(p) {
+                        repl.insert(iid, cur[idx]);
                         dead.push(iid);
                     }
+                }
+                Inst::Store {
+                    val,
+                    ptr: Value::Inst(p),
+                } => {
+                    if let Some(&idx) = promotable.get(p) {
+                        cur[idx] = resolve(&repl, *val);
+                        dead.push(iid);
+                    }
+                }
+                Inst::Alloca { .. } if promotable.contains_key(&iid) => {
+                    dead.push(iid);
                 }
                 _ => {}
             }
         }
         // Feed successor φs.
         for s in f.successors(b) {
-            for idx in 0..n_allocas {
+            for (idx, &v) in cur.iter().enumerate() {
                 if let Some(&p) = phi_at.get(&(s, idx)) {
-                    phi_incoming.entry(p).or_default().push((cur[idx], b));
+                    phi_incoming.entry(p).or_default().push((v, b));
                 }
             }
         }
@@ -213,7 +236,7 @@ pub fn promote_function(m: &mut Module, fid: FuncId) -> (usize, usize) {
     }
 
     // 4. Apply: set φ incoming lists, rewrite uses, unlink dead insts.
-    let fm = m.func_mut(fid);
+    let fm = &mut *u.func;
     for (p, mut inc) in phi_incoming {
         // A block can be a duplicate predecessor (e.g. both switch arms);
         // incoming entries must match predecessor multiset. Our collection

@@ -9,6 +9,7 @@
 
 use crate::adce::Adce;
 use crate::devirtualize::Devirtualize;
+use crate::fpm::FunctionPassAdapter;
 use crate::gvn::Gvn;
 use crate::inline::Inline;
 use crate::ipo::{Dae, Dge, Internalize, Ipcp};
@@ -21,17 +22,25 @@ use crate::simplifycfg::SimplifyCfg;
 use crate::sroa::Sroa;
 
 /// The per-module (compile-time) optimization pipeline.
+///
+/// All passes are function passes, so the whole pipeline runs as one
+/// [`FunctionPassAdapter`] stage: each function flows through every pass
+/// (sharing cached analyses), and independent functions run on worker
+/// threads.
 pub fn function_pipeline() -> PassManager {
     let mut pm = PassManager::new();
-    pm.add(Sroa::default());
-    pm.add(Mem2Reg::default());
-    pm.add(InstSimplify::default());
-    pm.add(Reassociate::default());
-    pm.add(InstSimplify::default());
-    pm.add(Gvn::default());
-    pm.add(SimplifyCfg::default());
-    pm.add(Adce::default());
-    pm.add(SimplifyCfg::default());
+    pm.add(
+        FunctionPassAdapter::new("function-opts")
+            .add(Sroa::default())
+            .add(Mem2Reg::default())
+            .add(InstSimplify::default())
+            .add(Reassociate::default())
+            .add(InstSimplify::default())
+            .add(Gvn::default())
+            .add(SimplifyCfg::default())
+            .add(Adce::default())
+            .add(SimplifyCfg::default()),
+    );
     pm
 }
 
@@ -48,15 +57,18 @@ pub fn link_time_pipeline() -> PassManager {
     // Clean up what inlining exposed: callee allocas promote again, then
     // scalar folding (twice: GVN's store-to-load forwarding feeds the
     // second round).
-    pm.add(Sroa::default());
-    pm.add(Mem2Reg::default());
-    pm.add(InstSimplify::default());
-    pm.add(Gvn::default());
-    pm.add(InstSimplify::default());
-    pm.add(SimplifyCfg::default());
-    pm.add(Adce::default());
-    pm.add(SimplifyCfg::default());
-    pm.add(Dce::default());
+    pm.add(
+        FunctionPassAdapter::new("cleanup")
+            .add(Sroa::default())
+            .add(Mem2Reg::default())
+            .add(InstSimplify::default())
+            .add(Gvn::default())
+            .add(InstSimplify::default())
+            .add(SimplifyCfg::default())
+            .add(Adce::default())
+            .add(SimplifyCfg::default())
+            .add(Dce::default()),
+    );
     pm.add(Dge::default());
     pm
 }
@@ -120,8 +132,8 @@ e:
         pm.run(&mut m);
         let mut pm = link_time_pipeline();
         pm.verify_each = true;
-        let timings = pm.run(&mut m);
-        assert!(timings.iter().any(|t| t.changed));
+        let report = pm.run(&mut m);
+        assert!(report.changed());
         let text = m.display();
         // Allocas promoted, unused helper removed, square inlined.
         assert!(!text.contains("alloca"), "{text}");

@@ -1,47 +1,237 @@
-//! The pass manager.
+//! The two-level pass manager.
 //!
-//! Runs ordered pipelines of module passes, records per-pass wall-clock
-//! timings and change statistics. The timing report is what regenerates the
-//! paper's Table 2 (interprocedural optimization timings).
+//! Modeled on LLVM's new-pass-manager design, split into two layers:
+//!
+//! * [`ModulePass`] — a whole-module transformation. Interprocedural
+//!   passes (internalize, inlining, DGE, ...) implement this directly.
+//! * [`crate::fpm::FunctionPass`] — an intra-procedural transformation
+//!   over one function, run across all functions (possibly in parallel)
+//!   by [`crate::fpm::FunctionPassAdapter`], which itself is a
+//!   `ModulePass`.
+//!
+//! Every pass returns a [`PassEffect`]: a change flag plus the
+//! [`PreservedAnalyses`] set that drives the
+//! [`lpat_analysis::AnalysisManager`] cache owned by the [`PassContext`].
+//! The manager records a structured [`PipelineReport`] — per-pass and
+//! per-function wall-clock, change flags, and analysis cache traffic —
+//! which regenerates the paper's Table 2 and backs `lpatc --time-passes`.
 
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use lpat_analysis::{AnalysisManager, CacheStats, PreservedAnalyses};
 use lpat_core::Module;
 
-/// A module transformation.
-pub trait Pass {
+/// What a pass did: whether it changed the module, and which analysis
+/// classes survived it.
+#[derive(Copy, Clone, Debug)]
+pub struct PassEffect {
+    /// Whether anything changed.
+    pub changed: bool,
+    /// Which cached analyses remain valid.
+    pub preserved: PreservedAnalyses,
+}
+
+impl PassEffect {
+    /// No change: everything preserved.
+    pub fn unchanged() -> PassEffect {
+        PassEffect {
+            changed: false,
+            preserved: PreservedAnalyses::all(),
+        }
+    }
+
+    /// Changed, with the given preserved set.
+    pub fn changed(preserved: PreservedAnalyses) -> PassEffect {
+        PassEffect {
+            changed: true,
+            preserved,
+        }
+    }
+
+    /// Convenience: changed-if with a preserved set used only on change
+    /// (an unchanged pass preserves everything by definition).
+    pub fn from_change(changed: bool, if_changed: PreservedAnalyses) -> PassEffect {
+        if changed {
+            PassEffect::changed(if_changed)
+        } else {
+            PassEffect::unchanged()
+        }
+    }
+}
+
+/// Shared state threaded through a pipeline run: the analysis cache and
+/// the parallelism budget for function-pass stages.
+pub struct PassContext {
+    /// The analysis cache. Passes request analyses through this instead of
+    /// recomputing them.
+    pub am: AnalysisManager,
+    /// Worker-thread budget for the function-pass executor (`>= 1`).
+    pub jobs: usize,
+}
+
+impl PassContext {
+    /// A context with an explicit job count, or the environment/default
+    /// resolution when `None`: `LPAT_JOBS`, then available parallelism.
+    pub fn new(jobs: Option<usize>) -> PassContext {
+        PassContext {
+            am: AnalysisManager::new(),
+            jobs: jobs.unwrap_or_else(default_jobs).max(1),
+        }
+    }
+}
+
+impl Default for PassContext {
+    fn default() -> PassContext {
+        PassContext::new(None)
+    }
+}
+
+/// The job count used when none is given explicitly: the `LPAT_JOBS`
+/// environment variable, else `std::thread::available_parallelism`.
+pub fn default_jobs() -> usize {
+    std::env::var("LPAT_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// A whole-module transformation.
+pub trait ModulePass {
     /// Short, stable pass name (used in reports: `dge`, `dae`, `inline`).
     fn name(&self) -> &'static str;
-    /// Run over the module; returns whether anything changed.
-    fn run(&mut self, m: &mut Module) -> bool;
+    /// Run over the module.
+    fn run(&mut self, m: &mut Module, cx: &mut PassContext) -> PassEffect;
     /// A human-readable statistics line (e.g. "eliminated 331 functions"),
     /// valid after `run`.
     fn stats(&self) -> String {
         String::new()
     }
+    /// Structured sub-pass details of the last run, for composite passes
+    /// (the function-pass adapter). Consumed by the pass manager.
+    fn take_details(&mut self) -> PassDetails {
+        PassDetails::default()
+    }
 }
 
-/// Timing record of one executed pass.
+/// Nested execution details a composite pass hands to the manager.
+#[derive(Clone, Debug, Default)]
+pub struct PassDetails {
+    /// Per-sub-pass rows (durations summed across functions).
+    pub sub: Vec<PassExecution>,
+    /// Per-function rows (durations summed across sub-passes).
+    pub functions: Vec<FuncTiming>,
+}
+
+/// Wall-clock attributed to one function by a function-pass stage.
 #[derive(Clone, Debug)]
-pub struct PassTiming {
+pub struct FuncTiming {
+    /// Function name.
+    pub name: String,
+    /// Total time all sub-passes spent in this function.
+    pub duration: Duration,
+    /// Whether any sub-pass changed this function.
+    pub changed: bool,
+}
+
+/// Record of one executed pass (possibly composite).
+#[derive(Clone, Debug)]
+pub struct PassExecution {
     /// Pass name.
     pub name: &'static str,
-    /// Wall-clock duration of the pass.
+    /// Wall-clock duration. For a parallel function-pass stage the
+    /// top-level row is elapsed time; its `sub` rows are CPU-time sums
+    /// across functions and can exceed it.
     pub duration: Duration,
     /// Whether the pass reported a change.
     pub changed: bool,
     /// The pass's statistics line.
     pub stats: String,
+    /// Analysis cache traffic attributed to this pass.
+    pub cache: CacheStats,
+    /// Sub-pass rows for composite passes (empty otherwise).
+    pub sub: Vec<PassExecution>,
+    /// Per-function rows for function-pass stages (empty otherwise).
+    pub functions: Vec<FuncTiming>,
 }
 
-/// An ordered pipeline of passes.
+/// Structured result of a pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineReport {
+    /// One row per executed pass, in order.
+    pub passes: Vec<PassExecution>,
+    /// Total analysis cache traffic of the run.
+    pub cache: CacheStats,
+    /// Elapsed wall-clock of the whole pipeline.
+    pub total: Duration,
+}
+
+impl PipelineReport {
+    /// Whether any pass reported a change.
+    pub fn changed(&self) -> bool {
+        self.passes.iter().any(|p| p.changed)
+    }
+
+    /// Render the report as the `--time-passes` table: one row per pass
+    /// (sub-passes indented), with change flags and cache traffic.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>3}  {:>6} {:>6} {:>6}  stats",
+            "pass", "time", "chg", "hit", "miss", "inval"
+        );
+        for p in &self.passes {
+            render_row(&mut out, p, 0);
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>3}  {:>6} {:>6} {:>6}",
+            "TOTAL",
+            format!("{:.1?}", self.total),
+            if self.changed() { "*" } else { "" },
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.invalidations,
+        );
+        out
+    }
+}
+
+fn render_row(out: &mut String, p: &PassExecution, depth: usize) {
+    let name = format!("{:indent$}{}", "", p.name, indent = depth * 2);
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>3}  {:>6} {:>6} {:>6}  {}",
+        name,
+        format!("{:.1?}", p.duration),
+        if p.changed { "*" } else { "" },
+        p.cache.hits,
+        p.cache.misses,
+        p.cache.invalidations,
+        p.stats,
+    );
+    for s in &p.sub {
+        render_row(out, s, depth + 1);
+    }
+}
+
+/// An ordered pipeline of module passes.
 #[derive(Default)]
 pub struct PassManager {
-    passes: Vec<Box<dyn Pass>>,
+    passes: Vec<Box<dyn ModulePass>>,
     /// When set, the module is verified after every pass and the manager
     /// panics on the first verifier error — type mismatches are useful for
     /// detecting optimizer bugs (paper §2.2).
     pub verify_each: bool,
+    /// Worker-thread budget for function-pass stages. `None` resolves via
+    /// `LPAT_JOBS` / available parallelism at run time.
+    pub jobs: Option<usize>,
 }
 
 impl PassManager {
@@ -51,22 +241,34 @@ impl PassManager {
     }
 
     /// Append a pass.
-    pub fn add(&mut self, p: impl Pass + 'static) -> &mut Self {
+    pub fn add(&mut self, p: impl ModulePass + 'static) -> &mut Self {
         self.passes.push(Box::new(p));
         self
     }
 
-    /// Run all passes in order; returns per-pass timings.
+    /// Run all passes in order with a fresh [`PassContext`].
     ///
     /// # Panics
     ///
     /// Panics if `verify_each` is set and a pass breaks the module.
-    pub fn run(&mut self, m: &mut Module) -> Vec<PassTiming> {
+    pub fn run(&mut self, m: &mut Module) -> PipelineReport {
+        let mut cx = PassContext::new(self.jobs);
+        self.run_with(m, &mut cx)
+    }
+
+    /// Run all passes in order against an existing context, so analysis
+    /// caches can persist across pipelines (the VM's reoptimizer reruns
+    /// pipelines over its lifetime).
+    pub fn run_with(&mut self, m: &mut Module, cx: &mut PassContext) -> PipelineReport {
+        let run0 = Instant::now();
+        let cache0 = cx.am.stats();
         let mut out = Vec::with_capacity(self.passes.len());
         for p in &mut self.passes {
+            let pass_cache0 = cx.am.stats();
             let t0 = Instant::now();
-            let changed = p.run(m);
+            let effect = p.run(m, cx);
             let duration = t0.elapsed();
+            cx.am.apply(&effect.preserved, m.num_funcs());
             if self.verify_each {
                 if let Err(errs) = m.verify() {
                     panic!(
@@ -79,36 +281,45 @@ impl PassManager {
                     );
                 }
             }
-            out.push(PassTiming {
+            let details = p.take_details();
+            out.push(PassExecution {
                 name: p.name(),
                 duration,
-                changed,
+                changed: effect.changed,
                 stats: p.stats(),
+                cache: cx.am.stats() - pass_cache0,
+                sub: details.sub,
+                functions: details.functions,
             });
         }
-        out
+        PipelineReport {
+            passes: out,
+            cache: cx.am.stats() - cache0,
+            total: run0.elapsed(),
+        }
     }
 }
 
-/// Wrap a closure as a pass (useful in tests and ad-hoc pipelines).
+/// Wrap a closure as a module pass (useful in tests and ad-hoc pipelines).
 pub struct FnPass<F> {
     name: &'static str,
     f: F,
 }
 
 impl<F: FnMut(&mut Module) -> bool> FnPass<F> {
-    /// Create a pass from a closure.
+    /// Create a pass from a closure. The closure's change flag maps to a
+    /// conservative `PreservedAnalyses::none()` when true.
     pub fn new(name: &'static str, f: F) -> FnPass<F> {
         FnPass { name, f }
     }
 }
 
-impl<F: FnMut(&mut Module) -> bool> Pass for FnPass<F> {
+impl<F: FnMut(&mut Module) -> bool> ModulePass for FnPass<F> {
     fn name(&self) -> &'static str {
         self.name
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        (self.f)(m)
+    fn run(&mut self, m: &mut Module, _cx: &mut PassContext) -> PassEffect {
+        PassEffect::from_change((self.f)(m), PreservedAnalyses::none())
     }
 }
 
@@ -128,11 +339,20 @@ mod tests {
             m.name.push('b');
             false
         }));
-        let timings = pm.run(&mut m);
+        let report = pm.run(&mut m);
         assert_eq!(m.name, "tab");
-        assert_eq!(timings.len(), 2);
-        assert!(timings[0].changed);
-        assert!(!timings[1].changed);
-        assert_eq!(timings[0].name, "a");
+        assert_eq!(report.passes.len(), 2);
+        assert!(report.passes[0].changed);
+        assert!(!report.passes[1].changed);
+        assert_eq!(report.passes[0].name, "a");
+        assert!(report.changed());
+        assert!(report.render().contains("TOTAL"));
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_explicit() {
+        let cx = PassContext::new(Some(3));
+        assert_eq!(cx.jobs, 3);
+        assert!(PassContext::new(None).jobs >= 1);
     }
 }

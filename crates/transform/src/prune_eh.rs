@@ -12,10 +12,10 @@
 
 use std::collections::HashSet;
 
-use lpat_analysis::CallGraph;
+use lpat_analysis::{CallGraph, PreservedAnalyses};
 use lpat_core::{Const, FuncId, Inst, Module, Value};
 
-use crate::pm::Pass;
+use crate::pm::{ModulePass, PassContext, PassEffect};
 use crate::util::remove_unreachable_blocks;
 
 /// The EH pruning pass.
@@ -24,14 +24,17 @@ pub struct PruneEh {
     devirtualized: usize,
 }
 
-impl Pass for PruneEh {
+impl ModulePass for PruneEh {
     fn name(&self) -> &'static str {
         "prune-eh"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let n = run_prune_eh(m);
+    fn run(&mut self, m: &mut Module, cx: &mut PassContext) -> PassEffect {
+        let cg = cx.am.call_graph(m).clone();
+        let may = may_unwind_set(m, &cg);
+        let n = prune_with_set(m, &may);
         self.devirtualized += n;
-        n > 0
+        // invoke -> call rewrites edges and deletes handler blocks.
+        PassEffect::from_change(n > 0, PreservedAnalyses::none())
     }
     fn stats(&self) -> String {
         format!("converted {} invokes to calls", self.devirtualized)
@@ -53,14 +56,13 @@ pub fn may_unwind_set(m: &Module, cg: &CallGraph) -> HashSet<FuncId> {
         for iid in f.inst_ids_in_order() {
             match f.inst(iid) {
                 Inst::Unwind => local = true,
-                Inst::Call { callee, .. } => {
+                Inst::Call { callee, .. }
                     // An *invoke* catches its callee's unwind; a plain call
                     // propagates it — only calls matter here, and only
                     // until the fixpoint below refines direct ones.
-                    if direct_target(m, *callee).is_none() {
+                    if direct_target(m, *callee).is_none() => {
                         indirect = true;
                     }
-                }
                 _ => {}
             }
         }
@@ -125,10 +127,7 @@ pub fn run_prune_eh(m: &mut Module) -> usize {
 /// summaries (paper §3.3: the link-time optimizer "can process these
 /// interprocedural summaries as input instead of having to compute
 /// results from scratch").
-pub fn run_prune_eh_with_summaries(
-    m: &mut Module,
-    sums: &lpat_analysis::ModuleSummaries,
-) -> usize {
+pub fn run_prune_eh_with_summaries(m: &mut Module, sums: &lpat_analysis::ModuleSummaries) -> usize {
     let names = sums.may_unwind_closure();
     let summarized: std::collections::HashSet<&str> =
         sums.funcs.iter().map(|s| s.name.as_str()).collect();
@@ -196,7 +195,7 @@ fn prune_with_set(m: &mut Module, may: &HashSet<FuncId>) -> usize {
             }
         }
         // Handlers with no remaining predecessors disappear.
-        remove_unreachable_blocks(m, fid);
+        remove_unreachable_blocks(m.func_mut(fid));
     }
     converted
 }

@@ -7,54 +7,63 @@
 //! `(x + c1) + c2` becomes `x + (c1 + c2)` (folded by `instsimplify`), and
 //! `c + x` becomes `x + c`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lpat_analysis::PreservedAnalyses;
 use lpat_core::fold::fold_bin;
 use lpat_core::{FuncId, Inst, Module, Value};
 
-use crate::pm::Pass;
+use crate::fpm::{FuncUnit, FunctionPass};
+use crate::pm::PassEffect;
 
 /// The reassociation pass.
 #[derive(Default)]
 pub struct Reassociate {
-    rewritten: usize,
+    rewritten: AtomicUsize,
 }
 
-impl Pass for Reassociate {
+impl FunctionPass for Reassociate {
     fn name(&self) -> &'static str {
         "reassociate"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in m.func_ids().collect::<Vec<_>>() {
-            let n = reassociate_function(m, fid);
-            self.rewritten += n;
-            changed |= n > 0;
-        }
-        changed
+    fn run_on(&self, u: &mut FuncUnit<'_>) -> PassEffect {
+        let n = reassociate_unit(u);
+        self.rewritten.fetch_add(n, Ordering::Relaxed);
+        // Rewrites operands in place; CFG and calls untouched.
+        PassEffect::from_change(n > 0, PreservedAnalyses::all())
     }
     fn stats(&self) -> String {
-        format!("rewrote {} expressions", self.rewritten)
+        format!(
+            "rewrote {} expressions",
+            self.rewritten.load(Ordering::Relaxed)
+        )
     }
 }
 
 /// Reassociate one function; returns rewritten instruction count.
 pub fn reassociate_function(m: &mut Module, fid: FuncId) -> usize {
-    if m.func(fid).is_declaration() {
+    crate::fpm::with_unit(m, fid, reassociate_unit)
+}
+
+/// Reassociate against a [`FuncUnit`]; returns rewritten instruction count.
+pub fn reassociate_unit(u: &mut FuncUnit<'_>) -> usize {
+    if u.func.is_declaration() {
         return 0;
     }
     let mut rewritten = 0;
-    let ids: Vec<lpat_core::InstId> = m.func(fid).inst_ids_in_order().collect();
+    let ids: Vec<lpat_core::InstId> = u.func.inst_ids_in_order().collect();
     for iid in ids {
-        let f = m.func(fid);
+        let f = &*u.func;
         let Inst::Bin { op, lhs, rhs } = f.inst(iid).clone() else {
             continue;
         };
-        if !op.is_commutative() || m.types.is_float(f.inst_ty(iid)) {
+        if !op.is_commutative() || u.types.is_float(f.inst_ty(iid)) {
             continue;
         }
         let is_const = |v: Value| matches!(v, Value::Const(_));
         // c ⊕ x  →  x ⊕ c
         if is_const(lhs) && !is_const(rhs) {
-            *m.func_mut(fid).inst_mut(iid) = Inst::Bin {
+            *u.func.inst_mut(iid) = Inst::Bin {
                 op,
                 lhs: rhs,
                 rhs: lhs,
@@ -64,7 +73,7 @@ pub fn reassociate_function(m: &mut Module, fid: FuncId) -> usize {
         }
         // (x ⊕ c1) ⊕ c2  →  x ⊕ (c1 ⊕ c2)
         if let (Value::Inst(inner_id), Value::Const(c2)) = (lhs, rhs) {
-            let f = m.func(fid);
+            let f = &*u.func;
             if let Inst::Bin {
                 op: iop,
                 lhs: x,
@@ -72,10 +81,10 @@ pub fn reassociate_function(m: &mut Module, fid: FuncId) -> usize {
             } = f.inst(inner_id).clone()
             {
                 if iop == op {
-                    let (a, b) = (m.consts.get(c1).clone(), m.consts.get(c2).clone());
-                    if let Some(folded) = fold_bin(&mut m.consts, op, &a, &b) {
-                        let fc = m.consts.intern(folded);
-                        *m.func_mut(fid).inst_mut(iid) = Inst::Bin {
+                    let (a, b) = (u.consts.get(c1).clone(), u.consts.get(c2).clone());
+                    if let Some(folded) = fold_bin(u.consts, op, &a, &b) {
+                        let fc = u.consts.intern(folded);
+                        *u.func.inst_mut(iid) = Inst::Bin {
                             op,
                             lhs: x,
                             rhs: Value::Const(fc),

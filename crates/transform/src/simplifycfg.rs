@@ -1,45 +1,49 @@
 //! CFG simplification: constant-fold terminators, delete unreachable
 //! blocks, and merge straight-line block chains.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lpat_analysis::PreservedAnalyses;
 use lpat_core::{Const, FuncId, Inst, Module, Value};
 
-use crate::pm::Pass;
+use crate::fpm::{FuncUnit, FunctionPass};
+use crate::pm::PassEffect;
 use crate::util::remove_unreachable_blocks;
 
 /// The CFG simplification pass.
 #[derive(Default)]
 pub struct SimplifyCfg {
-    folded: usize,
-    merged: usize,
-    removed: usize,
+    folded: AtomicUsize,
+    merged: AtomicUsize,
+    removed: AtomicUsize,
 }
 
-impl Pass for SimplifyCfg {
+impl FunctionPass for SimplifyCfg {
     fn name(&self) -> &'static str {
         "simplifycfg"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
+    fn run_on(&self, u: &mut FuncUnit<'_>) -> PassEffect {
         let mut changed = false;
-        for fid in m.func_ids().collect::<Vec<_>>() {
-            loop {
-                let mut round = false;
-                let (f1, f2, f3) = simplify_cfg_function(m, fid);
-                self.folded += f1;
-                self.removed += f2;
-                self.merged += f3;
-                round |= f1 + f2 + f3 > 0;
-                changed |= round;
-                if !round {
-                    break;
-                }
+        loop {
+            let (f1, f2, f3) = simplify_cfg_unit(u);
+            self.folded.fetch_add(f1, Ordering::Relaxed);
+            self.removed.fetch_add(f2, Ordering::Relaxed);
+            self.merged.fetch_add(f3, Ordering::Relaxed);
+            if f1 + f2 + f3 == 0 {
+                break;
             }
+            changed = true;
         }
-        changed
+        // Any rewrite restructures the CFG and may delete blocks that
+        // contained calls.
+        PassEffect::from_change(changed, PreservedAnalyses::none())
     }
     fn stats(&self) -> String {
         format!(
             "folded {} branches, removed {} blocks, merged {} chains",
-            self.folded, self.removed, self.merged
+            self.folded.load(Ordering::Relaxed),
+            self.removed.load(Ordering::Relaxed),
+            self.merged.load(Ordering::Relaxed)
         )
     }
 }
@@ -47,14 +51,19 @@ impl Pass for SimplifyCfg {
 /// One round of CFG simplification; returns
 /// `(branches folded, blocks removed, chains merged)`.
 pub fn simplify_cfg_function(m: &mut Module, fid: FuncId) -> (usize, usize, usize) {
-    if m.func(fid).is_declaration() {
+    crate::fpm::with_unit(m, fid, simplify_cfg_unit)
+}
+
+/// One round of CFG simplification against a [`FuncUnit`].
+pub fn simplify_cfg_unit(u: &mut FuncUnit<'_>) -> (usize, usize, usize) {
+    if u.func.is_declaration() {
         return (0, 0, 0);
     }
     let mut folded = 0;
 
     // 1. Constant-fold conditional branches and switches.
     {
-        let f = m.func(fid);
+        let f = &*u.func;
         let mut patches: Vec<(lpat_core::InstId, Inst)> = Vec::new();
         for b in f.block_ids() {
             let Some(t) = f.terminator(b) else { continue };
@@ -64,7 +73,7 @@ pub fn simplify_cfg_function(m: &mut Module, fid: FuncId) -> (usize, usize, usiz
                     then_bb,
                     else_bb,
                 } => {
-                    if let Const::Bool(v) = m.consts.get(*c) {
+                    if let Const::Bool(v) = u.consts.get(*c) {
                         let target = if *v { *then_bb } else { *else_bb };
                         let dropped = if *v { *else_bb } else { *then_bb };
                         patches.push((t, Inst::Br(target)));
@@ -97,7 +106,7 @@ pub fn simplify_cfg_function(m: &mut Module, fid: FuncId) -> (usize, usize, usiz
             folded = patches.len();
             // Removing an edge b -> dropped requires dropping b's entry
             // from dropped's φs. Compute old edges per patch.
-            let f = m.func(fid);
+            let f = &*u.func;
             let mut phi_fixes: Vec<(lpat_core::BlockId, lpat_core::BlockId)> = Vec::new();
             for (t, new_term) in &patches {
                 let old_succs = f.inst(*t).successors();
@@ -118,7 +127,7 @@ pub fn simplify_cfg_function(m: &mut Module, fid: FuncId) -> (usize, usize, usiz
                     phi_fixes.push((s, block));
                 }
             }
-            let fm = m.func_mut(fid);
+            let fm = &mut *u.func;
             for (t, new_term) in patches {
                 *fm.inst_mut(t) = new_term;
             }
@@ -135,15 +144,15 @@ pub fn simplify_cfg_function(m: &mut Module, fid: FuncId) -> (usize, usize, usiz
     }
 
     // 2. Remove unreachable blocks.
-    let before = m.func(fid).num_blocks();
-    remove_unreachable_blocks(m, fid);
-    let removed = before - m.func(fid).num_blocks();
+    let before = u.func.num_blocks();
+    remove_unreachable_blocks(u.func);
+    let removed = before - u.func.num_blocks();
 
     // 3. Merge a block into its unique successor when that successor has a
     //    unique predecessor (splice the chain).
     let mut merged = 0;
     loop {
-        let f = m.func(fid);
+        let f = &*u.func;
         let preds = f.predecessors();
         let mut candidate = None;
         for b in f.block_ids() {
@@ -159,7 +168,7 @@ pub fn simplify_cfg_function(m: &mut Module, fid: FuncId) -> (usize, usize, usiz
         let Some((b, t, s)) = candidate else { break };
         merged += 1;
         // φs in s have exactly one incoming (from b): replace by value.
-        let f = m.func(fid);
+        let f = &*u.func;
         let s_insts = f.block_insts(s).to_vec();
         let mut replacements: Vec<(lpat_core::InstId, Value)> = Vec::new();
         let mut keep: Vec<lpat_core::InstId> = Vec::new();
@@ -172,7 +181,7 @@ pub fn simplify_cfg_function(m: &mut Module, fid: FuncId) -> (usize, usize, usiz
                 _ => keep.push(iid),
             }
         }
-        let fm = m.func_mut(fid);
+        let fm = &mut *u.func;
         for (iid, v) in &replacements {
             fm.replace_all_uses(Value::Inst(*iid), *v);
         }
@@ -224,8 +233,7 @@ mod tests {
 
     #[test]
     fn folds_constant_branch_and_removes_dead_arm() {
-        let m = opt(
-            "
+        let m = opt("
 define int @f() {
 e:
   br bool true, label %l, label %r
@@ -236,8 +244,7 @@ r:
 j:
   %p = phi int [ 1, %l ], [ 2, %r ]
   ret int %p
-}",
-        );
+}");
         let fid = m.func_by_name("f").unwrap();
         assert_eq!(m.func(fid).num_blocks(), 1);
         assert!(m.display().contains("ret int 1"), "{}", m.display());
@@ -245,8 +252,7 @@ j:
 
     #[test]
     fn folds_constant_switch() {
-        let m = opt(
-            "
+        let m = opt("
 define int @f() {
 e:
   switch int 2, label %d [ int 1, label %a int 2, label %b ]
@@ -256,8 +262,7 @@ b:
   ret int 20
 d:
   ret int 30
-}",
-        );
+}");
         assert!(m.display().contains("ret int 20"), "{}", m.display());
         let fid = m.func_by_name("f").unwrap();
         assert_eq!(m.func(fid).num_blocks(), 1);
@@ -265,8 +270,7 @@ d:
 
     #[test]
     fn merges_chains() {
-        let m = opt(
-            "
+        let m = opt("
 define int @f(int %x) {
 e:
   %a = add int %x, 1
@@ -277,8 +281,7 @@ m1:
 m2:
   %c = add int %b, 3
   ret int %c
-}",
-        );
+}");
         let fid = m.func_by_name("f").unwrap();
         assert_eq!(m.func(fid).num_blocks(), 1);
         assert_eq!(m.func(fid).num_insts(), 4);
@@ -306,15 +309,13 @@ x:
 
     #[test]
     fn same_target_condbr_becomes_br() {
-        let m = opt(
-            "
+        let m = opt("
 define int @f(bool %c) {
 e:
   br bool %c, label %j, label %j
 j:
   ret int 7
-}",
-        );
+}");
         let text = m.display();
         assert!(!text.contains("br bool"), "{text}");
         assert!(text.contains("ret int 7"), "{text}");

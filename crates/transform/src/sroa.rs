@@ -6,47 +6,58 @@
 //! all constant-field GEPs into one alloca per field, and `mem2reg` then
 //! promotes those.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lpat_analysis::PreservedAnalyses;
 use lpat_core::{FuncId, Inst, InstId, Module, Type, Value};
 
-use crate::pm::Pass;
+use crate::fpm::{FuncUnit, FunctionPass};
+use crate::pm::PassEffect;
 
 /// The scalar-expansion pass.
 #[derive(Default)]
 pub struct Sroa {
-    expanded: usize,
+    expanded: AtomicUsize,
 }
 
-impl Pass for Sroa {
+impl FunctionPass for Sroa {
     fn name(&self) -> &'static str {
         "sroa"
     }
-    fn run(&mut self, m: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in m.func_ids().collect::<Vec<_>>() {
-            // Iterate: splitting a struct of structs exposes new
-            // candidates.
-            loop {
-                let n = expand_function(m, fid);
-                self.expanded += n;
-                if n == 0 {
-                    break;
-                }
-                changed = true;
+    fn run_on(&self, u: &mut FuncUnit<'_>) -> PassEffect {
+        // Iterate: splitting a struct of structs exposes new candidates.
+        let mut total = 0;
+        loop {
+            let n = expand_unit(u);
+            total += n;
+            if n == 0 {
+                break;
             }
         }
-        changed
+        self.expanded.fetch_add(total, Ordering::Relaxed);
+        // Rewrites allocas and GEPs only; CFG and calls untouched.
+        PassEffect::from_change(total > 0, PreservedAnalyses::all())
     }
     fn stats(&self) -> String {
-        format!("expanded {} aggregate allocas", self.expanded)
+        format!(
+            "expanded {} aggregate allocas",
+            self.expanded.load(Ordering::Relaxed)
+        )
     }
 }
 
 /// Expand eligible struct allocas once; returns how many were split.
 pub fn expand_function(m: &mut Module, fid: FuncId) -> usize {
-    if m.func(fid).is_declaration() {
+    crate::fpm::with_unit(m, fid, expand_unit)
+}
+
+/// One scalar-expansion round against a [`FuncUnit`]; returns how many
+/// allocas were split.
+pub fn expand_unit(u: &mut FuncUnit<'_>) -> usize {
+    if u.func.is_declaration() {
         return 0;
     }
-    let f = m.func(fid);
+    let f = &*u.func;
     // Candidates: alloca of struct type, every use a GEP
     // `[0, const-field, ...]`.
     let mut candidates: Vec<(InstId, Vec<lpat_core::TypeId>)> = Vec::new();
@@ -59,7 +70,7 @@ pub fn expand_function(m: &mut Module, fid: FuncId) -> usize {
             else {
                 continue;
             };
-            let fields = match m.types.ty(*elem_ty) {
+            let fields = match u.types.ty(*elem_ty) {
                 Type::Struct { fields, .. } => fields.clone(),
                 _ => continue,
             };
@@ -75,11 +86,11 @@ pub fn expand_function(m: &mut Module, fid: FuncId) -> usize {
                     Inst::Gep { ptr, indices } if *ptr == av && indices.len() >= 2 => {
                         let zero_first = matches!(
                             indices[0],
-                            Value::Const(c) if m.consts.as_int(c).map(|(_, v)| v) == Some(0)
+                            Value::Const(c) if u.consts.as_int(c).map(|(_, v)| v) == Some(0)
                         );
                         let const_field = matches!(
                             indices[1],
-                            Value::Const(c) if m.consts.as_int(c).is_some()
+                            Value::Const(c) if u.consts.as_int(c).is_some()
                         );
                         if !zero_first || !const_field {
                             continue 'cand;
@@ -96,25 +107,25 @@ pub fn expand_function(m: &mut Module, fid: FuncId) -> usize {
     }
     let count = candidates.len();
     for (alloca, fields) in candidates {
-        split_alloca(m, fid, alloca, &fields);
+        split_alloca(u, alloca, &fields);
     }
     count
 }
 
-fn split_alloca(m: &mut Module, fid: FuncId, alloca: InstId, fields: &[lpat_core::TypeId]) {
+fn split_alloca(u: &mut FuncUnit<'_>, alloca: InstId, fields: &[lpat_core::TypeId]) {
     // Create one alloca per field, inserted where the original lived.
-    let inst_blocks = m.func(fid).inst_blocks();
+    let inst_blocks = u.func.inst_blocks();
     let home = inst_blocks[alloca.index()].expect("linked alloca");
-    let pos = m
-        .func(fid)
+    let pos = u
+        .func
         .block_insts(home)
         .iter()
         .position(|&i| i == alloca)
         .expect("alloca in its block");
     let mut field_allocas = Vec::with_capacity(fields.len());
     for (i, &fty) in fields.iter().enumerate() {
-        let pty = m.types.ptr(fty);
-        let fm = m.func_mut(fid);
+        let pty = u.types.ptr(fty);
+        let fm = &mut *u.func;
         let id = fm.new_inst(
             Inst::Alloca {
                 elem_ty: fty,
@@ -126,22 +137,22 @@ fn split_alloca(m: &mut Module, fid: FuncId, alloca: InstId, fields: &[lpat_core
         field_allocas.push(id);
     }
     // Rewrite GEP uses.
-    let f = m.func(fid);
+    let f = &*u.func;
     let av = Value::Inst(alloca);
     let mut gep_rewrites: Vec<(InstId, usize, Vec<Value>)> = Vec::new();
     for uid in f.inst_ids_in_order() {
         if let Inst::Gep { ptr, indices } = f.inst(uid) {
             if *ptr == av {
                 let fidx = match indices[1] {
-                    Value::Const(c) => m.consts.as_int(c).unwrap().1 as usize,
+                    Value::Const(c) => u.consts.as_int(c).unwrap().1 as usize,
                     _ => unreachable!("checked constant field index"),
                 };
                 gep_rewrites.push((uid, fidx, indices[2..].to_vec()));
             }
         }
     }
-    let zero = m.consts.i64(0);
-    let fm = m.func_mut(fid);
+    let zero = u.consts.i64(0);
+    let fm = &mut *u.func;
     let inst_blocks = fm.inst_blocks();
     for (uid, fidx, rest) in gep_rewrites {
         let base = Value::Inst(field_allocas[fidx]);

@@ -1,12 +1,11 @@
 //! Shared CFG utilities for transforms.
 
-use lpat_core::{FuncId, Module};
+use lpat_core::{Function, Module};
 
 /// Remove blocks unreachable from the entry, fixing φ-nodes.
 ///
 /// Returns whether anything was removed. No-op on declarations.
-pub fn remove_unreachable_blocks(m: &mut Module, fid: FuncId) -> bool {
-    let f = m.func(fid);
+pub fn remove_unreachable_blocks(f: &mut Function) -> bool {
     if f.is_declaration() {
         return false;
     }
@@ -25,7 +24,7 @@ pub fn remove_unreachable_blocks(m: &mut Module, fid: FuncId) -> bool {
     if reach.iter().all(|&r| r) {
         return false;
     }
-    m.func_mut(fid).retain_blocks(&reach);
+    f.retain_blocks(&reach);
     true
 }
 
@@ -59,8 +58,9 @@ join:
         )
         .unwrap();
         let fid = m.func_by_name("f").unwrap();
-        assert!(remove_unreachable_blocks(&mut m, fid));
-        m.verify().unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
+        assert!(remove_unreachable_blocks(m.func_mut(fid)));
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e:?}\n{}", m.display()));
         let f = m.func(fid);
         assert_eq!(f.num_blocks(), 3);
         // The phi lost its dead incoming edge.
@@ -71,12 +71,8 @@ join:
 
     #[test]
     fn no_change_when_all_reachable() {
-        let mut m = parse_module(
-            "t",
-            "define void @f() {\ne:\n  ret void\n}",
-        )
-        .unwrap();
+        let mut m = parse_module("t", "define void @f() {\ne:\n  ret void\n}").unwrap();
         let fid = m.func_by_name("f").unwrap();
-        assert!(!remove_unreachable_blocks(&mut m, fid));
+        assert!(!remove_unreachable_blocks(m.func_mut(fid)));
     }
 }

@@ -361,15 +361,12 @@ impl<'m> Vm<'m> {
         let mut updates: Vec<(InstId, VmValue)> = Vec::new();
         for &iid in func.block_insts(to) {
             if let Inst::Phi { incoming } = func.inst(iid) {
-                let (v, _) = incoming
-                    .iter()
-                    .find(|(_, b)| *b == from)
-                    .ok_or_else(|| {
-                        ExecError::trap(
-                            TrapKind::Invalid,
-                            format!("phi in bb{} lacks edge from bb{}", to.index(), from.index()),
-                        )
-                    })?;
+                let (v, _) = incoming.iter().find(|(_, b)| *b == from).ok_or_else(|| {
+                    ExecError::trap(
+                        TrapKind::Invalid,
+                        format!("phi in bb{} lacks edge from bb{}", to.index(), from.index()),
+                    )
+                })?;
                 updates.push((iid, self.value(fr, *v)?));
             }
         }
@@ -394,11 +391,11 @@ impl<'m> Vm<'m> {
                     format!("read of unassigned register %t{}", i.index()),
                 )
             }),
-            Value::Arg(n) => fr
-                .args
-                .get(n as usize)
-                .copied()
-                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "argument index out of range")),
+            Value::Arg(n) => {
+                fr.args.get(n as usize).copied().ok_or_else(|| {
+                    ExecError::trap(TrapKind::Invalid, "argument index out of range")
+                })
+            }
             Value::Const(c) => self.const_value(c),
         }
     }
@@ -477,7 +474,10 @@ impl<'m> Vm<'m> {
                 Ok(StepResult::Jumped)
             }
             Inst::Unwind => Ok(StepResult::Unwinding),
-            Inst::Unreachable => Err(ExecError::trap(TrapKind::Unreachable, "unreachable executed")),
+            Inst::Unreachable => Err(ExecError::trap(
+                TrapKind::Unreachable,
+                "unreachable executed",
+            )),
             Inst::Bin { op, lhs, rhs } => {
                 let a = ev!(lhs);
                 let b = ev!(rhs);
@@ -641,7 +641,12 @@ impl<'m> Vm<'m> {
     }
 
     /// Byte offset of a GEP with runtime index values.
-    fn gep_offset(&self, base_ptr: TypeId, indices: &[Value], vals: &[i64]) -> Result<i64, ExecError> {
+    fn gep_offset(
+        &self,
+        base_ptr: TypeId,
+        indices: &[Value],
+        vals: &[i64],
+    ) -> Result<i64, ExecError> {
         let tys = &self.m.types;
         let mut cur = tys
             .pointee(base_ptr)
@@ -674,16 +679,10 @@ impl<'m> Vm<'m> {
 
     /// Dispatch a call to an external declaration (the VM's tiny runtime
     /// library: I/O and process control).
-    fn call_external(
-        &mut self,
-        f: FuncId,
-        args: &[VmValue],
-    ) -> Result<Option<VmValue>, ExecError> {
+    fn call_external(&mut self, f: FuncId, args: &[VmValue]) -> Result<Option<VmValue>, ExecError> {
         use std::fmt::Write;
         let name = self.m.func(f).name.clone();
-        let geti = |i: usize| -> i64 {
-            args.get(i).and_then(|v| v.as_i64()).unwrap_or(0)
-        };
+        let geti = |i: usize| -> i64 { args.get(i).and_then(|v| v.as_i64()).unwrap_or(0) };
         match name.as_str() {
             "print_int" => {
                 let _ = writeln!(self.output, "{}", geti(0));
@@ -842,7 +841,11 @@ pub(crate) fn exec_cmp(pred: CmpPred, a: VmValue, b: VmValue) -> Result<bool, Ex
     })
 }
 
-pub(crate) fn exec_cast(tc: &lpat_core::TypeCtx, v: VmValue, to: TypeId) -> Result<VmValue, ExecError> {
+pub(crate) fn exec_cast(
+    tc: &lpat_core::TypeCtx,
+    v: VmValue,
+    to: TypeId,
+) -> Result<VmValue, ExecError> {
     let tt = tc.ty(to).clone();
     Ok(match (v, tt) {
         (VmValue::Int { v, .. }, Type::Int(k)) => VmValue::int(k, v),

@@ -17,7 +17,9 @@
 
 use std::rc::Rc;
 
-use lpat_core::{BinOp, BlockId, CmpPred, Const, FuncId, Inst, IntKind, Module, Type, TypeId, Value};
+use lpat_core::{
+    BinOp, BlockId, CmpPred, Const, FuncId, Inst, IntKind, Module, Type, TypeId, Value,
+};
 
 use crate::error::{ExecError, TrapKind};
 use crate::interp::Vm;
@@ -167,9 +169,9 @@ pub fn translate(m: &Module, fid: FuncId) -> Result<LowFunc, ExecError> {
     let mut code: Vec<LowOp> = Vec::with_capacity(pc);
     let mut edges: Vec<Edge> = Vec::new();
     let make_edge = |m: &Module,
-                         edges: &mut Vec<Edge>,
-                         from: BlockId,
-                         to: BlockId|
+                     edges: &mut Vec<Edge>,
+                     from: BlockId,
+                     to: BlockId|
      -> Result<usize, ExecError> {
         let f = m.func(fid);
         let mut copies = Vec::new();
@@ -443,8 +445,12 @@ struct JitFrame {
     pc: usize,
     allocas: Vec<u32>,
     /// Pending call's (dst, eh-edges), restored on return/unwind.
-    pending: Option<(Option<u32>, Option<(usize, usize)>)>,
+    pending: PendingCall,
 }
+
+/// A suspended call site: destination register (if any) and the invoke's
+/// (normal, unwind) edge indices (if the call was an invoke).
+type PendingCall = Option<(Option<u32>, Option<(usize, usize)>)>;
 
 impl<'m> Vm<'m> {
     /// Run `main` under the JIT engine (translate-on-first-call +
@@ -819,7 +825,6 @@ fn exec_low(
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

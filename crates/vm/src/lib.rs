@@ -50,7 +50,9 @@ mod tests {
         let m = lpat_asm::parse_module("t", src).unwrap();
         m.verify().unwrap_or_else(|e| panic!("{e:?}"));
         let mut vm = Vm::new(&m, opts).unwrap();
-        let r = vm.run_main().unwrap_or_else(|e| panic!("{e}\n{}", m.display()));
+        let r = vm
+            .run_main()
+            .unwrap_or_else(|e| panic!("{e}\n{}", m.display()));
         (r, vm.output.clone())
     }
 
@@ -235,9 +237,7 @@ handler:
             ExecError::Trap { kind, .. } => assert_eq!(kind, TrapKind::DivByZero),
             other => panic!("{other:?}"),
         }
-        match run_err(
-            "define int @main() {\ne:\n  %v = load int* null\n  ret int %v\n}",
-        ) {
+        match run_err("define int @main() {\ne:\n  %v = load int* null\n  ret int %v\n}") {
             ExecError::Trap { kind, .. } => assert_eq!(kind, TrapKind::NullAccess),
             other => panic!("{other:?}"),
         }
@@ -318,8 +318,10 @@ e:
             "define int @main() {\ne:\n  br label %l\nl:\n  br label %l\n}",
         )
         .unwrap();
-        let mut opts = VmOptions::default();
-        opts.fuel = Some(1000);
+        let opts = VmOptions {
+            fuel: Some(1000),
+            ..VmOptions::default()
+        };
         let mut vm = Vm::new(&m, opts).unwrap();
         match vm.run_main().unwrap_err() {
             ExecError::Trap { kind, .. } => assert_eq!(kind, TrapKind::OutOfFuel),
@@ -363,8 +365,10 @@ x:
 }",
         )
         .unwrap();
-        let mut opts = VmOptions::default();
-        opts.profile = true;
+        let opts = VmOptions {
+            profile: true,
+            ..VmOptions::default()
+        };
         let mut vm = Vm::new(&m, opts).unwrap();
         assert_eq!(vm.run_main().unwrap(), 100);
         let main = m.func_by_name("main").unwrap();
@@ -404,8 +408,10 @@ x:
   ret int %s2
 }";
         let mut m: Module = lpat_asm::parse_module("t", src).unwrap();
-        let mut opts = VmOptions::default();
-        opts.profile = true;
+        let opts = VmOptions {
+            profile: true,
+            ..VmOptions::default()
+        };
         let (before, profile) = {
             let mut vm = Vm::new(&m, opts.clone()).unwrap();
             let r = vm.run_main().unwrap();
@@ -447,8 +453,10 @@ x:
   ret int %i
 }";
         let mut m: Module = lpat_asm::parse_module("t", src).unwrap();
-        let mut opts = VmOptions::default();
-        opts.profile = true;
+        let opts = VmOptions {
+            profile: true,
+            ..VmOptions::default()
+        };
         let profile = {
             let mut vm = Vm::new(&m, opts).unwrap();
             vm.run_main().unwrap();
@@ -485,8 +493,10 @@ e:
 }",
         )
         .unwrap();
-        let mut opts = VmOptions::default();
-        opts.max_stack = 64;
+        let opts = VmOptions {
+            max_stack: 64,
+            ..VmOptions::default()
+        };
         let mut vm = Vm::new(&m, opts).unwrap();
         match vm.run_main().unwrap_err() {
             ExecError::Trap { kind, .. } => assert_eq!(kind, TrapKind::StackOverflow),

@@ -54,7 +54,7 @@ impl Memory {
     pub fn addr_to_func(&self, addr: u32) -> Option<usize> {
         if addr >= FUNC_BASE && addr < FUNC_BASE + self.n_funcs * FUNC_STRIDE {
             let off = addr - FUNC_BASE;
-            if off % FUNC_STRIDE == 0 {
+            if off.is_multiple_of(FUNC_STRIDE) {
                 return Some((off / FUNC_STRIDE) as usize);
             }
         }
@@ -63,7 +63,10 @@ impl Memory {
 
     fn ensure(&mut self, end: u32) -> Result<(), ExecError> {
         if end > self.limit {
-            return Err(ExecError::trap(TrapKind::OutOfMemory, "address space exhausted"));
+            return Err(ExecError::trap(
+                TrapKind::OutOfMemory,
+                "address space exhausted",
+            ));
         }
         if end as usize > self.bytes.len() {
             let new_len = (end as usize).next_power_of_two().min(self.limit as usize);

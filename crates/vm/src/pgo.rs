@@ -13,7 +13,11 @@
 //!   the native code a backend would emit.
 
 use lpat_core::{BlockId, Const, FuncId, Inst, Module, Value};
+use lpat_transform::gvn::Gvn;
 use lpat_transform::inline::inline_site;
+use lpat_transform::scalar::{Dce, InstSimplify};
+use lpat_transform::simplifycfg::SimplifyCfg;
+use lpat_transform::{FunctionPassAdapter, PassManager, PipelineReport};
 
 use crate::profile::ProfileData;
 
@@ -39,18 +43,38 @@ impl Default for PgoOptions {
 }
 
 /// What the reoptimizer did.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct PgoReport {
     /// Hot call sites inlined.
     pub inlined: usize,
     /// Functions whose block layout changed.
     pub relaid: usize,
+    /// Per-pass timings and analysis-cache traffic of the cleanup pipeline
+    /// run after hot inlining (empty when nothing was inlined) — the same
+    /// structured report the static pipelines and `lpatc --time-passes`
+    /// produce.
+    pub cleanup: PipelineReport,
 }
 
 /// Apply profile-guided reoptimization to `m` using `profile`.
 pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> PgoReport {
-    let mut report = PgoReport::default();
-    report.inlined = inline_hot_sites(m, profile, opts);
+    let mut report = PgoReport {
+        inlined: inline_hot_sites(m, profile, opts),
+        ..PgoReport::default()
+    };
+    if report.inlined > 0 {
+        // Clean up what hot inlining exposed before choosing a layout,
+        // through the instrumented pass framework.
+        let mut pm = PassManager::new();
+        pm.add(
+            FunctionPassAdapter::new("pgo-cleanup")
+                .add(InstSimplify::default())
+                .add(Gvn::default())
+                .add(SimplifyCfg::default())
+                .add(Dce::default()),
+        );
+        report.cleanup = pm.run(m);
+    }
     report.relaid = layout_by_profile(m, profile);
     report
 }

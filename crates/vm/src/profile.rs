@@ -107,11 +107,7 @@ pub struct HotLoop {
 ///
 /// Returns the block sequence, plus the fraction of the loop's block
 /// executions the trace covers (a proxy for trace-cache hit rate).
-pub fn form_trace(
-    m: &Module,
-    profile: &ProfileData,
-    hot: &HotLoop,
-) -> (Vec<BlockId>, f64) {
+pub fn form_trace(m: &Module, profile: &ProfileData, hot: &HotLoop) -> (Vec<BlockId>, f64) {
     let f = m.func(hot.func);
     let mut trace = vec![hot.header];
     let mut cur = hot.header;

@@ -70,8 +70,7 @@ pub fn compile_suite(scale: u32) -> Vec<(&'static str, Module)> {
         .map(|w| {
             let m = lpat_minic::compile(w.name, &w.source)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            m.verify()
-                .unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+            m.verify().unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
             (w.name, m)
         })
         .collect()
@@ -86,12 +85,12 @@ mod tests {
     #[test]
     fn all_fifteen_compile_and_run() {
         for (name, m) in compile_suite(0) {
-            let mut opts = VmOptions::default();
-            opts.fuel = Some(20_000_000);
+            let opts = VmOptions {
+                fuel: Some(20_000_000),
+                ..VmOptions::default()
+            };
             let mut vm = Vm::new(&m, opts).unwrap();
-            let r = vm
-                .run_main()
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let r = vm.run_main().unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(r >= 0, "{name} returned {r}");
             assert!(!vm.output.is_empty(), "{name} printed nothing");
         }
@@ -136,10 +135,7 @@ mod tests {
             .iter()
             .map(|(_, p)| *p)
             .fold(f64::INFINITY, f64::min);
-        let max_u = undisciplined
-            .iter()
-            .map(|(_, p)| *p)
-            .fold(0.0, f64::max);
+        let max_u = undisciplined.iter().map(|(_, p)| *p).fold(0.0, f64::max);
         assert!(
             min_d > max_u,
             "disciplined {disciplined:?} vs undisciplined {undisciplined:?}"

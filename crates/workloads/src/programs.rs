@@ -48,7 +48,9 @@ static int work{i}(int a, int b{extra}) {{
             if i % 4 == 0 {
                 out.push_str(&format!("    work{i}(acc, seed + {i}{extra});\n"));
             } else {
-                out.push_str(&format!("    acc = acc + work{i}(acc, seed + {i}{extra});\n"));
+                out.push_str(&format!(
+                    "    acc = acc + work{i}(acc, seed + {i}{extra});\n"
+                ));
             }
         }
         out.push_str("    return acc;\n}\n");

@@ -11,7 +11,7 @@
 //! cargo run --example exceptions
 //! ```
 
-use lpat::transform::pm::Pass;
+use lpat::transform::pm::{ModulePass, PassContext};
 use lpat::vm::{Vm, VmOptions};
 
 /// The paper's Figure 2, in textual form: `func()` may throw; the
@@ -118,7 +118,7 @@ fn main() {
     let mut inlined = m.clone();
     let mut pass = lpat::transform::inline::Inline::default();
     pass.threshold = 1000;
-    pass.run(&mut inlined);
+    pass.run(&mut inlined, &mut PassContext::default());
     inlined.verify().unwrap();
     let text = inlined.display();
     let demo_unwinds = text.matches("unwind").count();
@@ -152,5 +152,8 @@ int main() {
     assert!(mc.display().contains("invoke"), "try lowers to invoke");
     let mut vm = Vm::new(&mc, VmOptions::default()).unwrap();
     assert_eq!(vm.run_main().unwrap(), 1);
-    println!("\nminiC try/catch lowered to invoke/unwind; caught = {}", vm.output.trim());
+    println!(
+        "\nminiC try/catch lowered to invoke/unwind; caught = {}",
+        vm.output.trim()
+    );
 }

@@ -52,8 +52,10 @@ fn main() {
 
     // Runtime: the end-user runs the program; lightweight instrumentation
     // collects the profile (paper §3.5).
-    let mut opts = VmOptions::default();
-    opts.profile = true;
+    let opts = VmOptions {
+        profile: true,
+        ..VmOptions::default()
+    };
     let mut vm = Vm::new(&m, opts).unwrap();
     let before = vm.run_main().unwrap();
     let before_insts = vm.insts_executed;

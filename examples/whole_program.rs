@@ -8,7 +8,8 @@
 //! cargo run --example whole_program
 //! ```
 
-use lpat::transform::pm::{Pass, PassManager};
+use lpat::transform::fpm::FunctionPassAdapter;
+use lpat::transform::pm::PassManager;
 use lpat::vm::{Vm, VmOptions};
 
 /// "libmath.c" — a library with more API surface than this app uses.
@@ -98,20 +99,16 @@ fn main() {
     pm.add(lpat::transform::ipo::Dge::default());
     pm.add(lpat::transform::inline::Inline::default());
     pm.add(lpat::transform::prune_eh::PruneEh::default());
-    pm.add(lpat::transform::scalar::InstSimplify::default());
-    pm.add(lpat::transform::gvn::Gvn::default());
-    pm.add(lpat::transform::simplifycfg::SimplifyCfg::default());
-    pm.add(lpat::transform::adce::Adce::default());
+    pm.add(
+        FunctionPassAdapter::new("cleanup")
+            .add(lpat::transform::scalar::InstSimplify::default())
+            .add(lpat::transform::gvn::Gvn::default())
+            .add(lpat::transform::simplifycfg::SimplifyCfg::default())
+            .add(lpat::transform::adce::Adce::default()),
+    );
     pm.add(lpat::transform::ipo::Dge::default());
     println!();
-    for t in pm.run(&mut linked) {
-        println!(
-            "{:<12} {:>9.1?}  {}",
-            t.name,
-            t.duration,
-            if t.stats.is_empty() { "-".into() } else { t.stats }
-        );
-    }
+    print!("{}", pm.run(&mut linked).render());
     println!(
         "\noptimized {:3} functions, {:4} instructions",
         linked.num_funcs(),

@@ -3,6 +3,7 @@
 //! ```text
 //! lpatc compile <in.mc> [-o out.bc] [--emit text|bc] [-O]   miniC -> IR
 //! lpatc opt     <in>    [-o out]    [--emit text|bc] [--link-pipeline]
+//!               [--jobs N] [--verify-each] [--time-passes]
 //! lpatc link    <in...> -o out      [--emit text|bc] [-O]
 //! lpatc dis     <in.bc>                                     bytecode -> text
 //! lpatc run     <in>    [--profile] [--fuel N] [--input a,b,c]
@@ -34,16 +35,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let rest = &args[1.min(args.len())..];
     match cmd {
         "compile" | "opt" | "link" | "dis" => {
-            let inputs: Vec<&String> = rest
-                .iter()
-                .take_while(|a| !a.starts_with('-'))
-                .collect();
+            let inputs: Vec<&String> = rest.iter().take_while(|a| !a.starts_with('-')).collect();
             if inputs.is_empty() {
                 return Err(format!("{cmd}: no input files"));
             }
             let mut m = if cmd == "link" {
-                let mods: Result<Vec<Module>, String> =
-                    inputs.iter().map(|p| load(p)).collect();
+                let mods: Result<Vec<Module>, String> = inputs.iter().map(|p| load(p)).collect();
                 lpat::linker::link(mods?, "a.out").map_err(|e| e.to_string())?
             } else {
                 load(inputs[0])?
@@ -52,14 +49,32 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 print!("{}", m.display());
                 return Ok(ExitCode::SUCCESS);
             }
+            let jobs = match flag_value(rest, "--jobs") {
+                Some(v) => Some(v.parse::<usize>().map_err(|_| "bad --jobs value")?.max(1)),
+                None => None,
+            };
+            let verify_each = has_flag(rest, "--verify-each");
+            let time_passes = has_flag(rest, "--time-passes");
+            let mut reports: Vec<(&str, lpat::transform::PipelineReport)> = Vec::new();
             if has_flag(rest, "-O") || cmd == "opt" {
-                lpat::transform::function_pipeline().run(&mut m);
+                let mut pm = lpat::transform::function_pipeline();
+                pm.jobs = jobs;
+                pm.verify_each = verify_each;
+                reports.push(("function pipeline", pm.run(&mut m)));
             }
             if has_flag(rest, "--link-pipeline") || (cmd == "link" && has_flag(rest, "-O")) {
-                lpat::transform::link_time_pipeline().run(&mut m);
+                let mut pm = lpat::transform::link_time_pipeline();
+                pm.jobs = jobs;
+                pm.verify_each = verify_each;
+                reports.push(("link-time pipeline", pm.run(&mut m)));
             }
-            m.verify()
-                .map_err(|e| format!("verifier: {}", e[0]))?;
+            if time_passes {
+                for (title, r) in &reports {
+                    eprintln!("=== {title} ===");
+                    eprint!("{}", r.render());
+                }
+            }
+            m.verify().map_err(|e| format!("verifier: {}", e[0]))?;
             emit(&m, rest)?;
             Ok(ExitCode::SUCCESS)
         }
@@ -69,8 +84,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 .find(|a| !a.starts_with('-'))
                 .ok_or("run: no input file")?;
             let m = load(input)?;
-            let mut opts = lpat::vm::VmOptions::default();
-            opts.profile = has_flag(rest, "--profile");
+            let mut opts = lpat::vm::VmOptions {
+                profile: has_flag(rest, "--profile"),
+                ..Default::default()
+            };
             if let Some(f) = flag_value(rest, "--fuel") {
                 opts.fuel = Some(f.parse().map_err(|_| "bad --fuel value")?);
             }
@@ -104,9 +121,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let input = rest.first().ok_or("analyze: no input file")?;
             let m = load(input)?;
             let cg = lpat::analysis::CallGraph::build(&m);
-            let dsa =
-                lpat::analysis::Dsa::analyze(&m, &cg, &lpat::analysis::DsaOptions::default());
-            println!("module {}: {} functions, {} globals, {} instructions", m.name, m.num_funcs(), m.num_globals(), m.total_insts());
+            let dsa = lpat::analysis::Dsa::analyze(&m, &cg, &lpat::analysis::DsaOptions::default());
+            println!(
+                "module {}: {} functions, {} globals, {} instructions",
+                m.name,
+                m.num_funcs(),
+                m.num_globals(),
+                m.total_insts()
+            );
             println!("\nper-function typed memory accesses (DSA):");
             for (fid, f) in m.funcs() {
                 if f.is_declaration() {
@@ -139,14 +161,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let risc = lpat::codegen::compile_module(&m, &lpat::codegen::Risc32);
             println!("{:<12} {:>10}", "form", "bytes");
             println!("{:<12} {:>10}", "bytecode", bc.len());
-            println!("{:<12} {:>10}   (code {} data {})", "cisc32", cisc.total, cisc.code_size, cisc.data_size);
-            println!("{:<12} {:>10}   (code {} data {})", "risc32", risc.total, risc.code_size, risc.data_size);
+            println!(
+                "{:<12} {:>10}   (code {} data {})",
+                "cisc32", cisc.total, cisc.code_size, cisc.data_size
+            );
+            println!(
+                "{:<12} {:>10}   (code {} data {})",
+                "risc32", risc.total, risc.code_size, risc.data_size
+            );
             Ok(ExitCode::SUCCESS)
         }
         "help" | "--help" | "-h" => {
             eprintln!(
                 "usage: lpatc <compile|opt|link|dis|run|analyze|size> <inputs> [flags]\n\
                  flags: -o FILE, --emit text|bc, -O, --link-pipeline,\n\
+                 \x20      --jobs N, --verify-each, --time-passes,\n\
                  \x20      --profile, --jit, --fuel N, --input a,b,c"
             );
             Ok(ExitCode::SUCCESS)

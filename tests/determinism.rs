@@ -1,0 +1,37 @@
+//! The parallel function-pass stage must be deterministic: optimizing the
+//! same module with any `--jobs` value yields byte-identical IR, because
+//! every worker runs against a snapshot of the stage-entry constant/type
+//! pools and the adapter merges per-function pool overlays in function
+//! order.
+
+fn optimized(m: &lpat::core::Module, jobs: usize) -> String {
+    let mut c = m.clone();
+    let mut pm = lpat::transform::function_pipeline();
+    pm.jobs = Some(jobs);
+    pm.run(&mut c);
+    let mut pm = lpat::transform::link_time_pipeline();
+    pm.jobs = Some(jobs);
+    pm.run(&mut c);
+    c.verify().unwrap_or_else(|e| panic!("jobs={jobs}: {e:?}"));
+    c.display()
+}
+
+#[test]
+fn jobs_one_and_four_produce_identical_ir() {
+    for (name, m) in lpat::workloads::compile_suite(4) {
+        let seq = optimized(&m, 1);
+        let par = optimized(&m, 4);
+        assert_eq!(
+            seq, par,
+            "workload {name} diverged between jobs=1 and jobs=4"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    let (name, m) = lpat::workloads::compile_suite(4).swap_remove(0);
+    let a = optimized(&m, 4);
+    let b = optimized(&m, 4);
+    assert_eq!(a, b, "workload {name} not stable across runs");
+}

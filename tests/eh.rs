@@ -3,14 +3,15 @@
 //! including the setjmp/longjmp-style non-local exit the paper says the
 //! same two primitives support.
 
-use lpat::transform::pm::Pass;
 use lpat::vm::{Vm, VmOptions};
 
 fn run_src(src: &str) -> (i64, String) {
     let m = lpat::minic::compile("t", src).unwrap_or_else(|e| panic!("{e}"));
     m.verify().unwrap();
     let mut vm = Vm::new(&m, VmOptions::default()).unwrap();
-    let r = vm.run_main().unwrap_or_else(|e| panic!("{e}\n{}", m.display()));
+    let r = vm
+        .run_main()
+        .unwrap_or_else(|e| panic!("{e}\n{}", m.display()));
     (r, vm.output.clone())
 }
 

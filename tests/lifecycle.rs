@@ -3,7 +3,7 @@
 //! link-time IPO, serialization, execution, profiling, and offline
 //! reoptimization — with behavior checked at every stage.
 
-use lpat::transform::pm::Pass;
+use lpat::transform::pm::{ModulePass, PassContext};
 use lpat::vm::{Vm, VmOptions};
 
 fn run(m: &lpat::core::Module) -> (i64, String) {
@@ -90,8 +90,10 @@ fn full_lifecycle_on_a_real_program() {
 
     // Stage 4: runtime profiling on the shipped representation.
     let loaded = lpat::bytecode::read_module(w.name, &shipped).unwrap();
-    let mut opts = VmOptions::default();
-    opts.profile = true;
+    let opts = VmOptions {
+        profile: true,
+        ..VmOptions::default()
+    };
     let mut vm = Vm::new(&loaded, opts).unwrap();
     let r = vm.run_main().unwrap();
     assert_eq!((r, vm.output.clone()), baseline, "shipped representation");
@@ -137,9 +139,9 @@ int main() { return 41 + helper(0); }
     assert!(without.func_by_name("helper").is_some());
 
     let mut with = m0.clone();
-    lpat::transform::ipo::Internalize::default().run(&mut with);
+    lpat::transform::ipo::Internalize::default().run(&mut with, &mut PassContext::default());
     let mut inliner = lpat::transform::inline::Inline::default();
-    inliner.run(&mut with);
+    inliner.run(&mut with, &mut PassContext::default());
     lpat::transform::ipo::run_dge(&mut with);
     assert!(with.func_by_name("helper").is_none());
     assert_eq!(run(&with).0, 42);
@@ -168,9 +170,13 @@ fn jit_and_interpreter_agree_on_the_whole_suite() {
     // interpreter and the translating engine run every benchmark.
     for (name, m) in lpat::workloads::compile_suite(0) {
         let mut a = Vm::new(&m, VmOptions::default()).unwrap();
-        let ra = a.run_main().unwrap_or_else(|e| panic!("{name} interp: {e}"));
+        let ra = a
+            .run_main()
+            .unwrap_or_else(|e| panic!("{name} interp: {e}"));
         let mut b = Vm::new(&m, VmOptions::default()).unwrap();
-        let rb = b.run_main_jit().unwrap_or_else(|e| panic!("{name} jit: {e}"));
+        let rb = b
+            .run_main_jit()
+            .unwrap_or_else(|e| panic!("{name} jit: {e}"));
         assert_eq!(ra, rb, "{name}: exit codes differ");
         assert_eq!(a.output, b.output, "{name}: output differs");
     }
@@ -203,7 +209,9 @@ int main() {
     let (loaded, sums) = lpat::bytecode::read_module_and_summaries("t", &bytes).unwrap();
     let sums = sums.expect("summaries attached");
     // Compare modulo dense renumbering (one parse trip canonicalizes).
-    let canon = lpat::asm::parse_module("t", &m.display()).unwrap().display();
+    let canon = lpat::asm::parse_module("t", &m.display())
+        .unwrap()
+        .display();
     assert_eq!(loaded.display(), canon);
 
     // Plain write_module output carries none.

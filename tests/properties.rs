@@ -1,14 +1,53 @@
-//! Property-based tests (proptest) over randomly generated programs:
+//! Randomized property tests over generated programs (no external
+//! dependencies: a seeded SplitMix64 generator drives the cases, so runs
+//! are deterministic and reproducible by seed):
 //!
 //! * the three equivalent forms round-trip losslessly;
 //! * the verifier accepts everything the generator builds;
 //! * the scalar optimizers preserve the VM-observable result;
 //! * constant folding agrees with the interpreter's arithmetic.
-
-use proptest::prelude::*;
+//!
+//! Build with `--features slow-tests` to multiply the case counts.
 
 use lpat::core::{inst::Value, BinOp, CmpPred, IntKind, Linkage, Module};
 use lpat::vm::{ExecError, Vm, VmOptions, VmValue};
+
+/// Deterministic 64-bit generator (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+    fn i32(&mut self) -> i32 {
+        self.next() as i32
+    }
+    fn i64(&mut self) -> i64 {
+        self.next() as i64
+    }
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.usize(xs.len())]
+    }
+}
+
+/// Number of random cases per property (`slow-tests` multiplies by 8).
+fn cases() -> u64 {
+    if cfg!(feature = "slow-tests") {
+        512
+    } else {
+        64
+    }
+}
 
 /// A recipe for one instruction in a generated straight-line function.
 #[derive(Clone, Debug)]
@@ -18,22 +57,15 @@ enum OpSpec {
     Const(i32),
 }
 
-fn op_strategy() -> impl Strategy<Value = OpSpec> {
-    prop_oneof![
-        (
-            prop::sample::select(&BinOp::ALL[..]),
-            any::<usize>(),
-            any::<usize>()
-        )
-            .prop_map(|(op, a, b)| OpSpec::Bin(op, a, b)),
-        (
-            prop::sample::select(&CmpPred::ALL[..]),
-            any::<usize>(),
-            any::<usize>()
-        )
-            .prop_map(|(p, a, b)| OpSpec::Cmp(p, a, b)),
-        any::<i32>().prop_map(OpSpec::Const),
-    ]
+fn gen_ops(rng: &mut Rng) -> Vec<OpSpec> {
+    let n = 1 + rng.usize(39);
+    (0..n)
+        .map(|_| match rng.usize(3) {
+            0 => OpSpec::Bin(*rng.pick(&BinOp::ALL[..]), rng.usize(64), rng.usize(64)),
+            1 => OpSpec::Cmp(*rng.pick(&CmpPred::ALL[..]), rng.usize(64), rng.usize(64)),
+            _ => OpSpec::Const(rng.i32()),
+        })
+        .collect()
 }
 
 /// Build `int f(int, int)` from the recipe, plus a `main` that calls it
@@ -49,12 +81,7 @@ fn build(ops: &[OpSpec], a0: i32, a1: i32) -> Module {
     for op in ops {
         let pick = |i: usize| pool[i % pool.len()];
         let v = match op {
-            OpSpec::Bin(op, x, y) => {
-                // Division by an arbitrary value may trap; both sides of
-                // the comparison run the same program, so that is fine —
-                // but shifts of full range are already exercised; keep all.
-                b.bin(*op, pick(*x), pick(*y))
-            }
+            OpSpec::Bin(op, x, y) => b.bin(*op, pick(*x), pick(*y)),
             OpSpec::Cmp(p, x, y) => {
                 let c = b.cmp(*p, pick(*x), pick(*y));
                 b.cast(c, i32t)
@@ -78,8 +105,10 @@ fn build(ops: &[OpSpec], a0: i32, a1: i32) -> Module {
 /// Run main; traps map to a distinguishable sentinel so optimized and
 /// unoptimized programs can be compared even when they trap.
 fn observe(m: &Module) -> Result<i64, &'static str> {
-    let mut opts = VmOptions::default();
-    opts.fuel = Some(1_000_000);
+    let opts = VmOptions {
+        fuel: Some(1_000_000),
+        ..VmOptions::default()
+    };
     let mut vm = Vm::new(m, opts).unwrap();
     match vm.run_main() {
         Ok(v) => Ok(v),
@@ -91,64 +120,69 @@ fn observe(m: &Module) -> Result<i64, &'static str> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_ir_verifies_and_round_trips(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        a0 in any::<i32>(),
-        a1 in any::<i32>(),
-    ) {
+#[test]
+fn generated_ir_verifies_and_round_trips() {
+    let mut rng = Rng::new(0xA11C_E500);
+    for case in 0..cases() {
+        let ops = gen_ops(&mut rng);
+        let (a0, a1) = (rng.i32(), rng.i32());
         let m = build(&ops, a0, a1);
-        prop_assert!(m.verify().is_ok());
+        assert!(m.verify().is_ok(), "case {case}: {:?}", m.verify());
         // Text round trip.
         let text = m.display();
         let re = lpat::asm::parse_module("gen", &text).unwrap();
-        prop_assert_eq!(&text, &re.display());
+        assert_eq!(&text, &re.display(), "case {case}");
         // Binary round trip.
         let bytes = lpat::bytecode::write_module(&m);
         let rb = lpat::bytecode::read_module("gen", &bytes).unwrap();
-        prop_assert_eq!(&text, &rb.display());
+        assert_eq!(&text, &rb.display(), "case {case}");
     }
+}
 
-    #[test]
-    fn optimizers_preserve_observable_behavior(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        a0 in any::<i32>(),
-        a1 in any::<i32>(),
-    ) {
+#[test]
+fn optimizers_preserve_observable_behavior() {
+    let mut rng = Rng::new(0xB0B0_CAFE);
+    for case in 0..cases() {
+        let ops = gen_ops(&mut rng);
+        let (a0, a1) = (rng.i32(), rng.i32());
         let m = build(&ops, a0, a1);
         let before = observe(&m);
         let mut o = m.clone();
         lpat::transform::function_pipeline().run(&mut o);
-        prop_assert!(o.verify().is_ok(), "{:?}", o.verify());
+        assert!(o.verify().is_ok(), "case {case}: {:?}", o.verify());
         // Division/remainder by zero is *undefined behavior* in the IR
         // (as in C and in LLVM itself); the VM traps as a sanitizer
         // courtesy. Optimizers may therefore delete an unused trapping
         // division — so when the baseline execution hits UB, any outcome
         // is acceptable for the optimized program.
         if before != Err("div0") {
-            prop_assert_eq!(&before, &observe(&o), "function pipeline");
+            assert_eq!(before, observe(&o), "case {case}: function pipeline");
         }
         lpat::transform::link_time_pipeline().run(&mut o);
-        prop_assert!(o.verify().is_ok());
+        assert!(o.verify().is_ok(), "case {case}");
         if before != Err("div0") {
-            prop_assert_eq!(&before, &observe(&o), "link-time pipeline");
+            assert_eq!(before, observe(&o), "case {case}: link-time pipeline");
         }
     }
+}
 
-    #[test]
-    fn constant_folding_matches_interpreter(
-        op in prop::sample::select(&BinOp::ALL[..]),
-        kind in prop::sample::select(&IntKind::ALL[..]),
-        x in any::<i64>(),
-        y in any::<i64>(),
-    ) {
-        use lpat::core::fold::fold_bin;
-        use lpat::core::Const;
-        let a = Const::Int { kind, value: kind.canonicalize(x) };
-        let b = Const::Int { kind, value: kind.canonicalize(y) };
+#[test]
+fn constant_folding_matches_interpreter() {
+    use lpat::core::fold::fold_bin;
+    use lpat::core::Const;
+    let mut rng = Rng::new(0xF01D_0101);
+    for case in 0..cases() * 4 {
+        let op = *rng.pick(&BinOp::ALL[..]);
+        let kind = *rng.pick(&IntKind::ALL[..]);
+        let (x, y) = (rng.i64(), rng.i64());
+        let a = Const::Int {
+            kind,
+            value: kind.canonicalize(x),
+        };
+        let b = Const::Int {
+            kind,
+            value: kind.canonicalize(y),
+        };
         let mut pool = lpat::core::ConstPool::new();
         let folded = fold_bin(&mut pool, op, &a, &b);
         // Interpreter result via a one-instruction program.
@@ -160,26 +194,31 @@ proptest! {
         let r = bl.bin(op, Value::Arg(0), Value::Arg(1));
         bl.ret(Some(r));
         let mut vm = Vm::new(&m, VmOptions::default()).unwrap();
-        let exec = vm.run_function(
-            f,
-            vec![VmValue::int(kind, x), VmValue::int(kind, y)],
-        );
+        let exec = vm.run_function(f, vec![VmValue::int(kind, x), VmValue::int(kind, y)]);
         match (folded, exec) {
             (Some(Const::Int { value, .. }), Ok(Some(v))) => {
-                prop_assert_eq!(Some(value), v.as_i64(), "{:?} {} {:?}", a, op.name(), b);
+                assert_eq!(
+                    Some(value),
+                    v.as_i64(),
+                    "case {case}: {:?} {} {:?}",
+                    a,
+                    op.name(),
+                    b
+                );
             }
             (None, Err(_)) => {} // div/rem by zero: not folded, traps
-            (fold, run) => prop_assert!(false, "fold {fold:?} vs run {run:?}"),
+            (fold, run) => panic!("case {case}: fold {fold:?} vs run {run:?}"),
         }
     }
+}
 
-    #[test]
-    fn type_display_parses_back(
-        depth in 0u8..4,
-        widths in prop::collection::vec(0usize..4, 1..4),
-        seed in any::<u32>(),
-    ) {
+#[test]
+fn type_display_parses_back() {
+    let mut rng = Rng::new(0x7E57_7E57);
+    for case in 0..cases() {
         // Random nested types built from the four derived constructors.
+        let depth = rng.usize(4);
+        let seed = rng.next() as u32;
         let mut m = Module::new("t");
         let mut ty = match seed % 5 {
             0 => m.types.i8(),
@@ -188,10 +227,11 @@ proptest! {
             3 => m.types.f64(),
             _ => m.types.bool_(),
         };
-        for (i, w) in widths.iter().enumerate().take(depth as usize) {
+        for i in 0..depth {
+            let w = rng.usize(4);
             ty = match (seed as usize + i) % 3 {
                 0 => m.types.ptr(ty),
-                1 => m.types.array(ty, *w as u64 + 1),
+                1 => m.types.array(ty, w as u64 + 1),
                 _ => {
                     let fields = vec![ty; w + 1];
                     m.types.struct_lit(fields)
@@ -203,6 +243,6 @@ proptest! {
         m.add_function("f", &[pty], m.types.void(), false, Linkage::External);
         let text = m.display();
         let re = lpat::asm::parse_module("t", &text).unwrap();
-        prop_assert_eq!(text, re.display());
+        assert_eq!(text, re.display(), "case {case}");
     }
 }
