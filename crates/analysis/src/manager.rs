@@ -182,6 +182,19 @@ impl FuncAnalyses {
         }
     }
 
+    /// Drop every cached entry of this slot, counting invalidations.
+    ///
+    /// Used when a pass faults and the function is rolled back to its
+    /// pre-pass snapshot: entries computed *during* the pass are stamped
+    /// with version numbers the restored function will reach again later
+    /// (the snapshot restores the old counter), so keeping them would risk
+    /// an ABA mismatch — a stale analysis treated as fresh.
+    pub fn invalidate(&mut self) {
+        self.stats.invalidations += self.domtree.is_some() as u64 + self.loops.is_some() as u64;
+        self.domtree = None;
+        self.loops = None;
+    }
+
     /// Snapshot of this slot's cache counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -258,6 +271,20 @@ impl AnalysisManager {
             self.cg_stats.invalidations += dropped;
             self.funcs.clear();
             self.funcs.resize_with(num_funcs, FuncAnalyses::default);
+        }
+    }
+
+    /// Drop everything: the call graph and every per-function entry.
+    ///
+    /// The pass manager calls this after rolling a module back to a
+    /// pre-pass snapshot — the restored functions carry their old version
+    /// counters, so any entry cached during the faulted pass could later
+    /// collide with a re-used version number (see
+    /// [`FuncAnalyses::invalidate`]).
+    pub fn invalidate_all(&mut self) {
+        self.invalidate_call_graph();
+        for s in &mut self.funcs {
+            s.invalidate();
         }
     }
 

@@ -268,13 +268,22 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
+    /// Bytes left in the stream. The upper bound for any declared element
+    /// count — see [`Reader::bounded_count`].
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
     /// Read `n` raw bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError("unexpected end of stream".into()));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // checked_add: `pos + n` must not wrap on a hostile 64-bit length.
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| DecodeError("unexpected end of stream".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -303,7 +312,27 @@ impl<'a> Reader<'a> {
 
     /// Read a varint and narrow to `usize`.
     pub fn vusize(&mut self) -> Result<usize, DecodeError> {
-        Ok(self.varint()? as usize)
+        usize::try_from(self.varint()?)
+            .map_err(|_| DecodeError("length field exceeds usize".into()))
+    }
+
+    /// Read a declared element count and bound it against the remaining
+    /// input, given a minimum encoded size per element. A hostile header
+    /// can then never drive a preallocation past the input's own length —
+    /// `Vec::with_capacity(count)` stays proportional to real data.
+    pub fn bounded_count(
+        &mut self,
+        what: &str,
+        min_elem_bytes: usize,
+    ) -> Result<usize, DecodeError> {
+        let n = self.vusize()?;
+        if n > self.remaining() / min_elem_bytes.max(1) {
+            return Err(DecodeError(format!(
+                "declared {what} count {n} exceeds remaining input ({} bytes)",
+                self.remaining()
+            )));
+        }
+        Ok(n)
     }
 
     /// Read a length-prefixed UTF-8 string.

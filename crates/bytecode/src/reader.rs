@@ -7,13 +7,19 @@
 //! resolution over the instruction operand graph.
 
 use lpat_core::{
-    BlockId, Const, ConstId, FuncId, GlobalId, Inst, InstId, IntKind, Linkage, Module, Type,
-    TypeId, Value,
+    fault::FaultAction, BlockId, Const, ConstId, FuncId, GlobalId, Inst, InstId, IntKind, Linkage,
+    Module, Type, TypeId, Value,
 };
 
 use crate::format::{unpack_head, unzigzag, DecodeError, Op, Reader, MAGIC, VERSION};
 
 /// Deserialize a module from `buf`.
+///
+/// This is an ingestion boundary: `buf` may be arbitrary hostile bytes
+/// (the lifelong-compilation model ships bytecode between machines), so
+/// the reader must return `Err` — never panic, never let a declared
+/// length field drive allocation past the input's own size — for *any*
+/// input.
 ///
 /// # Errors
 ///
@@ -30,6 +36,13 @@ pub fn read_module(name: &str, buf: &[u8]) -> Result<Module, DecodeError> {
 ///
 /// Same as [`read_module`].
 pub fn read_module_counting(name: &str, buf: &[u8]) -> Result<(Module, usize), DecodeError> {
+    // Fault site on a no-panic path: panic/corrupt manifest as a decode
+    // error, exercising the caller's degraded-ingestion handling.
+    match lpat_core::faultpoint!("bytecode.read") {
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(_) => return Err(DecodeError("injected fault at site 'bytecode.read'".into())),
+        None => {}
+    }
     let mut r = Reader::new(buf);
     if r.bytes(4)? != MAGIC {
         return Err(DecodeError("bad magic".into()));
@@ -94,7 +107,7 @@ fn read_types(m: &mut Module, r: &mut Reader<'_>) -> Result<(), DecodeError> {
                 m.types.array(e, len)
             }
             2 => {
-                let k = r.vusize()?;
+                let k = r.bounded_count("struct field", 1)?;
                 let mut fields = Vec::with_capacity(k);
                 for _ in 0..k {
                     let f = r.vusize()?;
@@ -104,7 +117,7 @@ fn read_types(m: &mut Module, r: &mut Reader<'_>) -> Result<(), DecodeError> {
             }
             3 => {
                 let name = r.string()?;
-                let k = r.vusize()?;
+                let k = r.bounded_count("struct field", 1)?;
                 let mut fields = Vec::with_capacity(k);
                 for _ in 0..k {
                     fields.push(r.vusize()?);
@@ -115,7 +128,7 @@ fn read_types(m: &mut Module, r: &mut Reader<'_>) -> Result<(), DecodeError> {
             }
             4 => {
                 let ret = r.vusize()?;
-                let k = r.vusize()?;
+                let k = r.bounded_count("function parameter", 1)?;
                 let mut params = Vec::with_capacity(k);
                 for _ in 0..k {
                     let p = r.vusize()?;
@@ -233,7 +246,7 @@ fn read_consts(m: &mut Module, r: &mut Reader<'_>) -> Result<(), DecodeError> {
             6 => Const::Zero(ty_at(m, r.vusize()?)?),
             7 => {
                 let ty = ty_at(m, r.vusize()?)?;
-                let k = r.vusize()?;
+                let k = r.bounded_count("array element", 1)?;
                 let mut elems = Vec::with_capacity(k);
                 for _ in 0..k {
                     let e = r.vusize()?;
@@ -246,7 +259,7 @@ fn read_consts(m: &mut Module, r: &mut Reader<'_>) -> Result<(), DecodeError> {
             }
             8 => {
                 let ty = ty_at(m, r.vusize()?)?;
-                let k = r.vusize()?;
+                let k = r.bounded_count("struct field", 1)?;
                 let mut fields = Vec::with_capacity(k);
                 for _ in 0..k {
                     let e = r.vusize()?;
@@ -284,19 +297,32 @@ fn read_consts(m: &mut Module, r: &mut Reader<'_>) -> Result<(), DecodeError> {
 }
 
 /// Decode a tagged valnum relative to instruction index `cur`.
-fn decode_value(m: &Module, cur: usize, n_insts: usize, v: u64) -> Result<Value, DecodeError> {
+fn decode_value(
+    m: &Module,
+    cur: usize,
+    n_insts: usize,
+    n_params: usize,
+    v: u64,
+) -> Result<Value, DecodeError> {
     match v & 3 {
         0 => {
             let rel = unzigzag(v >> 2);
-            let def = cur as i64 - rel;
-            if def < 0 || def as usize >= n_insts {
-                return Err(DecodeError(format!(
-                    "instruction reference {def} out of range"
-                )));
-            }
+            // checked_sub: `rel` may be i64::MIN on hostile input.
+            let def = (cur as i64)
+                .checked_sub(rel)
+                .filter(|&d| d >= 0 && (d as usize) < n_insts)
+                .ok_or_else(|| DecodeError(format!("instruction reference {rel} out of range")))?;
             Ok(Value::Inst(InstId::from_index(def as usize)))
         }
-        1 => Ok(Value::Arg((v >> 2) as u32)),
+        1 => {
+            let a = v >> 2;
+            if a >= n_params as u64 {
+                return Err(DecodeError(format!(
+                    "argument reference {a} out of range ({n_params} parameters)"
+                )));
+            }
+            Ok(Value::Arg(a as u32))
+        }
         2 => {
             let c = (v >> 2) as usize;
             if c >= m.consts.len() {
@@ -309,28 +335,32 @@ fn decode_value(m: &Module, cur: usize, n_insts: usize, v: u64) -> Result<Value,
 }
 
 fn read_body(m: &mut Module, fid: FuncId, r: &mut Reader<'_>) -> Result<(), DecodeError> {
-    let n_blocks = r.vusize()?;
+    let n_params = m.func(fid).params().len();
+    // Every block costs at least its length varint, every instruction at
+    // least its 4-byte head word — so both counts are bounded by the
+    // remaining input and a hostile header cannot force huge allocation.
+    let n_blocks = r.bounded_count("block", 1)?;
     // First read the raw block structure so the total instruction count is
     // known before decoding operands (relative references need it).
     let mut block_lens = Vec::with_capacity(n_blocks);
-    let _raw: Vec<(Op, u8, u32, u32)> = Vec::new();
     // We must interleave: instruction extended data follows each head word,
     // so decode in one pass but defer range checks on forward refs by using
     // a provisional (large) count and re-checking after.
     let mut insts: Vec<Inst> = Vec::new();
     let mut declared: Vec<Option<TypeId>> = Vec::new();
     for _ in 0..n_blocks {
-        let len = r.vusize()?;
+        let len = r.bounded_count("instruction", 4)?;
         block_lens.push(len);
         for _ in 0..len {
             let cur = insts.len();
-            let (inst, dec) = read_inst(m, r, cur)?;
+            let (inst, dec) = read_inst(m, r, cur, n_blocks, n_params)?;
             insts.push(inst);
             declared.push(dec);
         }
     }
     let n_insts = insts.len();
-    // Validate instruction and block references now that totals are known.
+    // Validate instruction references now that the total is known (block
+    // targets were already checked against `n_blocks` during decoding).
     for (i, inst) in insts.iter().enumerate() {
         let mut bad = None;
         inst.for_each_operand(|v| {
@@ -345,14 +375,6 @@ fn read_body(m: &mut Module, fid: FuncId, r: &mut Reader<'_>) -> Result<(), Deco
                 "instruction {i} references out-of-range %t{b}"
             )));
         }
-        for s in inst.successors() {
-            if s.index() >= n_blocks {
-                return Err(DecodeError(format!(
-                    "branch to missing block {}",
-                    s.index()
-                )));
-            }
-        }
     }
     resolve_types(m, fid, &insts, &mut declared)?;
     // Materialize.
@@ -361,8 +383,11 @@ fn read_body(m: &mut Module, fid: FuncId, r: &mut Reader<'_>) -> Result<(), Deco
     for &len in &block_lens {
         let b = f.add_block();
         for _ in 0..len {
-            let (inst, ty) = it.next().expect("counted above");
-            f.append_inst(b, inst, ty.expect("resolved"));
+            let (inst, ty) = it
+                .next()
+                .ok_or_else(|| DecodeError("instruction count mismatch".into()))?;
+            let ty = ty.ok_or_else(|| DecodeError("unresolved instruction type".into()))?;
+            f.append_inst(b, inst, ty);
         }
     }
     Ok(())
@@ -374,13 +399,22 @@ fn read_inst(
     m: &mut Module,
     r: &mut Reader<'_>,
     cur: usize,
+    n_blocks: usize,
+    n_params: usize,
 ) -> Result<(Inst, Option<TypeId>), DecodeError> {
     let (opb, fmt, a, b) = unpack_head(r.u32()?);
     let op = Op::from_u8(opb).ok_or_else(|| DecodeError(format!("bad opcode {opb}")))?;
+    // Block targets are validated against the block count *before* the
+    // index narrows to the id's u32 (a huge varint must not wrap into a
+    // valid-looking target).
+    let blk = |i: usize| -> Result<BlockId, DecodeError> {
+        if i >= n_blocks {
+            return Err(DecodeError(format!("branch to missing block {i}")));
+        }
+        Ok(BlockId::from_index(i))
+    };
     // Operand fetch: inline from fields when fmt == 0, else trailing
     // varints in field order.
-    let big = usize::MAX; // placeholder: forward refs checked later
-    let _ = big;
     let mut inline = [a as u64, b as u64];
     let mut idx = 0usize;
     let mut operand = |r: &mut Reader<'_>| -> Result<u64, DecodeError> {
@@ -396,7 +430,7 @@ fn read_inst(
     };
     // `decode_value` can't range-check forward refs yet, so pass a large
     // provisional instruction count; `read_body` re-validates.
-    let val = |m: &Module, v: u64| decode_value(m, cur, usize::MAX / 2, v);
+    let val = |m: &Module, v: u64| decode_value(m, cur, usize::MAX / 2, n_params, v);
     let ty_field = |m: &Module, v: u64| ty_at(m, v as usize);
     Ok(match op {
         Op::RetVoid => (Inst::Ret(None), None),
@@ -406,7 +440,7 @@ fn read_inst(
         }
         Op::Br => {
             let t = operand(r)?;
-            (Inst::Br(BlockId::from_index(t as usize)), None)
+            (Inst::Br(blk(t as usize)?), None)
         }
         Op::CondBr => {
             let cond = operand(r)?;
@@ -416,8 +450,8 @@ fn read_inst(
             (
                 Inst::CondBr {
                     cond,
-                    then_bb: BlockId::from_index(t),
-                    else_bb: BlockId::from_index(e),
+                    then_bb: blk(t)?,
+                    else_bb: blk(e)?,
                 },
                 None,
             )
@@ -425,15 +459,15 @@ fn read_inst(
         Op::Switch => {
             let v = r.varint()?;
             let v = val(m, v)?;
-            let default = BlockId::from_index(r.vusize()?);
-            let k = r.vusize()?;
+            let default = blk(r.vusize()?)?;
+            let k = r.bounded_count("switch case", 2)?;
             let mut cases = Vec::with_capacity(k);
             for _ in 0..k {
                 let c = r.vusize()?;
                 if c >= m.consts.len() {
                     return Err(DecodeError("switch case constant out of range".into()));
                 }
-                let b = BlockId::from_index(r.vusize()?);
+                let b = blk(r.vusize()?)?;
                 cases.push((ConstId::from_index(c), b));
             }
             (
@@ -448,14 +482,14 @@ fn read_inst(
         Op::Invoke => {
             let callee = r.varint()?;
             let callee = val(m, callee)?;
-            let k = r.vusize()?;
+            let k = r.bounded_count("invoke argument", 1)?;
             let mut args = Vec::with_capacity(k);
             for _ in 0..k {
                 let a = r.varint()?;
                 args.push(val(m, a)?);
             }
-            let normal = BlockId::from_index(r.vusize()?);
-            let unwind = BlockId::from_index(r.vusize()?);
+            let normal = blk(r.vusize()?)?;
+            let unwind = blk(r.vusize()?)?;
             (
                 Inst::Invoke {
                     callee,
@@ -482,7 +516,9 @@ fn read_inst(
             let rr = operand(r)?;
             (
                 Inst::Bin {
-                    op: op.to_bin().unwrap(),
+                    op: op
+                        .to_bin()
+                        .ok_or_else(|| DecodeError(format!("opcode {opb} is not a binop")))?,
                     lhs: val(m, l)?,
                     rhs: val(m, rr)?,
                 },
@@ -494,7 +530,9 @@ fn read_inst(
             let rr = operand(r)?;
             (
                 Inst::Cmp {
-                    pred: op.to_pred().unwrap(),
+                    pred: op
+                        .to_pred()
+                        .ok_or_else(|| DecodeError(format!("opcode {opb} is not a setcc")))?,
                     lhs: val(m, l)?,
                     rhs: val(m, rr)?,
                 },
@@ -553,7 +591,7 @@ fn read_inst(
         Op::Gep => {
             let p = operand(r)?;
             let ptr = val(m, p)?;
-            let k = r.vusize()?;
+            let k = r.bounded_count("gep index", 1)?;
             let mut indices = Vec::with_capacity(k);
             for _ in 0..k {
                 let i = r.varint()?;
@@ -564,12 +602,12 @@ fn read_inst(
         Op::Phi => {
             let t = operand(r)?;
             let ty = ty_field(m, t)?;
-            let k = r.vusize()?;
+            let k = r.bounded_count("phi incoming", 2)?;
             let mut incoming = Vec::with_capacity(k);
             for _ in 0..k {
                 let v = r.varint()?;
                 let v = val(m, v)?;
-                let b = BlockId::from_index(r.vusize()?);
+                let b = blk(r.vusize()?)?;
                 incoming.push((v, b));
             }
             (Inst::Phi { incoming }, Some(ty))
@@ -577,7 +615,7 @@ fn read_inst(
         Op::Call => {
             let c = operand(r)?;
             let callee = val(m, c)?;
-            let k = r.vusize()?;
+            let k = r.bounded_count("call argument", 1)?;
             let mut args = Vec::with_capacity(k);
             for _ in 0..k {
                 let a = r.varint()?;
@@ -682,7 +720,11 @@ fn compute_type(
 ) -> Result<TypeId, DecodeError> {
     let vt = |m: &Module, v: &Value| -> Result<TypeId, DecodeError> {
         Ok(match v {
-            Value::Inst(d) => declared[d.index()].expect("dependency resolved first"),
+            Value::Inst(d) => declared
+                .get(d.index())
+                .copied()
+                .flatten()
+                .ok_or_else(|| DecodeError("operand type dependency unresolved".into()))?,
             Value::Arg(n) => *params
                 .get(*n as usize)
                 .ok_or_else(|| DecodeError("argument index out of range".into()))?,

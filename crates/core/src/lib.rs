@@ -55,6 +55,7 @@
 
 pub mod builder;
 pub mod constant;
+pub mod fault;
 pub mod fold;
 pub mod function;
 pub mod inst;
@@ -65,6 +66,7 @@ pub mod verify;
 
 pub use builder::FuncBuilder;
 pub use constant::{Const, ConstId, ConstPool, FuncId, GlobalId};
+pub use fault::{FaultAction, FaultPlan, FaultSpec};
 pub use function::{Function, InstData, Linkage};
 pub use inst::{BinOp, BlockId, CmpPred, Inst, InstId, Value};
 pub use module::{AddrTypeTable, Global, Module};

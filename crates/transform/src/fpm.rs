@@ -24,15 +24,33 @@
 //! and the master pools grow in function order — so the result is
 //! byte-identical for any `--jobs` value (`jobs = 1` uses the same
 //! protocol, not a separate code path).
+//!
+//! # Fault isolation
+//!
+//! Each per-function unit is its own isolation domain: the worker
+//! snapshots the function (and the pool lengths) before every sub-pass
+//! and runs it under `catch_unwind`; a panic or blown budget restores the
+//! snapshot, truncates the pools, invalidates the function's analysis
+//! slot, and records a [`PassFault`] — the other functions and the rest
+//! of the pipeline are unaffected. Injected faults stay deterministic
+//! under parallelism because the adapter *reserves* hit ordinals per
+//! sub-pass up front ([`lpat_core::fault::FaultPlan::reserve`]) and each
+//! unit evaluates `base + function_index`, so fault placement depends
+//! only on function order, never on thread scheduling.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use lpat_analysis::{CacheStats, FuncAnalyses, PreservedAnalyses};
+use lpat_core::fault::{FaultAction, FaultPlan};
 use lpat_core::{
     AddrTypeTable, Const, ConstId, ConstPool, Function, Module, Type, TypeCtx, TypeId, Value,
 };
 
-use crate::pm::{FuncTiming, ModulePass, PassContext, PassDetails, PassEffect, PassExecution};
+use crate::pm::{
+    panic_message, FaultCause, FuncTiming, ModulePass, PassContext, PassDetails, PassEffect,
+    PassExecution, PassFault,
+};
 
 /// Everything a function-local transformation may read or write: the
 /// function body, the module's interning pools, the address-type side
@@ -110,6 +128,19 @@ struct FuncResult {
     new_consts: Vec<Const>,
     /// Per pass: `(duration, changed, cache delta, call graph preserved)`.
     rows: Vec<(Duration, bool, CacheStats, bool)>,
+    /// Isolated faults: `(sub-pass index, cause, elapsed)`.
+    faults: Vec<(usize, FaultCause, Duration)>,
+}
+
+/// Fault-isolation inputs each per-function unit runs under.
+#[derive(Clone, Copy)]
+struct UnitExec<'a> {
+    plan: Option<&'a FaultPlan>,
+    /// Reserved 1-based hit-ordinal base per sub-pass (aligned with the
+    /// pass list; empty when no plan is active).
+    bases: &'a [u64],
+    budget: Option<Duration>,
+    degrade: bool,
 }
 
 /// Runs a pipeline of [`FunctionPass`]es over every function of a module,
@@ -174,6 +205,26 @@ impl ModulePass for FunctionPassAdapter {
             work[i % jobs].push((i, f, fa));
         }
 
+        // Reserve a contiguous hit-ordinal block per sub-pass *before*
+        // spawning workers: unit `idx` of pass `pi` always evaluates
+        // ordinal `bases[pi] + idx`, so which unit a `@N` spec hits is a
+        // pure function of function order — identical at any job count.
+        let plan = cx.faults.clone();
+        let bases: Vec<u64> = match plan.as_deref() {
+            Some(pl) => self
+                .passes
+                .iter()
+                .map(|p| pl.reserve(p.name(), num as u64))
+                .collect(),
+            None => Vec::new(),
+        };
+        let exec = UnitExec {
+            plan: plan.as_deref(),
+            bases: &bases,
+            budget: cx.budget,
+            degrade: cx.degrade,
+        };
+
         let passes = &self.passes;
         let info_ref = &info;
         let types_snapshot: &TypeCtx = &*types;
@@ -197,6 +248,7 @@ impl ModulePass for FunctionPassAdapter {
                                 idx,
                                 ty_base,
                                 c_base,
+                                exec,
                             ));
                         }
                         out
@@ -205,7 +257,12 @@ impl ModulePass for FunctionPassAdapter {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("function-pass worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Only reachable in strict mode (degrade catches unit
+                    // panics in the worker); re-raise the original payload.
+                    Err(payload) => resume_unwind(payload),
+                })
                 .collect()
         });
 
@@ -238,6 +295,7 @@ impl ModulePass for FunctionPassAdapter {
             })
             .collect();
         let mut functions = Vec::new();
+        let mut faults = Vec::new();
         let mut any_changed = false;
         let mut cg_preserved = true;
         for (idx, fr) in per_func.iter().enumerate() {
@@ -252,6 +310,14 @@ impl ModulePass for FunctionPassAdapter {
                 fchanged |= *ch;
                 cg_preserved &= *cg;
             }
+            for (pi, cause, elapsed) in &fr.faults {
+                faults.push(PassFault {
+                    pass: passes[*pi].name().to_string(),
+                    function: Some(names[idx].clone()),
+                    cause: cause.clone(),
+                    elapsed: *elapsed,
+                });
+            }
             any_changed |= fchanged;
             functions.push(FuncTiming {
                 name: names[idx].clone(),
@@ -262,7 +328,11 @@ impl ModulePass for FunctionPassAdapter {
         for (pi, p) in passes.iter().enumerate() {
             sub[pi].stats = p.stats();
         }
-        self.details = PassDetails { sub, functions };
+        self.details = PassDetails {
+            sub,
+            functions,
+            faults,
+        };
 
         // `cfg: true` here means "the manager's per-function slots are
         // already consistent": each slot was updated (re-stamped or
@@ -287,6 +357,9 @@ impl ModulePass for FunctionPassAdapter {
 
 /// Run the whole pass pipeline over one function against a worker's pool
 /// snapshot, capture the pool overlay it created, and reset the snapshot.
+/// Each sub-pass is an isolation domain: in degrade mode a panic or blown
+/// budget rolls the function (and the pool tail the pass added) back and
+/// records a fault row instead of unwinding the worker.
 #[allow(clippy::too_many_arguments)]
 fn run_pipeline_on(
     passes: &[Box<dyn FunctionPass>],
@@ -298,28 +371,69 @@ fn run_pipeline_on(
     idx: usize,
     ty_base: usize,
     c_base: usize,
+    exec: UnitExec<'_>,
 ) -> FuncResult {
     let mut rows = Vec::with_capacity(passes.len());
-    for p in passes {
+    let mut faults = Vec::new();
+    for (pi, p) in passes.iter().enumerate() {
+        // `bases` is only indexed under an active plan, where it is
+        // aligned with `passes`.
+        let injected = exec
+            .plan
+            .and_then(|pl| pl.fires_at(p.name(), exec.bases[pi] + idx as u64));
         let s0 = fa.stats();
+        let snapshot = exec.degrade.then(|| f.clone());
+        let ty_len = types.len();
+        let c_len = consts.len();
         let t0 = Instant::now();
-        let eff = {
-            let mut unit = FuncUnit {
-                types,
-                consts,
-                func: f,
-                info,
-                analyses: fa,
-            };
-            p.run_on(&mut unit)
+        let outcome = if exec.degrade {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_unit(p.as_ref(), types, consts, f, info, fa, injected)
+            }))
+        } else {
+            Ok(run_unit(p.as_ref(), types, consts, f, info, fa, injected))
         };
-        fa.apply(&eff.preserved, f.version());
-        rows.push((
-            t0.elapsed(),
-            eff.changed,
-            fa.stats() - s0,
-            eff.preserved.call_graph || !eff.changed,
-        ));
+        let elapsed = t0.elapsed();
+        let mut fault = None;
+        match outcome {
+            Ok(eff) => {
+                if let Some(budget) = exec.budget {
+                    if elapsed > budget {
+                        if exec.degrade {
+                            fault = Some(FaultCause::Timeout { budget });
+                        } else {
+                            panic!(
+                                "pass '{}' exceeded its {budget:.1?} budget on @{} \
+                                 (ran {elapsed:.1?})",
+                                p.name(),
+                                f.name,
+                            );
+                        }
+                    }
+                }
+                if fault.is_none() {
+                    fa.apply(&eff.preserved, f.version());
+                    rows.push((
+                        elapsed,
+                        eff.changed,
+                        fa.stats() - s0,
+                        eff.preserved.call_graph || !eff.changed,
+                    ));
+                }
+            }
+            Err(payload) => fault = Some(FaultCause::Panic(panic_message(payload.as_ref()))),
+        }
+        if let Some(cause) = fault {
+            *f = snapshot.expect("degrade mode always snapshots");
+            types.truncate(ty_len);
+            consts.truncate(c_len);
+            // The restored function reuses version numbers the faulted
+            // pass already bumped past; cached entries stamped during it
+            // could ABA-collide with future versions. Drop the slot.
+            fa.invalidate();
+            rows.push((elapsed, false, fa.stats() - s0, true));
+            faults.push((pi, cause, elapsed));
+        }
     }
     let new_types: Vec<Type> = (ty_base..types.len())
         .map(|i| types.ty(TypeId::from_index(i)).clone())
@@ -334,7 +448,41 @@ fn run_pipeline_on(
         new_types,
         new_consts,
         rows,
+        faults,
     }
+}
+
+/// Execute one sub-pass on one function, manifesting any injected fault:
+/// `panic` panics here (inside the unit's `catch_unwind`), `delay` sleeps
+/// inside the timed region so budgets see it, and `corrupt` leaves a
+/// terminator-less block behind *after* the pass — a simulated miscompile
+/// for module-level `--verify-each` to catch.
+fn run_unit(
+    p: &dyn FunctionPass,
+    types: &mut TypeCtx,
+    consts: &mut ConstPool,
+    f: &mut Function,
+    info: &AddrTypeTable,
+    fa: &mut FuncAnalyses,
+    injected: Option<FaultAction>,
+) -> PassEffect {
+    match injected {
+        Some(FaultAction::Panic) => panic!("injected fault at pass '{}'", p.name()),
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(FaultAction::Corrupt) | None => {}
+    }
+    let mut unit = FuncUnit {
+        types,
+        consts,
+        func: f,
+        info,
+        analyses: fa,
+    };
+    let eff = p.run_on(&mut unit);
+    if injected == Some(FaultAction::Corrupt) && !f.is_declaration() {
+        f.add_block();
+    }
+    eff
 }
 
 #[inline]

@@ -43,6 +43,6 @@ pub mod util;
 pub use fpm::{FuncUnit, FunctionPass, FunctionPassAdapter};
 pub use pipelines::{function_pipeline, link_time_pipeline};
 pub use pm::{
-    default_jobs, FuncTiming, ModulePass, PassContext, PassDetails, PassEffect, PassExecution,
-    PassManager, PipelineReport,
+    default_jobs, FaultCause, FuncTiming, ModulePass, PassContext, PassDetails, PassEffect,
+    PassExecution, PassFault, PassManager, PipelineReport,
 };

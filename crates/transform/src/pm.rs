@@ -15,11 +15,30 @@
 //! The manager records a structured [`PipelineReport`] — per-pass and
 //! per-function wall-clock, change flags, and analysis cache traffic —
 //! which regenerates the paper's Table 2 and backs `lpatc --time-passes`.
+//!
+//! # Fault isolation
+//!
+//! The lifelong-optimization model (paper §3.6) runs the optimizer
+//! against live programs, so a crashing or runaway pass must degrade
+//! gracefully rather than take the process down. By default every module
+//! pass executes under [`std::panic::catch_unwind`] against a snapshot of
+//! the module; on a panic, a `--verify-each` failure, or a blown per-pass
+//! wall-clock budget the snapshot is restored, every cached analysis is
+//! invalidated (the restored functions reuse version numbers, so stale
+//! entries could otherwise ABA-collide), a structured [`PassFault`] is
+//! appended to the report, and the pipeline continues with the remaining
+//! passes. Strict mode ([`PassManager::degrade`]` = false`,
+//! `--no-degrade`) propagates the failure instead. Deterministic fault
+//! *injection* — [`lpat_core::fault::FaultPlan`] — drives the whole
+//! machinery from tests and from `LPAT_FAULTS`/`--inject-faults`.
 
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lpat_analysis::{AnalysisManager, CacheStats, PreservedAnalyses};
+use lpat_core::fault::{self, FaultAction, FaultPlan};
 use lpat_core::Module;
 
 /// What a pass did: whether it changed the module, and which analysis
@@ -60,14 +79,24 @@ impl PassEffect {
     }
 }
 
-/// Shared state threaded through a pipeline run: the analysis cache and
-/// the parallelism budget for function-pass stages.
+/// Shared state threaded through a pipeline run: the analysis cache, the
+/// parallelism budget for function-pass stages, and the fault-isolation
+/// policy the managers apply.
 pub struct PassContext {
     /// The analysis cache. Passes request analyses through this instead of
     /// recomputing them.
     pub am: AnalysisManager,
     /// Worker-thread budget for the function-pass executor (`>= 1`).
     pub jobs: usize,
+    /// Active fault-injection plan, if any. [`PassManager::run_with`]
+    /// resolves this from the manager's own plan or the process-wide one.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Per-pass (and per-function-unit) wall-clock budget. A pass that
+    /// exceeds it is rolled back with [`FaultCause::Timeout`].
+    pub budget: Option<Duration>,
+    /// Degrade mode: isolate faults via snapshot + rollback and continue
+    /// (`true`, the default), or propagate them (`false`, `--no-degrade`).
+    pub degrade: bool,
 }
 
 impl PassContext {
@@ -77,6 +106,9 @@ impl PassContext {
         PassContext {
             am: AnalysisManager::new(),
             jobs: jobs.unwrap_or_else(default_jobs).max(1),
+            faults: None,
+            budget: None,
+            degrade: true,
         }
     }
 }
@@ -119,6 +151,60 @@ pub trait ModulePass {
     }
 }
 
+/// Why a pass (or one per-function unit of a function-pass stage) was
+/// rolled back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The pass panicked; the payload message is captured.
+    Panic(String),
+    /// `--verify-each` found the module broken after the pass.
+    VerifyFailed(String),
+    /// The pass exceeded the per-pass wall-clock budget.
+    Timeout {
+        /// The budget that was exceeded.
+        budget: Duration,
+    },
+}
+
+impl std::fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultCause::Panic(msg) => write!(f, "panic: {msg}"),
+            FaultCause::VerifyFailed(msg) => write!(f, "verifier: {msg}"),
+            FaultCause::Timeout { budget } => write!(f, "exceeded {budget:.1?} budget"),
+        }
+    }
+}
+
+/// Record of one isolated fault: the pass was rolled back and the
+/// pipeline continued without its effect.
+#[derive(Clone, Debug)]
+pub struct PassFault {
+    /// Name of the faulting pass.
+    pub pass: String,
+    /// The function whose unit faulted, for per-function stages
+    /// (`None` for module-level faults).
+    pub function: Option<String>,
+    /// What went wrong.
+    pub cause: FaultCause,
+    /// Wall-clock spent in the pass before the rollback.
+    pub elapsed: Duration,
+}
+
+impl std::fmt::Display for PassFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pass '{}'", self.pass)?;
+        if let Some(func) = &self.function {
+            write!(f, " on @{func}")?;
+        }
+        write!(
+            f,
+            ": {} (rolled back after {:.1?})",
+            self.cause, self.elapsed
+        )
+    }
+}
+
 /// Nested execution details a composite pass hands to the manager.
 #[derive(Clone, Debug, Default)]
 pub struct PassDetails {
@@ -126,6 +212,8 @@ pub struct PassDetails {
     pub sub: Vec<PassExecution>,
     /// Per-function rows (durations summed across sub-passes).
     pub functions: Vec<FuncTiming>,
+    /// Per-function-unit faults isolated inside the composite pass.
+    pub faults: Vec<PassFault>,
 }
 
 /// Wall-clock attributed to one function by a function-pass stage.
@@ -169,12 +257,22 @@ pub struct PipelineReport {
     pub cache: CacheStats,
     /// Elapsed wall-clock of the whole pipeline.
     pub total: Duration,
+    /// Faults isolated during the run (empty on a clean run). Each one
+    /// means a pass was rolled back and the pipeline degraded to the
+    /// remaining passes.
+    pub faults: Vec<PassFault>,
 }
 
 impl PipelineReport {
     /// Whether any pass reported a change.
     pub fn changed(&self) -> bool {
         self.passes.iter().any(|p| p.changed)
+    }
+
+    /// Whether any pass was rolled back — the output is valid but some
+    /// optimization was skipped.
+    pub fn degraded(&self) -> bool {
+        !self.faults.is_empty()
     }
 
     /// Render the report as the `--time-passes` table: one row per pass
@@ -199,6 +297,12 @@ impl PipelineReport {
             self.cache.misses,
             self.cache.invalidations,
         );
+        if self.degraded() {
+            let _ = writeln!(out, "faults ({} isolated):", self.faults.len());
+            for f in &self.faults {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
         out
     }
 }
@@ -222,16 +326,40 @@ fn render_row(out: &mut String, p: &PassExecution, depth: usize) {
 }
 
 /// An ordered pipeline of module passes.
-#[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn ModulePass>>,
-    /// When set, the module is verified after every pass and the manager
-    /// panics on the first verifier error — type mismatches are useful for
+    /// When set, the module is verified after every pass. In degrade mode
+    /// a verifier error rolls the pass back ([`FaultCause::VerifyFailed`]);
+    /// in strict mode the manager panics — type mismatches are useful for
     /// detecting optimizer bugs (paper §2.2).
     pub verify_each: bool,
     /// Worker-thread budget for function-pass stages. `None` resolves via
     /// `LPAT_JOBS` / available parallelism at run time.
     pub jobs: Option<usize>,
+    /// Degrade mode (default `true`): faulting passes are rolled back from
+    /// a snapshot and the pipeline continues. `false` (`--no-degrade`)
+    /// propagates panics and aborts on verifier/budget failures instead,
+    /// and skips the snapshot cost.
+    pub degrade: bool,
+    /// Per-pass wall-clock budget. `None` resolves `LPAT_PASS_BUDGET_MS`
+    /// at run time (unset ⇒ no budget).
+    pub budget: Option<Duration>,
+    /// Explicit fault-injection plan. `None` resolves the process-wide
+    /// plan ([`fault::global`], i.e. `--inject-faults` / `LPAT_FAULTS`).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: false,
+            jobs: None,
+            degrade: true,
+            budget: None,
+            faults: None,
+        }
+    }
 }
 
 impl PassManager {
@@ -250,7 +378,9 @@ impl PassManager {
     ///
     /// # Panics
     ///
-    /// Panics if `verify_each` is set and a pass breaks the module.
+    /// In strict mode (`degrade = false`): propagates pass panics and
+    /// panics on verifier or budget failures. In degrade mode faults are
+    /// isolated and reported instead.
     pub fn run(&mut self, m: &mut Module) -> PipelineReport {
         let mut cx = PassContext::new(self.jobs);
         self.run_with(m, &mut cx)
@@ -260,32 +390,103 @@ impl PassManager {
     /// caches can persist across pipelines (the VM's reoptimizer reruns
     /// pipelines over its lifetime).
     pub fn run_with(&mut self, m: &mut Module, cx: &mut PassContext) -> PipelineReport {
+        cx.degrade = self.degrade;
+        cx.budget = self.budget.or_else(env_budget);
+        cx.faults = self.faults.clone().or_else(fault::global);
         let run0 = Instant::now();
         let cache0 = cx.am.stats();
         let mut out = Vec::with_capacity(self.passes.len());
+        let mut faults = Vec::new();
         for p in &mut self.passes {
+            let name = p.name();
             let pass_cache0 = cx.am.stats();
+            // The rollback point. Strict mode skips the clone: a fault
+            // aborts the process anyway, so the module never survives it.
+            let snapshot = cx.degrade.then(|| m.clone());
+            let injected = cx.faults.as_deref().and_then(|pl| pl.next(name));
             let t0 = Instant::now();
-            let effect = p.run(m, cx);
+            let outcome = if cx.degrade {
+                catch_unwind(AssertUnwindSafe(|| run_pass(p.as_mut(), m, cx, injected)))
+            } else {
+                Ok(run_pass(p.as_mut(), m, cx, injected))
+            };
             let duration = t0.elapsed();
-            cx.am.apply(&effect.preserved, m.num_funcs());
-            if self.verify_each {
-                if let Err(errs) = m.verify() {
-                    panic!(
-                        "verifier failed after pass '{}':\n{}",
-                        p.name(),
-                        errs.iter()
-                            .map(|e| e.to_string())
-                            .collect::<Vec<_>>()
-                            .join("\n")
-                    );
+            let mut fault = None;
+            let mut changed = false;
+            match outcome {
+                Ok(effect) => {
+                    changed = effect.changed;
+                    cx.am.apply(&effect.preserved, m.num_funcs());
+                    if injected == Some(FaultAction::Corrupt) {
+                        // Simulate a miscompiling pass: break the module
+                        // *after* the pass so --verify-each has something
+                        // real to catch. Without --verify-each the damage
+                        // flows downstream — exactly the failure mode the
+                        // flag exists to detect.
+                        corrupt_module(m);
+                    }
+                    if self.verify_each {
+                        if let Err(errs) = m.verify() {
+                            let msg = errs
+                                .iter()
+                                .map(|e| e.to_string())
+                                .collect::<Vec<_>>()
+                                .join("; ");
+                            if cx.degrade {
+                                fault = Some(FaultCause::VerifyFailed(msg));
+                            } else {
+                                panic!("verifier failed after pass '{name}':\n{msg}");
+                            }
+                        }
+                    }
+                    if fault.is_none() {
+                        if let Some(budget) = cx.budget {
+                            if duration > budget {
+                                if cx.degrade {
+                                    fault = Some(FaultCause::Timeout { budget });
+                                } else {
+                                    panic!(
+                                        "pass '{name}' exceeded its {budget:.1?} budget \
+                                         (ran {duration:.1?})"
+                                    );
+                                }
+                            }
+                        }
+                    }
                 }
+                Err(payload) => fault = Some(FaultCause::Panic(panic_message(payload.as_ref()))),
             }
             let details = p.take_details();
+            if let Some(cause) = fault {
+                *m = snapshot.expect("degrade mode always snapshots");
+                // The restored functions reuse version numbers the faulted
+                // pass already bumped past, so any entry cached during it
+                // could ABA-collide with a future version. Drop everything.
+                cx.am.invalidate_all();
+                faults.push(PassFault {
+                    pass: name.to_string(),
+                    function: None,
+                    cause,
+                    elapsed: duration,
+                });
+                out.push(PassExecution {
+                    name,
+                    duration,
+                    changed: false,
+                    stats: "faulted; rolled back".to_string(),
+                    cache: cx.am.stats() - pass_cache0,
+                    sub: Vec::new(),
+                    functions: Vec::new(),
+                });
+                continue;
+            }
+            // Per-function units isolated inside a composite pass surface
+            // here; the stage itself completed.
+            faults.extend(details.faults);
             out.push(PassExecution {
-                name: p.name(),
+                name,
                 duration,
-                changed: effect.changed,
+                changed,
                 stats: p.stats(),
                 cache: cx.am.stats() - pass_cache0,
                 sub: details.sub,
@@ -296,8 +497,54 @@ impl PassManager {
             passes: out,
             cache: cx.am.stats() - cache0,
             total: run0.elapsed(),
+            faults,
         }
     }
+}
+
+/// Execute one pass, manifesting any injected fault first: `panic` panics
+/// here (inside the `catch_unwind`), `delay` sleeps inside the timed
+/// region so budgets see it. `corrupt` is handled by the caller after the
+/// pass runs.
+fn run_pass(
+    p: &mut dyn ModulePass,
+    m: &mut Module,
+    cx: &mut PassContext,
+    injected: Option<FaultAction>,
+) -> PassEffect {
+    match injected {
+        Some(FaultAction::Panic) => panic!("injected fault at pass '{}'", p.name()),
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(FaultAction::Corrupt) | None => {}
+    }
+    p.run(m, cx)
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Break the module in a way the verifier reliably flags: append an empty
+/// (terminator-less) block to the first defined function.
+fn corrupt_module(m: &mut Module) {
+    if let Some(id) = m.func_ids().find(|&id| !m.func(id).is_declaration()) {
+        m.func_mut(id).add_block();
+    }
+}
+
+/// The `LPAT_PASS_BUDGET_MS` environment fallback for [`PassManager::budget`].
+fn env_budget() -> Option<Duration> {
+    std::env::var("LPAT_PASS_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
 }
 
 /// Wrap a closure as a module pass (useful in tests and ad-hoc pipelines).

@@ -34,7 +34,10 @@ pub struct VmOptions {
     pub mem_limit: u32,
     /// Scripted input for `read_int`.
     pub input: VecDeque<i64>,
-    /// Call-stack depth limit.
+    /// Call-stack depth limit: deep recursion traps with
+    /// [`TrapKind::StackOverflow`] instead of overflowing the host stack
+    /// (the interpreter's call stack is heap-allocated, so the limit is a
+    /// policy bound, not a host constraint).
     pub max_stack: usize,
 }
 
@@ -45,7 +48,7 @@ impl Default for VmOptions {
             profile: false,
             mem_limit: 64 << 20,
             input: VecDeque::new(),
-            max_stack: 8192,
+            max_stack: 10_000,
         }
     }
 }
@@ -140,6 +143,25 @@ impl<'m> Vm<'m> {
 
     /// Serialize a constant of type `ty` into memory at `addr`.
     fn write_const(&mut self, addr: u32, ty: TypeId, c: ConstId) -> Result<(), ExecError> {
+        self.write_const_at(addr, ty, c, 0)
+    }
+
+    fn write_const_at(
+        &mut self,
+        addr: u32,
+        ty: TypeId,
+        c: ConstId,
+        depth: u32,
+    ) -> Result<(), ExecError> {
+        // This recursion runs on the host stack, so a deeply nested
+        // aggregate constant (possible in decoded-but-unverified modules)
+        // needs an explicit bound.
+        if depth > 512 {
+            return Err(ExecError::trap(
+                TrapKind::StackOverflow,
+                "constant nesting too deep",
+            ));
+        }
         match self.m.consts.get(c).clone() {
             Const::Zero(_) | Const::Undef(_) => {
                 let size = self.m.types.size_of(ty) as u32;
@@ -152,7 +174,7 @@ impl<'m> Vm<'m> {
                 };
                 let stride = self.m.types.size_of(elem_ty) as u32;
                 for (i, e) in elems.iter().enumerate() {
-                    self.write_const(addr + i as u32 * stride, elem_ty, *e)?;
+                    self.write_const_at(addr + i as u32 * stride, elem_ty, *e, depth + 1)?;
                 }
             }
             Const::Struct { fields, ty: sty } => {
@@ -162,7 +184,7 @@ impl<'m> Vm<'m> {
                 };
                 for (i, e) in fields.iter().enumerate() {
                     let off = self.m.types.field_offset(sty, i) as u32;
-                    self.write_const(addr + off, ftys[i], *e)?;
+                    self.write_const_at(addr + off, ftys[i], *e, depth + 1)?;
                 }
             }
             _ => {

@@ -37,6 +37,10 @@ pub use pgo::{reoptimize, PgoOptions, PgoReport};
 pub use profile::{form_trace, HotLoop, ProfileData};
 pub use value::VmValue;
 
+/// The VM's error type. `VmError::Trap { kind: TrapKind::StackOverflow }`
+/// is what deep recursion produces instead of a host stack overflow.
+pub type VmError = ExecError;
+
 #[cfg(test)]
 mod tests {
     use super::*;

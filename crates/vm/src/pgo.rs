@@ -12,12 +12,16 @@
 //!   successor of each block is its fall-through, improving the locality of
 //!   the native code a backend would emit.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use lpat_core::fault::FaultAction;
 use lpat_core::{BlockId, Const, FuncId, Inst, Module, Value};
 use lpat_transform::gvn::Gvn;
 use lpat_transform::inline::inline_site;
 use lpat_transform::scalar::{Dce, InstSimplify};
 use lpat_transform::simplifycfg::SimplifyCfg;
-use lpat_transform::{FunctionPassAdapter, PassManager, PipelineReport};
+use lpat_transform::{FaultCause, FunctionPassAdapter, PassFault, PassManager, PipelineReport};
 
 use crate::profile::ProfileData;
 
@@ -54,14 +58,57 @@ pub struct PgoReport {
     /// structured report the static pipelines and `lpatc --time-passes`
     /// produce.
     pub cleanup: PipelineReport,
+    /// Faults isolated during reoptimization: the hot-inlining stage's own
+    /// rollback plus anything the cleanup pipeline degraded on. The
+    /// reoptimizer runs against a *live* program, so a fault here must
+    /// leave the module untouched, never take the process down.
+    pub faults: Vec<PassFault>,
+}
+
+impl PgoReport {
+    /// Whether any reoptimization stage was rolled back.
+    pub fn degraded(&self) -> bool {
+        !self.faults.is_empty()
+    }
 }
 
 /// Apply profile-guided reoptimization to `m` using `profile`.
+///
+/// The hot-inlining stage is fault-isolated exactly like a module pass:
+/// it runs under `catch_unwind` against a snapshot (fault site
+/// `pgo-inline`), and on a panic the snapshot is restored and the fault is
+/// recorded in [`PgoReport::faults`] — layout still runs on the
+/// un-inlined module.
 pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> PgoReport {
-    let mut report = PgoReport {
-        inlined: inline_hot_sites(m, profile, opts),
-        ..PgoReport::default()
-    };
+    let mut report = PgoReport::default();
+    let snapshot = m.clone();
+    let injected = lpat_core::faultpoint!("pgo-inline");
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        match injected {
+            Some(FaultAction::Panic) => panic!("injected fault at site 'pgo-inline'"),
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Corrupt) | None => {}
+        }
+        inline_hot_sites(m, profile, opts)
+    }));
+    match outcome {
+        Ok(n) => report.inlined = n,
+        Err(payload) => {
+            *m = snapshot;
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            report.faults.push(PassFault {
+                pass: "pgo-inline".to_string(),
+                function: None,
+                cause: FaultCause::Panic(msg),
+                elapsed: t0.elapsed(),
+            });
+        }
+    }
     if report.inlined > 0 {
         // Clean up what hot inlining exposed before choosing a layout,
         // through the instrumented pass framework.
@@ -74,6 +121,7 @@ pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> P
                 .add(Dce::default()),
         );
         report.cleanup = pm.run(m);
+        report.faults.extend(report.cleanup.faults.iter().cloned());
     }
     report.relaid = layout_by_profile(m, profile);
     report

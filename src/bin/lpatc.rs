@@ -4,9 +4,10 @@
 //! lpatc compile <in.mc> [-o out.bc] [--emit text|bc] [-O]   miniC -> IR
 //! lpatc opt     <in>    [-o out]    [--emit text|bc] [--link-pipeline]
 //!               [--jobs N] [--verify-each] [--time-passes]
+//!               [--inject-faults PLAN] [--no-degrade] [--pass-budget-ms N]
 //! lpatc link    <in...> -o out      [--emit text|bc] [-O]
 //! lpatc dis     <in.bc>                                     bytecode -> text
-//! lpatc run     <in>    [--profile] [--fuel N] [--input a,b,c]
+//! lpatc run     <in>    [--profile] [--fuel N] [--input a,b,c] [--max-stack N]
 //! lpatc analyze <in>                                        DSA + call graph report
 //! lpatc size    <in>                                        code-size report
 //! ```
@@ -14,6 +15,16 @@
 //! Inputs are auto-detected: files beginning with the `LPAT` magic load as
 //! bytecode, files ending in `.mc` compile as miniC, anything else parses
 //! as the textual form.
+//!
+//! # Degraded compilation
+//!
+//! By default a pass that panics, miscompiles (under `--verify-each`), or
+//! blows its `--pass-budget-ms` wall-clock budget is rolled back and the
+//! pipeline continues — each fault is reported on stderr and the output is
+//! exactly what skipping that pass would produce. `--no-degrade` makes
+//! such faults fatal instead. `--inject-faults 'gvn:panic@2,...'` (or the
+//! `LPAT_FAULTS` environment variable) deterministically triggers faults
+//! at named sites for testing; see `lpat_core::fault`.
 
 use std::process::ExitCode;
 
@@ -33,6 +44,13 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let rest = &args[1.min(args.len())..];
+    // Install the fault plan before any module is loaded: the bytecode
+    // reader's `bytecode.read` site must see it.
+    if let Some(plan) = flag_value(rest, "--inject-faults") {
+        let plan =
+            lpat::core::FaultPlan::parse(plan).map_err(|e| format!("--inject-faults: {e}"))?;
+        lpat::core::fault::install(plan);
+    }
     match cmd {
         "compile" | "opt" | "link" | "dis" => {
             let inputs: Vec<&String> = rest.iter().take_while(|a| !a.starts_with('-')).collect();
@@ -55,23 +73,42 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let verify_each = has_flag(rest, "--verify-each");
             let time_passes = has_flag(rest, "--time-passes");
+            let degrade = !has_flag(rest, "--no-degrade");
+            let budget = match flag_value(rest, "--pass-budget-ms") {
+                Some(v) => Some(std::time::Duration::from_millis(
+                    v.parse::<u64>().map_err(|_| "bad --pass-budget-ms value")?,
+                )),
+                None => None,
+            };
+            let optimize = has_flag(rest, "-O") || has_flag(rest, "-O2") || cmd == "opt";
             let mut reports: Vec<(&str, lpat::transform::PipelineReport)> = Vec::new();
-            if has_flag(rest, "-O") || cmd == "opt" {
+            if optimize {
                 let mut pm = lpat::transform::function_pipeline();
                 pm.jobs = jobs;
                 pm.verify_each = verify_each;
+                pm.degrade = degrade;
+                pm.budget = budget;
                 reports.push(("function pipeline", pm.run(&mut m)));
             }
-            if has_flag(rest, "--link-pipeline") || (cmd == "link" && has_flag(rest, "-O")) {
+            if has_flag(rest, "--link-pipeline")
+                || (cmd == "link" && (has_flag(rest, "-O") || has_flag(rest, "-O2")))
+            {
                 let mut pm = lpat::transform::link_time_pipeline();
                 pm.jobs = jobs;
                 pm.verify_each = verify_each;
+                pm.degrade = degrade;
+                pm.budget = budget;
                 reports.push(("link-time pipeline", pm.run(&mut m)));
             }
             if time_passes {
                 for (title, r) in &reports {
                     eprintln!("=== {title} ===");
                     eprint!("{}", r.render());
+                }
+            }
+            for (title, r) in &reports {
+                for f in &r.faults {
+                    eprintln!("lpatc: warning: {title}: isolated fault: {f}");
                 }
             }
             m.verify().map_err(|e| format!("verifier: {}", e[0]))?;
@@ -90,6 +127,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             if let Some(f) = flag_value(rest, "--fuel") {
                 opts.fuel = Some(f.parse().map_err(|_| "bad --fuel value")?);
+            }
+            if let Some(n) = flag_value(rest, "--max-stack") {
+                opts.max_stack = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("bad --max-stack value")?;
             }
             if let Some(vals) = flag_value(rest, "--input") {
                 for v in vals.split(',') {
@@ -174,9 +218,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "help" | "--help" | "-h" => {
             eprintln!(
                 "usage: lpatc <compile|opt|link|dis|run|analyze|size> <inputs> [flags]\n\
-                 flags: -o FILE, --emit text|bc, -O, --link-pipeline,\n\
+                 flags: -o FILE, --emit text|bc, -O/-O2, --link-pipeline,\n\
                  \x20      --jobs N, --verify-each, --time-passes,\n\
-                 \x20      --profile, --jit, --fuel N, --input a,b,c"
+                 \x20      --inject-faults PLAN, --no-degrade, --pass-budget-ms N,\n\
+                 \x20      --profile, --jit, --fuel N, --input a,b,c, --max-stack N"
             );
             Ok(ExitCode::SUCCESS)
         }
