@@ -19,11 +19,14 @@
 //!
 //! * `site` — a fault-site name. Every pass name is a site (`gvn`,
 //!   `inline`, ...); additional named sites exist in the bytecode reader
-//!   (`bytecode.read`) and the profile-guided reoptimizer (`pgo-inline`).
+//!   (`bytecode.read`), the profile-guided reoptimizer (`pgo-inline`),
+//!   and the lifelong store (`store.read`, `store.write`, `store.lock`).
 //! * `action` — `panic` (the site panics), `delay=50ms` (the site sleeps,
-//!   blowing any per-pass wall-clock budget), or `corrupt` (the pass
+//!   blowing any per-pass wall-clock budget), `corrupt` (the pass
 //!   manager breaks the module *after* the pass runs, simulating a
-//!   miscompiling pass for `--verify-each` to catch).
+//!   miscompiling pass for `--verify-each` to catch; store writes flip a
+//!   payload byte before it reaches disk), or `io` (store sites fail with
+//!   a synthetic I/O error).
 //! * `@N` — fire only on the N-th hit of the site (1-based). Without it
 //!   the spec fires on every hit.
 //!
@@ -51,8 +54,13 @@ pub enum FaultAction {
     /// The site sleeps for the given duration (exercises pass budgets).
     Delay(Duration),
     /// The surrounding manager corrupts the unit after the pass runs
-    /// (exercises verifier-driven rollback).
+    /// (exercises verifier-driven rollback); at store sites, the payload
+    /// is corrupted *before* it reaches disk (exercises checksum-driven
+    /// quarantine on the next read).
     Corrupt,
+    /// The site fails with a synthetic I/O error (store sites only:
+    /// exercises write-failure recovery; a no-op at compute sites).
+    Io,
 }
 
 /// One `site:action[@N]` entry of a plan.
@@ -104,6 +112,7 @@ impl FaultPlan {
             let action = match action_str {
                 "panic" => FaultAction::Panic,
                 "corrupt" => FaultAction::Corrupt,
+                "io" => FaultAction::Io,
                 other => match other.strip_prefix("delay=") {
                     Some(d) => FaultAction::Delay(parse_duration(d).ok_or_else(|| {
                         format!("fault spec '{part}': bad delay '{d}' (try 50ms or 1s)")
@@ -111,7 +120,7 @@ impl FaultPlan {
                     None => {
                         return Err(format!(
                             "fault spec '{part}': unknown action '{other}' \
-                             (panic, delay=<ms>, corrupt)"
+                             (panic, delay=<ms>, corrupt, io)"
                         ))
                     }
                 },

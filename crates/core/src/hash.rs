@@ -1,0 +1,92 @@
+//! Content hashing primitives for the lifelong store.
+//!
+//! The persistence layer (paper §3.3, §3.5: profile data and reoptimized
+//! code stored *alongside* the bytecode across runs) needs two hashes:
+//!
+//! * [`crc32`] — per-section integrity checksums inside on-disk
+//!   containers, so a torn write or bit rot is detected on read rather
+//!   than silently consumed;
+//! * [`fnv1a64`] — a stable 64-bit *content hash* keying cached artifacts
+//!   (profiles, reoptimized modules) to the exact bytecode they were
+//!   derived from, so stale data for a changed module is quarantined
+//!   instead of applied.
+//!
+//! Both are implemented in-tree (no external deps) and are stable across
+//! platforms and releases: they are part of the on-disk format.
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the checksum used by
+/// zip/gzip/PNG. Table-driven; the table is built at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// FNV-1a, 64-bit: a fast, dependency-free content hash with good
+/// dispersion for keying cache entries. **Not** cryptographic — the store
+/// trusts its own directory; the hash only detects *accidental* mismatch
+/// (a recompiled module, a profile from different bytes).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vectors for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_both() {
+        let a = b"some module bytes".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x40;
+        assert_ne!(crc32(&a), crc32(&b));
+        assert_ne!(fnv1a64(&a), fnv1a64(&b));
+    }
+}

@@ -58,6 +58,7 @@ pub mod constant;
 pub mod fault;
 pub mod fold;
 pub mod function;
+pub mod hash;
 pub mod inst;
 pub mod module;
 pub mod print;

@@ -567,6 +567,46 @@ impl TypeCtx {
         }
     }
 
+    /// Size in bytes of `id`, or `None` when the type has no size: void,
+    /// function, and opaque types, plus pathologies only a hostile
+    /// bytecode image can encode (self-referential by-value aggregates,
+    /// arrays whose total size overflows `u64`). The sized results agree
+    /// with [`TypeCtx::size_of`] exactly; execution engines use this at
+    /// ingestion boundaries so bad modules trap instead of panicking.
+    pub fn try_size_of(&self, id: TypeId) -> Option<u64> {
+        self.try_layout(id, 0).map(|(size, _)| size)
+    }
+
+    /// `(size, align)` with the same guarantees as [`TypeCtx::try_size_of`].
+    fn try_layout(&self, id: TypeId, depth: u32) -> Option<(u64, u64)> {
+        if depth > 64 {
+            return None;
+        }
+        Some(match self.ty(id) {
+            Type::Void | Type::Func { .. } | Type::Opaque(_) => return None,
+            Type::Bool => (1, 1),
+            Type::Int(k) => (k.bytes(), k.bytes()),
+            Type::F32 => (4, 4),
+            Type::F64 => (8, 8),
+            Type::Ptr(_) => (4, 4),
+            Type::Array { elem, len } => {
+                let (s, a) = self.try_layout(*elem, depth + 1)?;
+                (s.checked_mul(*len)?, a)
+            }
+            Type::Struct { fields, .. } => {
+                // Mirrors `StructLayout::compute`, with checked arithmetic.
+                let mut size = 0u64;
+                let mut align = 1u64;
+                for &f in fields {
+                    let (fs, fa) = self.try_layout(f, depth + 1)?;
+                    align = align.max(fa);
+                    size = size.div_ceil(fa).checked_mul(fa)?.checked_add(fs)?;
+                }
+                (size.div_ceil(align).checked_mul(align)?, align)
+            }
+        })
+    }
+
     /// Alignment in bytes of type `id` under the reference data layout.
     pub fn align_of(&self, id: TypeId) -> u64 {
         match self.ty(id) {

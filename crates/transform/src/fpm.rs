@@ -469,7 +469,7 @@ fn run_unit(
     match injected {
         Some(FaultAction::Panic) => panic!("injected fault at pass '{}'", p.name()),
         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
-        Some(FaultAction::Corrupt) | None => {}
+        Some(FaultAction::Corrupt) | Some(FaultAction::Io) | None => {}
     }
     let mut unit = FuncUnit {
         types,

@@ -515,7 +515,7 @@ fn run_pass(
     match injected {
         Some(FaultAction::Panic) => panic!("injected fault at pass '{}'", p.name()),
         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
-        Some(FaultAction::Corrupt) | None => {}
+        Some(FaultAction::Corrupt) | Some(FaultAction::Io) | None => {}
     }
     p.run(m, cx)
 }

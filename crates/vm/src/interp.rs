@@ -100,7 +100,12 @@ impl<'m> Vm<'m> {
         // reference other globals' addresses).
         let mut global_addrs = Vec::with_capacity(m.num_globals());
         for (_, g) in m.globals() {
-            let size = m.types.size_of(g.value_ty) as u32;
+            let size: u32 = m
+                .types
+                .try_size_of(g.value_ty)
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "global of unsized type"))?
+                .try_into()
+                .map_err(|_| ExecError::trap(TrapKind::OutOfMemory, "global too large"))?;
             global_addrs.push(mem.alloc(size.max(1))?);
         }
         let mut vm = Vm {
@@ -164,17 +169,43 @@ impl<'m> Vm<'m> {
         }
         match self.m.consts.get(c).clone() {
             Const::Zero(_) | Const::Undef(_) => {
-                let size = self.m.types.size_of(ty) as u32;
-                self.mem.write_bytes(addr, &vec![0u8; size as usize])?;
+                let size: u32 = self
+                    .m
+                    .types
+                    .try_size_of(ty)
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "unsized zero constant"))?
+                    .try_into()
+                    .map_err(|_| ExecError::trap(TrapKind::OutOfMemory, "constant too large"))?;
+                // Zero in bounded chunks so a hostile declared size hits
+                // the range check before any proportional host allocation.
+                let zeros = [0u8; 4096];
+                let mut done = 0u32;
+                while done < size {
+                    let n = (size - done).min(zeros.len() as u32);
+                    let at = addr.checked_add(done).ok_or_else(|| {
+                        ExecError::trap(TrapKind::BadAccess, "address wraparound")
+                    })?;
+                    self.mem.write_bytes(at, &zeros[..n as usize])?;
+                    done += n;
+                }
             }
             Const::Array { elems, ty: aty } => {
                 let elem_ty = match self.m.types.ty(aty) {
                     Type::Array { elem, .. } => *elem,
                     _ => return Err(ExecError::trap(TrapKind::Invalid, "bad array constant")),
                 };
-                let stride = self.m.types.size_of(elem_ty) as u32;
+                let stride =
+                    self.m.types.try_size_of(elem_ty).ok_or_else(|| {
+                        ExecError::trap(TrapKind::Invalid, "unsized array element")
+                    })?;
                 for (i, e) in elems.iter().enumerate() {
-                    self.write_const_at(addr + i as u32 * stride, elem_ty, *e, depth + 1)?;
+                    let at = (i as u64)
+                        .checked_mul(stride)
+                        .and_then(|o| o.checked_add(addr as u64))
+                        .filter(|&end| end <= u32::MAX as u64)
+                        .ok_or_else(|| ExecError::trap(TrapKind::BadAccess, "address wraparound"))?
+                        as u32;
+                    self.write_const_at(at, elem_ty, *e, depth + 1)?;
                 }
             }
             Const::Struct { fields, ty: sty } => {
@@ -182,9 +213,17 @@ impl<'m> Vm<'m> {
                     Type::Struct { fields, .. } => fields.clone(),
                     _ => return Err(ExecError::trap(TrapKind::Invalid, "bad struct constant")),
                 };
+                if fields.len() != ftys.len() || self.m.types.try_size_of(sty).is_none() {
+                    return Err(ExecError::trap(TrapKind::Invalid, "bad struct constant"));
+                }
                 for (i, e) in fields.iter().enumerate() {
-                    let off = self.m.types.field_offset(sty, i) as u32;
-                    self.write_const_at(addr + off, ftys[i], *e, depth + 1)?;
+                    let off = self.m.types.field_offset(sty, i);
+                    let at = (addr as u64)
+                        .checked_add(off)
+                        .filter(|&end| end <= u32::MAX as u64)
+                        .ok_or_else(|| ExecError::trap(TrapKind::BadAccess, "address wraparound"))?
+                        as u32;
+                    self.write_const_at(at, ftys[i], *e, depth + 1)?;
                 }
             }
             _ => {
@@ -206,7 +245,9 @@ impl<'m> Vm<'m> {
             Const::F32(bits) => VmValue::F32(f32::from_bits(*bits)),
             Const::F64(bits) => VmValue::F64(f64::from_bits(*bits)),
             Const::Null(_) => VmValue::Ptr(0),
-            Const::Undef(t) => VmValue::zero_of(&self.m.types, *t),
+            Const::Undef(t) if self.m.types.is_first_class(*t) => {
+                VmValue::zero_of(&self.m.types, *t)
+            }
             Const::Zero(t) if self.m.types.is_first_class(*t) => {
                 VmValue::zero_of(&self.m.types, *t)
             }
@@ -522,7 +563,14 @@ impl<'m> Vm<'m> {
                     None => 1u64,
                     Some(c) => ev!(c).as_i64().unwrap_or(0).max(0) as u64,
                 };
-                let size = self.m.types.size_of(elem_ty).saturating_mul(n);
+                let size = self
+                    .m
+                    .types
+                    .try_size_of(elem_ty)
+                    .ok_or_else(|| {
+                        ExecError::trap(TrapKind::Invalid, "allocation of unsized type")
+                    })?
+                    .saturating_mul(n);
                 let size: u32 = size
                     .try_into()
                     .map_err(|_| ExecError::trap(TrapKind::OutOfMemory, "allocation too large"))?;
@@ -676,20 +724,26 @@ impl<'m> Vm<'m> {
         let mut off: i64 = 0;
         for (k, &v) in vals.iter().enumerate() {
             if k == 0 {
-                off = off.wrapping_add(v.wrapping_mul(tys.size_of(cur) as i64));
+                let sz = tys.try_size_of(cur).ok_or_else(|| {
+                    ExecError::trap(TrapKind::Invalid, "gep through unsized type")
+                })?;
+                off = off.wrapping_add(v.wrapping_mul(sz as i64));
                 continue;
             }
             match tys.ty(cur).clone() {
                 Type::Struct { fields, .. } => {
                     let fi = v as usize;
-                    if fi >= fields.len() {
+                    if fi >= fields.len() || tys.try_size_of(cur).is_none() {
                         return Err(ExecError::trap(TrapKind::Invalid, "struct index range"));
                     }
                     off = off.wrapping_add(tys.field_offset(cur, fi) as i64);
                     cur = fields[fi];
                 }
                 Type::Array { elem, .. } => {
-                    off = off.wrapping_add(v.wrapping_mul(tys.size_of(elem) as i64));
+                    let sz = tys.try_size_of(elem).ok_or_else(|| {
+                        ExecError::trap(TrapKind::Invalid, "gep through unsized type")
+                    })?;
+                    off = off.wrapping_add(v.wrapping_mul(sz as i64));
                     cur = elem;
                 }
                 _ => return Err(ExecError::trap(TrapKind::Invalid, "gep into scalar")),

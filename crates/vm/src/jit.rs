@@ -234,7 +234,13 @@ pub fn translate(m: &Module, fid: FuncId) -> Result<LowFunc, ExecError> {
                     let stack = matches!(f.inst(iid), Inst::Alloca { .. });
                     LowOp::Alloc {
                         dst,
-                        elem_size: m.types.size_of(elem_ty).min(u32::MAX as u64) as u32,
+                        elem_size: m
+                            .types
+                            .try_size_of(elem_ty)
+                            .ok_or_else(|| {
+                                ExecError::trap(TrapKind::Invalid, "allocation of unsized type")
+                            })?
+                            .min(u32::MAX as u64) as u32,
                         count: match count {
                             Some(c) => Some(slot_of(c)?),
                             None => None,
@@ -370,7 +376,10 @@ fn compile_gep(
             _ => None,
         };
         if k == 0 {
-            let scale = tys.size_of(cur) as i64;
+            let scale = tys
+                .try_size_of(cur)
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep through unsized type"))?
+                as i64;
             match const_v {
                 Some(v) => const_off = const_off.wrapping_add(v.wrapping_mul(scale)),
                 None => scaled.push((slot_of(idx)?, scale)),
@@ -382,11 +391,22 @@ fn compile_gep(
                 let fi = const_v
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "struct index"))?
                     as usize;
+                // Decoded-but-unverified modules can carry an index past
+                // the struct's arity; trap instead of indexing.
+                if fi >= fields.len() || tys.try_size_of(cur).is_none() {
+                    return Err(ExecError::trap(
+                        TrapKind::Invalid,
+                        format!("struct index {fi} out of range"),
+                    ));
+                }
                 const_off = const_off.wrapping_add(tys.field_offset(cur, fi) as i64);
                 cur = fields[fi];
             }
             Type::Array { elem, .. } => {
-                let scale = tys.size_of(elem) as i64;
+                let scale = tys
+                    .try_size_of(elem)
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep through unsized type"))?
+                    as i64;
                 match const_v {
                     Some(v) => const_off = const_off.wrapping_add(v.wrapping_mul(scale)),
                     None => scaled.push((slot_of(idx)?, scale)),
@@ -409,7 +429,7 @@ fn const_value(m: &Module, c: lpat_core::ConstId) -> Result<VmValue, ExecError> 
         Const::F32(bits) => VmValue::F32(f32::from_bits(*bits)),
         Const::F64(bits) => VmValue::F64(f64::from_bits(*bits)),
         Const::Null(_) => VmValue::Ptr(0),
-        Const::Undef(t) => VmValue::zero_of(&m.types, *t),
+        Const::Undef(t) if m.types.is_first_class(*t) => VmValue::zero_of(&m.types, *t),
         Const::Zero(t) if m.types.is_first_class(*t) => VmValue::zero_of(&m.types, *t),
         Const::FuncAddr(f) => VmValue::Ptr(Memory::func_addr(f.index())),
         // Global addresses depend on the engine's memory layout; the
@@ -525,7 +545,7 @@ impl<'m> Vm<'m> {
                         }
                         if let Some((normal, _)) = eh {
                             let lf = self.jit_cache.get(&fr.func).expect("translated").clone();
-                            take_edge(fr, &lf, normal);
+                            take_edge(fr, &lf, normal)?;
                         }
                         continue 'outer;
                     }
@@ -541,7 +561,7 @@ impl<'m> Vm<'m> {
                         let (_, eh) = fr.pending.take().expect("pending call");
                         if let Some((_, unwind)) = eh {
                             let lf = self.jit_cache.get(&fr.func).expect("translated").clone();
-                            take_edge(fr, &lf, unwind);
+                            take_edge(fr, &lf, unwind)?;
                             continue 'outer;
                         }
                     },
@@ -629,23 +649,35 @@ enum Flow {
 }
 
 #[inline]
-fn read(fr: &JitFrame, s: &Slot) -> VmValue {
+fn read(fr: &JitFrame, s: &Slot) -> Result<VmValue, ExecError> {
     match s {
-        Slot::Reg(r) => fr.regs[*r as usize],
-        Slot::Arg(a) => fr.args[*a as usize],
-        Slot::Imm(v) => *v,
+        Slot::Reg(r) => Ok(fr.regs[*r as usize]),
+        // An indirect call through a mistyped function pointer can supply
+        // fewer actuals than the callee's formals; like the interpreter,
+        // the missing argument traps at its first *read*, not at entry.
+        Slot::Arg(a) => fr
+            .args
+            .get(*a as usize)
+            .copied()
+            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, format!("missing argument {a}"))),
+        Slot::Imm(v) => Ok(*v),
     }
 }
 
 #[inline]
-fn take_edge(fr: &mut JitFrame, lf: &LowFunc, e: usize) {
+fn take_edge(fr: &mut JitFrame, lf: &LowFunc, e: usize) -> Result<(), ExecError> {
     let edge = &lf.edges[e];
     // Simultaneous φ assignment: read all, then write all.
-    let vals: Vec<VmValue> = edge.copies.iter().map(|(_, s)| read(fr, s)).collect();
+    let vals = edge
+        .copies
+        .iter()
+        .map(|(_, s)| read(fr, s))
+        .collect::<Result<Vec<_>, _>>()?;
     for ((d, _), v) in edge.copies.iter().zip(vals) {
         fr.regs[*d as usize] = v;
     }
     fr.pc = edge.target;
+    Ok(())
 }
 
 fn exec_low(
@@ -656,22 +688,22 @@ fn exec_low(
 ) -> Result<Flow, ExecError> {
     match op {
         LowOp::Bin { op, dst, a, b } => {
-            let r = crate::interp::exec_bin(*op, read(fr, a), read(fr, b))?;
+            let r = crate::interp::exec_bin(*op, read(fr, a)?, read(fr, b)?)?;
             fr.regs[*dst as usize] = r;
             Ok(Flow::Next)
         }
         LowOp::Cmp { pred, dst, a, b } => {
-            let r = crate::interp::exec_cmp(*pred, read(fr, a), read(fr, b))?;
+            let r = crate::interp::exec_cmp(*pred, read(fr, a)?, read(fr, b)?)?;
             fr.regs[*dst as usize] = VmValue::Bool(r);
             Ok(Flow::Next)
         }
         LowOp::Cast { dst, src, to } => {
-            let r = crate::interp::exec_cast(&vm.module().types, read(fr, src), *to)?;
+            let r = crate::interp::exec_cast(&vm.module().types, read(fr, src)?, *to)?;
             fr.regs[*dst as usize] = r;
             Ok(Flow::Next)
         }
         LowOp::Load { dst, ptr, kind } => {
-            let a = read(fr, ptr)
+            let a = read(fr, ptr)?
                 .as_ptr()
                 .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "load"))?;
             let v = match kind {
@@ -685,10 +717,10 @@ fn exec_low(
             Ok(Flow::Next)
         }
         LowOp::Store { val, ptr } => {
-            let a = read(fr, ptr)
+            let a = read(fr, ptr)?
                 .as_ptr()
                 .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "store"))?;
-            vm.mem.store(a, read(fr, val))?;
+            vm.mem.store(a, read(fr, val)?)?;
             Ok(Flow::Next)
         }
         LowOp::Gep {
@@ -697,12 +729,12 @@ fn exec_low(
             const_off,
             scaled,
         } => {
-            let b = read(fr, base)
+            let b = read(fr, base)?
                 .as_ptr()
                 .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep"))?;
             let mut off = *const_off;
             for (s, scale) in scaled {
-                let i = read(fr, s)
+                let i = read(fr, s)?
                     .as_i64()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep index"))?;
                 off = off.wrapping_add(i.wrapping_mul(*scale));
@@ -718,7 +750,7 @@ fn exec_low(
         } => {
             let n = match count {
                 None => 1u64,
-                Some(c) => read(fr, c).as_i64().unwrap_or(0).max(0) as u64,
+                Some(c) => read(fr, c)?.as_i64().unwrap_or(0).max(0) as u64,
             };
             let size = (*elem_size as u64).saturating_mul(n);
             let size: u32 = size
@@ -732,7 +764,7 @@ fn exec_low(
             Ok(Flow::Next)
         }
         LowOp::Free(p) => {
-            let a = read(fr, p)
+            let a = read(fr, p)?
                 .as_ptr()
                 .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "free"))?;
             if a != 0 {
@@ -749,7 +781,7 @@ fn exec_low(
             let target = match callee {
                 Callee::Direct(f) => *f,
                 Callee::Indirect(s) => {
-                    let addr = read(fr, s)
+                    let addr = read(fr, s)?
                         .as_ptr()
                         .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "callee"))?;
                     vm.mem
@@ -760,7 +792,7 @@ fn exec_low(
                         })?
                 }
             };
-            let argv: Vec<VmValue> = args.iter().map(|s| read(fr, s)).collect();
+            let argv: Vec<VmValue> = args.iter().map(|s| read(fr, s)).collect::<Result<_, _>>()?;
             let tf = vm.module().func(target);
             if tf.is_declaration() {
                 let ret = vm.call_external_by_id(target, &argv)?;
@@ -768,7 +800,7 @@ fn exec_low(
                     fr.regs[*d as usize] = v;
                 }
                 if let Some((normal, _)) = eh {
-                    take_edge(fr, lf, *normal);
+                    take_edge(fr, lf, *normal)?;
                 }
                 return Ok(Flow::Next);
             }
@@ -788,18 +820,18 @@ fn exec_low(
             })
         }
         LowOp::Br(e) => {
-            take_edge(fr, lf, *e);
+            take_edge(fr, lf, *e)?;
             Ok(Flow::Next)
         }
         LowOp::CondBr { c, t, f } => {
-            let v = read(fr, c)
+            let v = read(fr, c)?
                 .as_bool()
                 .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "condbr"))?;
-            take_edge(fr, lf, if v { *t } else { *f });
+            take_edge(fr, lf, if v { *t } else { *f })?;
             Ok(Flow::Next)
         }
         LowOp::Switch { v, cases, default } => {
-            let x = read(fr, v)
+            let x = read(fr, v)?
                 .as_i64()
                 .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "switch"))?;
             let e = cases
@@ -807,10 +839,13 @@ fn exec_low(
                 .find(|(c, _)| *c == x)
                 .map(|(_, e)| *e)
                 .unwrap_or(*default);
-            take_edge(fr, lf, e);
+            take_edge(fr, lf, e)?;
             Ok(Flow::Next)
         }
-        LowOp::Ret(v) => Ok(Flow::Ret(v.as_ref().map(|s| read(fr, s)))),
+        LowOp::Ret(v) => Ok(Flow::Ret(match v {
+            Some(s) => Some(read(fr, s)?),
+            None => None,
+        })),
         LowOp::Unwind => Ok(Flow::Unwinding),
         LowOp::Unreachable => Err(ExecError::trap(TrapKind::Unreachable, "unreachable")),
         LowOp::VaArg { dst } => {

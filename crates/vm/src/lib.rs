@@ -29,12 +29,14 @@ pub mod jit;
 pub mod mem;
 pub mod pgo;
 pub mod profile;
+pub mod store;
 pub mod value;
 
 pub use error::{ExecError, TrapKind};
 pub use interp::{Vm, VmOptions};
 pub use pgo::{reoptimize, PgoOptions, PgoReport};
 pub use profile::{form_trace, HotLoop, ProfileData};
+pub use store::{module_hash, Store, StoreError, StoredProfile};
 pub use value::VmValue;
 
 /// The VM's error type. `VmError::Trap { kind: TrapKind::StackOverflow }`

@@ -21,7 +21,8 @@ pub struct Memory {
     bytes: Vec<u8>,
     limit: u32,
     brk: u32,
-    /// First-fit free list of `(addr, size)`.
+    /// First-fit free list of `(addr, size)`, kept sorted by address and
+    /// maximally coalesced: no two entries are adjacent.
     free: Vec<(u32, u32)>,
     /// Live heap allocations (`addr -> size`) for `free` validation.
     live: std::collections::HashMap<u32, u32>,
@@ -78,11 +79,14 @@ impl Memory {
     /// Allocate `size` bytes (8-byte aligned). `size == 0` allocates 8.
     pub fn alloc(&mut self, size: u32) -> Result<u32, ExecError> {
         let size = align8(size.max(1));
-        // First fit.
+        // First fit. Splitting in place (or removing in place) keeps the
+        // list address-sorted, which coalescing in `release` relies on.
         if let Some(pos) = self.free.iter().position(|&(_, s)| s >= size) {
-            let (addr, s) = self.free.swap_remove(pos);
+            let (addr, s) = self.free[pos];
             if s > size {
-                self.free.push((addr + size, s - size));
+                self.free[pos] = (addr + size, s - size);
+            } else {
+                self.free.remove(pos);
             }
             self.live.insert(addr, size);
             return Ok(addr);
@@ -97,22 +101,64 @@ impl Memory {
         Ok(addr)
     }
 
-    /// Release an allocation made by [`Memory::alloc`].
+    /// Release an allocation made by [`Memory::alloc`], coalescing the
+    /// freed block with adjacent free neighbors so interleaved
+    /// alloc/free churn cannot shatter the heap into unusable slivers.
     ///
     /// # Errors
     ///
     /// Traps on double free or a pointer that is not an allocation start.
     pub fn release(&mut self, addr: u32) -> Result<(), ExecError> {
-        match self.live.remove(&addr) {
-            Some(size) => {
-                self.free.push((addr, size));
-                Ok(())
-            }
-            None => Err(ExecError::trap(
+        let size = self.live.remove(&addr).ok_or_else(|| {
+            ExecError::trap(
                 TrapKind::BadFree,
                 format!("free of non-allocated address {addr:#x}"),
-            )),
+            )
+        })?;
+        let pos = self.free.partition_point(|&(a, _)| a < addr);
+        let mut start = addr;
+        let mut end = addr + size;
+        // Merge with the predecessor if it ends exactly at `start`...
+        let mut remove_pred = false;
+        if pos > 0 {
+            let (pa, ps) = self.free[pos - 1];
+            if pa + ps == start {
+                start = pa;
+                remove_pred = true;
+            }
         }
+        // ...and with the successor if it begins exactly at `end`.
+        let mut remove_succ = false;
+        if pos < self.free.len() {
+            let (na, ns) = self.free[pos];
+            if na == end {
+                end = na + ns;
+                remove_succ = true;
+            }
+        }
+        if remove_succ {
+            self.free.remove(pos);
+        }
+        if remove_pred {
+            self.free[pos - 1] = (start, end - start);
+        } else {
+            self.free.insert(pos, (start, end - start));
+        }
+        // A block ending at the break returns to the break entirely, so
+        // a fully drained heap costs nothing.
+        if let Some(&(a, s)) = self.free.last() {
+            if a + s == self.brk {
+                self.free.pop();
+                self.brk = a;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of distinct blocks on the free list — a fragmentation
+    /// metric for tests; coalescing keeps it small.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
     }
 
     fn check_range(&mut self, addr: u32, size: u32) -> Result<(), ExecError> {
@@ -203,7 +249,11 @@ impl Memory {
                 return Ok(out);
             }
             out.push(b);
-            a += 1;
+            // A string butting against the top of the address space must
+            // trap, not wrap around to scan from address 0.
+            a = a.checked_add(1).ok_or_else(|| {
+                ExecError::trap(TrapKind::BadAccess, "string runs off address space")
+            })?;
             if out.len() as u32 >= max {
                 return Ok(out);
             }
@@ -264,5 +314,58 @@ mod tests {
     fn out_of_memory_traps() {
         let mut m = Memory::new(4096, 0);
         assert!(m.alloc(1 << 20).is_err());
+    }
+
+    #[test]
+    fn coalescing_defeats_fragmentation() {
+        // Regression: before coalescing, freeing N small blocks left N
+        // slivers none of which could serve one large request, forcing
+        // break growth on a heap that is entirely free.
+        let mut m = Memory::new(1 << 20, 0);
+        let blocks: Vec<u32> = (0..64).map(|_| m.alloc(16).unwrap()).collect();
+        let high = m.high_water();
+        // Free every other block first, then the rest — maximally
+        // interleaved order, worst case for a non-coalescing list.
+        for &b in blocks.iter().step_by(2) {
+            m.release(b).unwrap();
+        }
+        for &b in blocks.iter().skip(1).step_by(2) {
+            m.release(b).unwrap();
+        }
+        assert_eq!(
+            m.free_blocks(),
+            0,
+            "fully drained heap coalesces into the break"
+        );
+        let big = m.alloc(64 * 16).unwrap();
+        assert_eq!(big, blocks[0], "large request reuses the freed span");
+        assert_eq!(m.high_water(), high, "no break growth on a free heap");
+    }
+
+    #[test]
+    fn coalescing_merges_neighbors_in_both_orders() {
+        let mut m = Memory::new(1 << 20, 0);
+        let a = m.alloc(16).unwrap();
+        let b = m.alloc(16).unwrap();
+        let c = m.alloc(16).unwrap();
+        let _hold = m.alloc(16).unwrap(); // keeps the span off the break
+        m.release(a).unwrap();
+        m.release(c).unwrap();
+        assert_eq!(m.free_blocks(), 2, "a and c are not adjacent");
+        m.release(b).unwrap();
+        assert_eq!(m.free_blocks(), 1, "freeing b merges a+b+c");
+        assert_eq!(m.alloc(48).unwrap(), a, "merged span serves 3x request");
+    }
+
+    #[test]
+    fn cstr_at_address_space_top_traps_instead_of_wrapping() {
+        let mut m = Memory::new(4096, 0);
+        let a = m.alloc(16).unwrap();
+        m.write_bytes(a, b"hi\0").unwrap();
+        assert_eq!(m.read_cstr(a, 64).unwrap(), b"hi");
+        // A scan that would run past the top of the 32-bit space must
+        // come back as a trap, never wrap to address 0 or panic.
+        assert!(m.read_cstr(u32::MAX - 2, 64).is_err());
+        assert!(m.read_cstr(u32::MAX, 64).is_err());
     }
 }

@@ -34,6 +34,9 @@ pub struct PgoOptions {
     pub max_callee_size: usize,
     /// Ceiling on caller growth (instructions).
     pub caller_cap: usize,
+    /// Worker threads for the cleanup pipeline run after hot inlining
+    /// (`None` = the pass manager's default).
+    pub jobs: Option<usize>,
 }
 
 impl Default for PgoOptions {
@@ -42,6 +45,7 @@ impl Default for PgoOptions {
             hot_call_threshold: 64,
             max_callee_size: 2000,
             caller_cap: 50_000,
+            jobs: None,
         }
     }
 }
@@ -88,7 +92,7 @@ pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> P
         match injected {
             Some(FaultAction::Panic) => panic!("injected fault at site 'pgo-inline'"),
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
-            Some(FaultAction::Corrupt) | None => {}
+            Some(FaultAction::Corrupt) | Some(FaultAction::Io) | None => {}
         }
         inline_hot_sites(m, profile, opts)
     }));
@@ -113,6 +117,7 @@ pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> P
         // Clean up what hot inlining exposed before choosing a layout,
         // through the instrumented pass framework.
         let mut pm = PassManager::new();
+        pm.jobs = opts.jobs;
         pm.add(
             FunctionPassAdapter::new("pgo-cleanup")
                 .add(InstSimplify::default())

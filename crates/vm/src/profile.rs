@@ -5,10 +5,16 @@
 //! uses to identify frequently executed loop regions and then the hot
 //! *paths* (traces) within them. [`ProfileData::hot_loops`] and
 //! [`form_trace`] reproduce that region-then-trace strategy.
+//!
+//! Profiles are the unit the lifelong store persists across runs:
+//! [`ProfileData::to_bytes`]/[`ProfileData::from_bytes`] give them a
+//! deterministic binary form, and [`ProfileData::merge_saturating`] folds
+//! one run's counts into the accumulated lifetime profile.
 
 use std::collections::HashMap;
 
 use lpat_analysis::{DomTree, LoopInfo};
+use lpat_bytecode::format::{write_varint, DecodeError, Reader};
 use lpat_core::{BlockId, FuncId, InstId, Module};
 
 /// Execution counts collected by the engine.
@@ -71,8 +77,125 @@ impl ProfileData {
                 }
             }
         }
-        out.sort_by_key(|h| std::cmp::Reverse(h.header_count));
+        out.sort_by_key(|h| {
+            (
+                std::cmp::Reverse(h.header_count),
+                h.func.index(),
+                h.header.index(),
+            )
+        });
         out
+    }
+
+    /// Fold `other`'s counts into `self` with saturating addition: counters
+    /// accumulated over a program's whole lifetime must sharpen hot-loop
+    /// detection, never wrap back to cold.
+    pub fn merge_saturating(&mut self, other: &ProfileData) {
+        for (k, &v) in &other.block_counts {
+            let c = self.block_counts.entry(*k).or_insert(0);
+            *c = c.saturating_add(v);
+        }
+        for (k, &v) in &other.edge_counts {
+            let c = self.edge_counts.entry(*k).or_insert(0);
+            *c = c.saturating_add(v);
+        }
+        for (k, &v) in &other.call_counts {
+            let c = self.call_counts.entry(*k).or_insert(0);
+            *c = c.saturating_add(v);
+        }
+        for (k, &v) in &other.callsite_counts {
+            let c = self.callsite_counts.entry(*k).or_insert(0);
+            *c = c.saturating_add(v);
+        }
+    }
+
+    /// Whether any counter was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.block_counts.is_empty()
+            && self.edge_counts.is_empty()
+            && self.call_counts.is_empty()
+            && self.callsite_counts.is_empty()
+    }
+
+    /// Deterministic binary form: each table is written as a varint count
+    /// followed by key-sorted `(key..., count)` varint tuples, so equal
+    /// profiles serialize to equal bytes regardless of hash-map iteration
+    /// order (the store's merge tests compare files byte-for-byte).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut blocks: Vec<_> = self.block_counts.iter().collect();
+        blocks.sort_by_key(|(k, _)| **k);
+        write_varint(&mut out, blocks.len() as u64);
+        for (&(f, b), &n) in blocks {
+            write_varint(&mut out, f.index() as u64);
+            write_varint(&mut out, b.index() as u64);
+            write_varint(&mut out, n);
+        }
+        let mut edges: Vec<_> = self.edge_counts.iter().collect();
+        edges.sort_by_key(|(k, _)| **k);
+        write_varint(&mut out, edges.len() as u64);
+        for (&(f, a, b), &n) in edges {
+            write_varint(&mut out, f.index() as u64);
+            write_varint(&mut out, a.index() as u64);
+            write_varint(&mut out, b.index() as u64);
+            write_varint(&mut out, n);
+        }
+        let mut calls: Vec<_> = self.call_counts.iter().collect();
+        calls.sort_by_key(|(k, _)| **k);
+        write_varint(&mut out, calls.len() as u64);
+        for (&f, &n) in calls {
+            write_varint(&mut out, f.index() as u64);
+            write_varint(&mut out, n);
+        }
+        let mut sites: Vec<_> = self.callsite_counts.iter().collect();
+        sites.sort_by_key(|(k, _)| **k);
+        write_varint(&mut out, sites.len() as u64);
+        for (&(f, i), &n) in sites {
+            write_varint(&mut out, f.index() as u64);
+            write_varint(&mut out, i.index() as u64);
+            write_varint(&mut out, n);
+        }
+        out
+    }
+
+    /// Decode [`ProfileData::to_bytes`] output. An ingestion boundary like
+    /// the bytecode reader: hostile bytes produce an `Err`, never a panic
+    /// or an unbounded allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed input.
+    pub fn from_bytes(buf: &[u8]) -> Result<ProfileData, DecodeError> {
+        let mut r = Reader::new(buf);
+        let mut p = ProfileData::default();
+        let n = r.bounded_count("block profile entry", 3)?;
+        for _ in 0..n {
+            let f = FuncId::from_index(r.vusize()?);
+            let b = BlockId::from_index(r.vusize()?);
+            p.block_counts.insert((f, b), r.varint()?);
+        }
+        let n = r.bounded_count("edge profile entry", 4)?;
+        for _ in 0..n {
+            let f = FuncId::from_index(r.vusize()?);
+            let a = BlockId::from_index(r.vusize()?);
+            let b = BlockId::from_index(r.vusize()?);
+            p.edge_counts.insert((f, a, b), r.varint()?);
+        }
+        let n = r.bounded_count("call profile entry", 2)?;
+        for _ in 0..n {
+            let f = FuncId::from_index(r.vusize()?);
+            p.call_counts.insert(f, r.varint()?);
+        }
+        let n = r.bounded_count("call-site profile entry", 3)?;
+        for _ in 0..n {
+            let f = FuncId::from_index(r.vusize()?);
+            let i = InstId::from_index(r.vusize()?);
+            p.callsite_counts.insert((f, i), r.varint()?);
+        }
+        if !r.at_end() {
+            return Err(DecodeError("trailing bytes after profile".into()));
+        }
+        Ok(p)
     }
 
     /// Hot call sites (count ≥ threshold), hottest first.
@@ -83,7 +206,10 @@ impl ProfileData {
             .filter(|(_, &c)| c >= threshold)
             .map(|(&(f, i), &c)| (f, i, c))
             .collect();
-        v.sort_by_key(|&(_, _, c)| std::cmp::Reverse(c));
+        // Ties broken by position, not by map iteration order: the
+        // reoptimizer inlines in this order, and lifelong persistence
+        // promises byte-identical output for equal profiles.
+        v.sort_by_key(|&(f, i, c)| (std::cmp::Reverse(c), f.index(), i.index()));
         v
     }
 }
@@ -140,4 +266,65 @@ pub fn form_trace(m: &Module, profile: &ProfileData, hot: &HotLoop) -> (Vec<Bloc
         covered as f64 / total as f64
     };
     (trace, coverage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileData {
+        let mut p = ProfileData::default();
+        let f = FuncId::from_index(0);
+        let g = FuncId::from_index(3);
+        p.record_block(f, BlockId::from_index(1));
+        p.record_block(f, BlockId::from_index(1));
+        p.record_block(g, BlockId::from_index(0));
+        p.record_edge(f, BlockId::from_index(0), BlockId::from_index(1));
+        p.record_call(g);
+        p.record_callsite(f, InstId::from_index(7));
+        p
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_are_deterministic() {
+        let p = sample();
+        let b1 = p.to_bytes();
+        let q = ProfileData::from_bytes(&b1).unwrap();
+        assert_eq!(p.block_counts, q.block_counts);
+        assert_eq!(p.edge_counts, q.edge_counts);
+        assert_eq!(p.call_counts, q.call_counts);
+        assert_eq!(p.callsite_counts, q.callsite_counts);
+        assert_eq!(b1, q.to_bytes(), "serialization must be canonical");
+    }
+
+    #[test]
+    fn hostile_profile_bytes_error_out() {
+        assert!(ProfileData::from_bytes(&[0xFF; 3]).is_err());
+        // A declared count far past the input must be rejected, not
+        // allocated.
+        let mut buf = Vec::new();
+        lpat_bytecode::format::write_varint(&mut buf, u32::MAX as u64);
+        assert!(ProfileData::from_bytes(&buf).is_err());
+        // Trailing garbage after a valid profile is rejected.
+        let mut ok = sample().to_bytes();
+        ok.push(9);
+        assert!(ProfileData::from_bytes(&ok).is_err());
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = sample();
+        let f = FuncId::from_index(0);
+        a.block_counts
+            .insert((f, BlockId::from_index(9)), u64::MAX - 1);
+        let mut b = ProfileData::default();
+        b.block_counts.insert((f, BlockId::from_index(9)), 5);
+        a.merge_saturating(&b);
+        assert_eq!(a.block_count(f, BlockId::from_index(9)), u64::MAX);
+        // Disjoint keys are unioned; shared keys add.
+        let mut two = sample();
+        two.merge_saturating(&sample());
+        assert_eq!(two.block_count(f, BlockId::from_index(1)), 4);
+        assert_eq!(two.call_counts[&FuncId::from_index(3)], 2);
+    }
 }

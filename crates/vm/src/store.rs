@@ -1,0 +1,895 @@
+//! The crash-safe lifelong store (paper §3.3, §3.5–§3.6).
+//!
+//! The paper's defining claim is *lifelong* transformation: profile data
+//! gathered at runtime is stored alongside the bytecode and consumed by an
+//! idle-time reoptimizer across runs. This module is that durable half — a
+//! versioned on-disk cache directory holding
+//!
+//! * serialized [`ProfileData`], keyed by a content hash of the module it
+//!   was gathered on (a profile from changed bytecode is *stale* and is
+//!   quarantined, never applied), with successive runs merged by
+//!   saturating addition so hot-loop detection sharpens over a program's
+//!   lifetime; and
+//! * reoptimized bytecode produced by the PGO pipeline, keyed the same
+//!   way.
+//!
+//! # Always make progress
+//!
+//! Every failure mode degrades to "start fresh", never to a poisoned
+//! cache or a dead process:
+//!
+//! | failure                      | classification                 | recovery |
+//! |------------------------------|--------------------------------|----------|
+//! | file absent                  | [`StoreError::Missing`]        | regenerate |
+//! | old/foreign container        | [`StoreError::VersionMismatch`]| quarantine + regenerate |
+//! | torn write / bit rot / junk  | [`StoreError::ChecksumFail`]   | quarantine + regenerate |
+//! | profile from other bytecode  | [`StoreError::StaleHash`]      | quarantine + regenerate |
+//! | concurrent writer persists   | [`StoreError::Locked`]         | skip persisting this run |
+//! | I/O failure                  | [`StoreError::Io`]             | surface; cache untouched |
+//!
+//! Writes are atomic (temp file + fsync + rename into place), so a kill at
+//! any byte leaves the old version or the new one, never a mix. Concurrent
+//! invocations serialize on a lock file with a bounded, deterministic
+//! retry-with-backoff schedule (the clock is injectable for tests); locks
+//! abandoned by a killed process are broken after [`Store::lock_stale_after`].
+//!
+//! All I/O paths carry `lpat_core::fault` sites (`store.read`,
+//! `store.write`, `store.lock`) so every row of the recovery matrix is
+//! testable under the `--inject-faults` grammar.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lpat_bytecode::container::{
+    read_container, write_container, Container, ContainerError, KIND_PROFILE, KIND_REOPT,
+};
+use lpat_core::fault::{self, FaultAction, FaultPlan};
+use lpat_core::hash::fnv1a64;
+use lpat_core::Module;
+
+use crate::profile::ProfileData;
+
+/// Stable content hash of a module: the hash of its canonical bytecode
+/// serialization. This is the key every stored artifact is filed under.
+pub fn module_hash(m: &Module) -> u64 {
+    fnv1a64(&lpat_bytecode::write_module(m))
+}
+
+/// Classified store failure. See the module-level recovery matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// No artifact on disk for this key.
+    Missing,
+    /// The container carries an unknown format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The container failed validation: bad magic, truncation, CRC
+    /// mismatch, or a payload that does not decode.
+    ChecksumFail(String),
+    /// The artifact is keyed to different module bytes than the ones in
+    /// hand — it was gathered on an older build and must not be applied.
+    StaleHash {
+        /// Hash of the module being loaded for.
+        expected: u64,
+        /// Hash recorded in the file.
+        found: u64,
+    },
+    /// The store lock could not be acquired within the retry budget.
+    Locked,
+    /// An underlying I/O failure (including injected ones).
+    Io(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Missing => write!(f, "no cached artifact"),
+            StoreError::VersionMismatch { found } => {
+                write!(f, "container version {found} unsupported")
+            }
+            StoreError::ChecksumFail(m) => write!(f, "integrity failure: {m}"),
+            StoreError::StaleHash { expected, found } => write!(
+                f,
+                "stale artifact: keyed to module {found:016x}, have {expected:016x}"
+            ),
+            StoreError::Locked => write!(f, "store locked by another process"),
+            StoreError::Io(m) => write!(f, "store I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn container_err(e: ContainerError) -> StoreError {
+    match e {
+        ContainerError::Version(found) => StoreError::VersionMismatch { found },
+        other => StoreError::ChecksumFail(other.to_string()),
+    }
+}
+
+/// Record of one bad file moved aside during a load.
+#[derive(Clone, Debug)]
+pub struct Quarantine {
+    /// The file that failed validation.
+    pub original: PathBuf,
+    /// Where it was moved (`<name>.corrupt-N`), if the move succeeded.
+    pub moved_to: Option<PathBuf>,
+    /// Why it was quarantined.
+    pub error: StoreError,
+}
+
+impl std::fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "quarantined {}: {}", self.original.display(), self.error)?;
+        if let Some(to) = &self.moved_to {
+            write!(f, " (moved to {})", to.display())?;
+        }
+        Ok(())
+    }
+}
+
+/// A load result plus the recovery actions it took.
+#[derive(Clone, Debug)]
+pub struct Loaded<T> {
+    /// The loaded value (`None` = nothing usable; start fresh).
+    pub value: T,
+    /// Bad files moved aside on the way.
+    pub quarantined: Vec<Quarantine>,
+}
+
+/// A lifetime profile as stored: merged counters plus how many runs fed
+/// them.
+#[derive(Clone, Debug)]
+pub struct StoredProfile {
+    /// Saturating-merged counters over all recorded runs.
+    pub profile: ProfileData,
+    /// Number of runs merged in.
+    pub runs: u64,
+}
+
+/// Injectable time source for the lock backoff, so contention tests run
+/// deterministic schedules without wall-clock sleeps.
+pub trait Clock: Send + Sync {
+    /// Sleep for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production clock: actually sleeps.
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A versioned, crash-safe cache directory.
+pub struct Store {
+    dir: PathBuf,
+    /// Lock acquisition attempts before giving up with
+    /// [`StoreError::Locked`].
+    pub lock_retries: u32,
+    /// Base backoff; attempt `n` waits `lock_backoff << min(n, 6)` — a
+    /// deterministic schedule, not a randomized one.
+    pub lock_backoff: Duration,
+    /// A lock file older than this is treated as abandoned by a killed
+    /// process and broken.
+    pub lock_stale_after: Duration,
+    /// Fault plan override; `None` uses the process-wide plan
+    /// (`--inject-faults` / `LPAT_FAULTS`).
+    pub faults: Option<Arc<FaultPlan>>,
+    clock: Box<dyn Clock>,
+}
+
+impl Store {
+    /// Open (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(Store {
+            dir,
+            lock_retries: 20,
+            lock_backoff: Duration::from_millis(2),
+            lock_stale_after: Duration::from_secs(30),
+            faults: None,
+            clock: Box::new(RealClock),
+        })
+    }
+
+    /// Replace the backoff clock (tests).
+    pub fn with_clock(mut self, clock: Box<dyn Clock>) -> Store {
+        self.clock = clock;
+        self
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the profile artifact for a module hash.
+    pub fn profile_path(&self, module_hash: u64) -> PathBuf {
+        self.dir.join(format!("profile-{module_hash:016x}.lpp"))
+    }
+
+    /// Path of the reoptimized-bytecode artifact for a module hash.
+    pub fn reopt_path(&self, module_hash: u64) -> PathBuf {
+        self.dir.join(format!("reopt-{module_hash:016x}.lbc"))
+    }
+
+    fn fault(&self, site: &str) -> Option<FaultAction> {
+        self.faults
+            .as_deref()
+            .map(|p| p.next(site))
+            .unwrap_or_else(|| fault::global().and_then(|p| p.next(site)))
+    }
+
+    // -- reading ---------------------------------------------------------
+
+    /// Read + validate a container file. Classifies but does not recover.
+    fn read_validated(
+        &self,
+        path: &Path,
+        kind: [u8; 4],
+        expected_hash: u64,
+    ) -> Result<Container, StoreError> {
+        match self.fault("store.read") {
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(_) => return Err(StoreError::Io("injected fault at site 'store.read'".into())),
+            None => {}
+        }
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(StoreError::Missing),
+            Err(e) => return Err(StoreError::Io(format!("read {}: {e}", path.display()))),
+        };
+        let c = read_container(&bytes).map_err(container_err)?;
+        if c.kind != kind {
+            return Err(StoreError::ChecksumFail(format!(
+                "container kind {:?}, expected {:?}",
+                String::from_utf8_lossy(&c.kind),
+                String::from_utf8_lossy(&kind),
+            )));
+        }
+        let meta = c
+            .section("meta")
+            .ok_or_else(|| StoreError::ChecksumFail("missing meta section".into()))?;
+        if meta.len() < 8 {
+            return Err(StoreError::ChecksumFail("short meta section".into()));
+        }
+        let found = u64::from_le_bytes(meta[..8].try_into().expect("8 bytes"));
+        if found != expected_hash {
+            return Err(StoreError::StaleHash {
+                expected: expected_hash,
+                found,
+            });
+        }
+        Ok(c)
+    }
+
+    /// Move a bad file aside as `<name>.corrupt-N` so it is preserved for
+    /// inspection but never read again.
+    fn quarantine(&self, path: &Path, error: StoreError) -> Quarantine {
+        let mut moved_to = None;
+        for n in 1..1000u32 {
+            let candidate = PathBuf::from(format!("{}.corrupt-{n}", path.display()));
+            if candidate.exists() {
+                continue;
+            }
+            if std::fs::rename(path, &candidate).is_ok() {
+                moved_to = Some(candidate);
+            }
+            break;
+        }
+        if moved_to.is_none() {
+            // Rename failed (or 999 siblings): removing is still safer
+            // than re-reading bad data forever.
+            let _ = std::fs::remove_file(path);
+        }
+        Quarantine {
+            original: path.to_path_buf(),
+            moved_to,
+            error,
+        }
+    }
+
+    /// Load the lifetime profile for `module_hash`, recovering from any
+    /// bad file by quarantining it and reporting an empty profile.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures surface; every *content* failure recovers
+    /// to `value: None` plus a [`Quarantine`] record.
+    pub fn load_profile(
+        &self,
+        module_hash: u64,
+    ) -> Result<Loaded<Option<StoredProfile>>, StoreError> {
+        let path = self.profile_path(module_hash);
+        match self.read_validated(&path, KIND_PROFILE, module_hash) {
+            Ok(c) => {
+                let runs = c
+                    .section("meta")
+                    .filter(|m| m.len() >= 16)
+                    .map(|m| u64::from_le_bytes(m[8..16].try_into().expect("8 bytes")))
+                    .unwrap_or(1);
+                let counts = c.section("counts").unwrap_or(&[]);
+                match ProfileData::from_bytes(counts) {
+                    Ok(profile) => Ok(Loaded {
+                        value: Some(StoredProfile { profile, runs }),
+                        quarantined: Vec::new(),
+                    }),
+                    Err(e) => {
+                        let err = StoreError::ChecksumFail(format!("profile payload: {e}"));
+                        Ok(Loaded {
+                            value: None,
+                            quarantined: vec![self.quarantine(&path, err)],
+                        })
+                    }
+                }
+            }
+            Err(StoreError::Missing) => Ok(Loaded {
+                value: None,
+                quarantined: Vec::new(),
+            }),
+            Err(e @ StoreError::Io(_)) => Err(e),
+            Err(recoverable) => Ok(Loaded {
+                value: None,
+                quarantined: vec![self.quarantine(&path, recoverable)],
+            }),
+        }
+    }
+
+    /// Load the cached reoptimized module for `module_hash`, recovering
+    /// from any bad file by quarantining it.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures surface.
+    pub fn load_reopt(
+        &self,
+        module_hash: u64,
+        name: &str,
+    ) -> Result<Loaded<Option<Module>>, StoreError> {
+        let path = self.reopt_path(module_hash);
+        match self.read_validated(&path, KIND_REOPT, module_hash) {
+            Ok(c) => {
+                let bytes = c.section("module").unwrap_or(&[]);
+                // The hardened bytecode reader plus a full verify: CRC
+                // protects against storage faults, not against a buggy
+                // writer, and a cached module runs with user authority.
+                let decoded = lpat_bytecode::read_module(name, bytes)
+                    .map_err(|e| e.to_string())
+                    .and_then(|m| match m.verify() {
+                        Ok(()) => Ok(m),
+                        Err(errs) => Err(format!("verifier: {}", errs[0])),
+                    });
+                match decoded {
+                    Ok(m) => Ok(Loaded {
+                        value: Some(m),
+                        quarantined: Vec::new(),
+                    }),
+                    Err(e) => {
+                        let err = StoreError::ChecksumFail(format!("module payload: {e}"));
+                        Ok(Loaded {
+                            value: None,
+                            quarantined: vec![self.quarantine(&path, err)],
+                        })
+                    }
+                }
+            }
+            Err(StoreError::Missing) => Ok(Loaded {
+                value: None,
+                quarantined: Vec::new(),
+            }),
+            Err(e @ StoreError::Io(_)) => Err(e),
+            Err(recoverable) => Ok(Loaded {
+                value: None,
+                quarantined: vec![self.quarantine(&path, recoverable)],
+            }),
+        }
+    }
+
+    // -- writing ---------------------------------------------------------
+
+    /// Write `bytes` to `path` atomically: temp file in the same
+    /// directory, fsync, rename into place, fsync the directory. A kill at
+    /// any point leaves the old content or the new, never a mix.
+    fn atomic_write(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut bytes = std::borrow::Cow::Borrowed(bytes);
+        match self.fault("store.write") {
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Corrupt) => {
+                // Simulate storage corruption: damage one byte of the
+                // payload *before* it reaches disk. The next read must
+                // catch it by checksum and quarantine the file.
+                let owned = bytes.to_mut();
+                if !owned.is_empty() {
+                    let mid = owned.len() / 2;
+                    owned[mid] ^= 0x01;
+                }
+            }
+            Some(_) => {
+                return Err(StoreError::Io(
+                    "injected fault at site 'store.write'".into(),
+                ))
+            }
+            None => {}
+        }
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        let io = |what: &str, e: std::io::Error| StoreError::Io(format!("{what}: {e}"));
+        let write = (|| -> Result<(), StoreError> {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io("create temp", e))?;
+            std::io::Write::write_all(&mut f, &bytes).map_err(|e| io("write temp", e))?;
+            f.sync_all().map_err(|e| io("fsync temp", e))?;
+            std::fs::rename(&tmp, path).map_err(|e| io("rename into place", e))?;
+            // Durability of the rename itself (best-effort: not every
+            // filesystem lets a directory be fsynced).
+            if let Ok(d) = std::fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+            Ok(())
+        })();
+        if write.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        write
+    }
+
+    /// Persist a lifetime profile for `module_hash`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write failure (the previous version, if any,
+    /// is left intact).
+    pub fn save_profile(
+        &self,
+        module_hash: u64,
+        profile: &ProfileData,
+        runs: u64,
+    ) -> Result<(), StoreError> {
+        self.atomic_write(
+            &self.profile_path(module_hash),
+            &encode_profile(module_hash, profile, runs),
+        )
+    }
+
+    /// Persist the reoptimized module derived from source `module_hash`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write failure.
+    pub fn save_reopt(&self, module_hash: u64, m: &Module) -> Result<(), StoreError> {
+        let mut c = Container::new(KIND_REOPT);
+        c.push("meta", module_hash.to_le_bytes().to_vec());
+        c.push("module", lpat_bytecode::write_module(m));
+        self.atomic_write(&self.reopt_path(module_hash), &write_container(&c))
+    }
+
+    /// Merge one run's counters into the stored lifetime profile, under
+    /// the store lock: load (recovering from corruption), saturating-add,
+    /// write back atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when another writer holds the store past the
+    /// retry budget, [`StoreError::Io`] on write failure. In both cases
+    /// the on-disk state is unchanged (this run's counts are simply not
+    /// recorded — the always-make-progress posture).
+    pub fn record_run(
+        &self,
+        module_hash: u64,
+        run: &ProfileData,
+    ) -> Result<Loaded<StoredProfile>, StoreError> {
+        let _guard = self.lock()?;
+        let loaded = self.load_profile(module_hash)?;
+        let mut merged = StoredProfile {
+            profile: ProfileData::default(),
+            runs: 0,
+        };
+        if let Some(prev) = loaded.value {
+            merged = prev;
+        }
+        merged.profile.merge_saturating(run);
+        merged.runs = merged.runs.saturating_add(1);
+        self.save_profile(module_hash, &merged.profile, merged.runs)?;
+        Ok(Loaded {
+            value: merged,
+            quarantined: loaded.quarantined,
+        })
+    }
+
+    // -- locking ---------------------------------------------------------
+
+    /// Acquire the store-wide writer lock with bounded, deterministic
+    /// backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] after the retry budget; [`StoreError::Io`]
+    /// for unexpected filesystem failures.
+    pub fn lock(&self) -> Result<LockGuard, StoreError> {
+        let path = self.dir.join("lock");
+        for attempt in 0..=self.lock_retries {
+            // The fault site models a held/contended lock: any non-delay
+            // action fails this acquisition attempt.
+            let contended = match self.fault("store.lock") {
+                None => false,
+                Some(FaultAction::Delay(d)) => {
+                    std::thread::sleep(d);
+                    false
+                }
+                Some(_) => true,
+            };
+            if !contended {
+                match std::fs::OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(&path)
+                {
+                    Ok(mut f) => {
+                        let _ = std::io::Write::write_all(
+                            &mut f,
+                            format!("{}\n", std::process::id()).as_bytes(),
+                        );
+                        return Ok(LockGuard { path });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                        // Held. Abandoned by a killed process? Break it.
+                        if let Ok(md) = std::fs::metadata(&path) {
+                            let age = md
+                                .modified()
+                                .ok()
+                                .and_then(|t| t.elapsed().ok())
+                                .unwrap_or(Duration::ZERO);
+                            if age > self.lock_stale_after {
+                                let _ = std::fs::remove_file(&path);
+                                continue; // retry immediately
+                            }
+                        }
+                    }
+                    Err(e) => return Err(StoreError::Io(format!("lock {}: {e}", path.display()))),
+                }
+            }
+            if attempt < self.lock_retries {
+                // Deterministic exponential backoff, capped at 64× base.
+                let shift = attempt.min(6);
+                self.clock.sleep(self.lock_backoff * (1u32 << shift));
+            }
+        }
+        Err(StoreError::Locked)
+    }
+}
+
+// -- standalone profile files (--profile-in / --profile-out) -------------
+
+/// Serialize a lifetime profile into container bytes.
+fn encode_profile(module_hash: u64, profile: &ProfileData, runs: u64) -> Vec<u8> {
+    let mut c = Container::new(KIND_PROFILE);
+    let mut meta = Vec::with_capacity(16);
+    meta.extend_from_slice(&module_hash.to_le_bytes());
+    meta.extend_from_slice(&runs.to_le_bytes());
+    c.push("meta", meta);
+    c.push("counts", profile.to_bytes());
+    write_container(&c)
+}
+
+/// Write a profile to a standalone file (`--profile-out`) with the same
+/// container format and atomic temp+fsync+rename protocol as the cache
+/// directory. Honors the global `store.write` fault site.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on write failure; the previous file, if any, is
+/// left intact.
+pub fn write_profile_file(
+    path: &Path,
+    module_hash: u64,
+    profile: &ProfileData,
+    runs: u64,
+) -> Result<(), StoreError> {
+    let mut bytes = encode_profile(module_hash, profile, runs);
+    match fault::global().and_then(|p| p.next("store.write")) {
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(FaultAction::Corrupt) if !bytes.is_empty() => {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+        }
+        Some(FaultAction::Corrupt) | None => {}
+        Some(_) => {
+            return Err(StoreError::Io(
+                "injected fault at site 'store.write'".into(),
+            ))
+        }
+    }
+    let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+    let io = |what: &str, e: std::io::Error| StoreError::Io(format!("{what}: {e}"));
+    let write = (|| -> Result<(), StoreError> {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io("create temp", e))?;
+        std::io::Write::write_all(&mut f, &bytes).map_err(|e| io("write temp", e))?;
+        f.sync_all().map_err(|e| io("fsync temp", e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io("rename into place", e))?;
+        Ok(())
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
+}
+
+/// Read a standalone profile file (`--profile-in`). Returns the module
+/// hash it was recorded against plus the stored profile; the caller
+/// decides whether a hash mismatch is fatal. Nothing is quarantined —
+/// the caller owns the file.
+///
+/// # Errors
+///
+/// The same classification as the store's loads.
+pub fn read_profile_file(path: &Path) -> Result<(u64, StoredProfile), StoreError> {
+    match fault::global().and_then(|p| p.next("store.read")) {
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(_) => return Err(StoreError::Io("injected fault at site 'store.read'".into())),
+        None => {}
+    }
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(StoreError::Missing),
+        Err(e) => return Err(StoreError::Io(format!("read {}: {e}", path.display()))),
+    };
+    let c = read_container(&bytes).map_err(container_err)?;
+    if c.kind != KIND_PROFILE {
+        return Err(StoreError::ChecksumFail("not a profile container".into()));
+    }
+    let meta = c
+        .section("meta")
+        .filter(|m| m.len() >= 16)
+        .ok_or_else(|| StoreError::ChecksumFail("short meta section".into()))?;
+    let hash = u64::from_le_bytes(meta[..8].try_into().expect("8 bytes"));
+    let runs = u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes"));
+    let profile = ProfileData::from_bytes(c.section("counts").unwrap_or(&[]))
+        .map_err(|e| StoreError::ChecksumFail(format!("profile payload: {e}")))?;
+    Ok((hash, StoredProfile { profile, runs }))
+}
+
+/// Holds the store lock; releases it on drop.
+#[derive(Debug)]
+pub struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lpat-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn plan(s: &str) -> Option<Arc<FaultPlan>> {
+        Some(Arc::new(FaultPlan::parse(s).unwrap()))
+    }
+
+    fn sample_profile() -> ProfileData {
+        let mut p = ProfileData::default();
+        p.block_counts.insert(
+            (
+                lpat_core::FuncId::from_index(0),
+                lpat_core::BlockId::from_index(1),
+            ),
+            10,
+        );
+        p.call_counts.insert(lpat_core::FuncId::from_index(2), 3);
+        p
+    }
+
+    /// A clock that records sleeps instead of performing them.
+    struct CountingClock(AtomicU32);
+    impl Clock for CountingClock {
+        fn sleep(&self, _d: Duration) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn profile_roundtrip_and_merge_across_runs() {
+        let store = Store::open(tmpdir("roundtrip")).unwrap();
+        let h = 0xABCD;
+        assert!(store.load_profile(h).unwrap().value.is_none());
+        let r1 = store.record_run(h, &sample_profile()).unwrap();
+        assert_eq!(r1.value.runs, 1);
+        let r2 = store.record_run(h, &sample_profile()).unwrap();
+        assert_eq!(r2.value.runs, 2);
+        let loaded = store.load_profile(h).unwrap().value.unwrap();
+        assert_eq!(
+            loaded.profile.block_count(
+                lpat_core::FuncId::from_index(0),
+                lpat_core::BlockId::from_index(1)
+            ),
+            20,
+            "two runs merge to exactly doubled counts"
+        );
+    }
+
+    #[test]
+    fn corrupt_file_quarantined_and_recovered_to_empty() {
+        let store = Store::open(tmpdir("corrupt")).unwrap();
+        let h = 0x11;
+        std::fs::write(store.profile_path(h), b"LPCFgarbage-not-a-container").unwrap();
+        let out = store.load_profile(h).unwrap();
+        assert!(out.value.is_none());
+        assert_eq!(out.quarantined.len(), 1);
+        let q = &out.quarantined[0];
+        assert!(
+            matches!(
+                q.error,
+                StoreError::ChecksumFail(_) | StoreError::VersionMismatch { .. }
+            ),
+            "{:?}",
+            q.error
+        );
+        assert!(q.moved_to.as_ref().unwrap().exists());
+        assert!(!store.profile_path(h).exists(), "bad file moved aside");
+        // Next load is clean.
+        let again = store.load_profile(h).unwrap();
+        assert!(again.value.is_none() && again.quarantined.is_empty());
+    }
+
+    #[test]
+    fn stale_hash_is_quarantined_not_applied() {
+        let store = Store::open(tmpdir("stale")).unwrap();
+        store.save_profile(0xAA, &sample_profile(), 1).unwrap();
+        // Same file, asked for under a different module hash: stale.
+        std::fs::rename(store.profile_path(0xAA), store.profile_path(0xBB)).unwrap();
+        let out = store.load_profile(0xBB).unwrap();
+        assert!(out.value.is_none());
+        assert!(matches!(
+            out.quarantined[0].error,
+            StoreError::StaleHash {
+                expected: 0xBB,
+                found: 0xAA
+            }
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_classified_and_quarantined() {
+        let store = Store::open(tmpdir("version")).unwrap();
+        store.save_profile(0xCC, &sample_profile(), 1).unwrap();
+        let path = store.profile_path(0xCC);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 0xFE; // container version field
+        std::fs::write(&path, bytes).unwrap();
+        let out = store.load_profile(0xCC).unwrap();
+        assert!(matches!(
+            out.quarantined[0].error,
+            StoreError::VersionMismatch { found } if found == 0xFE
+        ));
+    }
+
+    #[test]
+    fn injected_write_corruption_is_caught_on_next_read() {
+        let mut store = Store::open(tmpdir("inject-corrupt")).unwrap();
+        store.faults = plan("store.write:corrupt@1");
+        store.save_profile(0xDD, &sample_profile(), 1).unwrap();
+        let out = store.load_profile(0xDD).unwrap();
+        assert!(out.value.is_none(), "corrupted payload must not load");
+        assert!(matches!(
+            out.quarantined[0].error,
+            StoreError::ChecksumFail(_)
+        ));
+    }
+
+    #[test]
+    fn injected_io_fault_fails_write_and_leaves_old_version() {
+        let mut store = Store::open(tmpdir("inject-io")).unwrap();
+        store.save_profile(0xEE, &sample_profile(), 1).unwrap();
+        store.faults = plan("store.write:io@1");
+        let err = store
+            .save_profile(0xEE, &ProfileData::default(), 9)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        // The old version is intact and no temp file lingers.
+        let loaded = store.load_profile(0xEE).unwrap().value.unwrap();
+        assert_eq!(loaded.runs, 1);
+        let leftovers: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn lock_contention_bounded_and_deterministic() {
+        let mut store = Store::open(tmpdir("lock"))
+            .unwrap()
+            .with_clock(Box::new(CountingClock(AtomicU32::new(0))));
+        store.lock_retries = 4;
+        // Unconditional contention: every attempt fails, then Locked.
+        store.faults = plan("store.lock:panic");
+        let err = store.lock().unwrap_err();
+        assert_eq!(err, StoreError::Locked);
+        // record_run surfaces Locked without touching the cache.
+        let err = store.record_run(0x55, &sample_profile()).unwrap_err();
+        assert_eq!(err, StoreError::Locked);
+        assert!(!store.profile_path(0x55).exists());
+        // Transient contention: first two attempts fail, then success.
+        store.faults = plan("store.lock:panic@1,store.lock:panic@2");
+        let guard = store.lock().expect("acquires after retries");
+        drop(guard);
+        assert!(!store.dir().join("lock").exists(), "guard releases on drop");
+    }
+
+    #[test]
+    fn held_lock_blocks_until_released_then_stale_lock_is_broken() {
+        let mut store = Store::open(tmpdir("lock2"))
+            .unwrap()
+            .with_clock(Box::new(CountingClock(AtomicU32::new(0))));
+        store.lock_retries = 2;
+        let guard = store.lock().unwrap();
+        let err = store.lock().unwrap_err();
+        assert_eq!(err, StoreError::Locked);
+        drop(guard);
+        // An abandoned lock (simulated by aging the threshold to zero) is
+        // broken rather than wedging every future run.
+        let _stale = store.lock().unwrap();
+        std::mem::forget(_stale); // "killed process": no Drop
+        store.lock_stale_after = Duration::ZERO;
+        let g = store.lock().expect("stale lock must be broken");
+        drop(g);
+    }
+
+    #[test]
+    fn reopt_roundtrip_and_corruption_recovery() {
+        let m = lpat_asm::parse_module("t", "define int @main() {\ne:\n  ret int 41\n}").unwrap();
+        let h = module_hash(&m);
+        let store = Store::open(tmpdir("reopt")).unwrap();
+        assert!(store.load_reopt(h, "t").unwrap().value.is_none());
+        store.save_reopt(h, &m).unwrap();
+        let back = store.load_reopt(h, "t").unwrap().value.unwrap();
+        assert_eq!(back.display(), m.display());
+        // Flip a byte inside the stored module payload: quarantined.
+        let path = store.reopt_path(h);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        let out = store.load_reopt(h, "t").unwrap();
+        assert!(out.value.is_none());
+        assert_eq!(out.quarantined.len(), 1);
+    }
+
+    #[test]
+    fn torn_write_truncation_at_every_offset_recovers() {
+        let store = Store::open(tmpdir("torn")).unwrap();
+        let h = 0x77;
+        store.save_profile(h, &sample_profile(), 1).unwrap();
+        let full = std::fs::read(store.profile_path(h)).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(store.profile_path(h), &full[..cut]).unwrap();
+            let out = store.load_profile(h).unwrap();
+            assert!(out.value.is_none(), "cut at {cut} loaded data");
+            assert_eq!(out.quarantined.len(), 1, "cut at {cut}");
+            // Clean up the quarantine file for the next iteration.
+            if let Some(q) = &out.quarantined[0].moved_to {
+                let _ = std::fs::remove_file(q);
+            }
+        }
+    }
+}

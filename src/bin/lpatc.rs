@@ -8,6 +8,8 @@
 //! lpatc link    <in...> -o out      [--emit text|bc] [-O]
 //! lpatc dis     <in.bc>                                     bytecode -> text
 //! lpatc run     <in>    [--profile] [--fuel N] [--input a,b,c] [--max-stack N]
+//!               [--cache-dir DIR] [--profile-in F] [--profile-out F]
+//! lpatc reopt   <in>    [--cache-dir DIR] [--profile-in F] [-o out] [--jobs N]
 //! lpatc analyze <in>                                        DSA + call graph report
 //! lpatc size    <in>                                        code-size report
 //! ```
@@ -25,6 +27,17 @@
 //! such faults fatal instead. `--inject-faults 'gvn:panic@2,...'` (or the
 //! `LPAT_FAULTS` environment variable) deterministically triggers faults
 //! at named sites for testing; see `lpat_core::fault`.
+//!
+//! # Lifelong persistence
+//!
+//! `run --cache-dir DIR` (or `LPAT_CACHE_DIR`) keeps a crash-safe store of
+//! execution profiles and reoptimized bytecode keyed by the content hash
+//! of the module: each run merges its counts into the stored lifetime
+//! profile (flushed on clean exit *and* on trap), and `reopt` consumes the
+//! accumulated profile offline, caching the reoptimized module so the next
+//! `run` picks it up automatically. Corrupt, truncated, or stale store
+//! files are quarantined and regenerated, never trusted. `--profile-out` /
+//! `--profile-in` do the same with a single explicit profile file.
 
 use std::process::ExitCode;
 
@@ -120,9 +133,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 .iter()
                 .find(|a| !a.starts_with('-'))
                 .ok_or("run: no input file")?;
-            let m = load(input)?;
+            let mut m = load(input)?;
+            let cache_dir = cache_dir(rest);
+            let profile_out = flag_value(rest, "--profile-out");
+            let profile_in = flag_value(rest, "--profile-in");
             let mut opts = lpat::vm::VmOptions {
-                profile: has_flag(rest, "--profile"),
+                // Persistence implies instrumentation: the profile is
+                // exactly what gets persisted.
+                profile: has_flag(rest, "--profile")
+                    || cache_dir.is_some()
+                    || profile_out.is_some(),
                 ..Default::default()
             };
             if let Some(f) = flag_value(rest, "--fuel") {
@@ -141,6 +161,55 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         .push_back(v.trim().parse().map_err(|_| "bad --input value")?);
                 }
             }
+            // The cache must never stop the program from running: any
+            // store failure degrades to an uncached run with a warning.
+            let store = match &cache_dir {
+                Some(d) => match lpat::vm::Store::open(d) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("lpatc: warning: cache: {e}; running uncached");
+                        None
+                    }
+                },
+                None => None,
+            };
+            // Under a cache dir, prefer the reoptimized module a previous
+            // idle-time `lpatc reopt` produced for these exact bytes.
+            if let Some(store) = &store {
+                let source_hash = lpat::vm::module_hash(&m);
+                match store.load_reopt(source_hash, &m.name) {
+                    Ok(loaded) => {
+                        for q in &loaded.quarantined {
+                            eprintln!("lpatc: warning: cache: {q}");
+                        }
+                        if let Some(r) = loaded.value {
+                            eprintln!("[cache] using reoptimized module for {source_hash:016x}");
+                            m = r;
+                        }
+                    }
+                    Err(e) => eprintln!("lpatc: warning: cache: {e}"),
+                }
+            }
+            // Profiles are keyed to the module actually executed.
+            let run_hash = lpat::vm::module_hash(&m);
+            // Load-and-merge a prior lifetime profile; a profile recorded
+            // against different bytes is stale and must not be applied.
+            let mut lifetime = lpat::vm::StoredProfile {
+                profile: lpat::vm::ProfileData::default(),
+                runs: 0,
+            };
+            if let Some(p) = profile_in {
+                match lpat::vm::store::read_profile_file(std::path::Path::new(p)) {
+                    Ok((h, sp)) if h == run_hash => lifetime = sp,
+                    Ok((h, _)) => eprintln!(
+                        "lpatc: warning: --profile-in {p}: recorded for module \
+                         {h:016x}, have {run_hash:016x}; starting fresh"
+                    ),
+                    Err(e) => {
+                        eprintln!("lpatc: warning: --profile-in {p}: {e}; starting fresh")
+                    }
+                }
+            }
             let profiling = opts.profile;
             let use_jit = has_flag(rest, "--jit");
             let mut vm = lpat::vm::Vm::new(&m, opts).map_err(|e| e.to_string())?;
@@ -150,8 +219,37 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 vm.run_main()
             };
             print!("{}", vm.output);
+            // Flush the profile on clean exit AND on trap: a lifetime
+            // profile that loses its crashing runs is blind to exactly
+            // the behavior worth reoptimizing around.
             if profiling {
-                report_profile(&m, &vm);
+                lifetime.profile.merge_saturating(&vm.profile);
+                lifetime.runs = lifetime.runs.saturating_add(1);
+                if let Some(store) = &store {
+                    // The store merges this run's delta under its lock;
+                    // a Locked/Io failure skips persisting this one run.
+                    match store.record_run(run_hash, &vm.profile) {
+                        Ok(l) => {
+                            for q in &l.quarantined {
+                                eprintln!("lpatc: warning: cache: {q}");
+                            }
+                        }
+                        Err(e) => eprintln!("lpatc: warning: cache: {e}"),
+                    }
+                }
+                if let Some(p) = profile_out {
+                    if let Err(e) = lpat::vm::store::write_profile_file(
+                        std::path::Path::new(p),
+                        run_hash,
+                        &lifetime.profile,
+                        lifetime.runs,
+                    ) {
+                        eprintln!("lpatc: warning: --profile-out {p}: {e}");
+                    }
+                }
+                if has_flag(rest, "--profile") {
+                    report_profile(&m, &lifetime.profile);
+                }
             }
             match result {
                 Ok(code) => {
@@ -160,6 +258,74 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
                 Err(e) => Err(e.to_string()),
             }
+        }
+        "reopt" => {
+            let input = rest
+                .iter()
+                .find(|a| !a.starts_with('-'))
+                .ok_or("reopt: no input file")?;
+            let mut m = load(input)?;
+            let source_hash = lpat::vm::module_hash(&m);
+            let store = match cache_dir(rest) {
+                Some(d) => Some(lpat::vm::Store::open(d).map_err(|e| e.to_string())?),
+                None => None,
+            };
+            // Gather every available profile for these module bytes.
+            let mut profile = lpat::vm::ProfileData::default();
+            let mut runs = 0u64;
+            if let Some(store) = &store {
+                let loaded = store.load_profile(source_hash).map_err(|e| e.to_string())?;
+                for q in &loaded.quarantined {
+                    eprintln!("lpatc: warning: cache: {q}");
+                }
+                if let Some(sp) = loaded.value {
+                    profile.merge_saturating(&sp.profile);
+                    runs += sp.runs;
+                }
+            }
+            if let Some(p) = flag_value(rest, "--profile-in") {
+                let (h, sp) = lpat::vm::store::read_profile_file(std::path::Path::new(p))
+                    .map_err(|e| format!("--profile-in {p}: {e}"))?;
+                if h != source_hash {
+                    return Err(format!(
+                        "--profile-in {p}: profile was recorded for module {h:016x}, \
+                         this module is {source_hash:016x} (stale; not applied)"
+                    ));
+                }
+                profile.merge_saturating(&sp.profile);
+                runs += sp.runs;
+            }
+            if runs == 0 {
+                return Err(
+                    "reopt: no profile available (use --cache-dir and/or --profile-in)".into(),
+                );
+            }
+            let mut pgo = lpat::vm::PgoOptions::default();
+            if let Some(v) = flag_value(rest, "--jobs") {
+                pgo.jobs = Some(v.parse::<usize>().map_err(|_| "bad --jobs value")?.max(1));
+            }
+            if let Some(t) = flag_value(rest, "--hot-threshold") {
+                pgo.hot_call_threshold = t.parse().map_err(|_| "bad --hot-threshold value")?;
+            }
+            let report = lpat::vm::reoptimize(&mut m, &profile, &pgo);
+            m.verify().map_err(|e| format!("verifier: {}", e[0]))?;
+            eprintln!(
+                "[reopt] inlined {} hot sites, re-laid {} functions ({} runs of profile)",
+                report.inlined, report.relaid, runs
+            );
+            for f in &report.faults {
+                eprintln!("lpatc: warning: reopt: isolated fault: {f}");
+            }
+            if let Some(store) = &store {
+                store
+                    .save_reopt(source_hash, &m)
+                    .map_err(|e| e.to_string())?;
+                eprintln!("[reopt] cached reoptimized module for {source_hash:016x}");
+            }
+            if flag_value(rest, "-o").is_some() {
+                emit(&m, rest)?;
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "analyze" => {
             let input = rest.first().ok_or("analyze: no input file")?;
@@ -217,11 +383,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: lpatc <compile|opt|link|dis|run|analyze|size> <inputs> [flags]\n\
+                "usage: lpatc <compile|opt|link|dis|run|reopt|analyze|size> <inputs> [flags]\n\
                  flags: -o FILE, --emit text|bc, -O/-O2, --link-pipeline,\n\
                  \x20      --jobs N, --verify-each, --time-passes,\n\
                  \x20      --inject-faults PLAN, --no-degrade, --pass-budget-ms N,\n\
-                 \x20      --profile, --jit, --fuel N, --input a,b,c, --max-stack N"
+                 \x20      --profile, --jit, --fuel N, --input a,b,c, --max-stack N,\n\
+                 \x20      --cache-dir DIR (or LPAT_CACHE_DIR), --profile-in FILE,\n\
+                 \x20      --profile-out FILE, --hot-threshold N"
             );
             Ok(ExitCode::SUCCESS)
         }
@@ -238,6 +406,14 @@ fn flag_value<'a>(args: &'a [String], f: &str) -> Option<&'a str> {
         .position(|a| a == f)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Resolve the lifelong cache directory: `--cache-dir DIR` flag, falling
+/// back to the `LPAT_CACHE_DIR` environment variable.
+fn cache_dir(args: &[String]) -> Option<String> {
+    flag_value(args, "--cache-dir")
+        .map(str::to_string)
+        .or_else(|| std::env::var("LPAT_CACHE_DIR").ok())
 }
 
 /// Load a module from any of the three on-disk shapes.
@@ -279,11 +455,11 @@ fn emit(m: &Module, args: &[String]) -> Result<(), String> {
     }
 }
 
-fn report_profile(m: &Module, vm: &lpat::vm::Vm<'_>) {
+fn report_profile(m: &Module, profile: &lpat::vm::ProfileData) {
     eprintln!("\n[profile]");
-    let hot = vm.profile.hot_loops(m, 100);
+    let hot = profile.hot_loops(m, 100);
     for h in hot.iter().take(8) {
-        let (trace, cov) = lpat::vm::form_trace(m, &vm.profile, h);
+        let (trace, cov) = lpat::vm::form_trace(m, profile, h);
         eprintln!(
             "  hot loop @{} bb{} x{}  trace {:?} ({:.0}% coverage)",
             m.func(h.func).name,
@@ -293,7 +469,7 @@ fn report_profile(m: &Module, vm: &lpat::vm::Vm<'_>) {
             cov * 100.0
         );
     }
-    for (caller, site, n) in vm.profile.hot_callsites(100).iter().take(8) {
+    for (caller, site, n) in profile.hot_callsites(100).iter().take(8) {
         eprintln!(
             "  hot call site @{} %t{} x{n}",
             m.func(*caller).name,

@@ -10,6 +10,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lpat::bytecode::format::{write_varint, MAGIC, VERSION};
 use lpat::bytecode::{read_module, write_module};
+use lpat::vm::{Vm, VmOptions};
 
 /// SplitMix64 — deterministic, dependency-free (same generator as
 /// `tests/properties.rs`).
@@ -40,17 +41,33 @@ fn corpus() -> Vec<Vec<u8>> {
 }
 
 /// Feed one buffer to the reader; the only acceptable outcomes are
-/// `Ok` (then the module must survive a verify attempt) or `Err`.
+/// `Ok` (then the module must survive a verify attempt — and if it *does*
+/// verify, actually run under both engines) or `Err`. Decode-only fuzzing
+/// would miss the execution paths a hostile-but-verifier-clean module can
+/// reach (mistyped indirect calls, absurd GEPs), so survivors are executed
+/// under a small fuel budget: any `Ok`/trap is fine, a panic is a bug.
 fn must_not_panic(buf: &[u8], what: &str) {
     let r = catch_unwind(AssertUnwindSafe(|| {
         if let Ok(m) = read_module("fuzz", buf) {
-            let _ = m.verify();
             let _ = m.display();
+            if m.verify().is_ok() {
+                let opts = VmOptions {
+                    fuel: Some(4_000),
+                    mem_limit: 1 << 20,
+                    ..VmOptions::default()
+                };
+                if let Ok(mut vm) = Vm::new(&m, opts.clone()) {
+                    let _ = vm.run_main();
+                }
+                if let Ok(mut vm) = Vm::new(&m, opts) {
+                    let _ = vm.run_main_jit();
+                }
+            }
         }
     }));
     assert!(
         r.is_ok(),
-        "read_module panicked on {what} ({} bytes): {:02x?}...",
+        "reader/engine panicked on {what} ({} bytes): {:02x?}...",
         buf.len(),
         &buf[..buf.len().min(64)]
     );

@@ -1,0 +1,580 @@
+//! End-to-end tests of the lifelong persistence subsystem (paper §3.5–3.6):
+//! cross-run profile accumulation, crash-safe store recovery, and
+//! offline reoptimization through the `lpatc` driver.
+//!
+//! The store's own unit tests (`crates/vm/src/store.rs`) cover the
+//! container format and every error class in-process; this file drives
+//! the same machinery the way a user would — separate `lpatc` processes
+//! sharing a `--cache-dir` — and checks the cross-run guarantees:
+//!
+//! * two runs merge to *exactly* doubled saturating counts, and the
+//!   merged profile identifies the same hot loops/traces as one
+//!   double-length run;
+//! * a torn write (truncation at any offset) is quarantined and the
+//!   store regenerates, never crashes, never silently reuses;
+//! * every [`StoreError`] class degrades a run to "uncached with a
+//!   warning", never a failure;
+//! * two instrumented runs + offline `lpatc reopt` produce the same
+//!   bytes as one in-memory profile→reoptimize session, at any `--jobs`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use lpat::bytecode::write_module;
+use lpat::core::Module;
+use lpat::vm::{module_hash, reoptimize, PgoOptions, ProfileData, Store, Vm, VmOptions};
+
+/// A program with a clearly hot call pair inside a loop whose trip count
+/// we can scale; `main` returns 0 so subprocess success is unambiguous.
+fn src(iters: u32) -> String {
+    format!(
+        "
+extern void print_int(int v);
+
+static int classify(int v) {{
+    if (v % 97 == 0) return 3;
+    if (v % 7 == 0) return 2;
+    return 1;
+}}
+
+static int score(int kind, int v) {{
+    if (kind == 3) return v * 31;
+    if (kind == 2) return v * 5;
+    return v + 1;
+}}
+
+int main() {{
+    int total = 0;
+    for (int i = 0; i < {iters}; i = i + 1) {{
+        int kind = classify(i);
+        total = total + score(kind, i);
+        total = total % 1000003;
+    }}
+    print_int(total);
+    return 0;
+}}"
+    )
+}
+
+fn build(iters: u32) -> Module {
+    lpat::minic::compile("app", &src(iters)).expect("compile")
+}
+
+/// One instrumented in-process run; returns the collected profile.
+fn profile_of(m: &Module) -> ProfileData {
+    let opts = VmOptions {
+        profile: true,
+        ..VmOptions::default()
+    };
+    let mut vm = Vm::new(m, opts).expect("vm");
+    vm.run_main().expect("run");
+    vm.profile
+}
+
+fn lpatc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lpatc"))
+}
+
+/// A fresh per-test scratch directory under the target tmpdir.
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write `m` as bytecode at `dir/app.bc`.
+fn write_bc(dir: &Path, m: &Module) -> PathBuf {
+    let p = dir.join("app.bc");
+    std::fs::write(&p, write_module(m)).unwrap();
+    p
+}
+
+/// Run `lpatc run <bc> --cache-dir <cache>` plus extra args; the run
+/// itself must always succeed regardless of what the cache contains.
+fn run_cached(bc: &Path, cache: &Path, extra: &[&str], env: &[(&str, &str)]) -> (String, String) {
+    let mut cmd = lpatc();
+    cmd.args([
+        "run",
+        bc.to_str().unwrap(),
+        "--cache-dir",
+        cache.to_str().unwrap(),
+    ]);
+    cmd.args(extra);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "run failed (cache dir {}):\n{}",
+        cache.display(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn corrupt_files(cache: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().contains(".corrupt-"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Cross-run merge.
+// ---------------------------------------------------------------------
+
+#[test]
+fn two_runs_store_exactly_doubled_counts() {
+    let dir = fresh_dir("persist-double");
+    let cache = dir.join("cache");
+    let m = build(5000);
+    let bc = write_bc(&dir, &m);
+
+    let (out1, _) = run_cached(&bc, &cache, &[], &[]);
+    let (out2, _) = run_cached(&bc, &cache, &[], &[]);
+    assert_eq!(
+        out1, out2,
+        "deterministic program produced different output"
+    );
+
+    let single = profile_of(&m);
+    let store = Store::open(&cache).unwrap();
+    let loaded = store.load_profile(module_hash(&m)).unwrap();
+    assert!(loaded.quarantined.is_empty());
+    let stored = loaded.value.expect("profile recorded");
+    assert_eq!(stored.runs, 2);
+
+    // Exactly doubled — same keys, every count multiplied by two.
+    assert_eq!(stored.profile.block_counts.len(), single.block_counts.len());
+    for (k, v) in &single.block_counts {
+        assert_eq!(
+            stored.profile.block_counts.get(k),
+            Some(&(v * 2)),
+            "block count {k:?} not exactly doubled"
+        );
+    }
+    assert_eq!(stored.profile.edge_counts.len(), single.edge_counts.len());
+    for (k, v) in &single.edge_counts {
+        assert_eq!(stored.profile.edge_counts.get(k), Some(&(v * 2)));
+    }
+    for (k, v) in &single.call_counts {
+        assert_eq!(stored.profile.call_counts.get(k), Some(&(v * 2)));
+    }
+    for (k, v) in &single.callsite_counts {
+        assert_eq!(stored.profile.callsite_counts.get(k), Some(&(v * 2)));
+    }
+}
+
+#[test]
+fn merged_runs_find_the_same_hot_structure_as_one_long_run() {
+    // Two 2500-iteration runs merged vs one 5000-iteration run: the
+    // modules differ only in the loop bound constant, so hot loops and
+    // traces must line up block-for-block.
+    let half = build(2500);
+    let full = build(5000);
+    let mut merged = profile_of(&half);
+    let again = profile_of(&half);
+    merged.merge_saturating(&again);
+    let long = profile_of(&full);
+
+    let shape = |m: &Module, p: &ProfileData| -> Vec<(String, usize, Vec<usize>)> {
+        p.hot_loops(m, 100)
+            .iter()
+            .map(|h| {
+                let (trace, _cov) = lpat::vm::form_trace(m, p, h);
+                (
+                    m.func(h.func).name.clone(),
+                    h.header.index(),
+                    trace.iter().map(|b| b.index()).collect(),
+                )
+            })
+            .collect()
+    };
+    let merged_shape = shape(&half, &merged);
+    assert!(!merged_shape.is_empty(), "expected at least one hot loop");
+    assert_eq!(
+        merged_shape,
+        shape(&full, &long),
+        "merged profile disagrees with a double-length run on hot structure"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Torn writes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_profile_writes_recover_with_quarantine() {
+    let dir = fresh_dir("persist-torn");
+    let cache = dir.join("cache");
+    let m = build(600);
+    let bc = write_bc(&dir, &m);
+    run_cached(&bc, &cache, &[], &[]);
+
+    let store = Store::open(&cache).unwrap();
+    let ppath = store.profile_path(module_hash(&m));
+    let good = std::fs::read(&ppath).unwrap();
+
+    // Subprocess legs at representative truncation points; the store unit
+    // tests sweep every offset in-process.
+    for cut in [0usize, 1, 4, good.len() / 2, good.len() - 1] {
+        for stale in corrupt_files(&cache) {
+            std::fs::remove_file(stale).unwrap();
+        }
+        std::fs::write(&ppath, &good[..cut]).unwrap();
+        let (_, stderr) = run_cached(&bc, &cache, &[], &[]);
+        assert!(
+            stderr.contains("quarantined"),
+            "cut {cut}: no quarantine warning:\n{stderr}"
+        );
+        assert_eq!(
+            corrupt_files(&cache).len(),
+            1,
+            "cut {cut}: torn file not moved aside"
+        );
+        // The regenerated profile holds exactly this run, nothing torn.
+        let reloaded = store.load_profile(module_hash(&m)).unwrap();
+        assert!(reloaded.quarantined.is_empty());
+        assert_eq!(reloaded.value.expect("regenerated").runs, 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corruption matrix: every StoreError class degrades, never fails.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_store_error_class_degrades_to_an_uncached_run() {
+    let m = build(600);
+    let hash = module_hash(&m);
+    let clean_output = {
+        let dir = fresh_dir("persist-matrix-clean");
+        let cache = dir.join("cache");
+        let bc = write_bc(&dir, &m);
+        run_cached(&bc, &cache, &[], &[]).0
+    };
+
+    // Each leg: seed the failure, run, demand success + identical program
+    // output + a matching warning.
+    struct Leg {
+        name: &'static str,
+        expect: &'static str,
+        env: &'static [(&'static str, &'static str)],
+        seed: fn(&Path, &Module, u64),
+    }
+    let legs: &[Leg] = &[
+        Leg {
+            name: "checksum",
+            expect: "integrity failure",
+            env: &[],
+            seed: |cache, m, hash| {
+                // Flip a byte in the middle of a previously good profile.
+                let p = Store::open(cache).unwrap().profile_path(hash);
+                lpat::vm::store::write_profile_file(&p, hash, &profile_of(m), 1).unwrap();
+                let mut b = std::fs::read(&p).unwrap();
+                let mid = b.len() / 2;
+                b[mid] ^= 0xFF;
+                std::fs::write(&p, b).unwrap();
+            },
+        },
+        Leg {
+            name: "version",
+            expect: "version",
+            env: &[],
+            seed: |cache, m, hash| {
+                let p = Store::open(cache).unwrap().profile_path(hash);
+                lpat::vm::store::write_profile_file(&p, hash, &profile_of(m), 1).unwrap();
+                let mut b = std::fs::read(&p).unwrap();
+                b[4..8].copy_from_slice(&0xFEu32.to_le_bytes());
+                std::fs::write(&p, b).unwrap();
+            },
+        },
+        Leg {
+            name: "stale-hash",
+            expect: "stale artifact",
+            env: &[],
+            seed: |cache, m, hash| {
+                // A profile keyed to different module bytes, parked at
+                // this module's path: gathered on an older build.
+                let p = Store::open(cache).unwrap().profile_path(hash);
+                lpat::vm::store::write_profile_file(&p, hash ^ 1, &profile_of(m), 1).unwrap();
+            },
+        },
+        Leg {
+            name: "locked",
+            expect: "locked",
+            env: &[],
+            seed: |cache, _m, _hash| {
+                std::fs::create_dir_all(cache).unwrap();
+                std::fs::write(cache.join("lock"), "999999\n").unwrap();
+            },
+        },
+        Leg {
+            name: "write-io",
+            expect: "I/O error",
+            env: &[("LPAT_FAULTS", "store.write:io@1")],
+            seed: |_, _, _| {},
+        },
+        Leg {
+            name: "read-io",
+            expect: "I/O error",
+            env: &[("LPAT_FAULTS", "store.read:io@1")],
+            seed: |cache, m, hash| {
+                let p = Store::open(cache).unwrap().profile_path(hash);
+                lpat::vm::store::write_profile_file(&p, hash, &profile_of(m), 1).unwrap();
+            },
+        },
+    ];
+
+    // CI runs one class per job via LPAT_STORE_MATRIX=<name>; locally
+    // every class runs.
+    let only = std::env::var("LPAT_STORE_MATRIX").ok();
+    for leg in legs {
+        if let Some(sel) = &only {
+            if sel != leg.name {
+                continue;
+            }
+        }
+        let dir = fresh_dir(&format!("persist-matrix-{}", leg.name));
+        let cache = dir.join("cache");
+        let bc = write_bc(&dir, &m);
+        (leg.seed)(&cache, &m, hash);
+        let (stdout, stderr) = run_cached(&bc, &cache, &[], leg.env);
+        assert_eq!(
+            stdout, clean_output,
+            "{}: program output changed under a cache failure",
+            leg.name
+        );
+        assert!(
+            stderr.to_lowercase().contains(&leg.expect.to_lowercase()),
+            "{}: expected a '{}' warning, got:\n{stderr}",
+            leg.name,
+            leg.expect
+        );
+        // Failed persistence must leave no temp droppings behind.
+        if cache.exists() {
+            let tmps: Vec<_> = std::fs::read_dir(&cache)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .filter(|n| n.contains(".tmp-"))
+                .collect();
+            assert!(
+                tmps.is_empty(),
+                "{}: leftover temp files {tmps:?}",
+                leg.name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store container fuzzing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutated_store_containers_never_panic() {
+    // Same SplitMix64 generator as tests/fuzz_bytecode.rs.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn usize(&mut self, bound: usize) -> usize {
+            (self.next() % bound.max(1) as u64) as usize
+        }
+    }
+
+    let dir = fresh_dir("persist-fuzz");
+    let cache = dir.join("cache");
+    let m = build(200);
+    let hash = module_hash(&m);
+    let store = Store::open(&cache).unwrap();
+    store.save_profile(hash, &profile_of(&m), 1).unwrap();
+    store.save_reopt(hash, &m).unwrap();
+    let seeds = [
+        std::fs::read(store.profile_path(hash)).unwrap(),
+        std::fs::read(store.reopt_path(hash)).unwrap(),
+    ];
+
+    let mut rng = Rng(0xcafe_f00d);
+    for i in 0..2_000u32 {
+        let mut buf = seeds[rng.usize(seeds.len())].clone();
+        for _ in 0..=rng.usize(4) {
+            match if buf.is_empty() { 3 } else { rng.usize(4) } {
+                0 => {
+                    let p = rng.usize(buf.len());
+                    buf[p] ^= 1 << rng.usize(8);
+                }
+                1 => {
+                    let p = rng.usize(buf.len());
+                    buf[p] = rng.next() as u8;
+                }
+                2 => buf.truncate(rng.usize(buf.len() + 1)),
+                _ => {
+                    let p = rng.usize(buf.len() + 1);
+                    buf.insert(p, rng.next() as u8);
+                }
+            }
+        }
+        // Park the mutant at both paths; a load must classify or
+        // quarantine it — never panic, and never hand back a module or
+        // profile from a file that fails validation undetected.
+        std::fs::write(store.profile_path(hash), &buf).unwrap();
+        std::fs::write(store.reopt_path(hash), &buf).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = store.load_profile(hash);
+            let _ = store.load_reopt(hash, "fuzz");
+        }));
+        assert!(
+            r.is_ok(),
+            "store load panicked on mutant {i} ({} bytes)",
+            buf.len()
+        );
+        for stale in corrupt_files(&cache) {
+            std::fs::remove_file(stale).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Offline reoptimization over the store.
+// ---------------------------------------------------------------------
+
+#[test]
+fn offline_reopt_matches_in_memory_session_at_any_jobs() {
+    let dir = fresh_dir("persist-reopt");
+    let cache = dir.join("cache");
+    let m = build(5000);
+    let bc = write_bc(&dir, &m);
+
+    // End-user side: two instrumented runs in separate processes.
+    run_cached(&bc, &cache, &[], &[]);
+    run_cached(&bc, &cache, &[], &[]);
+
+    // Idle-time side: offline reopt over the accumulated store, at two
+    // worker counts — the result must not depend on scheduling.
+    let mut outs = Vec::new();
+    for jobs in ["1", "8"] {
+        let out_path = dir.join(format!("reopt-j{jobs}.bc"));
+        let out = lpatc()
+            .args([
+                "reopt",
+                bc.to_str().unwrap(),
+                "--cache-dir",
+                cache.to_str().unwrap(),
+                "--jobs",
+                jobs,
+                "-o",
+                out_path.to_str().unwrap(),
+                "--emit",
+                "bc",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "reopt --jobs {jobs} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("inlined"),
+            "--jobs {jobs}: no reopt summary:\n{stderr}"
+        );
+        outs.push(std::fs::read(&out_path).unwrap());
+    }
+    assert_eq!(outs[0], outs[1], "reopt output differs across --jobs");
+
+    // The same session replayed entirely in memory: two profiled runs,
+    // merge, reoptimize. Byte-identical to the offline path. The driver
+    // works on the *shipped* (serialized) module, so replay from the
+    // same bytes.
+    let mut mm = lpat::bytecode::read_module("app", &write_module(&m)).unwrap();
+    let mut merged = profile_of(&mm);
+    let second = profile_of(&mm);
+    merged.merge_saturating(&second);
+    reoptimize(&mut mm, &merged, &PgoOptions::default());
+    assert_eq!(
+        outs[0],
+        write_module(&mm),
+        "offline store-driven reopt diverged from the in-memory session"
+    );
+
+    // And the next run transparently picks up the cached module.
+    let (_, stderr) = run_cached(&bc, &cache, &[], &[]);
+    assert!(
+        stderr.contains("using reoptimized module"),
+        "cached reopt module not used:\n{stderr}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Explicit profile files (--profile-out / --profile-in).
+// ---------------------------------------------------------------------
+
+#[test]
+fn explicit_profile_files_accumulate_across_runs() {
+    let dir = fresh_dir("persist-files");
+    let m = build(600);
+    let bc = write_bc(&dir, &m);
+    let p1 = dir.join("p1.lpp");
+    let p2 = dir.join("p2.lpp");
+
+    let run = |args: &[&str]| {
+        let out = lpatc()
+            .args(["run", bc.to_str().unwrap()])
+            .args(args)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    run(&["--profile-out", p1.to_str().unwrap()]);
+    run(&[
+        "--profile-in",
+        p1.to_str().unwrap(),
+        "--profile-out",
+        p2.to_str().unwrap(),
+    ]);
+
+    let (h1, sp1) = lpat::vm::store::read_profile_file(&p1).unwrap();
+    let (h2, sp2) = lpat::vm::store::read_profile_file(&p2).unwrap();
+    assert_eq!(h1, module_hash(&m));
+    assert_eq!(h2, h1);
+    assert_eq!(sp1.runs, 1);
+    assert_eq!(sp2.runs, 2);
+    for (k, v) in &sp1.profile.block_counts {
+        assert_eq!(sp2.profile.block_counts.get(k), Some(&(v * 2)));
+    }
+
+    // A stale explicit profile (different module bytes) is refused by
+    // reopt, not silently applied.
+    let other = build(601);
+    let stale = dir.join("stale.lpp");
+    lpat::vm::store::write_profile_file(&stale, module_hash(&other), &profile_of(&other), 1)
+        .unwrap();
+    let out = lpatc()
+        .args([
+            "reopt",
+            bc.to_str().unwrap(),
+            "--profile-in",
+            stale.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "stale profile must not be applied");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stale"));
+}
