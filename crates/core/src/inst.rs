@@ -607,6 +607,69 @@ impl Inst {
         }
     }
 
+    /// Number of distinct opcode mnemonics, for dense per-opcode statistics
+    /// tables indexed by [`Inst::opcode_index`].
+    pub const NUM_OPCODES: usize = 32;
+
+    /// Dense index of this instruction's mnemonic in `0..NUM_OPCODES`.
+    ///
+    /// `br` and conditional `br` share one slot (they share a mnemonic);
+    /// every [`BinOp`] and [`CmpPred`] gets its own slot. The interpreter
+    /// and JIT use this to count executed instructions per opcode with a
+    /// plain array instead of a hash map.
+    pub fn opcode_index(&self) -> usize {
+        match self {
+            Inst::Ret(_) => 0,
+            Inst::Br(_) | Inst::CondBr { .. } => 1,
+            Inst::Switch { .. } => 2,
+            Inst::Invoke { .. } => 3,
+            Inst::Unwind => 4,
+            Inst::Unreachable => 5,
+            Inst::Malloc { .. } => 6,
+            Inst::Free(_) => 7,
+            Inst::Alloca { .. } => 8,
+            Inst::Load { .. } => 9,
+            Inst::Store { .. } => 10,
+            Inst::Gep { .. } => 11,
+            Inst::Phi { .. } => 12,
+            Inst::Call { .. } => 13,
+            Inst::Cast { .. } => 14,
+            Inst::VaArg { .. } => 15,
+            Inst::Bin { op, .. } => 16 + *op as usize,
+            Inst::Cmp { pred, .. } => 26 + *pred as usize,
+        }
+    }
+
+    /// The mnemonic for a dense opcode index produced by
+    /// [`Inst::opcode_index`].
+    pub fn opcode_mnemonic(index: usize) -> &'static str {
+        const FIXED: [&str; 16] = [
+            "ret",
+            "br",
+            "switch",
+            "invoke",
+            "unwind",
+            "unreachable",
+            "malloc",
+            "free",
+            "alloca",
+            "load",
+            "store",
+            "getelementptr",
+            "phi",
+            "call",
+            "cast",
+            "vaarg",
+        ];
+        if index < 16 {
+            FIXED[index]
+        } else if index < 26 {
+            BinOp::ALL[index - 16].name()
+        } else {
+            CmpPred::ALL[index - 26].name()
+        }
+    }
+
     /// The opcode mnemonic, for diagnostics and statistics.
     pub fn opcode_name(&self) -> &'static str {
         match self {
@@ -684,6 +747,43 @@ mod tests {
         }
         assert_eq!(CmpPred::Lt.swapped(), CmpPred::Gt);
         assert_eq!(CmpPred::Le.negated(), CmpPred::Gt);
+    }
+
+    #[test]
+    fn opcode_index_roundtrips_to_name() {
+        let samples: Vec<Inst> = vec![
+            Inst::Ret(None),
+            Inst::Br(BlockId(0)),
+            Inst::CondBr {
+                cond: Value::Arg(0),
+                then_bb: BlockId(0),
+                else_bb: BlockId(1),
+            },
+            Inst::Unwind,
+            Inst::Load { ptr: Value::Arg(0) },
+            Inst::Bin {
+                op: BinOp::Shr,
+                lhs: Value::Arg(0),
+                rhs: Value::Arg(1),
+            },
+            Inst::Cmp {
+                pred: CmpPred::Ge,
+                lhs: Value::Arg(0),
+                rhs: Value::Arg(1),
+            },
+            Inst::VaArg {
+                ty: crate::types::TypeId(0),
+            },
+        ];
+        for i in &samples {
+            let idx = i.opcode_index();
+            assert!(idx < Inst::NUM_OPCODES);
+            assert_eq!(Inst::opcode_mnemonic(idx), i.opcode_name());
+        }
+        // Every dense slot has a distinct mnemonic.
+        let names: std::collections::HashSet<&str> =
+            (0..Inst::NUM_OPCODES).map(Inst::opcode_mnemonic).collect();
+        assert_eq!(names.len(), Inst::NUM_OPCODES);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod hash;
 pub mod inst;
 pub mod module;
 pub mod print;
+pub mod trace;
 pub mod types;
 pub mod verify;
 

@@ -1,0 +1,1044 @@
+//! Unified tracing and metrics (observability spine).
+//!
+//! Every subsystem — pass manager, interpreter, JIT, heap, PGO, and the
+//! lifelong store — records into this one module: RAII **spans** (timed
+//! regions), **instant events** (point-in-time facts such as traps or
+//! quarantines), and named **counters** (monotonic sums such as cache hits
+//! or per-opcode execution counts). Recordings land in per-thread ring
+//! buffers and are exported as Chrome trace-event JSON (loadable in
+//! Perfetto / `chrome://tracing`) plus a machine-readable metrics summary.
+//!
+//! # Cost model
+//!
+//! Tracing is off by default. Every record site ([`counter`], [`instant`],
+//! [`instant_args`], span recording) is gated on a single relaxed atomic
+//! load ([`enabled`]); when disabled nothing else runs and nothing
+//! allocates. [`Span`] additionally measures wall time with
+//! [`Instant`] because its callers (e.g. `--time-passes`) need the
+//! duration whether or not tracing is on — the pass report is a *view*
+//! over the same measurement the trace records, not a second stopwatch.
+//!
+//! # Determinism
+//!
+//! Two mechanisms keep the exported trace byte-identical regardless of
+//! `--jobs`, mirroring the fault-injection design:
+//!
+//! 1. **Ordinals.** Every event carries a `u64` ordinal; export sorts by
+//!    it. Serial code draws ordinals from a global counter; parallel
+//!    stages [`reserve`] a contiguous block *before* spawning workers and
+//!    index it by function number (exactly like `FaultPlan::reserve`), so
+//!    the set of (ordinal, event) pairs is independent of interleaving.
+//! 2. **Virtual clock.** Under [`ClockMode::Virtual`] (the injectable
+//!    clock pattern from `lpat_vm::store`), exported timestamps, durations
+//!    and thread ids are pure functions of the ordinal: `ts = ordinal *
+//!    10`, `dur = 5`, `tid = 0`. Real measurements still happen (reports
+//!    keep their wall-clock numbers); only the *export* is virtualized.
+//!
+//! Counters are order-independent sums and need no special handling.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maximum buffered events per thread; overflow increments a drop counter
+/// instead of reallocating without bound.
+pub const RING_CAPACITY: usize = 1 << 16;
+
+/// Clock used when *exporting* timestamps (recording always measures real
+/// time; see the module docs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Wall-clock microseconds since [`enable`].
+    Real,
+    /// Timestamps derived purely from event ordinals — byte-deterministic
+    /// across runs and `--jobs` values.
+    Virtual,
+}
+
+/// What kind of trace event a [`TraceEvent`] is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed region (Chrome phase `"X"`).
+    Span {
+        /// Measured wall-clock duration, in microseconds.
+        dur_us: u64,
+    },
+    /// A point-in-time event (Chrome phase `"i"`).
+    Instant,
+}
+
+/// One recorded event, as drained by [`drain`].
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Deterministic sort key; see the module docs.
+    pub ordinal: u64,
+    /// Subsystem category (`"pass"`, `"vm"`, `"jit"`, `"heap"`, `"pgo"`,
+    /// `"store"`, ...).
+    pub cat: &'static str,
+    /// Event name (pass name, opcode, file stem, ...).
+    pub name: String,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Wall-clock start, microseconds since [`enable`].
+    pub ts_us: u64,
+    /// Recording thread's lane (export `tid` under the real clock).
+    pub lane: u32,
+    /// Structured key/value payload.
+    pub args: Vec<(&'static str, String)>,
+}
+
+struct LocalBuf {
+    lane: u32,
+    events: Vec<TraceEvent>,
+    counters: HashMap<&'static str, u64>,
+    dropped: u64,
+}
+
+impl LocalBuf {
+    fn new(lane: u32) -> LocalBuf {
+        LocalBuf {
+            lane,
+            events: Vec::new(),
+            counters: HashMap::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+struct GlobalTrace {
+    enabled: AtomicBool,
+    virtual_clock: AtomicBool,
+    /// Bumped by [`enable`] so thread-local buffers from a previous session
+    /// re-register instead of writing into drained storage.
+    epoch: AtomicU64,
+    ordinal: AtomicU64,
+    next_lane: AtomicU32,
+    start: Mutex<Option<Instant>>,
+    buffers: Mutex<Vec<Arc<Mutex<LocalBuf>>>>,
+}
+
+fn global() -> &'static GlobalTrace {
+    static G: OnceLock<GlobalTrace> = OnceLock::new();
+    G.get_or_init(|| GlobalTrace {
+        enabled: AtomicBool::new(false),
+        virtual_clock: AtomicBool::new(false),
+        epoch: AtomicU64::new(0),
+        ordinal: AtomicU64::new(0),
+        next_lane: AtomicU32::new(0),
+        start: Mutex::new(None),
+        buffers: Mutex::new(Vec::new()),
+    })
+}
+
+thread_local! {
+    static TLS: RefCell<Option<(u64, Arc<Mutex<LocalBuf>>)>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&mut LocalBuf) -> R) -> R {
+    let g = global();
+    let epoch = g.epoch.load(Ordering::Relaxed);
+    TLS.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let stale = match &*slot {
+            Some((e, _)) => *e != epoch,
+            None => true,
+        };
+        if stale {
+            let lane = g.next_lane.fetch_add(1, Ordering::Relaxed);
+            let buf = Arc::new(Mutex::new(LocalBuf::new(lane)));
+            g.buffers.lock().unwrap().push(Arc::clone(&buf));
+            *slot = Some((epoch, buf));
+        }
+        let buf = Arc::clone(&slot.as_ref().unwrap().1);
+        drop(slot);
+        let r = f(&mut buf.lock().unwrap());
+        r
+    })
+}
+
+/// Start a tracing session, discarding any previous one.
+pub fn enable(clock: ClockMode) {
+    let g = global();
+    g.enabled.store(false, Ordering::SeqCst);
+    g.buffers.lock().unwrap().clear();
+    g.epoch.fetch_add(1, Ordering::SeqCst);
+    g.ordinal.store(0, Ordering::SeqCst);
+    g.next_lane.store(0, Ordering::SeqCst);
+    *g.start.lock().unwrap() = Some(Instant::now());
+    g.virtual_clock
+        .store(clock == ClockMode::Virtual, Ordering::SeqCst);
+    g.enabled.store(true, Ordering::SeqCst);
+}
+
+/// Stop recording. Buffered events stay drainable.
+pub fn disable() {
+    global().enabled.store(false, Ordering::SeqCst);
+}
+
+/// Whether tracing is on — the one relaxed atomic check every record site
+/// is gated on.
+#[inline]
+pub fn enabled() -> bool {
+    global().enabled.load(Ordering::Relaxed)
+}
+
+/// The clock mode of the current (or last) session.
+pub fn clock_mode() -> ClockMode {
+    if global().virtual_clock.load(Ordering::Relaxed) {
+        ClockMode::Virtual
+    } else {
+        ClockMode::Real
+    }
+}
+
+/// Microseconds since [`enable`] (0 when tracing is off).
+pub fn now_us() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    match *global().start.lock().unwrap() {
+        Some(t0) => t0.elapsed().as_micros() as u64,
+        None => 0,
+    }
+}
+
+fn next_ordinal() -> u64 {
+    global().ordinal.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Reserve a contiguous block of `n` ordinals and return its base.
+///
+/// Call this *serially* before fanning work out to parallel workers; each
+/// worker then records with `base + deterministic_index` via
+/// [`record_span_at`], so the exported trace is independent of `--jobs`
+/// (the same protocol `FaultPlan::reserve` uses for fault sites).
+pub fn reserve(n: u64) -> u64 {
+    global().ordinal.fetch_add(n, Ordering::Relaxed)
+}
+
+/// A timed region. Created by [`span`]; records itself on drop.
+///
+/// The measured [`Duration`] is available through [`Span::stop`] /
+/// [`Span::finish`] so callers (e.g. `--time-passes`) report *exactly*
+/// the number the trace records — one stopwatch, two views.
+pub struct Span {
+    recording: bool,
+    cat: &'static str,
+    name: Cow<'static, str>,
+    ordinal: u64,
+    ts_us: u64,
+    t0: Instant,
+    dur: Option<Duration>,
+    args: Vec<(&'static str, String)>,
+}
+
+/// Open a [`Span`] in category `cat`. Draws a serial ordinal — parallel
+/// workers must use [`record_span_at`] with reserved ordinals instead.
+pub fn span(cat: &'static str, name: impl Into<Cow<'static, str>>) -> Span {
+    let recording = enabled();
+    Span {
+        recording,
+        cat,
+        name: name.into(),
+        ordinal: if recording { next_ordinal() } else { 0 },
+        ts_us: if recording { now_us() } else { 0 },
+        t0: Instant::now(),
+        dur: None,
+        args: Vec::new(),
+    }
+}
+
+impl Span {
+    /// Attach a structured argument (no-op when tracing is off).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<String>) {
+        if self.recording {
+            self.args.push((key, value.into()));
+        }
+    }
+
+    /// Freeze and return the duration without recording yet (idempotent).
+    /// Lets callers bank the measurement, then attach outcome args before
+    /// the span records on drop.
+    pub fn stop(&mut self) -> Duration {
+        if self.dur.is_none() {
+            self.dur = Some(self.t0.elapsed());
+        }
+        self.dur.unwrap()
+    }
+
+    /// Record the span and return its measured duration.
+    pub fn finish(mut self) -> Duration {
+        self.stop()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = self.dur.unwrap_or_else(|| self.t0.elapsed());
+        if self.recording {
+            let ev = TraceEvent {
+                ordinal: self.ordinal,
+                cat: self.cat,
+                name: std::mem::take(&mut self.name).into_owned(),
+                kind: EventKind::Span {
+                    dur_us: dur.as_micros() as u64,
+                },
+                ts_us: self.ts_us,
+                lane: 0, // filled from the local buffer below
+                args: std::mem::take(&mut self.args),
+            };
+            with_local(|b| {
+                let mut ev = ev;
+                ev.lane = b.lane;
+                b.push(ev);
+            });
+        }
+    }
+}
+
+/// Record a completed span with a *reserved* ordinal (parallel workers).
+///
+/// `ts_us` should come from [`now_us`] at region start; `dur` is the
+/// measured duration. Only call when [`enabled`] — reserved ordinals only
+/// exist in that case.
+pub fn record_span_at(
+    cat: &'static str,
+    name: String,
+    ordinal: u64,
+    ts_us: u64,
+    dur: Duration,
+    args: Vec<(&'static str, String)>,
+) {
+    if !enabled() {
+        return;
+    }
+    with_local(|b| {
+        let lane = b.lane;
+        b.push(TraceEvent {
+            ordinal,
+            cat,
+            name,
+            kind: EventKind::Span {
+                dur_us: dur.as_micros() as u64,
+            },
+            ts_us,
+            lane,
+            args,
+        });
+    });
+}
+
+/// Record a point-in-time event.
+pub fn instant(cat: &'static str, name: impl Into<Cow<'static, str>>) {
+    instant_args(cat, name, Vec::new());
+}
+
+/// Record a point-in-time event with structured arguments.
+pub fn instant_args(
+    cat: &'static str,
+    name: impl Into<Cow<'static, str>>,
+    args: Vec<(&'static str, String)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let ordinal = next_ordinal();
+    let ts_us = now_us();
+    let name = name.into().into_owned();
+    with_local(|b| {
+        let lane = b.lane;
+        b.push(TraceEvent {
+            ordinal,
+            cat,
+            name,
+            kind: EventKind::Instant,
+            ts_us,
+            lane,
+            args,
+        });
+    });
+}
+
+/// Add `delta` to the named counter. Sums are folded across threads at
+/// [`drain`] time; addition commutes, so counters never perturb
+/// determinism.
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    with_local(|b| *b.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Everything recorded in the current session, drained and merged.
+#[derive(Clone, Debug)]
+pub struct TraceData {
+    /// All events, sorted by ordinal (deterministic order).
+    pub events: Vec<TraceEvent>,
+    /// Folded counter sums, keyed by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Events discarded due to per-thread ring overflow.
+    pub dropped: u64,
+    /// Clock mode the session was enabled with.
+    pub clock: ClockMode,
+}
+
+/// Drain all per-thread buffers into one deterministic [`TraceData`].
+/// Recording may continue afterwards (buffers stay registered, emptied).
+pub fn drain() -> TraceData {
+    let g = global();
+    let mut events = Vec::new();
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut dropped = 0;
+    for buf in g.buffers.lock().unwrap().iter() {
+        let mut b = buf.lock().unwrap();
+        events.append(&mut b.events);
+        for (k, v) in b.counters.drain() {
+            *counters.entry(k).or_insert(0) += v;
+        }
+        dropped += b.dropped;
+        b.dropped = 0;
+    }
+    events.sort_by_key(|e| e.ordinal);
+    TraceData {
+        events,
+        counters,
+        dropped,
+        clock: clock_mode(),
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl TraceData {
+    /// Exported (ts, dur, tid) for an event — virtualized under
+    /// [`ClockMode::Virtual`] so the JSON is byte-identical across runs
+    /// and `--jobs` values.
+    fn view(&self, e: &TraceEvent) -> (u64, u64, u32) {
+        let dur = match e.kind {
+            EventKind::Span { dur_us } => dur_us,
+            EventKind::Instant => 0,
+        };
+        match self.clock {
+            ClockMode::Real => (e.ts_us, dur, e.lane),
+            ClockMode::Virtual => (
+                e.ordinal * 10,
+                match e.kind {
+                    EventKind::Span { .. } => 5,
+                    EventKind::Instant => 0,
+                },
+                0,
+            ),
+        }
+    }
+
+    /// Serialize as Chrome trace-event JSON (`{"traceEvents": [...]}`),
+    /// loadable in Perfetto and `chrome://tracing`. Span events use phase
+    /// `"X"`, instants `"i"`, counters `"C"`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut end_ts = 0u64;
+        for e in &self.events {
+            let (ts, dur, tid) = self.view(e);
+            end_ts = end_ts.max(ts + dur);
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n{\"name\":\"");
+            escape_json(&e.name, &mut out);
+            out.push_str("\",\"cat\":\"");
+            escape_json(e.cat, &mut out);
+            match e.kind {
+                EventKind::Span { .. } => {
+                    let _ = write!(out, "\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur}");
+                }
+                EventKind::Instant => {
+                    let _ = write!(out, "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts}");
+                }
+            }
+            let _ = write!(out, ",\"pid\":1,\"tid\":{tid}");
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json(k, &mut out);
+                    out.push_str("\":\"");
+                    escape_json(v, &mut out);
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n{\"name\":\"");
+            escape_json(name, &mut out);
+            let _ = write!(
+                out,
+                "\",\"ph\":\"C\",\"ts\":{end_ts},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{value}}}}}"
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Per-category span aggregates: `(count, total duration in µs)`.
+    /// Virtualized durations under the virtual clock, so the metrics file
+    /// is deterministic whenever the trace is.
+    pub fn span_totals(&self) -> BTreeMap<&'static str, (u64, u64)> {
+        let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for e in &self.events {
+            if let EventKind::Span { .. } = e.kind {
+                let (_, dur, _) = self.view(e);
+                let t = totals.entry(e.cat).or_insert((0, 0));
+                t.0 += 1;
+                t.1 += dur;
+            }
+        }
+        totals
+    }
+
+    /// Serialize the metrics summary as JSON: counters, per-category span
+    /// aggregates, event/drop totals.
+    pub fn to_metrics_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n\"clock\":\"{}\",\n\"events\":{},\n\"dropped\":{},\n",
+            match self.clock {
+                ClockMode::Real => "real",
+                ClockMode::Virtual => "virtual",
+            },
+            self.events.len(),
+            self.dropped
+        );
+        out.push_str("\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n\"");
+            escape_json(k, &mut out);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("\n},\n\"spans\":{");
+        for (i, (cat, (count, total_us))) in self.span_totals().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n\"");
+            escape_json(cat, &mut out);
+            let _ = write!(out, "\":{{\"count\":{count},\"total_us\":{total_us}}}");
+        }
+        out.push_str("\n}\n}\n");
+        out
+    }
+
+    /// Render the human `--stats` table.
+    pub fn render_stats(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== trace stats ===");
+        let totals = self.span_totals();
+        if !totals.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>12}",
+                "span category", "count", "total µs"
+            );
+            for (cat, (count, total_us)) in &totals {
+                let _ = writeln!(out, "{cat:<20} {count:>8} {total_us:>12}");
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<32} {:>14}", "counter", "value");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "{k:<32} {v:>14}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} event(s), {} dropped",
+            self.events.len(),
+            self.dropped
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON shape validation (zero-dependency), used by tests and the CI
+// schema smoke job to check emitted traces against the Chrome trace-event
+// shape.
+// ---------------------------------------------------------------------------
+
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool),
+            Some(b'f') => self.literal("false", Json::Bool),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.s.len() {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.s[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.s[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Validate `json` against the Chrome trace-event shape: a root object
+/// with a `traceEvents` array whose elements carry `name`/`ph`/`ts`/
+/// `pid`/`tid` (and `dur` for phase `"X"`). Returns the event count.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let mut p = Parser::new(json);
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    let events = match root.get("traceEvents") {
+        Some(Json::Arr(items)) => items,
+        Some(_) => return Err("traceEvents is not an array".into()),
+        None => return Err("missing traceEvents".into()),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: &str| Err(format!("traceEvents[{i}]: {msg}"));
+        if !matches!(ev, Json::Obj(_)) {
+            return fail("not an object");
+        }
+        match ev.get("name") {
+            Some(Json::Str(_)) => {}
+            _ => return fail("missing string 'name'"),
+        }
+        let ph = match ev.get("ph") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return fail("missing string 'ph'"),
+        };
+        for key in ["ts", "pid", "tid"] {
+            match ev.get(key) {
+                Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 => {}
+                _ => return fail(&format!("missing non-negative numeric '{key}'")),
+            }
+        }
+        match ph {
+            "X" => match ev.get("dur") {
+                Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 => {}
+                _ => return fail("phase 'X' missing numeric 'dur'"),
+            },
+            "i" | "C" => {}
+            other => return fail(&format!("unexpected phase {other:?}")),
+        }
+        if ph == "C" {
+            match ev.get("args") {
+                Some(Json::Obj(fields))
+                    if fields.iter().any(|(_, v)| matches!(v, Json::Num(_))) => {}
+                _ => return fail("phase 'C' needs an args object with a numeric value"),
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing state is process-global; tests that enable it serialize
+    /// through this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = locked();
+        disable();
+        let _ = drain();
+        counter("t.disabled", 3);
+        instant("test", "nope");
+        let s = span("test", "also-nope");
+        let d = s.finish();
+        assert!(d <= Duration::from_secs(1));
+        let data = drain();
+        assert!(data.events.is_empty());
+        assert!(data.counters.is_empty());
+    }
+
+    #[test]
+    fn spans_counters_and_instants_roundtrip() {
+        let _g = locked();
+        enable(ClockMode::Real);
+        {
+            let mut s = span("test", "outer");
+            s.arg("k", "v");
+            instant_args("test", "mark", vec![("why", "because".into())]);
+            counter("t.count", 2);
+            counter("t.count", 3);
+            let _ = s.finish();
+        }
+        disable();
+        let data = drain();
+        assert_eq!(data.events.len(), 2);
+        // Ordinal order: the span opened before the instant.
+        assert_eq!(data.events[0].name, "outer");
+        assert_eq!(data.events[0].args, vec![("k", "v".to_string())]);
+        assert!(matches!(data.events[0].kind, EventKind::Span { .. }));
+        assert_eq!(data.events[1].name, "mark");
+        assert!(matches!(data.events[1].kind, EventKind::Instant));
+        assert_eq!(data.counters.get("t.count"), Some(&5));
+        assert!(validate_chrome_trace(&data.to_chrome_json()).unwrap() >= 3);
+    }
+
+    #[test]
+    fn reserved_ordinals_sort_deterministically() {
+        let _g = locked();
+        enable(ClockMode::Virtual);
+        let base = reserve(4);
+        // Record out of order, as racing workers would.
+        for idx in [2u64, 0, 3, 1] {
+            record_span_at(
+                "test",
+                format!("unit-{idx}"),
+                base + idx,
+                0,
+                Duration::from_micros(7),
+                Vec::new(),
+            );
+        }
+        disable();
+        let data = drain();
+        let names: Vec<&str> = data.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["unit-0", "unit-1", "unit-2", "unit-3"]);
+        // Virtual clock: export is a pure function of ordinals.
+        let json = data.to_chrome_json();
+        assert!(json.contains("\"ts\":0,\"dur\":5"));
+        assert!(json.contains(&format!("\"ts\":{}", (base + 3) * 10)));
+        assert!(!json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops() {
+        let _g = locked();
+        enable(ClockMode::Virtual);
+        for _ in 0..(RING_CAPACITY + 10) {
+            instant("test", "spam");
+        }
+        disable();
+        let data = drain();
+        assert_eq!(data.events.len(), RING_CAPACITY);
+        assert_eq!(data.dropped, 10);
+    }
+
+    #[test]
+    fn json_escaping_and_validation() {
+        let _g = locked();
+        enable(ClockMode::Virtual);
+        instant_args(
+            "test",
+            "weird \"name\"\twith\nescapes\u{1}",
+            vec![("path", "a\\b".into())],
+        );
+        disable();
+        let data = drain();
+        let json = data.to_chrome_json();
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 1);
+        assert!(json.contains("weird \\\"name\\\"\\twith\\nescapes\\u0001"));
+        assert!(json.contains("a\\\\b"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_shapes() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        // Phase X without dur.
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":1,\"pid\":1,\"tid\":0}]}"
+        )
+        .is_err());
+        assert_eq!(
+            validate_chrome_trace(
+                "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":0}]}"
+            ),
+            Ok(1)
+        );
+        assert!(validate_chrome_trace("{\"traceEvents\":[]} trailing").is_err());
+    }
+
+    #[test]
+    fn metrics_and_stats_render() {
+        let _g = locked();
+        enable(ClockMode::Virtual);
+        counter("m.counter", 41);
+        counter("m.counter", 1);
+        let _ = span("mcat", "thing").finish();
+        disable();
+        let data = drain();
+        let metrics = data.to_metrics_json();
+        assert!(metrics.contains("\"m.counter\":42"));
+        assert!(metrics.contains("\"mcat\":{\"count\":1,\"total_us\":5}"));
+        assert!(metrics.contains("\"clock\":\"virtual\""));
+        let stats = data.render_stats();
+        assert!(stats.contains("m.counter"));
+        assert!(stats.contains("mcat"));
+    }
+
+    #[test]
+    fn reenable_resets_ordinals_and_buffers() {
+        let _g = locked();
+        enable(ClockMode::Virtual);
+        instant("test", "first-session");
+        enable(ClockMode::Virtual);
+        instant("test", "second-session");
+        disable();
+        let data = drain();
+        assert_eq!(data.events.len(), 1);
+        assert_eq!(data.events[0].name, "second-session");
+        assert_eq!(data.events[0].ordinal, 0);
+    }
+
+    #[test]
+    fn worker_threads_fold_into_one_drain() {
+        let _g = locked();
+        enable(ClockMode::Virtual);
+        let base = reserve(8);
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                scope.spawn(move || {
+                    record_span_at(
+                        "test",
+                        format!("w{w}"),
+                        base + w,
+                        0,
+                        Duration::from_micros(1),
+                        Vec::new(),
+                    );
+                    counter("t.worker", 1);
+                });
+            }
+        });
+        disable();
+        let data = drain();
+        assert_eq!(data.events.len(), 4);
+        assert_eq!(data.counters.get("t.worker"), Some(&4));
+        // Virtual export never leaks real lane ids.
+        assert!(!data.to_chrome_json().contains("\"tid\":2"));
+    }
+}

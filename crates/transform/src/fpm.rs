@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 
 use lpat_analysis::{CacheStats, FuncAnalyses, PreservedAnalyses};
 use lpat_core::fault::{FaultAction, FaultPlan};
+use lpat_core::trace;
 use lpat_core::{
     AddrTypeTable, Const, ConstId, ConstPool, Function, Module, Type, TypeCtx, TypeId, Value,
 };
@@ -139,6 +140,11 @@ struct UnitExec<'a> {
     /// Reserved 1-based hit-ordinal base per sub-pass (aligned with the
     /// pass list; empty when no plan is active).
     bases: &'a [u64],
+    /// Reserved trace-span ordinal base per sub-pass (aligned with the
+    /// pass list; empty when tracing is off). Unit `idx` of pass `pi`
+    /// records with ordinal `tr[pi] + idx` — the same serial-reservation
+    /// protocol as fault sites, so the trace is `--jobs`-independent.
+    tr: &'a [u64],
     budget: Option<Duration>,
     degrade: bool,
 }
@@ -218,9 +224,20 @@ impl ModulePass for FunctionPassAdapter {
                 .collect(),
             None => Vec::new(),
         };
+        // Same reservation trick for trace-span ordinals: one serial
+        // block per sub-pass, indexed by function number.
+        let tr: Vec<u64> = if trace::enabled() {
+            let base = trace::reserve((self.passes.len() * num) as u64);
+            (0..self.passes.len())
+                .map(|pi| base + (pi * num) as u64)
+                .collect()
+        } else {
+            Vec::new()
+        };
         let exec = UnitExec {
             plan: plan.as_deref(),
             bases: &bases,
+            tr: &tr,
             budget: cx.budget,
             degrade: cx.degrade,
         };
@@ -385,6 +402,11 @@ fn run_pipeline_on(
         let snapshot = exec.degrade.then(|| f.clone());
         let ty_len = types.len();
         let c_len = consts.len();
+        let ts_us = if exec.tr.is_empty() {
+            0
+        } else {
+            trace::now_us()
+        };
         let t0 = Instant::now();
         let outcome = if exec.degrade {
             catch_unwind(AssertUnwindSafe(|| {
@@ -395,6 +417,7 @@ fn run_pipeline_on(
         };
         let elapsed = t0.elapsed();
         let mut fault = None;
+        let mut unit_changed = false;
         match outcome {
             Ok(eff) => {
                 if let Some(budget) = exec.budget {
@@ -413,6 +436,7 @@ fn run_pipeline_on(
                 }
                 if fault.is_none() {
                     fa.apply(&eff.preserved, f.version());
+                    unit_changed = eff.changed;
                     rows.push((
                         elapsed,
                         eff.changed,
@@ -422,6 +446,23 @@ fn run_pipeline_on(
                 }
             }
             Err(payload) => fault = Some(FaultCause::Panic(panic_message(payload.as_ref()))),
+        }
+        if !exec.tr.is_empty() {
+            let mut args = vec![(
+                "changed",
+                if unit_changed { "true" } else { "false" }.to_string(),
+            )];
+            if let Some(cause) = &fault {
+                args.push(("fault", cause.to_string()));
+            }
+            trace::record_span_at(
+                "fpass",
+                format!("{} @{}", p.name(), f.name),
+                exec.tr[pi] + idx as u64,
+                ts_us,
+                elapsed,
+                args,
+            );
         }
         if let Some(cause) = fault {
             *f = snapshot.expect("degrade mode always snapshots");

@@ -35,10 +35,11 @@
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use lpat_analysis::{AnalysisManager, CacheStats, PreservedAnalyses};
 use lpat_core::fault::{self, FaultAction, FaultPlan};
+use lpat_core::trace;
 use lpat_core::Module;
 
 /// What a pass did: whether it changed the module, and which analysis
@@ -393,7 +394,7 @@ impl PassManager {
         cx.degrade = self.degrade;
         cx.budget = self.budget.or_else(env_budget);
         cx.faults = self.faults.clone().or_else(fault::global);
-        let run0 = Instant::now();
+        let mut run_sp = trace::span("pipeline", "run");
         let cache0 = cx.am.stats();
         let mut out = Vec::with_capacity(self.passes.len());
         let mut faults = Vec::new();
@@ -404,13 +405,16 @@ impl PassManager {
             // aborts the process anyway, so the module never survives it.
             let snapshot = cx.degrade.then(|| m.clone());
             let injected = cx.faults.as_deref().and_then(|pl| pl.next(name));
-            let t0 = Instant::now();
+            // One stopwatch: the report's per-pass duration *is* this
+            // span's duration, so `--time-passes` and `--trace-out` can
+            // never disagree.
+            let mut sp = trace::span("pass", name);
             let outcome = if cx.degrade {
                 catch_unwind(AssertUnwindSafe(|| run_pass(p.as_mut(), m, cx, injected)))
             } else {
                 Ok(run_pass(p.as_mut(), m, cx, injected))
             };
-            let duration = t0.elapsed();
+            let duration = sp.stop();
             let mut fault = None;
             let mut changed = false;
             match outcome {
@@ -463,6 +467,12 @@ impl PassManager {
                 // pass already bumped past, so any entry cached during it
                 // could ABA-collide with a future version. Drop everything.
                 cx.am.invalidate_all();
+                let cache = cx.am.stats() - pass_cache0;
+                fold_cache_counters(&cache);
+                sp.arg("changed", "false");
+                sp.arg("fault", cause.to_string());
+                drop(sp);
+                trace::instant_args("fault", name, vec![("cause", cause.to_string())]);
                 faults.push(PassFault {
                     pass: name.to_string(),
                     function: None,
@@ -474,21 +484,36 @@ impl PassManager {
                     duration,
                     changed: false,
                     stats: "faulted; rolled back".to_string(),
-                    cache: cx.am.stats() - pass_cache0,
+                    cache,
                     sub: Vec::new(),
                     functions: Vec::new(),
                 });
                 continue;
             }
+            let cache = cx.am.stats() - pass_cache0;
+            fold_cache_counters(&cache);
+            sp.arg("changed", if changed { "true" } else { "false" });
+            drop(sp);
             // Per-function units isolated inside a composite pass surface
-            // here; the stage itself completed.
+            // here; the stage itself completed. Their fault events are
+            // emitted serially, in function order, so ordinals stay
+            // deterministic under any --jobs.
+            if trace::enabled() {
+                for f in &details.faults {
+                    let mut args = vec![("cause", f.cause.to_string())];
+                    if let Some(func) = &f.function {
+                        args.push(("function", func.clone()));
+                    }
+                    trace::instant_args("fault", f.pass.clone(), args);
+                }
+            }
             faults.extend(details.faults);
             out.push(PassExecution {
                 name,
                 duration,
                 changed,
                 stats: p.stats(),
-                cache: cx.am.stats() - pass_cache0,
+                cache,
                 sub: details.sub,
                 functions: details.functions,
             });
@@ -496,7 +521,7 @@ impl PassManager {
         PipelineReport {
             passes: out,
             cache: cx.am.stats() - cache0,
-            total: run0.elapsed(),
+            total: run_sp.stop(),
             faults,
         }
     }
@@ -537,6 +562,18 @@ fn corrupt_module(m: &mut Module) {
     if let Some(id) = m.func_ids().find(|&id| !m.func(id).is_declaration()) {
         m.func_mut(id).add_block();
     }
+}
+
+/// Fold one pass's analysis-cache delta into the trace counters. Counter
+/// sums commute, so per-pass folding adds up to the run totals no matter
+/// how stages interleave.
+fn fold_cache_counters(delta: &CacheStats) {
+    if !trace::enabled() {
+        return;
+    }
+    trace::counter("analysis.cache.hits", delta.hits);
+    trace::counter("analysis.cache.misses", delta.misses);
+    trace::counter("analysis.cache.invalidations", delta.invalidations);
 }
 
 /// The `LPAT_PASS_BUDGET_MS` environment fallback for [`PassManager::budget`].

@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 
+use lpat_core::trace;
 use lpat_core::{
     BinOp, BlockId, CmpPred, Const, ConstId, FuncId, Inst, InstId, IntKind, Module, Type, TypeId,
     Value,
@@ -22,6 +23,44 @@ use crate::error::{ExecError, TrapKind};
 use crate::mem::Memory;
 use crate::profile::ProfileData;
 use crate::value::VmValue;
+
+/// Trace-counter name per dense opcode index: `"vm.op."` +
+/// [`Inst::opcode_mnemonic`]. Spelled out because counter names must be
+/// `&'static str`; a unit test pins the alignment.
+const OP_COUNTER_NAMES: [&str; Inst::NUM_OPCODES] = [
+    "vm.op.ret",
+    "vm.op.br",
+    "vm.op.switch",
+    "vm.op.invoke",
+    "vm.op.unwind",
+    "vm.op.unreachable",
+    "vm.op.malloc",
+    "vm.op.free",
+    "vm.op.alloca",
+    "vm.op.load",
+    "vm.op.store",
+    "vm.op.getelementptr",
+    "vm.op.phi",
+    "vm.op.call",
+    "vm.op.cast",
+    "vm.op.vaarg",
+    "vm.op.add",
+    "vm.op.sub",
+    "vm.op.mul",
+    "vm.op.div",
+    "vm.op.rem",
+    "vm.op.and",
+    "vm.op.or",
+    "vm.op.xor",
+    "vm.op.shl",
+    "vm.op.shr",
+    "vm.op.seteq",
+    "vm.op.setne",
+    "vm.op.setlt",
+    "vm.op.setgt",
+    "vm.op.setle",
+    "vm.op.setge",
+];
 
 /// Interpreter configuration.
 #[derive(Clone, Debug)]
@@ -81,6 +120,11 @@ pub struct Vm<'m> {
     pub profile: ProfileData,
     /// Total instructions executed.
     pub insts_executed: u64,
+    /// Executed-instruction histogram, indexed by
+    /// [`Inst::opcode_index`]. Counted unconditionally (one array add per
+    /// dispatched instruction); rendered by `--stats` and folded into the
+    /// trace by [`Vm::flush_trace`].
+    pub opcode_counts: [u64; Inst::NUM_OPCODES],
     global_addrs: Vec<u32>,
     /// JIT translation cache (one function at a time, translated on first
     /// call, reused across `run_*_jit` invocations).
@@ -95,6 +139,7 @@ impl<'m> Vm<'m> {
     ///
     /// Fails when globals exceed the memory limit.
     pub fn new(m: &'m Module, opts: VmOptions) -> Result<Vm<'m>, ExecError> {
+        let _sp = trace::span("heap", "materialize-globals");
         let mut mem = Memory::new(opts.mem_limit, m.num_funcs() as u32);
         // Two passes: assign addresses, then write initializers (which may
         // reference other globals' addresses).
@@ -115,6 +160,7 @@ impl<'m> Vm<'m> {
             output: String::new(),
             profile: ProfileData::default(),
             insts_executed: 0,
+            opcode_counts: [0; Inst::NUM_OPCODES],
             global_addrs,
             jit_cache: std::collections::HashMap::new(),
         };
@@ -265,18 +311,31 @@ impl<'m> Vm<'m> {
     /// Run `main()` and return its integer exit value (an explicit
     /// `exit(code)` also returns here).
     pub fn run_main(&mut self) -> Result<i64, ExecError> {
-        let main = self
-            .m
-            .func_by_name("main")
-            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "no @main in module"))?;
-        match self.run_function(main, vec![]) {
-            Ok(Some(v)) => v
-                .as_i64()
-                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "main returned non-integer")),
-            Ok(None) => Ok(0),
-            Err(ExecError::Exited(c)) => Ok(c as i64),
-            Err(e) => Err(e),
+        let mut sp = trace::span("vm", "interp @main");
+        let result = {
+            let main = self
+                .m
+                .func_by_name("main")
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "no @main in module"))?;
+            match self.run_function(main, vec![]) {
+                Ok(Some(v)) => v
+                    .as_i64()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "main returned non-integer")),
+                Ok(None) => Ok(0),
+                Err(ExecError::Exited(c)) => Ok(c as i64),
+                Err(e) => Err(e),
+            }
+        };
+        if trace::enabled() {
+            match &result {
+                Ok(code) => sp.arg("exit", code.to_string()),
+                Err(e) => {
+                    sp.arg("error", e.to_string());
+                    trace::instant_args("vm", "trap", vec![("error", e.to_string())]);
+                }
+            }
         }
+        result
     }
 
     /// Call function `f` with `args`; returns its return value.
@@ -309,7 +368,8 @@ impl<'m> Vm<'m> {
             // φ-nodes were already executed on the incoming edge (in
             // `transfer`); visiting one in sequence is free — it is not a
             // real instruction at run time.
-            let is_phi = matches!(func.inst(iid), Inst::Phi { .. });
+            let fetched = func.inst(iid);
+            let is_phi = matches!(fetched, Inst::Phi { .. });
             if !is_phi {
                 if let Some(fuel) = &mut self.opts.fuel {
                     if *fuel == 0 {
@@ -318,6 +378,7 @@ impl<'m> Vm<'m> {
                     *fuel -= 1;
                 }
                 self.insts_executed += 1;
+                self.opcode_counts[fetched.opcode_index()] += 1;
             }
             match self.step(&mut stack, fid, block, iid)? {
                 StepResult::Continue => {
@@ -348,6 +409,10 @@ impl<'m> Vm<'m> {
                     }
                 }
                 StepResult::Unwinding => {
+                    if trace::enabled() {
+                        let fname = self.m.func(fid).name.clone();
+                        trace::instant_args("vm", "unwind", vec![("from", fname)]);
+                    }
                     // Pop frames until one is pending on an invoke.
                     loop {
                         let done = self.pop_frame(&mut stack)?;
@@ -753,6 +818,39 @@ impl<'m> Vm<'m> {
         Ok(off)
     }
 
+    /// The `n` most-executed opcodes so far: `(mnemonic, count)`, sorted by
+    /// descending count (ties broken by opcode index, so the order is
+    /// deterministic). Zero-count opcodes are omitted.
+    pub fn top_opcodes(&self, n: usize) -> Vec<(&'static str, u64)> {
+        let mut order: Vec<usize> = (0..Inst::NUM_OPCODES)
+            .filter(|&i| self.opcode_counts[i] > 0)
+            .collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.opcode_counts[i]), i));
+        order
+            .into_iter()
+            .take(n)
+            .map(|i| (Inst::opcode_mnemonic(i), self.opcode_counts[i]))
+            .collect()
+    }
+
+    /// Fold the engine's accumulated counters — dispatch total, per-opcode
+    /// histogram, heap traffic — into the trace layer. Counts are
+    /// cumulative, so call once, after the last run, before exporting.
+    pub fn flush_trace(&self) {
+        if !trace::enabled() {
+            return;
+        }
+        trace::counter("vm.insts", self.insts_executed);
+        for (i, &n) in self.opcode_counts.iter().enumerate() {
+            trace::counter(OP_COUNTER_NAMES[i], n);
+        }
+        let h = self.mem.stats();
+        trace::counter("heap.allocs", h.allocs);
+        trace::counter("heap.frees", h.frees);
+        trace::counter("heap.coalesces", h.coalesces);
+        trace::counter("heap.peak_bytes", h.peak_bytes);
+    }
+
     /// Dispatch a call to an external declaration (the VM's tiny runtime
     /// library: I/O and process control).
     fn call_external(&mut self, f: FuncId, args: &[VmValue]) -> Result<Option<VmValue>, ExecError> {
@@ -979,4 +1077,20 @@ fn cast_float(f: f64, t: Type) -> Result<VmValue, ExecError> {
             ))
         }
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counter_names_align_with_opcode_table() {
+        for (i, name) in OP_COUNTER_NAMES.iter().enumerate() {
+            assert_eq!(
+                name.strip_prefix("vm.op."),
+                Some(Inst::opcode_mnemonic(i)),
+                "counter name {i} out of sync with the opcode table"
+            );
+        }
+    }
 }

@@ -17,6 +17,7 @@
 
 use std::rc::Rc;
 
+use lpat_core::trace;
 use lpat_core::{
     BinOp, BlockId, CmpPred, Const, FuncId, Inst, IntKind, Module, Type, TypeId, Value,
 };
@@ -483,18 +484,31 @@ impl<'m> Vm<'m> {
     /// instrumentation as the offline generator; here the interpreter is
     /// the instrumented path).
     pub fn run_main_jit(&mut self) -> Result<i64, ExecError> {
-        let main = self
-            .module()
-            .func_by_name("main")
-            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "no @main in module"))?;
-        match self.run_function_jit(main, vec![]) {
-            Ok(Some(v)) => v
-                .as_i64()
-                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "main returned non-integer")),
-            Ok(None) => Ok(0),
-            Err(ExecError::Exited(c)) => Ok(c as i64),
-            Err(e) => Err(e),
+        let mut sp = trace::span("jit", "jit @main");
+        let result = (|| {
+            let main = self
+                .module()
+                .func_by_name("main")
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "no @main in module"))?;
+            match self.run_function_jit(main, vec![]) {
+                Ok(Some(v)) => v
+                    .as_i64()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "main returned non-integer")),
+                Ok(None) => Ok(0),
+                Err(ExecError::Exited(c)) => Ok(c as i64),
+                Err(e) => Err(e),
+            }
+        })();
+        if trace::enabled() {
+            match &result {
+                Ok(code) => sp.arg("exit", code.to_string()),
+                Err(e) => {
+                    sp.arg("error", e.to_string());
+                    trace::instant_args("jit", "trap", vec![("error", e.to_string())]);
+                }
+            }
         }
+        result
     }
 
     /// Call `f` with `args` under the JIT engine.
@@ -583,7 +597,31 @@ impl<'m> Vm<'m> {
         if !self.jit_cache.contains_key(&f) {
             // First call: translate (the "JIT compiles one function at a
             // time" step); the cache persists for the engine's lifetime.
-            let lf = translate_with_globals(self, f)?;
+            let mut sp = if trace::enabled() {
+                Some(trace::span(
+                    "jit",
+                    format!("translate @{}", self.module().func(f).name),
+                ))
+            } else {
+                None
+            };
+            let lf = match translate_with_globals(self, f) {
+                Ok(lf) => lf,
+                Err(e) => {
+                    if let Some(sp) = &mut sp {
+                        sp.arg("error", e.to_string());
+                        trace::instant_args(
+                            "jit",
+                            "bail-to-interp",
+                            vec![
+                                ("function", self.module().func(f).name.clone()),
+                                ("error", e.to_string()),
+                            ],
+                        );
+                    }
+                    return Err(e);
+                }
+            };
             self.jit_cache.insert(f, Rc::new(lf));
         }
         let lf = &self.jit_cache[&f];

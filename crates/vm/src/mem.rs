@@ -16,6 +16,22 @@ pub const FUNC_BASE: u32 = 0x10;
 /// Each function occupies this many synthetic bytes.
 pub const FUNC_STRIDE: u32 = 4;
 
+/// Allocator traffic counters. Maintained unconditionally (plain integer
+/// adds, far cheaper than any conditional would save) and folded into the
+/// trace/metrics layer at run end by `Vm::flush_trace`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Successful [`Memory::alloc`] calls (including free-list reuse).
+    pub allocs: u64,
+    /// Successful [`Memory::release`] calls.
+    pub frees: u64,
+    /// Free-list merges performed by [`Memory::release`] (predecessor and
+    /// successor merges count separately).
+    pub coalesces: u64,
+    /// Highest break observed, in bytes.
+    pub peak_bytes: u64,
+}
+
 /// Simulated memory.
 pub struct Memory {
     bytes: Vec<u8>,
@@ -28,6 +44,8 @@ pub struct Memory {
     live: std::collections::HashMap<u32, u32>,
     /// Number of functions (for function-pointer decoding).
     n_funcs: u32,
+    /// Allocator traffic counters.
+    stats: HeapStats,
 }
 
 impl Memory {
@@ -35,13 +53,18 @@ impl Memory {
     /// cursor placed after the function window for `n_funcs` functions.
     pub fn new(limit: u32, n_funcs: u32) -> Memory {
         let brk = FUNC_BASE + n_funcs * FUNC_STRIDE;
+        let brk = align8(brk);
         Memory {
             bytes: vec![0; 4096.min(limit) as usize],
             limit,
-            brk: align8(brk),
+            brk,
             free: Vec::new(),
             live: std::collections::HashMap::new(),
             n_funcs,
+            stats: HeapStats {
+                peak_bytes: brk as u64,
+                ..HeapStats::default()
+            },
         }
     }
 
@@ -89,6 +112,7 @@ impl Memory {
                 self.free.remove(pos);
             }
             self.live.insert(addr, size);
+            self.stats.allocs += 1;
             return Ok(addr);
         }
         let addr = self.brk;
@@ -98,6 +122,8 @@ impl Memory {
         self.ensure(end)?;
         self.brk = end;
         self.live.insert(addr, size);
+        self.stats.allocs += 1;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(end as u64);
         Ok(addr)
     }
 
@@ -138,12 +164,15 @@ impl Memory {
         }
         if remove_succ {
             self.free.remove(pos);
+            self.stats.coalesces += 1;
         }
         if remove_pred {
             self.free[pos - 1] = (start, end - start);
+            self.stats.coalesces += 1;
         } else {
             self.free.insert(pos, (start, end - start));
         }
+        self.stats.frees += 1;
         // A block ending at the break returns to the break entirely, so
         // a fully drained heap costs nothing.
         if let Some(&(a, s)) = self.free.last() {
@@ -264,6 +293,11 @@ impl Memory {
     pub fn high_water(&self) -> u32 {
         self.brk
     }
+
+    /// Allocator traffic counters accumulated so far.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
 }
 
 fn align8(x: u32) -> u32 {
@@ -355,6 +389,25 @@ mod tests {
         m.release(b).unwrap();
         assert_eq!(m.free_blocks(), 1, "freeing b merges a+b+c");
         assert_eq!(m.alloc(48).unwrap(), a, "merged span serves 3x request");
+    }
+
+    #[test]
+    fn heap_stats_count_traffic() {
+        let mut m = Memory::new(1 << 20, 0);
+        let a = m.alloc(16).unwrap();
+        let b = m.alloc(16).unwrap();
+        let c = m.alloc(16).unwrap();
+        let _hold = m.alloc(16).unwrap();
+        m.release(a).unwrap();
+        m.release(c).unwrap();
+        m.release(b).unwrap(); // merges with both neighbors
+        let s = m.stats();
+        assert_eq!(s.allocs, 4);
+        assert_eq!(s.frees, 3);
+        assert_eq!(s.coalesces, 2, "b merged into predecessor and successor");
+        assert_eq!(s.peak_bytes, m.high_water() as u64);
+        assert!(m.release(a).is_err());
+        assert_eq!(m.stats().frees, 3, "failed free not counted");
     }
 
     #[test]

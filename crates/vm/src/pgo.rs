@@ -16,6 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use lpat_core::fault::FaultAction;
+use lpat_core::trace;
 use lpat_core::{BlockId, Const, FuncId, Inst, Module, Value};
 use lpat_transform::gvn::Gvn;
 use lpat_transform::inline::inline_site;
@@ -134,8 +135,9 @@ pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> P
 
 /// Inline call sites hotter than the threshold. Returns sites inlined.
 pub fn inline_hot_sites(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> usize {
+    let mut sp = trace::span("pgo", "inline-hot-sites");
     let mut inlined = 0;
-    for (caller, site, _count) in profile.hot_callsites(opts.hot_call_threshold) {
+    for (caller, site, count) in profile.hot_callsites(opts.hot_call_threshold) {
         if caller.index() >= m.num_funcs() {
             continue;
         }
@@ -172,13 +174,26 @@ pub fn inline_hot_sites(m: &mut Module, profile: &ProfileData, opts: &PgoOptions
         }
         inline_site(m, caller, b, site, callee);
         inlined += 1;
+        if trace::enabled() {
+            trace::instant_args(
+                "pgo",
+                "hot-callsite",
+                vec![
+                    ("caller", m.func(caller).name.clone()),
+                    ("site", site.index().to_string()),
+                    ("count", count.to_string()),
+                ],
+            );
+        }
     }
+    sp.arg("inlined", inlined.to_string());
     inlined
 }
 
 /// Reorder every profiled function's blocks so hot successors fall
 /// through. Returns the number of functions re-laid.
 pub fn layout_by_profile(m: &mut Module, profile: &ProfileData) -> usize {
+    let mut sp = trace::span("pgo", "layout");
     let mut relaid = 0;
     for fid in m.func_ids().collect::<Vec<_>>() {
         if m.func(fid).is_declaration() {
@@ -189,8 +204,16 @@ pub fn layout_by_profile(m: &mut Module, profile: &ProfileData) -> usize {
         if order != identity {
             m.func_mut(fid).permute_blocks(&order);
             relaid += 1;
+            if trace::enabled() {
+                trace::instant_args(
+                    "pgo",
+                    "relaid",
+                    vec![("function", m.func(fid).name.clone())],
+                );
+            }
         }
     }
+    sp.arg("relaid", relaid.to_string());
     relaid
 }
 

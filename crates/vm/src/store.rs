@@ -46,6 +46,7 @@ use lpat_bytecode::container::{
 };
 use lpat_core::fault::{self, FaultAction, FaultPlan};
 use lpat_core::hash::fnv1a64;
+use lpat_core::trace;
 use lpat_core::Module;
 
 use crate::profile::ProfileData;
@@ -54,6 +55,15 @@ use crate::profile::ProfileData;
 /// serialization. This is the key every stored artifact is filed under.
 pub fn module_hash(m: &Module) -> u64 {
     fnv1a64(&lpat_bytecode::write_module(m))
+}
+
+/// Deterministic file label for trace arguments: the final path component
+/// only — cache directories are run-specific temp paths, but artifact file
+/// names are keyed by content hash and stable across runs.
+fn file_label(path: &Path) -> String {
+    path.file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
 }
 
 /// Classified store failure. See the module-level recovery matrix.
@@ -81,6 +91,21 @@ pub enum StoreError {
     Locked,
     /// An underlying I/O failure (including injected ones).
     Io(String),
+}
+
+impl StoreError {
+    /// Short machine-stable class name for this error variant, used to key
+    /// per-class diagnostics deduplication and trace event arguments.
+    pub fn class(&self) -> &'static str {
+        match self {
+            StoreError::Missing => "missing",
+            StoreError::VersionMismatch { .. } => "version-mismatch",
+            StoreError::ChecksumFail(_) => "checksum-fail",
+            StoreError::StaleHash { .. } => "stale-hash",
+            StoreError::Locked => "locked",
+            StoreError::Io(_) => "io",
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -241,6 +266,24 @@ impl Store {
         kind: [u8; 4],
         expected_hash: u64,
     ) -> Result<Container, StoreError> {
+        let mut sp = if trace::enabled() {
+            Some(trace::span("store", format!("read {}", file_label(path))))
+        } else {
+            None
+        };
+        let r = self.read_validated_inner(path, kind, expected_hash);
+        if let (Some(sp), Err(e)) = (&mut sp, &r) {
+            sp.arg("error", e.class());
+        }
+        r
+    }
+
+    fn read_validated_inner(
+        &self,
+        path: &Path,
+        kind: [u8; 4],
+        expected_hash: u64,
+    ) -> Result<Container, StoreError> {
         match self.fault("store.read") {
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
             Some(_) => return Err(StoreError::Io("injected fault at site 'store.read'".into())),
@@ -278,6 +321,16 @@ impl Store {
     /// Move a bad file aside as `<name>.corrupt-N` so it is preserved for
     /// inspection but never read again.
     fn quarantine(&self, path: &Path, error: StoreError) -> Quarantine {
+        if trace::enabled() {
+            trace::instant_args(
+                "store",
+                "quarantine",
+                vec![
+                    ("class", error.class().to_string()),
+                    ("file", file_label(path)),
+                ],
+            );
+        }
         let mut moved_to = None;
         for n in 1..1000u32 {
             let candidate = PathBuf::from(format!("{}.corrupt-{n}", path.display()));
@@ -403,6 +456,19 @@ impl Store {
     /// directory, fsync, rename into place, fsync the directory. A kill at
     /// any point leaves the old content or the new, never a mix.
     fn atomic_write(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut sp = if trace::enabled() {
+            Some(trace::span("store", format!("write {}", file_label(path))))
+        } else {
+            None
+        };
+        let r = self.atomic_write_inner(path, bytes);
+        if let (Some(sp), Err(e)) = (&mut sp, &r) {
+            sp.arg("error", e.class());
+        }
+        r
+    }
+
+    fn atomic_write_inner(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
         let mut bytes = std::borrow::Cow::Borrowed(bytes);
         match self.fault("store.write") {
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
@@ -516,6 +582,17 @@ impl Store {
     /// [`StoreError::Locked`] after the retry budget; [`StoreError::Io`]
     /// for unexpected filesystem failures.
     pub fn lock(&self) -> Result<LockGuard, StoreError> {
+        let mut sp = trace::span("store", "lock");
+        let r = self.lock_inner();
+        if trace::enabled() {
+            if let Err(e) = &r {
+                sp.arg("error", e.class());
+            }
+        }
+        r
+    }
+
+    fn lock_inner(&self) -> Result<LockGuard, StoreError> {
         let path = self.dir.join("lock");
         for attempt in 0..=self.lock_retries {
             // The fault site models a held/contended lock: any non-delay

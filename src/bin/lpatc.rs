@@ -7,12 +7,20 @@
 //!               [--inject-faults PLAN] [--no-degrade] [--pass-budget-ms N]
 //! lpatc link    <in...> -o out      [--emit text|bc] [-O]
 //! lpatc dis     <in.bc>                                     bytecode -> text
-//! lpatc run     <in>    [--profile] [--fuel N] [--input a,b,c] [--max-stack N]
+//! lpatc run     <in>    [-O] [--profile] [--fuel N] [--input a,b,c] [--max-stack N]
 //!               [--cache-dir DIR] [--profile-in F] [--profile-out F]
 //! lpatc reopt   <in>    [--cache-dir DIR] [--profile-in F] [-o out] [--jobs N]
 //! lpatc analyze <in>                                        DSA + call graph report
 //! lpatc size    <in>                                        code-size report
 //! ```
+//!
+//! Every command also accepts `--quiet` (silence stderr notices and
+//! warnings) and the observability flags `--trace-out FILE` (Chrome
+//! trace-event JSON, loadable in Perfetto / `chrome://tracing`),
+//! `--metrics-out FILE` (machine-readable metrics summary), `--stats`
+//! (human-readable metrics table on stderr), and
+//! `--trace-clock virtual|real` (or `LPAT_TRACE_CLOCK`) — the virtual
+//! clock makes trace exports byte-deterministic for tests.
 //!
 //! Inputs are auto-detected: files beginning with the `LPAT` magic load as
 //! bytecode, files ending in `.mc` compile as miniC, anything else parses
@@ -64,6 +72,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             lpat::core::FaultPlan::parse(plan).map_err(|e| format!("--inject-faults: {e}"))?;
         lpat::core::fault::install(plan);
     }
+    // Enable tracing before any module is loaded or pipeline runs so every
+    // subsystem's spans land in the export.
+    let trace_cfg = setup_trace(rest)?;
+    let mut diag = Diag::new(has_flag(rest, "--quiet"));
+    let result = dispatch(cmd, rest, &mut diag);
+    finalize_trace(&trace_cfg, &diag)?;
+    diag.flush();
+    result
+}
+
+fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, String> {
     match cmd {
         "compile" | "opt" | "link" | "dis" => {
             let inputs: Vec<&String> = rest.iter().take_while(|a| !a.starts_with('-')).collect();
@@ -115,13 +134,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             if time_passes {
                 for (title, r) in &reports {
-                    eprintln!("=== {title} ===");
-                    eprint!("{}", r.render());
+                    diag.dump(&format!("=== {title} ==="));
+                    diag.dump_raw(&r.render());
                 }
             }
             for (title, r) in &reports {
                 for f in &r.faults {
-                    eprintln!("lpatc: warning: {title}: isolated fault: {f}");
+                    diag.warn(&format!("{title}: isolated fault: {f}"));
                 }
             }
             m.verify().map_err(|e| format!("verifier: {}", e[0]))?;
@@ -134,6 +153,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 .find(|a| !a.starts_with('-'))
                 .ok_or("run: no input file")?;
             let mut m = load(input)?;
+            // `run -O` optimizes in-process first, so a single traced run
+            // covers the compiler, the VM, the heap, and the store.
+            if has_flag(rest, "-O") || has_flag(rest, "-O2") {
+                let mut pm = lpat::transform::function_pipeline();
+                if let Some(v) = flag_value(rest, "--jobs") {
+                    pm.jobs = Some(v.parse::<usize>().map_err(|_| "bad --jobs value")?.max(1));
+                }
+                let r = pm.run(&mut m);
+                for f in &r.faults {
+                    diag.warn(&format!("function pipeline: isolated fault: {f}"));
+                }
+                m.verify().map_err(|e| format!("verifier: {}", e[0]))?;
+            }
             let cache_dir = cache_dir(rest);
             let profile_out = flag_value(rest, "--profile-out");
             let profile_in = flag_value(rest, "--profile-in");
@@ -167,7 +199,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Some(d) => match lpat::vm::Store::open(d) {
                     Ok(s) => Some(s),
                     Err(e) => {
-                        eprintln!("lpatc: warning: cache: {e}; running uncached");
+                        diag.cache_warn(e.class(), &format!("{e}; running uncached"));
                         None
                     }
                 },
@@ -180,14 +212,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 match store.load_reopt(source_hash, &m.name) {
                     Ok(loaded) => {
                         for q in &loaded.quarantined {
-                            eprintln!("lpatc: warning: cache: {q}");
+                            diag.cache_warn(q.error.class(), &q.to_string());
                         }
                         if let Some(r) = loaded.value {
-                            eprintln!("[cache] using reoptimized module for {source_hash:016x}");
+                            diag.note(&format!(
+                                "[cache] using reoptimized module for {source_hash:016x}"
+                            ));
                             m = r;
                         }
                     }
-                    Err(e) => eprintln!("lpatc: warning: cache: {e}"),
+                    Err(e) => diag.cache_warn(e.class(), &e.to_string()),
                 }
             }
             // Profiles are keyed to the module actually executed.
@@ -201,13 +235,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if let Some(p) = profile_in {
                 match lpat::vm::store::read_profile_file(std::path::Path::new(p)) {
                     Ok((h, sp)) if h == run_hash => lifetime = sp,
-                    Ok((h, _)) => eprintln!(
-                        "lpatc: warning: --profile-in {p}: recorded for module \
+                    Ok((h, _)) => diag.warn(&format!(
+                        "--profile-in {p}: recorded for module \
                          {h:016x}, have {run_hash:016x}; starting fresh"
-                    ),
-                    Err(e) => {
-                        eprintln!("lpatc: warning: --profile-in {p}: {e}; starting fresh")
-                    }
+                    )),
+                    Err(e) => diag.warn(&format!("--profile-in {p}: {e}; starting fresh")),
                 }
             }
             let profiling = opts.profile;
@@ -219,6 +251,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 vm.run_main()
             };
             print!("{}", vm.output);
+            // Fold the VM's counters (instructions, per-opcode, heap) into
+            // the trace before it is drained for export.
+            vm.flush_trace();
             // Flush the profile on clean exit AND on trap: a lifetime
             // profile that loses its crashing runs is blind to exactly
             // the behavior worth reoptimizing around.
@@ -231,10 +266,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     match store.record_run(run_hash, &vm.profile) {
                         Ok(l) => {
                             for q in &l.quarantined {
-                                eprintln!("lpatc: warning: cache: {q}");
+                                diag.cache_warn(q.error.class(), &q.to_string());
                             }
                         }
-                        Err(e) => eprintln!("lpatc: warning: cache: {e}"),
+                        Err(e) => diag.cache_warn(e.class(), &e.to_string()),
                     }
                 }
                 if let Some(p) = profile_out {
@@ -244,16 +279,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         &lifetime.profile,
                         lifetime.runs,
                     ) {
-                        eprintln!("lpatc: warning: --profile-out {p}: {e}");
+                        diag.warn(&format!("--profile-out {p}: {e}"));
                     }
                 }
                 if has_flag(rest, "--profile") {
-                    report_profile(&m, &lifetime.profile);
+                    report_profile(&m, &lifetime.profile, diag);
+                }
+            }
+            // Per-opcode execution histogram (interpreter dispatch counts).
+            if has_flag(rest, "--stats") {
+                let top = vm.top_opcodes(10);
+                if !top.is_empty() {
+                    diag.dump("\n[profile] top opcodes:");
+                    for (name, n) in top {
+                        diag.dump(&format!("  {name:<14} {n:>12}"));
+                    }
                 }
             }
             match result {
                 Ok(code) => {
-                    eprintln!("[exit {code}; {} instructions]", vm.insts_executed);
+                    diag.note(&format!(
+                        "[exit {code}; {} instructions]",
+                        vm.insts_executed
+                    ));
                     Ok(ExitCode::from((code & 0xFF) as u8))
                 }
                 Err(e) => Err(e.to_string()),
@@ -276,7 +324,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if let Some(store) = &store {
                 let loaded = store.load_profile(source_hash).map_err(|e| e.to_string())?;
                 for q in &loaded.quarantined {
-                    eprintln!("lpatc: warning: cache: {q}");
+                    diag.cache_warn(q.error.class(), &q.to_string());
                 }
                 if let Some(sp) = loaded.value {
                     profile.merge_saturating(&sp.profile);
@@ -309,18 +357,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             let report = lpat::vm::reoptimize(&mut m, &profile, &pgo);
             m.verify().map_err(|e| format!("verifier: {}", e[0]))?;
-            eprintln!(
+            diag.note(&format!(
                 "[reopt] inlined {} hot sites, re-laid {} functions ({} runs of profile)",
                 report.inlined, report.relaid, runs
-            );
+            ));
             for f in &report.faults {
-                eprintln!("lpatc: warning: reopt: isolated fault: {f}");
+                diag.warn(&format!("reopt: isolated fault: {f}"));
             }
             if let Some(store) = &store {
                 store
                     .save_reopt(source_hash, &m)
                     .map_err(|e| e.to_string())?;
-                eprintln!("[reopt] cached reoptimized module for {source_hash:016x}");
+                diag.note(&format!(
+                    "[reopt] cached reoptimized module for {source_hash:016x}"
+                ));
             }
             if flag_value(rest, "-o").is_some() {
                 emit(&m, rest)?;
@@ -389,12 +439,138 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                  \x20      --inject-faults PLAN, --no-degrade, --pass-budget-ms N,\n\
                  \x20      --profile, --jit, --fuel N, --input a,b,c, --max-stack N,\n\
                  \x20      --cache-dir DIR (or LPAT_CACHE_DIR), --profile-in FILE,\n\
-                 \x20      --profile-out FILE, --hot-threshold N"
+                 \x20      --profile-out FILE, --hot-threshold N,\n\
+                 \x20      --trace-out FILE, --metrics-out FILE, --stats,\n\
+                 \x20      --trace-clock virtual|real (or LPAT_TRACE_CLOCK), --quiet"
             );
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command '{other}' (try 'lpatc help')")),
     }
+}
+
+/// All driver diagnostics flow through here, and only program output and
+/// report tables go to stdout. Notices and warnings print to stderr and
+/// are silenced by `--quiet`; explicitly requested dumps (`--time-passes`,
+/// `--profile`, `--stats`) always print. Cache warnings deduplicate per
+/// `StoreError` class: the first of each class prints, the rest are
+/// counted and summarized by `Diag::flush`.
+struct Diag {
+    quiet: bool,
+    cache_seen: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Diag {
+    fn new(quiet: bool) -> Diag {
+        Diag {
+            quiet,
+            cache_seen: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Informational notice (`[cache]`, `[reopt]`, `[exit …]`).
+    fn note(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// Warning (prefixed `lpatc: warning:`).
+    fn warn(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("lpatc: warning: {msg}");
+        }
+    }
+
+    /// Cache warning, deduplicated by error class.
+    fn cache_warn(&mut self, class: &'static str, msg: &str) {
+        let n = self.cache_seen.entry(class).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            self.warn(&format!("cache: {msg}"));
+        }
+    }
+
+    /// Explicitly requested dump line — prints even under `--quiet`.
+    fn dump(&self, msg: &str) {
+        eprintln!("{msg}");
+    }
+
+    /// Explicitly requested dump, pre-formatted (no trailing newline added).
+    fn dump_raw(&self, msg: &str) {
+        eprint!("{msg}");
+    }
+
+    /// Summarize suppressed duplicate cache warnings.
+    fn flush(&self) {
+        for (class, n) in &self.cache_seen {
+            if *n > 1 {
+                self.warn(&format!(
+                    "cache: {} more '{class}' warning(s) suppressed",
+                    n - 1
+                ));
+            }
+        }
+    }
+}
+
+/// Trace/metrics outputs requested on the command line.
+struct TraceConfig {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    stats: bool,
+}
+
+impl TraceConfig {
+    fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.stats
+    }
+}
+
+/// Parse trace flags and enable recording if any output was requested.
+/// The clock comes from `--trace-clock virtual|real`, falling back to the
+/// `LPAT_TRACE_CLOCK` environment variable (the flag wins).
+fn setup_trace(rest: &[String]) -> Result<TraceConfig, String> {
+    let cfg = TraceConfig {
+        trace_out: flag_value(rest, "--trace-out").map(str::to_string),
+        metrics_out: flag_value(rest, "--metrics-out").map(str::to_string),
+        stats: has_flag(rest, "--stats"),
+    };
+    if cfg.active() {
+        let mode = match flag_value(rest, "--trace-clock") {
+            Some("virtual") => lpat::core::trace::ClockMode::Virtual,
+            Some("real") => lpat::core::trace::ClockMode::Real,
+            Some(other) => {
+                return Err(format!("bad --trace-clock '{other}' (virtual or real)"));
+            }
+            None => match std::env::var("LPAT_TRACE_CLOCK").as_deref() {
+                Ok("virtual") => lpat::core::trace::ClockMode::Virtual,
+                _ => lpat::core::trace::ClockMode::Real,
+            },
+        };
+        lpat::core::trace::enable(mode);
+    }
+    Ok(cfg)
+}
+
+/// Drain the trace and write the requested exports.
+fn finalize_trace(cfg: &TraceConfig, diag: &Diag) -> Result<(), String> {
+    if !cfg.active() {
+        return Ok(());
+    }
+    let data = lpat::core::trace::drain();
+    if let Some(p) = &cfg.trace_out {
+        std::fs::write(p, data.to_chrome_json()).map_err(|e| format!("--trace-out {p}: {e}"))?;
+        diag.note(&format!("[trace] wrote {p}"));
+    }
+    if let Some(p) = &cfg.metrics_out {
+        std::fs::write(p, data.to_metrics_json()).map_err(|e| format!("--metrics-out {p}: {e}"))?;
+        diag.note(&format!("[trace] wrote {p}"));
+    }
+    if cfg.stats {
+        diag.dump_raw(&data.render_stats());
+    }
+    Ok(())
 }
 
 fn has_flag(args: &[String], f: &str) -> bool {
@@ -455,25 +631,25 @@ fn emit(m: &Module, args: &[String]) -> Result<(), String> {
     }
 }
 
-fn report_profile(m: &Module, profile: &lpat::vm::ProfileData) {
-    eprintln!("\n[profile]");
+fn report_profile(m: &Module, profile: &lpat::vm::ProfileData, diag: &Diag) {
+    diag.dump("\n[profile]");
     let hot = profile.hot_loops(m, 100);
     for h in hot.iter().take(8) {
         let (trace, cov) = lpat::vm::form_trace(m, profile, h);
-        eprintln!(
+        diag.dump(&format!(
             "  hot loop @{} bb{} x{}  trace {:?} ({:.0}% coverage)",
             m.func(h.func).name,
             h.header.index(),
             h.header_count,
             trace.iter().map(|b| b.index()).collect::<Vec<_>>(),
             cov * 100.0
-        );
+        ));
     }
     for (caller, site, n) in profile.hot_callsites(100).iter().take(8) {
-        eprintln!(
+        diag.dump(&format!(
             "  hot call site @{} %t{} x{n}",
             m.func(*caller).name,
             site.index()
-        );
+        ));
     }
 }
