@@ -1,0 +1,229 @@
+//! `vmperf` — the VM execution-engine benchmark.
+//!
+//! Runs every workload under four engines — the reference interpreter,
+//! the full JIT (translate everything on first call), the tiered engine
+//! cold (counter-driven promotion), and the tiered engine warm-started
+//! from a prior run's profile — and emits `BENCH_vm.json`
+//! (`lpat-bench-vm/v1`): per-workload wall time (best of N reps),
+//! instructions/second, translation time, and promotion counts, plus the
+//! two headline geomeans (tiered vs. interpreter, warm vs. cold).
+//!
+//! Every engine's program output and exit code are asserted identical to
+//! the interpreter's before any timing is reported — a benchmark of a
+//! wrong answer is worthless.
+//!
+//! ```text
+//! cargo run -p lpat-bench --release --bin vmperf [-- --quick] [-- -o FILE]
+//! ```
+//!
+//! `--quick` drops to one rep per engine (the CI smoke configuration);
+//! the committed artifact is generated in release mode without it.
+
+use std::time::Instant;
+
+use lpat_vm::{Vm, VmOptions};
+
+struct EngineResult {
+    wall_ms: f64,
+    insts: u64,
+    translate_ms: f64,
+    promoted: u64,
+    warmed: u64,
+    osr: u64,
+}
+
+impl EngineResult {
+    fn insts_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.insts as f64 / (self.wall_ms / 1000.0)
+        }
+    }
+}
+
+/// Run `main` once under the selected engine, returning the result row
+/// plus the observed (exit, output) pair for cross-engine verification.
+fn run_once(
+    m: &lpat_core::Module,
+    engine: &str,
+    warm: Option<&lpat_vm::ProfileData>,
+) -> (EngineResult, i64, String) {
+    let opts = VmOptions::default();
+    let mut vm = Vm::new(m, opts).expect("vm init");
+    if let Some(p) = warm {
+        vm.warm_start(p);
+    }
+    let t0 = Instant::now();
+    let code = match engine {
+        "interp" => vm.run_main(),
+        "jit" => vm.run_main_jit(),
+        _ => vm.run_main_tiered(),
+    }
+    .unwrap_or_else(|e| panic!("{}: {engine}: {e}", m.name));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let t = &vm.tier_stats;
+    (
+        EngineResult {
+            wall_ms,
+            insts: vm.insts_executed,
+            translate_ms: t.translate_ns as f64 / 1e6,
+            promoted: t.promoted,
+            warmed: t.warmed,
+            osr: t.osr,
+        },
+        code,
+        vm.output.clone(),
+    )
+}
+
+/// Best-of-`reps` timing (minimum wall time; counters from the last rep —
+/// they are identical across reps by determinism).
+fn run_best(
+    m: &lpat_core::Module,
+    engine: &str,
+    warm: Option<&lpat_vm::ProfileData>,
+    reps: usize,
+    expect: Option<&(i64, String)>,
+) -> (EngineResult, i64, String) {
+    let mut best: Option<EngineResult> = None;
+    let mut last = None;
+    for _ in 0..reps {
+        let (r, code, out) = run_once(m, engine, warm);
+        if let Some((ecode, eout)) = expect {
+            assert_eq!(
+                (*ecode, eout.as_str()),
+                (code, out.as_str()),
+                "{}: engine '{engine}' diverged from interpreter",
+                m.name
+            );
+        }
+        best = Some(match best {
+            Some(b) if b.wall_ms <= r.wall_ms => b,
+            _ => r,
+        });
+        last = Some((code, out));
+    }
+    let (code, out) = last.unwrap();
+    (best.unwrap(), code, out)
+}
+
+fn jnum(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_vm.json".to_string());
+    let scale = 0u32;
+    let reps = if quick { 1 } else { 3 };
+
+    let suite = lpat_workloads::suite(scale);
+    let mut rows = Vec::new();
+    let mut speedup_tiered = Vec::new();
+    let mut speedup_warm = Vec::new();
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}   {:>8} {:>8}",
+        "workload", "interp ms", "jit ms", "tiered ms", "warm ms", "tier/int", "warm/cold"
+    );
+    for w in &suite {
+        let m = lpat_bench::prepare(w.name, &w.source);
+        // Reference run: the interpreter's answer is ground truth.
+        let (interp, code, output) = run_best(&m, "interp", None, reps, None);
+        let expect = (code, output);
+        let (jit, _, _) = run_best(&m, "jit", None, reps, Some(&expect));
+        let (tiered, _, _) = run_best(&m, "tiered", None, reps, Some(&expect));
+        // Warm-start profile: one untimed instrumented tiered run.
+        let profile = {
+            let opts = VmOptions {
+                profile: true,
+                ..VmOptions::default()
+            };
+            let mut vm = Vm::new(&m, opts).expect("vm init");
+            vm.run_main_tiered()
+                .unwrap_or_else(|e| panic!("{}: profiling run: {e}", w.name));
+            vm.profile.clone()
+        };
+        let (warm, _, _) = run_best(&m, "tiered", Some(&profile), reps, Some(&expect));
+        let sp_t = interp.wall_ms / tiered.wall_ms.max(1e-9);
+        let sp_w = tiered.wall_ms / warm.wall_ms.max(1e-9);
+        speedup_tiered.push(sp_t);
+        speedup_warm.push(sp_w);
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}   {:>7.2}x {:>8.2}x",
+            w.name, interp.wall_ms, jit.wall_ms, tiered.wall_ms, warm.wall_ms, sp_t, sp_w
+        );
+        rows.push((w.name, interp, jit, tiered, warm));
+    }
+
+    let geomean =
+        |v: &[f64]| -> f64 { (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp() };
+    let g_tiered = geomean(&speedup_tiered);
+    let g_warm = geomean(&speedup_warm);
+    println!("\ngeomean speedup  tiered vs interp: {g_tiered:.2}x   warm vs cold: {g_warm:.2}x");
+
+    // Hand-serialized (the workspace has no serde); validated below.
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"lpat-bench-vm/v1\",\n");
+    j.push_str(&format!("  \"scale\": {scale},\n"));
+    j.push_str(&format!("  \"reps\": {reps},\n"));
+    j.push_str("  \"workloads\": [\n");
+    for (i, (name, interp, jit, tiered, warm)) in rows.iter().enumerate() {
+        let eng = |r: &EngineResult, tiered: bool| -> String {
+            let mut s = format!(
+                "{{\"wall_ms\": {}, \"insts\": {}, \"insts_per_sec\": {}, \"translate_ms\": {}",
+                jnum(r.wall_ms),
+                r.insts,
+                jnum(r.insts_per_sec()),
+                jnum(r.translate_ms)
+            );
+            if tiered {
+                s.push_str(&format!(
+                    ", \"promoted\": {}, \"warmed\": {}, \"osr\": {}",
+                    r.promoted, r.warmed, r.osr
+                ));
+            }
+            s.push('}');
+            s
+        };
+        // The interpreter row carries no translate_ms: nothing translates.
+        let interp_s = format!(
+            "{{\"wall_ms\": {}, \"insts\": {}, \"insts_per_sec\": {}}}",
+            jnum(interp.wall_ms),
+            interp.insts,
+            jnum(interp.insts_per_sec())
+        );
+        j.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"engines\": {{\n      \"interp\": {interp_s},\n      \"jit\": {},\n      \"tiered\": {},\n      \"tiered_warm\": {}\n    }}}}{}\n",
+            eng(jit, false),
+            eng(tiered, true),
+            eng(warm, true),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"geomean_speedup_tiered_vs_interp\": {},\n",
+        jnum(g_tiered)
+    ));
+    j.push_str(&format!(
+        "  \"geomean_speedup_warm_vs_cold\": {}\n",
+        jnum(g_warm)
+    ));
+    j.push_str("}\n");
+
+    lpat_bench::validate_vm_bench(&j).expect("generated BENCH_vm.json fails its own schema");
+    std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+    println!("wrote {out_path}");
+}

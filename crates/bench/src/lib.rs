@@ -32,6 +32,29 @@ pub fn lz_compress(data: &[u8]) -> Vec<u8> {
     const WINDOW: usize = 4095;
     const MIN: usize = 3;
     const MAX: usize = 18;
+    const HASH_BITS: u32 = 13;
+    const NIL: usize = usize::MAX;
+    // Hash-chain match finder: every position is indexed by the hash of
+    // its next 3 bytes; candidates come from walking the chain for the
+    // current hash instead of scanning the whole window. Any match of
+    // length >= MIN shares its first 3 bytes with the target, so the
+    // chain sees every candidate the former O(n*window) greedy scan saw
+    // and the chosen match length — hence the compressed size — is
+    // identical.
+    #[inline]
+    fn hash3(data: &[u8], p: usize) -> usize {
+        let v = u32::from(data[p]) | (u32::from(data[p + 1]) << 8) | (u32::from(data[p + 2]) << 16);
+        (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+    }
+    let mut head = vec![NIL; 1 << HASH_BITS];
+    let mut prev = vec![NIL; data.len()];
+    let insert = |head: &mut [usize], prev: &mut [usize], p: usize| {
+        if p + MIN <= data.len() {
+            let h = hash3(data, p);
+            prev[p] = head[h];
+            head[h] = p;
+        }
+    };
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     let mut i = 0;
     let mut flags_at = usize::MAX;
@@ -42,14 +65,13 @@ pub fn lz_compress(data: &[u8]) -> Vec<u8> {
             out.push(0);
             flag_bit = 0;
         }
-        // Greedy search for the longest match in the window.
         let start = i.saturating_sub(WINDOW);
         let mut best_len = 0;
         let mut best_off = 0;
         let limit = (data.len() - i).min(MAX);
         if limit >= MIN {
-            let mut j = start;
-            while j < i {
+            let mut j = head[hash3(data, i)];
+            while j != NIL && j >= start {
                 let mut l = 0;
                 while l < limit && data[j + l] == data[i + l] {
                     l += 1;
@@ -61,15 +83,21 @@ pub fn lz_compress(data: &[u8]) -> Vec<u8> {
                         break;
                     }
                 }
-                j += 1;
+                j = prev[j];
             }
         }
         if best_len >= MIN {
             out[flags_at] |= 1 << flag_bit;
             let token = ((best_off as u16) << 4) | ((best_len - MIN) as u16);
             out.extend_from_slice(&token.to_le_bytes());
+            // Positions covered by the match still enter the index so
+            // later targets can match into them.
+            for p in i..i + best_len {
+                insert(&mut head, &mut prev, p);
+            }
             i += best_len;
         } else {
+            insert(&mut head, &mut prev, i);
             out.push(data[i]);
             i += 1;
         }
@@ -113,6 +141,268 @@ pub fn kb(bytes: usize) -> String {
     format!("{:.1}", bytes as f64 / 1024.0)
 }
 
+/// A minimal JSON value, produced by [`parse_json`]. Just enough to
+/// validate the benchmark artifacts this crate emits (no external
+/// dependencies allowed in this workspace).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (strict enough for our own artifacts).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    let v = json_value(b, &mut i)?;
+    json_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(v)
+}
+
+fn json_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn json_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    json_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *i += 1;
+            let mut fields = Vec::new();
+            json_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                json_ws(b, i);
+                let k = match json_value(b, i)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                json_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}", i = *i));
+                }
+                *i += 1;
+                fields.push((k, json_value(b, i)?));
+                json_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}", i = *i)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            json_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(json_value(b, i)?);
+                json_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}", i = *i)),
+                }
+            }
+        }
+        Some(b'"') => {
+            *i += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*i) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *i += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *i += 1;
+                        match b.get(*i) {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'u') => {
+                                let hex = b.get(*i + 1..*i + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *i += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *i += 1;
+                    }
+                    Some(_) => {
+                        let start = *i;
+                        while *i < b.len() && b[*i] != b'"' && b[*i] != b'\\' {
+                            *i += 1;
+                        }
+                        s.push_str(
+                            std::str::from_utf8(&b[start..*i]).map_err(|_| "invalid UTF-8")?,
+                        );
+                    }
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *i;
+            *i += 1;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        Some(_) => {
+            for (lit, v) in [
+                ("null", Json::Null),
+                ("true", Json::Bool(true)),
+                ("false", Json::Bool(false)),
+            ] {
+                if b[*i..].starts_with(lit.as_bytes()) {
+                    *i += lit.len();
+                    return Ok(v);
+                }
+            }
+            Err(format!("unexpected byte at {i}", i = *i))
+        }
+    }
+}
+
+/// Validate a `BENCH_vm.json` document against the `lpat-bench-vm/v1`
+/// schema. Used by `vmperf` to self-check its output and by the CI smoke
+/// job to validate the committed artifact.
+pub fn validate_vm_bench(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    if doc.get("schema").and_then(Json::str) != Some("lpat-bench-vm/v1") {
+        return Err("schema must be \"lpat-bench-vm/v1\"".into());
+    }
+    for key in ["scale", "reps"] {
+        doc.get(key)
+            .and_then(Json::num)
+            .ok_or_else(|| format!("missing numeric field '{key}'"))?;
+    }
+    let workloads = doc
+        .get("workloads")
+        .and_then(Json::arr)
+        .ok_or("missing 'workloads' array")?;
+    if workloads.is_empty() {
+        return Err("'workloads' must be non-empty".into());
+    }
+    for w in workloads {
+        let name = w
+            .get("name")
+            .and_then(Json::str)
+            .ok_or("workload missing 'name'")?;
+        let engines = w
+            .get("engines")
+            .ok_or_else(|| format!("{name}: missing 'engines'"))?;
+        for eng in ["interp", "jit", "tiered", "tiered_warm"] {
+            let e = engines
+                .get(eng)
+                .ok_or_else(|| format!("{name}: missing engine '{eng}'"))?;
+            for field in ["wall_ms", "insts", "insts_per_sec"] {
+                e.get(field)
+                    .and_then(Json::num)
+                    .ok_or_else(|| format!("{name}.{eng}: missing numeric '{field}'"))?;
+            }
+            if eng != "interp" {
+                e.get("translate_ms")
+                    .and_then(Json::num)
+                    .ok_or_else(|| format!("{name}.{eng}: missing 'translate_ms'"))?;
+            }
+            if eng.starts_with("tiered") {
+                for field in ["promoted", "osr", "warmed"] {
+                    e.get(field)
+                        .and_then(Json::num)
+                        .ok_or_else(|| format!("{name}.{eng}: missing '{field}'"))?;
+                }
+            }
+        }
+    }
+    for key in [
+        "geomean_speedup_tiered_vs_interp",
+        "geomean_speedup_warm_vs_cold",
+    ] {
+        doc.get(key)
+            .and_then(Json::num)
+            .ok_or_else(|| format!("missing numeric field '{key}'"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +430,125 @@ mod tests {
         let ratio = z.len() as f64 / bytes.len() as f64;
         assert!(ratio < 0.75, "compression ratio {ratio}");
         assert_eq!(lz_decompress(&z), bytes);
+    }
+
+    /// The original O(n*window) greedy scan, kept as the size oracle:
+    /// the hash-chain finder must never compress worse than this.
+    fn greedy_reference(data: &[u8]) -> Vec<u8> {
+        const WINDOW: usize = 4095;
+        const MIN: usize = 3;
+        const MAX: usize = 18;
+        let mut out = Vec::new();
+        let mut i = 0;
+        let mut flags_at = usize::MAX;
+        let mut flag_bit = 8;
+        while i < data.len() {
+            if flag_bit == 8 {
+                flags_at = out.len();
+                out.push(0);
+                flag_bit = 0;
+            }
+            let start = i.saturating_sub(WINDOW);
+            let mut best_len = 0;
+            let mut best_off = 0;
+            let limit = (data.len() - i).min(MAX);
+            if limit >= MIN {
+                let mut j = start;
+                while j < i {
+                    let mut l = 0;
+                    while l < limit && data[j + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - j;
+                        if l == limit {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            if best_len >= MIN {
+                out[flags_at] |= 1 << flag_bit;
+                let token = ((best_off as u16) << 4) | ((best_len - MIN) as u16);
+                out.extend_from_slice(&token.to_le_bytes());
+                i += best_len;
+            } else {
+                out.push(data[i]);
+                i += 1;
+            }
+            flag_bit += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn lz_roundtrips_all_workload_images_no_worse_than_greedy() {
+        for (name, m) in &lpat_workloads::compile_suite(10) {
+            let bytes = lpat_bytecode::write_module(m);
+            let z = lz_compress(&bytes);
+            assert_eq!(lz_decompress(&z), bytes, "round-trip failed for {name}");
+            let g = greedy_reference(&bytes);
+            assert!(
+                z.len() <= g.len(),
+                "{name}: hash-chain {} bytes > greedy {} bytes",
+                z.len(),
+                g.len()
+            );
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_the_shapes_we_emit() {
+        let doc = r#"{"a": 1.5, "b": [true, null, "x\n\"y\""], "c": {"d": -3e2}}"#;
+        let v = parse_json(doc).unwrap();
+        assert_eq!(v.get("a").and_then(Json::num), Some(1.5));
+        let b = v.get("b").and_then(Json::arr).unwrap();
+        assert_eq!(b[0], Json::Bool(true));
+        assert_eq!(b[1], Json::Null);
+        assert_eq!(b[2].str(), Some("x\n\"y\""));
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("d")).and_then(Json::num),
+            Some(-300.0)
+        );
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn vm_bench_validator_accepts_good_and_rejects_bad() {
+        let good = r#"{
+  "schema": "lpat-bench-vm/v1", "scale": 0, "reps": 3,
+  "workloads": [
+    {"name": "w", "engines": {
+      "interp": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000},
+      "jit": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1},
+      "tiered": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
+                 "promoted": 2, "warmed": 0, "osr": 1},
+      "tiered_warm": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
+                      "promoted": 2, "warmed": 2, "osr": 0}
+    }}
+  ],
+  "geomean_speedup_tiered_vs_interp": 1.8,
+  "geomean_speedup_warm_vs_cold": 1.1
+}"#;
+        validate_vm_bench(good).unwrap();
+        assert!(validate_vm_bench("{}").is_err());
+        assert!(validate_vm_bench(&good.replace("lpat-bench-vm/v1", "v2")).is_err());
+        assert!(validate_vm_bench(&good.replace("\"tiered\":", "\"other\":")).is_err());
+        assert!(validate_vm_bench(&good.replace("\"promoted\": 2,", "")).is_err());
+    }
+
+    #[test]
+    fn committed_bench_vm_artifact_is_valid() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_vm.json");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (regenerate with vmperf)", path.display()));
+        validate_vm_bench(&text).unwrap_or_else(|e| panic!("committed BENCH_vm.json: {e}"));
     }
 
     #[test]

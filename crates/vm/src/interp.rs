@@ -78,6 +78,13 @@ pub struct VmOptions {
     /// (the interpreter's call stack is heap-allocated, so the limit is a
     /// policy bound, not a host constraint).
     pub max_stack: usize,
+    /// Tier-up threshold for [`Vm::run_main_tiered`]: a function is
+    /// promoted from the profiling interpreter to the translated (JIT)
+    /// tier once its hotness counter — calls plus loop back-edges —
+    /// *exceeds* this value. `0` promotes every function on first call
+    /// (full-JIT behavior); a very large value never promotes (pure
+    /// interpretation).
+    pub tier_up: u64,
 }
 
 impl Default for VmOptions {
@@ -88,23 +95,24 @@ impl Default for VmOptions {
             mem_limit: 64 << 20,
             input: VecDeque::new(),
             max_stack: 10_000,
+            tier_up: 50,
         }
     }
 }
 
 /// An activation record.
-struct Frame {
-    func: FuncId,
-    args: Vec<VmValue>,
-    varargs: Vec<VmValue>,
-    va_next: usize,
-    regs: Vec<Option<VmValue>>,
-    block: BlockId,
-    idx: usize,
-    allocas: Vec<u32>,
+pub(crate) struct Frame {
+    pub(crate) func: FuncId,
+    pub(crate) args: Vec<VmValue>,
+    pub(crate) varargs: Vec<VmValue>,
+    pub(crate) va_next: usize,
+    pub(crate) regs: Vec<Option<VmValue>>,
+    pub(crate) block: BlockId,
+    pub(crate) idx: usize,
+    pub(crate) allocas: Vec<u32>,
     /// The call/invoke instruction in *this* frame currently awaiting a
     /// callee's return.
-    pending: Option<InstId>,
+    pub(crate) pending: Option<InstId>,
 }
 
 /// The execution engine.
@@ -125,10 +133,20 @@ pub struct Vm<'m> {
     /// dispatched instruction); rendered by `--stats` and folded into the
     /// trace by [`Vm::flush_trace`].
     pub opcode_counts: [u64; Inst::NUM_OPCODES],
+    /// Tiered-execution statistics (promotions, per-tier instruction
+    /// counts, translation time). Populated by every engine; the tiered
+    /// engine is the main writer.
+    pub tier_stats: crate::tier::TierStats,
     global_addrs: Vec<u32>,
-    /// JIT translation cache (one function at a time, translated on first
-    /// call, reused across `run_*_jit` invocations).
-    pub(crate) jit_cache: std::collections::HashMap<FuncId, std::rc::Rc<crate::jit::LowFunc>>,
+    /// JIT translation cache, dense over `FuncId` (translated on first
+    /// call or promotion, reused across `run_*` invocations).
+    pub(crate) jit_cache: Vec<Option<std::rc::Rc<crate::jit::LowFunc>>>,
+    /// Per-function tier state, dense over `FuncId`.
+    pub(crate) tier: Vec<crate::tier::TierCell>,
+    /// Free-list arenas of register slabs, recycled across frames so the
+    /// hot call path does not allocate.
+    pub(crate) jit_reg_pool: Vec<Vec<VmValue>>,
+    pub(crate) interp_reg_pool: Vec<Vec<Option<VmValue>>>,
 }
 
 impl<'m> Vm<'m> {
@@ -161,8 +179,12 @@ impl<'m> Vm<'m> {
             profile: ProfileData::default(),
             insts_executed: 0,
             opcode_counts: [0; Inst::NUM_OPCODES],
+            tier_stats: crate::tier::TierStats::default(),
             global_addrs,
-            jit_cache: std::collections::HashMap::new(),
+            jit_cache: vec![None; m.num_funcs()],
+            tier: vec![crate::tier::TierCell::Cold(0); m.num_funcs()],
+            jit_reg_pool: Vec::new(),
+            interp_reg_pool: Vec::new(),
         };
         for (gid, g) in m.globals() {
             if let Some(init) = g.init {
@@ -352,39 +374,37 @@ impl<'m> Vm<'m> {
         self.push_frame(&mut stack, f, args, vec![])?;
         loop {
             // Fetch the next instruction of the top frame.
-            let (fid, block, idx) = {
-                let fr = stack.last().expect("non-empty stack");
-                (fr.func, fr.block, fr.idx)
-            };
-            let func = self.m.func(fid);
-            let insts = func.block_insts(block);
-            if idx >= insts.len() {
+            let m = self.m;
+            let fr = stack.last_mut().expect("non-empty stack");
+            let func = m.func(fr.func);
+            let insts = func.block_insts(fr.block);
+            if fr.idx >= insts.len() {
                 return Err(ExecError::trap(
                     TrapKind::Invalid,
                     "fell off the end of a block",
                 ));
             }
-            let iid = insts[idx];
+            let iid = insts[fr.idx];
+            let block = fr.block;
             // φ-nodes were already executed on the incoming edge (in
             // `transfer`); visiting one in sequence is free — it is not a
             // real instruction at run time.
             let fetched = func.inst(iid);
-            let is_phi = matches!(fetched, Inst::Phi { .. });
-            if !is_phi {
-                if let Some(fuel) = &mut self.opts.fuel {
-                    if *fuel == 0 {
-                        return Err(ExecError::trap(TrapKind::OutOfFuel, "instruction budget"));
-                    }
-                    *fuel -= 1;
-                }
-                self.insts_executed += 1;
-                self.opcode_counts[fetched.opcode_index()] += 1;
+            if !matches!(fetched, Inst::Phi { .. }) {
+                self.charge_interp(fetched.opcode_index())?;
             }
-            match self.step(&mut stack, fid, block, iid)? {
+            match self.step(fr, block, iid)? {
                 StepResult::Continue => {
-                    stack.last_mut().unwrap().idx += 1;
+                    fr.idx += 1;
                 }
                 StepResult::Jumped => {}
+                StepResult::Call {
+                    target,
+                    fixed,
+                    extra,
+                } => {
+                    self.push_frame(&mut stack, target, fixed, extra)?;
+                }
                 StepResult::Returned(v) => {
                     let done = self.pop_frame(&mut stack)?;
                     if done {
@@ -410,7 +430,10 @@ impl<'m> Vm<'m> {
                 }
                 StepResult::Unwinding => {
                     if trace::enabled() {
-                        let fname = self.m.func(fid).name.clone();
+                        let fname = {
+                            let top = stack.last().expect("non-empty stack");
+                            self.m.func(top.func).name.clone()
+                        };
                         trace::instant_args("vm", "unwind", vec![("from", fname)]);
                     }
                     // Pop frames until one is pending on an invoke.
@@ -437,16 +460,48 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn push_frame(
+    /// Charge one interpreted instruction against the fuel budget and the
+    /// dispatch counters.
+    #[inline]
+    pub(crate) fn charge_interp(&mut self, opidx: usize) -> Result<(), ExecError> {
+        if let Some(fuel) = &mut self.opts.fuel {
+            if *fuel == 0 {
+                return Err(ExecError::trap(TrapKind::OutOfFuel, "instruction budget"));
+            }
+            *fuel -= 1;
+        }
+        self.insts_executed += 1;
+        self.tier_stats.interp_insts += 1;
+        self.opcode_counts[opidx] += 1;
+        Ok(())
+    }
+
+    /// Charge one translated instruction. Identical accounting to
+    /// [`Vm::charge_interp`] (so fuel and the opcode histogram are
+    /// engine-independent) but attributed to the JIT tier.
+    #[inline]
+    pub(crate) fn charge_jit(&mut self, opidx: usize) -> Result<(), ExecError> {
+        if let Some(fuel) = &mut self.opts.fuel {
+            if *fuel == 0 {
+                return Err(ExecError::trap(TrapKind::OutOfFuel, "instruction budget"));
+            }
+            *fuel -= 1;
+        }
+        self.insts_executed += 1;
+        self.tier_stats.jit_insts += 1;
+        self.opcode_counts[opidx] += 1;
+        Ok(())
+    }
+
+    /// Build an interpreter activation record for a call to `f`, recording
+    /// the call in the profile and drawing the register slab from the
+    /// free-list arena. Stack-depth policy is the caller's job.
+    pub(crate) fn make_frame(
         &mut self,
-        stack: &mut Vec<Frame>,
         f: FuncId,
         args: Vec<VmValue>,
         varargs: Vec<VmValue>,
-    ) -> Result<(), ExecError> {
-        if stack.len() >= self.opts.max_stack {
-            return Err(ExecError::trap(TrapKind::StackOverflow, "call depth"));
-        }
+    ) -> Result<Frame, ExecError> {
         let func = self.m.func(f);
         if func.is_declaration() {
             return Err(ExecError::trap(
@@ -458,17 +513,46 @@ impl<'m> Vm<'m> {
             self.profile.record_call(f);
             self.profile.record_block(f, func.entry());
         }
-        stack.push(Frame {
+        let mut regs = self.interp_reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(func.num_inst_slots(), None);
+        Ok(Frame {
             func: f,
             args,
             varargs,
             va_next: 0,
-            regs: vec![None; func.num_inst_slots()],
+            regs,
             block: func.entry(),
             idx: 0,
             allocas: Vec::new(),
             pending: None,
-        });
+        })
+    }
+
+    fn push_frame(
+        &mut self,
+        stack: &mut Vec<Frame>,
+        f: FuncId,
+        args: Vec<VmValue>,
+        varargs: Vec<VmValue>,
+    ) -> Result<(), ExecError> {
+        if stack.len() >= self.opts.max_stack {
+            return Err(ExecError::trap(TrapKind::StackOverflow, "call depth"));
+        }
+        let fr = self.make_frame(f, args, varargs)?;
+        stack.push(fr);
+        Ok(())
+    }
+
+    /// Release a popped frame's allocas and return its register slab to
+    /// the arena.
+    pub(crate) fn recycle_frame(&mut self, mut fr: Frame) -> Result<(), ExecError> {
+        let mut regs = std::mem::take(&mut fr.regs);
+        regs.clear();
+        self.interp_reg_pool.push(regs);
+        for a in fr.allocas {
+            self.mem.release(a)?;
+        }
         Ok(())
     }
 
@@ -476,14 +560,17 @@ impl<'m> Vm<'m> {
     /// stack is now empty.
     fn pop_frame(&mut self, stack: &mut Vec<Frame>) -> Result<bool, ExecError> {
         let fr = stack.pop().expect("frame to pop");
-        for a in fr.allocas {
-            self.mem.release(a)?;
-        }
+        self.recycle_frame(fr)?;
         Ok(stack.is_empty())
     }
 
     /// Transfer control along the CFG edge `from -> to`, executing φs.
-    fn transfer(&mut self, fr: &mut Frame, from: BlockId, to: BlockId) -> Result<(), ExecError> {
+    pub(crate) fn transfer(
+        &mut self,
+        fr: &mut Frame,
+        from: BlockId,
+        to: BlockId,
+    ) -> Result<(), ExecError> {
         let func = self.m.func(fr.func);
         // Simultaneous φ assignment: read all inputs first.
         let mut updates: Vec<(InstId, VmValue)> = Vec::new();
@@ -511,7 +598,7 @@ impl<'m> Vm<'m> {
     }
 
     /// Evaluate an operand in a frame.
-    fn value(&self, fr: &Frame, v: Value) -> Result<VmValue, ExecError> {
+    pub(crate) fn value(&self, fr: &Frame, v: Value) -> Result<VmValue, ExecError> {
         match v {
             Value::Inst(i) => fr.regs[i.index()].ok_or_else(|| {
                 ExecError::trap(
@@ -528,25 +615,28 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn step(
+    /// Execute one instruction in frame `fr` (the top of whatever stack
+    /// the caller maintains — the pure interpreter's or the tiered
+    /// engine's mixed stack). Calls into defined functions are *not*
+    /// pushed here: `fr.pending` is set and [`StepResult::Call`] returned
+    /// so the caller can pick the callee's tier.
+    pub(crate) fn step(
         &mut self,
-        stack: &mut Vec<Frame>,
-        fid: FuncId,
+        fr: &mut Frame,
         block: BlockId,
         iid: InstId,
     ) -> Result<StepResult, ExecError> {
+        let fid = fr.func;
         let func = self.m.func(fid);
         let inst = func.inst(iid).clone();
-        // Shorthand to evaluate operands in the *top* frame.
+        // Shorthand to evaluate operands in the frame.
         macro_rules! ev {
             ($v:expr) => {{
-                let fr = stack.last().unwrap();
                 self.value(fr, $v)?
             }};
         }
         macro_rules! setreg {
             ($v:expr) => {{
-                let fr = stack.last_mut().unwrap();
                 fr.regs[iid.index()] = Some($v);
             }};
         }
@@ -563,7 +653,6 @@ impl<'m> Vm<'m> {
                 Ok(StepResult::Returned(out))
             }
             Inst::Br(t) => {
-                let fr = stack.last_mut().unwrap();
                 self.transfer(fr, block, t)?;
                 Ok(StepResult::Jumped)
             }
@@ -576,7 +665,6 @@ impl<'m> Vm<'m> {
                     .as_bool()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "non-bool condition"))?;
                 let t = if c { then_bb } else { else_bb };
-                let fr = stack.last_mut().unwrap();
                 self.transfer(fr, block, t)?;
                 Ok(StepResult::Jumped)
             }
@@ -597,7 +685,6 @@ impl<'m> Vm<'m> {
                         }
                     }
                 }
-                let fr = stack.last_mut().unwrap();
                 self.transfer(fr, block, target)?;
                 Ok(StepResult::Jumped)
             }
@@ -641,7 +728,7 @@ impl<'m> Vm<'m> {
                     .map_err(|_| ExecError::trap(TrapKind::OutOfMemory, "allocation too large"))?;
                 let addr = self.mem.alloc(size.max(1))?;
                 if matches!(func.inst(iid), Inst::Alloca { .. }) {
-                    stack.last_mut().unwrap().allocas.push(addr);
+                    fr.allocas.push(addr);
                 }
                 setreg!(VmValue::Ptr(addr));
                 Ok(StepResult::Continue)
@@ -676,26 +763,22 @@ impl<'m> Vm<'m> {
                 let base = ev!(ptr)
                     .as_ptr()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep on non-pointer"))?;
-                let fr_vals: Vec<i64> = {
-                    let fr = stack.last().unwrap();
-                    indices
-                        .iter()
-                        .map(|&i| {
-                            self.value(fr, i).and_then(|v| {
-                                v.as_i64().ok_or_else(|| {
-                                    ExecError::trap(TrapKind::Invalid, "non-int gep index")
-                                })
+                let fr_vals: Vec<i64> = indices
+                    .iter()
+                    .map(|&i| {
+                        self.value(fr, i).and_then(|v| {
+                            v.as_i64().ok_or_else(|| {
+                                ExecError::trap(TrapKind::Invalid, "non-int gep index")
                             })
                         })
-                        .collect::<Result<_, _>>()?
-                };
+                    })
+                    .collect::<Result<_, _>>()?;
                 let pty = self.m.value_type(func, ptr);
                 let off = self.gep_offset(pty, &indices, &fr_vals)?;
                 setreg!(VmValue::Ptr(base.wrapping_add(off as u32)));
                 Ok(StepResult::Continue)
             }
             Inst::VaArg { .. } => {
-                let fr = stack.last_mut().unwrap();
                 let v = fr.varargs.get(fr.va_next).copied().ok_or_else(|| {
                     ExecError::trap(TrapKind::Invalid, "vaarg past the end of the variadic list")
                 })?;
@@ -707,13 +790,11 @@ impl<'m> Vm<'m> {
                 if self.opts.profile {
                     self.profile.record_callsite(fid, iid);
                 }
-                let target = self.resolve_callee(stack.last().unwrap(), callee)?;
-                let argv: Vec<VmValue> = {
-                    let fr = stack.last().unwrap();
-                    args.iter()
-                        .map(|&a| self.value(fr, a))
-                        .collect::<Result<_, _>>()?
-                };
+                let target = self.resolve_callee(fr, callee)?;
+                let argv: Vec<VmValue> = args
+                    .iter()
+                    .map(|&a| self.value(fr, a))
+                    .collect::<Result<_, _>>()?;
                 let tf = self.m.func(target);
                 if tf.is_declaration() {
                     // Intrinsic / external.
@@ -725,7 +806,6 @@ impl<'m> Vm<'m> {
                     // never unwind).
                     if let Inst::Invoke { normal, .. } = func.inst(iid) {
                         let n = *normal;
-                        let fr = stack.last_mut().unwrap();
                         self.transfer(fr, block, n)?;
                         return Ok(StepResult::Jumped);
                     }
@@ -738,9 +818,12 @@ impl<'m> Vm<'m> {
                 } else {
                     (argv, Vec::new())
                 };
-                stack.last_mut().unwrap().pending = Some(iid);
-                self.push_frame(stack, target, fixed, extra)?;
-                Ok(StepResult::Jumped)
+                fr.pending = Some(iid);
+                Ok(StepResult::Call {
+                    target,
+                    fixed,
+                    extra,
+                })
             }
         }
     }
@@ -844,6 +927,14 @@ impl<'m> Vm<'m> {
         for (i, &n) in self.opcode_counts.iter().enumerate() {
             trace::counter(OP_COUNTER_NAMES[i], n);
         }
+        let t = &self.tier_stats;
+        trace::counter("vm.tier.promotions", t.promoted);
+        trace::counter("vm.tier.demotions", t.demoted);
+        trace::counter("vm.tier.warm", t.warmed);
+        trace::counter("vm.tier.osr", t.osr);
+        trace::counter("vm.tier.translated", t.translated);
+        trace::counter("vm.tier.interp_insts", t.interp_insts);
+        trace::counter("vm.tier.jit_insts", t.jit_insts);
         let h = self.mem.stats();
         trace::counter("heap.allocs", h.allocs);
         trace::counter("heap.frees", h.frees);
@@ -899,9 +990,16 @@ impl<'m> Vm<'m> {
     }
 }
 
-enum StepResult {
+pub(crate) enum StepResult {
     Continue,
     Jumped,
+    /// A call into a defined function: `fr.pending` is already set; the
+    /// caller decides which tier executes the callee and pushes the frame.
+    Call {
+        target: FuncId,
+        fixed: Vec<VmValue>,
+        extra: Vec<VmValue>,
+    },
     Returned(Option<VmValue>),
     Unwinding,
 }

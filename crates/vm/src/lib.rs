@@ -30,6 +30,7 @@ pub mod mem;
 pub mod pgo;
 pub mod profile;
 pub mod store;
+pub mod tier;
 pub mod value;
 
 pub use error::{ExecError, TrapKind};
@@ -37,6 +38,7 @@ pub use interp::{Vm, VmOptions};
 pub use pgo::{reoptimize, PgoOptions, PgoReport};
 pub use profile::{form_trace, HotLoop, ProfileData};
 pub use store::{module_hash, Store, StoreError, StoredProfile};
+pub use tier::TierStats;
 pub use value::VmValue;
 
 /// The VM's error type. `VmError::Trap { kind: TrapKind::StackOverflow }`

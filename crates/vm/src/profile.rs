@@ -18,7 +18,7 @@ use lpat_bytecode::format::{write_varint, DecodeError, Reader};
 use lpat_core::{BlockId, FuncId, InstId, Module};
 
 /// Execution counts collected by the engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProfileData {
     /// Times each block was entered.
     pub block_counts: HashMap<(FuncId, BlockId), u64>,

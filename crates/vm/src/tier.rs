@@ -1,0 +1,613 @@
+//! Tiered hot-path execution (paper §3.5's runtime optimizer, applied to
+//! the execution engine itself).
+//!
+//! The paper's runtime model assumes execution *starts* cheap and
+//! *becomes* fast: lightweight profiling identifies hot regions, which
+//! are then handed to the native tier. This module is that adaptive
+//! middle layer for the VM:
+//!
+//! * Every function starts in the **profiling interpreter**. A hotness
+//!   counter per function sums its calls and its loop back-edges.
+//! * When the counter *exceeds* `VmOptions::tier_up`, the function is
+//!   **promoted**: translated to [`crate::jit::LowFunc`] form and run by
+//!   the JIT dispatch loop from then on. If the current activation is
+//!   interpreted when its function crosses the threshold on a back-edge,
+//!   it is switched in place at the loop-header boundary (**on-stack
+//!   replacement**) — hot loops in `main` get fast without waiting for a
+//!   second call that never comes.
+//! * A translation failure **demotes** the function permanently: it keeps
+//!   interpreting, execution continues (pure-JIT mode instead fails the
+//!   run, preserving its historical semantics).
+//! * Interpreted and translated frames interleave freely on one call
+//!   stack in both directions — interpreted caller → JIT'd callee,
+//!   JIT'd caller → (cold) interpreted callee — including across
+//!   `invoke`/`unwind`.
+//! * [`Vm::warm_start`] seeds the tier decisions from a prior run's
+//!   profile (the lifelong store's accumulated counts): functions already
+//!   known hot are translated eagerly at load, closing the paper's
+//!   "lifelong" loop at the execution layer.
+//!
+//! Observational identity: the tiered engine produces the same output,
+//! return value, trap kind, fuel consumption, profile counters, and
+//! opcode histogram as the reference interpreter at *any* threshold —
+//! a differential suite in `tests/tiered.rs` pins this across the whole
+//! workload suite.
+
+use lpat_core::trace;
+use lpat_core::{FuncId, Inst};
+
+use crate::error::{ExecError, TrapKind};
+use crate::interp::{Frame, StepResult, Vm};
+use crate::jit::{Flow, JitFrame};
+use crate::profile::ProfileData;
+use crate::value::VmValue;
+
+/// Per-function tier state.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum TierCell {
+    /// Interpreted; the payload is the hotness counter (calls +
+    /// back-edges observed so far).
+    Cold(u64),
+    /// Promoted: translated code exists in the cache and is used for
+    /// every call (and, via OSR, for running interpreted activations).
+    Hot,
+    /// Translation failed; permanently interpreted.
+    Demoted,
+}
+
+/// How [`Vm::run_function_mixed`] picks a tier per call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MixedMode {
+    /// Every callee is translated on first call; translation failure is
+    /// fatal. This is the classic `run_main_jit` engine.
+    JitOnly,
+    /// Counter-driven promotion with the configured threshold.
+    Tiered { threshold: u64 },
+}
+
+/// Tiered-execution statistics, kept outside the trace layer so wall
+/// clock–dependent values (translation time) never leak into
+/// byte-deterministic trace exports.
+#[derive(Clone, Debug, Default)]
+pub struct TierStats {
+    /// Functions promoted interpreter → JIT at run time (includes
+    /// warm-start promotions; `promoted - warmed` is the runtime count).
+    pub promoted: u64,
+    /// Functions demoted after a translation failure.
+    pub demoted: u64,
+    /// Functions promoted eagerly from a prior run's profile.
+    pub warmed: u64,
+    /// Interpreted activations switched to translated code mid-run at a
+    /// loop header (on-stack replacement).
+    pub osr: u64,
+    /// Functions translated (JIT code-generation invocations).
+    pub translated: u64,
+    /// Instructions dispatched by the interpreter tier.
+    pub interp_insts: u64,
+    /// Instructions dispatched by the translated tier.
+    pub jit_insts: u64,
+    /// Wall-clock nanoseconds spent translating.
+    pub translate_ns: u64,
+}
+
+/// A frame on the mixed call stack: interpreted or translated.
+pub(crate) enum TFrame {
+    I(Frame),
+    J(JitFrame),
+}
+
+/// Per-tier trace segments: one span per contiguous run of same-tier
+/// execution, so a Perfetto timeline shows execution time migrating from
+/// the interpreter to the JIT as promotions happen.
+struct TierSegments {
+    active: bool,
+    cur: Option<(trace::Span, bool)>,
+}
+
+impl TierSegments {
+    fn new(active: bool) -> TierSegments {
+        TierSegments {
+            active: active && trace::enabled(),
+            cur: None,
+        }
+    }
+
+    fn enter(&mut self, jit: bool) {
+        if !self.active {
+            return;
+        }
+        if let Some((_, k)) = &self.cur {
+            if *k == jit {
+                return;
+            }
+        }
+        // Dropping the old span records its end before the new one opens.
+        self.cur = None;
+        self.cur = Some((
+            trace::span("vm", if jit { "tier-jit" } else { "tier-interp" }),
+            jit,
+        ));
+    }
+}
+
+impl<'m> Vm<'m> {
+    /// Run `main()` under the tiered engine. Produces the same results as
+    /// [`Vm::run_main`] at any `VmOptions::tier_up` threshold.
+    pub fn run_main_tiered(&mut self) -> Result<i64, ExecError> {
+        let mut sp = trace::span("vm", "tiered @main");
+        let result = {
+            let main = self
+                .module()
+                .func_by_name("main")
+                .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "no @main in module"))?;
+            match self.run_function_tiered(main, vec![]) {
+                Ok(Some(v)) => v
+                    .as_i64()
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "main returned non-integer")),
+                Ok(None) => Ok(0),
+                Err(ExecError::Exited(c)) => Ok(c as i64),
+                Err(e) => Err(e),
+            }
+        };
+        if trace::enabled() {
+            match &result {
+                Ok(code) => sp.arg("exit", code.to_string()),
+                Err(e) => {
+                    sp.arg("error", e.to_string());
+                    trace::instant_args("vm", "trap", vec![("error", e.to_string())]);
+                }
+            }
+        }
+        result
+    }
+
+    /// Call `f` with `args` under the tiered engine.
+    pub fn run_function_tiered(
+        &mut self,
+        f: FuncId,
+        args: Vec<VmValue>,
+    ) -> Result<Option<VmValue>, ExecError> {
+        let threshold = self.opts.tier_up;
+        self.run_function_mixed(f, args, MixedMode::Tiered { threshold })
+    }
+
+    /// Seed tier decisions from a prior run's profile (typically the
+    /// lifelong store's accumulated counts): every function whose call
+    /// count or hottest block count already exceeds the `tier_up`
+    /// threshold is translated eagerly, so the run starts in the fast
+    /// tier instead of re-warming. Translation failures leave the
+    /// function cold (it may demote later as usual). Returns the number
+    /// of functions warmed.
+    pub fn warm_start(&mut self, profile: &ProfileData) -> usize {
+        let _sp = trace::span("vm", "warm-start");
+        let threshold = self.opts.tier_up;
+        let m = self.module();
+        let nf = m.num_funcs();
+        // One pass over the profile maps; per-function max hotness.
+        let mut hotness = vec![0u64; nf];
+        for (&(f, _), &c) in &profile.block_counts {
+            if f.index() < nf {
+                hotness[f.index()] = hotness[f.index()].max(c);
+            }
+        }
+        for (&f, &c) in &profile.call_counts {
+            if f.index() < nf {
+                hotness[f.index()] = hotness[f.index()].max(c);
+            }
+        }
+        let mut warmed = 0usize;
+        // Function-index order: deterministic regardless of map order.
+        for (i, &hot) in hotness.iter().enumerate() {
+            let f = FuncId::from_index(i);
+            if hot <= threshold
+                || m.func(f).is_declaration()
+                || !matches!(self.tier[i], TierCell::Cold(_))
+            {
+                continue;
+            }
+            if self.try_promote(f) {
+                self.tier_stats.warmed += 1;
+                warmed += 1;
+            }
+        }
+        warmed
+    }
+
+    /// The shared engine loop: a single stack of interpreted and
+    /// translated frames. `JitOnly` mode reproduces the historical
+    /// pure-JIT engine; `Tiered` adds counters, promotion, and OSR.
+    pub(crate) fn run_function_mixed(
+        &mut self,
+        f: FuncId,
+        args: Vec<VmValue>,
+        mode: MixedMode,
+    ) -> Result<Option<VmValue>, ExecError> {
+        let mut stack: Vec<TFrame> = Vec::new();
+        self.push_mixed(&mut stack, f, args, Vec::new(), mode)?;
+        let mut seg = TierSegments::new(matches!(mode, MixedMode::Tiered { .. }));
+        self.mixed_loop(&mut stack, mode, &mut seg)
+    }
+
+    fn mixed_loop(
+        &mut self,
+        stack: &mut Vec<TFrame>,
+        mode: MixedMode,
+        seg: &mut TierSegments,
+    ) -> Result<Option<VmValue>, ExecError> {
+        'outer: loop {
+            let jit_top = matches!(stack.last().expect("frame"), TFrame::J(_));
+            seg.enter(jit_top);
+            if jit_top {
+                let lf = match stack.last().expect("frame") {
+                    TFrame::J(fr) => fr.lf.clone(),
+                    TFrame::I(_) => unreachable!(),
+                };
+                // Tight dispatch over the current translated frame.
+                loop {
+                    let fr = match stack.last_mut().expect("frame") {
+                        TFrame::J(fr) => fr,
+                        TFrame::I(_) => unreachable!(),
+                    };
+                    let op = &lf.code[fr.pc];
+                    fr.pc += 1;
+                    match crate::jit::exec_low(self, fr, &lf, op)? {
+                        Flow::Next => {}
+                        Flow::Call {
+                            target,
+                            args,
+                            varargs,
+                            dst,
+                            eh,
+                        } => {
+                            fr.pending = Some((dst, eh));
+                            self.push_mixed(stack, target, args, varargs, mode)?;
+                            continue 'outer;
+                        }
+                        Flow::Ret(v) => {
+                            if let Some(out) = self.deliver_return(stack, v)? {
+                                return Ok(out);
+                            }
+                            continue 'outer;
+                        }
+                        Flow::Unwinding => {
+                            self.deliver_unwind(stack)?;
+                            continue 'outer;
+                        }
+                    }
+                }
+            } else {
+                // Single-step interpretation of the current frame.
+                loop {
+                    let m = self.module();
+                    let fr = match stack.last_mut().expect("frame") {
+                        TFrame::I(fr) => fr,
+                        TFrame::J(_) => unreachable!(),
+                    };
+                    let func = m.func(fr.func);
+                    let insts = func.block_insts(fr.block);
+                    if fr.idx >= insts.len() {
+                        return Err(ExecError::trap(
+                            TrapKind::Invalid,
+                            "fell off the end of a block",
+                        ));
+                    }
+                    let iid = insts[fr.idx];
+                    let block = fr.block;
+                    let fetched = func.inst(iid);
+                    if !matches!(fetched, Inst::Phi { .. }) {
+                        self.charge_interp(fetched.opcode_index())?;
+                    }
+                    match self.step(fr, block, iid)? {
+                        StepResult::Continue => fr.idx += 1,
+                        StepResult::Jumped => {
+                            // A back-edge (jump to the same or an earlier
+                            // block) marks a loop iteration: bump the
+                            // hotness counter, and if the function is (or
+                            // just became) hot, switch this activation to
+                            // translated code at the header (OSR).
+                            if let MixedMode::Tiered { threshold } = mode {
+                                if fr.block.index() <= block.index() {
+                                    let f = fr.func;
+                                    self.tier_bump(f, threshold);
+                                    if matches!(self.tier[f.index()], TierCell::Hot) {
+                                        self.osr_enter(stack)?;
+                                        continue 'outer;
+                                    }
+                                }
+                            }
+                        }
+                        StepResult::Call {
+                            target,
+                            fixed,
+                            extra,
+                        } => {
+                            self.push_mixed(stack, target, fixed, extra, mode)?;
+                            continue 'outer;
+                        }
+                        StepResult::Returned(v) => {
+                            if let Some(out) = self.deliver_return(stack, v)? {
+                                return Ok(out);
+                            }
+                            continue 'outer;
+                        }
+                        StepResult::Unwinding => {
+                            self.deliver_unwind(stack)?;
+                            continue 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Push an activation for `f`, choosing the tier per `mode`.
+    fn push_mixed(
+        &mut self,
+        stack: &mut Vec<TFrame>,
+        f: FuncId,
+        args: Vec<VmValue>,
+        varargs: Vec<VmValue>,
+        mode: MixedMode,
+    ) -> Result<(), ExecError> {
+        if stack.len() >= self.opts.max_stack {
+            return Err(ExecError::trap(TrapKind::StackOverflow, "call depth"));
+        }
+        let jit = match mode {
+            MixedMode::JitOnly => true,
+            MixedMode::Tiered { threshold } => self.tier_decide_call(f, threshold),
+        };
+        if jit {
+            let fr = self.make_jit_frame(f, args, varargs)?;
+            stack.push(TFrame::J(fr));
+        } else {
+            let fr = self.make_frame(f, args, varargs)?;
+            stack.push(TFrame::I(fr));
+        }
+        Ok(())
+    }
+
+    /// Pop and recycle the top frame.
+    fn pop_mixed(&mut self, stack: &mut Vec<TFrame>) -> Result<(), ExecError> {
+        match stack.pop().expect("frame to pop") {
+            TFrame::I(fr) => self.recycle_frame(fr),
+            TFrame::J(fr) => self.recycle_jit_frame(fr),
+        }
+    }
+
+    /// Pop the finished frame and deliver `v` to the caller (whatever its
+    /// tier). Returns `Some(v)` when the popped frame was the outermost.
+    fn deliver_return(
+        &mut self,
+        stack: &mut Vec<TFrame>,
+        v: Option<VmValue>,
+    ) -> Result<Option<Option<VmValue>>, ExecError> {
+        self.pop_mixed(stack)?;
+        let Some(parent) = stack.last_mut() else {
+            return Ok(Some(v));
+        };
+        match parent {
+            TFrame::I(fr) => {
+                let site = fr.pending.take().expect("return into pending call");
+                if let Some(v) = v {
+                    fr.regs[site.index()] = Some(v);
+                }
+                // An invoke transfers to its normal successor; a call
+                // continues in-line.
+                let site_inst = self.module().func(fr.func).inst(site);
+                if let Inst::Invoke { normal, .. } = site_inst {
+                    let n = *normal;
+                    let from = fr.block;
+                    self.transfer(fr, from, n)?;
+                } else {
+                    fr.idx += 1;
+                }
+            }
+            TFrame::J(fr) => {
+                let (dst, eh) = fr.pending.take().expect("pending call");
+                if let (Some(d), Some(v)) = (dst, v) {
+                    fr.regs[d as usize] = v;
+                }
+                if let Some((normal, _)) = eh {
+                    let lf = fr.lf.clone();
+                    self.take_edge(fr, &lf, normal)?;
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Unwind: pop frames until one is suspended on an `invoke`, then
+    /// transfer to its unwind successor — across tiers.
+    fn deliver_unwind(&mut self, stack: &mut Vec<TFrame>) -> Result<(), ExecError> {
+        if trace::enabled() {
+            if let Some(top) = stack.last() {
+                let f = match top {
+                    TFrame::I(fr) => fr.func,
+                    TFrame::J(fr) => fr.func,
+                };
+                let fname = self.module().func(f).name.clone();
+                trace::instant_args("vm", "unwind", vec![("from", fname)]);
+            }
+        }
+        loop {
+            self.pop_mixed(stack)?;
+            let Some(parent) = stack.last_mut() else {
+                return Err(ExecError::trap(
+                    TrapKind::UncaughtUnwind,
+                    "unwind reached the bottom of the stack",
+                ));
+            };
+            match parent {
+                TFrame::I(fr) => {
+                    let site = fr.pending.take().expect("unwind into pending call");
+                    let site_inst = self.module().func(fr.func).inst(site);
+                    if let Inst::Invoke { unwind, .. } = site_inst {
+                        let u = *unwind;
+                        let from = fr.block;
+                        self.transfer(fr, from, u)?;
+                        return Ok(());
+                    }
+                    // A plain call: keep unwinding through it.
+                }
+                TFrame::J(fr) => {
+                    let (_, eh) = fr.pending.take().expect("pending call");
+                    if let Some((_, unwind)) = eh {
+                        let lf = fr.lf.clone();
+                        self.take_edge(fr, &lf, unwind)?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tier decision at a call boundary: hot functions run translated,
+    /// demoted ones interpret, cold ones bump their counter (a call is a
+    /// hotness event) and may promote right here.
+    fn tier_decide_call(&mut self, f: FuncId, threshold: u64) -> bool {
+        match self.tier[f.index()] {
+            TierCell::Hot => true,
+            TierCell::Demoted => false,
+            TierCell::Cold(n) => {
+                let n = n.saturating_add(1);
+                self.tier[f.index()] = TierCell::Cold(n);
+                if n > threshold {
+                    self.try_promote(f)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Bump `f`'s hotness counter for a loop back-edge; promote when the
+    /// threshold is crossed.
+    fn tier_bump(&mut self, f: FuncId, threshold: u64) {
+        if let TierCell::Cold(n) = self.tier[f.index()] {
+            let n = n.saturating_add(1);
+            self.tier[f.index()] = TierCell::Cold(n);
+            if n > threshold {
+                self.try_promote(f);
+            }
+        }
+    }
+
+    /// Translate `f` and mark it `Hot`; on failure mark it `Demoted` (it
+    /// keeps interpreting). Returns whether the function is now hot.
+    fn try_promote(&mut self, f: FuncId) -> bool {
+        match self.ensure_translated(f) {
+            Ok(_) => {
+                self.tier[f.index()] = TierCell::Hot;
+                self.tier_stats.promoted += 1;
+                if trace::enabled() {
+                    trace::instant_args(
+                        "vm",
+                        "tier-up",
+                        vec![("function", self.module().func(f).name.clone())],
+                    );
+                }
+                true
+            }
+            Err(_) => {
+                // `ensure_translated` already emitted the bail-to-interp
+                // instant with the error.
+                self.tier[f.index()] = TierCell::Demoted;
+                self.tier_stats.demoted += 1;
+                if trace::enabled() {
+                    trace::instant_args(
+                        "vm",
+                        "tier-demote",
+                        vec![("function", self.module().func(f).name.clone())],
+                    );
+                }
+                false
+            }
+        }
+    }
+
+    /// On-stack replacement: the top frame must be interpreted, sitting
+    /// at a block boundary (`idx == 0`, right after a `transfer`), and
+    /// its function must have translated code. The frame is rebuilt in
+    /// translated form at the same block: φs were already executed by the
+    /// transfer, so entering at the block's first non-φ pc with the
+    /// registers copied over is state-identical.
+    fn osr_enter(&mut self, stack: &mut [TFrame]) -> Result<(), ExecError> {
+        let top = stack.last_mut().expect("frame");
+        let TFrame::I(fr) = top else {
+            return Ok(());
+        };
+        debug_assert_eq!(fr.idx, 0, "OSR only at a block boundary");
+        let Some(lf) = self.jit_cache[fr.func.index()].clone() else {
+            return Ok(());
+        };
+        let mut regs = self.jit_reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(lf.n_regs, VmValue::Ptr(0));
+        for (i, r) in fr.regs.iter().enumerate() {
+            if let Some(v) = r {
+                regs[i] = *v;
+            }
+        }
+        let pc = lf.block_pc[fr.block.index()];
+        let jfr = JitFrame {
+            func: fr.func,
+            lf,
+            regs,
+            args: std::mem::take(&mut fr.args),
+            varargs: std::mem::take(&mut fr.varargs),
+            va_next: fr.va_next,
+            pc,
+            allocas: std::mem::take(&mut fr.allocas),
+            pending: None,
+        };
+        let mut old_regs = std::mem::take(&mut fr.regs);
+        old_regs.clear();
+        self.interp_reg_pool.push(old_regs);
+        self.tier_stats.osr += 1;
+        if trace::enabled() {
+            trace::instant_args(
+                "vm",
+                "tier-osr",
+                vec![("function", self.module().func(jfr.func).name.clone())],
+            );
+        }
+        *stack.last_mut().expect("frame") = TFrame::J(jfr);
+        Ok(())
+    }
+}
+
+impl TierStats {
+    /// Human-readable tier table for `--stats`.
+    pub fn render(&self) -> String {
+        let total = self.interp_insts + self.jit_insts;
+        let pct = |n: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / total as f64
+            }
+        };
+        let mut s = String::new();
+        s.push_str(&format!(
+            "  interp insts    {:>12}  ({:.1}%)\n",
+            self.interp_insts,
+            pct(self.interp_insts)
+        ));
+        s.push_str(&format!(
+            "  jit insts       {:>12}  ({:.1}%)\n",
+            self.jit_insts,
+            pct(self.jit_insts)
+        ));
+        s.push_str(&format!(
+            "  promoted        {:>12}  (warm-start {}, osr {})\n",
+            self.promoted, self.warmed, self.osr
+        ));
+        s.push_str(&format!("  demoted         {:>12}\n", self.demoted));
+        s.push_str(&format!(
+            "  translated      {:>12}  ({} us)\n",
+            self.translated,
+            self.translate_ns / 1_000
+        ));
+        s
+    }
+}

@@ -8,6 +8,7 @@
 //! lpatc link    <in...> -o out      [--emit text|bc] [-O]
 //! lpatc dis     <in.bc>                                     bytecode -> text
 //! lpatc run     <in>    [-O] [--profile] [--fuel N] [--input a,b,c] [--max-stack N]
+//!               [--jit | --tiered] [--tier-up N]
 //!               [--cache-dir DIR] [--profile-in F] [--profile-out F]
 //! lpatc reopt   <in>    [--cache-dir DIR] [--profile-in F] [-o out] [--jobs N]
 //! lpatc analyze <in>                                        DSA + call graph report
@@ -35,6 +36,18 @@
 //! such faults fatal instead. `--inject-faults 'gvn:panic@2,...'` (or the
 //! `LPAT_FAULTS` environment variable) deterministically triggers faults
 //! at named sites for testing; see `lpat_core::fault`.
+//!
+//! # Tiered execution
+//!
+//! `run --tiered` starts every function in the profiling interpreter and
+//! promotes it to the translated tier once its hotness counter (calls +
+//! loop back-edges) exceeds the threshold (`--tier-up N`, or the
+//! `LPAT_TIER_UP` environment variable; `--tier-up` implies `--tiered`).
+//! With a lifelong store (`--cache-dir`) or `--profile-in`, functions
+//! recorded hot in *prior* runs are translated eagerly at load
+//! (warm-start), so a repeat run skips the warm-up entirely. `--stats`
+//! prints a per-tier instruction table. Tiered execution is
+//! observationally identical to the plain interpreter at any threshold.
 //!
 //! # Lifelong persistence
 //!
@@ -242,10 +255,49 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
                     Err(e) => diag.warn(&format!("--profile-in {p}: {e}; starting fresh")),
                 }
             }
+            // `--tier-up N` implies `--tiered`; `LPAT_TIER_UP` only sets
+            // the threshold. `--tiered` wins over `--jit` if both appear.
+            let tier_up_flag = flag_value(rest, "--tier-up");
+            let use_tiered = has_flag(rest, "--tiered") || tier_up_flag.is_some();
+            let env_tier_up = std::env::var("LPAT_TIER_UP").ok();
+            if let Some(v) = tier_up_flag.or(env_tier_up.as_deref()) {
+                opts.tier_up = v.parse().map_err(|_| "bad --tier-up value")?;
+            }
             let profiling = opts.profile;
             let use_jit = has_flag(rest, "--jit");
             let mut vm = lpat::vm::Vm::new(&m, opts).map_err(|e| e.to_string())?;
-            let result = if use_jit {
+            // Warm-start: seed tier decisions from every prior profile
+            // recorded for these exact module bytes — the lifelong loop
+            // closed at the execution layer.
+            if use_tiered {
+                let mut warm = lifetime.profile.clone();
+                let mut have = lifetime.runs > 0;
+                if let Some(store) = &store {
+                    match store.load_profile(run_hash) {
+                        Ok(loaded) => {
+                            for q in &loaded.quarantined {
+                                diag.cache_warn(q.error.class(), &q.to_string());
+                            }
+                            if let Some(sp) = loaded.value {
+                                warm.merge_saturating(&sp.profile);
+                                have = true;
+                            }
+                        }
+                        Err(e) => diag.cache_warn(e.class(), &e.to_string()),
+                    }
+                }
+                if have {
+                    let n = vm.warm_start(&warm);
+                    if n > 0 {
+                        diag.note(&format!(
+                            "[tier] warm-start: {n} function(s) promoted from prior profile"
+                        ));
+                    }
+                }
+            }
+            let result = if use_tiered {
+                vm.run_main_tiered()
+            } else if use_jit {
                 vm.run_main_jit()
             } else {
                 vm.run_main()
@@ -294,6 +346,10 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
                     for (name, n) in top {
                         diag.dump(&format!("  {name:<14} {n:>12}"));
                     }
+                }
+                if use_tiered {
+                    diag.dump("\n[tier]");
+                    diag.dump_raw(&vm.tier_stats.render());
                 }
             }
             match result {
@@ -437,7 +493,8 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
                  flags: -o FILE, --emit text|bc, -O/-O2, --link-pipeline,\n\
                  \x20      --jobs N, --verify-each, --time-passes,\n\
                  \x20      --inject-faults PLAN, --no-degrade, --pass-budget-ms N,\n\
-                 \x20      --profile, --jit, --fuel N, --input a,b,c, --max-stack N,\n\
+                 \x20      --profile, --jit, --tiered, --tier-up N (or LPAT_TIER_UP),\n\
+                 \x20      --fuel N, --input a,b,c, --max-stack N,\n\
                  \x20      --cache-dir DIR (or LPAT_CACHE_DIR), --profile-in FILE,\n\
                  \x20      --profile-out FILE, --hot-threshold N,\n\
                  \x20      --trace-out FILE, --metrics-out FILE, --stats,\n\

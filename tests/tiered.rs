@@ -1,0 +1,397 @@
+//! Differential tests for the tiered execution engine: at *any* tier-up
+//! threshold — 0 (promote everything on first call), 1, the default, or
+//! effectively-infinite (never promote) — the tiered engine must be
+//! observationally identical to the reference interpreter: same program
+//! output, same return value or trap kind, same instruction count, fuel
+//! consumption, opcode histogram, and profile counters. This holds across
+//! the whole workload suite, for trapping programs, under injected
+//! translation faults (the tiered engine demotes and keeps going), and
+//! with warm-started tier decisions.
+
+use std::process::Command;
+
+use lpat::vm::{ExecError, TrapKind, Vm, VmOptions};
+
+/// Everything observable about one execution.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    outcome: Result<i64, TrapKind>,
+    output: String,
+    insts: u64,
+    fuel_left: Option<u64>,
+    opcode_counts: Vec<u64>,
+    profile: lpat::vm::ProfileData,
+}
+
+fn observe(
+    m: &lpat::core::Module,
+    engine: &str,
+    tier_up: u64,
+    warm: Option<&lpat::vm::ProfileData>,
+) -> Observed {
+    let opts = VmOptions {
+        profile: true,
+        fuel: Some(20_000_000),
+        tier_up,
+        ..VmOptions::default()
+    };
+    let mut vm = Vm::new(m, opts).expect("vm init");
+    if let Some(p) = warm {
+        vm.warm_start(p);
+    }
+    let r = match engine {
+        "interp" => vm.run_main(),
+        "jit" => vm.run_main_jit(),
+        "tiered" => vm.run_main_tiered(),
+        other => panic!("unknown engine {other}"),
+    };
+    let outcome = match r {
+        Ok(v) => Ok(v),
+        Err(ExecError::Trap { kind, .. }) => Err(kind),
+        Err(other) => panic!("unexpected error class: {other}"),
+    };
+    Observed {
+        outcome,
+        output: vm.output.clone(),
+        insts: vm.insts_executed,
+        fuel_left: vm.opts.fuel,
+        opcode_counts: vm.opcode_counts.to_vec(),
+        profile: vm.profile.clone(),
+    }
+}
+
+/// The thresholds every differential case runs at: full-JIT-equivalent,
+/// near-instant promotion, the default, and never-promote.
+const THRESHOLDS: [u64; 4] = [0, 1, 50, u64::MAX];
+
+#[test]
+fn tiered_matches_interp_across_suite_at_every_threshold() {
+    for (name, m) in lpat::workloads::compile_suite(0) {
+        let reference = observe(&m, "interp", 0, None);
+        for t in THRESHOLDS {
+            let tiered = observe(&m, "tiered", t, None);
+            assert_eq!(reference, tiered, "workload {name} diverged at tier_up={t}");
+        }
+        // The full JIT must agree too (it shares the mixed-frame loop).
+        let jit = observe(&m, "jit", 0, None);
+        assert_eq!(reference, jit, "workload {name} diverged under full JIT");
+    }
+}
+
+#[test]
+fn tiered_matches_interp_with_warm_start() {
+    for (name, m) in lpat::workloads::compile_suite(0) {
+        // First run populates the profile (as the lifelong store would).
+        let first = observe(&m, "tiered", 50, None);
+        let warm = observe(&m, "tiered", 50, Some(&first.profile));
+        assert_eq!(
+            first, warm,
+            "workload {name} diverged between cold and warm-started runs"
+        );
+    }
+}
+
+#[test]
+fn warm_start_promotes_hot_functions_eagerly() {
+    let suite = lpat::workloads::compile_suite(0);
+    let (name, m) = &suite[0]; // 164.gzip: loop-heavy, several hot functions
+    let opts = VmOptions {
+        profile: true,
+        ..VmOptions::default()
+    };
+    let mut vm = Vm::new(m, opts.clone()).unwrap();
+    vm.run_main_tiered()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let profile = vm.profile.clone();
+    let cold_promoted = vm.tier_stats.promoted;
+    assert!(cold_promoted > 0, "{name}: nothing promoted in a cold run");
+
+    let mut vm2 = Vm::new(m, opts).unwrap();
+    let warmed = vm2.warm_start(&profile);
+    assert!(warmed > 0, "{name}: warm-start promoted nothing");
+    assert_eq!(vm2.tier_stats.warmed, warmed as u64);
+    vm2.run_main_tiered()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    // The warm run starts hot: it never needs OSR for the functions the
+    // profile already identified.
+    assert!(
+        vm2.tier_stats.jit_insts >= vm.tier_stats.jit_insts,
+        "{name}: warm run executed fewer JIT instructions than cold"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Trap differentials: the trap kind and everything executed before the
+// trap must match at every threshold.
+// ---------------------------------------------------------------------
+
+fn trap_case(src: &str, expect: TrapKind) {
+    let m = lpat::asm::parse_module("t", src).unwrap();
+    m.verify().unwrap_or_else(|e| panic!("{e:?}"));
+    let reference = observe(&m, "interp", 0, None);
+    assert_eq!(reference.outcome, Err(expect));
+    for t in THRESHOLDS {
+        let tiered = observe(&m, "tiered", t, None);
+        assert_eq!(reference, tiered, "trap case diverged at tier_up={t}");
+    }
+}
+
+#[test]
+fn div_by_zero_in_hot_loop_traps_identically() {
+    // The divisor reaches zero only after the loop has run hot: the trap
+    // fires in translated code in tiered mode, interpreted otherwise.
+    trap_case(
+        "
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 200, %e ], [ %i2, %b ]
+  %c = setgt int %i, -1
+  br bool %c, label %b, label %x
+b:
+  %q = div int 1000, %i
+  %i2 = sub int %i, 1
+  br label %h
+x:
+  ret int 0
+}",
+        TrapKind::DivByZero,
+    );
+}
+
+#[test]
+fn out_of_fuel_traps_at_identical_instruction() {
+    let m = lpat::asm::parse_module(
+        "t",
+        "
+define int @main() {
+e:
+  br label %l
+l:
+  br label %l
+}",
+    )
+    .unwrap();
+    for t in THRESHOLDS {
+        let opts = VmOptions {
+            fuel: Some(10_000),
+            tier_up: t,
+            ..VmOptions::default()
+        };
+        let mut vm = Vm::new(&m, opts).unwrap();
+        match vm.run_main_tiered().unwrap_err() {
+            ExecError::Trap { kind, .. } => assert_eq!(kind, TrapKind::OutOfFuel),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(vm.opts.fuel, Some(0));
+        assert_eq!(vm.insts_executed, 10_000, "tier_up={t}");
+    }
+}
+
+#[test]
+fn uncaught_unwind_traps_identically_across_tiers() {
+    trap_case(
+        "
+define void @thrower() {
+e:
+  unwind
+}
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %b ]
+  %c = setlt int %i, 100
+  br bool %c, label %b, label %t
+b:
+  %i2 = add int %i, 1
+  br label %h
+t:
+  call void @thrower()
+  ret int 0
+}",
+        TrapKind::UncaughtUnwind,
+    );
+}
+
+#[test]
+fn invoke_across_tier_boundary_catches_unwind() {
+    // The invoke sits in `main` (interpreted until OSR); the thrower gets
+    // hot and throws from translated code. The unwind must cross the
+    // tier boundary and land in the handler.
+    let src = "
+define void @maybe_throw(int %i) {
+e:
+  %c = seteq int %i, 900
+  br bool %c, label %t, label %ok
+t:
+  unwind
+ok:
+  ret void
+}
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %cont ]
+  invoke void @maybe_throw(int %i) to label %cont unwind label %caught
+cont:
+  %i2 = add int %i, 1
+  %c = setlt int %i2, 2000
+  br bool %c, label %h, label %x
+caught:
+  ret int 77
+x:
+  ret int 0
+}";
+    let m = lpat::asm::parse_module("t", src).unwrap();
+    m.verify().unwrap_or_else(|e| panic!("{e:?}"));
+    let reference = observe(&m, "interp", 0, None);
+    assert_eq!(reference.outcome, Ok(77));
+    for t in THRESHOLDS {
+        let tiered = observe(&m, "tiered", t, None);
+        assert_eq!(reference, tiered, "invoke case diverged at tier_up={t}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injected translation faults: the tiered engine demotes the function
+// and keeps interpreting; output is unchanged. Fault plans are
+// process-global, so this runs through the lpatc driver in a subprocess.
+// ---------------------------------------------------------------------
+
+fn lpatc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lpatc"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn tiered_demotes_and_matches_interp_under_translate_fault() {
+    let src = "
+declare void @print_int(int)
+define int @hot(int %x) {
+e:
+  %r = mul int %x, 3
+  ret int %r
+}
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %b ]
+  %s = phi int [ 0, %e ], [ %s2, %b ]
+  %c = setlt int %i, 500
+  br bool %c, label %b, label %x
+b:
+  %v = call int @hot(int %i)
+  %s2 = add int %s, %v
+  %i2 = add int %i, 1
+  br label %h
+x:
+  %m = rem int %s, 97
+  call void @print_int(int %m)
+  ret int %m
+}";
+    let p = tmp("tiered_fault.ll");
+    std::fs::write(&p, src).unwrap();
+
+    let reference = lpatc().arg("run").arg(&p).arg("--quiet").output().unwrap();
+    // Every translation attempt faults: all promotions demote, the whole
+    // run interprets, and the answer is still right.
+    let faulted = lpatc()
+        .arg("run")
+        .arg(&p)
+        .arg("--tiered")
+        .arg("--tier-up")
+        .arg("1")
+        .arg("--inject-faults")
+        .arg("jit.translate:io")
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert_eq!(reference.status.code(), faulted.status.code());
+    assert_eq!(reference.stdout, faulted.stdout);
+
+    // Same plan under the pure JIT is fatal — demotion is a tiered-only
+    // recovery.
+    let jit_faulted = lpatc()
+        .arg("run")
+        .arg(&p)
+        .arg("--jit")
+        .arg("--inject-faults")
+        .arg("jit.translate:io@1")
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert_eq!(jit_faulted.status.code(), Some(2), "pure JIT must fail");
+
+    // A fault on only the *first* translation demotes one function; the
+    // rest still promote, and the answer is still right.
+    let partial = lpatc()
+        .arg("run")
+        .arg(&p)
+        .arg("--tier-up")
+        .arg("1")
+        .arg("--inject-faults")
+        .arg("jit.translate:io@1")
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert_eq!(reference.status.code(), partial.status.code());
+    assert_eq!(reference.stdout, partial.stdout);
+}
+
+#[test]
+fn lpatc_tiered_warm_start_from_store_matches_cold() {
+    let src = "
+declare void @print_int(int)
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %b ]
+  %s = phi int [ 0, %e ], [ %s2, %b ]
+  %c = setlt int %i, 3000
+  br bool %c, label %b, label %x
+b:
+  %s2 = add int %s, %i
+  %i2 = add int %i, 1
+  br label %h
+x:
+  %m = rem int %s, 101
+  call void @print_int(int %m)
+  ret int %m
+}";
+    let p = tmp("tiered_store.ll");
+    std::fs::write(&p, src).unwrap();
+    let cache = tmp("tiered_store_cache");
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let run = |extra: &[&str]| {
+        let mut c = lpatc();
+        c.arg("run")
+            .arg(&p)
+            .arg("--tiered")
+            .arg("--cache-dir")
+            .arg(&cache);
+        for a in extra {
+            c.arg(a);
+        }
+        c.output().unwrap()
+    };
+    let cold = run(&["--quiet"]);
+    let warm = run(&[]);
+    assert_eq!(cold.status.code(), warm.status.code());
+    assert_eq!(cold.stdout, warm.stdout);
+    let notices = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        notices.contains("warm-start"),
+        "second run did not warm-start: {notices}"
+    );
+}
