@@ -1,12 +1,16 @@
 //! `vmperf` — the VM execution-engine benchmark.
 //!
-//! Runs every workload under four engines — the reference interpreter,
+//! Runs every workload under five engines — the reference interpreter,
 //! the full JIT (translate everything on first call), the tiered engine
-//! cold (counter-driven promotion), and the tiered engine warm-started
-//! from a prior run's profile — and emits `BENCH_vm.json`
-//! (`lpat-bench-vm/v1`): per-workload wall time (best of N reps),
-//! instructions/second, translation time, and promotion counts, plus the
-//! two headline geomeans (tiered vs. interpreter, warm vs. cold).
+//! cold (counter-driven promotion), the tiered engine warm-started from
+//! a prior run's profile, and the tiered engine over the full lifelong
+//! cycle (offline profile-guided reoptimization plus speculation with
+//! guards, warm-started) — and emits `BENCH_vm.json`
+//! (`lpat-bench-vm/v2`): per-workload wall time (best of N reps),
+//! instructions/second, translation time, promotion counts, and guard /
+//! deoptimization counts for the speculative rows, plus the three
+//! headline geomeans (tiered vs. interpreter, warm vs. cold, and
+//! speculative-warm vs. cold).
 //!
 //! Every engine's program output and exit code are asserted identical to
 //! the interpreter's before any timing is reported — a benchmark of a
@@ -19,9 +23,11 @@
 //! `--quick` drops to one rep per engine (the CI smoke configuration);
 //! the committed artifact is generated in release mode without it.
 
+use std::rc::Rc;
 use std::time::Instant;
 
-use lpat_vm::{Vm, VmOptions};
+use lpat_transform::{SpecMap, SpecOptions};
+use lpat_vm::{PgoOptions, Vm, VmOptions};
 
 struct EngineResult {
     wall_ms: f64,
@@ -30,6 +36,10 @@ struct EngineResult {
     promoted: u64,
     warmed: u64,
     osr: u64,
+    guards: u64,
+    guard_passed: u64,
+    guard_failed: u64,
+    deopts: u64,
 }
 
 impl EngineResult {
@@ -48,9 +58,13 @@ fn run_once(
     m: &lpat_core::Module,
     engine: &str,
     warm: Option<&lpat_vm::ProfileData>,
+    spec: Option<&Rc<SpecMap>>,
 ) -> (EngineResult, i64, String) {
     let opts = VmOptions::default();
     let mut vm = Vm::new(m, opts).expect("vm init");
+    if let Some(map) = spec {
+        vm.install_speculation(map.clone(), map.len() as u64, 0);
+    }
     if let Some(p) = warm {
         vm.warm_start(p);
     }
@@ -63,6 +77,7 @@ fn run_once(
     .unwrap_or_else(|e| panic!("{}: {engine}: {e}", m.name));
     let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
     let t = &vm.tier_stats;
+    let s = &vm.spec_stats;
     (
         EngineResult {
             wall_ms,
@@ -71,6 +86,10 @@ fn run_once(
             promoted: t.promoted,
             warmed: t.warmed,
             osr: t.osr,
+            guards: s.emitted,
+            guard_passed: s.passed,
+            guard_failed: s.failed,
+            deopts: s.deopts,
         },
         code,
         vm.output.clone(),
@@ -83,13 +102,14 @@ fn run_best(
     m: &lpat_core::Module,
     engine: &str,
     warm: Option<&lpat_vm::ProfileData>,
+    spec: Option<&Rc<SpecMap>>,
     reps: usize,
     expect: Option<&(i64, String)>,
 ) -> (EngineResult, i64, String) {
     let mut best: Option<EngineResult> = None;
     let mut last = None;
     for _ in 0..reps {
-        let (r, code, out) = run_once(m, engine, warm);
+        let (r, code, out) = run_once(m, engine, warm, spec);
         if let Some((ecode, eout)) = expect {
             assert_eq!(
                 (*ecode, eout.as_str()),
@@ -132,17 +152,26 @@ fn main() {
     let mut rows = Vec::new();
     let mut speedup_tiered = Vec::new();
     let mut speedup_warm = Vec::new();
+    let mut speedup_spec = Vec::new();
     println!(
-        "{:<14} {:>10} {:>10} {:>10} {:>10}   {:>8} {:>8}",
-        "workload", "interp ms", "jit ms", "tiered ms", "warm ms", "tier/int", "warm/cold"
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}   {:>8} {:>8} {:>8}",
+        "workload",
+        "interp ms",
+        "jit ms",
+        "tiered ms",
+        "warm ms",
+        "spec ms",
+        "tier/int",
+        "warm/cold",
+        "spec/cold"
     );
     for w in &suite {
         let m = lpat_bench::prepare(w.name, &w.source);
         // Reference run: the interpreter's answer is ground truth.
-        let (interp, code, output) = run_best(&m, "interp", None, reps, None);
+        let (interp, code, output) = run_best(&m, "interp", None, None, reps, None);
         let expect = (code, output);
-        let (jit, _, _) = run_best(&m, "jit", None, reps, Some(&expect));
-        let (tiered, _, _) = run_best(&m, "tiered", None, reps, Some(&expect));
+        let (jit, _, _) = run_best(&m, "jit", None, None, reps, Some(&expect));
+        let (tiered, _, _) = run_best(&m, "tiered", None, None, reps, Some(&expect));
         // Warm-start profile: one untimed instrumented tiered run.
         let profile = {
             let opts = VmOptions {
@@ -154,33 +183,93 @@ fn main() {
                 .unwrap_or_else(|e| panic!("{}: profiling run: {e}", w.name));
             vm.profile.clone()
         };
-        let (warm, _, _) = run_best(&m, "tiered", Some(&profile), reps, Some(&expect));
+        let (warm, _, _) = run_best(&m, "tiered", Some(&profile), None, reps, Some(&expect));
+        // Speculative warm run — the full lifelong cycle a cached store
+        // session replays: offline profile-guided reoptimization (hot
+        // inlining + layout), speculation justified by the same profile
+        // (guards as an in-memory overlay), then a warm-started tiered
+        // run of the result.
+        let sm = {
+            let mut sm = m.clone();
+            let report = lpat_vm::reoptimize(&mut sm, &profile, &PgoOptions::default());
+            assert!(
+                !report.degraded(),
+                "{}: reopt degraded: {:?}",
+                w.name,
+                report.faults
+            );
+            sm
+        };
+        let mut sm = sm;
+        // Re-profile the reoptimized module: inlining rewrites instruction
+        // ids, so the first generation's per-site counts no longer name the
+        // hot call sites. Each lifelong generation profiles itself.
+        let profile2 = {
+            let opts = VmOptions {
+                profile: true,
+                ..VmOptions::default()
+            };
+            let mut vm = Vm::new(&sm, opts).expect("vm init");
+            vm.run_main_tiered()
+                .unwrap_or_else(|e| panic!("{}: reprofiling run: {e}", w.name));
+            vm.profile.clone()
+        };
+        let (map, _plan) = lpat_transform::speculate::speculate(
+            &mut sm,
+            &profile2.to_spec_profile(),
+            &SpecOptions::default(),
+        );
+        sm.verify()
+            .unwrap_or_else(|e| panic!("{}: speculated module broken: {e:?}", w.name));
+        let map = Rc::new(map);
+        let (spec, _, _) = run_best(
+            &sm,
+            "tiered",
+            Some(&profile2),
+            Some(&map),
+            reps,
+            Some(&expect),
+        );
         let sp_t = interp.wall_ms / tiered.wall_ms.max(1e-9);
         let sp_w = tiered.wall_ms / warm.wall_ms.max(1e-9);
+        let sp_s = tiered.wall_ms / spec.wall_ms.max(1e-9);
         speedup_tiered.push(sp_t);
         speedup_warm.push(sp_w);
+        speedup_spec.push(sp_s);
         println!(
-            "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}   {:>7.2}x {:>8.2}x",
-            w.name, interp.wall_ms, jit.wall_ms, tiered.wall_ms, warm.wall_ms, sp_t, sp_w
+            "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}   {:>7.2}x {:>8.2}x {:>8.2}x",
+            w.name,
+            interp.wall_ms,
+            jit.wall_ms,
+            tiered.wall_ms,
+            warm.wall_ms,
+            spec.wall_ms,
+            sp_t,
+            sp_w,
+            sp_s
         );
-        rows.push((w.name, interp, jit, tiered, warm));
+        rows.push((w.name, interp, jit, tiered, warm, spec));
     }
 
     let geomean =
         |v: &[f64]| -> f64 { (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp() };
     let g_tiered = geomean(&speedup_tiered);
     let g_warm = geomean(&speedup_warm);
-    println!("\ngeomean speedup  tiered vs interp: {g_tiered:.2}x   warm vs cold: {g_warm:.2}x");
+    let g_spec = geomean(&speedup_spec);
+    println!(
+        "\ngeomean speedup  tiered vs interp: {g_tiered:.2}x   warm vs cold: {g_warm:.2}x   \
+         spec-warm vs cold: {g_spec:.2}x"
+    );
 
     // Hand-serialized (the workspace has no serde); validated below.
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"lpat-bench-vm/v1\",\n");
+    j.push_str("  \"schema\": \"lpat-bench-vm/v2\",\n");
     j.push_str(&format!("  \"scale\": {scale},\n"));
     j.push_str(&format!("  \"reps\": {reps},\n"));
     j.push_str("  \"workloads\": [\n");
-    for (i, (name, interp, jit, tiered, warm)) in rows.iter().enumerate() {
-        let eng = |r: &EngineResult, tiered: bool| -> String {
+    for (i, (name, interp, jit, tiered, warm, spec)) in rows.iter().enumerate() {
+        let eng = |r: &EngineResult, tiered: bool, spec: bool| -> String {
             let mut s = format!(
                 "{{\"wall_ms\": {}, \"insts\": {}, \"insts_per_sec\": {}, \"translate_ms\": {}",
                 jnum(r.wall_ms),
@@ -194,6 +283,12 @@ fn main() {
                     r.promoted, r.warmed, r.osr
                 ));
             }
+            if spec {
+                s.push_str(&format!(
+                    ", \"guards\": {}, \"guard_passed\": {}, \"guard_failed\": {}, \"deopts\": {}",
+                    r.guards, r.guard_passed, r.guard_failed, r.deopts
+                ));
+            }
             s.push('}');
             s
         };
@@ -205,10 +300,11 @@ fn main() {
             jnum(interp.insts_per_sec())
         );
         j.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"engines\": {{\n      \"interp\": {interp_s},\n      \"jit\": {},\n      \"tiered\": {},\n      \"tiered_warm\": {}\n    }}}}{}\n",
-            eng(jit, false),
-            eng(tiered, true),
-            eng(warm, true),
+            "    {{\"name\": \"{name}\", \"engines\": {{\n      \"interp\": {interp_s},\n      \"jit\": {},\n      \"tiered\": {},\n      \"tiered_warm\": {},\n      \"tiered_spec\": {}\n    }}}}{}\n",
+            eng(jit, false, false),
+            eng(tiered, true, false),
+            eng(warm, true, false),
+            eng(spec, true, true),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -218,8 +314,12 @@ fn main() {
         jnum(g_tiered)
     ));
     j.push_str(&format!(
-        "  \"geomean_speedup_warm_vs_cold\": {}\n",
+        "  \"geomean_speedup_warm_vs_cold\": {},\n",
         jnum(g_warm)
+    ));
+    j.push_str(&format!(
+        "  \"geomean_speedup_spec_warm_vs_cold\": {}\n",
+        jnum(g_spec)
     ));
     j.push_str("}\n");
 

@@ -341,13 +341,15 @@ fn json_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Validate a `BENCH_vm.json` document against the `lpat-bench-vm/v1`
-/// schema. Used by `vmperf` to self-check its output and by the CI smoke
-/// job to validate the committed artifact.
+/// Validate a `BENCH_vm.json` document against the `lpat-bench-vm/v2`
+/// schema (v1 plus the speculative warm-run engine `tiered_spec` with
+/// guard/deopt counts and the spec-warm geomean). Used by `vmperf` to
+/// self-check its output and by the CI smoke job to validate the
+/// committed artifact.
 pub fn validate_vm_bench(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
-    if doc.get("schema").and_then(Json::str) != Some("lpat-bench-vm/v1") {
-        return Err("schema must be \"lpat-bench-vm/v1\"".into());
+    if doc.get("schema").and_then(Json::str) != Some("lpat-bench-vm/v2") {
+        return Err("schema must be \"lpat-bench-vm/v2\"".into());
     }
     for key in ["scale", "reps"] {
         doc.get(key)
@@ -369,7 +371,7 @@ pub fn validate_vm_bench(text: &str) -> Result<(), String> {
         let engines = w
             .get("engines")
             .ok_or_else(|| format!("{name}: missing 'engines'"))?;
-        for eng in ["interp", "jit", "tiered", "tiered_warm"] {
+        for eng in ["interp", "jit", "tiered", "tiered_warm", "tiered_spec"] {
             let e = engines
                 .get(eng)
                 .ok_or_else(|| format!("{name}: missing engine '{eng}'"))?;
@@ -390,11 +392,19 @@ pub fn validate_vm_bench(text: &str) -> Result<(), String> {
                         .ok_or_else(|| format!("{name}.{eng}: missing '{field}'"))?;
                 }
             }
+            if eng == "tiered_spec" {
+                for field in ["guards", "guard_passed", "guard_failed", "deopts"] {
+                    e.get(field)
+                        .and_then(Json::num)
+                        .ok_or_else(|| format!("{name}.{eng}: missing '{field}'"))?;
+                }
+            }
         }
     }
     for key in [
         "geomean_speedup_tiered_vs_interp",
         "geomean_speedup_warm_vs_cold",
+        "geomean_speedup_spec_warm_vs_cold",
     ] {
         doc.get(key)
             .and_then(Json::num)
@@ -520,7 +530,7 @@ mod tests {
     #[test]
     fn vm_bench_validator_accepts_good_and_rejects_bad() {
         let good = r#"{
-  "schema": "lpat-bench-vm/v1", "scale": 0, "reps": 3,
+  "schema": "lpat-bench-vm/v2", "scale": 0, "reps": 3,
   "workloads": [
     {"name": "w", "engines": {
       "interp": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000},
@@ -528,17 +538,28 @@ mod tests {
       "tiered": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
                  "promoted": 2, "warmed": 0, "osr": 1},
       "tiered_warm": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
-                      "promoted": 2, "warmed": 2, "osr": 0}
+                      "promoted": 2, "warmed": 2, "osr": 0},
+      "tiered_spec": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
+                      "promoted": 2, "warmed": 2, "osr": 0,
+                      "guards": 1, "guard_passed": 9, "guard_failed": 1, "deopts": 1}
     }}
   ],
   "geomean_speedup_tiered_vs_interp": 1.8,
-  "geomean_speedup_warm_vs_cold": 1.1
+  "geomean_speedup_warm_vs_cold": 1.1,
+  "geomean_speedup_spec_warm_vs_cold": 1.4
 }"#;
         validate_vm_bench(good).unwrap();
         assert!(validate_vm_bench("{}").is_err());
-        assert!(validate_vm_bench(&good.replace("lpat-bench-vm/v1", "v2")).is_err());
+        // The old v1 schema tag must be rejected: v1 files lack the
+        // speculative rows.
+        assert!(validate_vm_bench(&good.replace("lpat-bench-vm/v2", "lpat-bench-vm/v1")).is_err());
         assert!(validate_vm_bench(&good.replace("\"tiered\":", "\"other\":")).is_err());
         assert!(validate_vm_bench(&good.replace("\"promoted\": 2,", "")).is_err());
+        assert!(validate_vm_bench(&good.replace("\"guards\": 1,", "")).is_err());
+        assert!(validate_vm_bench(
+            &good.replace("\"geomean_speedup_spec_warm_vs_cold\": 1.4", "\"x\": 1")
+        )
+        .is_err());
     }
 
     #[test]

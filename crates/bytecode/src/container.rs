@@ -33,8 +33,10 @@ use crate::format::{write_varint, Reader};
 pub const CONTAINER_MAGIC: [u8; 4] = *b"LPCF";
 /// Magic bytes of the trailer.
 pub const TRAILER_MAGIC: [u8; 4] = *b"LPCE";
-/// Container format version.
-pub const CONTAINER_VERSION: u32 = 1;
+/// Container format version. Version 2 added the guard exec/misspec
+/// tables to the profile payload (speculative PGO); version-1 files are
+/// quarantined and regenerated rather than misread under the new schema.
+pub const CONTAINER_VERSION: u32 = 2;
 
 /// Payload kind: a serialized profile.
 pub const KIND_PROFILE: [u8; 4] = *b"PROF";

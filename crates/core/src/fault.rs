@@ -20,7 +20,11 @@
 //! * `site` — a fault-site name. Every pass name is a site (`gvn`,
 //!   `inline`, ...); additional named sites exist in the bytecode reader
 //!   (`bytecode.read`), the profile-guided reoptimizer (`pgo-inline`),
-//!   and the lifelong store (`store.read`, `store.write`, `store.lock`).
+//!   the lifelong store (`store.read`, `store.write`, `store.lock`), the
+//!   tier engine (`jit.translate` — fail a function's translation;
+//!   `tier.deopt` — panic during deopt frame reconstruction, demoting
+//!   the function), and speculation (`spec.guard` — force a guard check
+//!   to fail; `delay` sleeps and then honors the real condition).
 //! * `action` — `panic` (the site panics), `delay=50ms` (the site sleeps,
 //!   blowing any per-pass wall-clock budget), `corrupt` (the pass
 //!   manager breaks the module *after* the pass runs, simulating a

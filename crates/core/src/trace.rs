@@ -381,6 +381,16 @@ pub fn counter(name: &'static str, delta: u64) {
     with_local(|b| *b.counters.entry(name).or_insert(0) += delta);
 }
 
+/// Like [`counter`], but records the key even when `delta` is zero.
+/// For counter families whose consumers rely on a stable key set
+/// (e.g. `vm.spec.*`): a zero is a statement, not an omission.
+pub fn counter_keyed(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|b| *b.counters.entry(name).or_insert(0) += delta);
+}
+
 /// Everything recorded in the current session, drained and merged.
 #[derive(Clone, Debug)]
 pub struct TraceData {

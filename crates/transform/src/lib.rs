@@ -37,6 +37,7 @@ pub mod prune_eh;
 pub mod reassociate;
 pub mod scalar;
 pub mod simplifycfg;
+pub mod speculate;
 pub mod sroa;
 pub mod util;
 
@@ -46,3 +47,4 @@ pub use pm::{
     default_jobs, FaultCause, FuncTiming, ModulePass, PassContext, PassDetails, PassEffect,
     PassExecution, PassFault, PassManager, PipelineReport,
 };
+pub use speculate::{SpecMap, SpecOptions, SpecPlan, SpecProfile};

@@ -100,6 +100,38 @@ impl Default for VmOptions {
     }
 }
 
+/// Speculation statistics: how the guards emitted by the speculative
+/// optimizer behaved at run time. Engine-independent — the interpreter,
+/// the JIT, and the tiered engine all record through the same
+/// [`Vm::guard_check`] path.
+#[derive(Clone, Debug, Default)]
+pub struct SpecStats {
+    /// Guards the speculation pass emitted into the executing module.
+    pub emitted: u64,
+    /// Plan entries retracted (prior misspeculation rate over threshold).
+    pub retracted: u64,
+    /// Guard executions that took the speculated fast path.
+    pub passed: u64,
+    /// Guard executions that failed (misspeculation).
+    pub failed: u64,
+    /// Deoptimizations: guard failures under the tiered engine that
+    /// rebuilt an interpreter frame from the translated one.
+    pub deopts: u64,
+}
+
+impl SpecStats {
+    /// Human-readable speculation table for `--stats`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("  guards emitted  {:>12}\n", self.emitted));
+        s.push_str(&format!("  retracted       {:>12}\n", self.retracted));
+        s.push_str(&format!("  guard passed    {:>12}\n", self.passed));
+        s.push_str(&format!("  guard failed    {:>12}\n", self.failed));
+        s.push_str(&format!("  deopts          {:>12}\n", self.deopts));
+        s
+    }
+}
+
 /// An activation record.
 pub(crate) struct Frame {
     pub(crate) func: FuncId,
@@ -137,6 +169,13 @@ pub struct Vm<'m> {
     /// counts, translation time). Populated by every engine; the tiered
     /// engine is the main writer.
     pub tier_stats: crate::tier::TierStats,
+    /// Speculation statistics (guards installed, pass/fail outcomes,
+    /// deoptimizations). All zero unless speculation was installed.
+    pub spec_stats: SpecStats,
+    /// The speculation overlay: which conditional branches are guards.
+    /// Installed by [`Vm::install_speculation`] before execution; `None`
+    /// means the module carries no speculation.
+    spec: Option<std::rc::Rc<lpat_transform::SpecMap>>,
     global_addrs: Vec<u32>,
     /// JIT translation cache, dense over `FuncId` (translated on first
     /// call or promotion, reused across `run_*` invocations).
@@ -180,6 +219,8 @@ impl<'m> Vm<'m> {
             insts_executed: 0,
             opcode_counts: [0; Inst::NUM_OPCODES],
             tier_stats: crate::tier::TierStats::default(),
+            spec_stats: SpecStats::default(),
+            spec: None,
             global_addrs,
             jit_cache: vec![None; m.num_funcs()],
             tier: vec![crate::tier::TierCell::Cold(0); m.num_funcs()],
@@ -203,6 +244,54 @@ impl<'m> Vm<'m> {
     /// The module this engine executes.
     pub fn module(&self) -> &'m Module {
         self.m
+    }
+
+    /// Install a speculation overlay: the guard map produced by
+    /// `lpat_transform::speculate` for *this engine's module*, plus the
+    /// plan's emitted/retracted counts for `--stats`. Must be called
+    /// before execution (guards lower differently in translated code,
+    /// and translations are cached).
+    pub fn install_speculation(
+        &mut self,
+        map: std::rc::Rc<lpat_transform::SpecMap>,
+        emitted: u64,
+        retracted: u64,
+    ) {
+        self.spec = if map.is_empty() { None } else { Some(map) };
+        self.spec_stats.emitted = emitted;
+        self.spec_stats.retracted = retracted;
+    }
+
+    /// The installed speculation overlay, if any (used at translation).
+    pub(crate) fn spec_map(&self) -> Option<&lpat_transform::SpecMap> {
+        self.spec.as_deref()
+    }
+
+    /// Record one guard execution and decide its direction. `actual` is
+    /// the evaluated guard condition; the `spec.guard` fault site can
+    /// force the fail side (modeling 100% misspeculation) without
+    /// touching the condition's dataflow value, so forced failures stay
+    /// observationally equivalent across engines. Shared by the
+    /// interpreter and the JIT so counters and the persisted guard
+    /// profile are engine-independent.
+    pub(crate) fn guard_check(&mut self, gid: u32, actual: bool) -> bool {
+        let pass = match lpat_core::faultpoint!("spec.guard") {
+            Some(lpat_core::FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                actual
+            }
+            Some(_) => false,
+            None => actual,
+        };
+        if pass {
+            self.spec_stats.passed += 1;
+        } else {
+            self.spec_stats.failed += 1;
+        }
+        if self.opts.profile {
+            self.profile.record_guard(gid, !pass);
+        }
+        pass
     }
 
     /// Dispatch an external call (shared with the JIT engine).
@@ -664,6 +753,20 @@ impl<'m> Vm<'m> {
                 let c = ev!(cond)
                     .as_bool()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "non-bool condition"))?;
+                // A guard is an ordinary conditional branch plus
+                // bookkeeping: when the speculation overlay registers this
+                // branch, record the outcome (and honor a forced failure).
+                // The interpreter needs no deoptimization — it already
+                // *is* the deoptimized tier; the slow path is just taken.
+                let guard = self
+                    .spec
+                    .as_ref()
+                    .and_then(|s| s.guard_at(fid, iid))
+                    .map(|g| g.id);
+                let c = match guard {
+                    Some(gid) => self.guard_check(gid, c),
+                    None => c,
+                };
                 let t = if c { then_bb } else { else_bb };
                 self.transfer(fr, block, t)?;
                 Ok(StepResult::Jumped)
@@ -935,6 +1038,14 @@ impl<'m> Vm<'m> {
         trace::counter("vm.tier.translated", t.translated);
         trace::counter("vm.tier.interp_insts", t.interp_insts);
         trace::counter("vm.tier.jit_insts", t.jit_insts);
+        // Speculation counters are exported unconditionally (all zero
+        // without `--speculate`) so trace consumers see a stable key set.
+        let s = &self.spec_stats;
+        trace::counter_keyed("vm.spec.emitted", s.emitted);
+        trace::counter_keyed("vm.spec.retracted", s.retracted);
+        trace::counter_keyed("vm.spec.passed", s.passed);
+        trace::counter_keyed("vm.spec.failed", s.failed);
+        trace::counter_keyed("vm.spec.deopts", s.deopts);
         let h = self.mem.stats();
         trace::counter("heap.allocs", h.allocs);
         trace::counter("heap.frees", h.frees);

@@ -34,7 +34,7 @@ pub mod tier;
 pub mod value;
 
 pub use error::{ExecError, TrapKind};
-pub use interp::{Vm, VmOptions};
+pub use interp::{SpecStats, Vm, VmOptions};
 pub use pgo::{reoptimize, PgoOptions, PgoReport};
 pub use profile::{form_trace, HotLoop, ProfileData};
 pub use store::{module_hash, Store, StoreError, StoredProfile};

@@ -38,6 +38,13 @@ pub struct PgoOptions {
     /// Worker threads for the cleanup pipeline run after hot inlining
     /// (`None` = the pass manager's default).
     pub jobs: Option<usize>,
+    /// When set, compute the speculation plan against the reoptimized
+    /// module: which guards the accumulated profile justifies emitting,
+    /// and which prior speculations it retracts (misspeculation rate over
+    /// the threshold). The plan is *reported*, not baked into the stored
+    /// module — guards are re-applied in memory at run time, so the store
+    /// keeps the unspeculated module the profile is attributed to.
+    pub spec: Option<lpat_transform::SpecOptions>,
 }
 
 impl Default for PgoOptions {
@@ -47,6 +54,7 @@ impl Default for PgoOptions {
             max_callee_size: 2000,
             caller_cap: 50_000,
             jobs: None,
+            spec: None,
         }
     }
 }
@@ -68,6 +76,11 @@ pub struct PgoReport {
     /// reoptimizer runs against a *live* program, so a fault here must
     /// leave the module untouched, never take the process down.
     pub faults: Vec<PassFault>,
+    /// The speculation plan computed against the final module (when
+    /// [`PgoOptions::spec`] is set). Its canonical rendering is pure in
+    /// `(module, profile, options)`, so offline reopt at any `--jobs`
+    /// produces byte-identical plan text to the in-memory decision.
+    pub spec_plan: Option<lpat_transform::SpecPlan>,
 }
 
 impl PgoReport {
@@ -130,6 +143,15 @@ pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> P
         report.faults.extend(report.cleanup.faults.iter().cloned());
     }
     report.relaid = layout_by_profile(m, profile);
+    if let Some(sopts) = &opts.spec {
+        // Plan only — `compute_plan` takes `&Module` and never interns
+        // constants, so the stored module's bytes are unaffected.
+        report.spec_plan = Some(lpat_transform::speculate::compute_plan(
+            m,
+            &profile.to_spec_profile(),
+            sopts,
+        ));
+    }
     report
 }
 

@@ -28,6 +28,10 @@ pub struct ProfileData {
     pub call_counts: HashMap<FuncId, u64>,
     /// Times each call site executed (caller, site instruction).
     pub callsite_counts: HashMap<(FuncId, InstId), u64>,
+    /// Times each speculation guard executed (guard id).
+    pub guard_exec_counts: HashMap<u32, u64>,
+    /// Times each speculation guard *failed* (misspeculated).
+    pub guard_misspec_counts: HashMap<u32, u64>,
 }
 
 impl ProfileData {
@@ -42,6 +46,34 @@ impl ProfileData {
     }
     pub(crate) fn record_callsite(&mut self, caller: FuncId, site: InstId) {
         *self.callsite_counts.entry((caller, site)).or_insert(0) += 1;
+    }
+    pub(crate) fn record_guard(&mut self, id: u32, failed: bool) {
+        *self.guard_exec_counts.entry(id).or_insert(0) += 1;
+        if failed {
+            *self.guard_misspec_counts.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Times one guard executed.
+    pub fn guard_exec(&self, id: u32) -> u64 {
+        self.guard_exec_counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Times one guard misspeculated.
+    pub fn guard_misspec(&self, id: u32) -> u64 {
+        self.guard_misspec_counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Project this profile into the view the speculative optimizer
+    /// reads (`lpat_transform` cannot depend on this crate, so the
+    /// planner takes its own profile type).
+    pub fn to_spec_profile(&self) -> lpat_transform::SpecProfile {
+        lpat_transform::SpecProfile {
+            callsite_counts: self.callsite_counts.clone(),
+            call_counts: self.call_counts.clone(),
+            guard_exec: self.guard_exec_counts.clone(),
+            guard_misspec: self.guard_misspec_counts.clone(),
+        }
     }
 
     /// Count for one block.
@@ -107,6 +139,14 @@ impl ProfileData {
             let c = self.callsite_counts.entry(*k).or_insert(0);
             *c = c.saturating_add(v);
         }
+        for (k, &v) in &other.guard_exec_counts {
+            let c = self.guard_exec_counts.entry(*k).or_insert(0);
+            *c = c.saturating_add(v);
+        }
+        for (k, &v) in &other.guard_misspec_counts {
+            let c = self.guard_misspec_counts.entry(*k).or_insert(0);
+            *c = c.saturating_add(v);
+        }
     }
 
     /// Whether any counter was recorded.
@@ -115,6 +155,8 @@ impl ProfileData {
             && self.edge_counts.is_empty()
             && self.call_counts.is_empty()
             && self.callsite_counts.is_empty()
+            && self.guard_exec_counts.is_empty()
+            && self.guard_misspec_counts.is_empty()
     }
 
     /// Deterministic binary form: each table is written as a varint count
@@ -155,6 +197,15 @@ impl ProfileData {
             write_varint(&mut out, i.index() as u64);
             write_varint(&mut out, n);
         }
+        for table in [&self.guard_exec_counts, &self.guard_misspec_counts] {
+            let mut guards: Vec<_> = table.iter().collect();
+            guards.sort_by_key(|(k, _)| **k);
+            write_varint(&mut out, guards.len() as u64);
+            for (&g, &n) in guards {
+                write_varint(&mut out, g as u64);
+                write_varint(&mut out, n);
+            }
+        }
         out
     }
 
@@ -191,6 +242,16 @@ impl ProfileData {
             let f = FuncId::from_index(r.vusize()?);
             let i = InstId::from_index(r.vusize()?);
             p.callsite_counts.insert((f, i), r.varint()?);
+        }
+        for table in [&mut p.guard_exec_counts, &mut p.guard_misspec_counts] {
+            let n = r.bounded_count("guard profile entry", 2)?;
+            for _ in 0..n {
+                let id = r.varint()?;
+                if id > u32::MAX as u64 {
+                    return Err(DecodeError("guard id out of range".into()));
+                }
+                table.insert(id as u32, r.varint()?);
+            }
         }
         if !r.at_end() {
             return Err(DecodeError("trailing bytes after profile".into()));
@@ -282,6 +343,9 @@ mod tests {
         p.record_edge(f, BlockId::from_index(0), BlockId::from_index(1));
         p.record_call(g);
         p.record_callsite(f, InstId::from_index(7));
+        p.record_guard(11, false);
+        p.record_guard(11, true);
+        p.record_guard(42, false);
         p
     }
 
@@ -294,6 +358,8 @@ mod tests {
         assert_eq!(p.edge_counts, q.edge_counts);
         assert_eq!(p.call_counts, q.call_counts);
         assert_eq!(p.callsite_counts, q.callsite_counts);
+        assert_eq!(p.guard_exec_counts, q.guard_exec_counts);
+        assert_eq!(p.guard_misspec_counts, q.guard_misspec_counts);
         assert_eq!(b1, q.to_bytes(), "serialization must be canonical");
     }
 
@@ -326,5 +392,20 @@ mod tests {
         two.merge_saturating(&sample());
         assert_eq!(two.block_count(f, BlockId::from_index(1)), 4);
         assert_eq!(two.call_counts[&FuncId::from_index(3)], 2);
+        assert_eq!(two.guard_exec(11), 4);
+        assert_eq!(two.guard_misspec(11), 2);
+    }
+
+    #[test]
+    fn guard_merge_saturates() {
+        let mut a = ProfileData::default();
+        a.guard_misspec_counts.insert(7, u64::MAX - 1);
+        a.guard_exec_counts.insert(7, u64::MAX);
+        let mut b = ProfileData::default();
+        b.record_guard(7, true);
+        b.record_guard(7, true);
+        a.merge_saturating(&b);
+        assert_eq!(a.guard_misspec(7), u64::MAX);
+        assert_eq!(a.guard_exec(7), u64::MAX);
     }
 }

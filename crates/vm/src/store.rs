@@ -859,6 +859,49 @@ mod tests {
         ));
     }
 
+    /// Migration: a structurally valid version-1 container (pre-guard
+    /// profile schema) is classified by its version, quarantined, and the
+    /// slot regenerates under the new schema — the old counters are never
+    /// misread as v2 data or merged into the fresh profile.
+    #[test]
+    fn v1_container_is_quarantined_and_regenerated() {
+        use lpat_core::hash::crc32;
+        let store = Store::open(tmpdir("migrate-v1")).unwrap();
+        let h = 0x99u64;
+        // Hand-build the v1 file: four profile tables (no guard sections),
+        // version field 1, correct section + trailer CRCs.
+        let mut counts = sample_profile().to_bytes();
+        let tail = counts.split_off(counts.len() - 2);
+        assert_eq!(tail, [0, 0], "v2 encoder ends with two empty guard tables");
+        let mut c = Container::new(KIND_PROFILE);
+        let mut meta = Vec::with_capacity(16);
+        meta.extend_from_slice(&h.to_le_bytes());
+        meta.extend_from_slice(&5u64.to_le_bytes()); // five prior runs
+        c.push("meta", meta);
+        c.push("counts", counts);
+        let mut bytes = write_container(&c);
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len + 4..].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(store.profile_path(h), &bytes).unwrap();
+        // Classified as a version mismatch (not a checksum failure) and
+        // moved aside.
+        let out = store.load_profile(h).unwrap();
+        assert!(out.value.is_none(), "v1 data must not load as v2");
+        assert!(matches!(
+            out.quarantined[0].error,
+            StoreError::VersionMismatch { found: 1 }
+        ));
+        assert!(out.quarantined[0].moved_to.as_ref().unwrap().exists());
+        // Regeneration starts fresh: the v1 counters are gone, not merged.
+        let r = store.record_run(h, &sample_profile()).unwrap();
+        assert_eq!(r.value.runs, 1, "regenerated from empty, not from v1");
+        let reloaded = store.load_profile(h).unwrap().value.unwrap();
+        assert_eq!(reloaded.runs, 1);
+        assert_eq!(reloaded.profile, sample_profile());
+    }
+
     #[test]
     fn injected_write_corruption_is_caught_on_next_read() {
         let mut store = Store::open(tmpdir("inject-corrupt")).unwrap();

@@ -34,7 +34,7 @@
 //! workload suite.
 
 use lpat_core::trace;
-use lpat_core::{FuncId, Inst};
+use lpat_core::{BlockId, FuncId, Inst};
 
 use crate::error::{ExecError, TrapKind};
 use crate::interp::{Frame, StepResult, Vm};
@@ -94,6 +94,54 @@ pub struct TierStats {
 pub(crate) enum TFrame {
     I(Frame),
     J(JitFrame),
+}
+
+/// The bidirectional register-file mapping between the interpreter's
+/// sparse frame (`Vec<Option<VmValue>>`, unassigned = `None`) and the
+/// JIT's dense one (`Vec<VmValue>`, pre-filled with `Ptr(0)`). Register
+/// indices are the same in both forms (an instruction's `InstId` index),
+/// so both directions are plain element-wise copies — OSR (interp → JIT)
+/// and deoptimization (JIT → interp) are exact inverses through this map,
+/// and both happen only at block boundaries where φs have already been
+/// executed on the incoming edge.
+///
+/// The dense form cannot distinguish "assigned `Ptr(0)`" from "never
+/// assigned", so `to_sparse` marks every slot assigned. In verified
+/// modules this is unobservable (defs dominate uses), which is exactly
+/// the property the differential suite pins.
+pub(crate) struct FrameMap;
+
+impl FrameMap {
+    /// Interpreter registers → a dense JIT slab of `n_regs` slots
+    /// (`slab` is a recycled arena vector; cleared and refilled here).
+    pub(crate) fn to_dense(
+        sparse: &[Option<VmValue>],
+        mut slab: Vec<VmValue>,
+        n_regs: usize,
+    ) -> Vec<VmValue> {
+        slab.clear();
+        slab.resize(n_regs, VmValue::Ptr(0));
+        for (i, r) in sparse.iter().enumerate() {
+            if let Some(v) = r {
+                slab[i] = *v;
+            }
+        }
+        slab
+    }
+
+    /// Dense JIT registers → an interpreter frame of `n_slots` slots.
+    pub(crate) fn to_sparse(
+        dense: &[VmValue],
+        mut slab: Vec<Option<VmValue>>,
+        n_slots: usize,
+    ) -> Vec<Option<VmValue>> {
+        slab.clear();
+        slab.resize(n_slots, None);
+        for (i, v) in dense.iter().enumerate().take(n_slots) {
+            slab[i] = Some(*v);
+        }
+        slab
+    }
 }
 
 /// Per-tier trace segments: one span per contiguous run of same-tier
@@ -272,6 +320,17 @@ impl<'m> Vm<'m> {
                         Flow::Unwinding => {
                             self.deliver_unwind(stack)?;
                             continue 'outer;
+                        }
+                        Flow::Deopt { block } => {
+                            // The fail edge is already taken: the frame
+                            // sits at the slow block's boundary. Tiered
+                            // execution rebuilds an interpreter frame
+                            // there; pure JIT keeps dispatching — the
+                            // slow path is ordinary translated code.
+                            if matches!(mode, MixedMode::Tiered { .. }) {
+                                self.deopt_enter(stack, block);
+                                continue 'outer;
+                            }
                         }
                     }
                 }
@@ -540,14 +599,8 @@ impl<'m> Vm<'m> {
         let Some(lf) = self.jit_cache[fr.func.index()].clone() else {
             return Ok(());
         };
-        let mut regs = self.jit_reg_pool.pop().unwrap_or_default();
-        regs.clear();
-        regs.resize(lf.n_regs, VmValue::Ptr(0));
-        for (i, r) in fr.regs.iter().enumerate() {
-            if let Some(v) = r {
-                regs[i] = *v;
-            }
-        }
+        let slab = self.jit_reg_pool.pop().unwrap_or_default();
+        let regs = FrameMap::to_dense(&fr.regs, slab, lf.n_regs);
         let pc = lf.block_pc[fr.block.index()];
         let jfr = JitFrame {
             func: fr.func,
@@ -573,6 +626,85 @@ impl<'m> Vm<'m> {
         }
         *stack.last_mut().expect("frame") = TFrame::J(jfr);
         Ok(())
+    }
+
+    /// Deoptimization: the exact inverse of [`Vm::osr_enter`]. The top
+    /// frame must be translated and sitting at a block boundary (a guard's
+    /// fail edge was just taken, so φs are done and `pc` is at the block's
+    /// first instruction). The frame is rebuilt in interpreted form at
+    /// that block through the shared [`FrameMap`].
+    ///
+    /// The `tier.deopt` fault site fires inside the register
+    /// reconstruction; a panic there (injected or real) must not kill a
+    /// running program whose translated frame is still perfectly valid —
+    /// the function is demoted for future calls and the current
+    /// activation keeps executing translated code (the slow path is
+    /// ordinary code, so semantics are preserved either way).
+    fn deopt_enter(&mut self, stack: &mut [TFrame], block: u32) {
+        let top = stack.last_mut().expect("frame");
+        let TFrame::J(fr) = top else {
+            return;
+        };
+        let n_slots = self.m_num_inst_slots(fr.func);
+        let slab = self.interp_reg_pool.pop().unwrap_or_default();
+        let dense = &fr.regs;
+        let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(a) = lpat_core::faultpoint!("tier.deopt") {
+                match a {
+                    lpat_core::FaultAction::Delay(d) => std::thread::sleep(d),
+                    other => panic!("injected {other:?} fault at site 'tier.deopt'"),
+                }
+            }
+            FrameMap::to_sparse(dense, slab, n_slots)
+        }));
+        match rebuilt {
+            Ok(regs) => {
+                let ifr = Frame {
+                    func: fr.func,
+                    args: std::mem::take(&mut fr.args),
+                    varargs: std::mem::take(&mut fr.varargs),
+                    va_next: fr.va_next,
+                    regs,
+                    block: BlockId::from_index(block as usize),
+                    idx: 0,
+                    allocas: std::mem::take(&mut fr.allocas),
+                    pending: None,
+                };
+                let mut old = std::mem::take(&mut fr.regs);
+                old.clear();
+                self.jit_reg_pool.push(old);
+                self.spec_stats.deopts += 1;
+                if trace::enabled() {
+                    trace::instant_args(
+                        "vm",
+                        "deopt",
+                        vec![
+                            ("function", self.module().func(ifr.func).name.clone()),
+                            ("block", format!("bb{block}")),
+                        ],
+                    );
+                }
+                *stack.last_mut().expect("frame") = TFrame::I(ifr);
+            }
+            Err(_) => {
+                let f = fr.func;
+                self.tier[f.index()] = TierCell::Demoted;
+                self.tier_stats.demoted += 1;
+                if trace::enabled() {
+                    trace::instant_args(
+                        "vm",
+                        "tier-demote",
+                        vec![("function", self.module().func(f).name.clone())],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Register-slot count of `f` (helper so `deopt_enter`'s closure
+    /// borrows no part of `self`).
+    fn m_num_inst_slots(&self, f: FuncId) -> usize {
+        self.module().func(f).num_inst_slots()
     }
 }
 

@@ -539,6 +539,12 @@ int lookup(int key) {
     hash[h] = hash[h] + 1;
     return hash[h];
 }
+int op_add(int a, int b) { return a + b; }
+int op_xor(int a, int b) { return a ^ b; }
+int op_shift(int a, int b) { return (a << 1) + b; }
+int run_op(fn<int(int, int)> op, int a, int b) {
+    return op(a, b);
+}
 int main() {
     sv_arena = new char[32768];
     sv_used = 0;
@@ -552,6 +558,16 @@ int main() {
             struct sv_str* t = upgrade_to_str(s, text);
             sum = sum + (t->tag == 2 ? 1 : 0);
         }
+    }
+    fn<int(int, int)> optable[3];
+    optable[0] = op_add;
+    optable[1] = op_xor;
+    optable[2] = op_shift;
+    for (int pc = 0; pc < 300; pc = pc + 1) {
+        int sel = 0;
+        if (pc % 19 == 18) sel = 1;
+        if (pc % 97 == 96) sel = 2;
+        sum = sum + run_op(optable[sel], sum % 1021, pc % 127);
     }
     print_int(sum);
     return sum % 89;

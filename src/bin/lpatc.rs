@@ -9,8 +9,10 @@
 //! lpatc dis     <in.bc>                                     bytecode -> text
 //! lpatc run     <in>    [-O] [--profile] [--fuel N] [--input a,b,c] [--max-stack N]
 //!               [--jit | --tiered] [--tier-up N]
+//!               [--speculate] [--spec-threshold N]
 //!               [--cache-dir DIR] [--profile-in F] [--profile-out F]
 //! lpatc reopt   <in>    [--cache-dir DIR] [--profile-in F] [-o out] [--jobs N]
+//!               [--speculate] [--spec-threshold N]
 //! lpatc analyze <in>                                        DSA + call graph report
 //! lpatc size    <in>                                        code-size report
 //! ```
@@ -48,6 +50,20 @@
 //! (warm-start), so a repeat run skips the warm-up entirely. `--stats`
 //! prints a per-tier instruction table. Tiered execution is
 //! observationally identical to the plain interpreter at any threshold.
+//!
+//! # Speculative PGO
+//!
+//! `run --speculate` consults the accumulated profile and speculatively
+//! devirtualizes hot indirect calls / specializes hot functions on
+//! observed constant arguments, protecting each assumption with a guard.
+//! A failed guard deoptimizes back to the interpreter (under `--tiered`)
+//! or falls through to the generic path. Per-guard misspeculation counts
+//! flow back into the lifelong store; `reopt --speculate` reports the
+//! offline plan — which guards the profile justifies and which are
+//! *retracted* because their misspeculation rate exceeds
+//! `--spec-threshold` percent (default 25) — byte-identically to the
+//! in-memory decision at any `--jobs`. Speculation is an in-memory
+//! overlay: the stored module and its profile stay unspeculated.
 //!
 //! # Lifelong persistence
 //!
@@ -265,34 +281,70 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
             }
             let profiling = opts.profile;
             let use_jit = has_flag(rest, "--jit");
+            // Accumulated prior profile for these exact module bytes —
+            // the explicit `--profile-in` file (hash-checked above) plus
+            // the store's lifetime profile. Feeds both tier warm-start
+            // and speculation.
+            let mut accum = lifetime.profile.clone();
+            let mut have_prior = lifetime.runs > 0;
+            if let Some(store) = &store {
+                match store.load_profile(run_hash) {
+                    Ok(loaded) => {
+                        for q in &loaded.quarantined {
+                            diag.cache_warn(q.error.class(), &q.to_string());
+                        }
+                        if let Some(sp) = loaded.value {
+                            accum.merge_saturating(&sp.profile);
+                            have_prior = true;
+                        }
+                    }
+                    Err(e) => diag.cache_warn(e.class(), &e.to_string()),
+                }
+            }
+            // `--speculate`: apply guard-based speculative optimization
+            // driven by the accumulated profile. The module hash — and so
+            // profile attribution — was computed above, *before* this
+            // mutation: guards are an ephemeral in-memory overlay,
+            // re-derived each run, never part of any persisted module.
+            let speculate_flag = has_flag(rest, "--speculate");
+            let mut spec_install = None;
+            if speculate_flag {
+                let mut sopts = lpat::transform::SpecOptions::default();
+                if let Some(t) = flag_value(rest, "--spec-threshold") {
+                    sopts.misspec_threshold_pct =
+                        t.parse().map_err(|_| "bad --spec-threshold value")?;
+                }
+                if have_prior {
+                    let (map, plan) = lpat::transform::speculate::speculate(
+                        &mut m,
+                        &accum.to_spec_profile(),
+                        &sopts,
+                    );
+                    m.verify()
+                        .map_err(|e| format!("verifier after speculation: {}", e[0]))?;
+                    diag.note(&format!(
+                        "[spec] {} guard(s) emitted, {} retracted",
+                        plan.emitted(),
+                        plan.retracted()
+                    ));
+                    spec_install = Some((std::rc::Rc::new(map), plan));
+                } else {
+                    diag.note("[spec] no prior profile for this module; nothing to speculate");
+                }
+            }
             let mut vm = lpat::vm::Vm::new(&m, opts).map_err(|e| e.to_string())?;
+            if let Some((map, plan)) = &spec_install {
+                vm.install_speculation(map.clone(), plan.emitted() as u64, plan.retracted() as u64);
+            }
             // Warm-start: seed tier decisions from every prior profile
             // recorded for these exact module bytes — the lifelong loop
             // closed at the execution layer.
-            if use_tiered {
-                let mut warm = lifetime.profile.clone();
-                let mut have = lifetime.runs > 0;
-                if let Some(store) = &store {
-                    match store.load_profile(run_hash) {
-                        Ok(loaded) => {
-                            for q in &loaded.quarantined {
-                                diag.cache_warn(q.error.class(), &q.to_string());
-                            }
-                            if let Some(sp) = loaded.value {
-                                warm.merge_saturating(&sp.profile);
-                                have = true;
-                            }
-                        }
-                        Err(e) => diag.cache_warn(e.class(), &e.to_string()),
-                    }
-                }
-                if have {
-                    let n = vm.warm_start(&warm);
-                    if n > 0 {
-                        diag.note(&format!(
-                            "[tier] warm-start: {n} function(s) promoted from prior profile"
-                        ));
-                    }
+            if use_tiered && have_prior {
+                let n = vm.warm_start(&accum);
+                if n > 0 {
+                    diag.note(&format!(
+                        "[tier] warm-start: {n} function(s) promoted from prior profile"
+                    ));
                 }
             }
             let result = if use_tiered {
@@ -350,6 +402,13 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
                 if use_tiered {
                     diag.dump("\n[tier]");
                     diag.dump_raw(&vm.tier_stats.render());
+                }
+                if speculate_flag {
+                    diag.dump("\n[spec]");
+                    diag.dump_raw(&vm.spec_stats.render());
+                    if let Some((_, plan)) = &spec_install {
+                        diag.dump_raw(&plan.render());
+                    }
                 }
             }
             match result {
@@ -411,12 +470,30 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
             if let Some(t) = flag_value(rest, "--hot-threshold") {
                 pgo.hot_call_threshold = t.parse().map_err(|_| "bad --hot-threshold value")?;
             }
+            if has_flag(rest, "--speculate") {
+                let mut sopts = lpat::transform::SpecOptions::default();
+                if let Some(t) = flag_value(rest, "--spec-threshold") {
+                    sopts.misspec_threshold_pct =
+                        t.parse().map_err(|_| "bad --spec-threshold value")?;
+                }
+                pgo.spec = Some(sopts);
+            }
             let report = lpat::vm::reoptimize(&mut m, &profile, &pgo);
             m.verify().map_err(|e| format!("verifier: {}", e[0]))?;
             diag.note(&format!(
                 "[reopt] inlined {} hot sites, re-laid {} functions ({} runs of profile)",
                 report.inlined, report.relaid, runs
             ));
+            if let Some(plan) = &report.spec_plan {
+                diag.note(&format!(
+                    "[spec] plan: {} guard(s) to emit, {} retracted",
+                    plan.emitted(),
+                    plan.retracted()
+                ));
+                // The canonical plan rendering goes to stdout so tests can
+                // compare offline decisions byte-for-byte across --jobs.
+                print!("{}", plan.render());
+            }
             for f in &report.faults {
                 diag.warn(&format!("reopt: isolated fault: {f}"));
             }
@@ -497,6 +574,7 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
                  \x20      --fuel N, --input a,b,c, --max-stack N,\n\
                  \x20      --cache-dir DIR (or LPAT_CACHE_DIR), --profile-in FILE,\n\
                  \x20      --profile-out FILE, --hot-threshold N,\n\
+                 \x20      --speculate, --spec-threshold N,\n\
                  \x20      --trace-out FILE, --metrics-out FILE, --stats,\n\
                  \x20      --trace-clock virtual|real (or LPAT_TRACE_CLOCK), --quiet"
             );

@@ -358,7 +358,9 @@ fn matrix_passes() -> Vec<String> {
 
 #[test]
 fn lpatc_degrades_cleanly_under_fault_matrix() {
-    for pass in matrix_passes() {
+    // Runtime fault sites (dotted names like `spec.guard`) have their own
+    // matrix test below; this one injects into optimizer passes.
+    for pass in matrix_passes().into_iter().filter(|p| !p.contains('.')) {
         for (name, m) in lpat::workloads::compile_suite(0) {
             let input = tmp(&format!("fi-{pass}-{name}.bc"));
             std::fs::write(&input, write_module(&m)).unwrap();
@@ -398,6 +400,123 @@ fn lpatc_degrades_cleanly_under_fault_matrix() {
                 outputs[0], outputs[1],
                 "{pass}/{name}: output differs across --jobs"
             );
+        }
+    }
+}
+
+/// Runtime fault-site matrix: `spec.guard` (force every guard to fail —
+/// the program must still print the unspeculated answer, interpreted or
+/// tiered) and `tier.deopt` (panic during deopt frame reconstruction —
+/// the function is demoted and the run completes on the still-valid
+/// translated frame). CI runs one leg per job via
+/// `LPAT_FAULTS_MATRIX=<site>`; locally both legs run.
+#[test]
+fn lpatc_vm_fault_sites_degrade_cleanly() {
+    let sites: Vec<String> = match std::env::var("LPAT_FAULTS_MATRIX") {
+        Ok(v) if !v.trim().is_empty() => v
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| s.contains('.'))
+            .collect(),
+        _ => vec!["spec.guard".to_string(), "tier.deopt".to_string()],
+    };
+    if sites.is_empty() {
+        return; // a transform-pass leg; nothing to do here
+    }
+    let src = "
+declare void @print_int(int)
+define internal int @alpha(int %x) {
+e:
+  %r = add int %x, 1
+  ret int %r
+}
+define internal int @beta(int %x) {
+e:
+  %r = mul int %x, 2
+  ret int %r
+}
+define int @disp(int (int)* %fp, int %x) {
+e:
+  %r = call int %fp(int %x)
+  ret int %r
+}
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %b ]
+  %s = phi int [ 0, %e ], [ %s2, %b ]
+  %c = setlt int %i, 400
+  br bool %c, label %b, label %x
+b:
+  %v = call int @disp(int (int)* @alpha, int %i)
+  %s2 = add int %s, %v
+  %i2 = add int %i, 1
+  br label %h
+x:
+  %w = call int @disp(int (int)* @beta, int 5)
+  %t = add int %s, %w
+  %m = rem int %t, 97
+  call void @print_int(int %m)
+  ret int %m
+}";
+    let p = tmp("fi-vm-sites.ll");
+    std::fs::write(&p, src).unwrap();
+    let prof = tmp("fi-vm-sites.prof");
+    let seed = lpatc()
+        .arg("run")
+        .arg(&p)
+        .args(["--profile", "--profile-out"])
+        .arg(&prof)
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert!(seed.status.code().is_some());
+    for site in sites {
+        match site.as_str() {
+            "spec.guard" => {
+                // Every guard fails: both engines fall back to the
+                // generic path, the answer is unchanged.
+                for engine in [&["--speculate"][..], &["--speculate", "--tier-up", "1"][..]] {
+                    let out = lpatc()
+                        .arg("run")
+                        .arg(&p)
+                        .arg("--profile-in")
+                        .arg(&prof)
+                        .args(engine)
+                        .args(["--inject-faults", "spec.guard:corrupt", "--quiet"])
+                        .output()
+                        .unwrap();
+                    assert_eq!(seed.status.code(), out.status.code(), "{engine:?}");
+                    assert_eq!(seed.stdout, out.stdout, "{engine:?}: answer changed");
+                }
+            }
+            "tier.deopt" => {
+                // Frame reconstruction panics on the guard exit: the
+                // function demotes, execution continues in translated
+                // code, and the answer is unchanged.
+                let out = lpatc()
+                    .arg("run")
+                    .arg(&p)
+                    .arg("--profile-in")
+                    .arg(&prof)
+                    .args(["--speculate", "--tier-up", "1", "--stats"])
+                    .args(["--inject-faults", "tier.deopt:panic"])
+                    .output()
+                    .unwrap();
+                assert_eq!(seed.status.code(), out.status.code());
+                assert_eq!(seed.stdout, out.stdout, "demoted run changed the answer");
+                let stderr = String::from_utf8_lossy(&out.stderr);
+                let demoted = stderr
+                    .lines()
+                    .find(|l| l.trim_start().starts_with("demoted"))
+                    .unwrap_or_else(|| panic!("no demoted row in stats:\n{stderr}"));
+                assert!(
+                    !demoted.trim_end().ends_with(" 0"),
+                    "tier.deopt fault never demoted: {demoted}\n{stderr}"
+                );
+            }
+            other => panic!("unknown runtime fault site {other}"),
         }
     }
 }

@@ -246,3 +246,78 @@ fn type_display_parses_back() {
         assert_eq!(text, re.display(), "case {case}");
     }
 }
+
+/// Cross-run guard-counter merge: misspeculation and execution counts
+/// saturate at `u64::MAX` (never wrap) and the accumulated profile is
+/// independent of merge order. The seed folds in `LPAT_STORE_MATRIX`, so
+/// every CI store-matrix leg shuffles the runs differently — and every
+/// leg must converge on byte-identical accumulated bytes.
+#[test]
+fn guard_merge_saturates_and_is_order_independent() {
+    use lpat::vm::ProfileData;
+    let tag = std::env::var("LPAT_STORE_MATRIX").unwrap_or_default();
+    let mut seed = 0xabad_cafe_d00d_u64;
+    for b in tag.bytes() {
+        seed = seed.wrapping_mul(0x0100_0000_01b3) ^ b as u64;
+    }
+    let mut rng = Rng::new(seed);
+    // Guard ids as the planner packs them: devirt (bit 31 clear) and
+    // const-arg specialization (bit 31 set).
+    let ids = [0x0003_0000u32, 0x0001_0002, 0x8003_0001, 0x8000_0000];
+    for case in 0..cases() {
+        let k = 2 + rng.usize(6);
+        let runs: Vec<ProfileData> = (0..k)
+            .map(|_| {
+                let mut p = ProfileData::default();
+                for &id in &ids {
+                    if rng.usize(3) == 0 {
+                        continue; // guard not executed this run
+                    }
+                    // A third of the counts sit close enough to the
+                    // ceiling that any multi-run sum overflows.
+                    let near_max = rng.usize(3) == 0;
+                    let exec = if near_max {
+                        u64::MAX - rng.next() % 4
+                    } else {
+                        rng.next() % 1_000
+                    };
+                    p.guard_exec_counts.insert(id, exec);
+                    p.guard_misspec_counts
+                        .insert(id, exec.min(rng.next() % 1_000));
+                }
+                p
+            })
+            .collect();
+        // Reference: forward merge.
+        let mut fwd = ProfileData::default();
+        for r in &runs {
+            fwd.merge_saturating(r);
+        }
+        // Saturation: each id's merged count is the saturating sum.
+        for &id in &ids {
+            let want = runs
+                .iter()
+                .fold(0u64, |a, r| a.saturating_add(r.guard_exec(id)));
+            assert_eq!(fwd.guard_exec(id), want, "case {case} id {id:#x}");
+            let want_m = runs
+                .iter()
+                .fold(0u64, |a, r| a.saturating_add(r.guard_misspec(id)));
+            assert_eq!(fwd.guard_misspec(id), want_m, "case {case} id {id:#x}");
+        }
+        // Order independence, down to the canonical container bytes the
+        // store would persist.
+        let mut perm: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            perm.swap(i, rng.usize(i + 1));
+        }
+        let mut shuffled = ProfileData::default();
+        for &i in &perm {
+            shuffled.merge_saturating(&runs[i]);
+        }
+        assert_eq!(
+            fwd.to_bytes(),
+            shuffled.to_bytes(),
+            "case {case}: merge order {perm:?} changed the accumulated profile"
+        );
+    }
+}

@@ -29,6 +29,16 @@ fn observe(
     tier_up: u64,
     warm: Option<&lpat::vm::ProfileData>,
 ) -> Observed {
+    observe_spec(m, engine, tier_up, warm, None)
+}
+
+fn observe_spec(
+    m: &lpat::core::Module,
+    engine: &str,
+    tier_up: u64,
+    warm: Option<&lpat::vm::ProfileData>,
+    spec: Option<&std::rc::Rc<lpat::transform::SpecMap>>,
+) -> Observed {
     let opts = VmOptions {
         profile: true,
         fuel: Some(20_000_000),
@@ -36,6 +46,9 @@ fn observe(
         ..VmOptions::default()
     };
     let mut vm = Vm::new(m, opts).expect("vm init");
+    if let Some(map) = spec {
+        vm.install_speculation(map.clone(), map.len() as u64, 0);
+    }
     if let Some(p) = warm {
         vm.warm_start(p);
     }
@@ -345,6 +358,255 @@ x:
         .unwrap();
     assert_eq!(reference.status.code(), partial.status.code());
     assert_eq!(reference.stdout, partial.stdout);
+}
+
+// ---------------------------------------------------------------------
+// Speculation differentials: a speculated module (guards installed as an
+// in-memory overlay) must stay observationally identical across the
+// interpreter, the tiered engine at every threshold, and the full JIT —
+// fuel, opcode histogram, and profile counters included. Guard failure
+// in translated code deoptimizes back to the interpreter frame.
+// ---------------------------------------------------------------------
+
+/// Hot monomorphic dispatch loop with a polymorphic tail: the guard the
+/// profile justifies passes 400 times and fails once, so a tiered run
+/// exercises the deopt path while the result stays engine-independent.
+const SPEC_WORKLOAD: &str = "
+declare void @print_int(int)
+define internal int @alpha(int %x) {
+e:
+  %r = add int %x, 1
+  ret int %r
+}
+define internal int @beta(int %x) {
+e:
+  %r = mul int %x, 2
+  ret int %r
+}
+define int @disp(int (int)* %fp, int %x) {
+e:
+  %r = call int %fp(int %x)
+  ret int %r
+}
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %b ]
+  %s = phi int [ 0, %e ], [ %s2, %b ]
+  %c = setlt int %i, 400
+  br bool %c, label %b, label %x
+b:
+  %v = call int @disp(int (int)* @alpha, int %i)
+  %s2 = add int %s, %v
+  %i2 = add int %i, 1
+  br label %h
+x:
+  %w = call int @disp(int (int)* @beta, int 5)
+  %t = add int %s, %w
+  %m = rem int %t, 97
+  call void @print_int(int %m)
+  ret int %m
+}";
+
+/// Parse SPEC_WORKLOAD, gather a profile, and return the speculated
+/// module plus its guard overlay. Asserts speculation actually fired.
+fn speculated_workload() -> (lpat::core::Module, std::rc::Rc<lpat::transform::SpecMap>) {
+    let m = lpat::asm::parse_module("t", SPEC_WORKLOAD).unwrap();
+    m.verify().unwrap_or_else(|e| panic!("{e:?}"));
+    let profiled = observe(&m, "interp", 0, None);
+    let mut sm = m.clone();
+    let (map, plan) = lpat::transform::speculate::speculate(
+        &mut sm,
+        &profiled.profile.to_spec_profile(),
+        &lpat::transform::SpecOptions::default(),
+    );
+    assert!(
+        plan.emitted() >= 1,
+        "plan emitted nothing:\n{}",
+        plan.render()
+    );
+    assert!(!map.is_empty());
+    sm.verify()
+        .unwrap_or_else(|e| panic!("speculated module broken: {e:?}"));
+    (sm, std::rc::Rc::new(map))
+}
+
+#[test]
+fn speculated_tiered_matches_interp_at_every_threshold() {
+    let (sm, map) = speculated_workload();
+    let reference = observe_spec(&sm, "interp", 0, None, Some(&map));
+    // Same answer as the unspeculated program.
+    let plain = observe(
+        &lpat::asm::parse_module("t", SPEC_WORKLOAD).unwrap(),
+        "interp",
+        0,
+        None,
+    );
+    assert_eq!(reference.outcome, plain.outcome);
+    assert_eq!(reference.output, plain.output);
+    for t in THRESHOLDS {
+        let tiered = observe_spec(&sm, "tiered", t, None, Some(&map));
+        assert_eq!(reference, tiered, "speculated run diverged at tier_up={t}");
+    }
+    let jit = observe_spec(&sm, "jit", 0, None, Some(&map));
+    assert_eq!(reference, jit, "speculated run diverged under full JIT");
+}
+
+#[test]
+fn guard_failure_in_translated_code_deoptimizes() {
+    let (sm, map) = speculated_workload();
+    let opts = VmOptions {
+        profile: true,
+        tier_up: 1,
+        ..VmOptions::default()
+    };
+    let mut vm = Vm::new(&sm, opts).unwrap();
+    vm.install_speculation(map.clone(), map.len() as u64, 0);
+    let r = vm.run_main_tiered().unwrap();
+    assert!(vm.spec_stats.passed >= 400, "{:?}", vm.spec_stats);
+    assert!(vm.spec_stats.failed >= 1, "{:?}", vm.spec_stats);
+    assert!(
+        vm.spec_stats.deopts >= 1,
+        "guard failed in translated code but never deoptimized: {:?}",
+        vm.spec_stats
+    );
+
+    // The interpreter sees the same guard traffic but never deoptimizes
+    // (there is no translated frame to leave).
+    let mut ivm = Vm::new(
+        &sm,
+        VmOptions {
+            profile: true,
+            ..VmOptions::default()
+        },
+    )
+    .unwrap();
+    ivm.install_speculation(map.clone(), map.len() as u64, 0);
+    let ir = ivm.run_main().unwrap();
+    assert_eq!(r, ir);
+    assert_eq!(ivm.spec_stats.passed, vm.spec_stats.passed);
+    assert_eq!(ivm.spec_stats.failed, vm.spec_stats.failed);
+    assert_eq!(ivm.spec_stats.deopts, 0);
+    // Misspeculation flowed into the profile under the guard's stable id.
+    let g = &map.guards[0];
+    assert_eq!(ivm.profile.guard_exec(g.id), vm.profile.guard_exec(g.id));
+    assert!(ivm.profile.guard_misspec(g.id) >= 1);
+}
+
+#[test]
+fn speculated_suite_matches_interp() {
+    // Speculation over the whole workload suite: profile a run, apply
+    // whatever the profile justifies, and require observational identity
+    // between interpreter and tiered engine on the speculated module.
+    for (name, m) in lpat::workloads::compile_suite(0) {
+        let profiled = observe(&m, "interp", 0, None);
+        let mut sm = m.clone();
+        let (map, _plan) = lpat::transform::speculate::speculate(
+            &mut sm,
+            &profiled.profile.to_spec_profile(),
+            &lpat::transform::SpecOptions::default(),
+        );
+        sm.verify()
+            .unwrap_or_else(|e| panic!("{name}: speculated module broken: {e:?}"));
+        let map = std::rc::Rc::new(map);
+        let reference = observe_spec(&sm, "interp", 0, None, Some(&map));
+        assert_eq!(
+            reference.outcome, profiled.outcome,
+            "{name}: answer changed"
+        );
+        assert_eq!(reference.output, profiled.output, "{name}: output changed");
+        for t in [1, 50] {
+            let tiered = observe_spec(&sm, "tiered", t, None, Some(&map));
+            assert_eq!(reference, tiered, "{name} diverged at tier_up={t}");
+        }
+    }
+}
+
+/// Forced 100% guard failure: with `spec.guard:corrupt` every guard
+/// takes its slow path, so a speculated run must still print the plain
+/// run's answer — interpreted or tiered (where every failure is a
+/// deopt) — with identical instruction counts between the two engines.
+#[test]
+fn forced_guard_failure_is_observationally_clean() {
+    let p = tmp("spec_fault.ll");
+    std::fs::write(&p, SPEC_WORKLOAD).unwrap();
+    let prof = tmp("spec_fault.prof");
+    let seed = lpatc()
+        .args(["run"])
+        .arg(&p)
+        .args(["--profile", "--profile-out"])
+        .arg(&prof)
+        .args(["--quiet"])
+        .output()
+        .unwrap();
+    let insts_of = |stderr: &[u8]| -> String {
+        let s = String::from_utf8_lossy(stderr);
+        s.lines()
+            .find(|l| l.contains("instructions]"))
+            .unwrap_or_else(|| panic!("no instruction count in:\n{s}"))
+            .to_string()
+    };
+    let run = |extra: &[&str]| {
+        let mut c = lpatc();
+        c.arg("run").arg(&p).arg("--profile-in").arg(&prof);
+        c.args(["--speculate", "--inject-faults", "spec.guard:corrupt"]);
+        c.args(extra);
+        c.output().unwrap()
+    };
+    let interp = run(&[]);
+    let tiered = run(&["--tiered", "--tier-up", "1"]);
+    assert_eq!(seed.status.code(), interp.status.code());
+    assert_eq!(
+        seed.stdout, interp.stdout,
+        "forced failure changed the answer"
+    );
+    assert_eq!(interp.status.code(), tiered.status.code());
+    assert_eq!(interp.stdout, tiered.stdout);
+    // Fuel parity: both engines execute the same instruction count even
+    // with every guard failing (each failure a deopt in tiered mode).
+    assert_eq!(insts_of(&interp.stderr), insts_of(&tiered.stderr));
+}
+
+/// Offline retraction decisions are byte-identical to the in-memory run
+/// at any `--jobs`: the canonical plan rendering is printed to stdout by
+/// `reopt --speculate` and compared across job counts.
+#[test]
+fn reopt_speculation_plan_is_byte_identical_across_jobs() {
+    let p = tmp("spec_reopt.ll");
+    std::fs::write(&p, SPEC_WORKLOAD).unwrap();
+    let cache = tmp("spec_reopt_cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let seed = lpatc()
+        .args(["run"])
+        .arg(&p)
+        .args(["--profile", "--cache-dir"])
+        .arg(&cache)
+        .args(["--quiet"])
+        .output()
+        .unwrap();
+    assert!(seed.status.code().is_some());
+    let reopt = |jobs: &str| {
+        lpatc()
+            .arg("reopt")
+            .arg(&p)
+            .args(["--cache-dir"])
+            .arg(&cache)
+            .args(["--speculate", "--quiet", "--jobs", jobs])
+            .output()
+            .unwrap()
+    };
+    let j1 = reopt("1");
+    let j8 = reopt("8");
+    assert!(
+        j1.status.success(),
+        "{}",
+        String::from_utf8_lossy(&j1.stderr)
+    );
+    let plan = String::from_utf8_lossy(&j1.stdout);
+    assert!(plan.contains("guard "), "no plan on stdout:\n{plan}");
+    assert!(plan.contains("-> emit"), "{plan}");
+    assert_eq!(j1.stdout, j8.stdout, "plan differs across --jobs");
 }
 
 #[test]

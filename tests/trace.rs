@@ -125,9 +125,105 @@ fn run_trace_covers_subsystems() {
         assert!(json.contains(cat), "missing {cat} in trace");
     }
     let metrics = read(&metrics_out);
-    for key in ["vm.insts", "heap.allocs", "heap.frees", "\"spans\""] {
+    for key in [
+        "vm.insts",
+        "heap.allocs",
+        "heap.frees",
+        // Speculation counters are exported unconditionally (zeros when
+        // `--speculate` is off) so consumers see a stable key set.
+        "vm.spec.emitted",
+        "vm.spec.passed",
+        "vm.spec.failed",
+        "vm.spec.deopts",
+        "\"spans\"",
+    ] {
         assert!(metrics.contains(key), "missing {key} in metrics");
     }
+}
+
+/// `--speculate --stats` prints the speculation table, and a speculated
+/// run's guard traffic lands in the `vm.spec.*` metrics counters.
+#[test]
+fn speculation_stats_table_and_counters() {
+    let dir = tmpdir("trace-spec");
+    let prog = dir.join("disp.ll");
+    std::fs::write(
+        &prog,
+        "
+declare void @print_int(int)
+define internal int @alpha(int %x) {
+e:
+  %r = add int %x, 1
+  ret int %r
+}
+define internal int @beta(int %x) {
+e:
+  %r = mul int %x, 2
+  ret int %r
+}
+define int @disp(int (int)* %fp, int %x) {
+e:
+  %r = call int %fp(int %x)
+  ret int %r
+}
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %b ]
+  %s = phi int [ 0, %e ], [ %s2, %b ]
+  %c = setlt int %i, 400
+  br bool %c, label %b, label %x
+b:
+  %v = call int @disp(int (int)* @alpha, int %i)
+  %s2 = add int %s, %v
+  %i2 = add int %i, 1
+  br label %h
+x:
+  %w = call int @disp(int (int)* @beta, int 5)
+  %t = add int %s, %w
+  %m = rem int %t, 97
+  call void @print_int(int %m)
+  ret int %m
+}",
+    )
+    .unwrap();
+    let prof = dir.join("disp.prof");
+    let st = lpatc()
+        .args(["run", prog.to_str().unwrap(), "--profile"])
+        .args(["--profile-out", prof.to_str().unwrap(), "--quiet"])
+        .status()
+        .unwrap();
+    assert!(st.code().is_some());
+    let metrics_out = dir.join("metrics.json");
+    let out = lpatc()
+        .args(["run", prog.to_str().unwrap()])
+        .args(["--profile-in", prof.to_str().unwrap()])
+        .args(["--speculate", "--stats"])
+        .args(["--metrics-out", metrics_out.to_str().unwrap()])
+        .args(["--trace-clock", "virtual"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for row in [
+        "[spec]",
+        "guards emitted",
+        "guard passed",
+        "guard failed",
+        "deopts",
+    ] {
+        assert!(stderr.contains(row), "missing {row} in stats:\n{stderr}");
+    }
+    let metrics = read(&metrics_out);
+    assert!(
+        metrics.contains("\"vm.spec.emitted\":1"),
+        "guard not emitted in metrics: {metrics}"
+    );
+    assert!(
+        metrics.contains("\"vm.spec.passed\":400"),
+        "unexpected guard traffic: {metrics}"
+    );
+    assert!(metrics.contains("\"vm.spec.failed\":1"), "{metrics}");
 }
 
 /// `--time-passes` durations are the *same numbers* as the pass spans:
