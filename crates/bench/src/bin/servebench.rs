@@ -1,0 +1,198 @@
+//! `servebench` — load generator for `lpatd`, emitting `BENCH_serve.json`.
+//!
+//! Starts an in-process daemon (same `lpat_serve::Server` the `lpatd`
+//! binary runs) with a deliberately small worker pool and queue, then
+//! hammers it with N concurrent clients over real sockets. The request
+//! mix is deterministic per request index:
+//!
+//! - most requests run a small fast program (and, once `reopt` has been
+//!   primed, hit the reoptimized-module cache);
+//! - every 8th request is hostile (an unparseable module) and must come
+//!   back as a structured error, never a crash;
+//! - every 8th+1 request runs a multi-million-instruction program, long
+//!   enough to occupy workers and force the bounded queue to shed.
+//!
+//! Output: `lpat-bench-serve/v1` JSON with client-side throughput and
+//! latency percentiles plus the server's own `serve.*` counters scraped
+//! over the wire — self-validated against the schema before it is
+//! written, so a drifting field name fails here before it fails CI.
+//!
+//! ```text
+//! servebench [--clients N] [--reps N] [--workers N] [--queue N] [--out FILE]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use lpat_bench::validate_serve_bench;
+use lpat_serve::{Client, Op, Request, Response, Server, ServerConfig};
+
+const FAST_PROG: &str = "\
+define int @main() {
+entry:
+  %a = add int 40, 2
+  ret int %a
+}
+";
+
+const SLOW_PROG: &str = "\
+define int @main() {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %i2, %loop ]
+  %i2 = add int %i, 1
+  %c = setlt int %i2, 800000
+  br bool %c, label %loop, label %done
+done:
+  ret int 0
+}
+";
+
+const HOSTILE: &str = "this is not a module at all {{{";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients: usize = flag(&args, "--clients").unwrap_or(8);
+    let reps: usize = flag(&args, "--reps").unwrap_or(40);
+    let workers: usize = flag(&args, "--workers").unwrap_or(2);
+    let queue: usize = flag(&args, "--queue").unwrap_or(2);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let cache = std::env::temp_dir().join(format!("lpat-servebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let cfg = ServerConfig {
+        workers,
+        queue_depth: queue,
+        cache_dir: Some(cache.clone()),
+        quota: lpat_serve::TenantQuota {
+            max_inflight: 4, // small enough for tenant caps to register
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let handle = Server::bind(cfg).expect("bind").start();
+    let addr = handle.addr().clone();
+
+    // Prime the lifelong loop: one run records a profile, one reopt
+    // caches the reoptimized module, so steady-state runs are cache hits.
+    {
+        let mut c = Client::connect(&addr, Duration::from_secs(10)).expect("connect");
+        let mut run = Request::new(Op::Run);
+        run.module = FAST_PROG.as_bytes().to_vec();
+        assert!(matches!(c.request(&run).unwrap(), Response::Ok { .. }));
+        let mut reopt = Request::new(Op::Reopt);
+        reopt.module = FAST_PROG.as_bytes().to_vec();
+        assert!(matches!(c.request(&reopt).unwrap(), Response::Ok { .. }));
+    }
+
+    let t0 = Instant::now();
+    let mut joins = Vec::new();
+    for client_id in 0..clients {
+        let addr = addr.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, Duration::from_secs(10)).expect("connect");
+            let mut lat = Vec::with_capacity(reps);
+            let (mut ok, mut errors, mut busy, mut hits) = (0u64, 0u64, 0u64, 0u64);
+            for i in 0..reps {
+                let mut req = Request::new(Op::Run);
+                req.tenant = format!("tenant-{}", client_id % 4);
+                req.module = match i % 8 {
+                    0 => HOSTILE.as_bytes().to_vec(),
+                    1 => SLOW_PROG.as_bytes().to_vec(),
+                    _ => FAST_PROG.as_bytes().to_vec(),
+                };
+                let t = Instant::now();
+                let resp = c.request(&req).expect("protocol error");
+                lat.push(t.elapsed().as_secs_f64() * 1e3);
+                match resp {
+                    Response::Ok { cache_hit, .. } => {
+                        ok += 1;
+                        if cache_hit {
+                            hits += 1;
+                        }
+                    }
+                    Response::Err { .. } => errors += 1,
+                    Response::Busy { .. } => busy += 1,
+                }
+            }
+            (lat, ok, errors, busy, hits)
+        }));
+    }
+    let mut lat = Vec::new();
+    let (mut ok, mut errors, mut busy, mut hits) = (0u64, 0u64, 0u64, 0u64);
+    for j in joins {
+        let (l, o, e, b, h) = j.join().unwrap();
+        lat.extend(l);
+        ok += o;
+        errors += e;
+        busy += b;
+        hits += h;
+    }
+    let wall = t0.elapsed();
+
+    // Scrape the server's own counters over the wire before stopping it.
+    let server_stats = {
+        let mut c = Client::connect(&addr, Duration::from_secs(10)).expect("connect");
+        match c.request(&Request::new(Op::Stats)).unwrap() {
+            Response::Ok { output, .. } => String::from_utf8(output).expect("stats utf8"),
+            other => panic!("stats failed: {other:?}"),
+        }
+    };
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat[((q / 100.0) * (lat.len() - 1) as f64).round() as usize]
+    };
+    let total = (clients * reps) as u64;
+    let misses = ok.saturating_sub(hits);
+    let hit_rate = if ok > 0 { hits as f64 / ok as f64 } else { 0.0 };
+    let json = format!(
+        "{{\n  \"schema\": \"lpat-bench-serve/v1\",\n  \
+         \"clients\": {clients}, \"requests_per_client\": {reps}, \
+         \"workers\": {workers}, \"queue_depth\": {queue},\n  \
+         \"duration_ms\": {:.3}, \"requests\": {total}, \
+         \"ok\": {ok}, \"errors\": {errors}, \"busy\": {busy},\n  \
+         \"requests_per_sec\": {:.3},\n  \
+         \"cache_hits\": {hits}, \"cache_misses\": {misses}, \
+         \"cache_hit_rate\": {:.3},\n  \
+         \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \
+         \"server\": {server_stats}\n}}\n",
+        wall.as_secs_f64() * 1e3,
+        total as f64 / wall.as_secs_f64(),
+        hit_rate,
+        pct(50.0),
+        pct(90.0),
+        pct(99.0),
+        lat.last().copied().unwrap_or(0.0),
+    );
+    // Self-check before anything is written: a drifting field fails here,
+    // not in the CI schema job.
+    validate_serve_bench(&json).expect("servebench output failed its own schema");
+    print!("{json}");
+    if let Some(p) = out {
+        std::fs::write(&p, &json).unwrap_or_else(|e| panic!("--out {p}: {e}"));
+        eprintln!("servebench: wrote {p}");
+    }
+    eprintln!(
+        "servebench: {clients} clients x {reps} reps in {:.1}ms  \
+         (ok {ok}, errors {errors}, busy {busy}, hit rate {:.1}%)",
+        wall.as_secs_f64() * 1e3,
+        hit_rate * 100.0
+    );
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

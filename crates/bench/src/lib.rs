@@ -413,6 +413,71 @@ pub fn validate_vm_bench(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate a `BENCH_serve.json` document against the
+/// `lpat-bench-serve/v1` schema: a `servebench` load-generation run
+/// against `lpatd` with at least 8 concurrent clients, client-side
+/// latency percentiles, and the server's own `serve.*` counters (the
+/// shed/error evidence). Used by `servebench` to self-check its output
+/// and by the CI smoke job to validate the committed artifact.
+pub fn validate_serve_bench(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    if doc.get("schema").and_then(Json::str) != Some("lpat-bench-serve/v1") {
+        return Err("schema must be \"lpat-bench-serve/v1\"".into());
+    }
+    for key in [
+        "clients",
+        "requests_per_client",
+        "workers",
+        "queue_depth",
+        "duration_ms",
+        "requests",
+        "ok",
+        "errors",
+        "busy",
+        "requests_per_sec",
+        "cache_hits",
+        "cache_misses",
+        "cache_hit_rate",
+    ] {
+        doc.get(key)
+            .and_then(Json::num)
+            .ok_or_else(|| format!("missing numeric field '{key}'"))?;
+    }
+    let clients = doc.get("clients").and_then(Json::num).unwrap_or(0.0);
+    if clients < 8.0 {
+        return Err(format!(
+            "'clients' must be >= 8 (concurrency is the point), got {clients}"
+        ));
+    }
+    if doc.get("errors").and_then(Json::num).unwrap_or(0.0) < 1.0 {
+        return Err("'errors' must be >= 1 (the hostile-request mix must register)".into());
+    }
+    let lat = doc.get("latency_ms").ok_or("missing 'latency_ms' object")?;
+    for key in ["p50", "p90", "p99", "max"] {
+        lat.get(key)
+            .and_then(Json::num)
+            .ok_or_else(|| format!("latency_ms: missing numeric '{key}'"))?;
+    }
+    // The server's own counters, scraped over the wire via the Stats op:
+    // this is where the shed evidence lives even when every client-side
+    // Busy was retried away.
+    let server = doc.get("server").ok_or("missing 'server' object")?;
+    for key in [
+        "requests",
+        "ok",
+        "errors",
+        "busy",
+        "shed_queue",
+        "busy_tenant",
+    ] {
+        server
+            .get(key)
+            .and_then(Json::num)
+            .ok_or_else(|| format!("server: missing numeric '{key}'"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +635,42 @@ mod tests {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{}: {e} (regenerate with vmperf)", path.display()));
         validate_vm_bench(&text).unwrap_or_else(|e| panic!("committed BENCH_vm.json: {e}"));
+    }
+
+    #[test]
+    fn serve_bench_validator_accepts_good_and_rejects_bad() {
+        let good = r#"{
+  "schema": "lpat-bench-serve/v1",
+  "clients": 8, "requests_per_client": 40, "workers": 2, "queue_depth": 2,
+  "duration_ms": 1234.5, "requests": 320, "ok": 290, "errors": 20, "busy": 10,
+  "requests_per_sec": 259.2,
+  "cache_hits": 250, "cache_misses": 40, "cache_hit_rate": 0.862,
+  "latency_ms": {"p50": 1.2, "p90": 4.5, "p99": 20.1, "max": 55.0},
+  "server": {"requests": 321, "ok": 290, "errors": 20, "busy": 11,
+             "shed_queue": 9, "busy_tenant": 2}
+}"#;
+        validate_serve_bench(good).unwrap();
+        assert!(validate_serve_bench("{}").is_err());
+        // Fewer than 8 clients defeats the point of a concurrency bench.
+        assert!(validate_serve_bench(&good.replace("\"clients\": 8", "\"clients\": 4")).is_err());
+        // The hostile-request mix must register as errors.
+        assert!(validate_serve_bench(&good.replace("\"errors\": 20,", "\"errors\": 0,")).is_err());
+        assert!(validate_serve_bench(&good.replace("\"shed_queue\": 9,", "")).is_err());
+        assert!(validate_serve_bench(&good.replace("\"p99\": 20.1,", "")).is_err());
+        assert!(
+            validate_serve_bench(&good.replace("lpat-bench-serve/v1", "lpat-bench-serve/v0"))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn committed_bench_serve_artifact_is_valid() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_serve.json");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (regenerate with servebench)", path.display()));
+        validate_serve_bench(&text).unwrap_or_else(|e| panic!("committed BENCH_serve.json: {e}"));
     }
 
     #[test]

@@ -23,8 +23,11 @@
 //!   the lifelong store (`store.read`, `store.write`, `store.lock`), the
 //!   tier engine (`jit.translate` — fail a function's translation;
 //!   `tier.deopt` — panic during deopt frame reconstruction, demoting
-//!   the function), and speculation (`spec.guard` — force a guard check
-//!   to fail; `delay` sleeps and then honors the real condition).
+//!   the function), speculation (`spec.guard` — force a guard check
+//!   to fail; `delay` sleeps and then honors the real condition), and
+//!   the `lpatd` daemon (`serve.accept`, `serve.decode`, `serve.worker`,
+//!   `serve.deadline` — one per layer of the request path; each must be
+//!   absorbed as a structured per-request error, never a daemon crash).
 //! * `action` — `panic` (the site panics), `delay=50ms` (the site sleeps,
 //!   blowing any per-pass wall-clock budget), `corrupt` (the pass
 //!   manager breaks the module *after* the pass runs, simulating a

@@ -1,0 +1,364 @@
+//! Admission control: per-tenant quotas and the bounded work queue.
+//!
+//! Nothing past this module is allowed to allocate unbounded memory on
+//! behalf of a client. A request is admitted only if
+//!
+//! 1. its payload is within the tenant's byte quota and its fuel ask is
+//!    within the tenant's fuel quota (violations are *deterministic* —
+//!    the same request is rejected every time, with [`crate::proto::ErrClass::Quota`]);
+//! 2. the tenant's in-flight count is below its cap (violations are
+//!    *load-dependent* and answered with `Busy`, inviting a retry); and
+//! 3. the bounded work queue has a free slot (otherwise `Busy` — the
+//!    load-shedding path: the queue never grows, memory never does).
+//!
+//! In-flight accounting is RAII: an [`InflightGuard`] decrements its
+//! tenant's count on drop, so a panicking worker or an abandoned
+//! connection can never leak a quota slot.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Per-tenant resource limits, enforced at admission.
+#[derive(Clone, Debug)]
+pub struct TenantQuota {
+    /// Maximum requests a tenant may have in flight (queued + running).
+    pub max_inflight: u32,
+    /// Maximum request payload bytes.
+    pub max_bytes: u64,
+    /// Maximum fuel a single request may ask for.
+    pub max_fuel: u64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_inflight: 8,
+            max_bytes: 4 << 20,
+            max_fuel: 1_000_000_000,
+        }
+    }
+}
+
+/// Why admission refused a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Payload larger than the tenant's byte quota (deterministic).
+    Bytes {
+        /// Request payload size.
+        got: u64,
+        /// The quota it violated.
+        max: u64,
+    },
+    /// Fuel ask above the tenant's fuel quota (deterministic).
+    Fuel {
+        /// Requested fuel.
+        got: u64,
+        /// The quota it violated.
+        max: u64,
+    },
+    /// Tenant already at its in-flight cap (retryable).
+    Inflight {
+        /// Current in-flight count.
+        current: u32,
+        /// The cap.
+        max: u32,
+    },
+}
+
+impl AdmitError {
+    /// Whether the client should retry (load-dependent) or give up
+    /// (deterministic quota violation).
+    pub fn retryable(&self) -> bool {
+        matches!(self, AdmitError::Inflight { .. })
+    }
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Bytes { got, max } => {
+                write!(f, "payload {got} bytes exceeds tenant quota {max}")
+            }
+            AdmitError::Fuel { got, max } => {
+                write!(f, "fuel ask {got} exceeds tenant quota {max}")
+            }
+            AdmitError::Inflight { current, max } => {
+                write!(f, "tenant at in-flight cap ({current}/{max})")
+            }
+        }
+    }
+}
+
+/// Tracks per-tenant in-flight counts against a [`TenantQuota`].
+#[derive(Debug)]
+pub struct Admission {
+    quota: TenantQuota,
+    inflight: Mutex<HashMap<String, u32>>,
+}
+
+impl Admission {
+    /// New admission controller with one quota applied to every tenant.
+    pub fn new(quota: TenantQuota) -> Arc<Admission> {
+        Arc::new(Admission {
+            quota,
+            inflight: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The configured quota.
+    pub fn quota(&self) -> &TenantQuota {
+        &self.quota
+    }
+
+    /// Admit a request: check deterministic quotas first (so their
+    /// rejection never depends on load), then reserve an in-flight slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError`] as classified; nothing is reserved on failure.
+    pub fn admit(
+        self: &Arc<Admission>,
+        tenant: &str,
+        bytes: u64,
+        fuel: u64,
+    ) -> Result<InflightGuard, AdmitError> {
+        if bytes > self.quota.max_bytes {
+            return Err(AdmitError::Bytes {
+                got: bytes,
+                max: self.quota.max_bytes,
+            });
+        }
+        if fuel > self.quota.max_fuel {
+            return Err(AdmitError::Fuel {
+                got: fuel,
+                max: self.quota.max_fuel,
+            });
+        }
+        let tenant = canonical_tenant(tenant);
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let n = map.entry(tenant.clone()).or_insert(0);
+        if *n >= self.quota.max_inflight {
+            return Err(AdmitError::Inflight {
+                current: *n,
+                max: self.quota.max_inflight,
+            });
+        }
+        *n += 1;
+        Ok(InflightGuard {
+            admission: Arc::clone(self),
+            tenant,
+        })
+    }
+
+    /// Current in-flight count for a tenant (tests, stats).
+    pub fn inflight(&self, tenant: &str) -> u32 {
+        let map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(&canonical_tenant(tenant)).copied().unwrap_or(0)
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(n) = map.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(tenant);
+            }
+        }
+    }
+}
+
+/// Empty tenant ids all account to one bucket rather than each getting a
+/// fresh quota.
+fn canonical_tenant(tenant: &str) -> String {
+    if tenant.is_empty() {
+        "anon".into()
+    } else {
+        tenant.into()
+    }
+}
+
+/// RAII in-flight reservation; releases its slot on drop.
+#[derive(Debug)]
+pub struct InflightGuard {
+    admission: Arc<Admission>,
+    tenant: String,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.admission.release(&self.tenant);
+    }
+}
+
+// -- bounded queue --------------------------------------------------------
+
+/// A bounded MPMC queue: `try_push` never blocks (load shedding is the
+/// caller's job), `pop` blocks until an item or shutdown.
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    cond: Condvar,
+    cap: usize,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// New queue with capacity `cap` (minimum 1).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Enqueue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is full or shut down — the
+    /// caller sheds load with an explicit `Busy`, never by waiting.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.shutdown || q.items.len() >= self.cap {
+            return Err(item);
+        }
+        q.items.push_back(item);
+        drop(q);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item arrives or the queue shuts down
+    /// (then `None`, after draining).
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self.cond.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Shut down: wake all poppers; subsequent pushes fail.
+    pub fn shutdown(&self) {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        q.shutdown = true;
+        drop(q);
+        self.cond.notify_all();
+    }
+
+    /// Current depth (stats).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_quotas_reject_before_inflight() {
+        let a = Admission::new(TenantQuota {
+            max_inflight: 2,
+            max_bytes: 100,
+            max_fuel: 1000,
+        });
+        assert_eq!(
+            a.admit("t", 101, 0).unwrap_err(),
+            AdmitError::Bytes { got: 101, max: 100 }
+        );
+        assert_eq!(
+            a.admit("t", 0, 1001).unwrap_err(),
+            AdmitError::Fuel {
+                got: 1001,
+                max: 1000
+            }
+        );
+        assert!(!a.admit("t", 101, 0).unwrap_err().retryable());
+        // Rejections reserved nothing.
+        assert_eq!(a.inflight("t"), 0);
+    }
+
+    #[test]
+    fn inflight_cap_is_per_tenant_and_raii_released() {
+        let a = Admission::new(TenantQuota {
+            max_inflight: 2,
+            ..TenantQuota::default()
+        });
+        let g1 = a.admit("t", 0, 0).unwrap();
+        let _g2 = a.admit("t", 0, 0).unwrap();
+        let err = a.admit("t", 0, 0).unwrap_err();
+        assert_eq!(err, AdmitError::Inflight { current: 2, max: 2 });
+        assert!(err.retryable());
+        // A different tenant is unaffected.
+        let _other = a.admit("u", 0, 0).unwrap();
+        // Dropping a guard frees the slot.
+        drop(g1);
+        assert_eq!(a.inflight("t"), 1);
+        let _g3 = a.admit("t", 0, 0).unwrap();
+    }
+
+    #[test]
+    fn empty_tenant_shares_one_bucket() {
+        let a = Admission::new(TenantQuota {
+            max_inflight: 1,
+            ..TenantQuota::default()
+        });
+        let _g = a.admit("", 0, 0).unwrap();
+        assert!(a.admit("", 0, 0).is_err());
+        assert_eq!(a.inflight("anon"), 1);
+    }
+
+    #[test]
+    fn queue_sheds_when_full_and_drains_on_shutdown() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3), "full queue sheds, never grows");
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        q.shutdown();
+        assert_eq!(q.try_push(4), Err(4), "no pushes after shutdown");
+        // Draining continues after shutdown, then None.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_poppers() {
+        let q = std::sync::Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        assert_eq!(t.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Client side of the daemon protocol: connect with a timeout, send one
+//! request per call, and optionally retry `Busy` answers with bounded
+//! exponential backoff.
+
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::net::Conn;
+use crate::proto::{
+    backoff_delay, decode_response, encode_request, read_frame, write_frame, Addr, ProtoError,
+    Request, Response, DEFAULT_MAX_FRAME,
+};
+
+/// How a client retries `Busy` responses.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+        }
+    }
+}
+
+/// A connected client. One request is in flight at a time (the protocol
+/// is strictly request/response per connection).
+pub struct Client {
+    conn: Conn,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connect to `addr`, bounding TCP connection establishment by
+    /// `timeout` (Unix sockets connect synchronously; the timeout bounds
+    /// name resolution there too, trivially).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Io`] on resolution/connect failure or timeout.
+    pub fn connect(addr: &Addr, timeout: Duration) -> Result<Client, ProtoError> {
+        let conn = match addr {
+            Addr::Tcp(hp) => {
+                let mut last = None;
+                let addrs = hp
+                    .to_socket_addrs()
+                    .map_err(|e| ProtoError::Io(format!("resolve {hp}: {e}")))?;
+                let mut stream = None;
+                for sa in addrs {
+                    match TcpStream::connect_timeout(&sa, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                let s = stream.ok_or_else(|| {
+                    ProtoError::Io(format!(
+                        "connect {hp}: {}",
+                        last.map(|e| e.to_string())
+                            .unwrap_or_else(|| "no addresses".into())
+                    ))
+                })?;
+                let _ = s.set_nodelay(true);
+                Conn::Tcp(s)
+            }
+            #[cfg(unix)]
+            Addr::Unix(path) => {
+                let s = std::os::unix::net::UnixStream::connect(path)
+                    .map_err(|e| ProtoError::Io(format!("connect {}: {e}", path.display())))?;
+                Conn::Unix(s)
+            }
+            #[cfg(not(unix))]
+            Addr::Unix(_) => {
+                return Err(ProtoError::Io(
+                    "unix sockets are not available on this platform".into(),
+                ))
+            }
+        };
+        Ok(Client {
+            conn,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Send one request and wait for its response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`] from framing, I/O, or response decoding.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        write_frame(&mut self.conn, &encode_request(req))?;
+        self.conn
+            .flush()
+            .map_err(|e| ProtoError::Io(e.to_string()))?;
+        let frame = read_frame(&mut self.conn, self.max_frame)?;
+        decode_response(&frame)
+    }
+
+    /// Send a request, retrying `Busy` responses per `policy`. Each retry
+    /// waits the larger of the server's `retry_after_ms` hint and the
+    /// policy's exponential backoff — the server knows its load, the
+    /// client knows its patience; respect both.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors propagate immediately; exhausting `max_attempts`
+    /// returns the final `Busy` response (an `Ok` at the protocol level —
+    /// the server answered, it just declined).
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ProtoError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last = self.request(req)?;
+        for attempt in 0..attempts.saturating_sub(1) {
+            let Response::Busy { retry_after_ms, .. } = last else {
+                return Ok(last);
+            };
+            let hinted = Duration::from_millis(u64::from(retry_after_ms));
+            let backoff = backoff_delay(policy.base, attempt, policy.cap);
+            std::thread::sleep(hinted.max(backoff));
+            last = self.request(req)?;
+        }
+        Ok(last)
+    }
+}

@@ -1,0 +1,47 @@
+//! `lpat-serve` — the fault-isolated multi-tenant compile-and-run daemon.
+//!
+//! The paper's lifelong model (§4.2, §3.6) has the compiler living beside
+//! running programs: profiles stream in, reoptimization happens between
+//! runs, and the optimizer must never take a running program down. This
+//! crate is that model as a *service*: `lpatd` accepts concurrent
+//! compile/run/reopt requests over a length-framed protocol, schedules
+//! them onto a bounded worker pool, and isolates every request so a
+//! panicking, hostile, or runaway guest is one client's structured error,
+//! never the daemon's crash.
+//!
+//! The layers:
+//!
+//! - [`proto`] — the wire format: length-framed, magic/versioned, totally
+//!   decoded (hostile bytes produce errors, never panics or allocations
+//!   beyond the frame bound).
+//! - [`admission`] — per-tenant quotas (deterministic: bytes, fuel;
+//!   load-dependent: in-flight) and the bounded work queue whose
+//!   `try_push` is the load-shedding point.
+//! - [`shard`] — content-hash-prefix sharding of the lifelong store so
+//!   concurrent tenants don't convoy on one lock file.
+//! - [`server`] — accept loop, connection framing, worker pool, and the
+//!   request pipeline with `catch_unwind` isolation, fuel bounds, and
+//!   cooperative deadlines. Fault sites `serve.accept`, `serve.decode`,
+//!   `serve.worker`, `serve.deadline` hook [`lpat_core::fault`] for the
+//!   CI fault matrix.
+//! - [`client`] — connect-with-timeout, one-shot requests, and bounded
+//!   exponential-backoff retry of `Busy` answers.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod net;
+pub mod proto;
+pub mod server;
+pub mod shard;
+
+pub use admission::{Admission, AdmitError, BoundedQueue, InflightGuard, TenantQuota};
+pub use client::{Client, RetryPolicy};
+pub use proto::{
+    backoff_delay, decode_request, decode_response, encode_request, encode_response, read_frame,
+    write_frame, Addr, ErrClass, Op, ProtoError, Request, Response, DEFAULT_MAX_FRAME, FLAG_MINIC,
+    FLAG_OPT, FLAG_TIERED,
+};
+pub use server::{Handle, Server, ServerConfig, ServerStats};
+pub use shard::ShardedStore;

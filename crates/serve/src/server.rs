@@ -1,0 +1,1020 @@
+//! The `lpatd` server core: accept loop, per-connection framing, bounded
+//! worker pool, and the fault-isolated request pipeline.
+//!
+//! # Isolation model
+//!
+//! Every layer that executes on behalf of one client is wrapped so its
+//! failure is *that client's* failure and nobody else's:
+//!
+//! - **accept** (`serve.accept`): a fault while setting up a freshly
+//!   accepted connection drops that connection; the accept loop continues.
+//! - **decode** (`serve.decode`): request decoding is total (no panics on
+//!   hostile bytes, lengths validated before allocation) *and* wrapped in
+//!   `catch_unwind` anyway — defense in depth; a decode failure answers
+//!   that frame with a structured error and keeps the connection.
+//! - **worker** (`serve.worker`): the whole compile/run pipeline for one
+//!   request runs under `catch_unwind`; a panic becomes an
+//!   [`ErrClass::Panic`] response to that one client while the worker
+//!   thread survives to take the next job.
+//! - **deadline** (`serve.deadline`): cooperative deadline checks at stage
+//!   boundaries turn a runaway request into [`ErrClass::Deadline`];
+//!   execution itself is always fuel-bounded so overrun is bounded by one
+//!   stage, never unbounded.
+//!
+//! # Overload model
+//!
+//! Admission is two-tiered (see [`crate::admission`]): deterministic
+//! quota violations answer [`ErrClass::Quota`]; load-dependent pressure —
+//! tenant in-flight caps and a full bounded queue — answers
+//! [`Response::Busy`] with a retry hint. Memory use is bounded by
+//! `max_frame` × (connections + queue depth); nothing queues unboundedly.
+
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use lpat_core::fault::FaultAction;
+use lpat_core::{faultpoint, trace, Module};
+use lpat_vm::store::{FlushGuard, FlushOutcome};
+use lpat_vm::{module_hash, reoptimize, ExecError, PgoOptions, ProfileData, Vm, VmOptions};
+
+use crate::admission::{Admission, BoundedQueue, InflightGuard, TenantQuota};
+use crate::net::{Conn, Listener};
+use crate::proto::{
+    decode_request, encode_response, read_frame, write_frame, Addr, ErrClass, Op, ProtoError,
+    Request, Response, DEFAULT_MAX_FRAME, FLAG_MINIC, FLAG_OPT, FLAG_TIERED,
+};
+use crate::shard::ShardedStore;
+
+/// Server configuration; every knob has a safe default.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`tcp:host:port` or `unix:/path`). Port 0 binds an
+    /// ephemeral port; read it back from [`Server::local_addr`].
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded work-queue depth; a full queue sheds with `Busy`.
+    pub queue_depth: usize,
+    /// Maximum accepted frame length (request payload bound).
+    pub max_frame: u32,
+    /// Fuel granted to a request that asks for none. Always finite: the
+    /// daemon never runs an unbounded guest.
+    pub default_fuel: u64,
+    /// Deadline applied to requests that specify none.
+    pub default_deadline: Duration,
+    /// Per-tenant quotas enforced at admission.
+    pub quota: TenantQuota,
+    /// Lifelong store root; `None` serves uncached.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Store shard count (content-hash-prefix sharding; clamped 1..=256).
+    pub shards: u32,
+    /// Stop after completing this many requests (tests, benchmarks).
+    pub max_requests: Option<u64>,
+    /// How long an idle connection read blocks before re-checking
+    /// shutdown. Small values make shutdown prompt; this is *not* a
+    /// client-visible timeout.
+    pub idle_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "tcp:127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 16,
+            max_frame: DEFAULT_MAX_FRAME,
+            default_fuel: 100_000_000,
+            default_deadline: Duration::from_secs(10),
+            quota: TenantQuota::default(),
+            cache_dir: None,
+            shards: 16,
+            max_requests: None,
+            idle_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Monotonic counters exposed by the `Stats` op and mirrored into the
+/// trace layer as `serve.*` counters.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub conns: AtomicU64,
+    /// Connections dropped by an injected/real accept-path fault.
+    pub accept_faults: AtomicU64,
+    /// Requests decoded and admitted to the pipeline.
+    pub requests: AtomicU64,
+    /// Requests answered `Ok`.
+    pub ok: AtomicU64,
+    /// Requests answered with a structured error (any class).
+    pub errors: AtomicU64,
+    /// Requests answered `Busy` (tenant cap or queue shed).
+    pub busy: AtomicU64,
+    /// `Busy` responses specifically from a full work queue (shedding).
+    pub shed_queue: AtomicU64,
+    /// `Busy` responses from a tenant's in-flight cap.
+    pub busy_tenant: AtomicU64,
+    /// Deterministic quota rejections (bytes / fuel).
+    pub quota_rejected: AtomicU64,
+    /// Frames that failed to decode.
+    pub decode_errors: AtomicU64,
+    /// Panics caught and converted to error responses.
+    pub panics_isolated: AtomicU64,
+    /// Requests that hit their deadline.
+    pub deadline_expired: AtomicU64,
+    /// Guest traps (the guest's fault, not ours).
+    pub traps: AtomicU64,
+    /// Run requests served from a cached reoptimized module.
+    pub cache_hits: AtomicU64,
+    /// Run requests that missed the reopt cache (store configured).
+    pub cache_misses: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(&self, c: &AtomicU64, trace_name: &'static str) {
+        c.fetch_add(1, Ordering::Relaxed);
+        trace::counter(trace_name, 1);
+    }
+
+    /// Render the counters as a stable JSON object (the `Stats` op's
+    /// response body; `servebench` scrapes it).
+    pub fn render_json(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            concat!(
+                "{{\"schema\":\"lpat-serve-stats/v1\",",
+                "\"conns\":{},\"accept_faults\":{},\"requests\":{},",
+                "\"ok\":{},\"errors\":{},\"busy\":{},",
+                "\"shed_queue\":{},\"busy_tenant\":{},\"quota_rejected\":{},",
+                "\"decode_errors\":{},\"panics_isolated\":{},",
+                "\"deadline_expired\":{},\"traps\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{}}}"
+            ),
+            g(&self.conns),
+            g(&self.accept_faults),
+            g(&self.requests),
+            g(&self.ok),
+            g(&self.errors),
+            g(&self.busy),
+            g(&self.shed_queue),
+            g(&self.busy_tenant),
+            g(&self.quota_rejected),
+            g(&self.decode_errors),
+            g(&self.panics_isolated),
+            g(&self.deadline_expired),
+            g(&self.traps),
+            g(&self.cache_hits),
+            g(&self.cache_misses),
+        )
+    }
+}
+
+/// One admitted request queued for a worker. Dropping a `Job` without
+/// processing it (queue shutdown) releases its in-flight slot via the
+/// guard and leaves the client to its deadline.
+struct Job {
+    req: Request,
+    deadline: Instant,
+    tx: mpsc::Sender<Response>,
+    _inflight: InflightGuard,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    cfg: ServerConfig,
+    stats: ServerStats,
+    admission: Arc<Admission>,
+    queue: BoundedQueue<Job>,
+    store: Option<ShardedStore>,
+    shutdown: AtomicBool,
+    completed: AtomicU64,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.shutdown();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Count one finished request; trip shutdown at `max_requests`.
+    fn request_completed(&self) {
+        let done = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(max) = self.cfg.max_requests {
+            if done >= max {
+                self.begin_shutdown();
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct Handle {
+    addr: Addr,
+    shared: Arc<Shared>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl Handle {
+    /// The bound address (ephemeral ports resolved).
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Ask the server to stop and wait for it.
+    pub fn stop(mut self) {
+        self.shared.begin_shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Whether the server initiated shutdown (e.g. hit `max_requests`).
+    pub fn shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Wait for the server to exit on its own (`max_requests`).
+    pub fn wait(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Server {
+    /// Bind the listen socket, open the sharded store, and spawn the
+    /// worker pool. The accept loop does not run until [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Bad address, bind failure, or store-open failure (a daemon that
+    /// was *asked* to persist refuses to start blind, unlike `lpatc run`
+    /// which degrades to uncached).
+    pub fn bind(cfg: ServerConfig) -> Result<Server, String> {
+        let addr = Addr::parse(&cfg.addr)?;
+        let listener = Listener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let store = match &cfg.cache_dir {
+            Some(d) => {
+                Some(ShardedStore::open(d, cfg.shards).map_err(|e| format!("cache dir {e}"))?)
+            }
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            admission: Admission::new(cfg.quota.clone()),
+            queue: BoundedQueue::new(cfg.queue_depth),
+            stats: ServerStats::default(),
+            store,
+            shutdown: AtomicBool::new(false),
+            completed: AtomicU64::new(0),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("lpatd-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound address (ephemeral ports resolved).
+    pub fn local_addr(&self) -> Addr {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on this thread until shutdown, then join
+    /// workers and connection threads.
+    pub fn run(self) {
+        let Server {
+            listener,
+            shared,
+            workers,
+        } = self;
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutting_down() {
+            match listener.accept() {
+                Ok(conn) => {
+                    shared.stats.bump(&shared.stats.conns, "serve.conns");
+                    // The accept-path fault site: a panic or error while
+                    // setting up THIS connection drops this connection
+                    // only — the loop (and every other client) survives.
+                    let setup = catch_unwind(AssertUnwindSafe(|| {
+                        match faultpoint!("serve.accept") {
+                            Some(FaultAction::Panic) => {
+                                panic!("injected fault at site 'serve.accept'")
+                            }
+                            Some(FaultAction::Delay(d)) => {
+                                thread::sleep(d);
+                                true
+                            }
+                            Some(_) => false, // corrupt/io: treat as setup failure
+                            None => true,
+                        }
+                    }));
+                    match setup {
+                        Ok(true) => {
+                            let sh = Arc::clone(&shared);
+                            conns.retain(|j| !j.is_finished());
+                            match thread::Builder::new()
+                                .name("lpatd-conn".into())
+                                .spawn(move || connection_loop(&sh, conn))
+                            {
+                                Ok(j) => conns.push(j),
+                                Err(_) => {
+                                    shared
+                                        .stats
+                                        .bump(&shared.stats.accept_faults, "serve.accept_faults");
+                                }
+                            }
+                        }
+                        _ => {
+                            shared
+                                .stats
+                                .bump(&shared.stats.accept_faults, "serve.accept_faults");
+                            drop(conn);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        shared.queue.shutdown();
+        for j in workers {
+            let _ = j.join();
+        }
+        for j in conns {
+            let _ = j.join();
+        }
+    }
+
+    /// Run the server on a background thread; the returned [`Handle`]
+    /// stops it on [`Handle::stop`] or drop.
+    pub fn start(self) -> Handle {
+        let addr = self.local_addr();
+        let shared = Arc::clone(&self.shared);
+        let join = thread::Builder::new()
+            .name("lpatd-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn accept loop");
+        Handle {
+            addr,
+            shared,
+            join: Some(join),
+        }
+    }
+}
+
+/// How long a connection waits for its response beyond the request's own
+/// deadline before answering `Deadline` itself (covers queue shutdown and
+/// scheduling slop).
+const RESPONSE_GRACE: Duration = Duration::from_millis(500);
+
+/// Serve one connection: read frames, admit, queue, relay responses.
+/// Every exit path answers or closes cleanly — the protocol has no
+/// half-written frames because responses are single `write_frame` calls.
+fn connection_loop(shared: &Arc<Shared>, mut conn: Conn) {
+    let _ = conn.set_read_timeout(Some(shared.cfg.idle_poll));
+    loop {
+        let frame = match read_frame(&mut conn, shared.cfg.max_frame) {
+            Ok(f) => f,
+            Err(ProtoError::Closed) => return,
+            Err(ProtoError::IdleTimeout) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(e @ (ProtoError::FrameLength { .. } | ProtoError::Malformed(_))) => {
+                // Hostile framing: answer once, then close — after a bad
+                // length the stream offset is unknowable.
+                shared
+                    .stats
+                    .bump(&shared.stats.decode_errors, "serve.decode_errors");
+                send(&mut conn, &Response::err(ErrClass::Decode, e.to_string()));
+                return;
+            }
+            Err(_) => return, // I/O mid-frame: nothing sane to answer onto
+        };
+        // Decode is total, but run it under catch_unwind anyway: a decoder
+        // bug must cost one frame, not the daemon. Frame boundaries are
+        // intact either way, so the connection can continue.
+        let decoded = catch_unwind(AssertUnwindSafe(|| decode_request(&frame)));
+        let req = match decoded {
+            Ok(Ok(req)) => req,
+            Ok(Err(e)) => {
+                shared
+                    .stats
+                    .bump(&shared.stats.decode_errors, "serve.decode_errors");
+                if !send(&mut conn, &Response::err(ErrClass::Decode, e.to_string())) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => {
+                shared
+                    .stats
+                    .bump(&shared.stats.panics_isolated, "serve.panics");
+                shared
+                    .stats
+                    .bump(&shared.stats.decode_errors, "serve.decode_errors");
+                if !send(
+                    &mut conn,
+                    &Response::err(ErrClass::Panic, "panic while decoding request"),
+                ) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let resp = handle_request(shared, req);
+        let ok = send(&mut conn, &resp);
+        count_response(shared, &resp);
+        shared.request_completed();
+        if !ok {
+            return;
+        }
+    }
+}
+
+/// Admit, enqueue, and await one decoded request.
+fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
+    shared.stats.bump(&shared.stats.requests, "serve.requests");
+    if shared.shutting_down() {
+        return Response::Busy {
+            retry_after_ms: 200,
+            reason: "shutting down".into(),
+        };
+    }
+    let inflight = match shared
+        .admission
+        .admit(&req.tenant, req.module.len() as u64, req.fuel)
+    {
+        Ok(g) => g,
+        Err(e) if e.retryable() => {
+            shared
+                .stats
+                .bump(&shared.stats.busy_tenant, "serve.busy_tenant");
+            return Response::Busy {
+                retry_after_ms: 50,
+                reason: e.to_string(),
+            };
+        }
+        Err(e) => {
+            shared
+                .stats
+                .bump(&shared.stats.quota_rejected, "serve.quota_rejected");
+            return Response::err(ErrClass::Quota, e.to_string());
+        }
+    };
+    let deadline_ms = if req.deadline_ms > 0 {
+        Duration::from_millis(u64::from(req.deadline_ms))
+    } else {
+        shared.cfg.default_deadline
+    };
+    let deadline = Instant::now() + deadline_ms;
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        req,
+        deadline,
+        tx,
+        _inflight: inflight,
+    };
+    if shared.queue.try_push(job).is_err() {
+        // The load-shedding path: the queue is full (or shutting down);
+        // the job (and its in-flight slot) is dropped right here.
+        shared
+            .stats
+            .bump(&shared.stats.shed_queue, "serve.shed_queue");
+        return Response::Busy {
+            retry_after_ms: 100,
+            reason: "work queue full".into(),
+        };
+    }
+    let wait = deadline.saturating_duration_since(Instant::now()) + RESPONSE_GRACE;
+    match rx.recv_timeout(wait) {
+        Ok(resp) => resp,
+        Err(_) => Response::err(
+            ErrClass::Deadline,
+            "request abandoned: no response within deadline",
+        ),
+    }
+}
+
+/// Attribute one outgoing response in the stats.
+fn count_response(shared: &Shared, resp: &Response) {
+    match resp {
+        Response::Ok { .. } => shared.stats.bump(&shared.stats.ok, "serve.ok"),
+        Response::Err { class, .. } => {
+            shared.stats.bump(&shared.stats.errors, "serve.errors");
+            match class {
+                ErrClass::Deadline => shared
+                    .stats
+                    .bump(&shared.stats.deadline_expired, "serve.deadline_expired"),
+                ErrClass::Trap => shared.stats.bump(&shared.stats.traps, "serve.traps"),
+                ErrClass::Panic => shared
+                    .stats
+                    .bump(&shared.stats.panics_isolated, "serve.panics"),
+                _ => {}
+            }
+        }
+        Response::Busy { .. } => shared.stats.bump(&shared.stats.busy, "serve.busy"),
+    }
+}
+
+/// Encode and write one response; `false` means the connection is gone.
+fn send(conn: &mut Conn, resp: &Response) -> bool {
+    let payload = encode_response(resp);
+    write_frame(conn, &payload).is_ok() && conn.flush().is_ok()
+}
+
+/// Worker thread: pop jobs until shutdown; isolate each job's pipeline.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let Job {
+            req, deadline, tx, ..
+        } = job;
+        let mut sp = trace::span("serve", "request");
+        sp.arg("op", req.op.name());
+        sp.arg("tenant", req.tenant.clone());
+        // The whole pipeline for one request is one isolation domain: a
+        // panic anywhere inside — parser, optimizer, VM, store — becomes
+        // a structured error for THIS client; the worker survives.
+        let resp = match catch_unwind(AssertUnwindSafe(|| process(shared, &req, deadline))) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                Response::err(ErrClass::Panic, format!("request pipeline panicked: {msg}"))
+            }
+        };
+        sp.arg("status", resp.status_label());
+        drop(sp);
+        // A dead receiver means the client gave up (deadline, hangup);
+        // the work is discarded and the in-flight slot frees on drop.
+        let _ = tx.send(resp);
+    }
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+/// Cooperative deadline check at a stage boundary. The `serve.deadline`
+/// fault site can force expiry (corrupt/io), panic, or stall here.
+fn check_deadline(stage: &str, deadline: Instant) -> Result<(), Response> {
+    let mut forced = false;
+    match faultpoint!("serve.deadline") {
+        Some(FaultAction::Panic) => panic!("injected fault at site 'serve.deadline'"),
+        Some(FaultAction::Delay(d)) => thread::sleep(d),
+        Some(_) => forced = true,
+        None => {}
+    }
+    if forced || Instant::now() >= deadline {
+        return Err(Response::err(
+            ErrClass::Deadline,
+            format!("deadline expired at stage '{stage}'"),
+        ));
+    }
+    Ok(())
+}
+
+/// Execute one request end to end. Runs inside the worker's
+/// `catch_unwind`; may panic freely.
+fn process(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
+    // The worker fault site, manifested before any real work.
+    match faultpoint!("serve.worker") {
+        Some(FaultAction::Panic) => panic!("injected fault at site 'serve.worker'"),
+        Some(FaultAction::Delay(d)) => thread::sleep(d),
+        Some(_) => {
+            return Response::err(ErrClass::Internal, "injected worker fault");
+        }
+        None => {}
+    }
+    if let Err(resp) = check_deadline("queued", deadline) {
+        return resp;
+    }
+    match req.op {
+        Op::Ping => Response::Ok {
+            exit: 0,
+            insts: 0,
+            cache_hit: false,
+            output: b"pong".to_vec(),
+            module: Vec::new(),
+        },
+        Op::Stats => Response::Ok {
+            exit: 0,
+            insts: 0,
+            cache_hit: false,
+            output: shared.stats.render_json().into_bytes(),
+            module: Vec::new(),
+        },
+        Op::Compile => do_compile(req, deadline),
+        Op::Run => do_run(shared, req, deadline),
+        Op::Reopt => do_reopt(shared, req, deadline),
+    }
+}
+
+/// Parse the request's module payload: bytecode by magic, miniC by flag,
+/// textual IR otherwise — the same auto-detection as `lpatc`, minus the
+/// filename heuristics (the wire has a flag instead).
+fn parse_module(req: &Request) -> Result<Module, Response> {
+    let name = if req.name.is_empty() {
+        "module"
+    } else {
+        req.name.as_str()
+    };
+    let m = if req.module.starts_with(b"LPAT") {
+        lpat_bytecode::read_module(name, &req.module)
+            .map_err(|e| Response::err(ErrClass::BadModule, e.to_string()))?
+    } else {
+        let text = std::str::from_utf8(&req.module)
+            .map_err(|_| Response::err(ErrClass::BadModule, "module payload is not UTF-8"))?;
+        if req.flags & FLAG_MINIC != 0 {
+            lpat_minic::compile(name, text)
+                .map_err(|e| Response::err(ErrClass::BadModule, e.to_string()))?
+        } else {
+            lpat_asm::parse_module(name, text)
+                .map_err(|e| Response::err(ErrClass::BadModule, e.to_string()))?
+        }
+    };
+    m.verify()
+        .map_err(|e| Response::err(ErrClass::BadModule, format!("verifier: {}", e[0])))?;
+    Ok(m)
+}
+
+/// Run the function pipeline (and optionally the link-time pipeline) in
+/// degrade mode — a crashing pass is rolled back, never fatal.
+fn optimize(m: &mut Module, link_time: bool) -> Result<(), Response> {
+    let mut pm = lpat_transform::function_pipeline();
+    pm.degrade = true;
+    let _ = pm.run(m);
+    if link_time {
+        let mut pm = lpat_transform::link_time_pipeline();
+        pm.degrade = true;
+        let _ = pm.run(m);
+    }
+    m.verify().map_err(|e| {
+        Response::err(
+            ErrClass::Internal,
+            format!("verifier after optimization: {}", e[0]),
+        )
+    })?;
+    Ok(())
+}
+
+fn do_compile(req: &Request, deadline: Instant) -> Response {
+    let mut m = match parse_module(req) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_deadline("parsed", deadline) {
+        return resp;
+    }
+    if req.flags & FLAG_OPT != 0 {
+        if let Err(resp) = optimize(&mut m, true) {
+            return resp;
+        }
+    }
+    Response::Ok {
+        exit: 0,
+        insts: 0,
+        cache_hit: false,
+        output: Vec::new(),
+        module: lpat_bytecode::write_module(&m),
+    }
+}
+
+fn do_run(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
+    let mut m = match parse_module(req) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_deadline("parsed", deadline) {
+        return resp;
+    }
+    if req.flags & FLAG_OPT != 0 {
+        if let Err(resp) = optimize(&mut m, false) {
+            return resp;
+        }
+    }
+    // Prefer a previously reoptimized module for these exact bytes — the
+    // daemon-side half of the lifelong loop. Store failures degrade to an
+    // uncached run; they never fail the request.
+    let mut cache_hit = false;
+    let store = shared.store.as_ref();
+    if let Some(store) = store {
+        let source_hash = module_hash(&m);
+        if let Ok(loaded) = store.shard(source_hash).load_reopt(source_hash, &m.name) {
+            if let Some(r) = loaded.value {
+                m = r;
+                cache_hit = true;
+            }
+        }
+    }
+    if cache_hit {
+        shared
+            .stats
+            .bump(&shared.stats.cache_hits, "serve.cache_hits");
+    } else if store.is_some() {
+        shared
+            .stats
+            .bump(&shared.stats.cache_misses, "serve.cache_misses");
+    }
+    let run_hash = module_hash(&m);
+    let run_store = store.map(|s| s.shard(run_hash));
+    // Every daemon-side run is fuel-bounded: the request's ask, or the
+    // server default — never unlimited.
+    let fuel = if req.fuel > 0 {
+        req.fuel
+    } else {
+        shared.cfg.default_fuel
+    };
+    let mut opts = VmOptions {
+        fuel: Some(fuel),
+        profile: run_store.is_some(),
+        ..VmOptions::default()
+    };
+    opts.input.extend(req.inputs.iter().copied());
+    let tiered = req.flags & FLAG_TIERED != 0;
+    let mut vm = match Vm::new(&m, opts) {
+        Ok(vm) => vm,
+        Err(e) => return Response::err(ErrClass::BadModule, e.to_string()),
+    };
+    if tiered {
+        if let Some(store) = run_store {
+            if let Ok(loaded) = store.load_profile(run_hash) {
+                if let Some(sp) = loaded.value {
+                    vm.warm_start(&sp.profile);
+                }
+            }
+        }
+    }
+    if let Err(resp) = check_deadline("pre-exec", deadline) {
+        return resp;
+    }
+    // Exactly-once profile flush on EVERY exit path below — clean exit,
+    // trap, deadline, even a panic unwinding through this frame — via the
+    // same RAII guard `lpatc run` uses.
+    let mut flush = FlushGuard::new(run_store, run_hash);
+    let result = if tiered {
+        vm.run_main_tiered()
+    } else {
+        vm.run_main()
+    };
+    if vm.opts.profile {
+        flush.set_delta(vm.profile.clone());
+    }
+    vm.flush_trace();
+    if let FlushOutcome::Failed(e) = flush.flush() {
+        trace::counter("serve.flush_failures", 1);
+        let _ = e; // this run's counts are dropped; the request still answers
+    }
+    let post = check_deadline("post-exec", deadline);
+    match result {
+        Ok(code) => {
+            if let Err(resp) = post {
+                return resp;
+            }
+            Response::Ok {
+                exit: (code & 0xFF) as i32,
+                insts: vm.insts_executed,
+                cache_hit,
+                output: vm.output.into_bytes(),
+                module: Vec::new(),
+            }
+        }
+        Err(ExecError::Exited(code)) => Response::Ok {
+            exit: code & 0xFF,
+            insts: vm.insts_executed,
+            cache_hit,
+            output: vm.output.into_bytes(),
+            module: Vec::new(),
+        },
+        Err(e @ ExecError::Trap { .. }) => Response::err(ErrClass::Trap, e.to_string()),
+    }
+}
+
+fn do_reopt(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
+    let Some(store) = shared.store.as_ref() else {
+        return Response::err(
+            ErrClass::Unsupported,
+            "reopt requires the daemon to run with --cache-dir",
+        );
+    };
+    let mut m = match parse_module(req) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_deadline("parsed", deadline) {
+        return resp;
+    }
+    let source_hash = module_hash(&m);
+    let shard = store.shard(source_hash);
+    let mut profile = ProfileData::default();
+    let mut runs = 0u64;
+    match shard.load_profile(source_hash) {
+        Ok(loaded) => {
+            if let Some(sp) = loaded.value {
+                profile.merge_saturating(&sp.profile);
+                runs += sp.runs;
+            }
+        }
+        Err(e) => return Response::err(ErrClass::Internal, e.to_string()),
+    }
+    if runs == 0 {
+        return Response::err(
+            ErrClass::Unsupported,
+            "no profile recorded for this module yet",
+        );
+    }
+    let report = reoptimize(&mut m, &profile, &PgoOptions::default());
+    if let Err(e) = m.verify() {
+        return Response::err(
+            ErrClass::Internal,
+            format!("verifier after reopt: {}", e[0]),
+        );
+    }
+    if let Err(resp) = check_deadline("post-exec", deadline) {
+        return resp;
+    }
+    if let Err(e) = shard.save_reopt(source_hash, &m) {
+        return Response::err(ErrClass::Internal, e.to_string());
+    }
+    Response::Ok {
+        exit: 0,
+        insts: 0,
+        cache_hit: false,
+        output: format!(
+            "reopt: inlined {} hot sites, re-laid {} functions ({runs} runs of profile)",
+            report.inlined, report.relaid
+        )
+        .into_bytes(),
+        module: lpat_bytecode::write_module(&m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    const ADD_PROG: &str = "\
+define int @main() {
+entry:
+  %a = add int 40, 2
+  ret int %a
+}
+";
+
+    fn start_default() -> Handle {
+        Server::bind(ServerConfig::default()).unwrap().start()
+    }
+
+    #[test]
+    fn ping_and_run_roundtrip() {
+        let h = start_default();
+        let mut c = Client::connect(h.addr(), Duration::from_secs(5)).unwrap();
+        let pong = c.request(&Request::new(Op::Ping)).unwrap();
+        match pong {
+            Response::Ok { ref output, .. } => assert_eq!(output, b"pong"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let mut req = Request::new(Op::Run);
+        req.module = ADD_PROG.as_bytes().to_vec();
+        match c.request(&req).unwrap() {
+            Response::Ok { exit, insts, .. } => {
+                assert_eq!(exit, 42);
+                assert!(insts > 0);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        h.stop();
+    }
+
+    #[test]
+    fn bad_module_answers_structured_error_and_connection_survives() {
+        let h = start_default();
+        let mut c = Client::connect(h.addr(), Duration::from_secs(5)).unwrap();
+        let mut req = Request::new(Op::Run);
+        req.module = b"func @main( THIS IS NOT A PROGRAM".to_vec();
+        match c.request(&req).unwrap() {
+            Response::Err { class, .. } => assert_eq!(class, ErrClass::BadModule),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Same connection still works.
+        assert!(matches!(
+            c.request(&Request::new(Op::Ping)).unwrap(),
+            Response::Ok { .. }
+        ));
+        h.stop();
+    }
+
+    #[test]
+    fn infinite_loop_is_fuel_bounded() {
+        let cfg = ServerConfig {
+            default_fuel: 10_000, // tiny budget
+            ..Default::default()
+        };
+        let h = Server::bind(cfg).unwrap().start();
+        let mut c = Client::connect(h.addr(), Duration::from_secs(5)).unwrap();
+        let mut req = Request::new(Op::Run);
+        req.module = b"\
+define int @main() {
+entry:
+  br label %spin
+spin:
+  br label %spin
+}
+"
+        .to_vec();
+        match c.request(&req).unwrap() {
+            Response::Err { class, message } => {
+                assert_eq!(class, ErrClass::Trap);
+                assert!(
+                    message.contains("fuel") || message.contains("Fuel"),
+                    "{message}"
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // The daemon is still alive.
+        assert!(matches!(
+            c.request(&Request::new(Op::Ping)).unwrap(),
+            Response::Ok { .. }
+        ));
+        h.stop();
+    }
+
+    #[test]
+    fn quota_rejection_is_deterministic() {
+        let mut cfg = ServerConfig::default();
+        cfg.quota.max_bytes = 16;
+        let h = Server::bind(cfg).unwrap().start();
+        let mut c = Client::connect(h.addr(), Duration::from_secs(5)).unwrap();
+        let mut req = Request::new(Op::Run);
+        req.module = vec![b'x'; 64];
+        for _ in 0..3 {
+            match c.request(&req).unwrap() {
+                Response::Err { class, .. } => assert_eq!(class, ErrClass::Quota),
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        h.stop();
+    }
+
+    #[test]
+    fn max_requests_triggers_clean_shutdown() {
+        let cfg = ServerConfig {
+            max_requests: Some(1),
+            ..Default::default()
+        };
+        let h = Server::bind(cfg).unwrap().start();
+        let addr = h.addr().clone();
+        let mut c = Client::connect(&addr, Duration::from_secs(5)).unwrap();
+        let _ = c.request(&Request::new(Op::Ping)).unwrap();
+        h.wait();
+    }
+}

@@ -735,6 +735,85 @@ pub fn read_profile_file(path: &Path) -> Result<(u64, StoredProfile), StoreError
     Ok((hash, StoredProfile { profile, runs }))
 }
 
+// -- exactly-once profile flushing ----------------------------------------
+
+/// The outcome of the one flush a [`FlushGuard`] performs.
+#[derive(Debug)]
+pub enum FlushOutcome {
+    /// No store configured or no delta recorded; nothing to persist.
+    Skipped,
+    /// The delta was merged into the stored lifetime profile. Boxed so
+    /// the common `Skipped` case doesn't pay for the profile's footprint.
+    Flushed(Box<Loaded<StoredProfile>>),
+    /// The store refused (lock budget, I/O); this run's counts are
+    /// dropped — the always-make-progress posture.
+    Failed(StoreError),
+}
+
+/// RAII guard that flushes one run's profile delta into the store
+/// **exactly once** — on explicit [`FlushGuard::flush`] (the happy path,
+/// so the caller can report quarantines) or on drop (early-return, trap,
+/// and panic paths). Both the `lpatc run` driver and `lpatd` workers
+/// funnel their profile persistence through this one type, so no exit
+/// route can flush twice (double-counting a run) or zero times (losing
+/// the crashing runs the lifelong profile most needs).
+pub struct FlushGuard<'s> {
+    store: Option<&'s Store>,
+    run_hash: u64,
+    delta: Option<ProfileData>,
+    done: bool,
+}
+
+impl<'s> FlushGuard<'s> {
+    /// Arm a guard for `run_hash`. With `store: None` every flush is a
+    /// no-op (uncached runs share the same control flow).
+    pub fn new(store: Option<&'s Store>, run_hash: u64) -> FlushGuard<'s> {
+        FlushGuard {
+            store,
+            run_hash,
+            delta: None,
+            done: false,
+        }
+    }
+
+    /// Record the delta to persist (this run's counters). Until this is
+    /// called, flushing is a no-op — a run that never executed has
+    /// nothing to persist.
+    pub fn set_delta(&mut self, delta: ProfileData) {
+        self.delta = Some(delta);
+    }
+
+    /// Whether the single flush already happened (explicitly or not at
+    /// all yet).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Perform the flush if it has not happened yet; subsequent calls
+    /// (including the one from `Drop`) return [`FlushOutcome::Skipped`]
+    /// without touching the store.
+    pub fn flush(&mut self) -> FlushOutcome {
+        if self.done {
+            return FlushOutcome::Skipped;
+        }
+        self.done = true;
+        let (store, delta) = match (self.store, self.delta.take()) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return FlushOutcome::Skipped,
+        };
+        match store.record_run(self.run_hash, &delta) {
+            Ok(loaded) => FlushOutcome::Flushed(Box::new(loaded)),
+            Err(e) => FlushOutcome::Failed(e),
+        }
+    }
+}
+
+impl Drop for FlushGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
 /// Holds the store lock; releases it on drop.
 #[derive(Debug)]
 pub struct LockGuard {

@@ -347,6 +347,11 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
                     ));
                 }
             }
+            // Armed BEFORE execution: every exit route below — clean
+            // exit, trap, even an early return — funnels its store flush
+            // through this one guard, the same RAII type `lpatd` workers
+            // use, so no path can flush twice or be forgotten.
+            let mut flush = lpat::vm::store::FlushGuard::new(store.as_ref(), run_hash);
             let result = if use_tiered {
                 vm.run_main_tiered()
             } else if use_jit {
@@ -364,17 +369,19 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
             if profiling {
                 lifetime.profile.merge_saturating(&vm.profile);
                 lifetime.runs = lifetime.runs.saturating_add(1);
-                if let Some(store) = &store {
-                    // The store merges this run's delta under its lock;
-                    // a Locked/Io failure skips persisting this one run.
-                    match store.record_run(run_hash, &vm.profile) {
-                        Ok(l) => {
-                            for q in &l.quarantined {
-                                diag.cache_warn(q.error.class(), &q.to_string());
-                            }
+                flush.set_delta(vm.profile.clone());
+                // The store merges this run's delta under its lock; a
+                // Locked/Io failure skips persisting this one run.
+                match flush.flush() {
+                    lpat::vm::FlushOutcome::Flushed(l) => {
+                        for q in &l.quarantined {
+                            diag.cache_warn(q.error.class(), &q.to_string());
                         }
-                        Err(e) => diag.cache_warn(e.class(), &e.to_string()),
                     }
+                    lpat::vm::FlushOutcome::Failed(e) => {
+                        diag.cache_warn(e.class(), &e.to_string());
+                    }
+                    lpat::vm::FlushOutcome::Skipped => {}
                 }
                 if let Some(p) = profile_out {
                     if let Err(e) = lpat::vm::store::write_profile_file(
@@ -564,9 +571,13 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
             );
             Ok(ExitCode::SUCCESS)
         }
+        "remote" => remote(rest, diag),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: lpatc <compile|opt|link|dis|run|reopt|analyze|size> <inputs> [flags]\n\
+                "usage: lpatc <compile|opt|link|dis|run|reopt|analyze|size|remote> <inputs> [flags]\n\
+                 remote: lpatc remote <ping|run|compile|reopt|stats> [input] --connect ADDR\n\
+                 \x20      [--tenant T] [--fuel N] [--deadline-ms N] [--input a,b,c]\n\
+                 \x20      [-O] [--tiered] [--retries N] [--connect-timeout-ms N] [-o FILE]\n\
                  flags: -o FILE, --emit text|bc, -O/-O2, --link-pipeline,\n\
                  \x20      --jobs N, --verify-each, --time-passes,\n\
                  \x20      --inject-faults PLAN, --no-degrade, --pass-budget-ms N,\n\
@@ -581,6 +592,138 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command '{other}' (try 'lpatc help')")),
+    }
+}
+
+/// `lpatc remote <op> [input] --connect ADDR` — run an op against a
+/// running `lpatd` instead of in-process. `Busy` answers (tenant cap,
+/// shed queue) are retried with bounded exponential backoff, honoring the
+/// server's `retry_after_ms` hint; a still-busy server after the retry
+/// budget exits with a distinct code (3) so scripts can tell "declined"
+/// from "failed".
+fn remote(rest: &[String], diag: &mut Diag) -> Result<ExitCode, String> {
+    use lpat::serve::{Addr, Client, ErrClass, Op, Request, Response, RetryPolicy, FLAG_MINIC};
+
+    let op = match rest.first().map(String::as_str) {
+        Some("ping") => Op::Ping,
+        Some("run") => Op::Run,
+        Some("compile") => Op::Compile,
+        Some("reopt") => Op::Reopt,
+        Some("stats") => Op::Stats,
+        Some(other) => return Err(format!("remote: unknown op '{other}'")),
+        None => return Err("remote: no op (ping|run|compile|reopt|stats)".into()),
+    };
+    let addr = flag_value(rest, "--connect").ok_or("remote: --connect ADDR is required")?;
+    let addr = Addr::parse(addr).map_err(|e| format!("remote: {e}"))?;
+    let connect_timeout = match flag_value(rest, "--connect-timeout-ms") {
+        Some(v) => std::time::Duration::from_millis(
+            v.parse().map_err(|_| "bad --connect-timeout-ms value")?,
+        ),
+        None => std::time::Duration::from_secs(5),
+    };
+    let mut req = Request::new(op);
+    if let Some(t) = flag_value(rest, "--tenant") {
+        req.tenant = t.to_string();
+    }
+    if let Some(f) = flag_value(rest, "--fuel") {
+        req.fuel = f.parse().map_err(|_| "bad --fuel value")?;
+    }
+    if let Some(d) = flag_value(rest, "--deadline-ms") {
+        req.deadline_ms = d.parse().map_err(|_| "bad --deadline-ms value")?;
+    }
+    if let Some(vals) = flag_value(rest, "--input") {
+        for v in vals.split(',') {
+            req.inputs
+                .push(v.trim().parse().map_err(|_| "bad --input value")?);
+        }
+    }
+    if has_flag(rest, "-O") || has_flag(rest, "-O2") {
+        req.flags |= lpat::serve::FLAG_OPT;
+    }
+    if has_flag(rest, "--tiered") {
+        req.flags |= lpat::serve::FLAG_TIERED;
+    }
+    // Ops that carry a module read it from the first non-flag argument
+    // after the op name. The bytes ship raw — the daemon does the
+    // auto-detection — except miniC, which the wire marks with a flag
+    // since filenames don't cross it.
+    if matches!(op, Op::Run | Op::Compile | Op::Reopt) {
+        let input = rest[1..]
+            .iter()
+            .find(|a| !a.starts_with('-') && Some(a.as_str()) != flag_value(rest, "--connect"))
+            .ok_or("remote: no input file")?;
+        req.module = std::fs::read(input.as_str()).map_err(|e| format!("{input}: {e}"))?;
+        req.name = std::path::Path::new(input.as_str())
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("module")
+            .to_string();
+        if input.ends_with(".mc") || input.ends_with(".c") {
+            req.flags |= FLAG_MINIC;
+        }
+    }
+    let mut policy = RetryPolicy::default();
+    if let Some(r) = flag_value(rest, "--retries") {
+        let retries: u32 = r.parse().map_err(|_| "bad --retries value")?;
+        policy.max_attempts = retries + 1;
+    }
+    let mut client = Client::connect(&addr, connect_timeout).map_err(|e| format!("remote: {e}"))?;
+    let resp = client
+        .request_with_retry(&req, &policy)
+        .map_err(|e| format!("remote: {e}"))?;
+    match resp {
+        Response::Ok {
+            exit,
+            insts,
+            cache_hit,
+            output,
+            module,
+        } => {
+            // Program stdout is relayed verbatim; server-generated status
+            // lines (reopt summaries, stats JSON) get a terminating newline
+            // so shell prompts don't glue onto them.
+            let text = String::from_utf8_lossy(&output);
+            if matches!(op, Op::Run) || text.ends_with('\n') || text.is_empty() {
+                print!("{text}");
+            } else {
+                println!("{text}");
+            }
+            if !module.is_empty() {
+                if let Some(p) = flag_value(rest, "-o") {
+                    std::fs::write(p, &module).map_err(|e| format!("-o {p}: {e}"))?;
+                    diag.note(&format!("[remote] wrote {p} ({} bytes)", module.len()));
+                }
+            }
+            if cache_hit {
+                diag.note("[remote] served from reopt cache");
+            }
+            if matches!(op, Op::Run) {
+                diag.note(&format!("[remote exit {exit}; {insts} instructions]"));
+                Ok(ExitCode::from((exit & 0xFF) as u8))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        Response::Err { class, message } => {
+            // Guest traps mirror local `lpatc run` (error text, exit 2 via
+            // the caller); everything else is prefixed with its class so
+            // scripts can dispatch on it.
+            if class == ErrClass::Trap {
+                Err(message)
+            } else {
+                Err(format!("{}: {message}", class.name()))
+            }
+        }
+        Response::Busy {
+            retry_after_ms,
+            reason,
+        } => {
+            diag.warn(&format!(
+                "server busy after {} attempt(s): {reason} (retry_after {retry_after_ms}ms)",
+                policy.max_attempts
+            ));
+            Ok(ExitCode::from(3))
+        }
     }
 }
 

@@ -1,0 +1,159 @@
+//! `lpatd` — the fault-isolated multi-tenant compile-and-run daemon.
+//!
+//! ```text
+//! lpatd [--listen ADDR] [--workers N] [--queue N]
+//!       [--cache-dir DIR] [--shards N]
+//!       [--max-frame-bytes N] [--default-fuel N] [--deadline-ms N]
+//!       [--tenant-inflight N] [--tenant-bytes N] [--tenant-fuel N]
+//!       [--max-requests N] [--inject-faults PLAN] [--quiet]
+//!       [--trace-out FILE] [--metrics-out FILE] [--stats]
+//! ```
+//!
+//! `ADDR` is `tcp:host:port` (port 0 binds an ephemeral port) or
+//! `unix:/path/to.sock`. On startup the daemon prints exactly one line —
+//! `listening on <addr>` with the resolved address — to stdout, so
+//! scripts and tests can discover the ephemeral port. It then serves
+//! until killed, or until `--max-requests N` requests have completed
+//! (tests and benchmarks use this for a clean, trace-flushing exit).
+//!
+//! Every request is fault-isolated: a panicking, hostile, or runaway
+//! request becomes a structured error on its own connection while the
+//! daemon keeps serving everyone else. `--inject-faults` (or the
+//! `LPAT_FAULTS` environment variable) arms the `serve.accept`,
+//! `serve.decode`, `serve.worker`, and `serve.deadline` sites — the same
+//! deterministic fault grammar the optimizer and store use — which is how
+//! CI proves the isolation actually holds.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("lpatd: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    if has_flag(args, "--help") || has_flag(args, "-h") {
+        eprintln!(
+            "usage: lpatd [--listen tcp:host:port|unix:/path] [--workers N] [--queue N]\n\
+             \x20      [--cache-dir DIR] [--shards N] [--max-frame-bytes N]\n\
+             \x20      [--default-fuel N] [--deadline-ms N]\n\
+             \x20      [--tenant-inflight N] [--tenant-bytes N] [--tenant-fuel N]\n\
+             \x20      [--max-requests N] [--inject-faults PLAN] [--quiet]\n\
+             \x20      [--trace-out FILE] [--metrics-out FILE] [--stats]"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    // Install the fault plan before the server starts: the serve.* sites
+    // must see it from the first accepted connection.
+    if let Some(plan) = flag_value(args, "--inject-faults") {
+        let plan =
+            lpat::core::FaultPlan::parse(plan).map_err(|e| format!("--inject-faults: {e}"))?;
+        lpat::core::fault::install(plan);
+    }
+    let trace_out = flag_value(args, "--trace-out").map(str::to_string);
+    let metrics_out = flag_value(args, "--metrics-out").map(str::to_string);
+    let stats = has_flag(args, "--stats");
+    if trace_out.is_some() || metrics_out.is_some() || stats {
+        let mode = match std::env::var("LPAT_TRACE_CLOCK").as_deref() {
+            Ok("virtual") => lpat::core::trace::ClockMode::Virtual,
+            _ => lpat::core::trace::ClockMode::Real,
+        };
+        lpat::core::trace::enable(mode);
+    }
+    let quiet = has_flag(args, "--quiet");
+
+    let mut cfg = lpat::serve::ServerConfig::default();
+    if let Some(a) = flag_value(args, "--listen") {
+        cfg.addr = a.to_string();
+    }
+    if let Some(v) = flag_value(args, "--workers") {
+        cfg.workers = parse(v, "--workers")?;
+        if cfg.workers == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+    }
+    if let Some(v) = flag_value(args, "--queue") {
+        cfg.queue_depth = parse(v, "--queue")?;
+    }
+    if let Some(v) = flag_value(args, "--max-frame-bytes") {
+        cfg.max_frame = parse(v, "--max-frame-bytes")?;
+    }
+    if let Some(v) = flag_value(args, "--default-fuel") {
+        cfg.default_fuel = parse(v, "--default-fuel")?;
+    }
+    if let Some(v) = flag_value(args, "--deadline-ms") {
+        cfg.default_deadline = Duration::from_millis(parse(v, "--deadline-ms")?);
+    }
+    if let Some(v) = flag_value(args, "--tenant-inflight") {
+        cfg.quota.max_inflight = parse(v, "--tenant-inflight")?;
+    }
+    if let Some(v) = flag_value(args, "--tenant-bytes") {
+        cfg.quota.max_bytes = parse(v, "--tenant-bytes")?;
+    }
+    if let Some(v) = flag_value(args, "--tenant-fuel") {
+        cfg.quota.max_fuel = parse(v, "--tenant-fuel")?;
+    }
+    if let Some(v) = flag_value(args, "--max-requests") {
+        cfg.max_requests = Some(parse(v, "--max-requests")?);
+    }
+    if let Some(v) = flag_value(args, "--shards") {
+        cfg.shards = parse(v, "--shards")?;
+    }
+    cfg.cache_dir = flag_value(args, "--cache-dir")
+        .map(str::to_string)
+        .or_else(|| std::env::var("LPAT_CACHE_DIR").ok())
+        .map(Into::into);
+
+    let server = lpat::serve::Server::bind(cfg)?;
+    let addr = server.local_addr();
+    // The one machine-readable startup line; tests parse the port off it.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if !quiet {
+        eprintln!("lpatd: serving (ctrl-c to stop)");
+    }
+    server.run();
+    if !quiet {
+        eprintln!("lpatd: shut down cleanly");
+    }
+    // Export the trace only after the pool has drained so every request
+    // span and serve.* counter is in the file.
+    if trace_out.is_some() || metrics_out.is_some() || stats {
+        let data = lpat::core::trace::drain();
+        if let Some(p) = &trace_out {
+            std::fs::write(p, data.to_chrome_json())
+                .map_err(|e| format!("--trace-out {p}: {e}"))?;
+        }
+        if let Some(p) = &metrics_out {
+            std::fs::write(p, data.to_metrics_json())
+                .map_err(|e| format!("--metrics-out {p}: {e}"))?;
+        }
+        if stats {
+            eprint!("{}", data.render_stats());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad {flag} value '{v}'"))
+}
+
+fn has_flag(args: &[String], f: &str) -> bool {
+    args.iter().any(|a| a == f)
+}
+
+fn flag_value<'a>(args: &'a [String], f: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == f)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

@@ -21,6 +21,7 @@
 //! | [`vm`] | `lpat-vm` | execution engine, EH runtime, profiling, PGO |
 //! | [`codegen`] | `lpat-codegen` | cisc32/risc32 native-code size models |
 //! | [`minic`] | `lpat-minic` | the miniC front-end |
+//! | [`serve`] | `lpat-serve` | `lpatd`: the multi-tenant compile-and-run daemon |
 //! | [`workloads`] | `lpat-workloads` | the SPEC-shaped benchmark suite |
 //!
 //! # The whole lifecycle in one example
@@ -65,6 +66,7 @@ pub use lpat_codegen as codegen;
 pub use lpat_core as core;
 pub use lpat_linker as linker;
 pub use lpat_minic as minic;
+pub use lpat_serve as serve;
 pub use lpat_transform as transform;
 pub use lpat_vm as vm;
 pub use lpat_workloads as workloads;

@@ -1,0 +1,610 @@
+//! Integration tests for `lpatd` — the fault-isolated multi-tenant
+//! daemon (`lpat::serve`).
+//!
+//! Three layers of evidence:
+//!
+//! 1. **Protocol robustness**: a fuzzer throws truncated, oversized, and
+//!    SplitMix64-mutated frames at a live server over a real socket; the
+//!    server must never die and a well-formed request must still succeed
+//!    afterwards.
+//! 2. **Fault-site matrix** (subprocess): `lpatd` is started with an
+//!    injected fault at each `serve.*` site in turn — a panic in the
+//!    accept path, the decoder, the worker pipeline, and a forced
+//!    deadline expiry — and must answer the faulted request with a
+//!    structured error (or drop that one connection) while *subsequent*
+//!    requests succeed. CI fans one leg per site via `LPAT_SERVE_MATRIX`.
+//! 3. **Multi-tenant isolation**: two tenants hammer the same module
+//!    hash concurrently through the sharded store — no quarantine
+//!    storms, an order-independent saturating merge, and deterministic
+//!    per-tenant quota rejection.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use lpat::serve::{
+    encode_request, Addr, Client, ErrClass, Op, Request, Response, RetryPolicy, Server,
+    ServerConfig,
+};
+
+const ADD_PROG: &str = "\
+define int @main() {
+entry:
+  %a = add int 40, 2
+  ret int %a
+}
+";
+
+/// ~6M executed instructions: long enough to occupy a worker for an
+/// observable window, short enough to finish promptly.
+const SLOW_PROG: &str = "\
+define int @main() {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %i2, %loop ]
+  %i2 = add int %i, 1
+  %c = setlt int %i2, 1500000
+  br bool %c, label %loop, label %done
+done:
+  ret int 0
+}
+";
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run_request(module: &str) -> Request {
+    let mut req = Request::new(Op::Run);
+    req.module = module.as_bytes().to_vec();
+    req
+}
+
+fn connect(addr: &Addr) -> Client {
+    Client::connect(addr, Duration::from_secs(10)).expect("connect")
+}
+
+fn expect_ok(resp: &Response) -> (i32, &[u8]) {
+    match resp {
+        Response::Ok { exit, output, .. } => (*exit, output.as_slice()),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Protocol robustness: socket-level fuzzing against a live server.
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 — tiny deterministic PRNG, no dependencies.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn raw_tcp(addr: &Addr) -> TcpStream {
+    let Addr::Tcp(hp) = addr else {
+        panic!("fuzz test uses tcp")
+    };
+    let s = TcpStream::connect(hp.as_str()).expect("raw connect");
+    s.set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    s
+}
+
+#[test]
+fn fuzzed_frames_never_kill_the_server() {
+    let h = Server::bind(ServerConfig::default()).unwrap().start();
+    let mut rng = SplitMix64(0x5EED_CAFE);
+    let good = encode_request(&run_request(ADD_PROG));
+
+    for round in 0..60 {
+        let mut s = raw_tcp(h.addr());
+        match round % 4 {
+            // Truncated frame: a valid header promising more than we send.
+            0 => {
+                let cut = 1 + rng.below(good.len() as u64 - 1) as usize;
+                let mut buf = (good.len() as u32).to_le_bytes().to_vec();
+                buf.extend_from_slice(&good[..cut]);
+                let _ = s.write_all(&buf);
+                // Close mid-frame; the server must just drop us.
+            }
+            // Hostile length prefix: enormous, zero, or random.
+            1 => {
+                let len: u32 = match rng.below(3) {
+                    0 => u32::MAX,
+                    1 => 0,
+                    _ => rng.next() as u32,
+                };
+                let mut buf = len.to_le_bytes().to_vec();
+                buf.extend_from_slice(&good[..good.len().min(32)]);
+                let _ = s.write_all(&buf);
+                // A bad length answers a Decode error and closes, or just
+                // closes; either way the next connection must work.
+                let mut sink = Vec::new();
+                let _ = s.read_to_end(&mut sink);
+            }
+            // Mutated payload: correct framing, N corrupted bytes inside.
+            2 => {
+                let mut payload = good.clone();
+                for _ in 0..1 + rng.below(8) {
+                    let i = rng.below(payload.len() as u64) as usize;
+                    payload[i] ^= (rng.next() as u8) | 1;
+                }
+                let mut buf = (payload.len() as u32).to_le_bytes().to_vec();
+                buf.extend_from_slice(&payload);
+                let _ = s.write_all(&buf);
+                let mut sink = Vec::new();
+                let _ = s.read_to_end(&mut sink);
+            }
+            // Pure garbage, no framing discipline at all.
+            _ => {
+                let n = 1 + rng.below(256) as usize;
+                let garbage: Vec<u8> = (0..n).map(|_| rng.next() as u8).collect();
+                let _ = s.write_all(&garbage);
+                let mut sink = Vec::new();
+                let _ = s.read_to_end(&mut sink);
+            }
+        }
+        drop(s);
+        // The invariant under fuzz: after every hostile exchange, a
+        // well-formed request on a fresh connection succeeds.
+        if round % 10 == 9 {
+            let mut c = connect(h.addr());
+            let resp = c.request(&run_request(ADD_PROG)).expect("server died");
+            assert_eq!(expect_ok(&resp).0, 42);
+        }
+    }
+    let mut c = connect(h.addr());
+    let resp = c.request(&Request::new(Op::Ping)).unwrap();
+    assert_eq!(expect_ok(&resp).1, b"pong");
+    h.stop();
+}
+
+#[test]
+fn oversized_frame_is_rejected_before_allocation() {
+    let cfg = ServerConfig {
+        max_frame: 1024,
+        ..Default::default()
+    };
+    let h = Server::bind(cfg).unwrap().start();
+    let mut s = raw_tcp(h.addr());
+    // Claim a 512 MiB frame; the server must answer/close without ever
+    // allocating it (if it tried, CI memory limits would notice).
+    s.write_all(&(512u32 << 20).to_le_bytes()).unwrap();
+    let mut sink = Vec::new();
+    let _ = s.read_to_end(&mut sink);
+    drop(s);
+    let mut c = connect(h.addr());
+    assert!(matches!(
+        c.request(&Request::new(Op::Ping)).unwrap(),
+        Response::Ok { .. }
+    ));
+    h.stop();
+}
+
+// ---------------------------------------------------------------------------
+// 2. Fault-site matrix: subprocess lpatd with injected serve.* faults.
+// ---------------------------------------------------------------------------
+
+struct Daemon {
+    child: Child,
+    addr: Addr,
+}
+
+impl Daemon {
+    /// Spawn `lpatd`, wait for its `listening on <addr>` line, parse it.
+    fn spawn(extra_args: &[&str], faults: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_lpatd"));
+        cmd.args(["--listen", "tcp:127.0.0.1:0", "--quiet"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(p) = faults {
+            cmd.env("LPAT_FAULTS", p);
+        }
+        let mut child = cmd.spawn().expect("spawn lpatd");
+        let mut line = String::new();
+        {
+            let stdout = child.stdout.as_mut().unwrap();
+            let mut one = [0u8; 1];
+            while stdout.read(&mut one).unwrap() == 1 {
+                if one[0] == b'\n' {
+                    break;
+                }
+                line.push(one[0] as char);
+            }
+        }
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("bad startup line: {line:?}"))
+            .trim()
+            .to_string();
+        Daemon {
+            child,
+            addr: Addr::parse(&addr).unwrap(),
+        }
+    }
+
+    fn alive(&mut self) -> bool {
+        self.child.try_wait().unwrap().is_none()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Fault-matrix legs: CI runs one per job via `LPAT_SERVE_MATRIX=<site>`;
+/// locally all run.
+fn matrix_sites() -> Vec<String> {
+    match std::env::var("LPAT_SERVE_MATRIX") {
+        Ok(v) if !v.trim().is_empty() => v.split(',').map(|s| s.trim().to_string()).collect(),
+        _ => vec![
+            "serve.accept".into(),
+            "serve.decode".into(),
+            "serve.worker".into(),
+            "serve.deadline".into(),
+        ],
+    }
+}
+
+#[test]
+fn daemon_survives_a_fault_at_every_serve_site() {
+    for site in matrix_sites() {
+        // panic for the catch_unwind sites; the deadline site uses
+        // `corrupt` (forced expiry) — its panic leg is the worker's.
+        let (action, expected) = match site.as_str() {
+            "serve.accept" => ("panic", None), // connection dies, no response
+            "serve.decode" => ("panic", Some(ErrClass::Panic)),
+            "serve.worker" => ("panic", Some(ErrClass::Panic)),
+            "serve.deadline" => ("corrupt", Some(ErrClass::Deadline)),
+            other => panic!("unknown serve site {other}"),
+        };
+        let plan = format!("{site}:{action}@1");
+        let mut d = Daemon::spawn(&[], Some(&plan));
+
+        // Request 1 takes the injected fault.
+        match Client::connect(&d.addr, Duration::from_secs(10)) {
+            Ok(mut c) => match c.request(&run_request(ADD_PROG)) {
+                Ok(resp) => match (expected, resp) {
+                    (Some(class), Response::Err { class: got, .. }) => assert_eq!(
+                        got, class,
+                        "{site}: wrong error class for the faulted request"
+                    ),
+                    (None, other) => {
+                        panic!("{site}: expected dropped connection, got {other:?}")
+                    }
+                    (Some(c), other) => panic!("{site}: expected Err({c:?}), got {other:?}"),
+                },
+                Err(_) => assert!(
+                    expected.is_none(),
+                    "{site}: connection died but a structured error was expected"
+                ),
+            },
+            Err(_) => assert!(
+                expected.is_none(),
+                "{site}: could not even connect, expected a structured error"
+            ),
+        }
+
+        // The daemon must still be alive and request 2 must succeed.
+        assert!(d.alive(), "{site}: daemon process died");
+        let mut c = connect(&d.addr);
+        let resp = c
+            .request(&run_request(ADD_PROG))
+            .unwrap_or_else(|e| panic!("{site}: daemon stopped serving: {e}"));
+        assert_eq!(expect_ok(&resp).0, 42, "{site}: wrong answer after fault");
+        // And a third, through the whole pipeline again, for good measure.
+        let resp = c.request(&Request::new(Op::Ping)).unwrap();
+        assert_eq!(expect_ok(&resp).1, b"pong");
+    }
+}
+
+#[test]
+fn worker_delay_fault_trips_the_request_deadline() {
+    // A worker stalled mid-request (delay fault) must burn only ITS
+    // client's deadline; the daemon then serves the next request.
+    let mut d = Daemon::spawn(&["--workers", "2"], Some("serve.worker:delay=600@1"));
+    let mut c = connect(&d.addr);
+    let mut req = run_request(ADD_PROG);
+    req.deadline_ms = 150;
+    match c.request(&req).unwrap() {
+        Response::Err { class, .. } => assert_eq!(class, ErrClass::Deadline),
+        other => panic!("expected deadline expiry, got {other:?}"),
+    }
+    assert!(d.alive());
+    let resp = connect(&d.addr).request(&run_request(ADD_PROG)).unwrap();
+    assert_eq!(expect_ok(&resp).0, 42);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Multi-tenant isolation and quotas.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn two_tenants_hammering_one_module_hash_is_clean() {
+    let cache = tmp("mt-cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let cfg = ServerConfig {
+        cache_dir: Some(cache.clone()),
+        shards: 8,
+        workers: 4,
+        ..Default::default()
+    };
+    let h = Server::bind(cfg).unwrap().start();
+    let addr = h.addr().clone();
+
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 5;
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let addr = addr.clone();
+        joins.push(std::thread::spawn(move || {
+            let tenant = if t % 2 == 0 { "alice" } else { "bob" };
+            let mut c = connect(&addr);
+            let mut ok = 0u64;
+            for _ in 0..PER_THREAD {
+                let mut req = run_request(ADD_PROG);
+                req.tenant = tenant.into();
+                match c
+                    .request_with_retry(&req, &RetryPolicy::default())
+                    .expect("protocol error")
+                {
+                    Response::Ok { exit, .. } => {
+                        assert_eq!(exit, 42);
+                        ok += 1;
+                    }
+                    Response::Busy { .. } => {} // shed under load: acceptable, uncounted
+                    Response::Err { class, message } => {
+                        panic!("tenant {tenant}: unexpected error {class:?}: {message}")
+                    }
+                }
+            }
+            ok
+        }));
+    }
+    let total_ok: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert!(total_ok > 0);
+    h.stop();
+
+    // No quarantine storm: concurrent same-hash flushes went through the
+    // shard lock, so no store file was ever read half-written.
+    let mut corrupt = Vec::new();
+    for entry in walk(&cache) {
+        if entry.to_string_lossy().contains(".corrupt-") {
+            corrupt.push(entry);
+        }
+    }
+    assert!(
+        corrupt.is_empty(),
+        "quarantined files after concurrent runs: {corrupt:?}"
+    );
+
+    // Order-independent merge: the stored lifetime profile counted every
+    // successful run exactly once, regardless of interleaving.
+    let m = lpat::asm::parse_module("module", ADD_PROG).unwrap();
+    let hash = lpat::vm::module_hash(&m);
+    let store = lpat::serve::ShardedStore::open(&cache, 8).unwrap();
+    let loaded = store.shard(hash).load_profile(hash).unwrap();
+    assert!(loaded.quarantined.is_empty());
+    let sp = loaded.value.expect("profile must exist");
+    assert_eq!(
+        sp.runs, total_ok,
+        "stored run count disagrees with successful responses"
+    );
+}
+
+fn walk(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for e in rd.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            out.extend(walk(&p));
+        } else {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[test]
+fn per_tenant_quota_rejection_is_deterministic_under_load() {
+    let mut cfg = ServerConfig::default();
+    cfg.quota.max_bytes = 64;
+    let h = Server::bind(cfg).unwrap().start();
+    let addr = h.addr().clone();
+    // From several threads at once: an oversized payload is ALWAYS Quota
+    // (deterministic), never Busy, never load-dependent.
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let addr = addr.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut c = connect(&addr);
+            for _ in 0..10 {
+                let mut req = run_request(ADD_PROG);
+                req.module = vec![b'x'; 4096];
+                match c.request(&req).unwrap() {
+                    Response::Err { class, .. } => assert_eq!(class, ErrClass::Quota),
+                    other => panic!("expected deterministic Quota, got {other:?}"),
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    // Within-quota requests still work afterwards.
+    let resp = connect(&addr).request(&run_request(ADD_PROG)).unwrap();
+    assert_eq!(expect_ok(&resp).0, 42);
+    h.stop();
+}
+
+#[test]
+fn full_queue_sheds_busy_and_retry_eventually_succeeds() {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..Default::default()
+    };
+    let h = Server::bind(cfg).unwrap().start();
+    let addr = h.addr().clone();
+
+    // Saturate: several concurrent slow requests against 1 worker + 1
+    // queue slot. Some must be shed with Busy (bounded memory), and a
+    // retrying client must eventually get through.
+    let mut joins = Vec::new();
+    for _ in 0..6 {
+        let addr = addr.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut c = connect(&addr);
+            match c.request(&run_request(SLOW_PROG)).unwrap() {
+                Response::Ok { exit, .. } => {
+                    assert_eq!(exit, 0);
+                    (1u32, 0u32)
+                }
+                Response::Busy { .. } => (0, 1),
+                Response::Err { class, message } => {
+                    panic!("unexpected error {class:?}: {message}")
+                }
+            }
+        }));
+    }
+    let (mut ok, mut busy) = (0, 0);
+    for j in joins {
+        let (o, b) = j.join().unwrap();
+        ok += o;
+        busy += b;
+    }
+    assert!(ok >= 1, "nobody got through a saturated server");
+    assert!(busy >= 1, "expected at least one Busy shed (ok={ok})");
+
+    // A patient client retries Busy with backoff and lands.
+    let mut c = connect(&addr);
+    let policy = RetryPolicy {
+        max_attempts: 20,
+        base: Duration::from_millis(25),
+        cap: Duration::from_millis(200),
+    };
+    let resp = c
+        .request_with_retry(&run_request(ADD_PROG), &policy)
+        .unwrap();
+    assert_eq!(expect_ok(&resp).0, 42);
+    h.stop();
+}
+
+// ---------------------------------------------------------------------------
+// 4. The lifelong loop over the wire, and the lpatc remote client.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn run_reopt_run_closes_the_lifelong_loop_over_the_wire() {
+    let cache = tmp("loop-cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let mut d = Daemon::spawn(&["--cache-dir", cache.to_str().unwrap()], None);
+    let mut c = connect(&d.addr);
+    // Run once (records a profile), reopt (consumes it, caches the
+    // module), run again (must be a cache hit).
+    let resp = c.request(&run_request(ADD_PROG)).unwrap();
+    assert_eq!(expect_ok(&resp).0, 42);
+    let mut reopt = run_request(ADD_PROG);
+    reopt.op = Op::Reopt;
+    match c.request(&reopt).unwrap() {
+        Response::Ok { module, output, .. } => {
+            assert!(module.starts_with(b"LPAT"), "reopt returns bytecode");
+            assert!(String::from_utf8_lossy(&output).contains("reopt:"));
+        }
+        other => panic!("reopt failed: {other:?}"),
+    }
+    match c.request(&run_request(ADD_PROG)).unwrap() {
+        Response::Ok {
+            exit, cache_hit, ..
+        } => {
+            assert_eq!(exit, 42);
+            assert!(cache_hit, "second run must hit the reopt cache");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert!(d.alive());
+}
+
+#[test]
+fn lpatc_remote_run_and_compile_roundtrip() {
+    let mut d = Daemon::spawn(&[], None);
+    let addr = d.addr.to_string();
+    let src = tmp("remote-add.ll");
+    std::fs::write(&src, ADD_PROG).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_lpatc"))
+        .args(["remote", "run", src.to_str().unwrap(), "--connect", &addr])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(42),
+        "remote run exit: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let bc = tmp("remote-add.bc");
+    let out = Command::new(env!("CARGO_BIN_EXE_lpatc"))
+        .args([
+            "remote",
+            "compile",
+            src.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "-O",
+            "-o",
+            bc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "remote compile: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&bc).unwrap();
+    assert!(bytes.starts_with(b"LPAT"), "compile must return bytecode");
+    assert!(d.alive());
+
+    // A connect to a dead address must fail fast (bounded), not hang.
+    let t0 = std::time::Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_lpatc"))
+        .args([
+            "remote",
+            "ping",
+            "--connect",
+            "tcp:127.0.0.1:1",
+            "--connect-timeout-ms",
+            "300",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "connect timeout not honored"
+    );
+}
