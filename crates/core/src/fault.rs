@@ -24,16 +24,24 @@
 //!   tier engine (`jit.translate` — fail a function's translation;
 //!   `tier.deopt` — panic during deopt frame reconstruction, demoting
 //!   the function), speculation (`spec.guard` — force a guard check
-//!   to fail; `delay` sleeps and then honors the real condition), and
-//!   the `lpatd` daemon (`serve.accept`, `serve.decode`, `serve.worker`,
+//!   to fail; `delay` sleeps and then honors the real condition), the
+//!   `lpatd` daemon (`serve.accept`, `serve.decode`, `serve.worker`,
 //!   `serve.deadline` — one per layer of the request path; each must be
-//!   absorbed as a structured per-request error, never a daemon crash).
-//! * `action` — `panic` (the site panics), `delay=50ms` (the site sleeps,
-//!   blowing any per-pass wall-clock budget), `corrupt` (the pass
-//!   manager breaks the module *after* the pass runs, simulating a
-//!   miscompiling pass for `--verify-each` to catch; store writes flip a
-//!   payload byte before it reaches disk), or `io` (store sites fail with
-//!   a synthetic I/O error).
+//!   absorbed as a structured per-request error, never a daemon crash),
+//!   and the store's write-ahead journal (`store.journal` — hit once per
+//!   step of a journaled write, in order: 1 intent append, 2 temp write,
+//!   3 temp fsync, 4 rename, 5 commit append; `@N` therefore selects the
+//!   exact crash point, and `delay=...@N` plus an external SIGKILL is how
+//!   the chaos tests park a worker *between* two durability steps).
+//! * `action` — `panic` (the site panics), `abort` (the site calls
+//!   `std::process::abort()`, modeling a stack smash or allocator abort
+//!   that no `catch_unwind` can absorb — only process-level supervision
+//!   survives it), `delay=50ms` (the site sleeps, blowing any per-pass
+//!   wall-clock budget), `corrupt` (the pass manager breaks the module
+//!   *after* the pass runs, simulating a miscompiling pass for
+//!   `--verify-each` to catch; store writes flip a payload byte before it
+//!   reaches disk), or `io` (store sites fail with a synthetic I/O
+//!   error).
 //! * `@N` — fire only on the N-th hit of the site (1-based). Without it
 //!   the spec fires on every hit.
 //!
@@ -68,6 +76,14 @@ pub enum FaultAction {
     /// The site fails with a synthetic I/O error (store sites only:
     /// exercises write-failure recovery; a no-op at compute sites).
     Io,
+    /// The site calls [`std::process::abort`] — an unrecoverable,
+    /// un-unwindable death that only process-level supervision (the
+    /// `lpatd --isolate process` worker pool) can absorb. Fired directly
+    /// inside [`FaultPlan::next`] so every existing site is abort-capable
+    /// without per-site handling; the parallel [`FaultPlan::fires_at`]
+    /// path intentionally does *not* abort (callers there treat it as
+    /// [`FaultAction::Panic`]).
+    Abort,
 }
 
 /// One `site:action[@N]` entry of a plan.
@@ -120,6 +136,7 @@ impl FaultPlan {
                 "panic" => FaultAction::Panic,
                 "corrupt" => FaultAction::Corrupt,
                 "io" => FaultAction::Io,
+                "abort" => FaultAction::Abort,
                 other => match other.strip_prefix("delay=") {
                     Some(d) => FaultAction::Delay(parse_duration(d).ok_or_else(|| {
                         format!("fault spec '{part}': bad delay '{d}' (try 50ms or 1s)")
@@ -127,7 +144,7 @@ impl FaultPlan {
                     None => {
                         return Err(format!(
                             "fault spec '{part}': unknown action '{other}' \
-                             (panic, delay=<ms>, corrupt, io)"
+                             (panic, abort, delay=<ms>, corrupt, io)"
                         ))
                     }
                 },
@@ -164,7 +181,15 @@ impl FaultPlan {
             *c += 1;
             *c
         };
-        self.fires_at(site, ordinal)
+        let action = self.fires_at(site, ordinal);
+        if action == Some(FaultAction::Abort) {
+            // Abort is executed here, not returned: that makes every site
+            // abort-capable without any caller knowing the variant exists,
+            // and guarantees no `catch_unwind` between the site and the
+            // death can dampen it.
+            std::process::abort();
+        }
+        action
     }
 
     /// Reserve `n` consecutive ordinals of `site` for a parallel stage and
@@ -271,6 +296,14 @@ mod tests {
                     at: None,
                 },
             ]
+        );
+        assert_eq!(
+            FaultPlan::parse("serve.worker:abort@3").unwrap().specs(),
+            &[FaultSpec {
+                site: "serve.worker".into(),
+                action: FaultAction::Abort,
+                at: Some(3),
+            }]
         );
         assert!(FaultPlan::parse("gvn").is_err());
         assert!(FaultPlan::parse("gvn:explode").is_err());

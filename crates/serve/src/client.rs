@@ -21,6 +21,11 @@ pub struct RetryPolicy {
     pub base: Duration,
     /// Backoff ceiling.
     pub cap: Duration,
+    /// Jitter seed. `None` derives one from the process id and an
+    /// in-process counter; fix it for reproducible retry timing in
+    /// tests. Jitter de-synchronizes clients that all got shed by the
+    /// same overload spike, so they don't stampede back in lockstep.
+    pub seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -29,8 +34,45 @@ impl Default for RetryPolicy {
             max_attempts: 5,
             base: Duration::from_millis(25),
             cap: Duration::from_millis(400),
+            seed: None,
         }
     }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (0-based), given the
+    /// server's `retry_after` hint: the larger of hint and exponential
+    /// backoff, stretched by up to +50% of deterministic SplitMix64
+    /// jitter drawn from `seed`.
+    pub fn delay(&self, attempt: u32, hinted: Duration, seed: u64) -> Duration {
+        let backoff = backoff_delay(self.base, attempt, self.cap);
+        let d = hinted.max(backoff);
+        // Uniform in [d, d + d/2): enough spread to break retry
+        // convoys, never shorter than what the server asked for.
+        let r = splitmix64(seed.wrapping_add(u64::from(attempt)));
+        let extra_ns = (d.as_nanos() as u64 / 2)
+            .checked_mul(r >> 32)
+            .map(|x| x >> 32);
+        d + Duration::from_nanos(extra_ns.unwrap_or(0))
+    }
+}
+
+/// SplitMix64: a tiny, high-quality mixer — one multiply-xor-shift chain
+/// per draw, no state beyond the input. Plenty for retry jitter.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-process counter so two retry loops in one process jitter
+/// differently even with identical policies.
+fn derived_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    splitmix64((u64::from(std::process::id()) << 32) | n)
 }
 
 /// A connected client. One request is in flight at a time (the protocol
@@ -111,7 +153,8 @@ impl Client {
     /// Send a request, retrying `Busy` responses per `policy`. Each retry
     /// waits the larger of the server's `retry_after_ms` hint and the
     /// policy's exponential backoff — the server knows its load, the
-    /// client knows its patience; respect both.
+    /// client knows its patience; respect both — plus up to +50%
+    /// SplitMix64 jitter so shed clients don't return in lockstep.
     ///
     /// # Errors
     ///
@@ -124,16 +167,55 @@ impl Client {
         policy: &RetryPolicy,
     ) -> Result<Response, ProtoError> {
         let attempts = policy.max_attempts.max(1);
+        let seed = policy.seed.unwrap_or_else(derived_seed);
         let mut last = self.request(req)?;
         for attempt in 0..attempts.saturating_sub(1) {
             let Response::Busy { retry_after_ms, .. } = last else {
                 return Ok(last);
             };
             let hinted = Duration::from_millis(u64::from(retry_after_ms));
-            let backoff = backoff_delay(policy.base, attempt, policy.cap);
-            std::thread::sleep(hinted.max(backoff));
+            std::thread::sleep(policy.delay(attempt, hinted, seed));
             last = self.request(req)?;
         }
         Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jittered_delay_is_deterministic_bounded_and_spread() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(1),
+            ..RetryPolicy::default()
+        };
+        let hint = Duration::from_millis(50);
+        // Deterministic in (attempt, hint, seed).
+        assert_eq!(policy.delay(0, hint, 42), policy.delay(0, hint, 42));
+        // Never below the un-jittered floor, never 1.5x past it.
+        for seed in 0..64u64 {
+            for attempt in 0..4 {
+                let floor = backoff_delay(policy.base, attempt, policy.cap).max(hint);
+                let d = policy.delay(attempt, hint, seed);
+                assert!(
+                    d >= floor,
+                    "attempt {attempt} seed {seed}: {d:?} < {floor:?}"
+                );
+                assert!(
+                    d <= floor + floor / 2 + Duration::from_nanos(1),
+                    "attempt {attempt} seed {seed}: {d:?} too large"
+                );
+            }
+        }
+        // Different seeds actually spread (not all equal).
+        let spread: std::collections::HashSet<Duration> =
+            (0..16).map(|s| policy.delay(0, hint, s)).collect();
+        assert!(spread.len() > 8, "jitter barely varies: {spread:?}");
+        // The server's hint still dominates a small backoff.
+        let big_hint = Duration::from_secs(2);
+        assert!(policy.delay(0, big_hint, 7) >= big_hint);
     }
 }

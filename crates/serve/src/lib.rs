@@ -24,8 +24,15 @@
 //!   cooperative deadlines. Fault sites `serve.accept`, `serve.decode`,
 //!   `serve.worker`, `serve.deadline` hook [`lpat_core::fault`] for the
 //!   CI fault matrix.
+//! - [`worker`] — the crash-only layer: `--isolate process` runs each
+//!   request in a pooled `lpatd --worker` subprocess under a supervisor,
+//!   so aborts, OOM kills, and `kill -9` cost one worker, not the daemon;
+//!   a per-payload crash-loop breaker quarantines modules that keep
+//!   killing workers.
+//! - [`signal`] — dependency-free SIGTERM/SIGINT handling that turns
+//!   termination signals into a graceful drain.
 //! - [`client`] — connect-with-timeout, one-shot requests, and bounded
-//!   exponential-backoff retry of `Busy` answers.
+//!   jittered exponential-backoff retry of `Busy` answers.
 
 #![warn(missing_docs)]
 
@@ -35,6 +42,8 @@ pub mod net;
 pub mod proto;
 pub mod server;
 pub mod shard;
+pub mod signal;
+pub mod worker;
 
 pub use admission::{Admission, AdmitError, BoundedQueue, InflightGuard, TenantQuota};
 pub use client::{Client, RetryPolicy};
@@ -43,5 +52,6 @@ pub use proto::{
     write_frame, Addr, ErrClass, Op, ProtoError, Request, Response, DEFAULT_MAX_FRAME, FLAG_MINIC,
     FLAG_OPT, FLAG_TIERED,
 };
-pub use server::{Handle, Server, ServerConfig, ServerStats};
+pub use server::{Engine, Handle, Server, ServerConfig, ServerStats};
 pub use shard::ShardedStore;
+pub use worker::{run_worker_stdio, Isolation};

@@ -160,6 +160,14 @@ pub enum ErrClass {
     Unsupported,
     /// Anything else that went wrong server-side.
     Internal,
+    /// The worker *process* serving the request died (abort, stack
+    /// smash, OOM kill, SIGKILL). The request's fate is unknown; the
+    /// daemon itself kept serving. Retrying the same payload may trip
+    /// the crash-loop breaker.
+    Crashed,
+    /// The payload is denylisted: it crashed workers K times within the
+    /// breaker window and is refused without being run.
+    Quarantined,
 }
 
 impl ErrClass {
@@ -174,6 +182,8 @@ impl ErrClass {
             ErrClass::Trap => "trap",
             ErrClass::Unsupported => "unsupported",
             ErrClass::Internal => "internal",
+            ErrClass::Crashed => "crashed",
+            ErrClass::Quarantined => "quarantined",
         }
     }
 
@@ -187,6 +197,8 @@ impl ErrClass {
             "trap" => ErrClass::Trap,
             "unsupported" => ErrClass::Unsupported,
             "internal" => ErrClass::Internal,
+            "crashed" => ErrClass::Crashed,
+            "quarantined" => ErrClass::Quarantined,
             _ => return None,
         })
     }

@@ -41,6 +41,8 @@ use lpat_core::{faultpoint, trace, Module};
 use lpat_vm::store::{FlushGuard, FlushOutcome};
 use lpat_vm::{module_hash, reoptimize, ExecError, PgoOptions, ProfileData, Vm, VmOptions};
 
+use lpat_core::hash::fnv1a64;
+
 use crate::admission::{Admission, BoundedQueue, InflightGuard, TenantQuota};
 use crate::net::{Conn, Listener};
 use crate::proto::{
@@ -48,6 +50,8 @@ use crate::proto::{
     Request, Response, DEFAULT_MAX_FRAME, FLAG_MINIC, FLAG_OPT, FLAG_TIERED,
 };
 use crate::shard::ShardedStore;
+use crate::signal;
+use crate::worker::{respawn_backoff, CrashBreaker, Dispatch, Isolation, ProcWorker};
 
 /// Server configuration; every knob has a safe default.
 #[derive(Clone, Debug)]
@@ -78,6 +82,26 @@ pub struct ServerConfig {
     /// shutdown. Small values make shutdown prompt; this is *not* a
     /// client-visible timeout.
     pub idle_poll: Duration,
+    /// Worker isolation: in-process threads (default) or pooled
+    /// re-exec'd `lpatd --worker` subprocesses under a supervisor.
+    pub isolate: Isolation,
+    /// Binary to re-exec for process workers. `None` uses
+    /// `std::env::current_exe()` — correct when the server *is* `lpatd`.
+    pub worker_cmd: Option<std::path::PathBuf>,
+    /// Extra argv appended to worker subprocesses (e.g. a fault plan
+    /// that must arm inside workers rather than in the daemon).
+    pub worker_args: Vec<String>,
+    /// Base delay of the supervisor's exponential respawn backoff
+    /// (doubles per consecutive crash, capped internally).
+    pub restart_backoff: Duration,
+    /// Watchdog slack past a request's deadline before a silent worker
+    /// is declared wedged and hard-killed.
+    pub watchdog_grace: Duration,
+    /// Crash-loop breaker: worker crashes charged to one payload hash
+    /// within [`ServerConfig::crash_window`] before it is quarantined.
+    pub crash_k: u32,
+    /// Crash-loop breaker window.
+    pub crash_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +118,13 @@ impl Default for ServerConfig {
             shards: 16,
             max_requests: None,
             idle_poll: Duration::from_millis(50),
+            isolate: Isolation::Thread,
+            worker_cmd: None,
+            worker_args: Vec::new(),
+            restart_backoff: Duration::from_millis(50),
+            watchdog_grace: Duration::from_millis(500),
+            crash_k: 3,
+            crash_window: Duration::from_secs(300),
         }
     }
 }
@@ -132,6 +163,20 @@ pub struct ServerStats {
     pub cache_hits: AtomicU64,
     /// Run requests that missed the reopt cache (store configured).
     pub cache_misses: AtomicU64,
+    /// Worker subprocesses that died mid-request or between requests
+    /// (process isolation only).
+    pub worker_crashes: AtomicU64,
+    /// Worker subprocesses respawned by the supervisor after a crash or
+    /// watchdog kill.
+    pub worker_restarts: AtomicU64,
+    /// Wedged workers hard-killed by the per-request watchdog.
+    pub watchdog_kills: AtomicU64,
+    /// Requests refused because their payload hash is crash-loop
+    /// quarantined.
+    pub quarantined: AtomicU64,
+    /// Live worker-subprocess pids by slot (0 = slot currently empty /
+    /// thread isolation). Chaos tests read these to aim `kill -9`.
+    pub worker_pids: std::sync::Mutex<Vec<u64>>,
 }
 
 impl ServerStats {
@@ -144,6 +189,13 @@ impl ServerStats {
     /// response body; `servebench` scrapes it).
     pub fn render_json(&self) -> String {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let pids = {
+            let v = self.worker_pids.lock().unwrap_or_else(|e| e.into_inner());
+            v.iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         format!(
             concat!(
                 "{{\"schema\":\"lpat-serve-stats/v1\",",
@@ -152,7 +204,10 @@ impl ServerStats {
                 "\"shed_queue\":{},\"busy_tenant\":{},\"quota_rejected\":{},",
                 "\"decode_errors\":{},\"panics_isolated\":{},",
                 "\"deadline_expired\":{},\"traps\":{},",
-                "\"cache_hits\":{},\"cache_misses\":{}}}"
+                "\"cache_hits\":{},\"cache_misses\":{},",
+                "\"worker_crashes\":{},\"worker_restarts\":{},",
+                "\"watchdog_kills\":{},\"quarantined\":{},",
+                "\"worker_pids\":[{}]}}"
             ),
             g(&self.conns),
             g(&self.accept_faults),
@@ -169,7 +224,34 @@ impl ServerStats {
             g(&self.traps),
             g(&self.cache_hits),
             g(&self.cache_misses),
+            g(&self.worker_crashes),
+            g(&self.worker_restarts),
+            g(&self.watchdog_kills),
+            g(&self.quarantined),
+            pids,
         )
+    }
+}
+
+/// Everything needed to execute one request, independent of transport or
+/// supervision: the counters, the lifelong store, and the fuel policy.
+/// The daemon owns one inside its shared state; an `lpatd --worker`
+/// subprocess builds its own around stdio
+/// ([`crate::worker::run_worker_stdio`]).
+pub struct Engine {
+    pub(crate) stats: ServerStats,
+    pub(crate) store: Option<ShardedStore>,
+    pub(crate) default_fuel: u64,
+}
+
+impl Engine {
+    /// Build an engine around an (optionally) opened store.
+    pub fn new(store: Option<ShardedStore>, default_fuel: u64) -> Engine {
+        Engine {
+            stats: ServerStats::default(),
+            store,
+            default_fuel,
+        }
     }
 }
 
@@ -178,6 +260,9 @@ impl ServerStats {
 /// guard and leaves the client to its deadline.
 struct Job {
     req: Request,
+    /// FNV-1a of the raw module payload — the crash breaker's key (0 for
+    /// payload-less ops, which are never charged).
+    payload_hash: u64,
     deadline: Instant,
     tx: mpsc::Sender<Response>,
     _inflight: InflightGuard,
@@ -186,10 +271,10 @@ struct Job {
 /// State shared by the accept loop, connection threads, and workers.
 struct Shared {
     cfg: ServerConfig,
-    stats: ServerStats,
+    engine: Engine,
     admission: Arc<Admission>,
     queue: BoundedQueue<Job>,
-    store: Option<ShardedStore>,
+    breaker: Option<CrashBreaker>,
     shutdown: AtomicBool,
     completed: AtomicU64,
 }
@@ -286,22 +371,45 @@ impl Server {
             }
             None => None,
         };
+        let breaker = match cfg.isolate {
+            Isolation::Process => Some(CrashBreaker::new(cfg.crash_k, cfg.crash_window)),
+            Isolation::Thread => None,
+        };
+        let engine = Engine::new(store, cfg.default_fuel);
         let shared = Arc::new(Shared {
             admission: Admission::new(cfg.quota.clone()),
             queue: BoundedQueue::new(cfg.queue_depth),
-            stats: ServerStats::default(),
-            store,
+            engine,
+            breaker,
             shutdown: AtomicBool::new(false),
             completed: AtomicU64::new(0),
             cfg,
         });
-        let workers = (0..shared.cfg.workers.max(1))
+        let nworkers = shared.cfg.workers.max(1);
+        if shared.cfg.isolate == Isolation::Process {
+            // One pid slot per supervisor; chaos tests scrape these from
+            // the Stats op to aim their kills.
+            let mut pids = shared
+                .engine
+                .stats
+                .worker_pids
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            pids.resize(nworkers, 0);
+        }
+        let workers = (0..nworkers)
             .map(|i| {
                 let sh = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("lpatd-worker-{i}"))
-                    .spawn(move || worker_loop(&sh))
-                    .expect("spawn worker")
+                match shared.cfg.isolate {
+                    Isolation::Thread => thread::Builder::new()
+                        .name(format!("lpatd-worker-{i}"))
+                        .spawn(move || worker_loop(&sh))
+                        .expect("spawn worker"),
+                    Isolation::Process => thread::Builder::new()
+                        .name(format!("lpatd-supervisor-{i}"))
+                        .spawn(move || proc_worker_loop(&sh, i))
+                        .expect("spawn supervisor"),
+                }
             })
             .collect();
         Ok(Server {
@@ -325,10 +433,17 @@ impl Server {
             workers,
         } = self;
         let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        let engine = &shared.engine;
         while !shared.shutting_down() {
+            // SIGTERM/SIGINT request the same drain `--max-requests`
+            // takes: stop accepting, finish the queue, join everything.
+            if signal::drain_requested() {
+                shared.begin_shutdown();
+                break;
+            }
             match listener.accept() {
                 Ok(conn) => {
-                    shared.stats.bump(&shared.stats.conns, "serve.conns");
+                    engine.stats.bump(&engine.stats.conns, "serve.conns");
                     // The accept-path fault site: a panic or error while
                     // setting up THIS connection drops this connection
                     // only — the loop (and every other client) survives.
@@ -355,16 +470,16 @@ impl Server {
                             {
                                 Ok(j) => conns.push(j),
                                 Err(_) => {
-                                    shared
+                                    engine
                                         .stats
-                                        .bump(&shared.stats.accept_faults, "serve.accept_faults");
+                                        .bump(&engine.stats.accept_faults, "serve.accept_faults");
                                 }
                             }
                         }
                         _ => {
-                            shared
+                            engine
                                 .stats
-                                .bump(&shared.stats.accept_faults, "serve.accept_faults");
+                                .bump(&engine.stats.accept_faults, "serve.accept_faults");
                             drop(conn);
                         }
                     }
@@ -410,6 +525,7 @@ const RESPONSE_GRACE: Duration = Duration::from_millis(500);
 /// Every exit path answers or closes cleanly — the protocol has no
 /// half-written frames because responses are single `write_frame` calls.
 fn connection_loop(shared: &Arc<Shared>, mut conn: Conn) {
+    let engine = &shared.engine;
     let _ = conn.set_read_timeout(Some(shared.cfg.idle_poll));
     loop {
         let frame = match read_frame(&mut conn, shared.cfg.max_frame) {
@@ -424,9 +540,9 @@ fn connection_loop(shared: &Arc<Shared>, mut conn: Conn) {
             Err(e @ (ProtoError::FrameLength { .. } | ProtoError::Malformed(_))) => {
                 // Hostile framing: answer once, then close — after a bad
                 // length the stream offset is unknowable.
-                shared
+                engine
                     .stats
-                    .bump(&shared.stats.decode_errors, "serve.decode_errors");
+                    .bump(&engine.stats.decode_errors, "serve.decode_errors");
                 send(&mut conn, &Response::err(ErrClass::Decode, e.to_string()));
                 return;
             }
@@ -439,21 +555,21 @@ fn connection_loop(shared: &Arc<Shared>, mut conn: Conn) {
         let req = match decoded {
             Ok(Ok(req)) => req,
             Ok(Err(e)) => {
-                shared
+                engine
                     .stats
-                    .bump(&shared.stats.decode_errors, "serve.decode_errors");
+                    .bump(&engine.stats.decode_errors, "serve.decode_errors");
                 if !send(&mut conn, &Response::err(ErrClass::Decode, e.to_string())) {
                     return;
                 }
                 continue;
             }
             Err(_) => {
-                shared
+                engine
                     .stats
-                    .bump(&shared.stats.panics_isolated, "serve.panics");
-                shared
+                    .bump(&engine.stats.panics_isolated, "serve.panics");
+                engine
                     .stats
-                    .bump(&shared.stats.decode_errors, "serve.decode_errors");
+                    .bump(&engine.stats.decode_errors, "serve.decode_errors");
                 if !send(
                     &mut conn,
                     &Response::err(ErrClass::Panic, "panic while decoding request"),
@@ -475,12 +591,38 @@ fn connection_loop(shared: &Arc<Shared>, mut conn: Conn) {
 
 /// Admit, enqueue, and await one decoded request.
 fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
-    shared.stats.bump(&shared.stats.requests, "serve.requests");
+    let engine = &shared.engine;
+    engine.stats.bump(&engine.stats.requests, "serve.requests");
     if shared.shutting_down() {
         return Response::Busy {
             retry_after_ms: 200,
             reason: "shutting down".into(),
         };
+    }
+    // The breaker key is the raw payload bytes — never the parsed module;
+    // the daemon must not parse a payload with a history of killing
+    // workers. Payload-less ops hash to 0 and are never charged/denied.
+    let payload_hash = if req.module.is_empty() {
+        0
+    } else {
+        fnv1a64(&req.module)
+    };
+    if let Some(breaker) = &shared.breaker {
+        // Ping/Stats answer in-daemon under process isolation: they touch
+        // no guest code, and Stats must reflect the daemon's counters —
+        // a worker subprocess only knows its own.
+        if matches!(req.op, Op::Ping | Op::Stats) {
+            return process(engine, &req, Instant::now() + Duration::from_secs(1));
+        }
+        if payload_hash != 0 && breaker.is_denied(payload_hash, engine.store.as_ref()) {
+            engine
+                .stats
+                .bump(&engine.stats.quarantined, "serve.quarantined");
+            return Response::err(
+                ErrClass::Quarantined,
+                format!("payload {payload_hash:016x} denylisted after repeated worker crashes"),
+            );
+        }
     }
     let inflight = match shared
         .admission
@@ -488,18 +630,18 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
     {
         Ok(g) => g,
         Err(e) if e.retryable() => {
-            shared
+            engine
                 .stats
-                .bump(&shared.stats.busy_tenant, "serve.busy_tenant");
+                .bump(&engine.stats.busy_tenant, "serve.busy_tenant");
             return Response::Busy {
                 retry_after_ms: 50,
                 reason: e.to_string(),
             };
         }
         Err(e) => {
-            shared
+            engine
                 .stats
-                .bump(&shared.stats.quota_rejected, "serve.quota_rejected");
+                .bump(&engine.stats.quota_rejected, "serve.quota_rejected");
             return Response::err(ErrClass::Quota, e.to_string());
         }
     };
@@ -512,6 +654,7 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
     let (tx, rx) = mpsc::channel();
     let job = Job {
         req,
+        payload_hash,
         deadline,
         tx,
         _inflight: inflight,
@@ -519,9 +662,9 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
     if shared.queue.try_push(job).is_err() {
         // The load-shedding path: the queue is full (or shutting down);
         // the job (and its in-flight slot) is dropped right here.
-        shared
+        engine
             .stats
-            .bump(&shared.stats.shed_queue, "serve.shed_queue");
+            .bump(&engine.stats.shed_queue, "serve.shed_queue");
         return Response::Busy {
             retry_after_ms: 100,
             reason: "work queue full".into(),
@@ -539,22 +682,23 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
 
 /// Attribute one outgoing response in the stats.
 fn count_response(shared: &Shared, resp: &Response) {
+    let engine = &shared.engine;
     match resp {
-        Response::Ok { .. } => shared.stats.bump(&shared.stats.ok, "serve.ok"),
+        Response::Ok { .. } => engine.stats.bump(&engine.stats.ok, "serve.ok"),
         Response::Err { class, .. } => {
-            shared.stats.bump(&shared.stats.errors, "serve.errors");
+            engine.stats.bump(&engine.stats.errors, "serve.errors");
             match class {
-                ErrClass::Deadline => shared
+                ErrClass::Deadline => engine
                     .stats
-                    .bump(&shared.stats.deadline_expired, "serve.deadline_expired"),
-                ErrClass::Trap => shared.stats.bump(&shared.stats.traps, "serve.traps"),
-                ErrClass::Panic => shared
+                    .bump(&engine.stats.deadline_expired, "serve.deadline_expired"),
+                ErrClass::Trap => engine.stats.bump(&engine.stats.traps, "serve.traps"),
+                ErrClass::Panic => engine
                     .stats
-                    .bump(&shared.stats.panics_isolated, "serve.panics"),
+                    .bump(&engine.stats.panics_isolated, "serve.panics"),
                 _ => {}
             }
         }
-        Response::Busy { .. } => shared.stats.bump(&shared.stats.busy, "serve.busy"),
+        Response::Busy { .. } => engine.stats.bump(&engine.stats.busy, "serve.busy"),
     }
 }
 
@@ -576,7 +720,8 @@ fn worker_loop(shared: &Arc<Shared>) {
         // The whole pipeline for one request is one isolation domain: a
         // panic anywhere inside — parser, optimizer, VM, store — becomes
         // a structured error for THIS client; the worker survives.
-        let resp = match catch_unwind(AssertUnwindSafe(|| process(shared, &req, deadline))) {
+        let resp = match catch_unwind(AssertUnwindSafe(|| process(&shared.engine, &req, deadline)))
+        {
             Ok(resp) => resp,
             Err(payload) => {
                 let msg = panic_message(&payload);
@@ -591,8 +736,141 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Supervisor thread for one process-isolated worker slot: keep an
+/// `lpatd --worker` subprocess alive, feed it jobs one at a time, and
+/// absorb its deaths. A crash or watchdog kill costs the in-flight
+/// client a structured error ([`ErrClass::Crashed`] / deadline), charges
+/// the crash breaker, and respawns the slot with exponential backoff;
+/// the daemon itself never goes down with a worker.
+fn proc_worker_loop(shared: &Arc<Shared>, slot: usize) {
+    let engine = &shared.engine;
+    let set_pid = |pid: u64| {
+        let mut pids = engine
+            .stats
+            .worker_pids
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = pids.get_mut(slot) {
+            *p = pid;
+        }
+    };
+    let mut worker: Option<ProcWorker> = None;
+    let mut consecutive: u32 = 0; // crashes since the last clean answer
+    let mut ever_spawned = false;
+    while let Some(job) = shared.queue.pop() {
+        let Job {
+            req,
+            payload_hash,
+            deadline,
+            tx,
+            ..
+        } = job;
+        if worker.is_none() {
+            match ProcWorker::spawn(&shared.cfg) {
+                Ok(w) => {
+                    if ever_spawned {
+                        engine
+                            .stats
+                            .bump(&engine.stats.worker_restarts, "serve.worker_restarts");
+                    }
+                    ever_spawned = true;
+                    set_pid(u64::from(w.pid));
+                    worker = Some(w);
+                }
+                Err(e) => {
+                    // Can't even exec the worker binary: answer this
+                    // client, back off, and keep trying on later jobs.
+                    let _ = tx.send(Response::err(
+                        ErrClass::Internal,
+                        format!("cannot spawn worker process: {e}"),
+                    ));
+                    thread::sleep(respawn_backoff(shared.cfg.restart_backoff, consecutive));
+                    consecutive = consecutive.saturating_add(1);
+                    continue;
+                }
+            }
+        }
+        let w = worker.as_mut().expect("worker spawned above");
+        let mut sp = trace::span("serve", "request");
+        sp.arg("op", req.op.name());
+        sp.arg("tenant", req.tenant.clone());
+        sp.arg("worker_pid", w.pid.to_string());
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let (resp, died) = match w.dispatch(&req, remaining, shared.cfg.watchdog_grace) {
+            Dispatch::Reply(resp) => {
+                consecutive = 0;
+                (resp, false)
+            }
+            Dispatch::Crashed(detail) => {
+                engine
+                    .stats
+                    .bump(&engine.stats.worker_crashes, "serve.worker_crashes");
+                charge_crash(shared, payload_hash);
+                (
+                    Response::err(
+                        ErrClass::Crashed,
+                        format!("worker died mid-request: {detail}"),
+                    ),
+                    true,
+                )
+            }
+            Dispatch::Wedged => {
+                // Past deadline + grace with no answer: cooperative
+                // checks have failed; SIGKILL is the only deadline an
+                // uncooperative pipeline respects.
+                engine
+                    .stats
+                    .bump(&engine.stats.watchdog_kills, "serve.watchdog_kills");
+                charge_crash(shared, payload_hash);
+                (
+                    Response::err(
+                        ErrClass::Deadline,
+                        "worker exceeded its deadline and was hard-killed by the watchdog",
+                    ),
+                    true,
+                )
+            }
+        };
+        sp.arg("status", resp.status_label());
+        drop(sp);
+        // Answer the client before paying the respawn backoff.
+        let _ = tx.send(resp);
+        if died {
+            if let Some(mut w) = worker.take() {
+                w.reap();
+            }
+            set_pid(0);
+            thread::sleep(respawn_backoff(shared.cfg.restart_backoff, consecutive));
+            consecutive = consecutive.saturating_add(1);
+        }
+    }
+    // Queue drained and shut down: let the worker exit on stdin EOF.
+    if let Some(w) = worker.take() {
+        w.shutdown();
+    }
+    set_pid(0);
+}
+
+/// Charge one worker death to the crash breaker (payload-less ops are
+/// never charged). A newly tripped breaker is surfaced as a trace event.
+fn charge_crash(shared: &Shared, payload_hash: u64) {
+    if payload_hash == 0 {
+        return;
+    }
+    if let Some(breaker) = &shared.breaker {
+        if breaker.record_crash(payload_hash, shared.engine.store.as_ref()) {
+            trace::instant_args(
+                "serve",
+                "quarantine",
+                vec![("payload", format!("{payload_hash:016x}"))],
+            );
+        }
+    }
+}
+
 /// Best-effort extraction of a panic payload message.
-fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+#[allow(clippy::borrowed_box)]
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).into()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -621,9 +899,10 @@ fn check_deadline(stage: &str, deadline: Instant) -> Result<(), Response> {
     Ok(())
 }
 
-/// Execute one request end to end. Runs inside the worker's
-/// `catch_unwind`; may panic freely.
-fn process(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
+/// Execute one request end to end against an [`Engine`]. Runs inside the
+/// worker's `catch_unwind` (thread isolation) or inside an `lpatd
+/// --worker` subprocess (process isolation); may panic freely.
+pub(crate) fn process(engine: &Engine, req: &Request, deadline: Instant) -> Response {
     // The worker fault site, manifested before any real work.
     match faultpoint!("serve.worker") {
         Some(FaultAction::Panic) => panic!("injected fault at site 'serve.worker'"),
@@ -648,12 +927,12 @@ fn process(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
             exit: 0,
             insts: 0,
             cache_hit: false,
-            output: shared.stats.render_json().into_bytes(),
+            output: engine.stats.render_json().into_bytes(),
             module: Vec::new(),
         },
         Op::Compile => do_compile(req, deadline),
-        Op::Run => do_run(shared, req, deadline),
-        Op::Reopt => do_reopt(shared, req, deadline),
+        Op::Run => do_run(engine, req, deadline),
+        Op::Reopt => do_reopt(engine, req, deadline),
     }
 }
 
@@ -727,7 +1006,7 @@ fn do_compile(req: &Request, deadline: Instant) -> Response {
     }
 }
 
-fn do_run(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
+fn do_run(engine: &Engine, req: &Request, deadline: Instant) -> Response {
     let mut m = match parse_module(req) {
         Ok(m) => m,
         Err(resp) => return resp,
@@ -744,7 +1023,7 @@ fn do_run(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
     // daemon-side half of the lifelong loop. Store failures degrade to an
     // uncached run; they never fail the request.
     let mut cache_hit = false;
-    let store = shared.store.as_ref();
+    let store = engine.store.as_ref();
     if let Some(store) = store {
         let source_hash = module_hash(&m);
         if let Ok(loaded) = store.shard(source_hash).load_reopt(source_hash, &m.name) {
@@ -755,13 +1034,13 @@ fn do_run(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
         }
     }
     if cache_hit {
-        shared
+        engine
             .stats
-            .bump(&shared.stats.cache_hits, "serve.cache_hits");
+            .bump(&engine.stats.cache_hits, "serve.cache_hits");
     } else if store.is_some() {
-        shared
+        engine
             .stats
-            .bump(&shared.stats.cache_misses, "serve.cache_misses");
+            .bump(&engine.stats.cache_misses, "serve.cache_misses");
     }
     let run_hash = module_hash(&m);
     let run_store = store.map(|s| s.shard(run_hash));
@@ -770,7 +1049,7 @@ fn do_run(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
     let fuel = if req.fuel > 0 {
         req.fuel
     } else {
-        shared.cfg.default_fuel
+        engine.default_fuel
     };
     let mut opts = VmOptions {
         fuel: Some(fuel),
@@ -837,8 +1116,8 @@ fn do_run(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
     }
 }
 
-fn do_reopt(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Response {
-    let Some(store) = shared.store.as_ref() else {
+fn do_reopt(engine: &Engine, req: &Request, deadline: Instant) -> Response {
+    let Some(store) = engine.store.as_ref() else {
         return Response::err(
             ErrClass::Unsupported,
             "reopt requires the daemon to run with --cache-dir",

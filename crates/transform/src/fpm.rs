@@ -508,7 +508,12 @@ fn run_unit(
     injected: Option<FaultAction>,
 ) -> PassEffect {
     match injected {
-        Some(FaultAction::Panic) => panic!("injected fault at pass '{}'", p.name()),
+        // Abort can reach here only via the parallel fires_at path (the
+        // serial path aborts inside FaultPlan::next); treat it as a panic
+        // so the rollback machinery still gets exercised deterministically.
+        Some(FaultAction::Panic) | Some(FaultAction::Abort) => {
+            panic!("injected fault at pass '{}'", p.name())
+        }
         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
         Some(FaultAction::Corrupt) | Some(FaultAction::Io) | None => {}
     }

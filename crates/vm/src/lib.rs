@@ -37,7 +37,10 @@ pub use error::{ExecError, TrapKind};
 pub use interp::{SpecStats, Vm, VmOptions};
 pub use pgo::{reoptimize, PgoOptions, PgoReport};
 pub use profile::{form_trace, HotLoop, ProfileData};
-pub use store::{module_hash, FlushGuard, FlushOutcome, Store, StoreError, StoredProfile};
+pub use store::{
+    module_hash, DenyRecord, FlushGuard, FlushOutcome, RecoveryReport, Store, StoreError,
+    StoredProfile,
+};
 pub use tier::TierStats;
 pub use value::VmValue;
 

@@ -104,7 +104,9 @@ pub fn reoptimize(m: &mut Module, profile: &ProfileData, opts: &PgoOptions) -> P
     let t0 = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         match injected {
-            Some(FaultAction::Panic) => panic!("injected fault at site 'pgo-inline'"),
+            Some(FaultAction::Panic) | Some(FaultAction::Abort) => {
+                panic!("injected fault at site 'pgo-inline'")
+            }
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
             Some(FaultAction::Corrupt) | Some(FaultAction::Io) | None => {}
         }

@@ -31,13 +31,45 @@
 //! any byte leaves the old version or the new one, never a mix. Concurrent
 //! invocations serialize on a lock file with a bounded, deterministic
 //! retry-with-backoff schedule (the clock is injectable for tests); locks
-//! abandoned by a killed process are broken after [`Store::lock_stale_after`].
+//! record their holder's PID and are broken *immediately* once the holder
+//! is dead (with [`Store::lock_stale_after`] as the fallback when
+//! liveness cannot be determined).
+//!
+//! # Write-ahead journal
+//!
+//! Cache-directory writes are additionally journaled: before the
+//! temp+rename dance, a checksummed *intent* record (sequence number, op
+//! kind, module hash, final + temp file names, payload length + CRC) is
+//! appended to the store's `journal` file and fsynced; after the rename a
+//! matching *commit* record follows. [`Store::open`] runs a recovery scan
+//! over the journal (when it can take the lock without waiting): an
+//! uncommitted intent whose temp file survived intact is **replayed**
+//! (renamed into place — the delta is durable even though the writer
+//! died), anything else is **rolled back** (torn temp removed, old
+//! version untouched), the journal is truncated, and orphaned `.wal-*` /
+//! `.tmp-*` files are swept. The upshot: a SIGKILL at *any* byte offset
+//! of a store write loses at most the in-flight delta, never the
+//! accumulated store, and never leaves a file to quarantine.
+//!
+//! Journal record framing: `[len: u32][crc32(payload): u32][payload]`,
+//! little-endian, behind an 8-byte `LPWJ` + version header. An intent
+//! payload is `tag=1, seq: u64, op: u8, hash: u64, data_len: u32,
+//! data_crc: u32, final_name, temp_name` (names length-prefixed); a
+//! commit payload is `tag=2, seq: u64`. A torn journal tail (crash during
+//! the intent append itself) fails the CRC and is ignored — nothing had
+//! happened yet.
 //!
 //! All I/O paths carry `lpat_core::fault` sites (`store.read`,
-//! `store.write`, `store.lock`) so every row of the recovery matrix is
-//! testable under the `--inject-faults` grammar.
+//! `store.write`, `store.lock`, and `store.journal` — the latter hit once
+//! per journaled-write step: 1 intent append, 2 temp write, 3 temp fsync,
+//! 4 rename, 5 commit append) so every row of the recovery matrix is
+//! testable under the `--inject-faults` grammar, including kill-at-step
+//! crash points (`store.journal:delay=...@N` parks the writer *between*
+//! two durability steps for an external SIGKILL).
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,7 +77,7 @@ use lpat_bytecode::container::{
     read_container, write_container, Container, ContainerError, KIND_PROFILE, KIND_REOPT,
 };
 use lpat_core::fault::{self, FaultAction, FaultPlan};
-use lpat_core::hash::fnv1a64;
+use lpat_core::hash::{crc32, fnv1a64};
 use lpat_core::trace;
 use lpat_core::Module;
 
@@ -219,14 +251,24 @@ impl Store {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| StoreError::Io(format!("create {}: {e}", dir.display())))?;
-        Ok(Store {
+        let store = Store {
             dir,
             lock_retries: 20,
             lock_backoff: Duration::from_millis(2),
             lock_stale_after: Duration::from_secs(30),
             faults: None,
             clock: Box::new(RealClock),
-        })
+        };
+        // Crash recovery: resolve any journaled writes a killed process
+        // left incomplete — but only if the lock is free right now. A held
+        // lock means a live writer owns the journal tail; its in-flight op
+        // is not ours to resolve, and whoever opens the store next (or the
+        // next recovery pass) will see a committed journal anyway.
+        if let Some(guard) = store.try_lock_once() {
+            store.recover_journal_locked();
+            drop(guard);
+        }
+        Ok(store)
     }
 
     /// Replace the backoff clock (tests).
@@ -248,6 +290,16 @@ impl Store {
     /// Path of the reoptimized-bytecode artifact for a module hash.
     pub fn reopt_path(&self, module_hash: u64) -> PathBuf {
         self.dir.join(format!("reopt-{module_hash:016x}.lbc"))
+    }
+
+    /// Path of the crash-loop denylist record for a payload hash.
+    pub fn deny_path(&self, payload_hash: u64) -> PathBuf {
+        self.dir.join(format!("deny-{payload_hash:016x}.lpd"))
+    }
+
+    /// Path of the write-ahead journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal")
     }
 
     fn fault(&self, site: &str) -> Option<FaultAction> {
@@ -452,23 +504,56 @@ impl Store {
 
     // -- writing ---------------------------------------------------------
 
-    /// Write `bytes` to `path` atomically: temp file in the same
-    /// directory, fsync, rename into place, fsync the directory. A kill at
-    /// any point leaves the old content or the new, never a mix.
-    fn atomic_write(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    /// Write `bytes` to `path` atomically *and journaled*: append a
+    /// checksummed intent record, write + fsync a temp file in the cache
+    /// directory, rename into place, append a commit record. A kill at any
+    /// point leaves the old content or the new, never a mix — and the
+    /// journal lets [`Store::open`] finish (replay) or undo (roll back)
+    /// whatever step the kill interrupted. Callers must hold the store
+    /// lock (the public save methods do).
+    fn journaled_write(
+        &self,
+        path: &Path,
+        bytes: &[u8],
+        op: u8,
+        hash: u64,
+    ) -> Result<(), StoreError> {
         let mut sp = if trace::enabled() {
             Some(trace::span("store", format!("write {}", file_label(path))))
         } else {
             None
         };
-        let r = self.atomic_write_inner(path, bytes);
+        let r = self.journaled_write_inner(path, bytes, op, hash);
         if let (Some(sp), Err(e)) = (&mut sp, &r) {
             sp.arg("error", e.class());
         }
         r
     }
 
-    fn atomic_write_inner(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    /// One `store.journal` fault evaluation per durability step (1-based;
+    /// see the module docs for the step table). `Delay` parks the writer
+    /// *before* the step's action — the chaos tests SIGKILL it there —
+    /// and any other action fails the write with a synthetic I/O error.
+    fn journal_step(&self, step: u8) -> Result<(), StoreError> {
+        match self.fault("store.journal") {
+            None | Some(FaultAction::Corrupt) => Ok(()),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(_) => Err(StoreError::Io(format!(
+                "injected fault at site 'store.journal' (step {step})"
+            ))),
+        }
+    }
+
+    fn journaled_write_inner(
+        &self,
+        path: &Path,
+        bytes: &[u8],
+        op: u8,
+        hash: u64,
+    ) -> Result<(), StoreError> {
         let mut bytes = std::borrow::Cow::Borrowed(bytes);
         match self.fault("store.write") {
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
@@ -489,12 +574,41 @@ impl Store {
             }
             None => {}
         }
-        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        // Bound journal growth: committed history is dead weight, and we
+        // hold the lock, so resolving + truncating here is safe.
+        if std::fs::metadata(self.journal_path())
+            .map(|m| m.len() > JOURNAL_COMPACT_BYTES)
+            .unwrap_or(false)
+        {
+            self.recover_journal_locked();
+        }
+        let final_name = file_label(path);
+        let temp_name = format!("{final_name}.wal-{}", std::process::id());
+        let tmp = self.dir.join(&temp_name);
+        let intent = IntentRec {
+            seq: next_journal_seq(),
+            op,
+            hash,
+            data_len: bytes.len() as u32,
+            data_crc: crc32(&bytes),
+            final_name,
+            temp_name,
+        };
         let io = |what: &str, e: std::io::Error| StoreError::Io(format!("{what}: {e}"));
         let write = (|| -> Result<(), StoreError> {
+            // Step 1: durable intent. From here on, recovery knows
+            // exactly what was in flight.
+            self.journal_step(1)?;
+            self.append_journal(&intent.encode())?;
+            // Step 2: the payload, under a name recovery can find.
+            self.journal_step(2)?;
             let mut f = std::fs::File::create(&tmp).map_err(|e| io("create temp", e))?;
             std::io::Write::write_all(&mut f, &bytes).map_err(|e| io("write temp", e))?;
+            // Step 3: payload durability.
+            self.journal_step(3)?;
             f.sync_all().map_err(|e| io("fsync temp", e))?;
+            // Step 4: the atomic switch.
+            self.journal_step(4)?;
             std::fs::rename(&tmp, path).map_err(|e| io("rename into place", e))?;
             // Durability of the rename itself (best-effort: not every
             // filesystem lets a directory be fsynced).
@@ -504,26 +618,78 @@ impl Store {
             Ok(())
         })();
         if write.is_err() {
+            // Clean failure (not a crash): undo the temp and retire the
+            // intent so recovery has nothing to chew on. Best-effort —
+            // if either of these is lost, recovery reaches the same end
+            // state (rollback of a temp-less or torn intent).
             let _ = std::fs::remove_file(&tmp);
+            let _ = self.append_journal(&encode_commit(intent.seq));
+            return write;
         }
-        write
+        // Step 5: the commit marker. The rename above already made the
+        // new version durable, so a failure here (or a kill before it)
+        // only means recovery re-discovers a completed op and counts a
+        // replay — correctness never depends on the commit record.
+        if self.journal_step(5).is_ok() {
+            let _ = self.append_journal(&encode_commit(intent.seq));
+        }
+        Ok(())
+    }
+
+    /// Append one framed record to the journal and fsync it.
+    fn append_journal(&self, payload: &[u8]) -> Result<(), StoreError> {
+        let io = |what: &str, e: std::io::Error| StoreError::Io(format!("{what}: {e}"));
+        let path = self.journal_path();
+        let fresh = !path.exists();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| io("open journal", e))?;
+        let mut rec = Vec::with_capacity(payload.len() + 16);
+        if fresh {
+            rec.extend_from_slice(&JOURNAL_MAGIC);
+            rec.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        }
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        // One write call per record: appends from a crashed writer are
+        // either wholly present or caught by the CRC as a torn tail.
+        std::io::Write::write_all(&mut f, &rec).map_err(|e| io("append journal", e))?;
+        f.sync_all().map_err(|e| io("fsync journal", e))?;
+        Ok(())
     }
 
     /// Persist a lifetime profile for `module_hash`.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] on write failure (the previous version, if any,
-    /// is left intact).
+    /// [`StoreError::Locked`] when another writer holds the store past
+    /// the retry budget; [`StoreError::Io`] on write failure (the
+    /// previous version, if any, is left intact).
     pub fn save_profile(
         &self,
         module_hash: u64,
         profile: &ProfileData,
         runs: u64,
     ) -> Result<(), StoreError> {
-        self.atomic_write(
+        let _guard = self.lock()?;
+        self.save_profile_locked(module_hash, profile, runs)
+    }
+
+    /// [`Store::save_profile`] for callers already holding the lock.
+    fn save_profile_locked(
+        &self,
+        module_hash: u64,
+        profile: &ProfileData,
+        runs: u64,
+    ) -> Result<(), StoreError> {
+        self.journaled_write(
             &self.profile_path(module_hash),
             &encode_profile(module_hash, profile, runs),
+            OP_PROFILE,
+            module_hash,
         )
     }
 
@@ -531,12 +697,19 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] on write failure.
+    /// [`StoreError::Locked`] when another writer holds the store past
+    /// the retry budget; [`StoreError::Io`] on write failure.
     pub fn save_reopt(&self, module_hash: u64, m: &Module) -> Result<(), StoreError> {
         let mut c = Container::new(KIND_REOPT);
         c.push("meta", module_hash.to_le_bytes().to_vec());
         c.push("module", lpat_bytecode::write_module(m));
-        self.atomic_write(&self.reopt_path(module_hash), &write_container(&c))
+        let _guard = self.lock()?;
+        self.journaled_write(
+            &self.reopt_path(module_hash),
+            &write_container(&c),
+            OP_REOPT,
+            module_hash,
+        )
     }
 
     /// Merge one run's counters into the stored lifetime profile, under
@@ -565,7 +738,7 @@ impl Store {
         }
         merged.profile.merge_saturating(run);
         merged.runs = merged.runs.saturating_add(1);
-        self.save_profile(module_hash, &merged.profile, merged.runs)?;
+        self.save_profile_locked(module_hash, &merged.profile, merged.runs)?;
         Ok(Loaded {
             value: merged,
             quarantined: loaded.quarantined,
@@ -620,16 +793,9 @@ impl Store {
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                         // Held. Abandoned by a killed process? Break it.
-                        if let Ok(md) = std::fs::metadata(&path) {
-                            let age = md
-                                .modified()
-                                .ok()
-                                .and_then(|t| t.elapsed().ok())
-                                .unwrap_or(Duration::ZERO);
-                            if age > self.lock_stale_after {
-                                let _ = std::fs::remove_file(&path);
-                                continue; // retry immediately
-                            }
+                        if self.lock_is_dead(&path) {
+                            let _ = std::fs::remove_file(&path);
+                            continue; // retry immediately
                         }
                     }
                     Err(e) => return Err(StoreError::Io(format!("lock {}: {e}", path.display()))),
@@ -642,6 +808,383 @@ impl Store {
             }
         }
         Err(StoreError::Locked)
+    }
+
+    /// Is the lock at `path` abandoned? First choice: the holder recorded
+    /// its PID and that process is gone (checked via `/proc`, so a
+    /// SIGKILLed worker's lock is broken *immediately* instead of
+    /// stalling every peer on the shard for the staleness window).
+    /// Fallback (no PID readable, foreign PID namespace, non-Linux): the
+    /// mtime-based staleness threshold.
+    fn lock_is_dead(&self, path: &Path) -> bool {
+        if let Ok(content) = std::fs::read_to_string(path) {
+            if let Ok(pid) = content.trim().parse::<u32>() {
+                if pid == std::process::id() {
+                    // Our own (e.g. a leaked guard in-process): not dead.
+                } else if Path::new("/proc").is_dir() {
+                    return !Path::new(&format!("/proc/{pid}")).exists();
+                }
+            }
+        }
+        if let Ok(md) = std::fs::metadata(path) {
+            let age = md
+                .modified()
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .unwrap_or(Duration::ZERO);
+            return age > self.lock_stale_after;
+        }
+        false
+    }
+
+    /// One non-blocking lock attempt (plus one dead-holder break) for the
+    /// recovery pass in [`Store::open`]. `None` = a live writer holds it.
+    fn try_lock_once(&self) -> Option<LockGuard> {
+        let path = self.dir.join("lock");
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = std::io::Write::write_all(
+                        &mut f,
+                        format!("{}\n", std::process::id()).as_bytes(),
+                    );
+                    return Some(LockGuard { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if self.lock_is_dead(&path) {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    return None;
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+// -- write-ahead journal --------------------------------------------------
+
+const JOURNAL_MAGIC: [u8; 4] = *b"LPWJ";
+const JOURNAL_VERSION: u32 = 1;
+/// Committed journal history past this size is compacted at the next
+/// locked write.
+const JOURNAL_COMPACT_BYTES: u64 = 256 * 1024;
+const REC_INTENT: u8 = 1;
+const REC_COMMIT: u8 = 2;
+/// Largest payload a well-formed record can carry; anything bigger in the
+/// length field is treated as a torn/garbage tail.
+const JOURNAL_MAX_REC: u32 = 64 * 1024;
+
+/// Op kinds recorded in intent records (diagnostic: recovery treats all
+/// ops identically).
+const OP_PROFILE: u8 = 1;
+const OP_REOPT: u8 = 2;
+const OP_DENY: u8 = 3;
+
+static JOURNAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Journal sequence numbers only need to pair an intent with its commit
+/// within one journal file: PID in the high half, a process-local counter
+/// in the low half.
+fn next_journal_seq() -> u64 {
+    ((std::process::id() as u64) << 32)
+        | (JOURNAL_SEQ.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF)
+}
+
+/// A decoded intent record: everything recovery needs to finish or undo
+/// the write. File *names*, not paths — the journal stays valid if the
+/// cache directory is moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IntentRec {
+    seq: u64,
+    op: u8,
+    hash: u64,
+    data_len: u32,
+    data_crc: u32,
+    final_name: String,
+    temp_name: String,
+}
+
+impl IntentRec {
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(40 + self.final_name.len() + self.temp_name.len());
+        p.push(REC_INTENT);
+        p.extend_from_slice(&self.seq.to_le_bytes());
+        p.push(self.op);
+        p.extend_from_slice(&self.hash.to_le_bytes());
+        p.extend_from_slice(&self.data_len.to_le_bytes());
+        p.extend_from_slice(&self.data_crc.to_le_bytes());
+        for name in [&self.final_name, &self.temp_name] {
+            p.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            p.extend_from_slice(name.as_bytes());
+        }
+        p
+    }
+
+    fn decode(p: &[u8]) -> Option<IntentRec> {
+        let mut off = 1usize; // tag already checked
+        let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = p.get(*off..*off + n)?;
+            *off += n;
+            Some(s)
+        };
+        let seq = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?);
+        let op = take(&mut off, 1)?[0];
+        let hash = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?);
+        let data_len = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
+        let data_crc = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
+        let mut names = [String::new(), String::new()];
+        for slot in &mut names {
+            let n = u16::from_le_bytes(take(&mut off, 2)?.try_into().ok()?) as usize;
+            *slot = String::from_utf8(take(&mut off, n)?.to_vec()).ok()?;
+        }
+        let [final_name, temp_name] = names;
+        Some(IntentRec {
+            seq,
+            op,
+            hash,
+            data_len,
+            data_crc,
+            final_name,
+            temp_name,
+        })
+    }
+}
+
+fn encode_commit(seq: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(9);
+    p.push(REC_COMMIT);
+    p.extend_from_slice(&seq.to_le_bytes());
+    p
+}
+
+/// A journal file name is only trusted if it is a bare file name — a
+/// malformed or malicious record must not become a path traversal.
+fn bare_name(name: &str) -> bool {
+    !name.is_empty()
+        && Path::new(name)
+            .file_name()
+            .map(|f| f == name)
+            .unwrap_or(false)
+}
+
+/// What one journal-recovery pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Uncommitted intents whose payload survived (intact temp file, or a
+    /// completed rename that just lost its commit record): the new
+    /// version was installed.
+    pub replayed: u64,
+    /// Uncommitted intents whose payload did not survive: torn temp
+    /// removed (or nothing to do); the old version stands.
+    pub rolled_back: u64,
+    /// Orphaned `.wal-*` / `.tmp-*` files swept.
+    pub swept: u64,
+}
+
+impl Store {
+    /// Run one journal-recovery pass now, taking the lock (blocking, with
+    /// the normal retry budget). [`Store::open`] already does this
+    /// non-blockingly; tests and tools can force a pass here.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when the lock cannot be acquired.
+    pub fn recover(&self) -> Result<RecoveryReport, StoreError> {
+        let _guard = self.lock()?;
+        Ok(self.recover_journal_locked())
+    }
+
+    /// The recovery scan proper. Caller holds the lock.
+    fn recover_journal_locked(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let jpath = self.journal_path();
+        let data = std::fs::read(&jpath).unwrap_or_default();
+        let mut pending: BTreeMap<u64, IntentRec> = BTreeMap::new();
+        let mut pos = 0usize;
+        if data.len() >= 8 && data[..4] == JOURNAL_MAGIC {
+            pos = 8; // version field currently informational
+        }
+        // Parse until the first torn or nonsense record: everything after
+        // a torn tail was never durable, so it describes nothing.
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if len > JOURNAL_MAX_REC || pos + 8 + len as usize > data.len() {
+                break; // torn tail
+            }
+            let payload = &data[pos + 8..pos + 8 + len as usize];
+            if crc32(payload) != crc {
+                break; // torn tail
+            }
+            pos += 8 + len as usize;
+            match payload.first() {
+                Some(&REC_INTENT) => {
+                    if let Some(it) = IntentRec::decode(payload) {
+                        pending.insert(it.seq, it);
+                    }
+                }
+                Some(&REC_COMMIT) if payload.len() >= 9 => {
+                    let seq = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+                    pending.remove(&seq);
+                }
+                _ => {} // unknown tag: ignore (forward compatibility)
+            }
+        }
+        let mut referenced: Vec<String> = Vec::new();
+        for it in pending.values() {
+            referenced.push(it.temp_name.clone());
+            if !(bare_name(&it.final_name) && bare_name(&it.temp_name)) {
+                continue; // never follow a suspicious name
+            }
+            let tmp = self.dir.join(&it.temp_name);
+            let fin = self.dir.join(&it.final_name);
+            let matches = |b: &[u8]| b.len() as u32 == it.data_len && crc32(b) == it.data_crc;
+            let replayed = match std::fs::read(&tmp) {
+                Ok(b) if matches(&b) => {
+                    // The payload is fully on disk; finish the write the
+                    // dead process started.
+                    std::fs::rename(&tmp, &fin).is_ok()
+                }
+                Ok(_) | Err(_) => {
+                    // Torn or missing temp. If the final file already
+                    // carries the intended bytes the op actually
+                    // completed (killed between rename and commit).
+                    let _ = std::fs::remove_file(&tmp);
+                    std::fs::read(&fin).map(|b| matches(&b)).unwrap_or(false)
+                }
+            };
+            if replayed {
+                report.replayed += 1;
+            } else {
+                report.rolled_back += 1;
+            }
+        }
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        // Every pending op is resolved: retire the journal.
+        let _ = std::fs::remove_file(&jpath);
+        // Sweep write debris no pending intent references: pid-suffixed
+        // temps from crashed writers whose intents committed (or never
+        // became durable).
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for entry in rd.filter_map(|e| e.ok()) {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let orphan = (name.contains(".wal-") || name.contains(".tmp-"))
+                    && !referenced.iter().any(|r| r == &name);
+                if orphan && std::fs::remove_file(entry.path()).is_ok() {
+                    report.swept += 1;
+                }
+            }
+        }
+        if trace::enabled() && (report.replayed > 0 || report.rolled_back > 0 || report.swept > 0) {
+            trace::instant_args(
+                "store",
+                "journal.recovery",
+                vec![
+                    ("replayed", report.replayed.to_string()),
+                    ("rolled_back", report.rolled_back.to_string()),
+                    ("swept", report.swept.to_string()),
+                ],
+            );
+        }
+        report
+    }
+}
+
+// -- crash-loop denylist records ------------------------------------------
+
+/// Persisted crash-loop state for one module payload hash: how many times
+/// it has crashed a worker, when, and whether it crossed the breaker
+/// threshold (denylisted). Written by the `lpatd` supervisor; surviving a
+/// daemon restart is the point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenyRecord {
+    /// FNV-1a hash of the raw request payload (not the parsed module —
+    /// the daemon must not parse a crashing payload to key its record).
+    pub hash: u64,
+    /// Worker crashes attributed to this payload.
+    pub count: u32,
+    /// Whether the hash is denylisted (breaker tripped).
+    pub denied: bool,
+    /// Unix milliseconds of the first recorded crash.
+    pub first_unix_ms: u64,
+    /// Unix milliseconds of the most recent recorded crash.
+    pub last_unix_ms: u64,
+}
+
+const DENY_MAGIC: [u8; 4] = *b"LPDY";
+const DENY_VERSION: u32 = 1;
+const DENY_LEN: usize = 4 + 4 + 8 + 4 + 1 + 8 + 8 + 4;
+
+impl DenyRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(DENY_LEN);
+        b.extend_from_slice(&DENY_MAGIC);
+        b.extend_from_slice(&DENY_VERSION.to_le_bytes());
+        b.extend_from_slice(&self.hash.to_le_bytes());
+        b.extend_from_slice(&self.count.to_le_bytes());
+        b.push(self.denied as u8);
+        b.extend_from_slice(&self.first_unix_ms.to_le_bytes());
+        b.extend_from_slice(&self.last_unix_ms.to_le_bytes());
+        let crc = crc32(&b);
+        b.extend_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    fn decode(b: &[u8]) -> Option<DenyRecord> {
+        if b.len() != DENY_LEN || b[..4] != DENY_MAGIC {
+            return None;
+        }
+        let crc = u32::from_le_bytes(b[DENY_LEN - 4..].try_into().ok()?);
+        if crc32(&b[..DENY_LEN - 4]) != crc {
+            return None;
+        }
+        if u32::from_le_bytes(b[4..8].try_into().ok()?) != DENY_VERSION {
+            return None;
+        }
+        Some(DenyRecord {
+            hash: u64::from_le_bytes(b[8..16].try_into().ok()?),
+            count: u32::from_le_bytes(b[16..20].try_into().ok()?),
+            denied: b[20] != 0,
+            first_unix_ms: u64::from_le_bytes(b[21..29].try_into().ok()?),
+            last_unix_ms: u64::from_le_bytes(b[29..37].try_into().ok()?),
+        })
+    }
+}
+
+impl Store {
+    /// Load the crash-loop record for `payload_hash`. Tolerant by design:
+    /// a missing, torn, or stale-format record reads as `None` (and a bad
+    /// file is removed) — the breaker merely starts counting again.
+    pub fn load_deny(&self, payload_hash: u64) -> Option<DenyRecord> {
+        let path = self.deny_path(payload_hash);
+        let bytes = std::fs::read(&path).ok()?;
+        match DenyRecord::decode(&bytes) {
+            Some(rec) if rec.hash == payload_hash => Some(rec),
+            _ => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persist a crash-loop record (journaled, under the store lock).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] or [`StoreError::Io`] — the caller keeps
+    /// its in-memory breaker state either way.
+    pub fn save_deny(&self, rec: &DenyRecord) -> Result<(), StoreError> {
+        let _guard = self.lock()?;
+        self.journaled_write(&self.deny_path(rec.hash), &rec.encode(), OP_DENY, rec.hash)
     }
 }
 
@@ -1072,6 +1615,241 @@ mod tests {
         let out = store.load_reopt(h, "t").unwrap();
         assert!(out.value.is_none());
         assert_eq!(out.quarantined.len(), 1);
+    }
+
+    /// A clock whose sleep count the test can read.
+    struct SharedCountingClock(Arc<AtomicU32>);
+    impl Clock for SharedCountingClock {
+        fn sleep(&self, _d: Duration) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn dead_holder_lock_is_broken_immediately() {
+        let sleeps = Arc::new(AtomicU32::new(0));
+        let store = Store::open(tmpdir("deadpid"))
+            .unwrap()
+            .with_clock(Box::new(SharedCountingClock(sleeps.clone())));
+        // A lock abandoned by a PID that cannot exist (pid_max is far
+        // below this): broken on the first attempt, no backoff sleeps,
+        // no staleness wait.
+        std::fs::write(store.dir().join("lock"), "999999999\n").unwrap();
+        let g = store.lock().expect("dead holder's lock must break");
+        assert_eq!(sleeps.load(Ordering::SeqCst), 0, "no backoff needed");
+        drop(g);
+        // A live holder (our own PID) is NOT broken by the PID check.
+        std::fs::write(
+            store.dir().join("lock"),
+            format!("{}\n", std::process::id()),
+        )
+        .unwrap();
+        let mut store = store;
+        store.lock_retries = 2;
+        assert_eq!(store.lock().unwrap_err(), StoreError::Locked);
+    }
+
+    #[test]
+    fn injected_journal_fault_fails_write_cleanly_at_every_step() {
+        for step in 1..=4u8 {
+            let mut store = Store::open(tmpdir(&format!("jstep{step}"))).unwrap();
+            store.save_profile(0x31, &sample_profile(), 1).unwrap();
+            store.faults = plan(&format!("store.journal:io@{step}"));
+            let err = store.save_profile(0x31, &sample_profile(), 2).unwrap_err();
+            assert!(matches!(err, StoreError::Io(_)), "step {step}: {err:?}");
+            // Old version intact, no temp debris, and the journal holds
+            // no unresolved intent (reopen performs zero replays or
+            // rollbacks).
+            store.faults = None;
+            assert_eq!(store.load_profile(0x31).unwrap().value.unwrap().runs, 1);
+            let report = store.recover().unwrap();
+            assert_eq!(report.replayed, 0, "step {step}");
+            assert_eq!(report.rolled_back, 0, "step {step}");
+            let wal: Vec<_> = std::fs::read_dir(store.dir())
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains(".wal-"))
+                .collect();
+            assert!(wal.is_empty(), "step {step}: {wal:?}");
+        }
+        // Step 5 (commit append) is past the rename: the write succeeds
+        // and the missing commit record costs nothing.
+        let mut store = Store::open(tmpdir("jstep5")).unwrap();
+        store.faults = plan("store.journal:io@5");
+        store.save_profile(0x32, &sample_profile(), 7).unwrap();
+        assert_eq!(store.load_profile(0x32).unwrap().value.unwrap().runs, 7);
+        // Recovery re-discovers the completed op as a replay.
+        store.faults = None;
+        assert_eq!(store.recover().unwrap().replayed, 1);
+    }
+
+    #[test]
+    fn journal_replay_installs_a_dead_writers_intact_temp() {
+        let dir = tmpdir("jreplay");
+        let store = Store::open(&dir).unwrap();
+        let h = 0x42u64;
+        store.save_profile(h, &sample_profile(), 1).unwrap();
+        // Simulate a writer SIGKILLed after fsyncing its temp (step 4):
+        // durable intent, intact temp, no commit.
+        let bytes = encode_profile(h, &sample_profile(), 9);
+        let final_name = format!("profile-{h:016x}.lpp");
+        let temp_name = format!("{final_name}.wal-424242");
+        std::fs::write(dir.join(&temp_name), &bytes).unwrap();
+        store
+            .append_journal(
+                &IntentRec {
+                    seq: 7,
+                    op: OP_PROFILE,
+                    hash: h,
+                    data_len: bytes.len() as u32,
+                    data_crc: crc32(&bytes),
+                    final_name,
+                    temp_name: temp_name.clone(),
+                }
+                .encode(),
+            )
+            .unwrap();
+        drop(store);
+        // Reopen: recovery finishes the write the dead process started.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(
+            store.load_profile(h).unwrap().value.unwrap().runs,
+            9,
+            "replayed version must be visible"
+        );
+        assert!(!dir.join(&temp_name).exists());
+        assert!(!store.journal_path().exists(), "journal retired");
+    }
+
+    #[test]
+    fn journal_rollback_discards_torn_temp_and_keeps_old_version() {
+        let dir = tmpdir("jrollback");
+        let store = Store::open(&dir).unwrap();
+        let h = 0x43u64;
+        store.save_profile(h, &sample_profile(), 1).unwrap();
+        let bytes = encode_profile(h, &sample_profile(), 9);
+        let final_name = format!("profile-{h:016x}.lpp");
+        // Torn temp: half the payload (killed mid-write, step 2→3).
+        let torn = dir.join(format!("{final_name}.wal-424242"));
+        std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+        store
+            .append_journal(
+                &IntentRec {
+                    seq: 8,
+                    op: OP_PROFILE,
+                    hash: h,
+                    data_len: bytes.len() as u32,
+                    data_crc: crc32(&bytes),
+                    final_name: final_name.clone(),
+                    temp_name: format!("{final_name}.wal-424242"),
+                }
+                .encode(),
+            )
+            .unwrap();
+        // A second intent whose temp never appeared (killed at step 2).
+        store
+            .append_journal(
+                &IntentRec {
+                    seq: 9,
+                    op: OP_PROFILE,
+                    hash: h,
+                    data_len: bytes.len() as u32,
+                    data_crc: crc32(&bytes),
+                    final_name: final_name.clone(),
+                    temp_name: format!("{final_name}.wal-424243"),
+                }
+                .encode(),
+            )
+            .unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.rolled_back, 2);
+        assert_eq!(report.replayed, 0);
+        assert!(!torn.exists(), "torn temp removed");
+        assert_eq!(
+            store.load_profile(h).unwrap().value.unwrap().runs,
+            1,
+            "old version stands"
+        );
+        // Zero quarantine files: rollback is clean, not corruption.
+        let corrupt: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".corrupt-"))
+            .collect();
+        assert!(corrupt.is_empty(), "{corrupt:?}");
+    }
+
+    #[test]
+    fn torn_journal_tail_is_ignored_but_durable_prefix_still_replays() {
+        let dir = tmpdir("jtorn");
+        let store = Store::open(&dir).unwrap();
+        let h = 0x44u64;
+        let bytes = encode_profile(h, &sample_profile(), 3);
+        let final_name = format!("profile-{h:016x}.lpp");
+        let temp_name = format!("{final_name}.wal-77");
+        std::fs::write(dir.join(&temp_name), &bytes).unwrap();
+        store
+            .append_journal(
+                &IntentRec {
+                    seq: 1,
+                    op: OP_PROFILE,
+                    hash: h,
+                    data_len: bytes.len() as u32,
+                    data_crc: crc32(&bytes),
+                    final_name,
+                    temp_name,
+                }
+                .encode(),
+            )
+            .unwrap();
+        // Crash during a later append: garbage half-record at the tail.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(store.journal_path())
+                .unwrap();
+            f.write_all(&[0xFF, 0x13, 0x00, 0x00, 0xAB]).unwrap();
+        }
+        let report = store.recover().unwrap();
+        assert_eq!(report.replayed, 1, "prefix replays despite torn tail");
+        assert_eq!(store.load_profile(h).unwrap().value.unwrap().runs, 3);
+        assert!(!store.journal_path().exists());
+    }
+
+    #[test]
+    fn committed_journal_history_is_inert_and_retired() {
+        let dir = tmpdir("jcommitted");
+        let store = Store::open(&dir).unwrap();
+        store.save_profile(0x45, &sample_profile(), 1).unwrap();
+        store.save_profile(0x46, &sample_profile(), 4).unwrap();
+        assert!(store.journal_path().exists(), "history accumulates");
+        let report = store.recover().unwrap();
+        assert_eq!((report.replayed, report.rolled_back), (0, 0));
+        assert!(!store.journal_path().exists());
+        assert_eq!(store.load_profile(0x45).unwrap().value.unwrap().runs, 1);
+    }
+
+    #[test]
+    fn deny_record_roundtrip_and_tolerant_load() {
+        let store = Store::open(tmpdir("deny")).unwrap();
+        assert_eq!(store.load_deny(0x99), None);
+        let rec = DenyRecord {
+            hash: 0x99,
+            count: 3,
+            denied: true,
+            first_unix_ms: 1_000,
+            last_unix_ms: 2_000,
+        };
+        store.save_deny(&rec).unwrap();
+        assert_eq!(store.load_deny(0x99), Some(rec));
+        // Garbage record: reads as None and is removed, never an error.
+        std::fs::write(store.deny_path(0x77), b"not a deny record").unwrap();
+        assert_eq!(store.load_deny(0x77), None);
+        assert!(!store.deny_path(0x77).exists());
+        // A record filed under the wrong hash is rejected too.
+        std::fs::copy(store.deny_path(0x99), store.deny_path(0x55)).unwrap();
+        assert_eq!(store.load_deny(0x55), None);
     }
 
     #[test]

@@ -597,10 +597,11 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
 
 /// `lpatc remote <op> [input] --connect ADDR` — run an op against a
 /// running `lpatd` instead of in-process. `Busy` answers (tenant cap,
-/// shed queue) are retried with bounded exponential backoff, honoring the
-/// server's `retry_after_ms` hint; a still-busy server after the retry
-/// budget exits with a distinct code (3) so scripts can tell "declined"
-/// from "failed".
+/// shed queue) are retried with jittered bounded exponential backoff,
+/// honoring the server's `retry_after_ms` hint; a still-busy server
+/// after the retry budget exits with a distinct code (3) so scripts can
+/// tell "declined" from "failed", and a crash-loop-quarantined payload
+/// exits 4 — retrying it cannot help.
 fn remote(rest: &[String], diag: &mut Diag) -> Result<ExitCode, String> {
     use lpat::serve::{Addr, Client, ErrClass, Op, Request, Response, RetryPolicy, FLAG_MINIC};
 
@@ -706,12 +707,18 @@ fn remote(rest: &[String], diag: &mut Diag) -> Result<ExitCode, String> {
         }
         Response::Err { class, message } => {
             // Guest traps mirror local `lpatc run` (error text, exit 2 via
-            // the caller); everything else is prefixed with its class so
-            // scripts can dispatch on it.
-            if class == ErrClass::Trap {
-                Err(message)
-            } else {
-                Err(format!("{}: {message}", class.name()))
+            // the caller); a quarantined payload gets its own exit code
+            // (4) — retrying it is pointless until the denylist is
+            // cleared, and scripts need to tell that apart from a
+            // retryable failure; everything else is prefixed with its
+            // class so scripts can dispatch on it.
+            match class {
+                ErrClass::Trap => Err(message),
+                ErrClass::Quarantined => {
+                    diag.warn(&format!("quarantined: {message}"));
+                    Ok(ExitCode::from(4))
+                }
+                _ => Err(format!("{}: {message}", class.name())),
             }
         }
         Response::Busy {

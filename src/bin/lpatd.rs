@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! lpatd [--listen ADDR] [--workers N] [--queue N]
+//!       [--isolate thread|process] [--crash-k N] [--crash-window-ms N]
+//!       [--watchdog-grace-ms N] [--restart-backoff-ms N]
 //!       [--cache-dir DIR] [--shards N]
 //!       [--max-frame-bytes N] [--default-fuel N] [--deadline-ms N]
 //!       [--tenant-inflight N] [--tenant-bytes N] [--tenant-fuel N]
@@ -15,14 +17,26 @@
 //! scripts and tests can discover the ephemeral port. It then serves
 //! until killed, or until `--max-requests N` requests have completed
 //! (tests and benchmarks use this for a clean, trace-flushing exit).
+//! SIGTERM and SIGINT request the same graceful drain: stop accepting,
+//! finish the queue, flush, exit 0.
 //!
 //! Every request is fault-isolated: a panicking, hostile, or runaway
 //! request becomes a structured error on its own connection while the
-//! daemon keeps serving everyone else. `--inject-faults` (or the
-//! `LPAT_FAULTS` environment variable) arms the `serve.accept`,
-//! `serve.decode`, `serve.worker`, and `serve.deadline` sites — the same
-//! deterministic fault grammar the optimizer and store use — which is how
-//! CI proves the isolation actually holds.
+//! daemon keeps serving everyone else. `--isolate process` raises the
+//! blast shield from `catch_unwind` to process boundaries: requests run
+//! in pooled `lpatd --worker` subprocesses, so aborts, stack overflows,
+//! OOM kills, and `kill -9` cost one worker (that client gets a
+//! `crashed` error) while the daemon keeps serving; a payload whose
+//! workers keep dying is quarantined by the crash-loop breaker
+//! (`--crash-k` strikes inside `--crash-window-ms`).
+//!
+//! `--inject-faults` (or the `LPAT_FAULTS` environment variable) arms
+//! the `serve.accept`, `serve.decode`, `serve.worker`, `serve.deadline`,
+//! and `store.journal` sites — the same deterministic fault grammar the
+//! optimizer and store use — which is how CI proves the isolation
+//! actually holds. Under `--isolate process` the plan is forwarded to
+//! the worker subprocesses rather than armed in the daemon, so faults
+//! land where requests execute.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -42,6 +56,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if has_flag(args, "--help") || has_flag(args, "-h") {
         eprintln!(
             "usage: lpatd [--listen tcp:host:port|unix:/path] [--workers N] [--queue N]\n\
+             \x20      [--isolate thread|process] [--crash-k N] [--crash-window-ms N]\n\
+             \x20      [--watchdog-grace-ms N] [--restart-backoff-ms N]\n\
              \x20      [--cache-dir DIR] [--shards N] [--max-frame-bytes N]\n\
              \x20      [--default-fuel N] [--deadline-ms N]\n\
              \x20      [--tenant-inflight N] [--tenant-bytes N] [--tenant-fuel N]\n\
@@ -50,12 +66,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         );
         return Ok(ExitCode::SUCCESS);
     }
+    if has_flag(args, "--worker") {
+        return run_worker(args);
+    }
+    let isolate = match flag_value(args, "--isolate") {
+        Some(v) => lpat::serve::Isolation::parse(v).map_err(|e| format!("--isolate: {e}"))?,
+        None => lpat::serve::Isolation::Thread,
+    };
     // Install the fault plan before the server starts: the serve.* sites
-    // must see it from the first accepted connection.
+    // must see it from the first accepted connection. Under process
+    // isolation the plan is NOT armed here — requests execute in worker
+    // subprocesses, so the plan is forwarded on their command line
+    // instead (the daemon's own bookkeeping writes must not consume the
+    // plan's ordinals).
+    let mut worker_args: Vec<String> = Vec::new();
     if let Some(plan) = flag_value(args, "--inject-faults") {
-        let plan =
+        let parsed =
             lpat::core::FaultPlan::parse(plan).map_err(|e| format!("--inject-faults: {e}"))?;
-        lpat::core::fault::install(plan);
+        match isolate {
+            lpat::serve::Isolation::Thread => {
+                lpat::core::fault::install(parsed);
+            }
+            lpat::serve::Isolation::Process => {
+                worker_args.extend(["--inject-faults".to_string(), plan.to_string()]);
+            }
+        }
     }
     let trace_out = flag_value(args, "--trace-out").map(str::to_string);
     let metrics_out = flag_value(args, "--metrics-out").map(str::to_string);
@@ -110,7 +145,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         .map(str::to_string)
         .or_else(|| std::env::var("LPAT_CACHE_DIR").ok())
         .map(Into::into);
+    cfg.isolate = isolate;
+    cfg.worker_args = worker_args;
+    if let Some(v) = flag_value(args, "--crash-k") {
+        cfg.crash_k = parse(v, "--crash-k")?;
+    }
+    if let Some(v) = flag_value(args, "--crash-window-ms") {
+        cfg.crash_window = Duration::from_millis(parse(v, "--crash-window-ms")?);
+    }
+    if let Some(v) = flag_value(args, "--watchdog-grace-ms") {
+        cfg.watchdog_grace = Duration::from_millis(parse(v, "--watchdog-grace-ms")?);
+    }
+    if let Some(v) = flag_value(args, "--restart-backoff-ms") {
+        cfg.restart_backoff = Duration::from_millis(parse(v, "--restart-backoff-ms")?);
+    }
 
+    // SIGTERM/SIGINT drain the daemon through the same clean path
+    // `--max-requests` takes (finish the queue, flush, exit 0).
+    lpat::serve::signal::install_term_handlers();
     let server = lpat::serve::Server::bind(cfg)?;
     let addr = server.local_addr();
     // The one machine-readable startup line; tests parse the port off it.
@@ -141,6 +193,52 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `--worker` mode: a supervised subprocess speaking the LPRQ/LPRS
+/// framing over stdin/stdout. No listen socket, no startup line —
+/// stdout carries nothing but response frames. Exits 0 on stdin EOF
+/// (the supervisor's graceful-drain signal).
+fn run_worker(args: &[String]) -> Result<ExitCode, String> {
+    // A ctrl-c to the process group must not kill workers out from
+    // under the supervisor mid-drain; the supervisor alone decides
+    // worker fate (stdin EOF to drain, SIGKILL for wedges).
+    lpat::serve::signal::ignore_term_signals();
+    // The worker is where requests actually execute, so the fault plan
+    // arms here (the supervisor forwards `--inject-faults` verbatim).
+    if let Some(plan) = flag_value(args, "--inject-faults") {
+        let plan =
+            lpat::core::FaultPlan::parse(plan).map_err(|e| format!("--inject-faults: {e}"))?;
+        lpat::core::fault::install(plan);
+    }
+    let mut max_frame = lpat::serve::DEFAULT_MAX_FRAME;
+    if let Some(v) = flag_value(args, "--max-frame-bytes") {
+        max_frame = parse(v, "--max-frame-bytes")?;
+    }
+    let mut default_fuel: u64 = 100_000_000;
+    if let Some(v) = flag_value(args, "--default-fuel") {
+        default_fuel = parse(v, "--default-fuel")?;
+    }
+    let mut default_deadline = Duration::from_secs(10);
+    if let Some(v) = flag_value(args, "--deadline-ms") {
+        default_deadline = Duration::from_millis(parse(v, "--deadline-ms")?);
+    }
+    let store = match flag_value(args, "--cache-dir") {
+        Some(dir) => {
+            let shards: u32 = match flag_value(args, "--shards") {
+                Some(v) => parse(v, "--shards")?,
+                None => 16,
+            };
+            Some(
+                lpat::serve::ShardedStore::open(std::path::Path::new(dir), shards)
+                    .map_err(|e| format!("cache dir {e}"))?,
+            )
+        }
+        None => None,
+    };
+    let engine = lpat::serve::Engine::new(store, default_fuel);
+    let code = lpat::serve::run_worker_stdio(&engine, max_frame, default_deadline);
+    Ok(ExitCode::from(code as u8))
 }
 
 fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {

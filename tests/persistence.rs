@@ -311,8 +311,11 @@ fn every_store_error_class_degrades_to_an_uncached_run() {
             expect: "locked",
             env: &[],
             seed: |cache, _m, _hash| {
+                // The holder must be a *live* process: locks record their
+                // holder's PID and a dead holder's lock is broken
+                // immediately. This test process itself is the holder.
                 std::fs::create_dir_all(cache).unwrap();
-                std::fs::write(cache.join("lock"), "999999\n").unwrap();
+                std::fs::write(cache.join("lock"), format!("{}\n", std::process::id())).unwrap();
             },
         },
         Leg {

@@ -505,6 +505,7 @@ fn full_queue_sheds_busy_and_retry_eventually_succeeds() {
         max_attempts: 20,
         base: Duration::from_millis(25),
         cap: Duration::from_millis(200),
+        seed: Some(0x5EED),
     };
     let resp = c
         .request_with_retry(&run_request(ADD_PROG), &policy)
@@ -607,4 +608,42 @@ fn lpatc_remote_run_and_compile_roundtrip() {
         t0.elapsed() < Duration::from_secs(10),
         "connect timeout not honored"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Process isolation smoke: the crash-only worker pool serves the same
+// protocol (the full kill/abort/journal chaos lives in tests/chaos.rs).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn process_isolation_serves_the_same_protocol() {
+    let mut d = Daemon::spawn(&["--isolate", "process", "--workers", "2"], None);
+    let mut c = connect(&d.addr);
+    let (_, out) = match c.request(&Request::new(Op::Ping)).unwrap() {
+        r @ Response::Ok { .. } => {
+            let Response::Ok { exit, output, .. } = r else {
+                unreachable!()
+            };
+            (exit, output)
+        }
+        other => panic!("ping answered {other:?}"),
+    };
+    assert_eq!(out, b"pong");
+    match c.request(&run_request(ADD_PROG)).unwrap() {
+        Response::Ok { exit, insts, .. } => {
+            assert_eq!(exit, 42);
+            assert!(insts > 0, "the run executed in a worker subprocess");
+        }
+        other => panic!("run answered {other:?}"),
+    }
+    // Stats answers in-daemon and exposes the live worker pids.
+    match c.request(&Request::new(Op::Stats)).unwrap() {
+        Response::Ok { output, .. } => {
+            let json = String::from_utf8(output).unwrap();
+            assert!(json.contains("\"worker_pids\":["), "{json}");
+            assert!(json.contains("\"worker_crashes\":0"), "{json}");
+        }
+        other => panic!("stats answered {other:?}"),
+    }
+    assert!(d.alive());
 }
