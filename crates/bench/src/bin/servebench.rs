@@ -12,10 +12,13 @@
 //! - every 8th+1 request runs a multi-million-instruction program, long
 //!   enough to occupy workers and force the bounded queue to shed.
 //!
-//! Output: `lpat-bench-serve/v1` JSON with client-side throughput and
-//! latency percentiles plus the server's own `serve.*` counters scraped
-//! over the wire — self-validated against the schema before it is
-//! written, so a drifting field name fails here before it fails CI.
+//! Output: `lpat-bench-serve/v2` JSON with client-side throughput and
+//! latency percentiles, the server's own log-linear quantile telemetry
+//! (`server_quantiles`, lifted out of the scraped `lpat-serve-stats/v2`
+//! document so the two latency views — client wall clock and server
+//! service time — sit side by side), and the raw scraped stats under
+//! `server` — self-validated against the schema before it is written,
+//! so a drifting field name fails here before it fails CI.
 //!
 //! ```text
 //! servebench [--clients N] [--reps N] [--workers N] [--queue N] [--out FILE]
@@ -23,7 +26,8 @@
 
 use std::time::{Duration, Instant};
 
-use lpat_bench::validate_serve_bench;
+use lpat_bench::{parse_json, validate_serve_bench, Json};
+use lpat_core::trace::JsonWriter;
 use lpat_serve::{Client, Op, Request, Response, Server, ServerConfig};
 
 const FAST_PROG: &str = "\
@@ -155,25 +159,58 @@ fn main() {
     let total = (clients * reps) as u64;
     let misses = ok.saturating_sub(hits);
     let hit_rate = if ok > 0 { hits as f64 / ok as f64 } else { 0.0 };
-    let json = format!(
-        "{{\n  \"schema\": \"lpat-bench-serve/v1\",\n  \
-         \"clients\": {clients}, \"requests_per_client\": {reps}, \
-         \"workers\": {workers}, \"queue_depth\": {queue},\n  \
-         \"duration_ms\": {:.3}, \"requests\": {total}, \
-         \"ok\": {ok}, \"errors\": {errors}, \"busy\": {busy},\n  \
-         \"requests_per_sec\": {:.3},\n  \
-         \"cache_hits\": {hits}, \"cache_misses\": {misses}, \
-         \"cache_hit_rate\": {:.3},\n  \
-         \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \
-         \"server\": {server_stats}\n}}\n",
-        wall.as_secs_f64() * 1e3,
-        total as f64 / wall.as_secs_f64(),
-        hit_rate,
-        pct(50.0),
-        pct(90.0),
-        pct(99.0),
-        lat.last().copied().unwrap_or(0.0),
-    );
+
+    // Lift the server's own quantile telemetry out of the scraped stats
+    // document: the client-side percentiles above include queueing and
+    // socket time, the server-side ones are pure service time, and the
+    // gap between them is the queue — worth having both in one artifact.
+    let server_doc = parse_json(&server_stats).expect("server stats must be valid JSON");
+    let quantiles = server_doc
+        .get("quantiles")
+        .expect("server stats v2 must carry 'quantiles'");
+    let hist_field = |h: Option<&Json>, k: &str| -> u64 {
+        h.and_then(|v| v.get(k)).and_then(Json::num).unwrap_or(0.0) as u64
+    };
+    let run_lat = quantiles.get("latency_us").and_then(|l| l.get("op:run"));
+    let queue_wait = quantiles.get("queue_wait_us");
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "lpat-bench-serve/v2");
+    w.field_u64("clients", clients as u64);
+    w.field_u64("requests_per_client", reps as u64);
+    w.field_u64("workers", workers as u64);
+    w.field_u64("queue_depth", queue as u64);
+    w.field_f64("duration_ms", wall.as_secs_f64() * 1e3, 3);
+    w.field_u64("requests", total);
+    w.field_u64("ok", ok);
+    w.field_u64("errors", errors);
+    w.field_u64("busy", busy);
+    w.field_f64("requests_per_sec", total as f64 / wall.as_secs_f64(), 3);
+    w.field_u64("cache_hits", hits);
+    w.field_u64("cache_misses", misses);
+    w.field_f64("cache_hit_rate", hit_rate, 3);
+    w.begin_object_field("latency_ms");
+    w.field_f64("p50", pct(50.0), 3);
+    w.field_f64("p90", pct(90.0), 3);
+    w.field_f64("p99", pct(99.0), 3);
+    w.field_f64("max", lat.last().copied().unwrap_or(0.0), 3);
+    w.end_object();
+    w.begin_object_field("server_quantiles");
+    w.begin_object_field("latency_us");
+    for k in ["count", "p50", "p90", "p99", "max"] {
+        w.field_u64(k, hist_field(run_lat, k));
+    }
+    w.end_object();
+    w.begin_object_field("queue_wait_us");
+    for k in ["count", "p50", "p90", "p99", "max"] {
+        w.field_u64(k, hist_field(queue_wait, k));
+    }
+    w.end_object();
+    w.end_object();
+    w.field_raw("server", server_stats.trim());
+    w.end_object();
+    let json = w.finish() + "\n";
     // Self-check before anything is written: a drifting field fails here,
     // not in the CI schema job.
     validate_serve_bench(&json).expect("servebench output failed its own schema");

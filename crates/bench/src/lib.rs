@@ -414,15 +414,17 @@ pub fn validate_vm_bench(text: &str) -> Result<(), String> {
 }
 
 /// Validate a `BENCH_serve.json` document against the
-/// `lpat-bench-serve/v1` schema: a `servebench` load-generation run
+/// `lpat-bench-serve/v2` schema: a `servebench` load-generation run
 /// against `lpatd` with at least 8 concurrent clients, client-side
-/// latency percentiles, and the server's own `serve.*` counters (the
-/// shed/error evidence). Used by `servebench` to self-check its output
-/// and by the CI smoke job to validate the committed artifact.
+/// latency percentiles, the server-side log-linear quantiles lifted
+/// from the scraped stats (`server_quantiles`), and the server's own
+/// `serve.*` counters plus quantile telemetry (the shed/error
+/// evidence). Used by `servebench` to self-check its output and by the
+/// CI smoke job to validate the committed artifact.
 pub fn validate_serve_bench(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
-    if doc.get("schema").and_then(Json::str) != Some("lpat-bench-serve/v1") {
-        return Err("schema must be \"lpat-bench-serve/v1\"".into());
+    if doc.get("schema").and_then(Json::str) != Some("lpat-bench-serve/v2") {
+        return Err("schema must be \"lpat-bench-serve/v2\"".into());
     }
     for key in [
         "clients",
@@ -458,10 +460,28 @@ pub fn validate_serve_bench(text: &str) -> Result<(), String> {
             .and_then(Json::num)
             .ok_or_else(|| format!("latency_ms: missing numeric '{key}'"))?;
     }
+    // Server-side quantiles lifted out of the scraped stats: pure service
+    // time next to the client's wall-clock view; the gap is the queue.
+    let sq = doc
+        .get("server_quantiles")
+        .ok_or("missing 'server_quantiles' object")?;
+    for hist in ["latency_us", "queue_wait_us"] {
+        let h = sq
+            .get(hist)
+            .ok_or_else(|| format!("server_quantiles: missing '{hist}' object"))?;
+        for key in ["count", "p50", "p90", "p99", "max"] {
+            h.get(key)
+                .and_then(Json::num)
+                .ok_or_else(|| format!("server_quantiles.{hist}: missing numeric '{key}'"))?;
+        }
+    }
     // The server's own counters, scraped over the wire via the Stats op:
     // this is where the shed evidence lives even when every client-side
     // Busy was retried away.
     let server = doc.get("server").ok_or("missing 'server' object")?;
+    if server.get("schema").and_then(Json::str) != Some("lpat-serve-stats/v2") {
+        return Err("server.schema must be \"lpat-serve-stats/v2\"".into());
+    }
     for key in [
         "requests",
         "ok",
@@ -475,6 +495,9 @@ pub fn validate_serve_bench(text: &str) -> Result<(), String> {
             .and_then(Json::num)
             .ok_or_else(|| format!("server: missing numeric '{key}'"))?;
     }
+    server
+        .get("quantiles")
+        .ok_or("server: missing 'quantiles' object")?;
     Ok(())
 }
 
@@ -640,14 +663,20 @@ mod tests {
     #[test]
     fn serve_bench_validator_accepts_good_and_rejects_bad() {
         let good = r#"{
-  "schema": "lpat-bench-serve/v1",
+  "schema": "lpat-bench-serve/v2",
   "clients": 8, "requests_per_client": 40, "workers": 2, "queue_depth": 2,
   "duration_ms": 1234.5, "requests": 320, "ok": 290, "errors": 20, "busy": 10,
   "requests_per_sec": 259.2,
   "cache_hits": 250, "cache_misses": 40, "cache_hit_rate": 0.862,
   "latency_ms": {"p50": 1.2, "p90": 4.5, "p99": 20.1, "max": 55.0},
-  "server": {"requests": 321, "ok": 290, "errors": 20, "busy": 11,
-             "shed_queue": 9, "busy_tenant": 2}
+  "server_quantiles": {
+    "latency_us": {"count": 290, "p50": 900, "p90": 3800, "p99": 18000, "max": 52000},
+    "queue_wait_us": {"count": 321, "p50": 120, "p90": 900, "p99": 4100, "max": 9000}
+  },
+  "server": {"schema": "lpat-serve-stats/v2",
+             "requests": 321, "ok": 290, "errors": 20, "busy": 11,
+             "shed_queue": 9, "busy_tenant": 2,
+             "quantiles": {"latency_us": {}, "queue_wait_us": {}}}
 }"#;
         validate_serve_bench(good).unwrap();
         assert!(validate_serve_bench("{}").is_err());
@@ -657,8 +686,22 @@ mod tests {
         assert!(validate_serve_bench(&good.replace("\"errors\": 20,", "\"errors\": 0,")).is_err());
         assert!(validate_serve_bench(&good.replace("\"shed_queue\": 9,", "")).is_err());
         assert!(validate_serve_bench(&good.replace("\"p99\": 20.1,", "")).is_err());
+        // v2 additions must be present: the lifted server-side quantiles,
+        // the stats schema tag, and the embedded telemetry section.
+        assert!(validate_serve_bench(&good.replace("\"server_quantiles\"", "\"sq\"")).is_err());
+        assert!(validate_serve_bench(&good.replace(
+            "\"queue_wait_us\": {\"count\": 321",
+            "\"queue_wait_us\": {\"n\": 321"
+        ))
+        .is_err());
         assert!(
-            validate_serve_bench(&good.replace("lpat-bench-serve/v1", "lpat-bench-serve/v0"))
+            validate_serve_bench(&good.replace("lpat-serve-stats/v2", "lpat-serve-stats/v1"))
+                .is_err()
+        );
+        assert!(validate_serve_bench(&good.replace("\"quantiles\":", "\"histograms\":")).is_err());
+        // Pre-telemetry v1 artifacts are rejected outright.
+        assert!(
+            validate_serve_bench(&good.replace("lpat-bench-serve/v2", "lpat-bench-serve/v1"))
                 .is_err()
         );
     }

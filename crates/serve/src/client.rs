@@ -174,7 +174,20 @@ impl Client {
                 return Ok(last);
             };
             let hinted = Duration::from_millis(u64::from(retry_after_ms));
-            std::thread::sleep(policy.delay(attempt, hinted, seed));
+            let delay = policy.delay(attempt, hinted, seed);
+            // Surfaced as a trace instant so client-side tail latency is
+            // attributable to backoff, not mistaken for server time.
+            lpat_core::trace::instant_args(
+                "serve.client",
+                "retry",
+                vec![
+                    ("attempt", (attempt + 1).to_string()),
+                    ("delay_ms", delay.as_millis().to_string()),
+                    ("hint_ms", u64::from(retry_after_ms).to_string()),
+                    ("rid", req.request_id.to_string()),
+                ],
+            );
+            std::thread::sleep(delay);
             last = self.request(req)?;
         }
         Ok(last)

@@ -29,7 +29,12 @@ use lpat_core::faultpoint;
 
 /// Protocol version spoken by this build. A peer with a different version
 /// is rejected at decode with [`ProtoError::Version`].
-pub const PROTO_VERSION: u16 = 1;
+///
+/// History: v1 was the original request/response protocol; v2 added the
+/// distributed-tracing context (`request_id` + `parent_span`) to
+/// requests. Versioning is strict equality — both peers ship from this
+/// repository, so a skewed pair should fail loudly, not negotiate.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Request-payload magic.
 pub const MAGIC_REQUEST: [u8; 4] = *b"LPRQ";
@@ -117,6 +122,15 @@ pub struct Request {
     /// Wall-clock deadline for the whole request in milliseconds
     /// (0 = server default).
     pub deadline_ms: u32,
+    /// Distributed-trace request id originated by the client (0 = unset;
+    /// the daemon then assigns one). All daemon and worker spans for this
+    /// request carry it as a `rid` argument so one id threads the merged
+    /// trace end to end.
+    pub request_id: u64,
+    /// Ordinal of the client-side span this request was issued under
+    /// (0 = none). Purely observability metadata; the server echoes it
+    /// into its spans and never interprets it.
+    pub parent_span: u64,
     /// Scripted `read_int` input for `Run`.
     pub inputs: Vec<i64>,
     /// The module payload: bytecode (`LPAT` magic), textual IR, or miniC
@@ -134,6 +148,8 @@ impl Request {
             name: "module".into(),
             fuel: 0,
             deadline_ms: 0,
+            request_id: 0,
+            parent_span: 0,
             inputs: Vec::new(),
             module: Vec::new(),
         }
@@ -461,6 +477,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     push_str8(&mut out, &req.name);
     out.extend_from_slice(&req.fuel.to_le_bytes());
     out.extend_from_slice(&req.deadline_ms.to_le_bytes());
+    out.extend_from_slice(&req.request_id.to_le_bytes());
+    out.extend_from_slice(&req.parent_span.to_le_bytes());
     out.extend_from_slice(&(req.inputs.len().min(u16::MAX as usize) as u16).to_le_bytes());
     for v in req.inputs.iter().take(u16::MAX as usize) {
         out.extend_from_slice(&v.to_le_bytes());
@@ -506,6 +524,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
     let name = c.str8("name")?;
     let fuel = c.u64("fuel")?;
     let deadline_ms = c.u32("deadline")?;
+    let request_id = c.u64("request id")?;
+    let parent_span = c.u64("parent span")?;
     let n_inputs = c.u16("input count")? as usize;
     let mut inputs = Vec::with_capacity(n_inputs.min(1024));
     for _ in 0..n_inputs {
@@ -520,6 +540,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         name,
         fuel,
         deadline_ms,
+        request_id,
+        parent_span,
         inputs,
         module,
     })
@@ -686,6 +708,8 @@ mod tests {
             name: "app".into(),
             fuel: 1_000_000,
             deadline_ms: 2_500,
+            request_id: 0xD15C_0BEE,
+            parent_span: 7,
             inputs: vec![-1, 0, 42],
             module: b"LPAT-not-really".to_vec(),
         }

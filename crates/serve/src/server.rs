@@ -102,6 +102,17 @@ pub struct ServerConfig {
     pub crash_k: u32,
     /// Crash-loop breaker window.
     pub crash_window: Duration,
+    /// When set, process-isolated workers trace each request under this
+    /// clock and ship the serialized buffer back as a sidecar frame; the
+    /// daemon absorbs it as a per-process lane of its own trace
+    /// ([`trace::absorb_foreign`]). `None` disables worker-side tracing.
+    pub worker_trace: Option<trace::ClockMode>,
+    /// Directory for per-slot flight-recorder spill files. When set, each
+    /// worker keeps a bounded ring of its recent trace events spilled to
+    /// `slot<N>.spill`; after a crash or watchdog kill the supervisor
+    /// salvages the checksum-valid prefix into a `*.flight` dump that the
+    /// `Crashed` diagnostic references. `None` disables the recorder.
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +136,40 @@ impl Default for ServerConfig {
             watchdog_grace: Duration::from_millis(500),
             crash_k: 3,
             crash_window: Duration::from_secs(300),
+            worker_trace: None,
+            flight_dir: None,
+        }
+    }
+}
+
+/// Distinct `op:*` / `tenant:*` keys admitted per histogram family before
+/// further keys fold into `"other"` (a tenant-name flood must not grow
+/// daemon memory without bound).
+const MAX_TELEMETRY_KEYS: usize = 32;
+
+/// Always-on quantile telemetry over the request stream: zero-dep
+/// log-linear histograms (see [`trace::Histogram`] for the bucket scheme
+/// and error bound), summarized as p50/p90/p99 in the `Stats` op's
+/// `lpat-serve-stats/v2` response.
+pub struct Telemetry {
+    /// End-to-end request latency in microseconds (decode to response),
+    /// keyed `op:<op>` and `tenant:<tenant>`.
+    pub latency_us: trace::HistogramSet,
+    /// Queue wait in microseconds: admission to worker pop.
+    pub queue_wait_us: trace::Histogram,
+    /// Fuel granted per request, after defaulting.
+    pub fuel: trace::Histogram,
+    /// Module payload sizes in bytes.
+    pub payload_bytes: trace::Histogram,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry {
+            latency_us: trace::HistogramSet::new(MAX_TELEMETRY_KEYS),
+            queue_wait_us: trace::Histogram::new(),
+            fuel: trace::Histogram::new(),
+            payload_bytes: trace::Histogram::new(),
         }
     }
 }
@@ -174,9 +219,13 @@ pub struct ServerStats {
     /// Requests refused because their payload hash is crash-loop
     /// quarantined.
     pub quarantined: AtomicU64,
+    /// Flight records salvaged from dead workers' spill files.
+    pub flight_salvaged: AtomicU64,
     /// Live worker-subprocess pids by slot (0 = slot currently empty /
     /// thread isolation). Chaos tests read these to aim `kill -9`.
     pub worker_pids: std::sync::Mutex<Vec<u64>>,
+    /// Quantile telemetry (latency, queue wait, fuel, payload bytes).
+    pub telemetry: std::sync::Mutex<Telemetry>,
 }
 
 impl ServerStats {
@@ -185,51 +234,67 @@ impl ServerStats {
         trace::counter(trace_name, 1);
     }
 
-    /// Render the counters as a stable JSON object (the `Stats` op's
-    /// response body; `servebench` scrapes it).
+    /// Lock the telemetry histograms (poison-proof: counters must stay
+    /// readable even after a panicked recorder).
+    pub fn telemetry(&self) -> std::sync::MutexGuard<'_, Telemetry> {
+        self.telemetry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Render the counters and quantile telemetry as a stable
+    /// `lpat-serve-stats/v2` JSON object (the `Stats` op's response body;
+    /// `servebench` and `lpatc remote top` consume it).
     pub fn render_json(&self) -> String {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let pids = {
-            let v = self.worker_pids.lock().unwrap_or_else(|e| e.into_inner());
-            v.iter()
-                .map(|p| p.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        format!(
-            concat!(
-                "{{\"schema\":\"lpat-serve-stats/v1\",",
-                "\"conns\":{},\"accept_faults\":{},\"requests\":{},",
-                "\"ok\":{},\"errors\":{},\"busy\":{},",
-                "\"shed_queue\":{},\"busy_tenant\":{},\"quota_rejected\":{},",
-                "\"decode_errors\":{},\"panics_isolated\":{},",
-                "\"deadline_expired\":{},\"traps\":{},",
-                "\"cache_hits\":{},\"cache_misses\":{},",
-                "\"worker_crashes\":{},\"worker_restarts\":{},",
-                "\"watchdog_kills\":{},\"quarantined\":{},",
-                "\"worker_pids\":[{}]}}"
-            ),
-            g(&self.conns),
-            g(&self.accept_faults),
-            g(&self.requests),
-            g(&self.ok),
-            g(&self.errors),
-            g(&self.busy),
-            g(&self.shed_queue),
-            g(&self.busy_tenant),
-            g(&self.quota_rejected),
-            g(&self.decode_errors),
-            g(&self.panics_isolated),
-            g(&self.deadline_expired),
-            g(&self.traps),
-            g(&self.cache_hits),
-            g(&self.cache_misses),
-            g(&self.worker_crashes),
-            g(&self.worker_restarts),
-            g(&self.watchdog_kills),
-            g(&self.quarantined),
-            pids,
-        )
+        let mut w = trace::JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "lpat-serve-stats/v2");
+        w.field_u64("conns", g(&self.conns));
+        w.field_u64("accept_faults", g(&self.accept_faults));
+        w.field_u64("requests", g(&self.requests));
+        w.field_u64("ok", g(&self.ok));
+        w.field_u64("errors", g(&self.errors));
+        w.field_u64("busy", g(&self.busy));
+        w.field_u64("shed_queue", g(&self.shed_queue));
+        w.field_u64("busy_tenant", g(&self.busy_tenant));
+        w.field_u64("quota_rejected", g(&self.quota_rejected));
+        w.field_u64("decode_errors", g(&self.decode_errors));
+        w.field_u64("panics_isolated", g(&self.panics_isolated));
+        w.field_u64("deadline_expired", g(&self.deadline_expired));
+        w.field_u64("traps", g(&self.traps));
+        w.field_u64("cache_hits", g(&self.cache_hits));
+        w.field_u64("cache_misses", g(&self.cache_misses));
+        w.field_u64("worker_crashes", g(&self.worker_crashes));
+        w.field_u64("worker_restarts", g(&self.worker_restarts));
+        w.field_u64("watchdog_kills", g(&self.watchdog_kills));
+        w.field_u64("quarantined", g(&self.quarantined));
+        w.field_u64("flight_salvaged", g(&self.flight_salvaged));
+        w.begin_array_field("worker_pids");
+        {
+            let pids = self.worker_pids.lock().unwrap_or_else(|e| e.into_inner());
+            for p in pids.iter() {
+                w.value_u64(*p);
+            }
+        }
+        w.end_array();
+        w.begin_object_field("quantiles");
+        {
+            let t = self.telemetry();
+            w.begin_object_field("latency_us");
+            t.latency_us.write_fields(&mut w);
+            w.end_object();
+            w.begin_object_field("queue_wait_us");
+            t.queue_wait_us.write_fields(&mut w);
+            w.end_object();
+            w.begin_object_field("fuel");
+            t.fuel.write_fields(&mut w);
+            w.end_object();
+            w.begin_object_field("payload_bytes");
+            t.payload_bytes.write_fields(&mut w);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -264,6 +329,11 @@ struct Job {
     /// payload-less ops, which are never charged).
     payload_hash: u64,
     deadline: Instant,
+    /// When the job entered the queue (queue-wait telemetry).
+    enqueued: Instant,
+    /// The `serve.queued` span, opened at enqueue and recorded when the
+    /// popping worker drops it — one stopwatch for the queue wait.
+    queued: trace::Span,
     tx: mpsc::Sender<Response>,
     _inflight: InflightGuard,
 }
@@ -371,6 +441,10 @@ impl Server {
             }
             None => None,
         };
+        if let Some(dir) = &cfg.flight_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("flight dir {}: {e}", dir.display()))?;
+        }
         let breaker = match cfg.isolate {
             Isolation::Process => Some(CrashBreaker::new(cfg.crash_k, cfg.crash_window)),
             Isolation::Thread => None,
@@ -579,7 +653,16 @@ fn connection_loop(shared: &Arc<Shared>, mut conn: Conn) {
                 continue;
             }
         };
+        let op_key = format!("op:{}", req.op.name());
+        let tenant_key = format!("tenant:{}", req.tenant);
+        let t0 = Instant::now();
         let resp = handle_request(shared, req);
+        let latency_us = t0.elapsed().as_micros() as u64;
+        {
+            let mut t = engine.stats.telemetry();
+            t.latency_us.record(&op_key, latency_us);
+            t.latency_us.record(&tenant_key, latency_us);
+        }
         let ok = send(&mut conn, &resp);
         count_response(shared, &resp);
         shared.request_completed();
@@ -589,10 +672,35 @@ fn connection_loop(shared: &Arc<Shared>, mut conn: Conn) {
     }
 }
 
+/// Request ids assigned by the daemon to requests that arrive without a
+/// client-originated one (`request_id == 0`). Starts at 1 per daemon
+/// process, so serial request sequences get deterministic ids.
+static NEXT_RID: AtomicU64 = AtomicU64::new(1);
+
 /// Admit, enqueue, and await one decoded request.
-fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
+fn handle_request(shared: &Arc<Shared>, mut req: Request) -> Response {
     let engine = &shared.engine;
     engine.stats.bump(&engine.stats.requests, "serve.requests");
+    if req.request_id == 0 {
+        req.request_id = NEXT_RID.fetch_add(1, Ordering::Relaxed);
+    }
+    let rid = req.request_id;
+    {
+        let mut t = engine.stats.telemetry();
+        t.payload_bytes.record(req.module.len() as u64);
+        t.fuel.record(if req.fuel > 0 {
+            req.fuel
+        } else {
+            shared.cfg.default_fuel
+        });
+    }
+    let mut adm = trace::span("serve", "admission");
+    adm.arg("rid", rid.to_string());
+    adm.arg("op", req.op.name());
+    adm.arg("tenant", req.tenant.clone());
+    if req.parent_span != 0 {
+        adm.arg("parent", req.parent_span.to_string());
+    }
     if shared.shutting_down() {
         return Response::Busy {
             retry_after_ms: 200,
@@ -651,11 +759,17 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
         shared.cfg.default_deadline
     };
     let deadline = Instant::now() + deadline_ms;
+    adm.arg("outcome", "admitted");
+    drop(adm);
+    let mut queued = trace::span("serve", "queued");
+    queued.arg("rid", rid.to_string());
     let (tx, rx) = mpsc::channel();
     let job = Job {
         req,
         payload_hash,
         deadline,
+        enqueued: Instant::now(),
+        queued,
         tx,
         _inflight: inflight,
     };
@@ -712,9 +826,22 @@ fn send(conn: &mut Conn, resp: &Response) -> bool {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let Job {
-            req, deadline, tx, ..
+            req,
+            deadline,
+            enqueued,
+            queued,
+            tx,
+            ..
         } = job;
+        drop(queued); // record the queue-wait span
+        shared
+            .engine
+            .stats
+            .telemetry()
+            .queue_wait_us
+            .record(enqueued.elapsed().as_micros() as u64);
         let mut sp = trace::span("serve", "request");
+        sp.arg("rid", req.request_id.to_string());
         sp.arg("op", req.op.name());
         sp.arg("tenant", req.tenant.clone());
         // The whole pipeline for one request is one isolation domain: a
@@ -762,11 +889,19 @@ fn proc_worker_loop(shared: &Arc<Shared>, slot: usize) {
             req,
             payload_hash,
             deadline,
+            enqueued,
+            queued,
             tx,
             ..
         } = job;
+        drop(queued); // record the queue-wait span
+        engine
+            .stats
+            .telemetry()
+            .queue_wait_us
+            .record(enqueued.elapsed().as_micros() as u64);
         if worker.is_none() {
-            match ProcWorker::spawn(&shared.cfg) {
+            match ProcWorker::spawn(&shared.cfg, slot) {
                 Ok(w) => {
                     if ever_spawned {
                         engine
@@ -792,13 +927,25 @@ fn proc_worker_loop(shared: &Arc<Shared>, slot: usize) {
         }
         let w = worker.as_mut().expect("worker spawned above");
         let mut sp = trace::span("serve", "request");
+        sp.arg("rid", req.request_id.to_string());
         sp.arg("op", req.op.name());
         sp.arg("tenant", req.tenant.clone());
-        sp.arg("worker_pid", w.pid.to_string());
+        if trace::clock_mode() == trace::ClockMode::Real {
+            // Real pids vary run to run; the virtual-clock export must
+            // stay a pure function of the request sequence.
+            sp.arg("worker_pid", w.pid.to_string());
+        }
         let remaining = deadline.saturating_duration_since(Instant::now());
+        // Absorbed worker events are re-timed relative to dispatch start.
+        let ts_base = trace::now_us();
         let (resp, died) = match w.dispatch(&req, remaining, shared.cfg.watchdog_grace) {
-            Dispatch::Reply(resp) => {
+            Dispatch::Reply(resp, sidecar) => {
                 consecutive = 0;
+                if let Some(blob) = sidecar {
+                    // A garbled sidecar costs the trace lane, never the
+                    // response that already arrived intact.
+                    let _ = trace::absorb_foreign(&blob, ts_base);
+                }
                 (resp, false)
             }
             Dispatch::Crashed(detail) => {
@@ -806,13 +953,11 @@ fn proc_worker_loop(shared: &Arc<Shared>, slot: usize) {
                     .stats
                     .bump(&engine.stats.worker_crashes, "serve.worker_crashes");
                 charge_crash(shared, payload_hash);
-                (
-                    Response::err(
-                        ErrClass::Crashed,
-                        format!("worker died mid-request: {detail}"),
-                    ),
-                    true,
-                )
+                let msg = match salvage_flight(shared, slot, req.request_id) {
+                    Some(note) => format!("worker died mid-request: {detail}; {note}"),
+                    None => format!("worker died mid-request: {detail}"),
+                };
+                (Response::err(ErrClass::Crashed, msg), true)
             }
             Dispatch::Wedged => {
                 // Past deadline + grace with no answer: cooperative
@@ -822,13 +967,12 @@ fn proc_worker_loop(shared: &Arc<Shared>, slot: usize) {
                     .stats
                     .bump(&engine.stats.watchdog_kills, "serve.watchdog_kills");
                 charge_crash(shared, payload_hash);
-                (
-                    Response::err(
-                        ErrClass::Deadline,
-                        "worker exceeded its deadline and was hard-killed by the watchdog",
-                    ),
-                    true,
-                )
+                let base = "worker exceeded its deadline and was hard-killed by the watchdog";
+                let msg = match salvage_flight(shared, slot, req.request_id) {
+                    Some(note) => format!("{base}; {note}"),
+                    None => base.to_string(),
+                };
+                (Response::err(ErrClass::Deadline, msg), true)
             }
         };
         sp.arg("status", resp.status_label());
@@ -849,6 +993,36 @@ fn proc_worker_loop(shared: &Arc<Shared>, slot: usize) {
         w.shutdown();
     }
     set_pid(0);
+}
+
+/// Salvage a dead (or wedged) worker's flight-recorder spill: parse the
+/// checksum-valid prefix of `slot<N>.spill`, preserve it as a standalone
+/// `slot<N>-rid<R>.flight` dump, and return a diagnostic note referencing
+/// it. `None` when the recorder is off or nothing salvageable exists —
+/// flight records are best-effort and must never delay the client's
+/// answer beyond one file read.
+fn salvage_flight(shared: &Shared, slot: usize, rid: u64) -> Option<String> {
+    let dir = shared.cfg.flight_dir.as_ref()?;
+    let spill = dir.join(format!("slot{slot}.spill"));
+    let events = trace::read_flight(&spill).ok()?;
+    if events.is_empty() {
+        return None;
+    }
+    let dump = dir.join(format!("slot{slot}-rid{rid}.flight"));
+    trace::write_flight_dump(&dump, &events).ok()?;
+    let engine = &shared.engine;
+    engine
+        .stats
+        .bump(&engine.stats.flight_salvaged, "serve.flight_salvaged");
+    let last = events
+        .last()
+        .map(|e| format!("{}.{}", e.cat, e.name))
+        .unwrap_or_default();
+    Some(format!(
+        "flight record: {} ({} events, last {last})",
+        dump.display(),
+        events.len()
+    ))
 }
 
 /// Charge one worker death to the crash breaker (payload-less ops are

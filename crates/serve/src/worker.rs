@@ -43,6 +43,7 @@ use crate::proto::{
 };
 use crate::server::{panic_message, process, Engine, ServerConfig};
 use crate::shard::ShardedStore;
+use lpat_core::trace;
 use lpat_vm::store::DenyRecord;
 
 /// Where request pipelines execute.
@@ -80,8 +81,10 @@ const SHUTDOWN_PATIENCE: Duration = Duration::from_secs(2);
 
 /// Outcome of handing one request to a worker process.
 pub(crate) enum Dispatch {
-    /// The worker answered with this response.
-    Reply(Response),
+    /// The worker answered with this response; when worker-side tracing
+    /// is on, the second field carries the sidecar frame with the
+    /// worker's serialized trace buffer for this request.
+    Reply(Response, Option<Vec<u8>>),
     /// The worker process died before answering (exit, abort, signal).
     Crashed(String),
     /// The worker blew the deadline plus the watchdog grace; the caller
@@ -99,13 +102,17 @@ pub(crate) struct ProcWorker {
     reader: Option<thread::JoinHandle<()>>,
     /// OS pid, for stats (and for chaos tests to `kill -9`).
     pub(crate) pid: u32,
+    /// Whether this worker was spawned with `--trace-clock` and therefore
+    /// follows every response frame with a trace sidecar frame.
+    ships_trace: bool,
 }
 
 impl ProcWorker {
     /// Re-exec this binary as `lpatd --worker` with pipes on
     /// stdin/stdout. Stderr is inherited: a worker's dying words (panic
-    /// messages, abort notices) belong in the daemon's log.
-    pub(crate) fn spawn(cfg: &ServerConfig) -> std::io::Result<ProcWorker> {
+    /// messages, abort notices) belong in the daemon's log. `slot` names
+    /// this supervisor's flight-recorder spill file.
+    pub(crate) fn spawn(cfg: &ServerConfig, slot: usize) -> std::io::Result<ProcWorker> {
         let exe = match &cfg.worker_cmd {
             Some(p) => p.clone(),
             None => std::env::current_exe()?,
@@ -117,6 +124,16 @@ impl ProcWorker {
         if let Some(dir) = &cfg.cache_dir {
             cmd.arg("--cache-dir").arg(dir);
             cmd.arg("--shards").arg(cfg.shards.to_string());
+        }
+        if let Some(mode) = cfg.worker_trace {
+            cmd.arg("--trace-clock").arg(match mode {
+                lpat_core::trace::ClockMode::Virtual => "virtual",
+                lpat_core::trace::ClockMode::Real => "real",
+            });
+        }
+        if let Some(dir) = &cfg.flight_dir {
+            cmd.arg("--flight-file")
+                .arg(dir.join(format!("slot{slot}.spill")));
         }
         cmd.args(&cfg.worker_args);
         cmd.stdin(std::process::Stdio::piped());
@@ -146,6 +163,7 @@ impl ProcWorker {
             rx,
             reader: Some(reader),
             pid,
+            ships_trace: cfg.worker_trace.is_some(),
         })
     }
 
@@ -174,7 +192,20 @@ impl ProcWorker {
         }
         match self.rx.recv_timeout(remaining + grace) {
             Ok(frame) => match decode_response(&frame) {
-                Ok(resp) => Dispatch::Reply(resp),
+                Ok(resp) => {
+                    // A tracing worker writes its sidecar frame back to
+                    // back with the response; a worker that dies (or
+                    // stalls) in between forfeits the trace, never the
+                    // answer that already arrived intact.
+                    let sidecar = if self.ships_trace {
+                        self.rx
+                            .recv_timeout(grace.max(Duration::from_millis(100)))
+                            .ok()
+                    } else {
+                        None
+                    };
+                    Dispatch::Reply(resp, sidecar)
+                }
                 Err(e) => Dispatch::Crashed(format!("garbled worker response: {e}")),
             },
             Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -357,9 +388,25 @@ impl CrashBreaker {
 /// *request*, not one worker process), write response frames to stdout.
 /// Exits 0 on stdin EOF (the supervisor's graceful drain signal).
 ///
+/// With `trace_clock` set the worker runs one fresh trace session per
+/// request — ordinals and timestamps restart at zero, so the recorded
+/// buffer is a pure function of the request, independent of how many
+/// workers the daemon pools. When `ships_trace` is also set, every
+/// response frame is followed by a sidecar frame carrying the serialized
+/// buffer ([`lpat_core::trace::encode_wire_trace`]) for the daemon to
+/// absorb as this process's lane. Enabling the session without shipping
+/// is how the flight recorder observes events on its own
+/// (`--flight-file` without `--trace-clock`).
+///
 /// Stdout carries nothing but frames: the daemon's startup line, logs,
 /// and panic messages all go to stderr.
-pub fn run_worker_stdio(engine: &Engine, max_frame: u32, default_deadline: Duration) -> i32 {
+pub fn run_worker_stdio(
+    engine: &Engine,
+    max_frame: u32,
+    default_deadline: Duration,
+    trace_clock: Option<trace::ClockMode>,
+    ships_trace: bool,
+) -> i32 {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut input = stdin.lock();
@@ -370,8 +417,24 @@ pub fn run_worker_stdio(engine: &Engine, max_frame: u32, default_deadline: Durat
             Err(ProtoError::Closed) => return 0,
             Err(_) => return 1,
         };
+        // The session starts before decode so the sidecar framing stays
+        // in lockstep with responses even on a decode error (the sidecar
+        // is then simply empty).
+        if let Some(mode) = trace_clock {
+            trace::enable(mode);
+        }
         let resp = match decode_request(&frame) {
             Ok(req) => {
+                // Recorded first thing so a mid-request kill always
+                // leaves at least one event in the flight ring.
+                trace::instant_args(
+                    "serve.worker",
+                    "request.begin",
+                    vec![
+                        ("op", req.op.name().to_string()),
+                        ("rid", req.request_id.to_string()),
+                    ],
+                );
                 let budget = if req.deadline_ms > 0 {
                     Duration::from_millis(u64::from(req.deadline_ms))
                 } else {
@@ -388,9 +451,21 @@ pub fn run_worker_stdio(engine: &Engine, max_frame: u32, default_deadline: Durat
             }
             Err(e) => Response::err(ErrClass::Decode, e.to_string()),
         };
+        let sidecar = if trace_clock.is_some() {
+            let data = trace::drain();
+            trace::disable();
+            ships_trace.then(|| trace::encode_wire_trace(&data, std::process::id()))
+        } else {
+            None
+        };
         if write_frame(&mut output, &encode_response(&resp)).is_err() || output.flush().is_err() {
             // The supervisor is gone; nothing left to serve.
             return 0;
+        }
+        if let Some(blob) = sidecar {
+            if write_frame(&mut output, &blob).is_err() || output.flush().is_err() {
+                return 0;
+            }
         }
     }
 }

@@ -575,9 +575,10 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
         "help" | "--help" | "-h" => {
             eprintln!(
                 "usage: lpatc <compile|opt|link|dis|run|reopt|analyze|size|remote> <inputs> [flags]\n\
-                 remote: lpatc remote <ping|run|compile|reopt|stats> [input] --connect ADDR\n\
+                 remote: lpatc remote <ping|run|compile|reopt|stats|top> [input] --connect ADDR\n\
                  \x20      [--tenant T] [--fuel N] [--deadline-ms N] [--input a,b,c]\n\
                  \x20      [-O] [--tiered] [--retries N] [--connect-timeout-ms N] [-o FILE]\n\
+                 \x20      [--request-id N]; top: [--interval-ms N] [--iterations N]\n\
                  flags: -o FILE, --emit text|bc, -O/-O2, --link-pipeline,\n\
                  \x20      --jobs N, --verify-each, --time-passes,\n\
                  \x20      --inject-faults PLAN, --no-degrade, --pass-budget-ms N,\n\
@@ -611,8 +612,9 @@ fn remote(rest: &[String], diag: &mut Diag) -> Result<ExitCode, String> {
         Some("compile") => Op::Compile,
         Some("reopt") => Op::Reopt,
         Some("stats") => Op::Stats,
+        Some("top") => return remote_top(rest),
         Some(other) => return Err(format!("remote: unknown op '{other}'")),
-        None => return Err("remote: no op (ping|run|compile|reopt|stats)".into()),
+        None => return Err("remote: no op (ping|run|compile|reopt|stats|top)".into()),
     };
     let addr = flag_value(rest, "--connect").ok_or("remote: --connect ADDR is required")?;
     let addr = Addr::parse(addr).map_err(|e| format!("remote: {e}"))?;
@@ -644,6 +646,27 @@ fn remote(rest: &[String], diag: &mut Diag) -> Result<ExitCode, String> {
     if has_flag(rest, "--tiered") {
         req.flags |= lpat::serve::FLAG_TIERED;
     }
+    // Originate the distributed-trace context: the id rides the wire,
+    // every daemon and worker span for this request carries it, and the
+    // merged `lpatd --trace-out` file can be grepped for it end to end.
+    // Accepts decimal or the 0x-hex form the diagnostics print, so an id
+    // copied from another transcript round-trips.
+    req.request_id = match flag_value(rest, "--request-id") {
+        Some(v) => match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).map_err(|_| "bad --request-id value")?,
+            None => v.parse().map_err(|_| "bad --request-id value")?,
+        },
+        None => {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            // SplitMix64-style mix of time and pid; `| 1` keeps it
+            // nonzero (zero means "daemon, assign one").
+            (nanos ^ (u64::from(std::process::id()) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+        }
+    };
+    diag.note(&format!("[remote] request id {:#018x}", req.request_id));
     // Ops that carry a module read it from the first non-flag argument
     // after the op name. The bytes ship raw — the daemon does the
     // auto-detection — except miniC, which the wire marks with a flag
@@ -669,9 +692,14 @@ fn remote(rest: &[String], diag: &mut Diag) -> Result<ExitCode, String> {
         policy.max_attempts = retries + 1;
     }
     let mut client = Client::connect(&addr, connect_timeout).map_err(|e| format!("remote: {e}"))?;
+    let mut sp = lpat::core::trace::span("serve.client", "request");
+    sp.arg("rid", req.request_id.to_string());
+    sp.arg("op", op.name());
     let resp = client
         .request_with_retry(&req, &policy)
         .map_err(|e| format!("remote: {e}"))?;
+    sp.arg("status", resp.status_label());
+    drop(sp);
     match resp {
         Response::Ok {
             exit,
@@ -731,6 +759,127 @@ fn remote(rest: &[String], diag: &mut Diag) -> Result<ExitCode, String> {
             ));
             Ok(ExitCode::from(3))
         }
+    }
+}
+
+/// `lpatc remote top --connect ADDR` — a refreshing live view of a
+/// running daemon: req/s, latency/queue-wait quantiles, worker states,
+/// and crash/quarantine counters, all scraped from the `Stats` op's
+/// `lpat-serve-stats/v2` JSON once per `--interval-ms` (default 1000).
+/// `--iterations N` stops after N polls (0 = until interrupted), which
+/// is how scripts and tests get one deterministic snapshot.
+fn remote_top(rest: &[String]) -> Result<ExitCode, String> {
+    use lpat::core::trace::{parse_json, Json};
+    use lpat::serve::{Addr, Client, Op, Request, Response};
+
+    let addr = flag_value(rest, "--connect").ok_or("remote top: --connect ADDR is required")?;
+    let addr = Addr::parse(addr).map_err(|e| format!("remote top: {e}"))?;
+    let interval = std::time::Duration::from_millis(match flag_value(rest, "--interval-ms") {
+        Some(v) => v.parse().map_err(|_| "bad --interval-ms value")?,
+        None => 1000,
+    });
+    let iterations: u64 = match flag_value(rest, "--iterations") {
+        Some(v) => v.parse().map_err(|_| "bad --iterations value")?,
+        None => 0,
+    };
+    let mut client = Client::connect(&addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("remote top: {e}"))?;
+    let mut prev: Option<(f64, std::time::Instant)> = None;
+    let mut poll = 0u64;
+    loop {
+        poll += 1;
+        let json = match client.request(&Request::new(Op::Stats)) {
+            Ok(Response::Ok { output, .. }) => String::from_utf8_lossy(&output).into_owned(),
+            Ok(other) => return Err(format!("remote top: stats answered {other:?}")),
+            Err(e) => return Err(format!("remote top: {e}")),
+        };
+        let stats = parse_json(&json).map_err(|e| format!("remote top: bad stats JSON: {e}"))?;
+        let now = std::time::Instant::now();
+        let requests = stats.num("requests").unwrap_or(0.0);
+        let rate = match prev {
+            Some((r0, t0)) => {
+                let dt = now.duration_since(t0).as_secs_f64();
+                if dt > 0.0 {
+                    (requests - r0).max(0.0) / dt
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        prev = Some((requests, now));
+        {
+            use std::io::IsTerminal as _;
+            if std::io::stdout().is_terminal() {
+                // Home + clear-to-end keeps a live table without scroll.
+                print!("\x1b[H\x1b[2J");
+            }
+        }
+        let n = |k: &str| stats.num(k).unwrap_or(0.0) as u64;
+        println!(
+            "lpatd {} — {} (poll {poll})",
+            addr,
+            stats.str_field("schema").unwrap_or("?")
+        );
+        println!(
+            "requests {:>8}   {:>8.1} req/s   ok {}   errors {}   busy {}   shed {}",
+            n("requests"),
+            rate,
+            n("ok"),
+            n("errors"),
+            n("busy"),
+            n("shed_queue"),
+        );
+        let pids: Vec<String> = match stats.get("worker_pids") {
+            Some(Json::Arr(v)) => v
+                .iter()
+                .filter_map(|p| match p {
+                    Json::Num(x) if *x > 0.0 => Some(format!("{}", *x as u64)),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        println!(
+            "workers [{}]   crashes {}   restarts {}   watchdog {}   quarantined {}   flight {}",
+            pids.join(", "),
+            n("worker_crashes"),
+            n("worker_restarts"),
+            n("watchdog_kills"),
+            n("quarantined"),
+            n("flight_salvaged"),
+        );
+        println!(
+            "{:<24} {:>8} {:>8} {:>8} {:>8} {:>10}",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        );
+        if let Some(q) = stats.get("quantiles") {
+            let row = |label: &str, h: &Json| {
+                let f = |k: &str| h.num(k).unwrap_or(0.0) as u64;
+                println!(
+                    "{label:<24} {:>8} {:>8} {:>8} {:>8} {:>10}",
+                    f("count"),
+                    f("p50"),
+                    f("p90"),
+                    f("p99"),
+                    f("max")
+                );
+            };
+            if let Some(lat) = q.get("latency_us") {
+                for (k, h) in lat.fields() {
+                    row(&format!("latency_us {k}"), h);
+                }
+            }
+            for plain in ["queue_wait_us", "fuel", "payload_bytes"] {
+                if let Some(h) = q.get(plain) {
+                    row(plain, h);
+                }
+            }
+        }
+        if iterations > 0 && poll >= iterations {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(interval);
     }
 }
 

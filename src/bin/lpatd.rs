@@ -9,6 +9,7 @@
 //!       [--tenant-inflight N] [--tenant-bytes N] [--tenant-fuel N]
 //!       [--max-requests N] [--inject-faults PLAN] [--quiet]
 //!       [--trace-out FILE] [--metrics-out FILE] [--stats]
+//!       [--trace-clock virtual|real] [--flight-dir DIR]
 //! ```
 //!
 //! `ADDR` is `tcp:host:port` (port 0 binds an ephemeral port) or
@@ -29,6 +30,19 @@
 //! `crashed` error) while the daemon keeps serving; a payload whose
 //! workers keep dying is quarantined by the crash-loop breaker
 //! (`--crash-k` strikes inside `--crash-window-ms`).
+//!
+//! Observability: `--trace-out` merges the daemon's spans with every
+//! worker subprocess's per-request trace buffer (shipped back over the
+//! worker's stdout framing) into one Chrome/Perfetto trace with one pid
+//! lane per process; under `--trace-clock virtual` the merged file is
+//! byte-deterministic at any worker count. Under `--isolate process` each
+//! worker also keeps a crash flight recorder — a bounded ring of its
+//! recent trace events spilled to a checksummed file under `--flight-dir`
+//! (default: `<cache-dir>/flight`, or a temp directory) — which the
+//! supervisor salvages into a `*.flight` dump referenced by the `crashed`
+//! diagnostic whenever a worker dies. The final `--stats`/`--metrics-out`
+//! dump happens on every graceful exit path, including SIGTERM/SIGINT
+//! drain.
 //!
 //! `--inject-faults` (or the `LPAT_FAULTS` environment variable) arms
 //! the `serve.accept`, `serve.decode`, `serve.worker`, `serve.deadline`,
@@ -62,7 +76,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
              \x20      [--default-fuel N] [--deadline-ms N]\n\
              \x20      [--tenant-inflight N] [--tenant-bytes N] [--tenant-fuel N]\n\
              \x20      [--max-requests N] [--inject-faults PLAN] [--quiet]\n\
-             \x20      [--trace-out FILE] [--metrics-out FILE] [--stats]"
+             \x20      [--trace-out FILE] [--metrics-out FILE] [--stats]\n\
+             \x20      [--trace-clock virtual|real] [--flight-dir DIR]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -95,12 +110,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let trace_out = flag_value(args, "--trace-out").map(str::to_string);
     let metrics_out = flag_value(args, "--metrics-out").map(str::to_string);
     let stats = has_flag(args, "--stats");
-    if trace_out.is_some() || metrics_out.is_some() || stats {
-        let mode = match std::env::var("LPAT_TRACE_CLOCK").as_deref() {
+    let tracing = trace_out.is_some() || metrics_out.is_some() || stats;
+    // The flag wins over the environment, same as lpatc.
+    let clock = match flag_value(args, "--trace-clock") {
+        Some("virtual") => lpat::core::trace::ClockMode::Virtual,
+        Some("real") => lpat::core::trace::ClockMode::Real,
+        Some(other) => return Err(format!("bad --trace-clock '{other}' (virtual or real)")),
+        None => match std::env::var("LPAT_TRACE_CLOCK").as_deref() {
             Ok("virtual") => lpat::core::trace::ClockMode::Virtual,
             _ => lpat::core::trace::ClockMode::Real,
-        };
-        lpat::core::trace::enable(mode);
+        },
+    };
+    if tracing {
+        lpat::core::trace::enable(clock);
     }
     let quiet = has_flag(args, "--quiet");
 
@@ -158,6 +180,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(v) = flag_value(args, "--restart-backoff-ms") {
         cfg.restart_backoff = Duration::from_millis(parse(v, "--restart-backoff-ms")?);
+    }
+    if isolate == lpat::serve::Isolation::Process {
+        // Workers trace each request and ship the buffer back whenever
+        // the daemon itself is exporting a trace.
+        if tracing {
+            cfg.worker_trace = Some(clock);
+        }
+        // The flight recorder is always on under process isolation: the
+        // whole point is having evidence *after* an unplanned death.
+        cfg.flight_dir = Some(match flag_value(args, "--flight-dir") {
+            Some(d) => std::path::PathBuf::from(d),
+            None => match &cfg.cache_dir {
+                Some(c) => c.join("flight"),
+                None => std::env::temp_dir().join(format!("lpatd-flight-{}", std::process::id())),
+            },
+        });
     }
 
     // SIGTERM/SIGINT drain the daemon through the same clean path
@@ -236,10 +274,49 @@ fn run_worker(args: &[String]) -> Result<ExitCode, String> {
         }
         None => None,
     };
+    // Observability plumbing from the supervisor: `--trace-clock` turns
+    // on per-request trace sessions shipped back as sidecar frames;
+    // `--flight-file` additionally spills a bounded ring of recent
+    // events for post-mortem salvage. A flight file without a trace
+    // clock still needs sessions running (the recorder observes events
+    // as they are recorded), so it forces a real-clock session that is
+    // drained and discarded instead of shipped.
+    let mut ships_trace = false;
+    let mut trace_clock = match flag_value(args, "--trace-clock") {
+        Some("virtual") => {
+            ships_trace = true;
+            Some(lpat::core::trace::ClockMode::Virtual)
+        }
+        Some("real") => {
+            ships_trace = true;
+            Some(lpat::core::trace::ClockMode::Real)
+        }
+        Some(other) => return Err(format!("bad --trace-clock '{other}' (virtual or real)")),
+        None => None,
+    };
+    if let Some(path) = flag_value(args, "--flight-file") {
+        let rec =
+            lpat::core::trace::FlightRecorder::create(std::path::Path::new(path), FLIGHT_RING)
+                .map_err(|e| format!("--flight-file {path}: {e}"))?;
+        lpat::core::trace::install_flight_recorder(rec);
+        if trace_clock.is_none() {
+            trace_clock = Some(lpat::core::trace::ClockMode::Real);
+        }
+    }
     let engine = lpat::serve::Engine::new(store, default_fuel);
-    let code = lpat::serve::run_worker_stdio(&engine, max_frame, default_deadline);
+    let code = lpat::serve::run_worker_stdio(
+        &engine,
+        max_frame,
+        default_deadline,
+        trace_clock,
+        ships_trace,
+    );
     Ok(ExitCode::from(code as u8))
 }
+
+/// Flight-recorder ring capacity: the last N trace events a worker keeps
+/// for post-mortem salvage.
+const FLIGHT_RING: usize = 64;
 
 fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("bad {flag} value '{v}'"))

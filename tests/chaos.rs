@@ -327,6 +327,80 @@ fn sigkill_mid_request_answers_crashed_and_daemon_survives() {
     assert!(d.alive(), "daemon died with its worker");
 }
 
+#[test]
+fn sigkill_salvages_a_flight_record_into_the_crash_diagnostic() {
+    if !in_matrix("worker-abort") {
+        return;
+    }
+    // A worker dying to SIGKILL cannot flush anything at death; its
+    // flight recorder must therefore have already spilled the recent
+    // trace ring incrementally. The supervisor salvages the
+    // checksum-valid prefix into a standalone dump and references it in
+    // the `Crashed` diagnostic.
+    let flight_dir = tmp("flight-salvage");
+    let _ = std::fs::remove_dir_all(&flight_dir);
+    let mut d = Daemon::spawn(&[
+        "--isolate",
+        "process",
+        "--workers",
+        "1",
+        "--crash-k",
+        "100",
+        "--restart-backoff-ms",
+        "10",
+        "--flight-dir",
+        flight_dir.to_str().unwrap(),
+        "--inject-faults",
+        "serve.worker:delay=5000",
+    ]);
+    let addr = d.addr.clone();
+    let inflight = std::thread::spawn(move || {
+        let mut c = connect(&addr);
+        let mut req = run_request(ADD_PROG);
+        req.request_id = 77; // client-chosen: pins the dump's file name
+        c.request(&req).unwrap()
+    });
+    let pid = wait_for_worker_pid(&d.addr, Duration::from_secs(5));
+    std::thread::sleep(Duration::from_millis(300)); // let it park in the stall
+    sigkill(pid);
+    let message = match inflight.join().unwrap() {
+        Response::Err { class, message } => {
+            assert_eq!(class, ErrClass::Crashed, "{message}");
+            message
+        }
+        other => panic!("killed request answered {other:?}"),
+    };
+    assert!(
+        message.contains("flight record:"),
+        "crash diagnostic must reference the salvaged flight record: {message}"
+    );
+    let dump = flight_dir.join("slot0-rid77.flight");
+    assert!(
+        message.contains(&dump.display().to_string()),
+        "diagnostic must name the dump path: {message}"
+    );
+    let bytes = std::fs::read(&dump).expect("flight dump exists");
+    assert!(
+        bytes.starts_with(&lpat::core::trace::FLIGHT_MAGIC),
+        "flight dump must start with the LPFR magic"
+    );
+    let events = lpat::core::trace::read_flight(&dump).expect("flight dump parses");
+    assert!(
+        !events.is_empty(),
+        "flight dump must carry the worker's last events"
+    );
+    // The ring captured the doomed request itself, not just old traffic.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == "serve.worker" && e.name == "request.begin"),
+        "flight events: {events:?}"
+    );
+    let json = stats_json(&d.addr);
+    assert_eq!(stat(&json, "flight_salvaged"), 1, "{json}");
+    assert!(d.alive(), "daemon died with its worker");
+}
+
 // ---------------------------------------------------------------------------
 // Journal crash points: SIGKILL parked between every pair of durability
 // steps; the store must recover to a consistent state every time.
@@ -546,7 +620,10 @@ fn sigterm_drains_the_inflight_request_and_exits_zero() {
     }
     // The in-flight request stalls 1.5s in its worker; SIGTERM arrives
     // mid-stall. The daemon must finish that request (the client sees
-    // Ok 42, not a reset connection), then exit 0.
+    // Ok 42, not a reset connection), dump its final metrics, then
+    // exit 0.
+    let metrics = tmp("sigterm-metrics.json");
+    let _ = std::fs::remove_file(&metrics);
     let mut d = Daemon::spawn(&[
         "--isolate",
         "process",
@@ -554,6 +631,8 @@ fn sigterm_drains_the_inflight_request_and_exits_zero() {
         "1",
         "--restart-backoff-ms",
         "10",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
         "--inject-faults",
         "serve.worker:delay=1500@1",
     ]);
@@ -573,4 +652,13 @@ fn sigterm_drains_the_inflight_request_and_exits_zero() {
         .wait_exit(Duration::from_secs(10))
         .expect("daemon did not exit after SIGTERM");
     assert_eq!(code, 0, "drain must exit cleanly");
+    // The graceful drain goes through the same export path as
+    // `--max-requests`: the final metrics land on disk, drained request
+    // included.
+    let dumped = std::fs::read_to_string(&metrics).expect("SIGTERM drain must dump --metrics-out");
+    assert!(dumped.contains("\"counters\""), "{dumped}");
+    assert!(
+        dumped.contains("\"serve.ok\":1"),
+        "the drained request must be in the final dump: {dumped}"
+    );
 }

@@ -647,3 +647,106 @@ fn process_isolation_serves_the_same_protocol() {
     }
     assert!(d.alive());
 }
+
+// ---------------------------------------------------------------------------
+// Distributed tracing: one merged Chrome trace spanning the daemon and its
+// worker subprocesses, byte-deterministic under the virtual clock.
+// ---------------------------------------------------------------------------
+
+/// Spawn a process-isolated tracing daemon, push a fixed serial request
+/// sequence with client-chosen request ids, let `--max-requests` drain
+/// it, and return the merged trace bytes it wrote on exit.
+fn traced_run(trace_path: &std::path::Path, rids: &[u64]) -> Vec<u8> {
+    let mut d = Daemon::spawn(
+        &[
+            "--isolate",
+            "process",
+            "--workers",
+            "2",
+            "--trace-clock",
+            "virtual",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--max-requests",
+            &rids.len().to_string(),
+        ],
+        None,
+    );
+    for &rid in rids {
+        let mut c = connect(&d.addr);
+        let mut req = run_request(ADD_PROG);
+        req.request_id = rid;
+        match c.request(&req).unwrap() {
+            Response::Ok { exit, .. } => assert_eq!(exit, 42),
+            other => panic!("traced run answered {other:?}"),
+        }
+    }
+    // --max-requests makes the daemon drain, export the trace, and exit
+    // on its own; wait for that rather than killing it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = d.child.try_wait().unwrap() {
+            assert!(status.success(), "daemon exit after drain: {status:?}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon did not exit after --max-requests"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::fs::read(trace_path).expect("trace file written on drain")
+}
+
+#[test]
+fn distributed_trace_merges_worker_lanes_and_is_deterministic() {
+    use lpat::core::trace::{parse_json, Json};
+
+    let rids: &[u64] = &[0x1111, 0x2222, 0x3333];
+    let a = traced_run(&tmp("dist-trace-a.json"), rids);
+    let b = traced_run(&tmp("dist-trace-b.json"), rids);
+    assert_eq!(
+        a, b,
+        "virtual-clock merged trace must be byte-identical across runs"
+    );
+
+    // Schema check: valid JSON, one traceEvents array, daemon + worker
+    // pid lanes labeled by process_name metadata, and every client-chosen
+    // request id present in BOTH lanes (end-to-end propagation).
+    let doc = parse_json(std::str::from_utf8(&a).unwrap()).expect("trace is valid JSON");
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("missing traceEvents array");
+    };
+    assert!(!events.is_empty());
+    let lane_label = |pid: f64| -> Option<&str> {
+        events.iter().find_map(|e| {
+            (e.str_field("ph") == Some("M")
+                && e.str_field("name") == Some("process_name")
+                && e.num("pid") == Some(pid))
+            .then(|| e.get("args")?.str_field("name"))
+            .flatten()
+        })
+    };
+    assert_eq!(lane_label(1.0), Some("daemon"));
+    assert_eq!(lane_label(2.0), Some("worker"));
+    for &rid in rids {
+        let rid_in_lane = |pid: f64| {
+            events.iter().any(|e| {
+                e.num("pid") == Some(pid)
+                    && e.get("args").and_then(|a| a.str_field("rid"))
+                        == Some(rid.to_string().as_str())
+            })
+        };
+        assert!(rid_in_lane(1.0), "rid {rid:#x} missing from daemon lane");
+        assert!(rid_in_lane(2.0), "rid {rid:#x} missing from worker lane");
+    }
+    // Virtual clock: timestamps are ordinals scaled by a constant, so
+    // they carry no wall-clock residue (strictly bounded by event count).
+    for e in events.iter().filter(|e| e.str_field("ph") != Some("M")) {
+        let ts = e.num("ts").expect("event ts");
+        assert!(
+            ts >= 0.0 && ts <= 10.0 * events.len() as f64,
+            "virtual ts {ts}"
+        );
+    }
+}
