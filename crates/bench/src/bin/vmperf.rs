@@ -1,16 +1,19 @@
 //! `vmperf` — the VM execution-engine benchmark.
 //!
-//! Runs every workload under five engines — the reference interpreter,
-//! the full JIT (translate everything on first call), the tiered engine
-//! cold (counter-driven promotion), the tiered engine warm-started from
-//! a prior run's profile, and the tiered engine over the full lifelong
-//! cycle (offline profile-guided reoptimization plus speculation with
-//! guards, warm-started) — and emits `BENCH_vm.json`
-//! (`lpat-bench-vm/v2`): per-workload wall time (best of N reps),
-//! instructions/second, translation time, promotion counts, and guard /
-//! deoptimization counts for the speculative rows, plus the three
-//! headline geomeans (tiered vs. interpreter, warm vs. cold, and
-//! speculative-warm vs. cold).
+//! Runs every workload under seven engines — the reference interpreter,
+//! the full JIT (translate everything on first call), the full native
+//! backend (every function straight to risc32 machine code), the tiered
+//! engine cold (counter-driven promotion), the tiered engine warm-started
+//! from a prior run's profile, the three-tier engine (interp → JIT →
+//! machine code, counter-driven), and the tiered engine over the full
+//! lifelong cycle (offline profile-guided reoptimization plus speculation
+//! with guards, warm-started) — and emits `BENCH_vm.json`
+//! (`lpat-bench-vm/v3`): per-workload wall time (best of N reps),
+//! instructions/second, translation time, promotion counts, machine-code
+//! tier counters for the native rows, and guard / deoptimization counts
+//! for the speculative rows, plus the headline geomeans (tiered vs.
+//! interpreter, warm vs. cold, spec-warm vs. cold, native vs. JIT, and
+//! three-tier vs. two-tier).
 //!
 //! Every engine's program output and exit code are asserted identical to
 //! the interpreter's before any timing is reported — a benchmark of a
@@ -18,24 +21,50 @@
 //!
 //! ```text
 //! cargo run -p lpat-bench --release --bin vmperf [-- --quick] [-- -o FILE]
+//!     [-- --workloads GLOB] [-- --engines LIST]
 //! ```
 //!
 //! `--quick` drops to one rep per engine (the CI smoke configuration);
 //! the committed artifact is generated in release mode without it.
+//! `--workloads GLOB` (shell-style `*`/`?`) and `--engines LIST`
+//! (comma-separated) restrict the run for iterating on one engine or one
+//! workload; a restricted run prints the table but skips the JSON
+//! artifact — `BENCH_vm.json` only ever holds the full matrix.
 
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Instant;
 
 use lpat_transform::{SpecMap, SpecOptions};
 use lpat_vm::{PgoOptions, Vm, VmOptions};
 
+/// Engine rows in artifact order. `interp` is ground truth and always runs.
+const ENGINES: [&str; 7] = [
+    "interp",
+    "jit",
+    "native",
+    "tiered",
+    "tiered_warm",
+    "tiered_native",
+    "tiered_spec",
+];
+
+/// Extra hotness (beyond JIT promotion) before the three-tier engine's
+/// counter-driven rise to machine code.
+const NATIVE_UP: u64 = 200;
+
+#[derive(Clone, Default)]
 struct EngineResult {
     wall_ms: f64,
     insts: u64,
     translate_ms: f64,
+    native_translate_ms: f64,
     promoted: u64,
     warmed: u64,
     osr: u64,
+    native_promoted: u64,
+    native_osr: u64,
+    native_insts: u64,
     guards: u64,
     guard_passed: u64,
     guard_failed: u64,
@@ -60,7 +89,20 @@ fn run_once(
     warm: Option<&lpat_vm::ProfileData>,
     spec: Option<&Rc<SpecMap>>,
 ) -> (EngineResult, i64, String) {
-    let opts = VmOptions::default();
+    let mut opts = VmOptions::default();
+    match engine {
+        // Everything straight to machine code on first call: the native
+        // analogue of the `jit` row.
+        "native" => {
+            opts.tier_up = 0;
+            opts.native_up = Some(0);
+        }
+        // The genuine three-tier ladder: interpret, promote to JIT at the
+        // default threshold, then to machine code after NATIVE_UP more
+        // hotness on the JIT tier.
+        "tiered_native" => opts.native_up = Some(NATIVE_UP),
+        _ => {}
+    }
     let mut vm = Vm::new(m, opts).expect("vm init");
     if let Some(map) = spec {
         vm.install_speculation(map.clone(), map.len() as u64, 0);
@@ -83,9 +125,13 @@ fn run_once(
             wall_ms,
             insts: vm.insts_executed,
             translate_ms: t.translate_ns as f64 / 1e6,
+            native_translate_ms: t.native_translate_ns as f64 / 1e6,
             promoted: t.promoted,
             warmed: t.warmed,
             osr: t.osr,
+            native_promoted: t.native_promoted,
+            native_osr: t.native_osr,
+            native_insts: t.native_insts,
             guards: s.emitted,
             guard_passed: s.passed,
             guard_failed: s.failed,
@@ -136,44 +182,100 @@ fn jnum(v: f64) -> String {
     }
 }
 
+/// Shell-style glob match: `*` any run, `?` any one char, else literal.
+fn glob_match(pat: &str, name: &str) -> bool {
+    let (p, n): (Vec<char>, Vec<char>) = (pat.chars().collect(), name.chars().collect());
+    // Iterative backtracking matcher: remember the last `*` and retry it
+    // against one more character whenever the tail mismatches.
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            mark = ni;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            ni = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn flag_value<'a>(args: &'a [String], f: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == f)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "-o")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_vm.json".to_string());
+    let out_path = flag_value(&args, "-o")
+        .unwrap_or("BENCH_vm.json")
+        .to_string();
+    let workloads_pat = flag_value(&args, "--workloads");
+    let engines_list = flag_value(&args, "--engines");
     let scale = 0u32;
     let reps = if quick { 1 } else { 3 };
 
-    let suite = lpat_workloads::suite(scale);
-    let mut rows = Vec::new();
-    let mut speedup_tiered = Vec::new();
-    let mut speedup_warm = Vec::new();
-    let mut speedup_spec = Vec::new();
-    println!(
-        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}   {:>8} {:>8} {:>8}",
-        "workload",
-        "interp ms",
-        "jit ms",
-        "tiered ms",
-        "warm ms",
-        "spec ms",
-        "tier/int",
-        "warm/cold",
-        "spec/cold"
-    );
+    let selected: Vec<&str> = match engines_list {
+        Some(list) => {
+            let want: Vec<&str> = list.split(',').map(str::trim).collect();
+            for e in &want {
+                assert!(
+                    ENGINES.contains(e),
+                    "unknown engine '{e}' (have {ENGINES:?})"
+                );
+            }
+            // Keep artifact order regardless of how the list was written.
+            ENGINES
+                .iter()
+                .copied()
+                .filter(|e| want.contains(e))
+                .collect()
+        }
+        None => ENGINES.to_vec(),
+    };
+    // A filtered run is for iterating, not for publishing: the JSON
+    // artifact only ever holds the full engine × workload matrix.
+    let full_matrix = workloads_pat.is_none() && engines_list.is_none();
+
+    let suite: Vec<_> = lpat_workloads::suite(scale)
+        .into_iter()
+        .filter(|w| workloads_pat.is_none_or(|p| glob_match(p, w.name)))
+        .collect();
+    assert!(!suite.is_empty(), "--workloads matched nothing");
+
+    let mut rows: Vec<(&str, BTreeMap<&str, EngineResult>)> = Vec::new();
+    print!("{:<14}", "workload");
+    for e in &selected {
+        print!(" {:>13}", format!("{e} ms"));
+    }
+    println!();
     for w in &suite {
         let m = lpat_bench::prepare(w.name, &w.source);
-        // Reference run: the interpreter's answer is ground truth.
+        // Reference run: the interpreter's answer is ground truth. It is
+        // timed only when selected, but always runs once for the oracle.
         let (interp, code, output) = run_best(&m, "interp", None, None, reps, None);
         let expect = (code, output);
-        let (jit, _, _) = run_best(&m, "jit", None, None, reps, Some(&expect));
-        let (tiered, _, _) = run_best(&m, "tiered", None, None, reps, Some(&expect));
-        // Warm-start profile: one untimed instrumented tiered run.
-        let profile = {
+        // Warm-start profile (one untimed instrumented tiered run) and the
+        // speculation overlay are built lazily: only the engines that
+        // consume them pay for them.
+        let need_profile = selected
+            .iter()
+            .any(|e| matches!(*e, "tiered_warm" | "tiered_spec"));
+        let profile = need_profile.then(|| {
             let opts = VmOptions {
                 profile: true,
                 ..VmOptions::default()
@@ -182,108 +284,131 @@ fn main() {
             vm.run_main_tiered()
                 .unwrap_or_else(|e| panic!("{}: profiling run: {e}", w.name));
             vm.profile.clone()
-        };
-        let (warm, _, _) = run_best(&m, "tiered", Some(&profile), None, reps, Some(&expect));
+        });
         // Speculative warm run — the full lifelong cycle a cached store
         // session replays: offline profile-guided reoptimization (hot
         // inlining + layout), speculation justified by the same profile
         // (guards as an in-memory overlay), then a warm-started tiered
         // run of the result.
-        let sm = {
+        let spec_setup = selected.contains(&"tiered_spec").then(|| {
+            let profile = profile.as_ref().unwrap();
             let mut sm = m.clone();
-            let report = lpat_vm::reoptimize(&mut sm, &profile, &PgoOptions::default());
+            let report = lpat_vm::reoptimize(&mut sm, profile, &PgoOptions::default());
             assert!(
                 !report.degraded(),
                 "{}: reopt degraded: {:?}",
                 w.name,
                 report.faults
             );
-            sm
-        };
-        let mut sm = sm;
-        // Re-profile the reoptimized module: inlining rewrites instruction
-        // ids, so the first generation's per-site counts no longer name the
-        // hot call sites. Each lifelong generation profiles itself.
-        let profile2 = {
-            let opts = VmOptions {
-                profile: true,
-                ..VmOptions::default()
+            // Re-profile the reoptimized module: inlining rewrites
+            // instruction ids, so the first generation's per-site counts no
+            // longer name the hot call sites. Each lifelong generation
+            // profiles itself.
+            let profile2 = {
+                let opts = VmOptions {
+                    profile: true,
+                    ..VmOptions::default()
+                };
+                let mut vm = Vm::new(&sm, opts).expect("vm init");
+                vm.run_main_tiered()
+                    .unwrap_or_else(|e| panic!("{}: reprofiling run: {e}", w.name));
+                vm.profile.clone()
             };
-            let mut vm = Vm::new(&sm, opts).expect("vm init");
-            vm.run_main_tiered()
-                .unwrap_or_else(|e| panic!("{}: reprofiling run: {e}", w.name));
-            vm.profile.clone()
-        };
-        let (map, _plan) = lpat_transform::speculate::speculate(
-            &mut sm,
-            &profile2.to_spec_profile(),
-            &SpecOptions::default(),
-        );
-        sm.verify()
-            .unwrap_or_else(|e| panic!("{}: speculated module broken: {e:?}", w.name));
-        let map = Rc::new(map);
-        let (spec, _, _) = run_best(
-            &sm,
-            "tiered",
-            Some(&profile2),
-            Some(&map),
-            reps,
-            Some(&expect),
-        );
-        let sp_t = interp.wall_ms / tiered.wall_ms.max(1e-9);
-        let sp_w = tiered.wall_ms / warm.wall_ms.max(1e-9);
-        let sp_s = tiered.wall_ms / spec.wall_ms.max(1e-9);
-        speedup_tiered.push(sp_t);
-        speedup_warm.push(sp_w);
-        speedup_spec.push(sp_s);
-        println!(
-            "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}   {:>7.2}x {:>8.2}x {:>8.2}x",
-            w.name,
-            interp.wall_ms,
-            jit.wall_ms,
-            tiered.wall_ms,
-            warm.wall_ms,
-            spec.wall_ms,
-            sp_t,
-            sp_w,
-            sp_s
-        );
-        rows.push((w.name, interp, jit, tiered, warm, spec));
+            let (map, _plan) = lpat_transform::speculate::speculate(
+                &mut sm,
+                &profile2.to_spec_profile(),
+                &SpecOptions::default(),
+            );
+            sm.verify()
+                .unwrap_or_else(|e| panic!("{}: speculated module broken: {e:?}", w.name));
+            (sm, profile2, Rc::new(map))
+        });
+        let mut engines: BTreeMap<&str, EngineResult> = BTreeMap::new();
+        for e in &selected {
+            let r = match *e {
+                // The oracle run already timed the interpreter best-of-N.
+                "interp" => interp.clone(),
+                "tiered_warm" => {
+                    run_best(&m, "tiered", profile.as_ref(), None, reps, Some(&expect)).0
+                }
+                "tiered_spec" => {
+                    let (sm, profile2, map) = spec_setup.as_ref().unwrap();
+                    run_best(sm, "tiered", Some(profile2), Some(map), reps, Some(&expect)).0
+                }
+                other => run_best(&m, other, None, None, reps, Some(&expect)).0,
+            };
+            engines.insert(e, r);
+        }
+        print!("{:<14}", w.name);
+        for e in &selected {
+            print!(" {:>13.2}", engines[e].wall_ms);
+        }
+        println!();
+        rows.push((w.name, engines));
     }
 
     let geomean =
         |v: &[f64]| -> f64 { (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp() };
-    let g_tiered = geomean(&speedup_tiered);
-    let g_warm = geomean(&speedup_warm);
-    let g_spec = geomean(&speedup_spec);
+    let ratio = |num: &str, den: &str| -> Vec<f64> {
+        rows.iter()
+            .map(|(_, e)| e[den].wall_ms / e[num].wall_ms.max(1e-9))
+            .collect()
+    };
+
+    if !full_matrix {
+        println!("\n(filtered run: BENCH_vm.json not written)");
+        return;
+    }
+
+    let g_tiered = geomean(&ratio("tiered", "interp"));
+    let g_warm = geomean(&ratio("tiered_warm", "tiered"));
+    let g_spec = geomean(&ratio("tiered_spec", "tiered"));
+    let g_native = geomean(&ratio("native", "jit"));
+    let g_tnative = geomean(&ratio("tiered_native", "tiered"));
     println!(
         "\ngeomean speedup  tiered vs interp: {g_tiered:.2}x   warm vs cold: {g_warm:.2}x   \
-         spec-warm vs cold: {g_spec:.2}x"
+         spec-warm vs cold: {g_spec:.2}x\n\
+         \x20                native vs jit: {g_native:.2}x   three-tier vs two-tier: {g_tnative:.2}x"
     );
 
     // Hand-serialized (the workspace has no serde); validated below.
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"lpat-bench-vm/v2\",\n");
+    j.push_str("  \"schema\": \"lpat-bench-vm/v3\",\n");
     j.push_str(&format!("  \"scale\": {scale},\n"));
     j.push_str(&format!("  \"reps\": {reps},\n"));
     j.push_str("  \"workloads\": [\n");
-    for (i, (name, interp, jit, tiered, warm, spec)) in rows.iter().enumerate() {
-        let eng = |r: &EngineResult, tiered: bool, spec: bool| -> String {
+    for (i, (name, engines)) in rows.iter().enumerate() {
+        let eng = |e: &str| -> String {
+            let r = &engines[e];
             let mut s = format!(
-                "{{\"wall_ms\": {}, \"insts\": {}, \"insts_per_sec\": {}, \"translate_ms\": {}",
+                "{{\"wall_ms\": {}, \"insts\": {}, \"insts_per_sec\": {}",
                 jnum(r.wall_ms),
                 r.insts,
                 jnum(r.insts_per_sec()),
-                jnum(r.translate_ms)
             );
-            if tiered {
+            // The interpreter row carries no translate_ms: nothing
+            // translates.
+            if e != "interp" {
+                s.push_str(&format!(", \"translate_ms\": {}", jnum(r.translate_ms)));
+            }
+            if e.starts_with("tiered") {
                 s.push_str(&format!(
                     ", \"promoted\": {}, \"warmed\": {}, \"osr\": {}",
                     r.promoted, r.warmed, r.osr
                 ));
             }
-            if spec {
+            if e == "native" || e == "tiered_native" {
+                s.push_str(&format!(
+                    ", \"native_translate_ms\": {}, \"native_promoted\": {}, \
+                     \"native_osr\": {}, \"native_insts\": {}",
+                    jnum(r.native_translate_ms),
+                    r.native_promoted,
+                    r.native_osr,
+                    r.native_insts
+                ));
+            }
+            if e == "tiered_spec" {
                 s.push_str(&format!(
                     ", \"guards\": {}, \"guard_passed\": {}, \"guard_failed\": {}, \"deopts\": {}",
                     r.guards, r.guard_passed, r.guard_failed, r.deopts
@@ -292,19 +417,16 @@ fn main() {
             s.push('}');
             s
         };
-        // The interpreter row carries no translate_ms: nothing translates.
-        let interp_s = format!(
-            "{{\"wall_ms\": {}, \"insts\": {}, \"insts_per_sec\": {}}}",
-            jnum(interp.wall_ms),
-            interp.insts,
-            jnum(interp.insts_per_sec())
-        );
+        j.push_str(&format!("    {{\"name\": \"{name}\", \"engines\": {{\n"));
+        for (k, e) in ENGINES.iter().enumerate() {
+            j.push_str(&format!(
+                "      \"{e}\": {}{}\n",
+                eng(e),
+                if k + 1 < ENGINES.len() { "," } else { "" }
+            ));
+        }
         j.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"engines\": {{\n      \"interp\": {interp_s},\n      \"jit\": {},\n      \"tiered\": {},\n      \"tiered_warm\": {},\n      \"tiered_spec\": {}\n    }}}}{}\n",
-            eng(jit, false, false),
-            eng(tiered, true, false),
-            eng(warm, true, false),
-            eng(spec, true, true),
+            "    }}}}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -318,8 +440,16 @@ fn main() {
         jnum(g_warm)
     ));
     j.push_str(&format!(
-        "  \"geomean_speedup_spec_warm_vs_cold\": {}\n",
+        "  \"geomean_speedup_spec_warm_vs_cold\": {},\n",
         jnum(g_spec)
+    ));
+    j.push_str(&format!(
+        "  \"geomean_speedup_native_vs_jit\": {},\n",
+        jnum(g_native)
+    ));
+    j.push_str(&format!(
+        "  \"geomean_speedup_tiered_native_vs_tiered\": {}\n",
+        jnum(g_tnative)
     ));
     j.push_str("}\n");
 

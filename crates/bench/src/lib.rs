@@ -341,15 +341,18 @@ fn json_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Validate a `BENCH_vm.json` document against the `lpat-bench-vm/v2`
-/// schema (v1 plus the speculative warm-run engine `tiered_spec` with
-/// guard/deopt counts and the spec-warm geomean). Used by `vmperf` to
-/// self-check its output and by the CI smoke job to validate the
-/// committed artifact.
+/// Validate a `BENCH_vm.json` document against the `lpat-bench-vm/v3`
+/// schema (v2 plus the machine-code tier: the full-native `native` and
+/// three-tier `tiered_native` engines with native translation/promotion/
+/// OSR/instruction counters, and the native-vs-JIT and
+/// three-tier-vs-two-tier geomeans). Earlier schema tags are rejected
+/// outright — a v1/v2 file has no native rows and must be regenerated.
+/// Used by `vmperf` to self-check its output and by the CI smoke job to
+/// validate the committed artifact.
 pub fn validate_vm_bench(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
-    if doc.get("schema").and_then(Json::str) != Some("lpat-bench-vm/v2") {
-        return Err("schema must be \"lpat-bench-vm/v2\"".into());
+    if doc.get("schema").and_then(Json::str) != Some("lpat-bench-vm/v3") {
+        return Err("schema must be \"lpat-bench-vm/v3\"".into());
     }
     for key in ["scale", "reps"] {
         doc.get(key)
@@ -371,7 +374,15 @@ pub fn validate_vm_bench(text: &str) -> Result<(), String> {
         let engines = w
             .get("engines")
             .ok_or_else(|| format!("{name}: missing 'engines'"))?;
-        for eng in ["interp", "jit", "tiered", "tiered_warm", "tiered_spec"] {
+        for eng in [
+            "interp",
+            "jit",
+            "native",
+            "tiered",
+            "tiered_warm",
+            "tiered_native",
+            "tiered_spec",
+        ] {
             let e = engines
                 .get(eng)
                 .ok_or_else(|| format!("{name}: missing engine '{eng}'"))?;
@@ -392,6 +403,18 @@ pub fn validate_vm_bench(text: &str) -> Result<(), String> {
                         .ok_or_else(|| format!("{name}.{eng}: missing '{field}'"))?;
                 }
             }
+            if eng == "native" || eng == "tiered_native" {
+                for field in [
+                    "native_translate_ms",
+                    "native_promoted",
+                    "native_osr",
+                    "native_insts",
+                ] {
+                    e.get(field)
+                        .and_then(Json::num)
+                        .ok_or_else(|| format!("{name}.{eng}: missing '{field}'"))?;
+                }
+            }
             if eng == "tiered_spec" {
                 for field in ["guards", "guard_passed", "guard_failed", "deopts"] {
                     e.get(field)
@@ -405,6 +428,8 @@ pub fn validate_vm_bench(text: &str) -> Result<(), String> {
         "geomean_speedup_tiered_vs_interp",
         "geomean_speedup_warm_vs_cold",
         "geomean_speedup_spec_warm_vs_cold",
+        "geomean_speedup_native_vs_jit",
+        "geomean_speedup_tiered_native_vs_tiered",
     ] {
         doc.get(key)
             .and_then(Json::num)
@@ -618,15 +643,22 @@ mod tests {
     #[test]
     fn vm_bench_validator_accepts_good_and_rejects_bad() {
         let good = r#"{
-  "schema": "lpat-bench-vm/v2", "scale": 0, "reps": 3,
+  "schema": "lpat-bench-vm/v3", "scale": 0, "reps": 3,
   "workloads": [
     {"name": "w", "engines": {
       "interp": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000},
       "jit": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1},
+      "native": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
+                 "native_translate_ms": 0.1, "native_promoted": 2, "native_osr": 0,
+                 "native_insts": 10},
       "tiered": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
                  "promoted": 2, "warmed": 0, "osr": 1},
       "tiered_warm": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
                       "promoted": 2, "warmed": 2, "osr": 0},
+      "tiered_native": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
+                        "promoted": 2, "warmed": 0, "osr": 1,
+                        "native_translate_ms": 0.1, "native_promoted": 1, "native_osr": 1,
+                        "native_insts": 5},
       "tiered_spec": {"wall_ms": 1, "insts": 10, "insts_per_sec": 10000, "translate_ms": 0.1,
                       "promoted": 2, "warmed": 2, "osr": 0,
                       "guards": 1, "guard_passed": 9, "guard_failed": 1, "deopts": 1}
@@ -634,18 +666,27 @@ mod tests {
   ],
   "geomean_speedup_tiered_vs_interp": 1.8,
   "geomean_speedup_warm_vs_cold": 1.1,
-  "geomean_speedup_spec_warm_vs_cold": 1.4
+  "geomean_speedup_spec_warm_vs_cold": 1.4,
+  "geomean_speedup_native_vs_jit": 1.3,
+  "geomean_speedup_tiered_native_vs_tiered": 1.2
 }"#;
         validate_vm_bench(good).unwrap();
         assert!(validate_vm_bench("{}").is_err());
-        // The old v1 schema tag must be rejected: v1 files lack the
-        // speculative rows.
-        assert!(validate_vm_bench(&good.replace("lpat-bench-vm/v2", "lpat-bench-vm/v1")).is_err());
+        // Earlier schema tags must be rejected: v1/v2 files lack the
+        // machine-code-tier rows and must be regenerated, not trusted.
+        assert!(validate_vm_bench(&good.replace("lpat-bench-vm/v3", "lpat-bench-vm/v1")).is_err());
+        assert!(validate_vm_bench(&good.replace("lpat-bench-vm/v3", "lpat-bench-vm/v2")).is_err());
         assert!(validate_vm_bench(&good.replace("\"tiered\":", "\"other\":")).is_err());
+        assert!(validate_vm_bench(&good.replace("\"native\":", "\"other\":")).is_err());
         assert!(validate_vm_bench(&good.replace("\"promoted\": 2,", "")).is_err());
+        assert!(validate_vm_bench(&good.replace("\"native_promoted\": 2,", "")).is_err());
         assert!(validate_vm_bench(&good.replace("\"guards\": 1,", "")).is_err());
         assert!(validate_vm_bench(
             &good.replace("\"geomean_speedup_spec_warm_vs_cold\": 1.4", "\"x\": 1")
+        )
+        .is_err());
+        assert!(validate_vm_bench(
+            &good.replace("\"geomean_speedup_native_vs_jit\": 1.3", "\"x\": 1")
         )
         .is_err());
     }

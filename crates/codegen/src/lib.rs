@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod cisc32;
+pub mod fast;
 pub mod lower;
 pub mod mir;
 pub mod risc32;

@@ -22,7 +22,9 @@
 //!   (`bytecode.read`), the profile-guided reoptimizer (`pgo-inline`),
 //!   the lifelong store (`store.read`, `store.write`, `store.lock`), the
 //!   tier engine (`jit.translate` — fail a function's translation;
-//!   `tier.deopt` — panic during deopt frame reconstruction, demoting
+//!   `native.translate` — fail the single-pass machine-code backend,
+//!   permanently demoting the function to the JIT tier; `tier.deopt` —
+//!   panic during deopt frame reconstruction, demoting
 //!   the function), speculation (`spec.guard` — force a guard check
 //!   to fail; `delay` sleeps and then honors the real condition), the
 //!   `lpatd` daemon (`serve.accept`, `serve.decode`, `serve.worker`,

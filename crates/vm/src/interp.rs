@@ -85,6 +85,12 @@ pub struct VmOptions {
     /// (full-JIT behavior); a very large value never promotes (pure
     /// interpretation).
     pub tier_up: u64,
+    /// Native (tier-3) promotion threshold for [`Vm::run_main_tiered`]:
+    /// once a JIT-tier function's hotness counter exceeds this value it
+    /// is promoted again, to single-pass machine code. `None` (the
+    /// default) disables tier 3 entirely; `Some(0)` promotes every
+    /// JIT-tier function immediately.
+    pub native_up: Option<u64>,
 }
 
 impl Default for VmOptions {
@@ -96,6 +102,7 @@ impl Default for VmOptions {
             input: VecDeque::new(),
             max_stack: 10_000,
             tier_up: 50,
+            native_up: None,
         }
     }
 }
@@ -180,12 +187,23 @@ pub struct Vm<'m> {
     /// JIT translation cache, dense over `FuncId` (translated on first
     /// call or promotion, reused across `run_*` invocations).
     pub(crate) jit_cache: Vec<Option<std::rc::Rc<crate::jit::LowFunc>>>,
+    /// Native (tier-3) translation cache, dense over `FuncId`.
+    pub(crate) native_cache: Vec<Option<std::rc::Rc<crate::native::NatCode>>>,
+    /// Free-list arena of native spill-slot slabs (see `jit_reg_pool`).
+    pub(crate) native_slot_pool: Vec<Vec<u32>>,
     /// Per-function tier state, dense over `FuncId`.
     pub(crate) tier: Vec<crate::tier::TierCell>,
     /// Free-list arenas of register slabs, recycled across frames so the
     /// hot call path does not allocate.
     pub(crate) jit_reg_pool: Vec<Vec<VmValue>>,
     pub(crate) interp_reg_pool: Vec<Vec<Option<VmValue>>>,
+    /// Whether the running mixed loop has the native tier enabled — the
+    /// one branch the JIT edge path pays for tier-3 hotness tracking.
+    pub(crate) tier_native_on: bool,
+    /// A JIT back-edge just promoted its function to native: the block
+    /// to enter machine code at, consumed by the dispatch loop at the
+    /// next boundary check and dropped on any other control transfer.
+    pub(crate) pending_native_osr: Option<u32>,
 }
 
 impl<'m> Vm<'m> {
@@ -223,9 +241,13 @@ impl<'m> Vm<'m> {
             spec: None,
             global_addrs,
             jit_cache: vec![None; m.num_funcs()],
+            native_cache: vec![None; m.num_funcs()],
+            native_slot_pool: Vec::new(),
             tier: vec![crate::tier::TierCell::Cold(0); m.num_funcs()],
             jit_reg_pool: Vec::new(),
             interp_reg_pool: Vec::new(),
+            tier_native_on: false,
+            pending_native_osr: None,
         };
         for (gid, g) in m.globals() {
             if let Some(init) = g.init {
@@ -482,7 +504,7 @@ impl<'m> Vm<'m> {
             if !matches!(fetched, Inst::Phi { .. }) {
                 self.charge_interp(fetched.opcode_index())?;
             }
-            match self.step(fr, block, iid)? {
+            match self.step(fr, block, iid, fetched)? {
                 StepResult::Continue => {
                     fr.idx += 1;
                 }
@@ -506,9 +528,9 @@ impl<'m> Vm<'m> {
                     }
                     // An invoke transfers to its normal successor; a call
                     // continues in-line.
-                    let site_inst = self.m.func(fr.func).inst(site).clone();
-                    match site_inst {
+                    match m.func(fr.func).inst(site) {
                         Inst::Invoke { normal, .. } => {
+                            let normal = *normal;
                             let from = fr.block;
                             self.transfer(stack.last_mut().unwrap(), from, normal)?;
                         }
@@ -536,8 +558,8 @@ impl<'m> Vm<'m> {
                         }
                         let fr = stack.last_mut().unwrap();
                         let site = fr.pending.take().expect("unwind into pending call");
-                        let site_inst = self.m.func(fr.func).inst(site).clone();
-                        if let Inst::Invoke { unwind, .. } = site_inst {
+                        if let Inst::Invoke { unwind, .. } = self.m.func(fr.func).inst(site) {
+                            let unwind = *unwind;
                             let from = fr.block;
                             self.transfer(stack.last_mut().unwrap(), from, unwind)?;
                             break;
@@ -709,15 +731,21 @@ impl<'m> Vm<'m> {
     /// engine's mixed stack). Calls into defined functions are *not*
     /// pushed here: `fr.pending` is set and [`StepResult::Call`] returned
     /// so the caller can pick the callee's tier.
+    ///
+    /// `inst` is the already-fetched instruction for `iid` — borrowed from
+    /// the module (which outlives the engine), never cloned: several
+    /// opcodes carry heap-allocated operand lists (`call`, `switch`,
+    /// `getelementptr`), and cloning them per dispatch dominated the
+    /// interpreter's hot loop.
     pub(crate) fn step(
         &mut self,
         fr: &mut Frame,
         block: BlockId,
         iid: InstId,
+        inst: &'m Inst,
     ) -> Result<StepResult, ExecError> {
         let fid = fr.func;
         let func = self.m.func(fid);
-        let inst = func.inst(iid).clone();
         // Shorthand to evaluate operands in the frame.
         macro_rules! ev {
             ($v:expr) => {{
@@ -736,13 +764,13 @@ impl<'m> Vm<'m> {
             }
             Inst::Ret(v) => {
                 let out = match v {
-                    Some(v) => Some(ev!(v)),
+                    Some(v) => Some(ev!(*v)),
                     None => None,
                 };
                 Ok(StepResult::Returned(out))
             }
             Inst::Br(t) => {
-                self.transfer(fr, block, t)?;
+                self.transfer(fr, block, *t)?;
                 Ok(StepResult::Jumped)
             }
             Inst::CondBr {
@@ -750,7 +778,7 @@ impl<'m> Vm<'m> {
                 then_bb,
                 else_bb,
             } => {
-                let c = ev!(cond)
+                let c = ev!(*cond)
                     .as_bool()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "non-bool condition"))?;
                 // A guard is an ordinary conditional branch plus
@@ -767,7 +795,7 @@ impl<'m> Vm<'m> {
                     Some(gid) => self.guard_check(gid, c),
                     None => c,
                 };
-                let t = if c { then_bb } else { else_bb };
+                let t = if c { *then_bb } else { *else_bb };
                 self.transfer(fr, block, t)?;
                 Ok(StepResult::Jumped)
             }
@@ -776,11 +804,11 @@ impl<'m> Vm<'m> {
                 default,
                 cases,
             } => {
-                let v = ev!(val)
+                let v = ev!(*val)
                     .as_i64()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "non-int switch"))?;
-                let mut target = default;
-                for (c, b) in &cases {
+                let mut target = *default;
+                for (c, b) in cases {
                     if let Some((_, cv)) = self.m.consts.as_int(*c) {
                         if cv == v {
                             target = *b;
@@ -797,31 +825,31 @@ impl<'m> Vm<'m> {
                 "unreachable executed",
             )),
             Inst::Bin { op, lhs, rhs } => {
-                let a = ev!(lhs);
-                let b = ev!(rhs);
-                setreg!(exec_bin(op, a, b)?);
+                let a = ev!(*lhs);
+                let b = ev!(*rhs);
+                setreg!(exec_bin(*op, a, b)?);
                 Ok(StepResult::Continue)
             }
             Inst::Cmp { pred, lhs, rhs } => {
-                let a = ev!(lhs);
-                let b = ev!(rhs);
-                setreg!(VmValue::Bool(exec_cmp(pred, a, b)?));
+                let a = ev!(*lhs);
+                let b = ev!(*rhs);
+                setreg!(VmValue::Bool(exec_cmp(*pred, a, b)?));
                 Ok(StepResult::Continue)
             }
             Inst::Cast { val, to } => {
-                let v = ev!(val);
-                setreg!(exec_cast(&self.m.types, v, to)?);
+                let v = ev!(*val);
+                setreg!(exec_cast(&self.m.types, v, *to)?);
                 Ok(StepResult::Continue)
             }
             Inst::Malloc { elem_ty, count } | Inst::Alloca { elem_ty, count } => {
                 let n = match count {
                     None => 1u64,
-                    Some(c) => ev!(c).as_i64().unwrap_or(0).max(0) as u64,
+                    Some(c) => ev!(*c).as_i64().unwrap_or(0).max(0) as u64,
                 };
                 let size = self
                     .m
                     .types
-                    .try_size_of(elem_ty)
+                    .try_size_of(*elem_ty)
                     .ok_or_else(|| {
                         ExecError::trap(TrapKind::Invalid, "allocation of unsized type")
                     })?
@@ -830,14 +858,14 @@ impl<'m> Vm<'m> {
                     .try_into()
                     .map_err(|_| ExecError::trap(TrapKind::OutOfMemory, "allocation too large"))?;
                 let addr = self.mem.alloc(size.max(1))?;
-                if matches!(func.inst(iid), Inst::Alloca { .. }) {
+                if matches!(inst, Inst::Alloca { .. }) {
                     fr.allocas.push(addr);
                 }
                 setreg!(VmValue::Ptr(addr));
                 Ok(StepResult::Continue)
             }
             Inst::Free(p) => {
-                let a = ev!(p)
+                let a = ev!(*p)
                     .as_ptr()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "free of non-pointer"))?;
                 if a != 0 {
@@ -846,7 +874,7 @@ impl<'m> Vm<'m> {
                 Ok(StepResult::Continue)
             }
             Inst::Load { ptr } => {
-                let a = ev!(ptr)
+                let a = ev!(*ptr)
                     .as_ptr()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "load of non-pointer"))?;
                 let ty = func.inst_ty(iid);
@@ -855,15 +883,15 @@ impl<'m> Vm<'m> {
                 Ok(StepResult::Continue)
             }
             Inst::Store { val, ptr } => {
-                let v = ev!(val);
-                let a = ev!(ptr)
+                let v = ev!(*val);
+                let a = ev!(*ptr)
                     .as_ptr()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "store to non-pointer"))?;
                 self.mem.store(a, v)?;
                 Ok(StepResult::Continue)
             }
             Inst::Gep { ptr, indices } => {
-                let base = ev!(ptr)
+                let base = ev!(*ptr)
                     .as_ptr()
                     .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "gep on non-pointer"))?;
                 let fr_vals: Vec<i64> = indices
@@ -876,8 +904,8 @@ impl<'m> Vm<'m> {
                         })
                     })
                     .collect::<Result<_, _>>()?;
-                let pty = self.m.value_type(func, ptr);
-                let off = self.gep_offset(pty, &indices, &fr_vals)?;
+                let pty = self.m.value_type(func, *ptr);
+                let off = self.gep_offset(pty, indices, &fr_vals)?;
                 setreg!(VmValue::Ptr(base.wrapping_add(off as u32)));
                 Ok(StepResult::Continue)
             }
@@ -893,7 +921,7 @@ impl<'m> Vm<'m> {
                 if self.opts.profile {
                     self.profile.record_callsite(fid, iid);
                 }
-                let target = self.resolve_callee(fr, callee)?;
+                let target = self.resolve_callee(fr, *callee)?;
                 let argv: Vec<VmValue> = args
                     .iter()
                     .map(|&a| self.value(fr, a))
@@ -907,7 +935,7 @@ impl<'m> Vm<'m> {
                     }
                     // Invokes of externals return normally (externals here
                     // never unwind).
-                    if let Inst::Invoke { normal, .. } = func.inst(iid) {
+                    if let Inst::Invoke { normal, .. } = inst {
                         let n = *normal;
                         self.transfer(fr, block, n)?;
                         return Ok(StepResult::Jumped);
@@ -1038,6 +1066,11 @@ impl<'m> Vm<'m> {
         trace::counter("vm.tier.translated", t.translated);
         trace::counter("vm.tier.interp_insts", t.interp_insts);
         trace::counter("vm.tier.jit_insts", t.jit_insts);
+        trace::counter("vm.tier.native.promotions", t.native_promoted);
+        trace::counter("vm.tier.native.demotions", t.native_demoted);
+        trace::counter("vm.tier.native.osr", t.native_osr);
+        trace::counter("vm.tier.native.translated", t.native_translated);
+        trace::counter("vm.tier.native.insts", t.native_insts);
         // Speculation counters are exported unconditionally (all zero
         // without `--speculate`) so trace consumers see a stable key set.
         let s = &self.spec_stats;

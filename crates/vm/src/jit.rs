@@ -815,6 +815,10 @@ impl<'m> Vm<'m> {
             self.profile.record_edge(fr.func, from, to);
             self.profile.record_block(fr.func, to);
         }
+        if self.tier_native_on && edge.to <= edge.from {
+            // A loop back-edge on the JIT tier is a tier-3 hotness event.
+            self.native_backedge_bump(fr.func, edge.to);
+        }
         Ok(())
     }
 }

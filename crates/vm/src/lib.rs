@@ -27,6 +27,7 @@ pub mod error;
 pub mod interp;
 pub mod jit;
 pub mod mem;
+pub mod native;
 pub mod pgo;
 pub mod profile;
 pub mod store;

@@ -1,0 +1,763 @@
+//! # Tier-3 native execution: a fuel-metered risc32 machine-code emulator
+//!
+//! Runs the binary words produced by `lpat_codegen::fast` (see that
+//! module for the value model and encoding). The words are **decoded
+//! once** at translation time into a dense op array — the standard
+//! pre-decoded-dispatch technique — so the hot loop is a flat `u32`
+//! register file, a `match` on an op byte, and wrapping 32-bit
+//! arithmetic: no tagged values, no `Option`, no per-operand enum walk.
+//!
+//! ## Exact observational parity
+//!
+//! The contract with the interpreter (enforced by `tests/tiered.rs`) is
+//! that output, return value, trap kind, remaining fuel, the opcode
+//! histogram and profile counters are identical:
+//!
+//! * **fuel / histogram** — every decoded op carries the accounting tag
+//!   ([`lpat_codegen::fast::enc::ACCT`]) of the IR instruction it begins,
+//!   charged through [`Vm::charge_native`] *before* the op executes, so
+//!   fuel exhaustion traps on exactly the same IR instruction as the
+//!   interpreter and each IR instruction is charged exactly once;
+//! * **memory traps** — loads/stores go through the same [`Memory`]
+//!   access checks (NullAccess / BadAccess / OutOfMemory), at the same
+//!   width (an `L64` load checks all 8 bytes before keeping the low
+//!   word);
+//! * **arithmetic traps** — division/remainder by zero trap with the
+//!   interpreter's messages; signed 32-bit wrapping matches canonical
+//!   `i64` arithmetic bit-for-bit for every exact class;
+//! * **calls / unwinding** — call boundaries rebuild real `VmValue`
+//!   scalars from class-tagged registers, so externals, profile
+//!   counters, invoke edges and unwinding behave identically.
+//!
+//! Values whose class the native model cannot carry exactly never cross
+//! a boundary: `translate_fast` bails the whole function and the tier
+//! ladder leaves it on the JIT tier (see `tier.rs`).
+//!
+//! ## Boundary fallbacks
+//!
+//! A native frame is only built when every actual argument matches the
+//! declared parameter class ([`make_native_frame`] returns `None`
+//! otherwise and the caller falls back to the JIT tier, which handles
+//! any value). The one boundary with no fallback is a *returned* value
+//! of the wrong kind reaching a waiting native frame — possible only in
+//! unverified, type-confused modules — which traps as `Invalid` rather
+//! than silently reinterpreting bits (documented in DESIGN.md §16).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use lpat_codegen::fast::{
+    enc, translate_fast, Class, FastCall, FastCallee, FastCopy, FastEnv, FastFunc, FastSwitch,
+    Home, Src,
+};
+use lpat_core::trace;
+use lpat_core::{BlockId, FuncId, InstId, IntKind};
+
+use crate::error::{ExecError, TrapKind};
+use crate::interp::{Frame, Vm};
+use crate::jit::{Flow, JitFrame};
+use crate::mem::Memory;
+use crate::value::VmValue;
+
+// ----------------------------------------------------------------------
+// Decoded form
+// ----------------------------------------------------------------------
+
+/// One pre-decoded op. `imm` is pre-massaged per op (sign-extended for
+/// `ADDI`, shifted for `LUI`, raw index otherwise); `acct` is the IR
+/// opcode index + 1 to charge before executing, 0 for none.
+#[derive(Copy, Clone)]
+struct NOp {
+    op: u8,
+    a: u8,
+    b: u8,
+    c: u8,
+    extra: u16,
+    acct: u16,
+    imm: u32,
+}
+
+/// A decoded edge: φ-copies (already sequentialised by the encoder) and
+/// the decoded-index branch target.
+struct NatEdge {
+    copies: Vec<FastCopy>,
+    target: u32,
+    from: u32,
+    to: u32,
+}
+
+/// A decoded call descriptor with its inline cache.
+struct NatCall {
+    desc: FastCall,
+    ic: Cell<(u32, u32)>,
+}
+
+/// A function's decoded native code plus the home tables that make frame
+/// conversion (entry, OSR) a table-driven copy.
+pub(crate) struct NatCode {
+    ops: Vec<NOp>,
+    /// Decoded-op index of each block start (the OSR entry points).
+    block_dec: Vec<u32>,
+    edges: Vec<NatEdge>,
+    calls: Vec<NatCall>,
+    switches: Vec<FastSwitch>,
+    n_slots: u32,
+    arg_homes: Vec<(Home, Class)>,
+    homes: Vec<Option<(Home, Class)>>,
+}
+
+/// Decode the word buffer into the dense dispatch form. Accounting words
+/// disappear into the following op's `acct` tag; branch targets are
+/// remapped from word indices to decoded indices.
+fn decode(ff: FastFunc) -> NatCode {
+    let mut ops: Vec<NOp> = Vec::with_capacity(ff.words.len());
+    let mut word_to_dec: Vec<u32> = Vec::with_capacity(ff.words.len() + 1);
+    let mut pending: u16 = 0;
+    for &w in &ff.words {
+        word_to_dec.push(ops.len() as u32);
+        let op = enc::op(w);
+        if op == enc::ACCT {
+            pending = enc::idx24(w) as u16 + 1;
+            continue;
+        }
+        let imm = match op {
+            enc::ADDI | enc::LDI => enc::simm14(w) as u32,
+            enc::LUI => enc::imm19(w) << 13,
+            enc::ORI | enc::LDS | enc::STS | enc::CBNZ | enc::SWITCH | enc::RET => enc::uimm14(w),
+            enc::BR | enc::CALLD | enc::UNWIND | enc::UNREACHABLE => enc::idx24(w),
+            _ => 0,
+        };
+        // LUI decodes to LDI-with-full-immediate: one hot-loop case.
+        let op = if op == enc::LUI { enc::LDI } else { op };
+        ops.push(NOp {
+            op,
+            a: enc::rd(w),
+            b: enc::ra(w),
+            c: enc::rb(w),
+            extra: enc::extra(w),
+            acct: pending,
+            imm,
+        });
+        pending = 0;
+    }
+    word_to_dec.push(ops.len() as u32);
+    let block_dec = ff
+        .block_word
+        .iter()
+        .map(|&w| word_to_dec[w as usize])
+        .collect();
+    let edges = ff
+        .edges
+        .into_iter()
+        .map(|e| NatEdge {
+            copies: e.copies,
+            target: word_to_dec[e.target as usize],
+            from: e.from,
+            to: e.to,
+        })
+        .collect();
+    let calls = ff
+        .calls
+        .into_iter()
+        .map(|desc| NatCall {
+            desc,
+            ic: Cell::new((0, 0)),
+        })
+        .collect();
+    NatCode {
+        ops,
+        block_dec,
+        edges,
+        calls,
+        switches: ff.switches,
+        n_slots: ff.n_slots,
+        arg_homes: ff.arg_homes,
+        homes: ff.homes,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Frames and value boundaries
+// ----------------------------------------------------------------------
+
+/// A native activation record: flat `u32` registers plus spill slots.
+pub(crate) struct NatFrame {
+    pub(crate) func: FuncId,
+    pub(crate) code: Rc<NatCode>,
+    pub(crate) regs: [u32; enc::NUM_REGS],
+    pub(crate) slots: Vec<u32>,
+    pub(crate) pc: usize,
+    pub(crate) allocas: Vec<u32>,
+    /// Suspended call site: return-value home/class and invoke edges.
+    pub(crate) pending: Option<PendingCall>,
+}
+
+/// What a suspended native call site needs on resume: where the return
+/// value lands (if any) and the invoke edges (ok, unwind) if the call
+/// was an `invoke`.
+pub(crate) type PendingCall = (Option<(Home, Class)>, Option<(u32, u32)>);
+
+impl NatFrame {
+    #[inline]
+    pub(crate) fn put(&mut self, h: Home, v: u32) {
+        match h {
+            Home::Reg(r) => self.regs[r as usize] = v,
+            Home::Slot(s) => self.slots[s as usize] = v,
+        }
+    }
+
+    #[inline]
+    fn get(&self, s: Src) -> u32 {
+        match s {
+            Src::Reg(r) => self.regs[r as usize],
+            Src::Slot(s) => self.slots[s as usize],
+            Src::Imm(k) => k,
+        }
+    }
+}
+
+/// Low 32 bits of any scalar — the native register image of a value.
+/// Truncation is always sound in this direction (registers are defined
+/// as the canonical value's low word).
+#[inline]
+pub(crate) fn low32(v: &VmValue) -> u32 {
+    match *v {
+        VmValue::Bool(b) => b as u32,
+        VmValue::Int { v, .. } => v as u32,
+        VmValue::F32(f) => f.to_bits(),
+        VmValue::F64(f) => f.to_bits() as u32,
+        VmValue::Ptr(p) => p,
+    }
+}
+
+/// Rebuild the exact scalar a class-tagged register represents. Only
+/// exact classes cross value boundaries; `L64` is rejected at translate
+/// time, so reaching it here is a translator bug.
+#[inline]
+fn value_of(reg: u32, c: Class) -> VmValue {
+    match c {
+        Class::Bool => VmValue::Bool(reg != 0),
+        Class::S8 => VmValue::int(IntKind::S8, reg as i32 as i64),
+        Class::U8 => VmValue::int(IntKind::U8, reg as i64),
+        Class::S16 => VmValue::int(IntKind::S16, reg as i32 as i64),
+        Class::U16 => VmValue::int(IntKind::U16, reg as i64),
+        Class::S32 => VmValue::int(IntKind::S32, reg as i32 as i64),
+        Class::U32 => VmValue::int(IntKind::U32, reg as i64),
+        Class::Ptr => VmValue::Ptr(reg),
+        Class::L64 => unreachable!("L64 never crosses a value boundary"),
+    }
+}
+
+/// Whether a runtime scalar has exactly the class the native code was
+/// compiled for (the class invariant native registers rely on).
+pub(crate) fn matches_class(v: &VmValue, c: Class) -> bool {
+    match v {
+        VmValue::Bool(_) => c == Class::Bool,
+        VmValue::Int { kind, .. } => Class::of_kind(*kind) == c,
+        VmValue::Ptr(_) => c == Class::Ptr,
+        VmValue::F32(_) | VmValue::F64(_) => false,
+    }
+}
+
+impl<'m> Vm<'m> {
+    /// Charge one native-tier instruction. Identical accounting to
+    /// [`Vm::charge_interp`] / [`Vm::charge_jit`] — fuel and the opcode
+    /// histogram stay engine-independent — attributed to the native tier.
+    #[inline]
+    pub(crate) fn charge_native(&mut self, opidx: usize) -> Result<(), ExecError> {
+        if let Some(fuel) = &mut self.opts.fuel {
+            if *fuel == 0 {
+                return Err(ExecError::trap(TrapKind::OutOfFuel, "instruction budget"));
+            }
+            *fuel -= 1;
+        }
+        self.insts_executed += 1;
+        self.tier_stats.native_insts += 1;
+        self.opcode_counts[opidx] += 1;
+        Ok(())
+    }
+
+    /// The native code of `f`, translating on first use. The
+    /// `native.translate` fault site fires here, mirroring
+    /// `jit.translate`: any injected non-delay action surfaces as a
+    /// translation error, which the tier ladder answers with permanent
+    /// demotion to the JIT tier (the program keeps running).
+    pub(crate) fn ensure_native_translated(&mut self, f: FuncId) -> Result<Rc<NatCode>, ExecError> {
+        if let Some(nc) = &self.native_cache[f.index()] {
+            return Ok(nc.clone());
+        }
+        let mut sp = if trace::enabled() {
+            Some(trace::span(
+                "native",
+                format!("native.translate @{}", self.module().func(f).name),
+            ))
+        } else {
+            None
+        };
+        let t0 = std::time::Instant::now();
+        let result = match lpat_core::faultpoint!("native.translate") {
+            Some(lpat_core::fault::FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                self.translate_native(f)
+            }
+            Some(action) => Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("injected {action:?} fault at site 'native.translate'"),
+            )),
+            None => self.translate_native(f),
+        };
+        self.tier_stats.native_translate_ns += t0.elapsed().as_nanos() as u64;
+        match result {
+            Ok(nc) => {
+                self.tier_stats.native_translated += 1;
+                let rc = Rc::new(nc);
+                self.native_cache[f.index()] = Some(rc.clone());
+                Ok(rc)
+            }
+            Err(e) => {
+                if let Some(sp) = &mut sp {
+                    sp.arg("error", e.to_string());
+                    trace::instant_args(
+                        "native",
+                        "bail-to-jit",
+                        vec![
+                            ("function", self.module().func(f).name.clone()),
+                            ("error", e.to_string()),
+                        ],
+                    );
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn translate_native(&self, f: FuncId) -> Result<NatCode, ExecError> {
+        let m = self.module();
+        let globals: Vec<u32> = (0..m.num_globals())
+            .map(|i| self.global_addr(lpat_core::GlobalId::from_index(i)))
+            .collect();
+        let spec = self.spec_map();
+        let env = FastEnv {
+            func_addr: &|f| Memory::func_addr(f.index()),
+            global_addr: &|i| globals.get(i).copied(),
+            guarded: &|iid| spec.is_some_and(|sm| sm.guard_at(f, iid).is_some()),
+        };
+        match translate_fast(m, f, &env) {
+            Ok(ff) => Ok(decode(ff)),
+            Err(e) => Err(ExecError::trap(
+                TrapKind::Invalid,
+                format!("native backend: {e}"),
+            )),
+        }
+    }
+
+    /// Build a native activation record for a call to `f`, or `None` when
+    /// an actual argument does not match its declared class — the caller
+    /// then falls back to a JIT frame, which represents anything.
+    /// Records the call in the profile only on success.
+    pub(crate) fn make_native_frame(
+        &mut self,
+        f: FuncId,
+        args: &[VmValue],
+    ) -> Result<Option<NatFrame>, ExecError> {
+        let code = self.ensure_native_translated(f)?;
+        if args.len() != code.arg_homes.len() {
+            return Ok(None);
+        }
+        for (v, &(_, c)) in args.iter().zip(&code.arg_homes) {
+            if !matches_class(v, c) {
+                return Ok(None);
+            }
+        }
+        if self.opts.profile {
+            self.profile.record_call(f);
+            self.profile.record_block(f, self.module().func(f).entry());
+        }
+        let mut slots = self.native_slot_pool.pop().unwrap_or_default();
+        slots.clear();
+        slots.resize(code.n_slots as usize, 0);
+        let mut fr = NatFrame {
+            func: f,
+            code: code.clone(),
+            regs: [0; enc::NUM_REGS],
+            slots,
+            pc: 0,
+            allocas: Vec::new(),
+            pending: None,
+        };
+        for (v, &(h, _)) in args.iter().zip(&code.arg_homes) {
+            fr.put(h, low32(v));
+        }
+        Ok(Some(fr))
+    }
+
+    /// Release a popped native frame's allocas and recycle its slot slab.
+    pub(crate) fn recycle_native_frame(&mut self, mut fr: NatFrame) -> Result<(), ExecError> {
+        let mut slots = std::mem::take(&mut fr.slots);
+        slots.clear();
+        self.native_slot_pool.push(slots);
+        for a in fr.allocas {
+            self.mem.release(a)?;
+        }
+        Ok(())
+    }
+
+    /// Convert an interpreter frame at a block boundary (`idx == 0`) into
+    /// a native frame — interpreter-to-native OSR. `None` when an actual
+    /// argument defies its declared class; the caller falls back to JIT
+    /// OSR. Homes are a pure function of `InstId`, so this is one
+    /// table-driven copy (the `FrameMap` role for tier 3).
+    pub(crate) fn native_frame_from_interp(
+        &mut self,
+        fr: &mut Frame,
+    ) -> Result<Option<NatFrame>, ExecError> {
+        let code = self.ensure_native_translated(fr.func)?;
+        if fr.args.len() != code.arg_homes.len() {
+            return Ok(None);
+        }
+        for (v, &(_, c)) in fr.args.iter().zip(&code.arg_homes) {
+            if !matches_class(v, c) {
+                return Ok(None);
+            }
+        }
+        let mut slots = self.native_slot_pool.pop().unwrap_or_default();
+        slots.clear();
+        slots.resize(code.n_slots as usize, 0);
+        let mut nf = NatFrame {
+            func: fr.func,
+            code: code.clone(),
+            regs: [0; enc::NUM_REGS],
+            slots,
+            pc: code.block_dec[fr.block.index()] as usize,
+            allocas: std::mem::take(&mut fr.allocas),
+            pending: None,
+        };
+        for (v, &(h, _)) in fr.args.iter().zip(&code.arg_homes) {
+            nf.put(h, low32(v));
+        }
+        for (i, home) in code.homes.iter().enumerate() {
+            if let Some((h, _)) = home {
+                // Unset registers keep the zero filler: definitions
+                // dominate uses, so an unset register is unobservable.
+                if let Some(Some(v)) = fr.regs.get(i) {
+                    nf.put(*h, low32(v));
+                }
+            }
+        }
+        Ok(Some(nf))
+    }
+
+    /// Convert a JIT frame at a block boundary into a native frame —
+    /// JIT-to-native OSR (same table as [`Vm::native_frame_from_interp`]).
+    pub(crate) fn native_frame_from_jit(
+        &mut self,
+        fr: &mut JitFrame,
+        block: u32,
+    ) -> Result<Option<NatFrame>, ExecError> {
+        let code = self.ensure_native_translated(fr.func)?;
+        if fr.args.len() != code.arg_homes.len() {
+            return Ok(None);
+        }
+        for (v, &(_, c)) in fr.args.iter().zip(&code.arg_homes) {
+            if !matches_class(v, c) {
+                return Ok(None);
+            }
+        }
+        let mut slots = self.native_slot_pool.pop().unwrap_or_default();
+        slots.clear();
+        slots.resize(code.n_slots as usize, 0);
+        let mut nf = NatFrame {
+            func: fr.func,
+            code: code.clone(),
+            regs: [0; enc::NUM_REGS],
+            slots,
+            pc: code.block_dec[block as usize] as usize,
+            allocas: std::mem::take(&mut fr.allocas),
+            pending: None,
+        };
+        for (v, &(h, _)) in fr.args.iter().zip(&code.arg_homes) {
+            nf.put(h, low32(v));
+        }
+        for (i, home) in code.homes.iter().enumerate() {
+            if let Some((h, _)) = home {
+                if let Some(v) = fr.regs.get(i) {
+                    nf.put(*h, low32(v));
+                }
+            }
+        }
+        Ok(Some(nf))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Execution
+// ----------------------------------------------------------------------
+
+/// Transfer control along edge `e`: apply the sequentialised φ-copies,
+/// move the pc, and record the edge/block profile (matching the
+/// interpreter's `transfer`).
+#[inline]
+pub(crate) fn take_nat_edge(vm: &mut Vm<'_>, fr: &mut NatFrame, code: &NatCode, e: usize) {
+    let edge = &code.edges[e];
+    for c in &edge.copies {
+        let v = fr.get(c.src);
+        fr.put(c.dst, v);
+    }
+    fr.pc = edge.target as usize;
+    if vm.opts.profile {
+        let from = BlockId::from_index(edge.from as usize);
+        let to = BlockId::from_index(edge.to as usize);
+        vm.profile.record_edge(fr.func, from, to);
+        vm.profile.record_block(fr.func, to);
+    }
+}
+
+/// Run the frame's decoded code until a call boundary, return, unwind or
+/// trap. The inner loop touches only the flat register file, the frame's
+/// slot slab and (for memory ops) the checked [`Memory`] — this is the
+/// dispatch-density win over the `LowFunc` tier.
+pub(crate) fn run_native_burst(vm: &mut Vm<'_>, fr: &mut NatFrame) -> Result<Flow, ExecError> {
+    let code = fr.code.clone();
+    loop {
+        let op = code.ops[fr.pc];
+        fr.pc += 1;
+        if op.acct != 0 {
+            vm.charge_native((op.acct - 1) as usize)?;
+        }
+        let (a, b, c) = (op.a as usize, op.b as usize, op.c as usize);
+        match op.op {
+            enc::ADD => fr.regs[a] = fr.regs[b].wrapping_add(fr.regs[c]),
+            enc::SUB => fr.regs[a] = fr.regs[b].wrapping_sub(fr.regs[c]),
+            enc::MUL => fr.regs[a] = fr.regs[b].wrapping_mul(fr.regs[c]),
+            enc::MADD => fr.regs[a] = fr.regs[a].wrapping_add(fr.regs[b].wrapping_mul(fr.regs[c])),
+            enc::AND => fr.regs[a] = fr.regs[b] & fr.regs[c],
+            enc::OR => fr.regs[a] = fr.regs[b] | fr.regs[c],
+            enc::XOR => fr.regs[a] = fr.regs[b] ^ fr.regs[c],
+            enc::SLL => {
+                let sh = fr.regs[c] & (op.extra as u32 - 1);
+                fr.regs[a] = fr.regs[b] << sh;
+            }
+            enc::SRL => {
+                let sh = fr.regs[c] & (op.extra as u32 - 1);
+                fr.regs[a] = fr.regs[b] >> sh;
+            }
+            enc::SRA => {
+                let sh = fr.regs[c] & (op.extra as u32 - 1);
+                fr.regs[a] = ((fr.regs[b] as i32) >> sh) as u32;
+            }
+            enc::DIVS => {
+                let (x, y) = (fr.regs[b] as i32, fr.regs[c] as i32);
+                if y == 0 {
+                    return Err(ExecError::trap(TrapKind::DivByZero, "integer division"));
+                }
+                fr.regs[a] = x.wrapping_div(y) as u32;
+            }
+            enc::DIVU => {
+                let (x, y) = (fr.regs[b], fr.regs[c]);
+                if y == 0 {
+                    return Err(ExecError::trap(TrapKind::DivByZero, "integer division"));
+                }
+                fr.regs[a] = x / y;
+            }
+            enc::REMS => {
+                let (x, y) = (fr.regs[b] as i32, fr.regs[c] as i32);
+                if y == 0 {
+                    return Err(ExecError::trap(TrapKind::DivByZero, "integer remainder"));
+                }
+                fr.regs[a] = x.wrapping_rem(y) as u32;
+            }
+            enc::REMU => {
+                let (x, y) = (fr.regs[b], fr.regs[c]);
+                if y == 0 {
+                    return Err(ExecError::trap(TrapKind::DivByZero, "integer remainder"));
+                }
+                fr.regs[a] = x % y;
+            }
+            enc::CMP => {
+                let (x, y) = (fr.regs[b], fr.regs[c]);
+                let ord = if op.extra & 8 != 0 {
+                    x.cmp(&y)
+                } else {
+                    (x as i32).cmp(&(y as i32))
+                };
+                let hit = match op.extra & 7 {
+                    0 => ord.is_eq(),
+                    1 => ord.is_ne(),
+                    2 => ord.is_lt(),
+                    3 => ord.is_gt(),
+                    4 => ord.is_le(),
+                    _ => ord.is_ge(),
+                };
+                fr.regs[a] = hit as u32;
+            }
+            enc::SETNZ => fr.regs[a] = (fr.regs[b] != 0) as u32,
+            enc::NORM => {
+                let v = fr.regs[b];
+                fr.regs[a] = match Class::from_code(op.extra) {
+                    Some(Class::S8) => v as i8 as i32 as u32,
+                    Some(Class::U8) => v & 0xFF,
+                    Some(Class::S16) => v as i16 as i32 as u32,
+                    Some(Class::U16) => v & 0xFFFF,
+                    _ => v,
+                };
+            }
+            enc::MOV => fr.regs[a] = fr.regs[b],
+            enc::ADDI => fr.regs[a] = fr.regs[b].wrapping_add(op.imm),
+            enc::LDI => fr.regs[a] = op.imm,
+            enc::ORI => fr.regs[a] = fr.regs[b] | op.imm,
+            enc::LDS => fr.regs[a] = fr.slots[op.imm as usize],
+            enc::STS => fr.slots[op.imm as usize] = fr.regs[b],
+            enc::LD => {
+                let addr = fr.regs[b];
+                fr.regs[a] = match Class::from_code(op.extra) {
+                    Some(Class::Bool) => low32(&vm.mem.load_bool(addr)?),
+                    Some(Class::Ptr) => low32(&vm.mem.load_ptr(addr)?),
+                    Some(cl) => {
+                        let kind = cl
+                            .int_kind()
+                            .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "bad load class"))?;
+                        low32(&vm.mem.load_int(addr, kind)?)
+                    }
+                    None => return Err(ExecError::trap(TrapKind::Invalid, "bad load class")),
+                };
+            }
+            enc::ST => {
+                let addr = fr.regs[b];
+                let cl = Class::from_code(op.extra)
+                    .filter(|c| c.is_exact())
+                    .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "bad store class"))?;
+                vm.mem.store(addr, value_of(fr.regs[c], cl))?;
+            }
+            enc::ALLOC => {
+                let n: u64 = if op.extra & 2 != 0 {
+                    1
+                } else if op.extra & 4 != 0 {
+                    fr.regs[b] as u64
+                } else {
+                    (fr.regs[b] as i32 as i64).max(0) as u64
+                };
+                let size = (fr.regs[c] as u64) * n;
+                let size32: u32 = size
+                    .try_into()
+                    .map_err(|_| ExecError::trap(TrapKind::OutOfMemory, "allocation too large"))?;
+                let addr = vm.mem.alloc(size32.max(1))?;
+                if op.extra & 1 != 0 {
+                    fr.allocas.push(addr);
+                }
+                fr.regs[a] = addr;
+            }
+            enc::FREE => {
+                let p = fr.regs[b];
+                if p != 0 {
+                    vm.mem.release(p)?;
+                }
+            }
+            enc::BR => take_nat_edge(vm, fr, &code, op.imm as usize),
+            enc::CBNZ => {
+                if fr.regs[b] != 0 {
+                    // Skip the paired fall-through BR.
+                    fr.pc += 1;
+                    take_nat_edge(vm, fr, &code, op.imm as usize);
+                }
+            }
+            enc::SWITCH => {
+                let v = fr.regs[b];
+                let tbl = &code.switches[op.imm as usize];
+                let mut e = tbl.default;
+                for &(cv, ce) in &tbl.cases {
+                    if cv == v {
+                        e = ce;
+                        break;
+                    }
+                }
+                take_nat_edge(vm, fr, &code, e as usize);
+            }
+            enc::CALLD => {
+                let call = &code.calls[op.imm as usize];
+                if vm.opts.profile {
+                    vm.profile
+                        .record_callsite(fr.func, InstId::from_index(call.desc.site as usize));
+                }
+                let target = match &call.desc.callee {
+                    FastCallee::Direct(f) => *f,
+                    FastCallee::Indirect(s) => {
+                        let addr = fr.get(*s);
+                        let (hit_addr, hit_func) = call.ic.get();
+                        if hit_func != 0 && hit_addr == addr {
+                            FuncId::from_index((hit_func - 1) as usize)
+                        } else {
+                            let f = vm
+                                .mem
+                                .addr_to_func(addr)
+                                .map(FuncId::from_index)
+                                .ok_or_else(|| {
+                                    ExecError::trap(TrapKind::Invalid, "call through data pointer")
+                                })?;
+                            call.ic.set((addr, f.index() as u32 + 1));
+                            f
+                        }
+                    }
+                };
+                let argv: Vec<VmValue> = call
+                    .desc
+                    .args
+                    .iter()
+                    .map(|&(s, cl)| value_of(fr.get(s), cl))
+                    .collect();
+                let tf = vm.module().func(target);
+                if tf.is_declaration() {
+                    let eh = call.desc.eh;
+                    let dst = call.desc.dst;
+                    let ret = vm.call_external_by_id(target, &argv)?;
+                    if let (Some((h, cl)), Some(v)) = (dst, ret) {
+                        if !matches_class(&v, cl) {
+                            return Err(ExecError::trap(
+                                TrapKind::Invalid,
+                                "native call result class mismatch",
+                            ));
+                        }
+                        fr.put(h, low32(&v));
+                    }
+                    if let Some((normal, _)) = eh {
+                        take_nat_edge(vm, fr, &code, normal as usize);
+                    }
+                    continue;
+                }
+                let nfixed = tf.num_params();
+                let (fixed, extra) = if argv.len() > nfixed {
+                    let (x, y) = argv.split_at(nfixed);
+                    (x.to_vec(), y.to_vec())
+                } else {
+                    (argv, Vec::new())
+                };
+                fr.pending = Some((call.desc.dst, call.desc.eh));
+                // dst/eh ride in the frame's typed pending slot, not the
+                // (JIT-shaped) Flow fields.
+                return Ok(Flow::Call {
+                    target,
+                    args: fixed,
+                    varargs: extra,
+                    dst: None,
+                    eh: None,
+                });
+            }
+            enc::RET => {
+                if op.imm & 1 != 0 {
+                    let cl = Class::from_code((op.imm >> 1) as u16)
+                        .filter(|c| c.is_exact())
+                        .ok_or_else(|| ExecError::trap(TrapKind::Invalid, "bad ret class"))?;
+                    return Ok(Flow::Ret(Some(value_of(fr.regs[b], cl))));
+                }
+                return Ok(Flow::Ret(None));
+            }
+            enc::UNWIND => return Ok(Flow::Unwinding),
+            enc::UNREACHABLE => {
+                return Err(ExecError::trap(
+                    TrapKind::Unreachable,
+                    "unreachable executed",
+                ))
+            }
+            _ => return Err(ExecError::trap(TrapKind::Invalid, "bad native opcode")),
+        }
+    }
+}

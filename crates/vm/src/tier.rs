@@ -42,17 +42,28 @@ use crate::jit::{Flow, JitFrame};
 use crate::profile::ProfileData;
 use crate::value::VmValue;
 
-/// Per-function tier state.
+/// Per-function tier state: the promotion ladder is
+/// `Cold → Hot → Native`, with a permanent demotion state at each rung.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum TierCell {
     /// Interpreted; the payload is the hotness counter (calls +
     /// back-edges observed so far).
     Cold(u64),
-    /// Promoted: translated code exists in the cache and is used for
-    /// every call (and, via OSR, for running interpreted activations).
-    Hot,
-    /// Translation failed; permanently interpreted.
+    /// Promoted to the JIT tier: translated code exists in the cache and
+    /// is used for every call (and, via OSR, for running interpreted
+    /// activations). The payload is the *native* hotness counter —
+    /// calls + back-edges observed while on this tier — driving the
+    /// second promotion.
+    Hot(u64),
+    /// Promoted twice: single-pass machine code exists in the native
+    /// cache and is used for every call whose arguments match the
+    /// declared classes (others fall back to the JIT frame, per call).
+    Native,
+    /// JIT translation failed; permanently interpreted.
     Demoted,
+    /// Native translation failed (`native.translate` fault or a backend
+    /// bail); permanently on the JIT tier.
+    NativeDemoted,
 }
 
 /// How [`Vm::run_function_mixed`] picks a tier per call.
@@ -61,8 +72,20 @@ pub(crate) enum MixedMode {
     /// Every callee is translated on first call; translation failure is
     /// fatal. This is the classic `run_main_jit` engine.
     JitOnly,
-    /// Counter-driven promotion with the configured threshold.
-    Tiered { threshold: u64 },
+    /// Counter-driven promotion with the configured thresholds.
+    /// `native_up = None` disables the third tier.
+    Tiered {
+        threshold: u64,
+        native_up: Option<u64>,
+    },
+}
+
+/// A call-boundary tier decision.
+#[derive(Clone, Copy, Debug)]
+enum TierChoice {
+    Interp,
+    Jit,
+    Native,
 }
 
 /// Tiered-execution statistics, kept outside the trace layer so wall
@@ -88,12 +111,26 @@ pub struct TierStats {
     pub jit_insts: u64,
     /// Wall-clock nanoseconds spent translating.
     pub translate_ns: u64,
+    /// Functions promoted JIT → native machine code.
+    pub native_promoted: u64,
+    /// Functions demoted to the JIT tier after a native translation
+    /// failure (backend bail or `native.translate` fault).
+    pub native_demoted: u64,
+    /// Activations switched JIT/interp → native mid-run at a loop header.
+    pub native_osr: u64,
+    /// Functions translated by the single-pass native backend.
+    pub native_translated: u64,
+    /// Instructions dispatched by the native (machine-code) tier.
+    pub native_insts: u64,
+    /// Wall-clock nanoseconds spent in the native backend.
+    pub native_translate_ns: u64,
 }
 
-/// A frame on the mixed call stack: interpreted or translated.
+/// A frame on the mixed call stack: interpreted, translated, or native.
 pub(crate) enum TFrame {
     I(Frame),
     J(JitFrame),
+    N(crate::native::NatFrame),
 }
 
 /// The bidirectional register-file mapping between the interpreter's
@@ -149,7 +186,7 @@ impl FrameMap {
 /// the interpreter to the JIT as promotions happen.
 struct TierSegments {
     active: bool,
-    cur: Option<(trace::Span, bool)>,
+    cur: Option<(trace::Span, u8)>,
 }
 
 impl TierSegments {
@@ -160,21 +197,23 @@ impl TierSegments {
         }
     }
 
-    fn enter(&mut self, jit: bool) {
+    fn enter(&mut self, tier: u8) {
         if !self.active {
             return;
         }
         if let Some((_, k)) = &self.cur {
-            if *k == jit {
+            if *k == tier {
                 return;
             }
         }
         // Dropping the old span records its end before the new one opens.
         self.cur = None;
-        self.cur = Some((
-            trace::span("vm", if jit { "tier-jit" } else { "tier-interp" }),
-            jit,
-        ));
+        let name = match tier {
+            0 => "tier-interp",
+            1 => "tier-jit",
+            _ => "tier-native",
+        };
+        self.cur = Some((trace::span("vm", name), tier));
     }
 }
 
@@ -216,7 +255,15 @@ impl<'m> Vm<'m> {
         args: Vec<VmValue>,
     ) -> Result<Option<VmValue>, ExecError> {
         let threshold = self.opts.tier_up;
-        self.run_function_mixed(f, args, MixedMode::Tiered { threshold })
+        let native_up = self.opts.native_up;
+        self.run_function_mixed(
+            f,
+            args,
+            MixedMode::Tiered {
+                threshold,
+                native_up,
+            },
+        )
     }
 
     /// Seed tier decisions from a prior run's profile (typically the
@@ -270,6 +317,14 @@ impl<'m> Vm<'m> {
         args: Vec<VmValue>,
         mode: MixedMode,
     ) -> Result<Option<VmValue>, ExecError> {
+        self.tier_native_on = matches!(
+            mode,
+            MixedMode::Tiered {
+                native_up: Some(_),
+                ..
+            }
+        );
+        self.pending_native_osr = None;
         let mut stack: Vec<TFrame> = Vec::new();
         self.push_mixed(&mut stack, f, args, Vec::new(), mode)?;
         let mut seg = TierSegments::new(matches!(mode, MixedMode::Tiered { .. }));
@@ -282,24 +337,88 @@ impl<'m> Vm<'m> {
         mode: MixedMode,
         seg: &mut TierSegments,
     ) -> Result<Option<VmValue>, ExecError> {
+        // What a hoisted interpreter burst ended with (the inner loop
+        // holds a borrow of the top frame, so stack surgery happens out
+        // here where that borrow is dead).
+        enum After {
+            Call {
+                target: FuncId,
+                fixed: Vec<VmValue>,
+                extra: Vec<VmValue>,
+            },
+            Ret(Option<VmValue>),
+            Unwind,
+            Osr,
+        }
         'outer: loop {
-            let jit_top = matches!(stack.last().expect("frame"), TFrame::J(_));
-            seg.enter(jit_top);
-            if jit_top {
+            // A pending native OSR is only valid at the check directly
+            // after the edge that set it; any other control transfer
+            // drops it (the frame may no longer sit at a block boundary).
+            self.pending_native_osr = None;
+            let tier_top = match stack.last().expect("frame") {
+                TFrame::I(_) => 0u8,
+                TFrame::J(_) => 1,
+                TFrame::N(_) => 2,
+            };
+            seg.enter(tier_top);
+            if tier_top == 2 {
+                // Native machine-code burst: runs until a call boundary,
+                // return, unwind, or trap.
+                let fr = match stack.last_mut().expect("frame") {
+                    TFrame::N(fr) => fr,
+                    _ => unreachable!(),
+                };
+                match crate::native::run_native_burst(self, fr)? {
+                    Flow::Call {
+                        target,
+                        args,
+                        varargs,
+                        ..
+                    } => {
+                        // dst/eh already parked in the frame's typed
+                        // pending slot by the burst loop.
+                        self.push_mixed(stack, target, args, varargs, mode)?;
+                        continue 'outer;
+                    }
+                    Flow::Ret(v) => {
+                        if let Some(out) = self.deliver_return(stack, v)? {
+                            return Ok(out);
+                        }
+                        continue 'outer;
+                    }
+                    Flow::Unwinding => {
+                        self.deliver_unwind(stack)?;
+                        continue 'outer;
+                    }
+                    Flow::Next | Flow::Deopt { .. } => {
+                        unreachable!("native bursts end at call/ret/unwind")
+                    }
+                }
+            } else if tier_top == 1 {
                 let lf = match stack.last().expect("frame") {
                     TFrame::J(fr) => fr.lf.clone(),
-                    TFrame::I(_) => unreachable!(),
+                    _ => unreachable!(),
                 };
                 // Tight dispatch over the current translated frame.
                 loop {
                     let fr = match stack.last_mut().expect("frame") {
                         TFrame::J(fr) => fr,
-                        TFrame::I(_) => unreachable!(),
+                        _ => unreachable!(),
                     };
                     let op = &lf.code[fr.pc];
                     fr.pc += 1;
                     match crate::jit::exec_low(self, fr, &lf, op)? {
-                        Flow::Next => {}
+                        Flow::Next => {
+                            // A back-edge may just have promoted this
+                            // function to machine code; the frame sits at
+                            // the loop-header boundary, so switch now.
+                            if self.pending_native_osr.is_some() {
+                                let block =
+                                    self.pending_native_osr.take().expect("pending OSR block");
+                                self.native_osr_from_jit(stack, block)?;
+                                continue 'outer;
+                            }
+                        }
                         Flow::Call {
                             target,
                             args,
@@ -335,66 +454,90 @@ impl<'m> Vm<'m> {
                     }
                 }
             } else {
-                // Single-step interpretation of the current frame.
-                loop {
-                    let m = self.module();
+                // Single-step interpretation of the current frame. The
+                // frame borrow, function lookup, and module access are
+                // hoisted out of the per-instruction loop (they are
+                // loop-invariant: `fr.func` never changes within an
+                // activation, and the stack is untouched until a call /
+                // return / unwind / OSR ends the burst).
+                let m = self.module();
+                let after = {
                     let fr = match stack.last_mut().expect("frame") {
                         TFrame::I(fr) => fr,
-                        TFrame::J(_) => unreachable!(),
+                        _ => unreachable!(),
                     };
                     let func = m.func(fr.func);
-                    let insts = func.block_insts(fr.block);
-                    if fr.idx >= insts.len() {
-                        return Err(ExecError::trap(
-                            TrapKind::Invalid,
-                            "fell off the end of a block",
-                        ));
-                    }
-                    let iid = insts[fr.idx];
-                    let block = fr.block;
-                    let fetched = func.inst(iid);
-                    if !matches!(fetched, Inst::Phi { .. }) {
-                        self.charge_interp(fetched.opcode_index())?;
-                    }
-                    match self.step(fr, block, iid)? {
-                        StepResult::Continue => fr.idx += 1,
-                        StepResult::Jumped => {
-                            // A back-edge (jump to the same or an earlier
-                            // block) marks a loop iteration: bump the
-                            // hotness counter, and if the function is (or
-                            // just became) hot, switch this activation to
-                            // translated code at the header (OSR).
-                            if let MixedMode::Tiered { threshold } = mode {
-                                if fr.block.index() <= block.index() {
-                                    let f = fr.func;
-                                    self.tier_bump(f, threshold);
-                                    if matches!(self.tier[f.index()], TierCell::Hot) {
-                                        self.osr_enter(stack)?;
-                                        continue 'outer;
+                    loop {
+                        let insts = func.block_insts(fr.block);
+                        if fr.idx >= insts.len() {
+                            return Err(ExecError::trap(
+                                TrapKind::Invalid,
+                                "fell off the end of a block",
+                            ));
+                        }
+                        let iid = insts[fr.idx];
+                        let block = fr.block;
+                        let fetched = func.inst(iid);
+                        if !matches!(fetched, Inst::Phi { .. }) {
+                            self.charge_interp(fetched.opcode_index())?;
+                        }
+                        match self.step(fr, block, iid, fetched)? {
+                            StepResult::Continue => fr.idx += 1,
+                            StepResult::Jumped => {
+                                // A back-edge (jump to the same or an
+                                // earlier block) marks a loop iteration:
+                                // bump the hotness counter, and if the
+                                // function is (or just became) hot, switch
+                                // this activation to translated or native
+                                // code at the header (OSR).
+                                if let MixedMode::Tiered {
+                                    threshold,
+                                    native_up,
+                                } = mode
+                                {
+                                    if fr.block.index() <= block.index() {
+                                        let f = fr.func;
+                                        self.tier_bump(f, threshold, native_up);
+                                        if matches!(
+                                            self.tier[f.index()],
+                                            TierCell::Hot(_) | TierCell::Native
+                                        ) {
+                                            break After::Osr;
+                                        }
                                     }
                                 }
                             }
-                        }
-                        StepResult::Call {
-                            target,
-                            fixed,
-                            extra,
-                        } => {
-                            self.push_mixed(stack, target, fixed, extra, mode)?;
-                            continue 'outer;
-                        }
-                        StepResult::Returned(v) => {
-                            if let Some(out) = self.deliver_return(stack, v)? {
-                                return Ok(out);
+                            StepResult::Call {
+                                target,
+                                fixed,
+                                extra,
+                            } => {
+                                break After::Call {
+                                    target,
+                                    fixed,
+                                    extra,
+                                }
                             }
-                            continue 'outer;
-                        }
-                        StepResult::Unwinding => {
-                            self.deliver_unwind(stack)?;
-                            continue 'outer;
+                            StepResult::Returned(v) => break After::Ret(v),
+                            StepResult::Unwinding => break After::Unwind,
                         }
                     }
+                };
+                match after {
+                    After::Call {
+                        target,
+                        fixed,
+                        extra,
+                    } => self.push_mixed(stack, target, fixed, extra, mode)?,
+                    After::Ret(v) => {
+                        if let Some(out) = self.deliver_return(stack, v)? {
+                            return Ok(out);
+                        }
+                    }
+                    After::Unwind => self.deliver_unwind(stack)?,
+                    After::Osr => self.osr_any(stack)?,
                 }
+                continue 'outer;
             }
         }
     }
@@ -411,16 +554,34 @@ impl<'m> Vm<'m> {
         if stack.len() >= self.opts.max_stack {
             return Err(ExecError::trap(TrapKind::StackOverflow, "call depth"));
         }
-        let jit = match mode {
-            MixedMode::JitOnly => true,
-            MixedMode::Tiered { threshold } => self.tier_decide_call(f, threshold),
+        let choice = match mode {
+            MixedMode::JitOnly => TierChoice::Jit,
+            MixedMode::Tiered {
+                threshold,
+                native_up,
+            } => self.tier_decide_call(f, threshold, native_up),
         };
-        if jit {
-            let fr = self.make_jit_frame(f, args, varargs)?;
-            stack.push(TFrame::J(fr));
-        } else {
-            let fr = self.make_frame(f, args, varargs)?;
-            stack.push(TFrame::I(fr));
+        match choice {
+            TierChoice::Native => {
+                if let Some(fr) = self.make_native_frame(f, &args)? {
+                    stack.push(TFrame::N(fr));
+                } else {
+                    // An actual argument defies the declared class
+                    // (possible only through mistyped indirect calls):
+                    // the JIT frame represents any value, so this call
+                    // runs one tier down.
+                    let fr = self.make_jit_frame(f, args, varargs)?;
+                    stack.push(TFrame::J(fr));
+                }
+            }
+            TierChoice::Jit => {
+                let fr = self.make_jit_frame(f, args, varargs)?;
+                stack.push(TFrame::J(fr));
+            }
+            TierChoice::Interp => {
+                let fr = self.make_frame(f, args, varargs)?;
+                stack.push(TFrame::I(fr));
+            }
         }
         Ok(())
     }
@@ -430,6 +591,7 @@ impl<'m> Vm<'m> {
         match stack.pop().expect("frame to pop") {
             TFrame::I(fr) => self.recycle_frame(fr),
             TFrame::J(fr) => self.recycle_jit_frame(fr),
+            TFrame::N(fr) => self.recycle_native_frame(fr),
         }
     }
 
@@ -471,6 +633,26 @@ impl<'m> Vm<'m> {
                     self.take_edge(fr, &lf, normal)?;
                 }
             }
+            TFrame::N(fr) => {
+                let (dst, eh) = fr.pending.take().expect("pending call");
+                if let (Some((h, cl)), Some(v)) = (dst, v) {
+                    // The returned scalar must have the class the native
+                    // code was compiled for. A mismatch is only possible
+                    // in unverified, type-confused modules; trap rather
+                    // than silently reinterpret bits (DESIGN.md §16).
+                    if !crate::native::matches_class(&v, cl) {
+                        return Err(ExecError::trap(
+                            TrapKind::Invalid,
+                            "native call result class mismatch",
+                        ));
+                    }
+                    fr.put(h, crate::native::low32(&v));
+                }
+                if let Some((normal, _)) = eh {
+                    let code = fr.code.clone();
+                    crate::native::take_nat_edge(self, fr, &code, normal as usize);
+                }
+            }
         }
         Ok(None)
     }
@@ -483,6 +665,7 @@ impl<'m> Vm<'m> {
                 let f = match top {
                     TFrame::I(fr) => fr.func,
                     TFrame::J(fr) => fr.func,
+                    TFrame::N(fr) => fr.func,
                 };
                 let fname = self.module().func(f).name.clone();
                 trace::instant_args("vm", "unwind", vec![("from", fname)]);
@@ -516,38 +699,89 @@ impl<'m> Vm<'m> {
                         return Ok(());
                     }
                 }
-            }
-        }
-    }
-
-    /// Tier decision at a call boundary: hot functions run translated,
-    /// demoted ones interpret, cold ones bump their counter (a call is a
-    /// hotness event) and may promote right here.
-    fn tier_decide_call(&mut self, f: FuncId, threshold: u64) -> bool {
-        match self.tier[f.index()] {
-            TierCell::Hot => true,
-            TierCell::Demoted => false,
-            TierCell::Cold(n) => {
-                let n = n.saturating_add(1);
-                self.tier[f.index()] = TierCell::Cold(n);
-                if n > threshold {
-                    self.try_promote(f)
-                } else {
-                    false
+                TFrame::N(fr) => {
+                    let (_, eh) = fr.pending.take().expect("pending call");
+                    if let Some((_, unwind)) = eh {
+                        let code = fr.code.clone();
+                        crate::native::take_nat_edge(self, fr, &code, unwind as usize);
+                        return Ok(());
+                    }
                 }
             }
         }
     }
 
-    /// Bump `f`'s hotness counter for a loop back-edge; promote when the
-    /// threshold is crossed.
-    fn tier_bump(&mut self, f: FuncId, threshold: u64) {
-        if let TierCell::Cold(n) = self.tier[f.index()] {
-            let n = n.saturating_add(1);
-            self.tier[f.index()] = TierCell::Cold(n);
-            if n > threshold {
-                self.try_promote(f);
+    /// Tier decision at a call boundary: native functions run machine
+    /// code, hot ones run translated, demoted ones interpret, cold ones
+    /// bump their counter (a call is a hotness event) and may promote
+    /// right here. A fresh JIT promotion immediately counts the same
+    /// call toward native hotness, so `tier_up 0` + `native_up 0` runs
+    /// everything native from the first call.
+    fn tier_decide_call(
+        &mut self,
+        f: FuncId,
+        threshold: u64,
+        native_up: Option<u64>,
+    ) -> TierChoice {
+        match self.tier[f.index()] {
+            TierCell::Native => TierChoice::Native,
+            TierCell::NativeDemoted => TierChoice::Jit,
+            TierCell::Demoted => TierChoice::Interp,
+            TierCell::Hot(_) => {
+                if self.native_call_bump(f, native_up) {
+                    TierChoice::Native
+                } else {
+                    TierChoice::Jit
+                }
             }
+            TierCell::Cold(n) => {
+                let n = n.saturating_add(1);
+                self.tier[f.index()] = TierCell::Cold(n);
+                if n > threshold && self.try_promote(f) {
+                    if self.native_call_bump(f, native_up) {
+                        TierChoice::Native
+                    } else {
+                        TierChoice::Jit
+                    }
+                } else {
+                    TierChoice::Interp
+                }
+            }
+        }
+    }
+
+    /// Count a hotness event against a JIT-tier function's native
+    /// counter; promote to machine code when the threshold is crossed.
+    /// Returns whether the function is on the native tier afterwards.
+    fn native_call_bump(&mut self, f: FuncId, native_up: Option<u64>) -> bool {
+        let Some(nu) = native_up else {
+            return false;
+        };
+        if let TierCell::Hot(n) = self.tier[f.index()] {
+            let n = n.saturating_add(1);
+            self.tier[f.index()] = TierCell::Hot(n);
+            if n > nu {
+                return self.try_promote_native(f);
+            }
+        }
+        matches!(self.tier[f.index()], TierCell::Native)
+    }
+
+    /// Bump `f`'s hotness counter for a loop back-edge; promote when the
+    /// relevant threshold is crossed (cold → JIT, JIT → native).
+    fn tier_bump(&mut self, f: FuncId, threshold: u64, native_up: Option<u64>) {
+        match self.tier[f.index()] {
+            TierCell::Cold(n) => {
+                let n = n.saturating_add(1);
+                self.tier[f.index()] = TierCell::Cold(n);
+                if n > threshold {
+                    self.try_promote(f);
+                }
+            }
+            TierCell::Hot(_) => {
+                self.native_call_bump(f, native_up);
+            }
+            _ => {}
         }
     }
 
@@ -556,7 +790,7 @@ impl<'m> Vm<'m> {
     fn try_promote(&mut self, f: FuncId) -> bool {
         match self.ensure_translated(f) {
             Ok(_) => {
-                self.tier[f.index()] = TierCell::Hot;
+                self.tier[f.index()] = TierCell::Hot(0);
                 self.tier_stats.promoted += 1;
                 if trace::enabled() {
                     trace::instant_args(
@@ -582,6 +816,135 @@ impl<'m> Vm<'m> {
                 false
             }
         }
+    }
+
+    /// Translate `f` to machine code and mark it `Native`; on failure —
+    /// a backend bail or an injected `native.translate` fault — mark it
+    /// `NativeDemoted` (it stays on the JIT tier permanently, the
+    /// program keeps running). Returns whether the function is native.
+    fn try_promote_native(&mut self, f: FuncId) -> bool {
+        match self.ensure_native_translated(f) {
+            Ok(_) => {
+                self.tier[f.index()] = TierCell::Native;
+                self.tier_stats.native_promoted += 1;
+                if trace::enabled() {
+                    trace::instant_args(
+                        "vm",
+                        "tier-up-native",
+                        vec![("function", self.module().func(f).name.clone())],
+                    );
+                }
+                true
+            }
+            Err(_) => {
+                // `ensure_native_translated` already emitted the
+                // bail-to-jit instant with the error.
+                self.tier[f.index()] = TierCell::NativeDemoted;
+                self.tier_stats.native_demoted += 1;
+                if trace::enabled() {
+                    trace::instant_args(
+                        "vm",
+                        "tier-demote-native",
+                        vec![("function", self.module().func(f).name.clone())],
+                    );
+                }
+                false
+            }
+        }
+    }
+
+    /// Count a JIT-dispatched loop back-edge toward native promotion.
+    /// Called from [`Vm::take_edge`] (gated on `tier_native_on`); when
+    /// the function is — or just became — native, requests an OSR at
+    /// `to_block`, consumed by the dispatch loop at the very next
+    /// boundary check.
+    pub(crate) fn native_backedge_bump(&mut self, f: FuncId, to_block: u32) {
+        match self.tier[f.index()] {
+            TierCell::Hot(_) => {
+                let nu = self.opts.native_up;
+                if self.native_call_bump(f, nu) {
+                    self.pending_native_osr = Some(to_block);
+                }
+            }
+            TierCell::Native => {
+                // Promoted at a call boundary while this activation kept
+                // running translated code: switch it at this loop header.
+                self.pending_native_osr = Some(to_block);
+            }
+            _ => {}
+        }
+    }
+
+    /// OSR dispatch for an interpreted frame whose function moved up the
+    /// ladder: native if possible, JIT otherwise.
+    fn osr_any(&mut self, stack: &mut [TFrame]) -> Result<(), ExecError> {
+        let f = match stack.last().expect("frame") {
+            TFrame::I(fr) => fr.func,
+            _ => return Ok(()),
+        };
+        if matches!(self.tier[f.index()], TierCell::Native) && self.native_osr_enter(stack)? {
+            return Ok(());
+        }
+        self.osr_enter(stack)
+    }
+
+    /// On-stack replacement, interpreter → native: the top frame must be
+    /// interpreted and at a block boundary (`idx == 0`). Homes are a
+    /// pure function of `InstId`, so the rebuild is one table-driven
+    /// truncating copy. Returns `false` (frame untouched) when an
+    /// argument's class defies the declared signature — the caller then
+    /// falls back to JIT OSR, which represents any value.
+    fn native_osr_enter(&mut self, stack: &mut [TFrame]) -> Result<bool, ExecError> {
+        let top = stack.last_mut().expect("frame");
+        let TFrame::I(fr) = top else {
+            return Ok(false);
+        };
+        debug_assert_eq!(fr.idx, 0, "OSR only at a block boundary");
+        let nf = match self.native_frame_from_interp(fr) {
+            Ok(Some(nf)) => nf,
+            Ok(None) | Err(_) => return Ok(false),
+        };
+        let mut old_regs = std::mem::take(&mut fr.regs);
+        old_regs.clear();
+        self.interp_reg_pool.push(old_regs);
+        self.tier_stats.native_osr += 1;
+        if trace::enabled() {
+            trace::instant_args(
+                "vm",
+                "tier-osr-native",
+                vec![("function", self.module().func(nf.func).name.clone())],
+            );
+        }
+        *stack.last_mut().expect("frame") = TFrame::N(nf);
+        Ok(true)
+    }
+
+    /// On-stack replacement, JIT → native, at the `block` boundary a
+    /// back-edge just landed on. A class mismatch leaves the translated
+    /// frame running (correct either way; machine code is an
+    /// optimization, never a semantic requirement).
+    fn native_osr_from_jit(&mut self, stack: &mut [TFrame], block: u32) -> Result<(), ExecError> {
+        let top = stack.last_mut().expect("frame");
+        let TFrame::J(fr) = top else {
+            return Ok(());
+        };
+        let nf = match self.native_frame_from_jit(fr, block) {
+            Ok(Some(nf)) => nf,
+            Ok(None) | Err(_) => return Ok(()),
+        };
+        let mut old_regs = std::mem::take(&mut fr.regs);
+        old_regs.clear();
+        self.jit_reg_pool.push(old_regs);
+        self.tier_stats.native_osr += 1;
+        if trace::enabled() {
+            trace::instant_args(
+                "vm",
+                "tier-osr-native",
+                vec![("function", self.module().func(nf.func).name.clone())],
+            );
+        }
+        *stack.last_mut().expect("frame") = TFrame::N(nf);
+        Ok(())
     }
 
     /// On-stack replacement: the top frame must be interpreted, sitting
@@ -711,7 +1074,7 @@ impl<'m> Vm<'m> {
 impl TierStats {
     /// Human-readable tier table for `--stats`.
     pub fn render(&self) -> String {
-        let total = self.interp_insts + self.jit_insts;
+        let total = self.interp_insts + self.jit_insts + self.native_insts;
         let pct = |n: u64| {
             if total == 0 {
                 0.0
@@ -731,6 +1094,11 @@ impl TierStats {
             pct(self.jit_insts)
         ));
         s.push_str(&format!(
+            "  native insts    {:>12}  ({:.1}%)\n",
+            self.native_insts,
+            pct(self.native_insts)
+        ));
+        s.push_str(&format!(
             "  promoted        {:>12}  (warm-start {}, osr {})\n",
             self.promoted, self.warmed, self.osr
         ));
@@ -739,6 +1107,16 @@ impl TierStats {
             "  translated      {:>12}  ({} us)\n",
             self.translated,
             self.translate_ns / 1_000
+        ));
+        s.push_str(&format!(
+            "  native promoted {:>12}  (osr {})\n",
+            self.native_promoted, self.native_osr
+        ));
+        s.push_str(&format!("  native demoted  {:>12}\n", self.native_demoted));
+        s.push_str(&format!(
+            "  native compiled {:>12}  ({} us)\n",
+            self.native_translated,
+            self.native_translate_ns / 1_000
         ));
         s
     }

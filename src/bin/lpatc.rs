@@ -8,7 +8,7 @@
 //! lpatc link    <in...> -o out      [--emit text|bc] [-O]
 //! lpatc dis     <in.bc>                                     bytecode -> text
 //! lpatc run     <in>    [-O] [--profile] [--fuel N] [--input a,b,c] [--max-stack N]
-//!               [--jit | --tiered] [--tier-up N]
+//!               [--jit | --tiered] [--tier-up N] [--tier-native] [--native-up N]
 //!               [--speculate] [--spec-threshold N]
 //!               [--cache-dir DIR] [--profile-in F] [--profile-out F]
 //! lpatc reopt   <in>    [--cache-dir DIR] [--profile-in F] [-o out] [--jobs N]
@@ -45,11 +45,17 @@
 //! promotes it to the translated tier once its hotness counter (calls +
 //! loop back-edges) exceeds the threshold (`--tier-up N`, or the
 //! `LPAT_TIER_UP` environment variable; `--tier-up` implies `--tiered`).
-//! With a lifelong store (`--cache-dir`) or `--profile-in`, functions
-//! recorded hot in *prior* runs are translated eagerly at load
-//! (warm-start), so a repeat run skips the warm-up entirely. `--stats`
-//! prints a per-tier instruction table. Tiered execution is
-//! observationally identical to the plain interpreter at any threshold.
+//! `--tier-native` enables the third tier: a function that stays hot on
+//! the JIT tier is translated once more — by the single-pass backend in
+//! `lpat_codegen::fast` — to risc32 machine code and executed by the
+//! fuel-metered emulator in `lpat_vm::native`. `--native-up N` sets the
+//! extra hotness required after JIT promotion (it implies
+//! `--tier-native`; without it the JIT threshold is reused). With a
+//! lifelong store (`--cache-dir`) or `--profile-in`, functions recorded
+//! hot in *prior* runs are translated eagerly at load (warm-start), so a
+//! repeat run skips the warm-up entirely. `--stats` prints a per-tier
+//! instruction table. Tiered execution is observationally identical to
+//! the plain interpreter at any threshold, machine-code tier included.
 //!
 //! # Speculative PGO
 //!
@@ -274,11 +280,24 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
             // `--tier-up N` implies `--tiered`; `LPAT_TIER_UP` only sets
             // the threshold. `--tiered` wins over `--jit` if both appear.
             let tier_up_flag = flag_value(rest, "--tier-up");
-            let use_tiered = has_flag(rest, "--tiered") || tier_up_flag.is_some();
             let env_tier_up = std::env::var("LPAT_TIER_UP").ok();
             if let Some(v) = tier_up_flag.or(env_tier_up.as_deref()) {
                 opts.tier_up = v.parse().map_err(|_| "bad --tier-up value")?;
             }
+            // `--native-up N` implies `--tier-native`, and either implies
+            // `--tiered`: the machine-code tier only exists above the
+            // tiered engine's JIT tier. Without an explicit threshold the
+            // native tier reuses the JIT threshold (counted again from
+            // the moment of JIT promotion).
+            let native_up_flag = flag_value(rest, "--native-up");
+            let use_native = has_flag(rest, "--tier-native") || native_up_flag.is_some();
+            if use_native {
+                opts.native_up = Some(match native_up_flag {
+                    Some(v) => v.parse().map_err(|_| "bad --native-up value")?,
+                    None => opts.tier_up,
+                });
+            }
+            let use_tiered = has_flag(rest, "--tiered") || tier_up_flag.is_some() || use_native;
             let profiling = opts.profile;
             let use_jit = has_flag(rest, "--jit");
             // Accumulated prior profile for these exact module bytes —
@@ -583,6 +602,7 @@ fn dispatch(cmd: &str, rest: &[String], diag: &mut Diag) -> Result<ExitCode, Str
                  \x20      --jobs N, --verify-each, --time-passes,\n\
                  \x20      --inject-faults PLAN, --no-degrade, --pass-budget-ms N,\n\
                  \x20      --profile, --jit, --tiered, --tier-up N (or LPAT_TIER_UP),\n\
+                 \x20      --tier-native, --native-up N,\n\
                  \x20      --fuel N, --input a,b,c, --max-stack N,\n\
                  \x20      --cache-dir DIR (or LPAT_CACHE_DIR), --profile-in FILE,\n\
                  \x20      --profile-out FILE, --hot-threshold N,\n\

@@ -406,10 +406,12 @@ fn lpatc_degrades_cleanly_under_fault_matrix() {
 
 /// Runtime fault-site matrix: `spec.guard` (force every guard to fail —
 /// the program must still print the unspeculated answer, interpreted or
-/// tiered) and `tier.deopt` (panic during deopt frame reconstruction —
+/// tiered), `tier.deopt` (panic during deopt frame reconstruction —
 /// the function is demoted and the run completes on the still-valid
-/// translated frame). CI runs one leg per job via
-/// `LPAT_FAULTS_MATRIX=<site>`; locally both legs run.
+/// translated frame), and `native.translate` (the single-pass machine
+/// code backend fails — the function is permanently demoted to the JIT
+/// tier and the answer is unchanged). CI runs one leg per job via
+/// `LPAT_FAULTS_MATRIX=<site>`; locally all legs run.
 #[test]
 fn lpatc_vm_fault_sites_degrade_cleanly() {
     let sites: Vec<String> = match std::env::var("LPAT_FAULTS_MATRIX") {
@@ -418,7 +420,11 @@ fn lpatc_vm_fault_sites_degrade_cleanly() {
             .map(|s| s.trim().to_string())
             .filter(|s| s.contains('.'))
             .collect(),
-        _ => vec!["spec.guard".to_string(), "tier.deopt".to_string()],
+        _ => vec![
+            "spec.guard".to_string(),
+            "tier.deopt".to_string(),
+            "native.translate".to_string(),
+        ],
     };
     if sites.is_empty() {
         return; // a transform-pass leg; nothing to do here
@@ -514,6 +520,38 @@ x:
                 assert!(
                     !demoted.trim_end().ends_with(" 0"),
                     "tier.deopt fault never demoted: {demoted}\n{stderr}"
+                );
+            }
+            "native.translate" => {
+                // The machine-code backend fails on every candidate: each
+                // hot function is permanently demoted to the JIT tier, no
+                // native instructions ever retire, and the answer is
+                // unchanged.
+                let out = lpatc()
+                    .arg("run")
+                    .arg(&p)
+                    .args(["--tier-up", "1", "--native-up", "1", "--stats"])
+                    .args(["--inject-faults", "native.translate:io", "--quiet"])
+                    .output()
+                    .unwrap();
+                assert_eq!(seed.status.code(), out.status.code());
+                assert_eq!(seed.stdout, out.stdout, "demoted run changed the answer");
+                let stderr = String::from_utf8_lossy(&out.stderr);
+                let row = |label: &str| -> u64 {
+                    stderr
+                        .lines()
+                        .find(|l| l.trim_start().starts_with(label))
+                        .and_then(|l| l.split_whitespace().find_map(|w| w.parse::<u64>().ok()))
+                        .unwrap_or_else(|| panic!("no `{label}` row in stats:\n{stderr}"))
+                };
+                assert!(
+                    row("native demoted") >= 1,
+                    "translate fault never demoted:\n{stderr}"
+                );
+                assert_eq!(
+                    row("native insts"),
+                    0,
+                    "faulted backend still ran machine code:\n{stderr}"
                 );
             }
             other => panic!("unknown runtime fault site {other}"),

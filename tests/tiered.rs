@@ -39,10 +39,27 @@ fn observe_spec(
     warm: Option<&lpat::vm::ProfileData>,
     spec: Option<&std::rc::Rc<lpat::transform::SpecMap>>,
 ) -> Observed {
+    observe_full(m, engine, tier_up, None, warm, spec)
+}
+
+/// Tiered run with the third (machine-code) tier enabled.
+fn observe_native(m: &lpat::core::Module, tier_up: u64, native_up: u64) -> Observed {
+    observe_full(m, "tiered", tier_up, Some(native_up), None, None)
+}
+
+fn observe_full(
+    m: &lpat::core::Module,
+    engine: &str,
+    tier_up: u64,
+    native_up: Option<u64>,
+    warm: Option<&lpat::vm::ProfileData>,
+    spec: Option<&std::rc::Rc<lpat::transform::SpecMap>>,
+) -> Observed {
     let opts = VmOptions {
         profile: true,
         fuel: Some(20_000_000),
         tier_up,
+        native_up,
         ..VmOptions::default()
     };
     let mut vm = Vm::new(m, opts).expect("vm init");
@@ -89,6 +106,67 @@ fn tiered_matches_interp_across_suite_at_every_threshold() {
         let jit = observe(&m, "jit", 0, None);
         assert_eq!(reference, jit, "workload {name} diverged under full JIT");
     }
+}
+
+#[test]
+fn native_tier_matches_interp_across_suite_at_every_threshold() {
+    // The observational-identity contract extends to machine code: with
+    // the third tier enabled at every threshold pairing — including
+    // tier_up 0 / native_up 0, where every function runs native from its
+    // first call — output, return value, trap kind, fuel, histogram, and
+    // profile counters must match the reference interpreter exactly.
+    for (name, m) in lpat::workloads::compile_suite(0) {
+        let reference = observe(&m, "interp", 0, None);
+        for t in THRESHOLDS {
+            let native = observe_native(&m, t, t);
+            assert_eq!(
+                reference, native,
+                "workload {name} diverged at tier_up={t}/native_up={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn native_tier_executes_the_bulk_of_a_hot_loop() {
+    // Not just correct but *used*: on a loop-dominated workload with
+    // immediate promotion, the machine-code tier must dispatch the vast
+    // majority of instructions, and staged thresholds must reach native
+    // through both OSR paths.
+    let suite = lpat::workloads::compile_suite(0);
+    let (name, m) = &suite[0]; // 164.gzip: loop-heavy
+    let opts = VmOptions {
+        tier_up: 0,
+        native_up: Some(0),
+        ..VmOptions::default()
+    };
+    let mut vm = Vm::new(m, opts).unwrap();
+    vm.run_main_tiered()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let t = &vm.tier_stats;
+    assert!(t.native_promoted > 0, "{name}: nothing promoted to native");
+    assert!(
+        t.native_insts > 9 * (t.jit_insts + t.interp_insts),
+        "{name}: native tier dispatched too little: {t:?}"
+    );
+
+    // Staged thresholds: the hot loop crosses interp → jit → native
+    // while running, so at least one on-stack replacement lands in
+    // machine code.
+    let opts = VmOptions {
+        tier_up: 1,
+        native_up: Some(1),
+        ..VmOptions::default()
+    };
+    let mut vm = Vm::new(m, opts).unwrap();
+    vm.run_main_tiered()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert!(
+        vm.tier_stats.native_osr > 0,
+        "{name}: staged run never OSR'd into native: {:?}",
+        vm.tier_stats
+    );
+    assert!(vm.tier_stats.native_insts > 0);
 }
 
 #[test]
@@ -146,6 +224,8 @@ fn trap_case(src: &str, expect: TrapKind) {
     for t in THRESHOLDS {
         let tiered = observe(&m, "tiered", t, None);
         assert_eq!(reference, tiered, "trap case diverged at tier_up={t}");
+        let native = observe_native(&m, t, t);
+        assert_eq!(reference, native, "trap case diverged at native_up={t}");
     }
 }
 
@@ -187,18 +267,24 @@ l:
     )
     .unwrap();
     for t in THRESHOLDS {
-        let opts = VmOptions {
-            fuel: Some(10_000),
-            tier_up: t,
-            ..VmOptions::default()
-        };
-        let mut vm = Vm::new(&m, opts).unwrap();
-        match vm.run_main_tiered().unwrap_err() {
-            ExecError::Trap { kind, .. } => assert_eq!(kind, TrapKind::OutOfFuel),
-            other => panic!("{other:?}"),
+        for native_up in [None, Some(t)] {
+            let opts = VmOptions {
+                fuel: Some(10_000),
+                tier_up: t,
+                native_up,
+                ..VmOptions::default()
+            };
+            let mut vm = Vm::new(&m, opts).unwrap();
+            match vm.run_main_tiered().unwrap_err() {
+                ExecError::Trap { kind, .. } => assert_eq!(kind, TrapKind::OutOfFuel),
+                other => panic!("{other:?}"),
+            }
+            assert_eq!(vm.opts.fuel, Some(0));
+            assert_eq!(
+                vm.insts_executed, 10_000,
+                "tier_up={t} native_up={native_up:?}"
+            );
         }
-        assert_eq!(vm.opts.fuel, Some(0));
-        assert_eq!(vm.insts_executed, 10_000, "tier_up={t}");
     }
 }
 
@@ -265,6 +351,8 @@ x:
     for t in THRESHOLDS {
         let tiered = observe(&m, "tiered", t, None);
         assert_eq!(reference, tiered, "invoke case diverged at tier_up={t}");
+        let native = observe_native(&m, t, t);
+        assert_eq!(reference, native, "invoke case diverged at native_up={t}");
     }
 }
 
@@ -360,6 +448,96 @@ x:
     assert_eq!(reference.stdout, partial.stdout);
 }
 
+#[test]
+fn native_demotes_to_jit_and_matches_interp_under_translate_fault() {
+    // The `native.translate` site mirrors `jit.translate` one tier up: a
+    // fault there permanently demotes the function to the JIT tier and
+    // the run's answer is unchanged. Fault plans are process-global, so
+    // this goes through the driver in a subprocess.
+    let src = "
+declare void @print_int(int)
+define int @hot(int %x) {
+e:
+  %r = mul int %x, 3
+  ret int %r
+}
+define int @main() {
+e:
+  br label %h
+h:
+  %i = phi int [ 0, %e ], [ %i2, %b ]
+  %s = phi int [ 0, %e ], [ %s2, %b ]
+  %c = setlt int %i, 500
+  br bool %c, label %b, label %x
+b:
+  %v = call int @hot(int %i)
+  %s2 = add int %s, %v
+  %i2 = add int %i, 1
+  br label %h
+x:
+  %m = rem int %s, 97
+  call void @print_int(int %m)
+  ret int %m
+}";
+    let p = tmp("native_fault.ll");
+    std::fs::write(&p, src).unwrap();
+
+    let reference = lpatc().arg("run").arg(&p).arg("--quiet").output().unwrap();
+
+    // Clean third-tier run: same answer as the interpreter.
+    let native = lpatc()
+        .arg("run")
+        .arg(&p)
+        .args(["--tier-up", "1", "--native-up", "1", "--quiet"])
+        .output()
+        .unwrap();
+    assert_eq!(reference.status.code(), native.status.code());
+    assert_eq!(reference.stdout, native.stdout);
+
+    // Every native translation faults: all candidates demote to the JIT
+    // tier (which still translates fine) and the answer is unchanged.
+    let faulted = lpatc()
+        .arg("run")
+        .arg(&p)
+        .args(["--tier-up", "1", "--native-up", "1"])
+        .args(["--inject-faults", "native.translate:io"])
+        .args(["--stats", "--quiet"])
+        .output()
+        .unwrap();
+    assert_eq!(reference.status.code(), faulted.status.code());
+    assert_eq!(reference.stdout, faulted.stdout);
+    // The demotion is visible in the tier table: demoted functions, zero
+    // native instructions, and JIT instructions picking up the slack.
+    let stats = String::from_utf8_lossy(&faulted.stderr);
+    let row = |label: &str| -> u64 {
+        stats
+            .lines()
+            .find(|l| l.trim_start().starts_with(label))
+            .and_then(|l| {
+                l.split_whitespace()
+                    .filter_map(|w| w.parse::<u64>().ok())
+                    .next()
+            })
+            .unwrap_or_else(|| panic!("no '{label}' row in stats:\n{stats}"))
+    };
+    assert!(row("native demoted") >= 1, "stats:\n{stats}");
+    assert_eq!(row("native insts"), 0, "stats:\n{stats}");
+    assert!(row("jit insts") > 0, "stats:\n{stats}");
+
+    // A fault on only the *first* native translation demotes one
+    // function; the rest still reach machine code.
+    let partial = lpatc()
+        .arg("run")
+        .arg(&p)
+        .args(["--tier-up", "1", "--native-up", "1"])
+        .args(["--inject-faults", "native.translate:io@1"])
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert_eq!(reference.status.code(), partial.status.code());
+    assert_eq!(reference.stdout, partial.stdout);
+}
+
 // ---------------------------------------------------------------------
 // Speculation differentials: a speculated module (guards installed as an
 // in-memory overlay) must stay observationally identical across the
@@ -448,6 +626,13 @@ fn speculated_tiered_matches_interp_at_every_threshold() {
     for t in THRESHOLDS {
         let tiered = observe_spec(&sm, "tiered", t, None, Some(&map));
         assert_eq!(reference, tiered, "speculated run diverged at tier_up={t}");
+        // Guarded functions bail out of the native translator and stay on
+        // the JIT tier, so the answer survives the third tier too.
+        let native = observe_full(&sm, "tiered", t, Some(t), None, Some(&map));
+        assert_eq!(
+            reference, native,
+            "speculated run diverged at native_up={t}"
+        );
     }
     let jit = observe_spec(&sm, "jit", 0, None, Some(&map));
     assert_eq!(reference, jit, "speculated run diverged under full JIT");
